@@ -1,0 +1,326 @@
+package securitykg
+
+// One testing.B benchmark per experiment in DESIGN.md's index (E1-E13).
+// These are CI-scale versions of the tables cmd/skg-bench regenerates;
+// EXPERIMENTS.md records full-scale runs.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"securitykg/internal/crawler"
+	"securitykg/internal/ctirep"
+	"securitykg/internal/cypher"
+	"securitykg/internal/experiments"
+	"securitykg/internal/fusion"
+	"securitykg/internal/graph"
+	"securitykg/internal/ioc"
+	"securitykg/internal/layout"
+	"securitykg/internal/ner"
+	"securitykg/internal/search"
+	"securitykg/internal/sources"
+)
+
+// --- E1: crawler throughput ---
+
+func BenchmarkCrawlerThroughput(b *testing.B) {
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			specs := sources.DefaultSources(10)
+			reports := 0
+			for i := 0; i < b.N; i++ {
+				web := sources.NewWeb(int64(i), specs)
+				fw := crawler.New(web, specs, crawler.Config{Workers: workers})
+				var mu sync.Mutex
+				fw.RunOnce(context.Background(), func(ctirep.RawFile) {
+					mu.Lock()
+					reports++
+					mu.Unlock()
+				})
+			}
+			b.ReportMetric(float64(reports)/b.Elapsed().Minutes(), "reports/min")
+		})
+	}
+}
+
+// --- E2: end-to-end ingest at corpus scale (CI-sized) ---
+
+func BenchmarkEndToEndIngest(b *testing.B) {
+	sys, err := New(Options{ReportsPerSource: 4, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	reports := int64(0)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sys2, err := New(Options{ReportsPerSource: 4, Seed: int64(i + 2)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		st, err := sys2.Collect(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reports += st.Process.Connected
+	}
+	_ = sys
+	b.ReportMetric(float64(reports)/b.Elapsed().Minutes(), "reports/min")
+}
+
+// --- E3: pipeline worker scaling ---
+
+func BenchmarkPipelineWorkers(b *testing.B) {
+	specs := sources.DefaultSources(4)[:8]
+	web := sources.NewWeb(3, specs)
+	var texts []string
+	for _, spec := range specs {
+		for i := 0; i < 4; i++ {
+			texts = append(texts, strings.Join(web.GenerateTruth(spec, i).Paragraphs, "\n"))
+		}
+	}
+	ext, err := ner.Train(texts, ner.TrainOptions{Epochs: 3, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = ext
+	for _, workers := range []int{1, 4} {
+		for _, serialize := range []bool{false, true} {
+			b.Run(fmt.Sprintf("workers=%d/serialize=%v", workers, serialize), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					tab, err := experiments.PipelineWorkers(2, []int{workers}, int64(i+1))
+					if err != nil {
+						b.Fatal(err)
+					}
+					_ = tab
+				}
+			})
+		}
+	}
+}
+
+// --- E4: NER extraction speed (quality is measured by skg-bench -exp ner) ---
+
+func BenchmarkNERExtract(b *testing.B) {
+	ext, err := experiments.TrainNER(1, 80)
+	if err != nil {
+		b.Fatal(err)
+	}
+	web := sources.NewWeb(1, sources.DefaultSources(10))
+	text := strings.Join(web.GenerateTruth(web.Sources()[0], 1).Paragraphs, "\n")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ext.Extract(text)
+	}
+}
+
+func BenchmarkNERBaselineExtract(b *testing.B) {
+	base := ner.NewBaseline()
+	web := sources.NewWeb(1, sources.DefaultSources(10))
+	text := strings.Join(web.GenerateTruth(web.Sources()[0], 1).Paragraphs, "\n")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base.Extract(text)
+	}
+}
+
+// --- E5: IOC protection overhead ---
+
+func BenchmarkIOCProtection(b *testing.B) {
+	web := sources.NewWeb(1, sources.DefaultSources(10))
+	text := strings.Join(web.GenerateTruth(web.Sources()[0], 2).Paragraphs, "\n")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := ioc.Protect(text)
+		p.Restore(p.Protected)
+	}
+}
+
+// --- E6: label synthesis strategies (training cost) ---
+
+func BenchmarkLabelSynthesisTraining(b *testing.B) {
+	web := sources.NewWeb(1, sources.DefaultSources(5))
+	var texts []string
+	for _, spec := range web.Sources()[:10] {
+		for i := 0; i < 3; i++ {
+			texts = append(texts, strings.Join(web.GenerateTruth(spec, i).Paragraphs, "\n"))
+		}
+	}
+	for _, strat := range []ner.LabelingStrategy{ner.StrategyLabelModel, ner.StrategyMajority} {
+		b.Run(string(strat), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ner.Train(texts, ner.TrainOptions{Strategy: strat, Epochs: 2, Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E7: relation extraction speed ---
+
+func BenchmarkRelationExtract(b *testing.B) {
+	ext, err := experiments.TrainNER(1, 80)
+	if err != nil {
+		b.Fatal(err)
+	}
+	web := sources.NewWeb(1, sources.DefaultSources(10))
+	text := strings.Join(web.GenerateTruth(web.Sources()[0], 3).Paragraphs, "\n")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ext.ExtractRelations(text)
+	}
+}
+
+// --- E8: fusion pass ---
+
+func BenchmarkFusionPass(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := graph.New()
+		for m := 0; m < 500; m++ {
+			name := fmt.Sprintf("Mal%d", m/3)
+			switch m % 3 {
+			case 1:
+				name = "W32/" + name
+			case 2:
+				name = strings.ToUpper(name)
+			}
+			id, _ := s.MergeNode("Malware", name, nil)
+			ip, _ := s.MergeNode("IP", fmt.Sprintf("10.0.%d.%d", m/250, m%250), nil)
+			s.AddEdge(id, "CONNECT", ip, nil)
+		}
+		b.StartTimer()
+		if _, err := fusion.Fuse(s, fusion.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E9: graph merge path (ontology-shaped inserts) ---
+
+func BenchmarkGraphMergeNode(b *testing.B) {
+	s := graph.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.MergeNode("Malware", fmt.Sprintf("m%d", i%10000), nil)
+	}
+}
+
+// --- E10: keyword search ---
+
+func BenchmarkKeywordSearch(b *testing.B) {
+	idx := search.NewIndex(map[string]float64{"title": 2})
+	web := sources.NewWeb(1, sources.DefaultSources(40))
+	n := 0
+	for _, spec := range web.Sources() {
+		for i := 0; i < spec.Reports && n < 1000; i++ {
+			truth := web.GenerateTruth(spec, i)
+			idx.Add(search.Document{ID: fmt.Sprintf("%s-%d", spec.Slug, i),
+				Fields: map[string]string{"title": truth.Title,
+					"body": strings.Join(truth.Paragraphs, "\n")}})
+			n++
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Search("wannacry ransomware", 10)
+	}
+}
+
+// --- E11: cypher queries, index on/off ---
+
+func BenchmarkCypherQuery(b *testing.B) {
+	s := graph.New()
+	for i := 0; i < 20000; i++ {
+		id, _ := s.MergeNode("Malware", fmt.Sprintf("malware-%d", i), nil)
+		ip, _ := s.MergeNode("IP", fmt.Sprintf("10.%d.%d.%d", i%200, (i/200)%200, i%250), nil)
+		s.AddEdge(id, "CONNECT", ip, nil)
+	}
+	q := `match (n) where n.name = "malware-5000" return n`
+	for _, useIdx := range []bool{true, false} {
+		b.Run(fmt.Sprintf("index=%v", useIdx), func(b *testing.B) {
+			eng := cypher.NewEngine(s, cypher.Options{UseIndexes: useIdx, MaxRows: 1000})
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E12: layout, Barnes-Hut vs exact ---
+
+func BenchmarkLayoutBarnesHut(b *testing.B) {
+	for _, n := range []int{1000, 5000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := benchLayoutGraph(n)
+			e := layout.NewEngine(g, layout.Config{Theta: 0.5}, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Step()
+			}
+		})
+	}
+}
+
+func BenchmarkLayoutExact(b *testing.B) {
+	for _, n := range []int{1000, 5000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := benchLayoutGraph(n)
+			e := layout.NewEngine(g, layout.Config{Exact: true}, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Step()
+			}
+		})
+	}
+}
+
+func benchLayoutGraph(n int) layout.Graph {
+	g := layout.Graph{N: n}
+	for i := 1; i < n; i++ {
+		g.Edges = append(g.Edges, [2]int{i / 2, i})
+	}
+	return g
+}
+
+// --- E13: exploration operations ---
+
+func BenchmarkExpandFrom(b *testing.B) {
+	s := graph.New()
+	hub, _ := s.MergeNode("Malware", "hub", nil)
+	for i := 0; i < 5000; i++ {
+		id, _ := s.MergeNode("IP", fmt.Sprintf("ip-%d", i), nil)
+		s.AddEdge(hub, "CONNECT", id, nil)
+		if i%10 == 0 {
+			id2, _ := s.MergeNode("Domain", fmt.Sprintf("d-%d", i), nil)
+			s.AddEdge(id, "RESOLVE_TO", id2, nil)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ExpandFrom([]graph.NodeID{hub}, 2, 25, 100)
+	}
+}
+
+func BenchmarkRandomSubgraph(b *testing.B) {
+	s := graph.New()
+	var prev graph.NodeID
+	for i := 0; i < 5000; i++ {
+		id, _ := s.MergeNode("Malware", fmt.Sprintf("m-%d", i), nil)
+		if i > 0 {
+			s.AddEdge(prev, "RELATED_TO", id, nil)
+		}
+		prev = id
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RandomSubgraph(int64(i), 50)
+	}
+}

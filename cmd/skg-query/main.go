@@ -1,0 +1,83 @@
+// Command skg-query is an interactive query shell over a persisted
+// knowledge graph: Cypher-subset statements run against the graph engine;
+// lines starting with "/" run keyword search over report nodes.
+//
+// Usage:
+//
+//	skg-query -graph kg.jsonl
+//	> match (n) where n.name = "wannacry" return n
+//	> /wannacry ransomware
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"securitykg/internal/cypher"
+	"securitykg/internal/graph"
+	"securitykg/internal/search"
+)
+
+func main() {
+	graphPath := flag.String("graph", "kg.jsonl", "persisted knowledge graph file")
+	flag.Parse()
+
+	store, err := graph.LoadFile(*graphPath)
+	if err != nil {
+		log.Fatalf("skg-query: %v", err)
+	}
+	gs := store.Stats()
+	fmt.Printf("skg-query: loaded %d nodes, %d edges from %s\n", gs.Nodes, gs.Edges, *graphPath)
+	fmt.Println(`skg-query: enter Cypher (e.g. match (n:Malware) return n.name limit 5), /keyword search, or "quit"`)
+
+	// Rebuild the keyword index from report nodes (title only; bodies are
+	// not persisted in the graph).
+	idx := search.NewIndex(nil)
+	store.ForEachNode(func(n *graph.Node) bool {
+		if strings.HasSuffix(n.Type, "Report") {
+			idx.Add(search.Document{ID: fmt.Sprint(n.ID),
+				Fields: map[string]string{"title": n.Name}})
+		}
+		return true
+	})
+	eng := cypher.NewEngine(store, cypher.DefaultOptions())
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == "quit" || line == "exit":
+			return
+		case strings.HasPrefix(line, "/"):
+			hits := idx.Search(strings.TrimPrefix(line, "/"), 10)
+			if len(hits) == 0 {
+				fmt.Println("no hits")
+			}
+			for _, h := range hits {
+				fmt.Printf("  %8s  score=%.3f\n", h.ID, h.Score)
+			}
+		default:
+			res, err := eng.Run(line)
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			fmt.Println(strings.Join(res.Columns, " | "))
+			for _, row := range res.Rows {
+				cells := make([]string, len(row))
+				for i, v := range row {
+					cells[i] = v.String()
+				}
+				fmt.Println(strings.Join(cells, " | "))
+			}
+			fmt.Printf("(%d rows)\n", len(res.Rows))
+		}
+		fmt.Print("> ")
+	}
+}

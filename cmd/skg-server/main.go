@@ -1,0 +1,59 @@
+// Command skg-server builds (or loads) a knowledge graph and serves the
+// exploration API the paper's web UI consumes: /api/search, /api/cypher,
+// /api/node, /api/expand, /api/collapse, /api/random, /api/back, and
+// /api/stats, with Barnes-Hut layout positions on every returned subgraph.
+// The synthetic OSCTI web itself is exposed under /s/ for inspection.
+//
+// Usage:
+//
+//	skg-server [-addr :8080] [-reports 10] [-graph kg.jsonl]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"securitykg"
+	"securitykg/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		reports = flag.Int("reports", 10, "reports per source to ingest at startup")
+		graphIn = flag.String("graph", "", "serve a persisted graph instead of ingesting")
+	)
+	flag.Parse()
+
+	fmt.Println("skg-server: building system...")
+	sys, err := securitykg.New(securitykg.Options{ReportsPerSource: *reports})
+	if err != nil {
+		log.Fatalf("skg-server: %v", err)
+	}
+	if *graphIn != "" {
+		if err := sys.LoadGraph(*graphIn); err != nil {
+			log.Fatalf("skg-server: %v", err)
+		}
+		fmt.Printf("skg-server: loaded graph from %s\n", *graphIn)
+	} else {
+		st, err := sys.Collect(context.Background())
+		if err != nil {
+			log.Fatalf("skg-server: collect: %v", err)
+		}
+		if _, err := sys.Fuse(); err != nil {
+			log.Fatalf("skg-server: fuse: %v", err)
+		}
+		fmt.Printf("skg-server: ingested %d reports\n", st.Process.Connected)
+	}
+	gs := sys.Store.Stats()
+	fmt.Printf("skg-server: knowledge graph: %d nodes, %d edges\n", gs.Nodes, gs.Edges)
+
+	mux := http.NewServeMux()
+	mux.Handle("/api/", server.New(sys.Store, sys.Index))
+	mux.Handle("/s/", sys.Web()) // the synthetic OSCTI web itself
+	fmt.Printf("skg-server: listening on %s (try /api/stats, /api/search?q=wannacry)\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}

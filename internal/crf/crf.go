@@ -1,0 +1,445 @@
+// Package crf implements the linear-chain Conditional Random Field
+// (Lafferty et al., ICML 2001) that SecurityKG uses for security-related
+// entity recognition. Training maximizes L2-regularized conditional
+// log-likelihood with AdaGrad over exact forward-backward gradients;
+// decoding is exact Viterbi.
+//
+// Observations are sparse string features per token (lemmas, POS tags,
+// shapes, embedding cluster ids, gazetteer flags — produced by package
+// ner). Labels are BIO tags.
+package crf
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Sequence is one training example: per-position sparse features and the
+// gold label per position.
+type Sequence struct {
+	Features [][]string
+	Labels   []string
+}
+
+// Model is a trained linear-chain CRF.
+type Model struct {
+	labels   []string
+	labelIdx map[string]int
+	// unary[feature][label] weight; sparse over features.
+	unary map[string][]float64
+	// trans[prev][cur] transition weight, with an extra virtual start
+	// state at index len(labels).
+	trans [][]float64
+}
+
+// Labels returns the model's label set in index order.
+func (m *Model) Labels() []string {
+	out := make([]string, len(m.labels))
+	copy(out, m.labels)
+	return out
+}
+
+// TrainConfig controls optimization.
+type TrainConfig struct {
+	Epochs       int     // passes over the data (default 8)
+	LearningRate float64 // AdaGrad base step (default 0.2)
+	L2           float64 // L2 regularization strength (default 1e-4)
+	Seed         int64   // shuffling seed (default 1)
+	Verbose      io.Writer
+}
+
+func (c *TrainConfig) defaults() {
+	if c.Epochs <= 0 {
+		c.Epochs = 8
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.2
+	}
+	if c.L2 < 0 {
+		c.L2 = 0
+	} else if c.L2 == 0 {
+		c.L2 = 1e-4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Train fits a CRF on the sequences. The label set is collected from the
+// data. Sequences with mismatched feature/label lengths are rejected.
+func Train(seqs []Sequence, cfg TrainConfig) (*Model, error) {
+	cfg.defaults()
+	if len(seqs) == 0 {
+		return nil, errors.New("crf: no training sequences")
+	}
+	labelSet := map[string]bool{}
+	for i, s := range seqs {
+		if len(s.Features) != len(s.Labels) {
+			return nil, fmt.Errorf("crf: sequence %d: %d feature vectors vs %d labels",
+				i, len(s.Features), len(s.Labels))
+		}
+		for _, l := range s.Labels {
+			labelSet[l] = true
+		}
+	}
+	labels := make([]string, 0, len(labelSet))
+	for l := range labelSet {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	m := &Model{
+		labels:   labels,
+		labelIdx: make(map[string]int, len(labels)),
+		unary:    make(map[string][]float64),
+	}
+	for i, l := range labels {
+		m.labelIdx[l] = i
+	}
+	L := len(labels)
+	m.trans = make([][]float64, L+1) // +1 virtual start row
+	for i := range m.trans {
+		m.trans[i] = make([]float64, L)
+	}
+
+	// AdaGrad accumulators, mirroring weight layout.
+	gUnary := make(map[string][]float64)
+	gTrans := make([][]float64, L+1)
+	for i := range gTrans {
+		gTrans[i] = make([]float64, L)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := rng.Perm(len(seqs))
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		// Reshuffle each epoch.
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var totalNLL float64
+		for _, si := range order {
+			nll := m.sgdStep(&seqs[si], cfg, gUnary, gTrans)
+			totalNLL += nll
+		}
+		if cfg.Verbose != nil {
+			fmt.Fprintf(cfg.Verbose, "crf: epoch %d nll=%.2f\n", epoch+1, totalNLL)
+		}
+	}
+	return m, nil
+}
+
+// sgdStep computes the gradient of one sequence via forward-backward and
+// applies an AdaGrad update. It returns the sequence NLL before the update.
+func (m *Model) sgdStep(s *Sequence, cfg TrainConfig, gUnary map[string][]float64, gTrans [][]float64) float64 {
+	T := len(s.Labels)
+	if T == 0 {
+		return 0
+	}
+	L := len(m.labels)
+	start := L
+
+	scores := m.scoreMatrix(s.Features)
+
+	// Forward (log space): alpha[t][y].
+	alpha := make([][]float64, T)
+	for t := range alpha {
+		alpha[t] = make([]float64, L)
+	}
+	for y := 0; y < L; y++ {
+		alpha[0][y] = scores[0][y] + m.trans[start][y]
+	}
+	for t := 1; t < T; t++ {
+		for y := 0; y < L; y++ {
+			acc := make([]float64, L)
+			for yp := 0; yp < L; yp++ {
+				acc[yp] = alpha[t-1][yp] + m.trans[yp][y]
+			}
+			alpha[t][y] = logSumExp(acc) + scores[t][y]
+		}
+	}
+	logZ := logSumExp(alpha[T-1])
+
+	// Backward: beta[t][y].
+	beta := make([][]float64, T)
+	for t := range beta {
+		beta[t] = make([]float64, L)
+	}
+	for t := T - 2; t >= 0; t-- {
+		for y := 0; y < L; y++ {
+			acc := make([]float64, L)
+			for yn := 0; yn < L; yn++ {
+				acc[yn] = m.trans[y][yn] + scores[t+1][yn] + beta[t+1][yn]
+			}
+			beta[t][y] = logSumExp(acc)
+		}
+	}
+
+	// Gold path score for NLL reporting.
+	gold := make([]int, T)
+	goldScore := 0.0
+	prev := start
+	for t := 0; t < T; t++ {
+		y, ok := m.labelIdx[s.Labels[t]]
+		if !ok {
+			return 0 // label unseen at collection time cannot happen in Train
+		}
+		gold[t] = y
+		goldScore += scores[t][y] + m.trans[prev][y]
+		prev = y
+	}
+	nll := logZ - goldScore
+
+	lr := cfg.LearningRate
+	l2 := cfg.L2
+	updateUnary := func(feat string, y int, grad float64) {
+		w, ok := m.unary[feat]
+		if !ok {
+			w = make([]float64, L)
+			m.unary[feat] = w
+		}
+		g, ok := gUnary[feat]
+		if !ok {
+			g = make([]float64, L)
+			gUnary[feat] = g
+		}
+		grad += l2 * w[y]
+		g[y] += grad * grad
+		w[y] -= lr * grad / (1e-8 + math.Sqrt(g[y]))
+	}
+	updateTrans := func(a, b int, grad float64) {
+		grad += l2 * m.trans[a][b]
+		gTrans[a][b] += grad * grad
+		m.trans[a][b] -= lr * grad / (1e-8 + math.Sqrt(gTrans[a][b]))
+	}
+
+	// Unary gradients: P(y_t) - 1{y_t = gold}.
+	for t := 0; t < T; t++ {
+		p := make([]float64, L)
+		for y := 0; y < L; y++ {
+			p[y] = math.Exp(alpha[t][y] + beta[t][y] - logZ)
+		}
+		for y := 0; y < L; y++ {
+			grad := p[y]
+			if y == gold[t] {
+				grad -= 1
+			}
+			if grad == 0 {
+				continue
+			}
+			for _, feat := range s.Features[t] {
+				updateUnary(feat, y, grad)
+			}
+		}
+	}
+
+	// Transition gradients.
+	// Start transition: P(y_0) - 1{gold}.
+	for y := 0; y < L; y++ {
+		p := math.Exp(alpha[0][y] + beta[0][y] - logZ)
+		grad := p
+		if y == gold[0] {
+			grad -= 1
+		}
+		if grad != 0 {
+			updateTrans(start, y, grad)
+		}
+	}
+	for t := 1; t < T; t++ {
+		for yp := 0; yp < L; yp++ {
+			for y := 0; y < L; y++ {
+				p := math.Exp(alpha[t-1][yp] + m.trans[yp][y] + scores[t][y] + beta[t][y] - logZ)
+				grad := p
+				if yp == gold[t-1] && y == gold[t] {
+					grad -= 1
+				}
+				if grad != 0 {
+					updateTrans(yp, y, grad)
+				}
+			}
+		}
+	}
+	return nll
+}
+
+// scoreMatrix computes unary scores for every position and label.
+func (m *Model) scoreMatrix(features [][]string) [][]float64 {
+	T := len(features)
+	L := len(m.labels)
+	scores := make([][]float64, T)
+	for t := 0; t < T; t++ {
+		row := make([]float64, L)
+		for _, feat := range features[t] {
+			if w, ok := m.unary[feat]; ok {
+				for y := 0; y < L; y++ {
+					row[y] += w[y]
+				}
+			}
+		}
+		scores[t] = row
+	}
+	return scores
+}
+
+// Decode returns the Viterbi-optimal label sequence for the features.
+func (m *Model) Decode(features [][]string) []string {
+	T := len(features)
+	if T == 0 {
+		return nil
+	}
+	L := len(m.labels)
+	start := L
+	scores := m.scoreMatrix(features)
+	delta := make([][]float64, T)
+	back := make([][]int, T)
+	for t := range delta {
+		delta[t] = make([]float64, L)
+		back[t] = make([]int, L)
+	}
+	for y := 0; y < L; y++ {
+		delta[0][y] = scores[0][y] + m.trans[start][y]
+	}
+	for t := 1; t < T; t++ {
+		for y := 0; y < L; y++ {
+			best, bestPrev := math.Inf(-1), 0
+			for yp := 0; yp < L; yp++ {
+				v := delta[t-1][yp] + m.trans[yp][y]
+				if v > best {
+					best, bestPrev = v, yp
+				}
+			}
+			delta[t][y] = best + scores[t][y]
+			back[t][y] = bestPrev
+		}
+	}
+	bestY, bestV := 0, math.Inf(-1)
+	for y := 0; y < L; y++ {
+		if delta[T-1][y] > bestV {
+			bestV, bestY = delta[T-1][y], y
+		}
+	}
+	out := make([]string, T)
+	y := bestY
+	for t := T - 1; t >= 0; t-- {
+		out[t] = m.labels[y]
+		y = back[t][y]
+	}
+	return out
+}
+
+// MarginalProbs returns per-position label marginal probabilities
+// P(y_t = l | x), useful for confidence thresholds.
+func (m *Model) MarginalProbs(features [][]string) [][]float64 {
+	T := len(features)
+	if T == 0 {
+		return nil
+	}
+	L := len(m.labels)
+	start := L
+	scores := m.scoreMatrix(features)
+	alpha := make([][]float64, T)
+	beta := make([][]float64, T)
+	for t := range alpha {
+		alpha[t] = make([]float64, L)
+		beta[t] = make([]float64, L)
+	}
+	for y := 0; y < L; y++ {
+		alpha[0][y] = scores[0][y] + m.trans[start][y]
+	}
+	for t := 1; t < T; t++ {
+		for y := 0; y < L; y++ {
+			acc := make([]float64, L)
+			for yp := 0; yp < L; yp++ {
+				acc[yp] = alpha[t-1][yp] + m.trans[yp][y]
+			}
+			alpha[t][y] = logSumExp(acc) + scores[t][y]
+		}
+	}
+	for t := T - 2; t >= 0; t-- {
+		for y := 0; y < L; y++ {
+			acc := make([]float64, L)
+			for yn := 0; yn < L; yn++ {
+				acc[yn] = m.trans[y][yn] + scores[t+1][yn] + beta[t+1][yn]
+			}
+			beta[t][y] = logSumExp(acc)
+		}
+	}
+	logZ := logSumExp(alpha[T-1])
+	out := make([][]float64, T)
+	for t := 0; t < T; t++ {
+		out[t] = make([]float64, L)
+		for y := 0; y < L; y++ {
+			out[t][y] = math.Exp(alpha[t][y] + beta[t][y] - logZ)
+		}
+	}
+	return out
+}
+
+func logSumExp(xs []float64) float64 {
+	max := math.Inf(-1)
+	for _, x := range xs {
+		if x > max {
+			max = x
+		}
+	}
+	if math.IsInf(max, -1) {
+		return max
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += math.Exp(x - max)
+	}
+	return max + math.Log(sum)
+}
+
+// --- persistence ---
+
+type persistModel struct {
+	Magic  string               `json:"magic"`
+	Labels []string             `json:"labels"`
+	Unary  map[string][]float64 `json:"unary"`
+	Trans  [][]float64          `json:"trans"`
+}
+
+const modelMagic = "securitykg-crf-v1"
+
+// Save serializes the model as JSON.
+func (m *Model) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	err := json.NewEncoder(bw).Encode(persistModel{
+		Magic: modelMagic, Labels: m.labels, Unary: m.unary, Trans: m.trans,
+	})
+	if err != nil {
+		return fmt.Errorf("crf: save: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Load reads a model written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var p persistModel
+	if err := json.NewDecoder(bufio.NewReader(r)).Decode(&p); err != nil {
+		return nil, fmt.Errorf("crf: load: %w", err)
+	}
+	if p.Magic != modelMagic {
+		return nil, errors.New("crf: not a securitykg CRF model")
+	}
+	m := &Model{
+		labels:   p.Labels,
+		labelIdx: make(map[string]int, len(p.Labels)),
+		unary:    p.Unary,
+		trans:    p.Trans,
+	}
+	if m.unary == nil {
+		m.unary = map[string][]float64{}
+	}
+	for i, l := range p.Labels {
+		m.labelIdx[l] = i
+	}
+	if len(m.trans) != len(p.Labels)+1 {
+		return nil, errors.New("crf: corrupt transition matrix")
+	}
+	return m, nil
+}

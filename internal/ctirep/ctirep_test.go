@@ -1,0 +1,126 @@
+package ctirep
+
+import (
+	"testing"
+	"time"
+
+	"securitykg/internal/ontology"
+)
+
+func TestNewIDStable(t *testing.T) {
+	a := NewID("src", "https://x/1")
+	b := NewID("src", "https://x/1")
+	c := NewID("src", "https://x/2")
+	d := NewID("other", "https://x/1")
+	if a != b {
+		t.Error("same inputs must give same ID")
+	}
+	if a == c || a == d {
+		t.Error("different inputs must give different IDs")
+	}
+	if len(a) != 24 {
+		t.Errorf("ID length %d", len(a))
+	}
+}
+
+func TestReportRepRoundTrip(t *testing.T) {
+	r := &ReportRep{
+		ID:        NewID("acme", "https://acme/r/1"),
+		Source:    "acme",
+		URL:       "https://acme/r/1",
+		Title:     "Example",
+		Format:    "html",
+		Pages:     [][]byte{[]byte("<html>p1</html>"), []byte("<html>p2</html>")},
+		Meta:      map[string]string{"category": "blog"},
+		FetchedAt: time.Date(2021, 2, 26, 10, 0, 0, 0, time.UTC),
+	}
+	b, err := EncodeReportRep(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := DecodeReportRep(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.ID != r.ID || r2.Title != r.Title || len(r2.Pages) != 2 {
+		t.Errorf("round trip mismatch: %+v", r2)
+	}
+	if string(r2.Pages[1]) != "<html>p2</html>" {
+		t.Errorf("page bytes lost: %q", r2.Pages[1])
+	}
+	if !r2.FetchedAt.Equal(r.FetchedAt) {
+		t.Errorf("timestamp lost: %v", r2.FetchedAt)
+	}
+}
+
+func TestCTIRepRoundTripWithEntities(t *testing.T) {
+	c := &CTIRep{
+		ReportID: "abc",
+		Source:   "acme",
+		URL:      "https://acme/r/1",
+		Title:    "WannaCry Analysis",
+		Vendor:   "AcmeSec",
+		Kind:     "malware",
+		Text:     "body text",
+		Fields:   map[string]string{"platform": "Windows"},
+		Entities: []ontology.Entity{
+			{Type: ontology.TypeMalware, Name: "WannaCry"},
+		},
+		Relations: []ontology.Relation{{
+			Src:  ontology.Entity{Type: ontology.TypeMalware, Name: "WannaCry"},
+			Type: ontology.RelConnectsTo,
+			Dst:  ontology.Entity{Type: ontology.TypeIP, Name: "1.2.3.4"},
+		}},
+	}
+	b, err := EncodeCTIRep(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := DecodeCTIRep(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c2.Entities) != 1 || c2.Entities[0].Name != "WannaCry" {
+		t.Errorf("entities lost: %+v", c2.Entities)
+	}
+	if len(c2.Relations) != 1 || c2.Relations[0].Type != ontology.RelConnectsTo {
+		t.Errorf("relations lost: %+v", c2.Relations)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := DecodeReportRep([]byte("{bad")); err == nil {
+		t.Error("bad JSON accepted for report rep")
+	}
+	if _, err := DecodeCTIRep([]byte("{bad")); err == nil {
+		t.Error("bad JSON accepted for CTI rep")
+	}
+}
+
+func TestReportEntityKinds(t *testing.T) {
+	cases := map[string]ontology.EntityType{
+		"malware":       ontology.TypeMalwareReport,
+		"vulnerability": ontology.TypeVulnerabilityReport,
+		"attack":        ontology.TypeAttackReport,
+		"unknown":       ontology.TypeAttackReport,
+	}
+	for kind, want := range cases {
+		c := &CTIRep{ReportID: "id1", Title: "T", Kind: kind, Source: "s", URL: "u",
+			PublishedAt: "2021-01-01"}
+		e := c.ReportEntity()
+		if e.Type != want {
+			t.Errorf("kind %q -> %s, want %s", kind, e.Type, want)
+		}
+		if e.Name != "T" || e.Attrs["report_id"] != "id1" || e.Attrs["published_at"] != "2021-01-01" {
+			t.Errorf("entity attrs wrong: %+v", e)
+		}
+		if err := e.Validate(); err != nil {
+			t.Errorf("report entity invalid: %v", err)
+		}
+	}
+	// Untitled reports fall back to the ID as name.
+	c := &CTIRep{ReportID: "id2", Kind: "malware"}
+	if e := c.ReportEntity(); e.Name != "id2" {
+		t.Errorf("untitled fallback: %+v", e)
+	}
+}

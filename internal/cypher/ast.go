@@ -1,0 +1,102 @@
+package cypher
+
+// Query is the parsed form of a supported Cypher statement.
+type Query struct {
+	Patterns []Pattern // comma-separated MATCH patterns
+	Where    Expr      // nil when absent
+	Distinct bool
+	Returns  []ReturnItem
+	OrderBy  []OrderKey
+	Limit    int // -1 when absent
+	Skip     int // 0 when absent
+}
+
+// Pattern is one linear node-edge-node-... chain.
+type Pattern struct {
+	Nodes []NodePattern
+	Edges []EdgePattern // len(Edges) == len(Nodes)-1
+}
+
+// NodePattern is "(var:Label {prop: value, ...})"; all parts optional.
+type NodePattern struct {
+	Var   string
+	Label string
+	Props map[string]Value
+}
+
+// EdgeDir is the direction of an edge pattern.
+type EdgeDir int
+
+const (
+	DirRight EdgeDir = iota // -[]->
+	DirLeft                 // <-[]-
+	DirAny                  // -[]-
+)
+
+// EdgePattern is "-[var:TYPE]->" and friends.
+type EdgePattern struct {
+	Var  string
+	Type string
+	Dir  EdgeDir
+}
+
+// ReturnItem is one projection: an expression plus an optional alias.
+type ReturnItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// OrderKey orders results by a returned column (by alias/text) or
+// expression.
+type OrderKey struct {
+	Expr Expr
+	Desc bool
+}
+
+// Expr is an evaluable expression node.
+type Expr interface{ exprNode() }
+
+// VarExpr references a pattern variable (node or edge binding).
+type VarExpr struct{ Name string }
+
+// PropExpr references a property of a bound variable: v.prop.
+type PropExpr struct {
+	Var  string
+	Prop string
+}
+
+// LitExpr is a literal value.
+type LitExpr struct{ Val Value }
+
+// CmpExpr compares two sub-expressions.
+type CmpExpr struct {
+	Op    string // "=", "<>", "<", ">", "<=", ">=", "contains", "starts", "ends", "in"
+	Left  Expr
+	Right Expr
+}
+
+// BoolExpr combines expressions with and/or.
+type BoolExpr struct {
+	Op    string // "and" | "or"
+	Left  Expr
+	Right Expr
+}
+
+// NotExpr negates an expression.
+type NotExpr struct{ Inner Expr }
+
+// FuncExpr is a function call: count(*), count(x), type(r), id(n),
+// labels(n), lower(x), upper(x).
+type FuncExpr struct {
+	Name string
+	Arg  Expr // nil for count(*)
+	Star bool
+}
+
+func (VarExpr) exprNode()  {}
+func (PropExpr) exprNode() {}
+func (LitExpr) exprNode()  {}
+func (CmpExpr) exprNode()  {}
+func (BoolExpr) exprNode() {}
+func (NotExpr) exprNode()  {}
+func (FuncExpr) exprNode() {}

@@ -1,0 +1,638 @@
+package cypher
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"securitykg/internal/graph"
+)
+
+// Options tune query execution.
+type Options struct {
+	// UseIndexes enables index-based candidate selection (name, label and
+	// exact-property lookups). Disabling it forces full scans — exposed so
+	// the E11 ablation can measure the index's effect.
+	UseIndexes bool
+	// MaxRows caps result size as a safety valve (0 = unlimited).
+	MaxRows int
+}
+
+// DefaultOptions enables indexes with a 100k row cap.
+func DefaultOptions() Options { return Options{UseIndexes: true, MaxRows: 100000} }
+
+// Engine executes parsed queries against a graph store.
+type Engine struct {
+	store *graph.Store
+	opts  Options
+}
+
+// NewEngine builds an engine over the store.
+func NewEngine(s *graph.Store, opts Options) *Engine {
+	return &Engine{store: s, opts: opts}
+}
+
+// Result is a rectangular query result.
+type Result struct {
+	Columns []string
+	Rows    [][]Value
+}
+
+// Run parses and executes a Cypher statement.
+func (e *Engine) Run(src string) (*Result, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.RunQuery(q)
+}
+
+// binding maps pattern variables to runtime values during matching.
+type binding map[string]Value
+
+func (b binding) clone() binding {
+	c := make(binding, len(b))
+	for k, v := range b {
+		c[k] = v
+	}
+	return c
+}
+
+// RunQuery executes a parsed query.
+func (e *Engine) RunQuery(q *Query) (*Result, error) {
+	if len(q.Returns) == 0 {
+		return nil, fmt.Errorf("cypher: empty RETURN")
+	}
+	pushed := extractEqualityHints(q.Where)
+
+	var matches []binding
+	var matchErr error
+	e.matchPatterns(q.Patterns, 0, binding{}, pushed, func(b binding) bool {
+		if q.Where != nil {
+			v, err := evalExpr(q.Where, b)
+			if err != nil {
+				matchErr = err
+				return false
+			}
+			if !v.Truthy() {
+				return true
+			}
+		}
+		matches = append(matches, b.clone())
+		return e.opts.MaxRows == 0 || len(matches) < e.opts.MaxRows*4+1000
+	})
+	if matchErr != nil {
+		return nil, matchErr
+	}
+
+	res, err := e.project(q, matches)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.orderAndPage(q, res, matches); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// --- pattern matching ---
+
+// equality hints pushed down from WHERE: var -> prop -> literal string.
+func extractEqualityHints(w Expr) map[string]map[string]string {
+	out := map[string]map[string]string{}
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch v := e.(type) {
+		case BoolExpr:
+			if v.Op == "and" {
+				walk(v.Left)
+				walk(v.Right)
+			}
+		case CmpExpr:
+			if v.Op != "=" {
+				return
+			}
+			pe, okL := v.Left.(PropExpr)
+			lit, okR := v.Right.(LitExpr)
+			if !okL || !okR {
+				pe, okL = v.Right.(PropExpr)
+				lit, okR = v.Left.(LitExpr)
+			}
+			if okL && okR && lit.Val.Kind == KindString {
+				if out[pe.Var] == nil {
+					out[pe.Var] = map[string]string{}
+				}
+				out[pe.Var][pe.Prop] = lit.Val.Str
+			}
+		}
+	}
+	if w != nil {
+		walk(w)
+	}
+	return out
+}
+
+func (e *Engine) matchPatterns(pats []Pattern, idx int, b binding,
+	hints map[string]map[string]string, emit func(binding) bool) bool {
+	if idx >= len(pats) {
+		return emit(b)
+	}
+	return e.matchChain(pats[idx], 0, b, hints, func(b2 binding) bool {
+		return e.matchPatterns(pats, idx+1, b2, hints, emit)
+	})
+}
+
+// matchChain matches pattern node i and then recursively its outgoing
+// edge pattern chain, calling emit for every complete assignment. The
+// return value follows the emit protocol: false stops the search.
+func (e *Engine) matchChain(p Pattern, i int, b binding,
+	hints map[string]map[string]string, emit func(binding) bool) bool {
+	np := p.Nodes[i]
+
+	tryNode := func(n *graph.Node) bool {
+		if !e.nodeMatches(np, n, hints) {
+			return true // skip, continue search
+		}
+		b2 := b
+		if np.Var != "" {
+			if prev, bound := b[np.Var]; bound {
+				if prev.Kind != KindNode || prev.Node.ID != n.ID {
+					return true
+				}
+			} else {
+				b2 = b.clone()
+				b2[np.Var] = NodeValue(n)
+			}
+		}
+		if i == len(p.Nodes)-1 {
+			return emit(b2)
+		}
+		return e.matchEdge(p, i, n, b2, hints, emit)
+	}
+
+	// If the variable is already bound, only that node is a candidate.
+	if np.Var != "" {
+		if prev, bound := b[np.Var]; bound {
+			if prev.Kind != KindNode {
+				return true
+			}
+			return tryNode(prev.Node)
+		}
+	}
+	cont := true
+	for _, n := range e.candidates(np, hints) {
+		if !tryNode(n) {
+			cont = false
+			break
+		}
+	}
+	return cont
+}
+
+func (e *Engine) matchEdge(p Pattern, i int, from *graph.Node, b binding,
+	hints map[string]map[string]string, emit func(binding) bool) bool {
+	ep := p.Edges[i]
+	dirs := []graph.Direction{}
+	switch ep.Dir {
+	case DirRight:
+		dirs = append(dirs, graph.Out)
+	case DirLeft:
+		dirs = append(dirs, graph.In)
+	case DirAny:
+		dirs = append(dirs, graph.Out, graph.In)
+	}
+	for _, d := range dirs {
+		for _, ed := range e.store.Edges(from.ID, d) {
+			if ep.Type != "" && ed.Type != ep.Type {
+				continue
+			}
+			otherID := ed.To
+			if d == graph.In {
+				otherID = ed.From
+			}
+			other := e.store.Node(otherID)
+			if other == nil {
+				continue
+			}
+			b2 := b
+			if ep.Var != "" {
+				if prev, bound := b[ep.Var]; bound {
+					if prev.Kind != KindEdge || prev.Edge.ID != ed.ID {
+						continue
+					}
+				} else {
+					b2 = b.clone()
+					b2[ep.Var] = EdgeValue(ed)
+				}
+			}
+			np := p.Nodes[i+1]
+			if !e.nodeMatches(np, other, hints) {
+				continue
+			}
+			b3 := b2
+			if np.Var != "" {
+				if prev, bound := b2[np.Var]; bound {
+					if prev.Kind != KindNode || prev.Node.ID != other.ID {
+						continue
+					}
+				} else {
+					b3 = b2.clone()
+					b3[np.Var] = NodeValue(other)
+				}
+			}
+			if i+1 == len(p.Nodes)-1 {
+				if !emit(b3) {
+					return false
+				}
+			} else {
+				if !e.matchEdge(p, i+1, other, b3, hints, emit) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// candidates enumerates starting nodes for a node pattern, using indexes
+// when allowed: exact (label, name) lookup, name index, label index, then
+// full scan as a last resort.
+func (e *Engine) candidates(np NodePattern, hints map[string]map[string]string) []*graph.Node {
+	name, hasName := "", false
+	if np.Props != nil {
+		if v, ok := np.Props["name"]; ok && v.Kind == KindString {
+			name, hasName = v.Str, true
+		}
+	}
+	if !hasName && np.Var != "" {
+		if h, ok := hints[np.Var]; ok {
+			if v, ok := h["name"]; ok {
+				name, hasName = v, true
+			}
+		}
+	}
+	if e.opts.UseIndexes {
+		switch {
+		case hasName && np.Label != "":
+			if n := e.store.FindNode(np.Label, name); n != nil {
+				return []*graph.Node{n}
+			}
+			return nil
+		case hasName:
+			return e.store.NodesByName(name)
+		case np.Label != "":
+			return e.store.NodesByType(np.Label)
+		}
+	}
+	var out []*graph.Node
+	e.store.ForEachNode(func(n *graph.Node) bool {
+		out = append(out, n)
+		return true
+	})
+	return out
+}
+
+// nodeMatches checks label and inline property constraints.
+func (e *Engine) nodeMatches(np NodePattern, n *graph.Node, _ map[string]map[string]string) bool {
+	if np.Label != "" && n.Type != np.Label {
+		return false
+	}
+	for k, want := range np.Props {
+		got := nodeProp(n, k)
+		if !got.Equal(want) {
+			return false
+		}
+	}
+	return true
+}
+
+// --- expression evaluation ---
+
+func nodeProp(n *graph.Node, prop string) Value {
+	switch prop {
+	case "name":
+		return StringValue(n.Name)
+	case "type", "label":
+		return StringValue(n.Type)
+	case "id":
+		return NumberValue(float64(n.ID))
+	}
+	if v, ok := n.Attrs[prop]; ok {
+		return StringValue(v)
+	}
+	return NullValue()
+}
+
+func edgeProp(ed *graph.Edge, prop string) Value {
+	switch prop {
+	case "type":
+		return StringValue(ed.Type)
+	case "id":
+		return NumberValue(float64(ed.ID))
+	}
+	if v, ok := ed.Attrs[prop]; ok {
+		return StringValue(v)
+	}
+	return NullValue()
+}
+
+func evalExpr(e Expr, b binding) (Value, error) {
+	switch v := e.(type) {
+	case LitExpr:
+		return v.Val, nil
+	case VarExpr:
+		if val, ok := b[v.Name]; ok {
+			return val, nil
+		}
+		return NullValue(), fmt.Errorf("cypher: unbound variable %q", v.Name)
+	case PropExpr:
+		val, ok := b[v.Var]
+		if !ok {
+			return NullValue(), fmt.Errorf("cypher: unbound variable %q", v.Var)
+		}
+		switch val.Kind {
+		case KindNode:
+			return nodeProp(val.Node, v.Prop), nil
+		case KindEdge:
+			return edgeProp(val.Edge, v.Prop), nil
+		}
+		return NullValue(), nil
+	case NotExpr:
+		inner, err := evalExpr(v.Inner, b)
+		if err != nil {
+			return NullValue(), err
+		}
+		return BoolValue(!inner.Truthy()), nil
+	case BoolExpr:
+		l, err := evalExpr(v.Left, b)
+		if err != nil {
+			return NullValue(), err
+		}
+		if v.Op == "and" && !l.Truthy() {
+			return BoolValue(false), nil
+		}
+		if v.Op == "or" && l.Truthy() {
+			return BoolValue(true), nil
+		}
+		r, err := evalExpr(v.Right, b)
+		if err != nil {
+			return NullValue(), err
+		}
+		return BoolValue(r.Truthy()), nil
+	case CmpExpr:
+		l, err := evalExpr(v.Left, b)
+		if err != nil {
+			return NullValue(), err
+		}
+		r, err := evalExpr(v.Right, b)
+		if err != nil {
+			return NullValue(), err
+		}
+		switch v.Op {
+		case "=":
+			return BoolValue(l.Equal(r)), nil
+		case "<>":
+			if l.Kind == KindNull || r.Kind == KindNull {
+				return BoolValue(false), nil
+			}
+			return BoolValue(!l.Equal(r)), nil
+		case "<", ">", "<=", ">=":
+			c, ok := l.Compare(r)
+			if !ok {
+				return BoolValue(false), nil
+			}
+			switch v.Op {
+			case "<":
+				return BoolValue(c < 0), nil
+			case ">":
+				return BoolValue(c > 0), nil
+			case "<=":
+				return BoolValue(c <= 0), nil
+			default:
+				return BoolValue(c >= 0), nil
+			}
+		case "contains":
+			return BoolValue(l.Kind == KindString && r.Kind == KindString &&
+				strings.Contains(l.Str, r.Str)), nil
+		case "starts":
+			return BoolValue(l.Kind == KindString && r.Kind == KindString &&
+				strings.HasPrefix(l.Str, r.Str)), nil
+		case "ends":
+			return BoolValue(l.Kind == KindString && r.Kind == KindString &&
+				strings.HasSuffix(l.Str, r.Str)), nil
+		}
+		return NullValue(), fmt.Errorf("cypher: unknown comparison %q", v.Op)
+	case FuncExpr:
+		switch v.Name {
+		case "type":
+			arg, err := evalExpr(v.Arg, b)
+			if err != nil {
+				return NullValue(), err
+			}
+			if arg.Kind == KindEdge {
+				return StringValue(arg.Edge.Type), nil
+			}
+			return NullValue(), nil
+		case "id":
+			arg, err := evalExpr(v.Arg, b)
+			if err != nil {
+				return NullValue(), err
+			}
+			switch arg.Kind {
+			case KindNode:
+				return NumberValue(float64(arg.Node.ID)), nil
+			case KindEdge:
+				return NumberValue(float64(arg.Edge.ID)), nil
+			}
+			return NullValue(), nil
+		case "labels":
+			arg, err := evalExpr(v.Arg, b)
+			if err != nil {
+				return NullValue(), err
+			}
+			if arg.Kind == KindNode {
+				return StringValue(arg.Node.Type), nil
+			}
+			return NullValue(), nil
+		case "lower", "upper":
+			arg, err := evalExpr(v.Arg, b)
+			if err != nil {
+				return NullValue(), err
+			}
+			if arg.Kind != KindString {
+				return NullValue(), nil
+			}
+			if v.Name == "lower" {
+				return StringValue(strings.ToLower(arg.Str)), nil
+			}
+			return StringValue(strings.ToUpper(arg.Str)), nil
+		case "count":
+			return NullValue(), fmt.Errorf("cypher: count() outside RETURN")
+		}
+		return NullValue(), fmt.Errorf("cypher: unknown function %q", v.Name)
+	}
+	return NullValue(), fmt.Errorf("cypher: unevaluable expression %T", e)
+}
+
+func isAggregate(e Expr) bool {
+	f, ok := e.(FuncExpr)
+	return ok && f.Name == "count"
+}
+
+// --- projection, grouping, ordering ---
+
+func (e *Engine) project(q *Query, matches []binding) (*Result, error) {
+	res := &Result{}
+	hasAgg := false
+	for _, it := range q.Returns {
+		res.Columns = append(res.Columns, it.Alias)
+		if isAggregate(it.Expr) {
+			hasAgg = true
+		}
+	}
+	if hasAgg {
+		return e.projectAggregate(q, matches, res)
+	}
+	for _, b := range matches {
+		row := make([]Value, len(q.Returns))
+		for i, it := range q.Returns {
+			v, err := evalExpr(it.Expr, b)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	if q.Distinct {
+		res.Rows = distinctRows(res.Rows)
+	}
+	return res, nil
+}
+
+func (e *Engine) projectAggregate(q *Query, matches []binding, res *Result) (*Result, error) {
+	type group struct {
+		keyVals []Value
+		counts  []int
+		seen    []map[string]bool // for count(DISTINCT …) — not exposed, kept simple
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, b := range matches {
+		var keyParts []string
+		keyVals := make([]Value, len(q.Returns))
+		for i, it := range q.Returns {
+			if isAggregate(it.Expr) {
+				continue
+			}
+			v, err := evalExpr(it.Expr, b)
+			if err != nil {
+				return nil, err
+			}
+			keyVals[i] = v
+			keyParts = append(keyParts, v.key())
+		}
+		k := strings.Join(keyParts, "\x00")
+		g, ok := groups[k]
+		if !ok {
+			g = &group{keyVals: keyVals, counts: make([]int, len(q.Returns))}
+			groups[k] = g
+			order = append(order, k)
+		}
+		for i, it := range q.Returns {
+			fe, ok := it.Expr.(FuncExpr)
+			if !ok || fe.Name != "count" {
+				continue
+			}
+			if fe.Star {
+				g.counts[i]++
+				continue
+			}
+			v, err := evalExpr(fe.Arg, b)
+			if err != nil {
+				return nil, err
+			}
+			if v.Kind != KindNull {
+				g.counts[i]++
+			}
+		}
+	}
+	for _, k := range order {
+		g := groups[k]
+		row := make([]Value, len(q.Returns))
+		for i, it := range q.Returns {
+			if isAggregate(it.Expr) {
+				row[i] = NumberValue(float64(g.counts[i]))
+			} else {
+				row[i] = g.keyVals[i]
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func distinctRows(rows [][]Value) [][]Value {
+	seen := map[string]bool{}
+	out := rows[:0]
+	for _, r := range rows {
+		var parts []string
+		for _, v := range r {
+			parts = append(parts, v.key())
+		}
+		k := strings.Join(parts, "\x00")
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func (e *Engine) orderAndPage(q *Query, res *Result, _ []binding) error {
+	if len(q.OrderBy) > 0 {
+		// Resolve each key to a returned column by alias text.
+		keyCols := make([]int, len(q.OrderBy))
+		for i, k := range q.OrderBy {
+			txt := exprText(k.Expr)
+			col := -1
+			for j, c := range res.Columns {
+				if c == txt {
+					col = j
+					break
+				}
+			}
+			if col < 0 {
+				return fmt.Errorf("cypher: ORDER BY %q must reference a returned column", txt)
+			}
+			keyCols[i] = col
+		}
+		sort.SliceStable(res.Rows, func(a, b int) bool {
+			for i, col := range keyCols {
+				c, ok := res.Rows[a][col].Compare(res.Rows[b][col])
+				if !ok || c == 0 {
+					continue
+				}
+				if q.OrderBy[i].Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+	if q.Skip > 0 {
+		if q.Skip >= len(res.Rows) {
+			res.Rows = nil
+		} else {
+			res.Rows = res.Rows[q.Skip:]
+		}
+	}
+	if q.Limit >= 0 && len(res.Rows) > q.Limit {
+		res.Rows = res.Rows[:q.Limit]
+	}
+	if e.opts.MaxRows > 0 && len(res.Rows) > e.opts.MaxRows {
+		res.Rows = res.Rows[:e.opts.MaxRows]
+	}
+	return nil
+}

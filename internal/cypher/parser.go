@@ -1,0 +1,476 @@
+package cypher
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+// Parse compiles a Cypher statement into a Query.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokEOF {
+		return nil, fmt.Errorf("cypher: trailing input at %q", p.cur().text)
+	}
+	return q, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) keyword(kw string) bool {
+	t := p.cur()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	t := p.cur()
+	if t.kind != k {
+		return t, fmt.Errorf("cypher: expected %s near position %d (got %q)", what, t.pos, t.text)
+	}
+	p.i++
+	return t, nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{Limit: -1}
+	if !p.keyword("match") {
+		return nil, fmt.Errorf("cypher: query must start with MATCH")
+	}
+	for {
+		pat, err := p.parsePattern()
+		if err != nil {
+			return nil, err
+		}
+		q.Patterns = append(q.Patterns, pat)
+		if p.cur().kind == tokComma {
+			p.i++
+			continue
+		}
+		break
+	}
+	if p.keyword("where") {
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = e
+	}
+	if !p.keyword("return") {
+		return nil, fmt.Errorf("cypher: missing RETURN clause")
+	}
+	if p.keyword("distinct") {
+		q.Distinct = true
+	}
+	for {
+		item, err := p.parseReturnItem()
+		if err != nil {
+			return nil, err
+		}
+		q.Returns = append(q.Returns, item)
+		if p.cur().kind == tokComma {
+			p.i++
+			continue
+		}
+		break
+	}
+	if p.keyword("order") {
+		if !p.keyword("by") {
+			return nil, fmt.Errorf("cypher: ORDER must be followed by BY")
+		}
+		for {
+			e, err := p.parseAtom()
+			if err != nil {
+				return nil, err
+			}
+			key := OrderKey{Expr: e}
+			if p.keyword("desc") {
+				key.Desc = true
+			} else {
+				p.keyword("asc")
+			}
+			q.OrderBy = append(q.OrderBy, key)
+			if p.cur().kind == tokComma {
+				p.i++
+				continue
+			}
+			break
+		}
+	}
+	if p.keyword("skip") {
+		t, err := p.expect(tokNumber, "SKIP count")
+		if err != nil {
+			return nil, err
+		}
+		v, err := strconv.Atoi(t.text)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("cypher: bad SKIP %q", t.text)
+		}
+		q.Skip = v
+	}
+	if p.keyword("limit") {
+		t, err := p.expect(tokNumber, "LIMIT count")
+		if err != nil {
+			return nil, err
+		}
+		v, err := strconv.Atoi(t.text)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("cypher: bad LIMIT %q", t.text)
+		}
+		q.Limit = v
+	}
+	return q, nil
+}
+
+func (p *parser) parsePattern() (Pattern, error) {
+	var pat Pattern
+	n, err := p.parseNodePattern()
+	if err != nil {
+		return pat, err
+	}
+	pat.Nodes = append(pat.Nodes, n)
+	for {
+		var dir EdgeDir
+		switch p.cur().kind {
+		case tokDash:
+			p.i++
+			dir = DirAny
+		case tokArrowLeft:
+			p.i++
+			dir = DirLeft
+		default:
+			return pat, nil
+		}
+		ep := EdgePattern{Dir: dir}
+		if p.cur().kind == tokLBracket {
+			p.i++
+			if p.cur().kind == tokIdent {
+				ep.Var = p.next().text
+			}
+			if p.cur().kind == tokColon {
+				p.i++
+				t, err := p.expect(tokIdent, "relationship type")
+				if err != nil {
+					return pat, err
+				}
+				ep.Type = t.text
+			}
+			if _, err := p.expect(tokRBracket, "]"); err != nil {
+				return pat, err
+			}
+		}
+		// Closing side of the edge.
+		switch p.cur().kind {
+		case tokArrowRight:
+			if ep.Dir == DirLeft {
+				return pat, fmt.Errorf("cypher: edge with both arrow heads")
+			}
+			ep.Dir = DirRight
+			p.i++
+		case tokDash:
+			p.i++
+			// left stays left, any stays any
+		default:
+			return pat, fmt.Errorf("cypher: dangling edge pattern near %q", p.cur().text)
+		}
+		nn, err := p.parseNodePattern()
+		if err != nil {
+			return pat, err
+		}
+		pat.Edges = append(pat.Edges, ep)
+		pat.Nodes = append(pat.Nodes, nn)
+	}
+}
+
+func (p *parser) parseNodePattern() (NodePattern, error) {
+	var np NodePattern
+	if _, err := p.expect(tokLParen, "("); err != nil {
+		return np, err
+	}
+	if p.cur().kind == tokIdent {
+		np.Var = p.next().text
+	}
+	if p.cur().kind == tokColon {
+		p.i++
+		t, err := p.expect(tokIdent, "node label")
+		if err != nil {
+			return np, err
+		}
+		np.Label = t.text
+	}
+	if p.cur().kind == tokLBrace {
+		p.i++
+		np.Props = map[string]Value{}
+		for {
+			k, err := p.expect(tokIdent, "property name")
+			if err != nil {
+				return np, err
+			}
+			if _, err := p.expect(tokColon, ":"); err != nil {
+				return np, err
+			}
+			v, err := p.parseLiteral()
+			if err != nil {
+				return np, err
+			}
+			np.Props[k.text] = v
+			if p.cur().kind == tokComma {
+				p.i++
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokRBrace, "}"); err != nil {
+			return np, err
+		}
+	}
+	if _, err := p.expect(tokRParen, ")"); err != nil {
+		return np, err
+	}
+	return np, nil
+}
+
+func (p *parser) parseLiteral() (Value, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokString:
+		p.i++
+		return StringValue(t.text), nil
+	case tokNumber:
+		p.i++
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("cypher: bad number %q", t.text)
+		}
+		return NumberValue(f), nil
+	case tokIdent:
+		switch strings.ToLower(t.text) {
+		case "true":
+			p.i++
+			return BoolValue(true), nil
+		case "false":
+			p.i++
+			return BoolValue(false), nil
+		case "null":
+			p.i++
+			return NullValue(), nil
+		}
+	}
+	return Value{}, fmt.Errorf("cypher: expected literal near %q", t.text)
+}
+
+// Expression precedence: OR < AND < NOT < comparison < atom.
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("or") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = BoolExpr{Op: "or", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("and") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = BoolExpr{Op: "and", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.keyword("not") {
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return NotExpr{Inner: inner}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	left, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	switch t.kind {
+	case tokEq:
+		p.i++
+		right, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		return CmpExpr{Op: "=", Left: left, Right: right}, nil
+	case tokNeq:
+		p.i++
+		right, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		return CmpExpr{Op: "<>", Left: left, Right: right}, nil
+	case tokLt, tokGt, tokLe, tokGe:
+		p.i++
+		right, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		op := map[tokKind]string{tokLt: "<", tokGt: ">", tokLe: "<=", tokGe: ">="}[t.kind]
+		return CmpExpr{Op: op, Left: left, Right: right}, nil
+	case tokIdent:
+		switch strings.ToLower(t.text) {
+		case "contains":
+			p.i++
+			right, err := p.parseAtom()
+			if err != nil {
+				return nil, err
+			}
+			return CmpExpr{Op: "contains", Left: left, Right: right}, nil
+		case "starts":
+			p.i++
+			if !p.keyword("with") {
+				return nil, fmt.Errorf("cypher: STARTS must be followed by WITH")
+			}
+			right, err := p.parseAtom()
+			if err != nil {
+				return nil, err
+			}
+			return CmpExpr{Op: "starts", Left: left, Right: right}, nil
+		case "ends":
+			p.i++
+			if !p.keyword("with") {
+				return nil, fmt.Errorf("cypher: ENDS must be followed by WITH")
+			}
+			right, err := p.parseAtom()
+			if err != nil {
+				return nil, err
+			}
+			return CmpExpr{Op: "ends", Left: left, Right: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAtom() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokLParen:
+		p.i++
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokString, tokNumber:
+		v, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return LitExpr{Val: v}, nil
+	case tokIdent:
+		lower := strings.ToLower(t.text)
+		switch lower {
+		case "true", "false", "null":
+			v, _ := p.parseLiteral()
+			return LitExpr{Val: v}, nil
+		case "count", "type", "id", "labels", "lower", "upper":
+			// function call if followed by '('
+			if p.toks[p.i+1].kind == tokLParen {
+				p.i += 2
+				fe := FuncExpr{Name: lower}
+				if p.cur().kind == tokStar {
+					p.i++
+					fe.Star = true
+				} else {
+					arg, err := p.parseAtom()
+					if err != nil {
+						return nil, err
+					}
+					fe.Arg = arg
+				}
+				if _, err := p.expect(tokRParen, ")"); err != nil {
+					return nil, err
+				}
+				return fe, nil
+			}
+		}
+		p.i++
+		if p.cur().kind == tokDot {
+			p.i++
+			prop, err := p.expect(tokIdent, "property name")
+			if err != nil {
+				return nil, err
+			}
+			return PropExpr{Var: t.text, Prop: prop.text}, nil
+		}
+		return VarExpr{Name: t.text}, nil
+	}
+	return nil, fmt.Errorf("cypher: unexpected token %q in expression", t.text)
+}
+
+func (p *parser) parseReturnItem() (ReturnItem, error) {
+	e, err := p.parseAtom()
+	if err != nil {
+		return ReturnItem{}, err
+	}
+	item := ReturnItem{Expr: e, Alias: exprText(e)}
+	if p.keyword("as") {
+		t, err := p.expect(tokIdent, "alias")
+		if err != nil {
+			return ReturnItem{}, err
+		}
+		item.Alias = t.text
+	}
+	return item, nil
+}
+
+func exprText(e Expr) string {
+	switch v := e.(type) {
+	case VarExpr:
+		return v.Name
+	case PropExpr:
+		return v.Var + "." + v.Prop
+	case FuncExpr:
+		if v.Star {
+			return v.Name + "(*)"
+		}
+		return v.Name + "(" + exprText(v.Arg) + ")"
+	case LitExpr:
+		return v.Val.String()
+	}
+	return "expr"
+}

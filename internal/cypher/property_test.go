@@ -1,0 +1,125 @@
+package cypher
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"securitykg/internal/graph"
+)
+
+// randomStore builds a random typed graph from a seed.
+func randomStore(seed int64, n int) *graph.Store {
+	rng := rand.New(rand.NewSource(seed))
+	s := graph.New()
+	types := []string{"Malware", "IP", "Domain", "ThreatActor"}
+	rels := []string{"CONNECT", "USE", "RELATED_TO"}
+	var ids []graph.NodeID
+	for i := 0; i < n; i++ {
+		id, _ := s.MergeNode(types[rng.Intn(len(types))], fmt.Sprintf("n%d", rng.Intn(n)), nil)
+		ids = append(ids, id)
+	}
+	for i := 0; i < 2*n; i++ {
+		s.AddEdge(ids[rng.Intn(len(ids))], rels[rng.Intn(len(rels))], ids[rng.Intn(len(ids))], nil)
+	}
+	return s
+}
+
+// Property: for any random graph and a family of queries, index-based and
+// full-scan execution return the same multiset of rows.
+func TestIndexScanEquivalenceQuick(t *testing.T) {
+	queries := []string{
+		`match (n) where n.name = "n5" return n.type, n.name order by n.type`,
+		`match (n:Malware) return count(*)`,
+		`match (a:Malware)-[:CONNECT]->(b) return a.name, b.name order by a.name, b.name`,
+		`match (a {name: "n3"})-[r]-(b) return type(r), b.name order by b.name`,
+		`match (a)-[:USE]->(b:IP) return distinct a.name order by a.name`,
+	}
+	f := func(seed int64, qi uint8) bool {
+		s := randomStore(seed%1000, 40)
+		q := queries[int(qi)%len(queries)]
+		idxEng := NewEngine(s, Options{UseIndexes: true, MaxRows: 0})
+		scanEng := NewEngine(s, Options{UseIndexes: false, MaxRows: 0})
+		a, err1 := idxEng.Run(q)
+		b, err2 := scanEng.Run(q)
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		if len(a.Rows) != len(b.Rows) {
+			return false
+		}
+		for i := range a.Rows {
+			for j := range a.Rows[i] {
+				if a.Rows[i][j].String() != b.Rows[i][j].String() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LIMIT k never returns more than k rows, and SKIP s + the
+// returned rows never exceed the unpaged result.
+func TestLimitSkipBoundsQuick(t *testing.T) {
+	s := randomStore(7, 60)
+	eng := NewEngine(s, DefaultOptions())
+	f := func(k, sk uint8) bool {
+		limit := int(k%20) + 1
+		skip := int(sk % 20)
+		base, err := eng.Run(`match (n) return n.name order by n.name`)
+		if err != nil {
+			return false
+		}
+		paged, err := eng.Run(fmt.Sprintf(
+			`match (n) return n.name order by n.name skip %d limit %d`, skip, limit))
+		if err != nil {
+			return false
+		}
+		if len(paged.Rows) > limit {
+			return false
+		}
+		want := len(base.Rows) - skip
+		if want < 0 {
+			want = 0
+		}
+		if want > limit {
+			want = limit
+		}
+		return len(paged.Rows) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: count(*) equals the number of rows the same pattern returns
+// without aggregation.
+func TestCountAgreesWithRowsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		s := randomStore(seed%500, 30)
+		eng := NewEngine(s, Options{UseIndexes: true, MaxRows: 0})
+		rows, err := eng.Run(`match (a)-[:CONNECT]->(b) return a.name, b.name`)
+		if err != nil {
+			return false
+		}
+		cnt, err := eng.Run(`match (a)-[:CONNECT]->(b) return count(*)`)
+		if err != nil {
+			return false
+		}
+		if len(rows.Rows) == 0 {
+			return len(cnt.Rows) == 0 || cnt.Rows[0][0].Num == 0
+		}
+		return cnt.Rows[0][0].Num == float64(len(rows.Rows))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,164 @@
+package cypher
+
+import (
+	"fmt"
+	"strconv"
+
+	"securitykg/internal/graph"
+)
+
+// ValueKind discriminates runtime values.
+type ValueKind int
+
+const (
+	KindNull ValueKind = iota
+	KindString
+	KindNumber
+	KindBool
+	KindNode
+	KindEdge
+)
+
+// Value is one runtime value produced during query evaluation.
+type Value struct {
+	Kind ValueKind
+	Str  string
+	Num  float64
+	Bool bool
+	Node *graph.Node
+	Edge *graph.Edge
+}
+
+// NullValue returns the null value.
+func NullValue() Value { return Value{Kind: KindNull} }
+
+// StringValue wraps a string.
+func StringValue(s string) Value { return Value{Kind: KindString, Str: s} }
+
+// NumberValue wraps a float64.
+func NumberValue(f float64) Value { return Value{Kind: KindNumber, Num: f} }
+
+// BoolValue wraps a bool.
+func BoolValue(b bool) Value { return Value{Kind: KindBool, Bool: b} }
+
+// NodeValue wraps a graph node.
+func NodeValue(n *graph.Node) Value { return Value{Kind: KindNode, Node: n} }
+
+// EdgeValue wraps a graph edge.
+func EdgeValue(e *graph.Edge) Value { return Value{Kind: KindEdge, Edge: e} }
+
+// String renders a value for display.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindNull:
+		return "null"
+	case KindString:
+		return v.Str
+	case KindNumber:
+		if v.Num == float64(int64(v.Num)) {
+			return strconv.FormatInt(int64(v.Num), 10)
+		}
+		return strconv.FormatFloat(v.Num, 'g', -1, 64)
+	case KindBool:
+		return strconv.FormatBool(v.Bool)
+	case KindNode:
+		return fmt.Sprintf("(:%s {name: %q})", v.Node.Type, v.Node.Name)
+	case KindEdge:
+		return fmt.Sprintf("[:%s]", v.Edge.Type)
+	}
+	return "?"
+}
+
+// Truthy reports the boolean interpretation used by WHERE.
+func (v Value) Truthy() bool {
+	switch v.Kind {
+	case KindBool:
+		return v.Bool
+	case KindNull:
+		return false
+	case KindString:
+		return v.Str != ""
+	case KindNumber:
+		return v.Num != 0
+	}
+	return true
+}
+
+// Equal compares two values with Cypher-like semantics (null equals
+// nothing, numbers compare numerically, nodes/edges by identity).
+func (v Value) Equal(o Value) bool {
+	if v.Kind == KindNull || o.Kind == KindNull {
+		return false
+	}
+	if v.Kind != o.Kind {
+		return false
+	}
+	switch v.Kind {
+	case KindString:
+		return v.Str == o.Str
+	case KindNumber:
+		return v.Num == o.Num
+	case KindBool:
+		return v.Bool == o.Bool
+	case KindNode:
+		return v.Node.ID == o.Node.ID
+	case KindEdge:
+		return v.Edge.ID == o.Edge.ID
+	}
+	return false
+}
+
+// Compare returns -1/0/+1 for orderable values; ok=false when the pair is
+// not comparable (mixed kinds, nodes, nulls).
+func (v Value) Compare(o Value) (int, bool) {
+	if v.Kind != o.Kind {
+		return 0, false
+	}
+	switch v.Kind {
+	case KindString:
+		switch {
+		case v.Str < o.Str:
+			return -1, true
+		case v.Str > o.Str:
+			return 1, true
+		}
+		return 0, true
+	case KindNumber:
+		switch {
+		case v.Num < o.Num:
+			return -1, true
+		case v.Num > o.Num:
+			return 1, true
+		}
+		return 0, true
+	case KindBool:
+		a, b := 0, 0
+		if v.Bool {
+			a = 1
+		}
+		if o.Bool {
+			b = 1
+		}
+		return a - b, true
+	}
+	return 0, false
+}
+
+// key returns a map key identifying the value for DISTINCT/grouping.
+func (v Value) key() string {
+	switch v.Kind {
+	case KindNull:
+		return "\x00null"
+	case KindString:
+		return "s:" + v.Str
+	case KindNumber:
+		return "n:" + strconv.FormatFloat(v.Num, 'g', -1, 64)
+	case KindBool:
+		return "b:" + strconv.FormatBool(v.Bool)
+	case KindNode:
+		return "N:" + strconv.FormatInt(int64(v.Node.ID), 10)
+	case KindEdge:
+		return "E:" + strconv.FormatInt(int64(v.Edge.ID), 10)
+	}
+	return "?"
+}

@@ -1,0 +1,242 @@
+package depparse
+
+import (
+	"testing"
+
+	"securitykg/internal/ontology"
+	"securitykg/internal/textproc"
+)
+
+func annotate(s string) []textproc.Token { return textproc.Annotate(s) }
+
+func findArc(arcs []Arc, label string) (Arc, bool) {
+	for _, a := range arcs {
+		if a.Label == label {
+			return a, true
+		}
+	}
+	return Arc{}, false
+}
+
+func TestParseSubjectVerbObject(t *testing.T) {
+	toks := annotate("The malware dropped a payload")
+	arcs := Parse(toks)
+	subj, ok := findArc(arcs, "nsubj")
+	if !ok {
+		t.Fatalf("no nsubj arc: %+v", arcs)
+	}
+	if toks[subj.Dep].Text != "malware" || toks[subj.Head].Text != "dropped" {
+		t.Errorf("nsubj wrong: %s <- %s", toks[subj.Head].Text, toks[subj.Dep].Text)
+	}
+	obj, ok := findArc(arcs, "dobj")
+	if !ok {
+		t.Fatalf("no dobj arc: %+v", arcs)
+	}
+	if toks[obj.Dep].Text != "payload" {
+		t.Errorf("dobj wrong: %s", toks[obj.Dep].Text)
+	}
+}
+
+func TestParsePrepositionalObject(t *testing.T) {
+	toks := annotate("The worm connects to the server")
+	arcs := Parse(toks)
+	prep, ok := findArc(arcs, "prep")
+	if !ok {
+		t.Fatalf("no prep arc: %+v", arcs)
+	}
+	if toks[prep.Dep].Text != "to" {
+		t.Errorf("prep wrong: %s", toks[prep.Dep].Text)
+	}
+	pobj, ok := findArc(arcs, "pobj")
+	if !ok {
+		t.Fatalf("no pobj arc: %+v", arcs)
+	}
+	if toks[pobj.Dep].Text != "server" {
+		t.Errorf("pobj wrong: %s", toks[pobj.Dep].Text)
+	}
+}
+
+func TestParsePassiveWithAgent(t *testing.T) {
+	toks := annotate("The payload was dropped by the malware")
+	arcs := Parse(toks)
+	if _, ok := findArc(arcs, "nsubjpass"); !ok {
+		t.Errorf("no nsubjpass arc: %+v", arcs)
+	}
+	ag, ok := findArc(arcs, "agent")
+	if !ok {
+		t.Fatalf("no agent arc: %+v", arcs)
+	}
+	if toks[ag.Dep].Text != "malware" {
+		t.Errorf("agent wrong: %s", toks[ag.Dep].Text)
+	}
+}
+
+func TestParseSubjectNotCrossedByVerb(t *testing.T) {
+	// "researchers" is subject of "observed"; "malware" is subject of
+	// "connects" in the relative continuation.
+	toks := annotate("Researchers observed the malware and the malware connects to servers")
+	arcs := Parse(toks)
+	var nsubjs []Arc
+	for _, a := range arcs {
+		if a.Label == "nsubj" {
+			nsubjs = append(nsubjs, a)
+		}
+	}
+	if len(nsubjs) != 2 {
+		t.Fatalf("expected 2 nsubj arcs, got %+v", nsubjs)
+	}
+	if toks[nsubjs[0].Dep].Text != "Researchers" {
+		t.Errorf("first subject: %s", toks[nsubjs[0].Dep].Text)
+	}
+}
+
+func TestParseDetAmodAttachToChunkHead(t *testing.T) {
+	toks := annotate("The malicious payload executed")
+	arcs := Parse(toks)
+	det, ok := findArc(arcs, "det")
+	if !ok {
+		t.Fatalf("no det arc: %+v", arcs)
+	}
+	if toks[det.Head].Text != "payload" {
+		t.Errorf("det head: %s", toks[det.Head].Text)
+	}
+	amod, ok := findArc(arcs, "amod")
+	if !ok || toks[amod.Dep].Text != "malicious" {
+		t.Errorf("amod: %+v", amod)
+	}
+}
+
+func span(t ontology.EntityType, name string, start, end int) EntitySpan {
+	return EntitySpan{Type: t, Name: name, Start: start, End: end}
+}
+
+func TestExtractRelationsSVO(t *testing.T) {
+	// "WannaCry dropped tasksche.exe"  (0,1,2 after tokenization? verify)
+	toks := annotate("WannaCry dropped the file quickly")
+	spans := []EntitySpan{
+		span(ontology.TypeMalware, "WannaCry", 0, 1),
+		span(ontology.TypeFileName, "the file", 2, 4),
+	}
+	triples := ExtractRelations(toks, spans)
+	if len(triples) != 1 {
+		t.Fatalf("triples: %+v", triples)
+	}
+	tr := triples[0]
+	if tr.Src.Name != "WannaCry" || tr.Rel != ontology.RelDrops || tr.Verb != "drop" {
+		t.Errorf("triple wrong: %+v", tr)
+	}
+}
+
+func TestExtractRelationsPrepPath(t *testing.T) {
+	toks := annotate("Emotet connects to badhost daily")
+	spans := []EntitySpan{
+		span(ontology.TypeMalware, "Emotet", 0, 1),
+		span(ontology.TypeDomain, "badhost", 3, 4),
+	}
+	triples := ExtractRelations(toks, spans)
+	if len(triples) != 1 {
+		t.Fatalf("triples: %+v", triples)
+	}
+	if triples[0].Rel != ontology.RelConnectsTo {
+		t.Errorf("relation: %+v", triples[0])
+	}
+}
+
+func TestExtractRelationsPassive(t *testing.T) {
+	toks := annotate("The implant was deployed by Sandworm")
+	spans := []EntitySpan{
+		span(ontology.TypeTool, "implant", 0, 3),
+		span(ontology.TypeThreatActor, "Sandworm", 5, 6),
+	}
+	triples := ExtractRelations(toks, spans)
+	if len(triples) != 1 {
+		t.Fatalf("triples: %+v", triples)
+	}
+	tr := triples[0]
+	if tr.Src.Name != "Sandworm" || tr.Dst.Name != "implant" {
+		t.Errorf("passive direction wrong: %+v", tr)
+	}
+	if tr.Rel != ontology.RelUses { // deploy -> USE
+		t.Errorf("verb mapping: %+v", tr)
+	}
+}
+
+func TestExtractRelationsConjoinedObjects(t *testing.T) {
+	toks := annotate("TrickBot contacts alpha and beta")
+	spans := []EntitySpan{
+		span(ontology.TypeMalware, "TrickBot", 0, 1),
+		span(ontology.TypeDomain, "alpha", 2, 3),
+		span(ontology.TypeDomain, "beta", 4, 5),
+	}
+	triples := ExtractRelations(toks, spans)
+	if len(triples) != 2 {
+		t.Fatalf("expected 2 triples for conjunction: %+v", triples)
+	}
+}
+
+func TestExtractRelationsInadmissibleFallsBack(t *testing.T) {
+	// "encrypt" maps to ENCRYPT which requires file-ish targets; an IP
+	// target must fall back to RELATED_TO rather than emit an invalid edge.
+	toks := annotate("WannaCry encrypts 10.0.0.1")
+	spans := []EntitySpan{
+		span(ontology.TypeMalware, "WannaCry", 0, 1),
+		span(ontology.TypeIP, "10.0.0.1", 2, 3),
+	}
+	triples := ExtractRelations(toks, spans)
+	if len(triples) != 1 {
+		t.Fatalf("triples: %+v", triples)
+	}
+	if triples[0].Rel != ontology.RelRelatedTo {
+		t.Errorf("expected RELATED_TO fallback, got %s", triples[0].Rel)
+	}
+}
+
+func TestExtractRelationsNeedsTwoSpans(t *testing.T) {
+	toks := annotate("WannaCry spreads")
+	spans := []EntitySpan{span(ontology.TypeMalware, "WannaCry", 0, 1)}
+	if got := ExtractRelations(toks, spans); got != nil {
+		t.Errorf("single span produced triples: %+v", got)
+	}
+}
+
+func TestExtractRelationsNoVerbBetween(t *testing.T) {
+	toks := annotate("WannaCry NotPetya Emotet")
+	spans := []EntitySpan{
+		span(ontology.TypeMalware, "WannaCry", 0, 1),
+		span(ontology.TypeMalware, "NotPetya", 1, 2),
+	}
+	if got := ExtractRelations(toks, spans); len(got) != 0 {
+		t.Errorf("no-verb case produced triples: %+v", got)
+	}
+}
+
+func TestExtractRelationsDedupes(t *testing.T) {
+	toks := annotate("Ryuk encrypts files and encrypts files")
+	spans := []EntitySpan{
+		span(ontology.TypeMalware, "Ryuk", 0, 1),
+		span(ontology.TypeFileName, "files", 2, 3),
+		span(ontology.TypeFileName, "files", 5, 6),
+	}
+	triples := ExtractRelations(toks, spans)
+	seen := map[string]int{}
+	for _, tr := range triples {
+		seen[tr.Src.Name+string(tr.Rel)+tr.Dst.Name]++
+	}
+	for k, n := range seen {
+		if n > 1 {
+			t.Errorf("duplicate triple %s x%d", k, n)
+		}
+	}
+}
+
+func TestParseEmptyAndVerbless(t *testing.T) {
+	if arcs := Parse(nil); len(arcs) != 0 {
+		t.Errorf("empty input: %+v", arcs)
+	}
+	arcs := Parse(annotate("the quick brown fox"))
+	for _, a := range arcs {
+		if a.Label == "nsubj" || a.Label == "dobj" {
+			t.Errorf("verbless sentence has clause arcs: %+v", arcs)
+		}
+	}
+}

@@ -1,0 +1,392 @@
+// Package embed trains compact word embeddings with skip-gram negative
+// sampling (Mikolov et al., NeurIPS 2013) on the collected OSCTI corpus.
+// The paper lists word embeddings among the CRF's features; here the
+// vectors are discretized into k-means cluster ids so the CRF's sparse
+// string-feature interface can consume them ("emb_cluster=17").
+package embed
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Config controls SGNS training.
+type Config struct {
+	Dim          int     // vector dimension (default 32)
+	Window       int     // context window half-size (default 4)
+	NegSamples   int     // negatives per positive (default 5)
+	Epochs       int     // passes over the corpus (default 3)
+	LearningRate float64 // initial step (default 0.025)
+	MinCount     int     // drop words rarer than this (default 2)
+	Seed         int64   // RNG seed (default 1)
+}
+
+func (c *Config) defaults() {
+	if c.Dim <= 0 {
+		c.Dim = 32
+	}
+	if c.Window <= 0 {
+		c.Window = 4
+	}
+	if c.NegSamples <= 0 {
+		c.NegSamples = 5
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 3
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.025
+	}
+	if c.MinCount <= 0 {
+		c.MinCount = 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Embeddings holds trained word vectors.
+type Embeddings struct {
+	dim   int
+	words []string
+	idx   map[string]int
+	vecs  [][]float32
+}
+
+// Dim returns the vector dimensionality.
+func (e *Embeddings) Dim() int { return e.dim }
+
+// Len returns the vocabulary size.
+func (e *Embeddings) Len() int { return len(e.words) }
+
+// Words returns the vocabulary in index order.
+func (e *Embeddings) Words() []string {
+	out := make([]string, len(e.words))
+	copy(out, e.words)
+	return out
+}
+
+// Vector returns the embedding for a word.
+func (e *Embeddings) Vector(word string) ([]float32, bool) {
+	i, ok := e.idx[word]
+	if !ok {
+		return nil, false
+	}
+	return e.vecs[i], true
+}
+
+// Train fits embeddings on tokenized sentences.
+func Train(sentences [][]string, cfg Config) (*Embeddings, error) {
+	cfg.defaults()
+	counts := map[string]int{}
+	for _, s := range sentences {
+		for _, w := range s {
+			counts[w]++
+		}
+	}
+	var vocab []string
+	for w, c := range counts {
+		if c >= cfg.MinCount {
+			vocab = append(vocab, w)
+		}
+	}
+	if len(vocab) < 2 {
+		return nil, errors.New("embed: vocabulary too small (check MinCount)")
+	}
+	sort.Strings(vocab)
+	idx := make(map[string]int, len(vocab))
+	for i, w := range vocab {
+		idx[w] = i
+	}
+
+	// Unigram^0.75 negative-sampling table.
+	table := buildNegTable(vocab, counts, 1<<17)
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	V, D := len(vocab), cfg.Dim
+	in := make([][]float32, V)  // input vectors (the result)
+	out := make([][]float32, V) // output/context vectors
+	for i := 0; i < V; i++ {
+		in[i] = make([]float32, D)
+		out[i] = make([]float32, D)
+		for d := 0; d < D; d++ {
+			in[i][d] = (rng.Float32() - 0.5) / float32(D)
+		}
+	}
+
+	// Pre-encode sentences as vocab ids.
+	var encoded [][]int
+	for _, s := range sentences {
+		var enc []int
+		for _, w := range s {
+			if i, ok := idx[w]; ok {
+				enc = append(enc, i)
+			}
+		}
+		if len(enc) > 1 {
+			encoded = append(encoded, enc)
+		}
+	}
+	if len(encoded) == 0 {
+		return nil, errors.New("embed: no trainable sentences after vocabulary filtering")
+	}
+
+	lr := float32(cfg.LearningRate)
+	grad := make([]float32, D)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for _, sent := range encoded {
+			for pos, w := range sent {
+				win := 1 + rng.Intn(cfg.Window)
+				for off := -win; off <= win; off++ {
+					if off == 0 {
+						continue
+					}
+					cpos := pos + off
+					if cpos < 0 || cpos >= len(sent) {
+						continue
+					}
+					ctx := sent[cpos]
+					// One positive + k negative updates on (w -> ctx).
+					for d := 0; d < D; d++ {
+						grad[d] = 0
+					}
+					train1(in[w], out[ctx], 1, lr, grad)
+					for k := 0; k < cfg.NegSamples; k++ {
+						neg := table[rng.Intn(len(table))]
+						if neg == ctx {
+							continue
+						}
+						train1(in[w], out[neg], 0, lr, grad)
+					}
+					for d := 0; d < D; d++ {
+						in[w][d] += grad[d]
+					}
+				}
+			}
+		}
+		lr *= 0.7 // simple decay per epoch
+	}
+	return &Embeddings{dim: D, words: vocab, idx: idx, vecs: in}, nil
+}
+
+// train1 applies one logistic SGNS update for pair (in, out) with the given
+// binary label, accumulating the input-vector gradient into grad and
+// updating the output vector in place.
+func train1(inV, outV []float32, label float32, lr float32, grad []float32) {
+	var dot float32
+	for d := range inV {
+		dot += inV[d] * outV[d]
+	}
+	pred := float32(1 / (1 + math.Exp(-float64(dot))))
+	g := lr * (label - pred)
+	for d := range inV {
+		grad[d] += g * outV[d]
+		outV[d] += g * inV[d]
+	}
+}
+
+func buildNegTable(vocab []string, counts map[string]int, size int) []int {
+	weights := make([]float64, len(vocab))
+	var total float64
+	for i, w := range vocab {
+		weights[i] = math.Pow(float64(counts[w]), 0.75)
+		total += weights[i]
+	}
+	table := make([]int, 0, size)
+	for i := range vocab {
+		n := int(weights[i] / total * float64(size))
+		if n < 1 {
+			n = 1
+		}
+		for j := 0; j < n; j++ {
+			table = append(table, i)
+		}
+	}
+	return table
+}
+
+// Similarity returns the cosine similarity of two words' vectors, or 0
+// when either is out of vocabulary.
+func (e *Embeddings) Similarity(a, b string) float64 {
+	va, ok := e.Vector(a)
+	if !ok {
+		return 0
+	}
+	vb, ok := e.Vector(b)
+	if !ok {
+		return 0
+	}
+	return cosine(va, vb)
+}
+
+func cosine(a, b []float32) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += float64(a[i]) * float64(b[i])
+		na += float64(a[i]) * float64(a[i])
+		nb += float64(b[i]) * float64(b[i])
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// Nearest returns the k vocabulary words most similar to word (excluding
+// itself), most similar first.
+func (e *Embeddings) Nearest(word string, k int) []string {
+	v, ok := e.Vector(word)
+	if !ok {
+		return nil
+	}
+	type scored struct {
+		w string
+		s float64
+	}
+	var all []scored
+	for i, w := range e.words {
+		if w == word {
+			continue
+		}
+		all = append(all, scored{w, cosine(v, e.vecs[i])})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].s != all[j].s {
+			return all[i].s > all[j].s
+		}
+		return all[i].w < all[j].w
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].w
+	}
+	return out
+}
+
+// Clusters assigns every vocabulary word to one of k clusters via k-means
+// (deterministic for a seed). The returned map is suitable for CRF features
+// like "emb=<cluster id>".
+func (e *Embeddings) Clusters(k int, iters int, seed int64) map[string]int {
+	if k <= 0 || len(e.words) == 0 {
+		return map[string]int{}
+	}
+	if k > len(e.words) {
+		k = len(e.words)
+	}
+	if iters <= 0 {
+		iters = 15
+	}
+	rng := rand.New(rand.NewSource(seed))
+	D := e.dim
+	// k-means++ style init: random distinct points.
+	perm := rng.Perm(len(e.words))
+	centers := make([][]float64, k)
+	for c := 0; c < k; c++ {
+		centers[c] = make([]float64, D)
+		for d := 0; d < D; d++ {
+			centers[c][d] = float64(e.vecs[perm[c]][d])
+		}
+	}
+	assign := make([]int, len(e.words))
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i := range e.words {
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				var dist float64
+				for d := 0; d < D; d++ {
+					diff := float64(e.vecs[i][d]) - centers[c][d]
+					dist += diff * diff
+				}
+				if dist < bestD {
+					best, bestD = c, dist
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Recompute centers.
+		count := make([]int, k)
+		for c := range centers {
+			for d := 0; d < D; d++ {
+				centers[c][d] = 0
+			}
+		}
+		for i, c := range assign {
+			count[c]++
+			for d := 0; d < D; d++ {
+				centers[c][d] += float64(e.vecs[i][d])
+			}
+		}
+		for c := 0; c < k; c++ {
+			if count[c] == 0 {
+				continue
+			}
+			for d := 0; d < D; d++ {
+				centers[c][d] /= float64(count[c])
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	out := make(map[string]int, len(e.words))
+	for i, w := range e.words {
+		out[w] = assign[i]
+	}
+	return out
+}
+
+// --- persistence ---
+
+type persistEmb struct {
+	Magic string      `json:"magic"`
+	Dim   int         `json:"dim"`
+	Words []string    `json:"words"`
+	Vecs  [][]float32 `json:"vecs"`
+}
+
+const embMagic = "securitykg-emb-v1"
+
+// Save serializes the embeddings as JSON.
+func (e *Embeddings) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	err := json.NewEncoder(bw).Encode(persistEmb{
+		Magic: embMagic, Dim: e.dim, Words: e.words, Vecs: e.vecs,
+	})
+	if err != nil {
+		return fmt.Errorf("embed: save: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Load reads embeddings written by Save.
+func Load(r io.Reader) (*Embeddings, error) {
+	var p persistEmb
+	if err := json.NewDecoder(bufio.NewReader(r)).Decode(&p); err != nil {
+		return nil, fmt.Errorf("embed: load: %w", err)
+	}
+	if p.Magic != embMagic {
+		return nil, errors.New("embed: not a securitykg embeddings file")
+	}
+	if len(p.Words) != len(p.Vecs) {
+		return nil, errors.New("embed: corrupt embeddings file")
+	}
+	e := &Embeddings{dim: p.Dim, words: p.Words, vecs: p.Vecs,
+		idx: make(map[string]int, len(p.Words))}
+	for i, w := range p.Words {
+		e.idx[w] = i
+	}
+	return e, nil
+}

@@ -1,0 +1,166 @@
+// Package fusion implements the knowledge-fusion stage (Section 2.5): a
+// pass separate from the main storage pipeline that merges nodes which
+// refer to the same entity under different description texts (vendor
+// naming conventions, case variants), creating a unified node, migrating
+// all relation edges, and recording aliases — without risking the early
+// deletion of information that eager merging in the storage stage would.
+package fusion
+
+import (
+	"sort"
+	"strings"
+
+	"securitykg/internal/graph"
+)
+
+// Options tune the fusion pass.
+type Options struct {
+	// Types restricts fusion to the given node types (nil = all types).
+	Types []string
+	// MinGroup is the smallest alias-group size worth fusing (default 2).
+	MinGroup int
+}
+
+// Stats reports what a fusion pass did.
+type Stats struct {
+	Groups        int // alias groups found
+	NodesMerged   int // duplicate nodes folded into canonicals
+	EdgesBefore   int
+	EdgesAfter    int
+	AliasesStored int
+}
+
+// vendor naming prefixes stripped during normalization; mirrored from the
+// conventions real AV vendors use (and the synthetic generator emits).
+var aliasPrefixes = []string{
+	"w32/", "w64/", "win32/", "win64/",
+	"ransom.win32.", "ransom.win64.", "trojan.win32.", "trojan.",
+	"backdoor.", "worm.", "mal/", "ransom:",
+}
+
+// Normalize reduces an entity name to its alias-group key: lowercase,
+// vendor prefixes stripped, separators removed.
+func Normalize(name string) string {
+	n := strings.ToLower(strings.TrimSpace(name))
+	for _, p := range aliasPrefixes {
+		if strings.HasPrefix(n, p) {
+			n = strings.TrimPrefix(n, p)
+			break
+		}
+	}
+	var b strings.Builder
+	for _, r := range n {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// Fuse runs one fusion pass over the store. Within each node type, nodes
+// whose normalized names agree form an alias group; the group member with
+// the highest degree (ties: lowest ID, i.e. earliest inserted) becomes the
+// canonical node, every other member's edges migrate to it, alias names
+// are recorded in the canonical's "aliases" attribute, and the duplicates
+// are removed.
+func Fuse(s *graph.Store, opts Options) (Stats, error) {
+	if opts.MinGroup < 2 {
+		opts.MinGroup = 2
+	}
+	typeFilter := map[string]bool{}
+	for _, t := range opts.Types {
+		typeFilter[t] = true
+	}
+
+	var st Stats
+	st.EdgesBefore = s.Stats().Edges
+
+	// Group nodes by (type, normalized name).
+	groups := map[string][]*graph.Node{}
+	s.ForEachNode(func(n *graph.Node) bool {
+		if len(typeFilter) > 0 && !typeFilter[n.Type] {
+			return true
+		}
+		key := n.Type + "\x00" + Normalize(n.Name)
+		if Normalize(n.Name) == "" {
+			return true
+		}
+		groups[key] = append(groups[key], n)
+		return true
+	})
+
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	for _, k := range keys {
+		members := groups[k]
+		if len(members) < opts.MinGroup {
+			continue
+		}
+		st.Groups++
+		// Pick the canonical: highest degree, then lowest ID.
+		best := members[0]
+		bestDeg := len(s.Edges(best.ID, graph.Both))
+		for _, m := range members[1:] {
+			deg := len(s.Edges(m.ID, graph.Both))
+			if deg > bestDeg || (deg == bestDeg && m.ID < best.ID) {
+				best, bestDeg = m, deg
+			}
+		}
+		aliases := collectAliases(s, best)
+		for _, m := range members {
+			if m.ID == best.ID {
+				continue
+			}
+			if err := s.MigrateEdges(m.ID, best.ID); err != nil {
+				return st, err
+			}
+			// Unify attributes: keep canonical's values, adopt new keys.
+			for ak, av := range m.Attrs {
+				if cur := s.Node(best.ID); cur != nil {
+					if _, has := cur.Attrs[ak]; !has {
+						if err := s.SetAttr(best.ID, ak, av); err != nil {
+							return st, err
+						}
+					}
+				}
+			}
+			if m.Name != best.Name {
+				aliases[m.Name] = true
+			}
+			if err := s.DeleteNode(m.ID); err != nil {
+				return st, err
+			}
+			st.NodesMerged++
+		}
+		if len(aliases) > 0 {
+			names := make([]string, 0, len(aliases))
+			for a := range aliases {
+				names = append(names, a)
+			}
+			sort.Strings(names)
+			if err := s.SetAttr(best.ID, "aliases", strings.Join(names, "|")); err != nil {
+				return st, err
+			}
+			st.AliasesStored += len(names)
+		}
+	}
+	st.EdgesAfter = s.Stats().Edges
+	return st, nil
+}
+
+func collectAliases(s *graph.Store, n *graph.Node) map[string]bool {
+	out := map[string]bool{}
+	if cur := s.Node(n.ID); cur != nil {
+		if prev, ok := cur.Attrs["aliases"]; ok && prev != "" {
+			for _, a := range strings.Split(prev, "|") {
+				out[a] = true
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package gazetteer
+
+import "testing"
+
+func TestListsNonEmptyAndDistinct(t *testing.T) {
+	lists := map[string][]string{
+		"actors": ThreatActors(), "techniques": Techniques(),
+		"tools": Tools(), "malware": Malware(), "families": MalwareFamilies(),
+		"platforms": Platforms(), "software": Software(), "vendors": Vendors(),
+	}
+	for name, l := range lists {
+		if len(l) < 10 {
+			t.Errorf("list %s too small: %d", name, len(l))
+		}
+		seen := map[string]bool{}
+		for _, x := range l {
+			if seen[Normalize(x)] {
+				t.Errorf("list %s has duplicate %q", name, x)
+			}
+			seen[Normalize(x)] = true
+		}
+	}
+}
+
+func TestListsReturnCopies(t *testing.T) {
+	a := Malware()
+	a[0] = "MUTATED"
+	if Malware()[0] == "MUTATED" {
+		t.Error("Malware() exposes internal slice")
+	}
+}
+
+func TestLookupMatching(t *testing.T) {
+	l := NewLookup()
+	cases := []struct {
+		phrase string
+		class  Class
+	}{
+		{"WannaCry", ClassMalware},
+		{"wannacry", ClassMalware},
+		{"Lazarus Group", ClassActor},
+		{"lazarus   group", ClassActor},
+		{"credential dumping", ClassTechnique},
+		{"Mimikatz", ClassTool},
+		{"Microsoft Exchange", ClassSoftware},
+		{"Windows", ClassPlatform},
+		{"Kaspersky", ClassVendor},
+		{"ransomware", ClassFamily},
+	}
+	for _, c := range cases {
+		got, ok := l.Match(c.phrase)
+		if !ok || got != c.class {
+			t.Errorf("Match(%q) = %v,%v want %v", c.phrase, got, ok, c.class)
+		}
+	}
+	if _, ok := l.Match("definitely not curated"); ok {
+		t.Error("matched uncurated phrase")
+	}
+}
+
+func TestLookupMatchTokens(t *testing.T) {
+	l := NewLookup()
+	toks := []string{"the", "lazarus", "group", "used", "mimikatz"}
+	if c, ok := l.MatchTokens(toks, 1, 2); !ok || c != ClassActor {
+		t.Errorf("MatchTokens span: %v %v", c, ok)
+	}
+	if c, ok := l.MatchTokens(toks, 4, 1); !ok || c != ClassTool {
+		t.Errorf("single token: %v %v", c, ok)
+	}
+	if _, ok := l.MatchTokens(toks, 4, 3); ok {
+		t.Error("out-of-range span matched")
+	}
+	if _, ok := l.MatchTokens(toks, -1, 1); ok {
+		t.Error("negative index matched")
+	}
+}
+
+func TestLookupMaxPhraseLen(t *testing.T) {
+	l := NewLookup()
+	if l.MaxPhraseLen() < 3 {
+		t.Errorf("max phrase len %d, expected >= 3 (e.g. multi-word techniques)", l.MaxPhraseLen())
+	}
+	if l.Size() < 200 {
+		t.Errorf("lookup too small: %d phrases", l.Size())
+	}
+}
+
+func TestClassesStable(t *testing.T) {
+	cs := Classes()
+	if len(cs) != 8 {
+		t.Fatalf("expected 8 classes, got %d", len(cs))
+	}
+	if cs[0] != ClassMalware || cs[7] != ClassVendor {
+		t.Errorf("class order changed: %v", cs)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	if Normalize("  Lazarus   GROUP ") != "lazarus group" {
+		t.Errorf("normalize failed: %q", Normalize("  Lazarus   GROUP "))
+	}
+}

@@ -1,0 +1,706 @@
+// Package graph implements the embedded property-graph store that plays the
+// role Neo4j plays in the paper: typed nodes with key-value attributes,
+// typed directed edges, label and property indexes, exact-text merge
+// semantics at insertion time (Section 2.5), JSON persistence, and the
+// traversal primitives the Cypher engine, the fusion stage, and the
+// exploration API are built on.
+package graph
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// NodeID identifies a node. IDs are never reused within a store's lifetime.
+type NodeID int64
+
+// EdgeID identifies an edge.
+type EdgeID int64
+
+// Node is one graph node. Type is the ontology entity type (stored as a
+// string so the store stays schema-agnostic), Name is the description text
+// whose exact equality drives storage-time merging.
+type Node struct {
+	ID    NodeID            `json:"id"`
+	Type  string            `json:"type"`
+	Name  string            `json:"name"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// Edge is one directed, typed edge.
+type Edge struct {
+	ID    EdgeID            `json:"id"`
+	Type  string            `json:"type"`
+	From  NodeID            `json:"from"`
+	To    NodeID            `json:"to"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// Direction selects edge orientation for traversals.
+type Direction int
+
+const (
+	Out Direction = iota
+	In
+	Both
+)
+
+// Store is an in-memory property graph safe for concurrent use.
+type Store struct {
+	mu sync.RWMutex
+
+	nodes map[NodeID]*Node
+	edges map[EdgeID]*Edge
+	out   map[NodeID][]EdgeID
+	in    map[NodeID][]EdgeID
+
+	byKey   map[string]NodeID              // exact (type, name) merge index
+	byType  map[string]map[NodeID]struct{} // label index
+	byName  map[string]map[NodeID]struct{} // name index across types
+	propIdx map[string]map[string]map[NodeID]struct{}
+	indexed map[string]bool // which attribute keys are indexed
+	edgeKey map[string]EdgeID
+
+	nextNode NodeID
+	nextEdge EdgeID
+
+	mergeHits int64 // how many MergeNode calls matched an existing node
+}
+
+// New creates an empty store with a property index on "name" semantics
+// already provided by the dedicated name index. Additional attribute
+// indexes can be requested with IndexAttr.
+func New() *Store {
+	return &Store{
+		nodes:   make(map[NodeID]*Node),
+		edges:   make(map[EdgeID]*Edge),
+		out:     make(map[NodeID][]EdgeID),
+		in:      make(map[NodeID][]EdgeID),
+		byKey:   make(map[string]NodeID),
+		byType:  make(map[string]map[NodeID]struct{}),
+		byName:  make(map[string]map[NodeID]struct{}),
+		propIdx: make(map[string]map[string]map[NodeID]struct{}),
+		indexed: make(map[string]bool),
+		edgeKey: make(map[string]EdgeID),
+	}
+}
+
+func nodeKey(typ, name string) string { return typ + "\x00" + name }
+
+func edgeKeyOf(from NodeID, typ string, to NodeID) string {
+	return fmt.Sprintf("%d\x00%s\x00%d", from, typ, to)
+}
+
+// IndexAttr enables an index on the given attribute key. Existing nodes
+// are back-filled.
+func (s *Store) IndexAttr(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.indexed[key] {
+		return
+	}
+	s.indexed[key] = true
+	s.propIdx[key] = make(map[string]map[NodeID]struct{})
+	for id, n := range s.nodes {
+		if v, ok := n.Attrs[key]; ok {
+			s.propIdxAdd(key, v, id)
+		}
+	}
+}
+
+func (s *Store) propIdxAdd(key, val string, id NodeID) {
+	m := s.propIdx[key]
+	set, ok := m[val]
+	if !ok {
+		set = make(map[NodeID]struct{})
+		m[val] = set
+	}
+	set[id] = struct{}{}
+}
+
+func (s *Store) propIdxDel(key, val string, id NodeID) {
+	if set, ok := s.propIdx[key][val]; ok {
+		delete(set, id)
+		if len(set) == 0 {
+			delete(s.propIdx[key], val)
+		}
+	}
+}
+
+// MergeNode inserts a node or returns the existing node with exactly the
+// same (type, name), implementing the paper's storage-time merge rule:
+// "we only merge nodes with exactly the same description text". Attributes
+// of an existing node are augmented (new keys added, existing keys kept —
+// first writer wins, preventing early deletion of information).
+func (s *Store) MergeNode(typ, name string, attrs map[string]string) (NodeID, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := nodeKey(typ, name)
+	if id, ok := s.byKey[key]; ok {
+		s.mergeHits++
+		n := s.nodes[id]
+		for k, v := range attrs {
+			if _, exists := n.Attrs[k]; !exists {
+				if n.Attrs == nil {
+					n.Attrs = make(map[string]string)
+				}
+				n.Attrs[k] = v
+				if s.indexed[k] {
+					s.propIdxAdd(k, v, id)
+				}
+			}
+		}
+		return id, false
+	}
+	s.nextNode++
+	id := s.nextNode
+	n := &Node{ID: id, Type: typ, Name: name}
+	if len(attrs) > 0 {
+		n.Attrs = make(map[string]string, len(attrs))
+		for k, v := range attrs {
+			n.Attrs[k] = v
+			if s.indexed[k] {
+				s.propIdxAdd(k, v, id)
+			}
+		}
+	}
+	s.nodes[id] = n
+	s.byKey[key] = id
+	if s.byType[typ] == nil {
+		s.byType[typ] = make(map[NodeID]struct{})
+	}
+	s.byType[typ][id] = struct{}{}
+	if s.byName[name] == nil {
+		s.byName[name] = make(map[NodeID]struct{})
+	}
+	s.byName[name][id] = struct{}{}
+	return id, true
+}
+
+// AddEdge inserts a directed edge, deduplicating identical (from, type, to)
+// triples: re-adding merges attributes like MergeNode. Returns the edge ID
+// and whether a new edge was created.
+func (s *Store) AddEdge(from NodeID, typ string, to NodeID, attrs map[string]string) (EdgeID, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.nodes[from]; !ok {
+		return 0, false, fmt.Errorf("graph: AddEdge: unknown source node %d", from)
+	}
+	if _, ok := s.nodes[to]; !ok {
+		return 0, false, fmt.Errorf("graph: AddEdge: unknown target node %d", to)
+	}
+	ek := edgeKeyOf(from, typ, to)
+	if id, ok := s.edgeKey[ek]; ok {
+		e := s.edges[id]
+		for k, v := range attrs {
+			if _, exists := e.Attrs[k]; !exists {
+				if e.Attrs == nil {
+					e.Attrs = make(map[string]string)
+				}
+				e.Attrs[k] = v
+			}
+		}
+		return id, false, nil
+	}
+	s.nextEdge++
+	id := s.nextEdge
+	e := &Edge{ID: id, Type: typ, From: from, To: to}
+	if len(attrs) > 0 {
+		e.Attrs = make(map[string]string, len(attrs))
+		for k, v := range attrs {
+			e.Attrs[k] = v
+		}
+	}
+	s.edges[id] = e
+	s.edgeKey[ek] = id
+	s.out[from] = append(s.out[from], id)
+	s.in[to] = append(s.in[to], id)
+	return id, true, nil
+}
+
+// Node returns a copy of the node (nil if absent). Copies keep callers from
+// mutating indexed state behind the store's back.
+func (s *Store) Node(id NodeID) *Node {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n, ok := s.nodes[id]
+	if !ok {
+		return nil
+	}
+	return copyNode(n)
+}
+
+func copyNode(n *Node) *Node {
+	c := *n
+	if n.Attrs != nil {
+		c.Attrs = make(map[string]string, len(n.Attrs))
+		for k, v := range n.Attrs {
+			c.Attrs[k] = v
+		}
+	}
+	return &c
+}
+
+func copyEdge(e *Edge) *Edge {
+	c := *e
+	if e.Attrs != nil {
+		c.Attrs = make(map[string]string, len(e.Attrs))
+		for k, v := range e.Attrs {
+			c.Attrs[k] = v
+		}
+	}
+	return &c
+}
+
+// Edge returns a copy of the edge (nil if absent).
+func (s *Store) Edge(id EdgeID) *Edge {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.edges[id]
+	if !ok {
+		return nil
+	}
+	return copyEdge(e)
+}
+
+// FindNode returns the node with the exact (type, name), or nil.
+func (s *Store) FindNode(typ, name string) *Node {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if id, ok := s.byKey[nodeKey(typ, name)]; ok {
+		return copyNode(s.nodes[id])
+	}
+	return nil
+}
+
+// NodesByName returns all nodes whose Name equals name (any type), sorted
+// by ID.
+func (s *Store) NodesByName(name string) []*Node {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.collect(s.byName[name])
+}
+
+// NodesByType returns all nodes with the given type, sorted by ID.
+func (s *Store) NodesByType(typ string) []*Node {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.collect(s.byType[typ])
+}
+
+// NodesByAttr returns nodes with attrs[key] == val. If the attribute is
+// indexed the lookup is O(result); otherwise it scans.
+func (s *Store) NodesByAttr(key, val string) []*Node {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.indexed[key] {
+		return s.collect(s.propIdx[key][val])
+	}
+	var out []*Node
+	for _, n := range s.nodes {
+		if n.Attrs[key] == val {
+			out = append(out, copyNode(n))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func (s *Store) collect(set map[NodeID]struct{}) []*Node {
+	out := make([]*Node, 0, len(set))
+	for id := range set {
+		out = append(out, copyNode(s.nodes[id]))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Edges returns the edges incident to id in the given direction, sorted by
+// edge ID.
+func (s *Store) Edges(id NodeID, dir Direction) []*Edge {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var ids []EdgeID
+	switch dir {
+	case Out:
+		ids = s.out[id]
+	case In:
+		ids = s.in[id]
+	case Both:
+		ids = append(append([]EdgeID{}, s.out[id]...), s.in[id]...)
+	}
+	out := make([]*Edge, 0, len(ids))
+	for _, eid := range ids {
+		out = append(out, copyEdge(s.edges[eid]))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Neighbors returns the distinct nodes adjacent to id in the given
+// direction, sorted by ID.
+func (s *Store) Neighbors(id NodeID, dir Direction) []*Node {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seen := make(map[NodeID]struct{})
+	add := func(nid NodeID) { seen[nid] = struct{}{} }
+	if dir == Out || dir == Both {
+		for _, eid := range s.out[id] {
+			add(s.edges[eid].To)
+		}
+	}
+	if dir == In || dir == Both {
+		for _, eid := range s.in[id] {
+			add(s.edges[eid].From)
+		}
+	}
+	return s.collect(seen)
+}
+
+// SetAttr sets one attribute on a node, updating indexes.
+func (s *Store) SetAttr(id NodeID, key, val string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.nodes[id]
+	if !ok {
+		return fmt.Errorf("graph: SetAttr: unknown node %d", id)
+	}
+	if old, had := n.Attrs[key]; had && s.indexed[key] {
+		s.propIdxDel(key, old, id)
+	}
+	if n.Attrs == nil {
+		n.Attrs = make(map[string]string)
+	}
+	n.Attrs[key] = val
+	if s.indexed[key] {
+		s.propIdxAdd(key, val, id)
+	}
+	return nil
+}
+
+// DeleteNode removes a node and all incident edges.
+func (s *Store) DeleteNode(id NodeID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.nodes[id]
+	if !ok {
+		return fmt.Errorf("graph: DeleteNode: unknown node %d", id)
+	}
+	for _, eid := range append(append([]EdgeID{}, s.out[id]...), s.in[id]...) {
+		s.deleteEdgeLocked(eid)
+	}
+	delete(s.byKey, nodeKey(n.Type, n.Name))
+	delete(s.byType[n.Type], id)
+	delete(s.byName[n.Name], id)
+	for k, v := range n.Attrs {
+		if s.indexed[k] {
+			s.propIdxDel(k, v, id)
+		}
+	}
+	delete(s.nodes, id)
+	delete(s.out, id)
+	delete(s.in, id)
+	return nil
+}
+
+// DeleteEdge removes one edge.
+func (s *Store) DeleteEdge(id EdgeID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.edges[id]; !ok {
+		return fmt.Errorf("graph: DeleteEdge: unknown edge %d", id)
+	}
+	s.deleteEdgeLocked(id)
+	return nil
+}
+
+func (s *Store) deleteEdgeLocked(id EdgeID) {
+	e, ok := s.edges[id]
+	if !ok {
+		return
+	}
+	delete(s.edgeKey, edgeKeyOf(e.From, e.Type, e.To))
+	s.out[e.From] = removeEdgeID(s.out[e.From], id)
+	s.in[e.To] = removeEdgeID(s.in[e.To], id)
+	delete(s.edges, id)
+}
+
+func removeEdgeID(ids []EdgeID, id EdgeID) []EdgeID {
+	for i, x := range ids {
+		if x == id {
+			return append(ids[:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}
+
+// MigrateEdges re-points every edge incident to from so it is incident to
+// to instead, preserving edge types and attributes and deduplicating
+// against existing edges of to. Self-loops created by the migration are
+// dropped. Used by the knowledge-fusion stage.
+func (s *Store) MigrateEdges(from, to NodeID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.nodes[from]; !ok {
+		return fmt.Errorf("graph: MigrateEdges: unknown node %d", from)
+	}
+	if _, ok := s.nodes[to]; !ok {
+		return fmt.Errorf("graph: MigrateEdges: unknown node %d", to)
+	}
+	outs := append([]EdgeID{}, s.out[from]...)
+	ins := append([]EdgeID{}, s.in[from]...)
+	for _, eid := range outs {
+		e := s.edges[eid]
+		typ, dst, attrs := e.Type, e.To, e.Attrs
+		s.deleteEdgeLocked(eid)
+		if dst == to || dst == from {
+			continue
+		}
+		s.addEdgeLocked(to, typ, dst, attrs)
+	}
+	for _, eid := range ins {
+		e, ok := s.edges[eid]
+		if !ok {
+			continue // already removed as an out-edge self pair
+		}
+		typ, src, attrs := e.Type, e.From, e.Attrs
+		s.deleteEdgeLocked(eid)
+		if src == to || src == from {
+			continue
+		}
+		s.addEdgeLocked(src, typ, to, attrs)
+	}
+	return nil
+}
+
+func (s *Store) addEdgeLocked(from NodeID, typ string, to NodeID, attrs map[string]string) {
+	ek := edgeKeyOf(from, typ, to)
+	if id, ok := s.edgeKey[ek]; ok {
+		e := s.edges[id]
+		for k, v := range attrs {
+			if _, exists := e.Attrs[k]; !exists {
+				if e.Attrs == nil {
+					e.Attrs = make(map[string]string)
+				}
+				e.Attrs[k] = v
+			}
+		}
+		return
+	}
+	s.nextEdge++
+	id := s.nextEdge
+	e := &Edge{ID: id, Type: typ, From: from, To: to}
+	if len(attrs) > 0 {
+		e.Attrs = make(map[string]string, len(attrs))
+		for k, v := range attrs {
+			e.Attrs[k] = v
+		}
+	}
+	s.edges[id] = e
+	s.edgeKey[ek] = id
+	s.out[from] = append(s.out[from], id)
+	s.in[to] = append(s.in[to], id)
+}
+
+// ForEachNode calls fn for every node; iteration stops if fn returns false.
+// The callback receives a copy.
+func (s *Store) ForEachNode(fn func(*Node) bool) {
+	s.mu.RLock()
+	ids := make([]NodeID, 0, len(s.nodes))
+	for id := range s.nodes {
+		ids = append(ids, id)
+	}
+	s.mu.RUnlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		n := s.Node(id)
+		if n == nil {
+			continue
+		}
+		if !fn(n) {
+			return
+		}
+	}
+}
+
+// ForEachEdge calls fn for every edge; iteration stops if fn returns false.
+func (s *Store) ForEachEdge(fn func(*Edge) bool) {
+	s.mu.RLock()
+	ids := make([]EdgeID, 0, len(s.edges))
+	for id := range s.edges {
+		ids = append(ids, id)
+	}
+	s.mu.RUnlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		e := s.Edge(id)
+		if e == nil {
+			continue
+		}
+		if !fn(e) {
+			return
+		}
+	}
+}
+
+// Stats summarizes store contents.
+type Stats struct {
+	Nodes       int            `json:"nodes"`
+	Edges       int            `json:"edges"`
+	NodesByType map[string]int `json:"nodes_by_type"`
+	EdgesByType map[string]int `json:"edges_by_type"`
+	MergeHits   int64          `json:"merge_hits"`
+}
+
+// Stats returns counts by type plus the number of storage-time merges.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{
+		Nodes:       len(s.nodes),
+		Edges:       len(s.edges),
+		NodesByType: make(map[string]int),
+		EdgesByType: make(map[string]int),
+		MergeHits:   s.mergeHits,
+	}
+	for _, n := range s.nodes {
+		st.NodesByType[n.Type]++
+	}
+	for _, e := range s.edges {
+		st.EdgesByType[e.Type]++
+	}
+	return st
+}
+
+// --- persistence ---
+
+type persistHeader struct {
+	Magic    string `json:"magic"`
+	Version  int    `json:"version"`
+	NextNode NodeID `json:"next_node"`
+	NextEdge EdgeID `json:"next_edge"`
+	Nodes    int    `json:"nodes"`
+	Edges    int    `json:"edges"`
+}
+
+const persistMagic = "securitykg-graph"
+
+// Save writes the graph as JSON lines: a header record, then one record
+// per node, then one per edge. The format is stable and diff-friendly.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	hdr := persistHeader{
+		Magic: persistMagic, Version: 1,
+		NextNode: s.nextNode, NextEdge: s.nextEdge,
+		Nodes: len(s.nodes), Edges: len(s.edges),
+	}
+	if err := enc.Encode(hdr); err != nil {
+		return fmt.Errorf("graph: save header: %w", err)
+	}
+	nids := make([]NodeID, 0, len(s.nodes))
+	for id := range s.nodes {
+		nids = append(nids, id)
+	}
+	sort.Slice(nids, func(i, j int) bool { return nids[i] < nids[j] })
+	for _, id := range nids {
+		if err := enc.Encode(s.nodes[id]); err != nil {
+			return fmt.Errorf("graph: save node %d: %w", id, err)
+		}
+	}
+	eids := make([]EdgeID, 0, len(s.edges))
+	for id := range s.edges {
+		eids = append(eids, id)
+	}
+	sort.Slice(eids, func(i, j int) bool { return eids[i] < eids[j] })
+	for _, id := range eids {
+		if err := enc.Encode(s.edges[id]); err != nil {
+			return fmt.Errorf("graph: save edge %d: %w", id, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a graph previously written by Save into an empty store.
+func Load(r io.Reader) (*Store, error) {
+	s := New()
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var hdr persistHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("graph: load header: %w", err)
+	}
+	if hdr.Magic != persistMagic {
+		return nil, errors.New("graph: not a securitykg graph file")
+	}
+	if hdr.Version != 1 {
+		return nil, fmt.Errorf("graph: unsupported version %d", hdr.Version)
+	}
+	for i := 0; i < hdr.Nodes; i++ {
+		var n Node
+		if err := dec.Decode(&n); err != nil {
+			return nil, fmt.Errorf("graph: load node %d/%d: %w", i, hdr.Nodes, err)
+		}
+		nc := n
+		s.nodes[n.ID] = &nc
+		s.byKey[nodeKey(n.Type, n.Name)] = n.ID
+		if s.byType[n.Type] == nil {
+			s.byType[n.Type] = make(map[NodeID]struct{})
+		}
+		s.byType[n.Type][n.ID] = struct{}{}
+		if s.byName[n.Name] == nil {
+			s.byName[n.Name] = make(map[NodeID]struct{})
+		}
+		s.byName[n.Name][n.ID] = struct{}{}
+	}
+	for i := 0; i < hdr.Edges; i++ {
+		var e Edge
+		if err := dec.Decode(&e); err != nil {
+			return nil, fmt.Errorf("graph: load edge %d/%d: %w", i, hdr.Edges, err)
+		}
+		ec := e
+		s.edges[e.ID] = &ec
+		s.edgeKey[edgeKeyOf(e.From, e.Type, e.To)] = e.ID
+		s.out[e.From] = append(s.out[e.From], e.ID)
+		s.in[e.To] = append(s.in[e.To], e.ID)
+	}
+	s.nextNode = hdr.NextNode
+	s.nextEdge = hdr.NextEdge
+	return s, nil
+}
+
+// SaveFile persists the graph to path atomically (write temp + rename).
+func (s *Store) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("graph: save file: %w", err)
+	}
+	if err := s.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("graph: close: %w", err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads a graph from path.
+func LoadFile(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("graph: load file: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,199 @@
+// Package ioc recognizes low-level Indicators of Compromise in raw text and
+// implements the paper's "IOC protection" trick: before generic NLP modules
+// run, every IOC span is replaced by a plain placeholder word so that
+// tokenization and sentence segmentation see well-formed tokens; the spans
+// are restored afterwards.
+//
+// Recognized kinds mirror the ontology's IOC entity types: IPv4 addresses,
+// URLs, email addresses, domain names, Windows registry keys, file paths,
+// file names, and MD5/SHA-1/SHA-256 hashes, plus CVE identifiers (mapped to
+// Vulnerability entities downstream). Defanged forms (hxxp://, 1.2.3[.]4,
+// evil[at]example.com) are refanged before matching.
+package ioc
+
+import (
+	"regexp"
+	"sort"
+	"strings"
+
+	"securitykg/internal/ontology"
+)
+
+// Kind names an IOC category.
+type Kind string
+
+const (
+	KindIP       Kind = "ip"
+	KindURL      Kind = "url"
+	KindEmail    Kind = "email"
+	KindDomain   Kind = "domain"
+	KindRegistry Kind = "registry"
+	KindFilePath Kind = "filepath"
+	KindFileName Kind = "filename"
+	KindHash     Kind = "hash"
+	KindCVE      Kind = "cve"
+)
+
+// Kinds lists every IOC kind in priority order (most specific first).
+func Kinds() []Kind {
+	return []Kind{KindURL, KindEmail, KindCVE, KindRegistry, KindHash,
+		KindIP, KindFilePath, KindFileName, KindDomain}
+}
+
+// EntityType maps an IOC kind to its ontology entity type.
+func (k Kind) EntityType() ontology.EntityType {
+	switch k {
+	case KindIP:
+		return ontology.TypeIP
+	case KindURL:
+		return ontology.TypeURL
+	case KindEmail:
+		return ontology.TypeEmail
+	case KindDomain:
+		return ontology.TypeDomain
+	case KindRegistry:
+		return ontology.TypeRegistry
+	case KindFilePath:
+		return ontology.TypeFilePath
+	case KindFileName:
+		return ontology.TypeFileName
+	case KindHash:
+		return ontology.TypeHash
+	case KindCVE:
+		return ontology.TypeVulnerability
+	}
+	return ontology.TypeHash
+}
+
+// Match is one recognized IOC occurrence.
+type Match struct {
+	Kind  Kind
+	Value string // canonical (refanged, punctuation-trimmed) value
+	Start int    // byte offset in the refanged text
+	End   int
+}
+
+// Refang normalizes common defanging conventions so IOCs match:
+// hxxp -> http, [.] ( .) {.} [dot] -> ., [at] -> @, [:] -> :.
+func Refang(s string) string {
+	r := strings.NewReplacer(
+		"hxxps://", "https://",
+		"hxxp://", "http://",
+		"hXXps://", "https://",
+		"hXXp://", "http://",
+		"[.]", ".", "(.)", ".", "{.}", ".", "[dot]", ".", "(dot)", ".",
+		"[at]", "@", "(at)", "@", "[@]", "@",
+		"[:]", ":", "[://]", "://",
+	)
+	return r.Replace(s)
+}
+
+var (
+	reURL      = regexp.MustCompile(`\bhttps?://[A-Za-z0-9.\-]+(?::\d{1,5})?(?:/[A-Za-z0-9._~:/?#\[\]@!$&'()*+,;=%\-]*)?`)
+	reEmail    = regexp.MustCompile(`\b[A-Za-z0-9._%+\-]+@[A-Za-z0-9.\-]+\.[A-Za-z]{2,}\b`)
+	reIP       = regexp.MustCompile(`\b(?:(?:25[0-5]|2[0-4]\d|1\d\d|[1-9]?\d)\.){3}(?:25[0-5]|2[0-4]\d|1\d\d|[1-9]?\d)\b`)
+	reHash     = regexp.MustCompile(`\b[a-fA-F0-9]{64}\b|\b[a-fA-F0-9]{40}\b|\b[a-fA-F0-9]{32}\b`)
+	reCVE      = regexp.MustCompile(`\bCVE-\d{4}-\d{4,7}\b`)
+	reRegistry = regexp.MustCompile(`\b(?:HKEY_LOCAL_MACHINE|HKEY_CURRENT_USER|HKEY_CLASSES_ROOT|HKEY_USERS|HKLM|HKCU|HKCR|HKU)\\[A-Za-z0-9_\\\.{}\-]+`)
+	reWinPath  = regexp.MustCompile(`\b[A-Za-z]:\\(?:[A-Za-z0-9_. ${}%\-]+\\)*[A-Za-z0-9_.${}%\-]+`)
+	reUnixPath = regexp.MustCompile(`(?:^|[\s"'(])(/(?:usr|etc|tmp|var|home|opt|bin|sbin|lib|dev|proc|root)(?:/[A-Za-z0-9_.\-]+)+)`)
+	reFileName = regexp.MustCompile(`\b[A-Za-z0-9_\-]{1,64}\.(?:exe|dll|bat|ps1|vbs|js|jar|doc|docx|docm|xls|xlsx|xlsm|ppt|pptx|pdf|zip|rar|7z|tmp|dat|bin|sys|scr|lnk|hta|iso|img|py|sh|elf|apk|dmg|msi|cab|rtf|chm|wsf|cmd)\b`)
+	reDomain   = regexp.MustCompile(`\b(?:[a-zA-Z0-9](?:[a-zA-Z0-9\-]{0,61}[a-zA-Z0-9])?\.)+(?:com|net|org|info|biz|ru|cn|io|co|uk|de|fr|xyz|top|onion|su|tk|ml|ga|cf|gq|pw|cc|ws|me|site|online|club|live|store|tech|space|fun|icu)\b`)
+)
+
+type matcher struct {
+	kind Kind
+	re   *regexp.Regexp
+	grp  int // capture group index holding the value (0 = whole match)
+}
+
+// matchers in priority order: more specific kinds first so overlap
+// resolution keeps the most informative reading (URL over domain, email
+// over domain, registry key over file path, ...).
+var matchers = []matcher{
+	{KindURL, reURL, 0},
+	{KindEmail, reEmail, 0},
+	{KindCVE, reCVE, 0},
+	{KindRegistry, reRegistry, 0},
+	{KindHash, reHash, 0},
+	{KindIP, reIP, 0},
+	{KindFilePath, reWinPath, 0},
+	{KindFilePath, reUnixPath, 1},
+	{KindFileName, reFileName, 0},
+	{KindDomain, reDomain, 0},
+}
+
+// Scan finds all IOCs in text after refanging. Overlapping matches are
+// resolved by matcher priority, then by length (longest wins), then by
+// position. The returned offsets refer to the refanged text, which Scan
+// also returns so callers can index into it.
+func Scan(text string) ([]Match, string) {
+	rf := Refang(text)
+	type cand struct {
+		m    Match
+		prio int
+	}
+	var cands []cand
+	for p, mt := range matchers {
+		for _, loc := range mt.re.FindAllStringSubmatchIndex(rf, -1) {
+			s, e := loc[2*mt.grp], loc[2*mt.grp+1]
+			if s < 0 || e <= s {
+				continue
+			}
+			val := rf[s:e]
+			for len(val) > 0 && strings.ContainsRune(".,;:)]}>'\"", rune(val[len(val)-1])) {
+				val = val[:len(val)-1]
+				e--
+			}
+			if val == "" {
+				continue
+			}
+			cands = append(cands, cand{Match{Kind: mt.kind, Value: val, Start: s, End: e}, p})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.prio != b.prio {
+			return a.prio < b.prio
+		}
+		al, bl := a.m.End-a.m.Start, b.m.End-b.m.Start
+		if al != bl {
+			return al > bl
+		}
+		return a.m.Start < b.m.Start
+	})
+	taken := make([]bool, len(rf))
+	free := func(s, e int) bool {
+		for i := s; i < e; i++ {
+			if taken[i] {
+				return false
+			}
+		}
+		return true
+	}
+	var out []Match
+	for _, c := range cands {
+		if !free(c.m.Start, c.m.End) {
+			continue
+		}
+		for i := c.m.Start; i < c.m.End; i++ {
+			taken[i] = true
+		}
+		out = append(out, c.m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out, rf
+}
+
+// HashAlgo guesses the algorithm of a hex hash value by length.
+func HashAlgo(h string) string {
+	switch len(h) {
+	case 32:
+		return "md5"
+	case 40:
+		return "sha1"
+	case 64:
+		return "sha256"
+	}
+	return "unknown"
+}

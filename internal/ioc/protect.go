@@ -1,0 +1,75 @@
+package ioc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Protection records the IOC spans replaced by placeholder words so the
+// original values can be restored after tokenization-based processing —
+// the "IOC protection" method of the paper (Section 2.4).
+type Protection struct {
+	// Protected is the text with every IOC replaced by a placeholder word.
+	Protected string
+	// Placeholders maps placeholder word -> the IOC match it replaced.
+	Placeholders map[string]Match
+	// order preserves left-to-right placeholder sequence.
+	order []string
+}
+
+// placeholderWord builds the natural-language-looking replacement token.
+// Underscore keeps it a single token through tokenization, and the stable
+// prefix makes restored lookup exact.
+func placeholderWord(i int) string { return fmt.Sprintf("iocterm_%04d", i) }
+
+// Protect scans text for IOCs and replaces each with a placeholder word.
+// It returns the protection record; the original (refanged) text is
+// recoverable via Restore.
+func Protect(text string) *Protection {
+	matches, rf := Scan(text)
+	p := &Protection{Placeholders: make(map[string]Match, len(matches))}
+	var b strings.Builder
+	b.Grow(len(rf))
+	prev := 0
+	for i, m := range matches {
+		b.WriteString(rf[prev:m.Start])
+		ph := placeholderWord(i)
+		b.WriteString(ph)
+		p.Placeholders[ph] = m
+		p.order = append(p.order, ph)
+		prev = m.End
+	}
+	b.WriteString(rf[prev:])
+	p.Protected = b.String()
+	return p
+}
+
+// IsPlaceholder reports whether the token is one of this protection's
+// placeholder words, returning the underlying IOC match if so.
+func (p *Protection) IsPlaceholder(token string) (Match, bool) {
+	m, ok := p.Placeholders[token]
+	return m, ok
+}
+
+// Matches returns the protected IOC matches in text order.
+func (p *Protection) Matches() []Match {
+	out := make([]Match, 0, len(p.order))
+	for _, ph := range p.order {
+		out = append(out, p.Placeholders[ph])
+	}
+	return out
+}
+
+// Restore replaces placeholder words in s with their original IOC values.
+// s may be any text derived from Protected (for example a detokenized
+// sentence); every placeholder occurrence is substituted.
+func (p *Protection) Restore(s string) string {
+	if len(p.order) == 0 {
+		return s
+	}
+	pairs := make([]string, 0, 2*len(p.order))
+	for _, ph := range p.order {
+		pairs = append(pairs, ph, p.Placeholders[ph].Value)
+	}
+	return strings.NewReplacer(pairs...).Replace(s)
+}

@@ -1,0 +1,266 @@
+// Package labelmodel implements data programming (Ratner et al., NeurIPS
+// 2016) as SecurityKG uses it: labeling functions vote on candidate items
+// (token spans), a generative label model estimates each function's
+// accuracy without ground truth via EM, and the resulting probabilistic
+// labels become the CRF's training annotations.
+//
+// Votes use the convention: -1 abstain, 0..K-1 class index.
+package labelmodel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Abstain is the vote value meaning "no opinion".
+const Abstain = -1
+
+// Matrix is the label matrix: one row per item, one column per labeling
+// function; entries are class votes or Abstain.
+type Matrix [][]int
+
+// Validate checks matrix shape and vote ranges for k classes.
+func (m Matrix) Validate(k int) error {
+	if k < 2 {
+		return errors.New("labelmodel: need at least 2 classes")
+	}
+	if len(m) == 0 {
+		return errors.New("labelmodel: empty label matrix")
+	}
+	cols := len(m[0])
+	if cols == 0 {
+		return errors.New("labelmodel: no labeling functions")
+	}
+	for i, row := range m {
+		if len(row) != cols {
+			return fmt.Errorf("labelmodel: row %d has %d votes, want %d", i, len(row), cols)
+		}
+		for j, v := range row {
+			if v < Abstain || v >= k {
+				return fmt.Errorf("labelmodel: row %d lf %d vote %d out of range", i, j, v)
+			}
+		}
+	}
+	return nil
+}
+
+// MajorityVote returns the per-item posterior implied by simple majority
+// voting over non-abstaining functions: probability mass proportional to
+// vote counts, uniform when every function abstains.
+func MajorityVote(m Matrix, k int) ([][]float64, error) {
+	if err := m.Validate(k); err != nil {
+		return nil, err
+	}
+	out := make([][]float64, len(m))
+	for i, row := range m {
+		dist := make([]float64, k)
+		total := 0
+		for _, v := range row {
+			if v >= 0 {
+				dist[v]++
+				total++
+			}
+		}
+		if total == 0 {
+			for c := range dist {
+				dist[c] = 1 / float64(k)
+			}
+		} else {
+			for c := range dist {
+				dist[c] /= float64(total)
+			}
+		}
+		out[i] = dist
+	}
+	return out, nil
+}
+
+// Model is the fitted generative label model: per-function accuracy and
+// propensity plus class priors.
+type Model struct {
+	K          int
+	Accuracy   []float64 // P(vote = y | vote != abstain), per function
+	Propensity []float64 // P(vote != abstain), per function
+	Prior      []float64 // class prior
+}
+
+// FitConfig controls EM.
+type FitConfig struct {
+	Iters  int     // EM iterations (default 25)
+	Smooth float64 // additive smoothing for M-step counts (default 1.0)
+	MinAcc float64 // accuracy floor to keep functions informative (default 0.05)
+	MaxAcc float64 // accuracy ceiling to avoid degenerate certainty (default 0.995)
+	// ClassBalance, when non-nil, fixes the class prior instead of learning
+	// it. Length must equal k and entries must sum to ~1. Fixing the
+	// balance is essential when one class dominates (e.g. the O tag in
+	// token labeling): a learned prior otherwise drowns out minority-class
+	// votes and EM collapses.
+	ClassBalance []float64
+}
+
+func (c *FitConfig) defaults() {
+	if c.Iters <= 0 {
+		c.Iters = 25
+	}
+	if c.Smooth <= 0 {
+		c.Smooth = 1.0
+	}
+	if c.MinAcc <= 0 {
+		c.MinAcc = 0.05
+	}
+	if c.MaxAcc <= 0 || c.MaxAcc >= 1 {
+		c.MaxAcc = 0.995
+	}
+}
+
+// Fit estimates function accuracies and class priors by EM, initialized
+// from majority vote. The model assumes functions err uniformly across
+// wrong classes (the standard conditionally-independent formulation).
+func Fit(m Matrix, k int, cfg FitConfig) (*Model, error) {
+	if err := m.Validate(k); err != nil {
+		return nil, err
+	}
+	cfg.defaults()
+	if cfg.ClassBalance != nil && len(cfg.ClassBalance) != k {
+		return nil, fmt.Errorf("labelmodel: class balance has %d entries, want %d",
+			len(cfg.ClassBalance), k)
+	}
+	nLF := len(m[0])
+	model := &Model{
+		K:          k,
+		Accuracy:   make([]float64, nLF),
+		Propensity: make([]float64, nLF),
+		Prior:      make([]float64, k),
+	}
+	// Init from majority vote posteriors.
+	post, _ := MajorityVote(m, k)
+	for j := 0; j < nLF; j++ {
+		model.Accuracy[j] = 0.7
+	}
+	for iter := 0; iter < cfg.Iters; iter++ {
+		// M-step from current posteriors.
+		accNum := make([]float64, nLF)
+		accDen := make([]float64, nLF)
+		propNum := make([]float64, nLF)
+		prior := make([]float64, k)
+		for i, row := range m {
+			for c := 0; c < k; c++ {
+				prior[c] += post[i][c]
+			}
+			for j, v := range row {
+				if v == Abstain {
+					continue
+				}
+				propNum[j]++
+				accDen[j]++
+				accNum[j] += post[i][v] // prob the vote was correct
+			}
+		}
+		n := float64(len(m))
+		for j := 0; j < nLF; j++ {
+			model.Propensity[j] = propNum[j] / n
+			a := (accNum[j] + cfg.Smooth*0.7) / (accDen[j] + cfg.Smooth)
+			model.Accuracy[j] = clamp(a, cfg.MinAcc, cfg.MaxAcc)
+		}
+		if cfg.ClassBalance != nil {
+			copy(model.Prior, cfg.ClassBalance)
+		} else {
+			var priorSum float64
+			for c := 0; c < k; c++ {
+				prior[c] += cfg.Smooth
+				priorSum += prior[c]
+			}
+			for c := 0; c < k; c++ {
+				model.Prior[c] = prior[c] / priorSum
+			}
+		}
+		// E-step: recompute posteriors under new parameters.
+		for i, row := range m {
+			post[i] = model.Posterior(row)
+		}
+	}
+	return model, nil
+}
+
+// Posterior returns P(y | votes) under the fitted model.
+func (mo *Model) Posterior(votes []int) []float64 {
+	k := mo.K
+	logp := make([]float64, k)
+	for c := 0; c < k; c++ {
+		logp[c] = math.Log(mo.Prior[c] + 1e-12)
+	}
+	for j, v := range votes {
+		if v == Abstain || j >= len(mo.Accuracy) {
+			continue
+		}
+		acc := mo.Accuracy[j]
+		wrong := (1 - acc) / float64(k-1)
+		for c := 0; c < k; c++ {
+			if c == v {
+				logp[c] += math.Log(acc + 1e-12)
+			} else {
+				logp[c] += math.Log(wrong + 1e-12)
+			}
+		}
+	}
+	// Normalize.
+	max := math.Inf(-1)
+	for _, lp := range logp {
+		if lp > max {
+			max = lp
+		}
+	}
+	var sum float64
+	out := make([]float64, k)
+	for c, lp := range logp {
+		out[c] = math.Exp(lp - max)
+		sum += out[c]
+	}
+	for c := range out {
+		out[c] /= sum
+	}
+	return out
+}
+
+// MAP returns the most probable class for the votes, with ok=false when
+// every function abstained (no signal).
+func (mo *Model) MAP(votes []int) (int, bool) {
+	any := false
+	for _, v := range votes {
+		if v != Abstain {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return 0, false
+	}
+	post := mo.Posterior(votes)
+	best, bestP := 0, -1.0
+	for c, p := range post {
+		if p > bestP {
+			best, bestP = c, p
+		}
+	}
+	return best, true
+}
+
+// ProbLabels applies the model to every row of the matrix.
+func (mo *Model) ProbLabels(m Matrix) [][]float64 {
+	out := make([][]float64, len(m))
+	for i, row := range m {
+		out[i] = mo.Posterior(row)
+	}
+	return out
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

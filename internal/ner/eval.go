@@ -1,0 +1,112 @@
+package ner
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"securitykg/internal/ontology"
+)
+
+// Metrics is a precision/recall/F1 summary, overall and per entity type.
+type Metrics struct {
+	Precision  float64
+	Recall     float64
+	F1         float64
+	TP, FP, FN int
+	PerType    map[ontology.EntityType]TypeMetrics
+}
+
+// TypeMetrics is the per-type breakdown.
+type TypeMetrics struct {
+	Precision  float64
+	Recall     float64
+	F1         float64
+	TP, FP, FN int
+}
+
+func f1(p, r float64) float64 {
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+func entKey(e Entity) string {
+	return string(e.Type) + "\x00" + strings.ToLower(strings.TrimSpace(e.Name))
+}
+
+// Evaluate scores predicted entity sets against gold entity sets, document
+// by document, matching on (type, case-insensitive name).
+func Evaluate(pred, gold [][]Entity) (Metrics, error) {
+	if len(pred) != len(gold) {
+		return Metrics{}, fmt.Errorf("ner: evaluate: %d predictions vs %d gold documents",
+			len(pred), len(gold))
+	}
+	m := Metrics{PerType: make(map[ontology.EntityType]TypeMetrics)}
+	bump := func(t ontology.EntityType, tp, fp, fn int) {
+		tm := m.PerType[t]
+		tm.TP += tp
+		tm.FP += fp
+		tm.FN += fn
+		m.PerType[t] = tm
+	}
+	for d := range gold {
+		goldSet := make(map[string]ontology.EntityType)
+		for _, g := range gold[d] {
+			goldSet[entKey(g)] = g.Type
+		}
+		predSet := make(map[string]ontology.EntityType)
+		for _, p := range pred[d] {
+			predSet[entKey(p)] = p.Type
+		}
+		for k, t := range predSet {
+			if _, ok := goldSet[k]; ok {
+				m.TP++
+				bump(t, 1, 0, 0)
+			} else {
+				m.FP++
+				bump(t, 0, 1, 0)
+			}
+		}
+		for k, t := range goldSet {
+			if _, ok := predSet[k]; !ok {
+				m.FN++
+				bump(t, 0, 0, 1)
+			}
+		}
+	}
+	finish := func(tp, fp, fn int) (p, r, f float64) {
+		if tp+fp > 0 {
+			p = float64(tp) / float64(tp+fp)
+		}
+		if tp+fn > 0 {
+			r = float64(tp) / float64(tp+fn)
+		}
+		return p, r, f1(p, r)
+	}
+	m.Precision, m.Recall, m.F1 = finish(m.TP, m.FP, m.FN)
+	for t, tm := range m.PerType {
+		tm.Precision, tm.Recall, tm.F1 = finish(tm.TP, tm.FP, tm.FN)
+		m.PerType[t] = tm
+	}
+	return m, nil
+}
+
+// String renders the metrics as an aligned table.
+func (m Metrics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "overall P=%.3f R=%.3f F1=%.3f (tp=%d fp=%d fn=%d)\n",
+		m.Precision, m.Recall, m.F1, m.TP, m.FP, m.FN)
+	types := make([]ontology.EntityType, 0, len(m.PerType))
+	for t := range m.PerType {
+		types = append(types, t)
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+	for _, t := range types {
+		tm := m.PerType[t]
+		fmt.Fprintf(&b, "  %-20s P=%.3f R=%.3f F1=%.3f (tp=%d fp=%d fn=%d)\n",
+			t, tm.Precision, tm.Recall, tm.F1, tm.TP, tm.FP, tm.FN)
+	}
+	return b.String()
+}

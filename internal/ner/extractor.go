@@ -1,0 +1,211 @@
+package ner
+
+import (
+	"fmt"
+	"strings"
+
+	"securitykg/internal/crf"
+	"securitykg/internal/gazetteer"
+	"securitykg/internal/ioc"
+	"securitykg/internal/ontology"
+	"securitykg/internal/textproc"
+)
+
+// Entity is one recognized entity occurrence in a text.
+type Entity struct {
+	Type   ontology.EntityType `json:"type"`
+	Name   string              `json:"name"`
+	Source string              `json:"source"` // "crf", "ioc", or "gazetteer"
+}
+
+// Extractor is the trained NER pipeline: IOC protection + gazetteer
+// features + CRF decoding, with IOC regex recognition alongside.
+type Extractor struct {
+	model    *crf.Model
+	lookup   *gazetteer.Lookup
+	clusters map[string]int
+}
+
+// TrainOptions configure NER training.
+type TrainOptions struct {
+	Strategy LabelingStrategy // default StrategyLabelModel
+	Epochs   int              // CRF epochs (default 6)
+	Clusters map[string]int   // optional embedding cluster feature map
+	Seed     int64
+}
+
+// Train builds an extractor from raw unlabeled report texts using data
+// programming: labeling functions synthesize token labels, then a CRF is
+// trained on the synthesized corpus. This reproduces the paper's pipeline:
+// no manual annotations are consumed.
+func Train(texts []string, opts TrainOptions) (*Extractor, error) {
+	if opts.Strategy == "" {
+		opts.Strategy = StrategyLabelModel
+	}
+	if opts.Epochs <= 0 {
+		opts.Epochs = 6
+	}
+	lookup := gazetteer.NewLookup()
+	var sents []sentenceTokens
+	var docRanges [][2]int // [start, end) sentence indices per document
+	for _, text := range texts {
+		prot := ioc.Protect(text)
+		start := len(sents)
+		for _, s := range textproc.SplitSentences(prot.Protected) {
+			st := prepareSentence(s.Text, prot, lookup)
+			if len(st.toks) > 0 {
+				sents = append(sents, st)
+			}
+		}
+		if len(sents) > start {
+			docRanges = append(docRanges, [2]int{start, len(sents)})
+		}
+	}
+	if len(sents) == 0 {
+		return nil, fmt.Errorf("ner: no sentences in training corpus")
+	}
+	labels, err := synthesizeLabels(sents, opts.Strategy)
+	if err != nil {
+		return nil, fmt.Errorf("ner: label synthesis: %w", err)
+	}
+	// Document-level consistency: an entity mention labeled in one
+	// sentence (typically beside a contextual cue) labels identical
+	// tokens across the whole document, so the CRF sees the entity in
+	// ordinary subject positions too.
+	for _, dr := range docRanges {
+		propagateDocLabels(sents[dr[0]:dr[1]], labels[dr[0]:dr[1]])
+	}
+	seqs := make([]crf.Sequence, 0, len(sents))
+	for si := range sents {
+		seqs = append(seqs, crf.Sequence{
+			Features: sents[si].featureMatrix(opts.Clusters),
+			Labels:   toBIO(labels[si]),
+		})
+	}
+	model, err := crf.Train(seqs, crf.TrainConfig{Epochs: opts.Epochs, Seed: opts.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("ner: crf training: %w", err)
+	}
+	return &Extractor{model: model, lookup: lookup, clusters: opts.Clusters}, nil
+}
+
+// NewFromModel wraps a pre-trained CRF model into an extractor.
+func NewFromModel(m *crf.Model, clusters map[string]int) *Extractor {
+	return &Extractor{model: m, lookup: gazetteer.NewLookup(), clusters: clusters}
+}
+
+// Model exposes the underlying CRF for persistence.
+func (e *Extractor) Model() *crf.Model { return e.model }
+
+// Extract recognizes entities in text: IOCs via the scanner (exact, typed)
+// and higher-level entities via the CRF over IOC-protected text.
+func (e *Extractor) Extract(text string) []Entity {
+	prot := ioc.Protect(text)
+	out := iocEntities(prot)
+	for _, s := range textproc.SplitSentences(prot.Protected) {
+		st := prepareSentence(s.Text, prot, e.lookup)
+		if len(st.toks) == 0 {
+			continue
+		}
+		tags := e.model.Decode(st.featureMatrix(e.clusters))
+		out = append(out, spansFromBIO(st.toks, tags, prot, "crf")...)
+	}
+	return dedupeEntities(out)
+}
+
+// iocEntities converts protected IOC matches into typed entities.
+func iocEntities(prot *ioc.Protection) []Entity {
+	var out []Entity
+	for _, m := range prot.Matches() {
+		out = append(out, Entity{
+			Type:   m.Kind.EntityType(),
+			Name:   m.Value,
+			Source: "ioc",
+		})
+	}
+	return out
+}
+
+// spansFromBIO converts a BIO tag sequence over tokens into entities,
+// restoring any IOC placeholders inside span text.
+func spansFromBIO(toks []textproc.Token, tags []string, prot *ioc.Protection, source string) []Entity {
+	var out []Entity
+	i := 0
+	for i < len(tags) {
+		tag := tags[i]
+		if !strings.HasPrefix(tag, "B-") {
+			i++
+			continue
+		}
+		cls := gazetteer.Class(tag[2:])
+		j := i + 1
+		for j < len(tags) && tags[j] == "I-"+string(cls) {
+			j++
+		}
+		et, ok := EntityTypeOf(cls)
+		if ok {
+			words := make([]string, 0, j-i)
+			for k := i; k < j; k++ {
+				words = append(words, toks[k].Text)
+			}
+			name := strings.Join(words, " ")
+			if prot != nil {
+				name = prot.Restore(name)
+			}
+			out = append(out, Entity{Type: et, Name: name, Source: source})
+		}
+		i = j
+	}
+	return out
+}
+
+func dedupeEntities(es []Entity) []Entity {
+	seen := make(map[string]bool, len(es))
+	out := es[:0]
+	for _, e := range es {
+		k := string(e.Type) + "\x00" + strings.ToLower(e.Name)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Baseline is the naive regex/gazetteer entity recognizer the paper
+// compares against: exact curated-list matching plus IOC regexes. It has
+// no ability to generalize to entities outside the lists.
+type Baseline struct {
+	lookup *gazetteer.Lookup
+}
+
+// NewBaseline builds the baseline recognizer.
+func NewBaseline() *Baseline { return &Baseline{lookup: gazetteer.NewLookup()} }
+
+// Extract recognizes only curated names and IOC patterns.
+func (b *Baseline) Extract(text string) []Entity {
+	prot := ioc.Protect(text)
+	out := iocEntities(prot)
+	for _, s := range textproc.SplitSentences(prot.Protected) {
+		st := prepareSentence(s.Text, prot, b.lookup)
+		for i := 0; i < len(st.toks); i++ {
+			if !st.gazBegin[i] {
+				continue
+			}
+			cls := st.gazClass[i]
+			j := i + 1
+			for j < len(st.toks) && st.gazClass[j] == cls && !st.gazBegin[j] {
+				j++
+			}
+			if et, ok := EntityTypeOf(cls); ok {
+				words := make([]string, 0, j-i)
+				for k := i; k < j; k++ {
+					words = append(words, st.toks[k].Text)
+				}
+				out = append(out, Entity{Type: et, Name: strings.Join(words, " "), Source: "gazetteer"})
+			}
+			i = j - 1
+		}
+	}
+	return dedupeEntities(out)
+}

@@ -1,0 +1,190 @@
+// Package ner implements SecurityKG's security-related entity recognition:
+// IOC protection, gazetteer matching, data-programming label synthesis, a
+// CRF sequence model with lemma/POS/shape/embedding-cluster features, and
+// a regex+gazetteer baseline for comparison (the paper claims the CRF
+// outperforms the naive baseline and generalizes to unseen entities).
+package ner
+
+import (
+	"fmt"
+	"strings"
+
+	"securitykg/internal/gazetteer"
+	"securitykg/internal/ioc"
+	"securitykg/internal/ontology"
+	"securitykg/internal/textproc"
+)
+
+// classes are the CRF entity classes in vote-index order; index 0 is O.
+var classes = append([]gazetteer.Class{"O"}, gazetteer.Classes()...)
+
+// classIndex returns the vote index of a class.
+func classIndex(c gazetteer.Class) int {
+	for i, x := range classes {
+		if x == c {
+			return i
+		}
+	}
+	return 0
+}
+
+// EntityTypeOf maps a gazetteer/CRF class to its ontology entity type.
+func EntityTypeOf(c gazetteer.Class) (ontology.EntityType, bool) {
+	switch c {
+	case gazetteer.ClassMalware:
+		return ontology.TypeMalware, true
+	case gazetteer.ClassFamily:
+		return ontology.TypeMalwareFamily, true
+	case gazetteer.ClassActor:
+		return ontology.TypeThreatActor, true
+	case gazetteer.ClassTechnique:
+		return ontology.TypeTechnique, true
+	case gazetteer.ClassTool:
+		return ontology.TypeTool, true
+	case gazetteer.ClassSoftware:
+		return ontology.TypeSoftware, true
+	case gazetteer.ClassPlatform:
+		return ontology.TypeMalwarePlatform, true
+	case gazetteer.ClassVendor:
+		return ontology.TypeCTIVendor, true
+	}
+	return "", false
+}
+
+// classOf maps an ontology entity type back to its CRF class.
+func classOf(t ontology.EntityType) (gazetteer.Class, bool) {
+	for _, c := range gazetteer.Classes() {
+		if et, ok := EntityTypeOf(c); ok && et == t {
+			return c, true
+		}
+	}
+	return "", false
+}
+
+// sentenceTokens is one preprocessed sentence: annotated tokens plus
+// per-token gazetteer span info.
+type sentenceTokens struct {
+	toks []textproc.Token
+	// gazClass[i] is the class of the gazetteer span covering token i
+	// ("" when uncovered); gazBegin[i] marks span starts.
+	gazClass []gazetteer.Class
+	gazBegin []bool
+	// placeholder[i] is true when the token is an IOC placeholder.
+	placeholder []bool
+}
+
+// prepareSentence annotates and gazetteer-tags the tokens of one protected
+// sentence.
+func prepareSentence(text string, prot *ioc.Protection, lookup *gazetteer.Lookup) sentenceTokens {
+	toks := textproc.Annotate(text)
+	st := sentenceTokens{
+		toks:        toks,
+		gazClass:    make([]gazetteer.Class, len(toks)),
+		gazBegin:    make([]bool, len(toks)),
+		placeholder: make([]bool, len(toks)),
+	}
+	lower := make([]string, len(toks))
+	for i, t := range toks {
+		lower[i] = strings.ToLower(t.Text)
+		if prot != nil {
+			if _, ok := prot.IsPlaceholder(t.Text); ok {
+				st.placeholder[i] = true
+			}
+		}
+	}
+	// Longest-match gazetteer tagging.
+	maxLen := lookup.MaxPhraseLen()
+	for i := 0; i < len(toks); {
+		matched := 0
+		var mclass gazetteer.Class
+		for n := maxLen; n >= 1; n-- {
+			if c, ok := lookup.MatchTokens(lower, i, n); ok {
+				matched, mclass = n, c
+				break
+			}
+		}
+		if matched == 0 {
+			i++
+			continue
+		}
+		st.gazBegin[i] = true
+		for k := 0; k < matched; k++ {
+			st.gazClass[i+k] = mclass
+		}
+		i += matched
+	}
+	return st
+}
+
+// features computes the sparse CRF feature strings for token i of the
+// sentence, optionally adding embedding cluster features.
+func (st *sentenceTokens) features(i int, clusters map[string]int) []string {
+	t := st.toks[i]
+	lw := strings.ToLower(t.Text)
+	fs := make([]string, 0, 24)
+	fs = append(fs,
+		"bias",
+		"w="+lw,
+		"lemma="+t.Lemma,
+		"pos="+t.POS,
+		"shape="+t.Shape,
+	)
+	if n := len(lw); n >= 3 {
+		fs = append(fs, "pre3="+lw[:3], "suf3="+lw[n-3:])
+	}
+	if i == 0 {
+		fs = append(fs, "first")
+	}
+	if t.Text != "" && t.Text[0] >= 'A' && t.Text[0] <= 'Z' {
+		fs = append(fs, "cap")
+		if strings.ToUpper(t.Text) == t.Text && len(t.Text) > 1 {
+			fs = append(fs, "allcaps")
+		}
+	}
+	if strings.ContainsAny(lw, "0123456789") {
+		fs = append(fs, "hasdigit")
+	}
+	if st.placeholder[i] {
+		fs = append(fs, "iocplaceholder")
+	}
+	if c := st.gazClass[i]; c != "" {
+		fs = append(fs, "gaz="+string(c))
+		if st.gazBegin[i] {
+			fs = append(fs, "gazB="+string(c))
+		}
+	}
+	if clusters != nil {
+		if cl, ok := clusters[lw]; ok {
+			fs = append(fs, fmt.Sprintf("emb=%d", cl))
+		}
+	}
+	// Context window.
+	if i > 0 {
+		p := st.toks[i-1]
+		fs = append(fs, "-1w="+strings.ToLower(p.Text), "-1pos="+p.POS, "-1lemma="+p.Lemma)
+	} else {
+		fs = append(fs, "-1w=<s>")
+	}
+	if i > 1 {
+		fs = append(fs, "-2pos="+st.toks[i-2].POS, "-2lemma="+st.toks[i-2].Lemma)
+	}
+	if i+1 < len(st.toks) {
+		n := st.toks[i+1]
+		fs = append(fs, "+1w="+strings.ToLower(n.Text), "+1pos="+n.POS, "+1lemma="+n.Lemma)
+	} else {
+		fs = append(fs, "+1w=</s>")
+	}
+	if i+2 < len(st.toks) {
+		fs = append(fs, "+2pos="+st.toks[i+2].POS, "+2lemma="+st.toks[i+2].Lemma)
+	}
+	return fs
+}
+
+// featureMatrix computes features for every token of the sentence.
+func (st *sentenceTokens) featureMatrix(clusters map[string]int) [][]string {
+	out := make([][]string, len(st.toks))
+	for i := range st.toks {
+		out[i] = st.features(i, clusters)
+	}
+	return out
+}

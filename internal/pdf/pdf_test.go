@@ -1,0 +1,136 @@
+package pdf
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateProducesValidHeaderAndTrailer(t *testing.T) {
+	b := Generate("Title Here", []string{"Body paragraph one.", "Second paragraph."})
+	if !IsPDF(b) {
+		t.Fatal("missing %PDF header")
+	}
+	s := string(b)
+	for _, marker := range []string{"xref", "trailer", "startxref", "%%EOF", "/Type /Catalog", "/Type /Page"} {
+		if !strings.Contains(s, marker) {
+			t.Errorf("missing %q", marker)
+		}
+	}
+}
+
+func TestRoundTripSimpleText(t *testing.T) {
+	paras := []string{
+		"The WannaCry ransomware encrypts files.",
+		"It connects to 10.1.2.3 for command and control.",
+	}
+	b := Generate("WannaCry Report", paras)
+	text, err := ExtractText(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "WannaCry Report") {
+		t.Errorf("title lost: %q", text)
+	}
+	for _, p := range paras {
+		for _, word := range strings.Fields(p) {
+			if !strings.Contains(text, word) {
+				t.Errorf("word %q lost in round trip", word)
+			}
+		}
+	}
+}
+
+func TestRoundTripEscapedCharacters(t *testing.T) {
+	paras := []string{`Path (quoted) with \backslash and (nested (parens))`}
+	b := Generate("", paras)
+	text, err := ExtractText(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"(quoted)", `\backslash`, "(nested (parens))"} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("escaped fragment %q lost: %q", frag, text)
+		}
+	}
+}
+
+func TestMultiPageGeneration(t *testing.T) {
+	var paras []string
+	for i := 0; i < 80; i++ {
+		paras = append(paras, "This is a sufficiently long paragraph used to force pagination across pages of the document.")
+	}
+	b := Generate("Long Report", paras)
+	s := string(b)
+	if strings.Count(s, "/Type /Page ") < 2 {
+		t.Errorf("expected multiple pages, got %d", strings.Count(s, "/Type /Page "))
+	}
+	text, err := ExtractText(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(text, "pagination") != 80 {
+		t.Errorf("lost paragraphs across pages: %d/80", strings.Count(text, "pagination"))
+	}
+}
+
+func TestLineWrapping(t *testing.T) {
+	long := strings.Repeat("word ", 60)
+	b := Generate("", []string{long})
+	text, err := ExtractText(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(text, "word") != 60 {
+		t.Errorf("wrapping lost words: %d", strings.Count(text, "word"))
+	}
+}
+
+func TestExtractRejectsNonPDF(t *testing.T) {
+	if _, err := ExtractText([]byte("<html>not a pdf</html>")); err == nil {
+		t.Error("non-PDF accepted")
+	}
+	if IsPDF([]byte("PK\x03\x04")) {
+		t.Error("zip magic detected as PDF")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	b := Generate("", nil)
+	if !IsPDF(b) {
+		t.Fatal("empty doc should still be a valid PDF")
+	}
+	if _, err := ExtractText(b); err != nil {
+		t.Errorf("empty doc extract: %v", err)
+	}
+}
+
+// Property: every alphanumeric word survives the write/extract round trip.
+func TestRoundTripQuick(t *testing.T) {
+	words := []string{"malware", "ransomware", "connects", "10.0.0.1",
+		"payload.exe", "CVE-2021-1234", "registry", "persistence"}
+	f := func(idx []uint8) bool {
+		if len(idx) == 0 {
+			return true
+		}
+		var sb strings.Builder
+		for _, i := range idx {
+			sb.WriteString(words[int(i)%len(words)])
+			sb.WriteByte(' ')
+		}
+		para := strings.TrimSpace(sb.String())
+		text, err := ExtractText(Generate("T", []string{para}))
+		if err != nil {
+			return false
+		}
+		for _, w := range strings.Fields(para) {
+			if !strings.Contains(text, w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,312 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"securitykg/internal/connector"
+	"securitykg/internal/ctirep"
+)
+
+// Config sets per-stage worker counts and the hand-off mode.
+type Config struct {
+	PortWorkers    int // porter stage (default 1; grouping state is shared)
+	CheckWorkers   int // checker stage (default 2)
+	ParseWorkers   int // parser stage (default 2)
+	ExtractWorkers int // extractor stage (default 4; NLP is the bottleneck)
+	ConnectWorkers int // connector stage (default 2)
+	// Serialize encodes/decodes the intermediate representations between
+	// stages, exactly as a multi-host deployment would. Off by default in
+	//-process; E3 measures the cost.
+	Serialize bool
+	// QueueDepth is the channel buffer between stages (default 64).
+	QueueDepth int
+	// Logger receives per-report errors; nil silences them.
+	Logger *log.Logger
+}
+
+func (c *Config) defaults() {
+	if c.PortWorkers <= 0 {
+		c.PortWorkers = 1
+	}
+	if c.CheckWorkers <= 0 {
+		c.CheckWorkers = 2
+	}
+	if c.ParseWorkers <= 0 {
+		c.ParseWorkers = 2
+	}
+	if c.ExtractWorkers <= 0 {
+		c.ExtractWorkers = 4
+	}
+	if c.ConnectWorkers <= 0 {
+		c.ConnectWorkers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+}
+
+// Stats aggregates pipeline counters for one run.
+type Stats struct {
+	Ported      int64
+	Rejected    int64 // dropped by checkers
+	Parsed      int64
+	ParseErrs   int64
+	Extracted   int64
+	Connected   int64
+	ConnectErrs int64
+	Elapsed     time.Duration
+}
+
+// ReportsPerMinute is the end-to-end processing throughput.
+func (s Stats) ReportsPerMinute() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Connected) / s.Elapsed.Minutes()
+}
+
+// Pipeline wires the processing stages. Parsers are selected per source
+// slug; every checker must pass; extractors run in order; every connector
+// receives every rep.
+type Pipeline struct {
+	Porter     Porter
+	Checkers   []Checker
+	Parsers    map[string]Parser // source slug -> parser
+	Extractors []Extractor
+	Connectors []connector.Connector
+	Cfg        Config
+
+	ported      atomic.Int64
+	rejected    atomic.Int64
+	parsed      atomic.Int64
+	parseErrs   atomic.Int64
+	extracted   atomic.Int64
+	connected   atomic.Int64
+	connectErrs atomic.Int64
+}
+
+// Stats snapshots the counters.
+func (p *Pipeline) Stats() Stats {
+	return Stats{
+		Ported:      p.ported.Load(),
+		Rejected:    p.rejected.Load(),
+		Parsed:      p.parsed.Load(),
+		ParseErrs:   p.parseErrs.Load(),
+		Extracted:   p.extracted.Load(),
+		Connected:   p.connected.Load(),
+		ConnectErrs: p.connectErrs.Load(),
+	}
+}
+
+func (p *Pipeline) logf(format string, args ...any) {
+	if p.Cfg.Logger != nil {
+		p.Cfg.Logger.Printf(format, args...)
+	}
+}
+
+// Run drains the raw-file channel through all stages and returns the run's
+// stats once every stage has finished.
+func (p *Pipeline) Run(ctx context.Context, files <-chan ctirep.RawFile) (Stats, error) {
+	p.Cfg.defaults()
+	if p.Porter == nil {
+		p.Porter = NewGroupingPorter()
+	}
+	start := time.Now()
+
+	repCh := make(chan *ctirep.ReportRep, p.Cfg.QueueDepth)
+	checkedCh := make(chan *ctirep.ReportRep, p.Cfg.QueueDepth)
+	ctiCh := make(chan *ctirep.CTIRep, p.Cfg.QueueDepth)
+	extractedCh := make(chan *ctirep.CTIRep, p.Cfg.QueueDepth)
+
+	var wgPort, wgCheck, wgParse, wgExtract, wgConnect sync.WaitGroup
+
+	// Stage 1: porter. Grouping state is shared, so porting runs on one
+	// goroutine regardless of PortWorkers; porting is cheap.
+	var porterMu sync.Mutex
+	wgPort.Add(1)
+	go func() {
+		defer wgPort.Done()
+		defer close(repCh)
+		emit := func(rep *ctirep.ReportRep) bool {
+			rep2, err := p.reserializeRep(rep)
+			if err != nil {
+				p.logf("pipeline: serialize rep %s: %v", rep.ID, err)
+				return true
+			}
+			p.ported.Add(1)
+			select {
+			case repCh <- rep2:
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		}
+		for f := range files {
+			porterMu.Lock()
+			reps := p.Porter.Port(f)
+			porterMu.Unlock()
+			for _, rep := range reps {
+				if !emit(rep) {
+					return
+				}
+			}
+			if ctx.Err() != nil {
+				return
+			}
+		}
+		porterMu.Lock()
+		reps := p.Porter.Flush()
+		porterMu.Unlock()
+		for _, rep := range reps {
+			if !emit(rep) {
+				return
+			}
+		}
+	}()
+
+	// Stage 2: checkers.
+	for i := 0; i < p.Cfg.CheckWorkers; i++ {
+		wgCheck.Add(1)
+		go func() {
+			defer wgCheck.Done()
+			for rep := range repCh {
+				ok := true
+				for _, ch := range p.Checkers {
+					if !ch.Check(rep) {
+						ok = false
+						p.rejected.Add(1)
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				select {
+				case checkedCh <- rep:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() { wgCheck.Wait(); close(checkedCh) }()
+
+	// Stage 3: source-dependent parsers.
+	for i := 0; i < p.Cfg.ParseWorkers; i++ {
+		wgParse.Add(1)
+		go func() {
+			defer wgParse.Done()
+			for rep := range checkedCh {
+				parser, ok := p.Parsers[rep.Source]
+				if !ok {
+					p.parseErrs.Add(1)
+					p.logf("pipeline: no parser for source %q", rep.Source)
+					continue
+				}
+				cti, err := parser.Parse(rep)
+				if err != nil {
+					p.parseErrs.Add(1)
+					p.logf("pipeline: parse %s: %v", rep.URL, err)
+					continue
+				}
+				cti2, err := p.reserializeCTI(cti)
+				if err != nil {
+					p.parseErrs.Add(1)
+					continue
+				}
+				p.parsed.Add(1)
+				select {
+				case ctiCh <- cti2:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() { wgParse.Wait(); close(ctiCh) }()
+
+	// Stage 4: source-independent extractors.
+	for i := 0; i < p.Cfg.ExtractWorkers; i++ {
+		wgExtract.Add(1)
+		go func() {
+			defer wgExtract.Done()
+			for cti := range ctiCh {
+				for _, ex := range p.Extractors {
+					if err := ex.Extract(cti); err != nil {
+						p.logf("pipeline: extract %s (%s): %v", cti.ReportID, ex.Name(), err)
+					}
+				}
+				cti2, err := p.reserializeCTI(cti)
+				if err != nil {
+					continue
+				}
+				p.extracted.Add(1)
+				select {
+				case extractedCh <- cti2:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() { wgExtract.Wait(); close(extractedCh) }()
+
+	// Stage 5: connectors.
+	for i := 0; i < p.Cfg.ConnectWorkers; i++ {
+		wgConnect.Add(1)
+		go func() {
+			defer wgConnect.Done()
+			for cti := range extractedCh {
+				failed := false
+				for _, conn := range p.Connectors {
+					if err := conn.Connect(cti); err != nil {
+						failed = true
+						p.connectErrs.Add(1)
+						p.logf("pipeline: connect %s (%s): %v", cti.ReportID, conn.Name(), err)
+					}
+				}
+				if !failed {
+					p.connected.Add(1)
+				}
+			}
+		}()
+	}
+
+	wgPort.Wait()
+	wgConnect.Wait()
+	st := p.Stats()
+	st.Elapsed = time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return st, fmt.Errorf("pipeline: cancelled: %w", err)
+	}
+	return st, nil
+}
+
+// reserializeRep round-trips the report rep through its wire format when
+// Serialize is on, proving stage decoupling.
+func (p *Pipeline) reserializeRep(rep *ctirep.ReportRep) (*ctirep.ReportRep, error) {
+	if !p.Cfg.Serialize {
+		return rep, nil
+	}
+	b, err := ctirep.EncodeReportRep(rep)
+	if err != nil {
+		return nil, err
+	}
+	return ctirep.DecodeReportRep(b)
+}
+
+func (p *Pipeline) reserializeCTI(cti *ctirep.CTIRep) (*ctirep.CTIRep, error) {
+	if !p.Cfg.Serialize {
+		return cti, nil
+	}
+	b, err := ctirep.EncodeCTIRep(cti)
+	if err != nil {
+		return nil, err
+	}
+	return ctirep.DecodeCTIRep(b)
+}

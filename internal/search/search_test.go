@@ -1,0 +1,234 @@
+package search
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func doc(id string, title, body string) Document {
+	return Document{ID: id, Fields: map[string]string{"title": title, "body": body}}
+}
+
+func TestSearchBasicRelevance(t *testing.T) {
+	ix := NewIndex(nil)
+	ix.Add(doc("r1", "WannaCry ransomware analysis", "The WannaCry worm encrypts files and spreads via SMB."))
+	ix.Add(doc("r2", "CozyDuke threat actor profile", "CozyDuke uses spearphishing against government targets."))
+	ix.Add(doc("r3", "Generic malware trends", "Many families emerged this quarter."))
+
+	hits := ix.Search("wannacry", 10)
+	if len(hits) != 1 || hits[0].ID != "r1" {
+		t.Fatalf("wannacry hits: %+v", hits)
+	}
+	hits = ix.Search("cozyduke", 10)
+	if len(hits) != 1 || hits[0].ID != "r2" {
+		t.Fatalf("cozyduke hits: %+v", hits)
+	}
+}
+
+func TestSearchRanksFrequencyAndRarity(t *testing.T) {
+	ix := NewIndex(nil)
+	ix.Add(doc("heavy", "ransomware ransomware ransomware", "ransomware everywhere ransomware"))
+	ix.Add(doc("light", "ransomware mention", "one occurrence only"))
+	for i := 0; i < 20; i++ {
+		ix.Add(doc(fmt.Sprintf("noise%d", i), "unrelated report", "nothing to see here at all"))
+	}
+	hits := ix.Search("ransomware", 10)
+	if len(hits) != 2 {
+		t.Fatalf("hits: %+v", hits)
+	}
+	if hits[0].ID != "heavy" {
+		t.Errorf("tf should rank heavy first: %+v", hits)
+	}
+	// A rare term outscores a common one for the same doc set.
+	ix.Add(doc("mix", "ransomware report", "mentions the rare word exfiltration"))
+	rare := ix.Search("exfiltration", 10)
+	if len(rare) != 1 || rare[0].ID != "mix" {
+		t.Fatalf("rare term: %+v", rare)
+	}
+}
+
+func TestFieldBoosts(t *testing.T) {
+	ix := NewIndex(map[string]float64{"title": 3.0})
+	ix.Add(doc("title-hit", "emotet campaign", "body without the term of interest here"))
+	ix.Add(doc("body-hit", "unrelated heading", "emotet appears in the body text only"))
+	hits := ix.Search("emotet", 10)
+	if len(hits) != 2 {
+		t.Fatalf("hits: %+v", hits)
+	}
+	if hits[0].ID != "title-hit" {
+		t.Errorf("title boost should rank title-hit first: %+v", hits)
+	}
+}
+
+func TestSearchMultiTermAccumulates(t *testing.T) {
+	ix := NewIndex(nil)
+	ix.Add(doc("both", "trojan downloader", "connects and downloads payloads"))
+	ix.Add(doc("one", "trojan only", "no second keyword"))
+	hits := ix.Search("trojan downloader", 10)
+	if len(hits) != 2 || hits[0].ID != "both" {
+		t.Fatalf("multi-term ranking: %+v", hits)
+	}
+}
+
+func TestSearchLemmaNormalization(t *testing.T) {
+	ix := NewIndex(nil)
+	ix.Add(doc("d", "encrypted files", "the malware encrypts documents"))
+	for _, q := range []string{"encrypt", "encrypts", "file", "files"} {
+		if hits := ix.Search(q, 10); len(hits) != 1 {
+			t.Errorf("query %q missed: %+v", q, hits)
+		}
+	}
+}
+
+func TestSearchStopwordsIgnored(t *testing.T) {
+	ix := NewIndex(nil)
+	ix.Add(doc("d", "a report", "the and of with"))
+	if hits := ix.Search("the and of", 10); len(hits) != 0 {
+		t.Errorf("stopword-only query should return nothing: %+v", hits)
+	}
+}
+
+func TestAddReplacesExistingDoc(t *testing.T) {
+	ix := NewIndex(nil)
+	ix.Add(doc("d", "old topic alpha", ""))
+	ix.Add(doc("d", "new topic beta", ""))
+	if ix.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", ix.Len())
+	}
+	if hits := ix.Search("alpha", 10); len(hits) != 0 {
+		t.Errorf("stale terms remain: %+v", hits)
+	}
+	if hits := ix.Search("beta", 10); len(hits) != 1 {
+		t.Errorf("replacement not indexed: %+v", hits)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	ix := NewIndex(nil)
+	ix.Add(doc("a", "needle report", ""))
+	ix.Add(doc("b", "needle report too", ""))
+	ix.Remove("a")
+	if ix.Len() != 1 {
+		t.Fatalf("Len after remove = %d", ix.Len())
+	}
+	hits := ix.Search("needle", 10)
+	if len(hits) != 1 || hits[0].ID != "b" {
+		t.Errorf("post-remove hits: %+v", hits)
+	}
+	ix.Remove("missing") // no-op
+	if ix.Len() != 1 {
+		t.Errorf("removing unknown changed Len")
+	}
+}
+
+func TestSearchTopK(t *testing.T) {
+	ix := NewIndex(nil)
+	for i := 0; i < 25; i++ {
+		ix.Add(doc(fmt.Sprintf("d%02d", i), "botnet report", "botnet activity"))
+	}
+	hits := ix.Search("botnet", 5)
+	if len(hits) != 5 {
+		t.Errorf("top-k: %d hits", len(hits))
+	}
+	all := ix.Search("botnet", 0)
+	if len(all) != 25 {
+		t.Errorf("k<=0 should return all: %d", len(all))
+	}
+}
+
+func TestSearchDeterministicTieBreak(t *testing.T) {
+	ix := NewIndex(nil)
+	ix.Add(doc("b", "same text here", ""))
+	ix.Add(doc("a", "same text here", ""))
+	hits := ix.Search("same text", 10)
+	if len(hits) != 2 || hits[0].ID != "a" {
+		t.Errorf("tie break should be by ID: %+v", hits)
+	}
+}
+
+func TestEmptyIndexAndEmptyQuery(t *testing.T) {
+	ix := NewIndex(nil)
+	if hits := ix.Search("anything", 10); hits != nil {
+		t.Errorf("empty index returned hits: %+v", hits)
+	}
+	ix.Add(doc("d", "content here", ""))
+	if hits := ix.Search("", 10); hits != nil {
+		t.Errorf("empty query returned hits: %+v", hits)
+	}
+	if hits := ix.Search("...", 10); hits != nil {
+		t.Errorf("punctuation query returned hits: %+v", hits)
+	}
+}
+
+func TestEmptyFieldsDocCounted(t *testing.T) {
+	ix := NewIndex(nil)
+	ix.Add(Document{ID: "empty", Fields: map[string]string{}})
+	if ix.Len() != 1 {
+		t.Errorf("empty doc not tracked")
+	}
+	ix.Remove("empty")
+	if ix.Len() != 0 {
+		t.Errorf("empty doc not removable")
+	}
+}
+
+func TestConcurrentAddSearch(t *testing.T) {
+	ix := NewIndex(nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				ix.Add(doc(fmt.Sprintf("w%d-%d", w, i), "phishing campaign", "details"))
+				ix.Search("phishing", 5)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if ix.Len() != 400 {
+		t.Errorf("concurrent adds lost docs: %d", ix.Len())
+	}
+}
+
+// Property: add then remove returns the index to its previous state
+// (query results unaffected).
+func TestAddRemoveInverseQuick(t *testing.T) {
+	ix := NewIndex(nil)
+	ix.Add(doc("base", "stable anchor document", "anchor content"))
+	f := func(n uint8) bool {
+		id := fmt.Sprintf("tmp%d", n)
+		ix.Add(doc(id, "anchor transient", "text"))
+		ix.Remove(id)
+		hits := ix.Search("anchor", 10)
+		return len(hits) == 1 && hits[0].ID == "base"
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: scores are non-increasing in rank order.
+func TestScoresMonotonicQuick(t *testing.T) {
+	ix := NewIndex(nil)
+	words := []string{"trojan", "worm", "dropper", "loader", "stealer"}
+	for i := 0; i < 40; i++ {
+		ix.Add(doc(fmt.Sprintf("d%d", i),
+			words[i%len(words)]+" report",
+			fmt.Sprintf("%s %s activity", words[i%len(words)], words[(i+1)%len(words)])))
+	}
+	f := func(qi uint8) bool {
+		hits := ix.Search(words[int(qi)%len(words)], 0)
+		for i := 1; i < len(hits); i++ {
+			if hits[i].Score > hits[i-1].Score {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

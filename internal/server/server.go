@@ -1,0 +1,305 @@
+// Package server exposes the exploration API the paper's web UI consumes:
+// keyword search (Elasticsearch role), Cypher queries (Neo4j role),
+// node detail, neighbor expansion and collapse, random subgraphs, view
+// history (the UI's back button), and Barnes-Hut layout positions for
+// every returned subgraph.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"securitykg/internal/cypher"
+	"securitykg/internal/graph"
+	"securitykg/internal/layout"
+	"securitykg/internal/search"
+)
+
+// Server wires the exploration endpoints over a graph store and a search
+// index.
+type Server struct {
+	store *graph.Store
+	index *search.Index
+	eng   *cypher.Engine
+	mux   *http.ServeMux
+
+	mu      sync.Mutex
+	history []*ViewGraph // view stack for the back button
+}
+
+// New builds the server.
+func New(store *graph.Store, index *search.Index) *Server {
+	s := &Server{
+		store: store,
+		index: index,
+		eng:   cypher.NewEngine(store, cypher.DefaultOptions()),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/api/stats", s.handleStats)
+	s.mux.HandleFunc("/api/search", s.handleSearch)
+	s.mux.HandleFunc("/api/cypher", s.handleCypher)
+	s.mux.HandleFunc("/api/node", s.handleNode)
+	s.mux.HandleFunc("/api/expand", s.handleExpand)
+	s.mux.HandleFunc("/api/collapse", s.handleCollapse)
+	s.mux.HandleFunc("/api/random", s.handleRandom)
+	s.mux.HandleFunc("/api/back", s.handleBack)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// ViewGraph is a subgraph plus layout positions, the unit the UI renders.
+type ViewGraph struct {
+	Nodes []ViewNode    `json:"nodes"`
+	Edges []*graph.Edge `json:"edges"`
+}
+
+// ViewNode is a node with its layout position and display color group.
+type ViewNode struct {
+	*graph.Node
+	X     float64 `json:"x"`
+	Y     float64 `json:"y"`
+	Color string  `json:"color"`
+}
+
+// colorFor groups node types into display colors (the UI colors nodes by
+// type).
+func colorFor(typ string) string {
+	switch {
+	case strings.HasSuffix(typ, "Report"):
+		return "blue"
+	case typ == "CTIVendor":
+		return "gray"
+	case typ == "Malware" || typ == "MalwareFamily":
+		return "red"
+	case typ == "ThreatActor":
+		return "purple"
+	case typ == "Technique" || typ == "Tool":
+		return "orange"
+	case typ == "Vulnerability":
+		return "brown"
+	}
+	return "green" // IOCs and the rest
+}
+
+// Layout positions a subgraph with Barnes-Hut and wraps it as a ViewGraph.
+func Layout(sg *graph.Subgraph, seed int64) *ViewGraph {
+	idx := make(map[graph.NodeID]int, len(sg.Nodes))
+	for i, n := range sg.Nodes {
+		idx[n.ID] = i
+	}
+	lg := layout.Graph{N: len(sg.Nodes)}
+	for _, e := range sg.Edges {
+		lg.Edges = append(lg.Edges, [2]int{idx[e.From], idx[e.To]})
+	}
+	eng := layout.NewEngine(lg, layout.Config{}, seed)
+	eng.Run(300, 0.01)
+	vg := &ViewGraph{Edges: sg.Edges}
+	for i, n := range sg.Nodes {
+		vg.Nodes = append(vg.Nodes, ViewNode{
+			Node: n, X: eng.Pos[i].X, Y: eng.Pos[i].Y, Color: colorFor(n.Type),
+		})
+	}
+	return vg
+}
+
+func (s *Server) pushHistory(vg *ViewGraph) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.history = append(s.history, vg)
+	if len(s.history) > 50 {
+		s.history = s.history[1:]
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpErr(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.store.Stats())
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		httpErr(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	k := intParam(r, "k", 10)
+	hits := s.index.Search(q, k)
+	type hitOut struct {
+		ID    string  `json:"id"`
+		Score float64 `json:"score"`
+	}
+	out := make([]hitOut, 0, len(hits))
+	for _, h := range hits {
+		out = append(out, hitOut{ID: h.ID, Score: h.Score})
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleCypher(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpErr(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req struct {
+		Query string `json:"query"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	res, err := s.eng.Run(req.Query)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Render rows to strings for transport.
+	out := struct {
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}{Columns: res.Columns}
+	for _, row := range res.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		out.Rows = append(out.Rows, cells)
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
+	id, err := nodeIDParam(r, "id")
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	n := s.store.Node(id)
+	if n == nil {
+		httpErr(w, http.StatusNotFound, "node %d not found", id)
+		return
+	}
+	// Detailed info on hover: node plus its incident edge summary.
+	type out struct {
+		Node      *graph.Node   `json:"node"`
+		Degree    int           `json:"degree"`
+		Neighbors []*graph.Node `json:"neighbors"`
+	}
+	nbs := s.store.Neighbors(id, graph.Both)
+	writeJSON(w, out{Node: n, Degree: len(s.store.Edges(id, graph.Both)), Neighbors: nbs})
+}
+
+func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
+	id, err := nodeIDParam(r, "id")
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if s.store.Node(id) == nil {
+		httpErr(w, http.StatusNotFound, "node %d not found", id)
+		return
+	}
+	depth := intParam(r, "depth", 1)
+	maxNb := intParam(r, "neighbors", 25)
+	maxNodes := intParam(r, "nodes", 100)
+	sg := s.store.ExpandFrom([]graph.NodeID{id}, depth, maxNb, maxNodes)
+	vg := Layout(sg, int64(id))
+	s.pushHistory(vg)
+	writeJSON(w, vg)
+}
+
+func (s *Server) handleCollapse(w http.ResponseWriter, r *http.Request) {
+	id, err := nodeIDParam(r, "id")
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	view, err := idListParam(r, "view")
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	anchors, err := idListParam(r, "anchors")
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	hidden := s.store.CollapseFrom(id, view, anchors)
+	writeJSON(w, map[string]any{"hidden": hidden})
+}
+
+func (s *Server) handleRandom(w http.ResponseWriter, r *http.Request) {
+	n := intParam(r, "n", 20)
+	seed := int64(intParam(r, "seed", 1))
+	sg := s.store.RandomSubgraph(seed, n)
+	vg := Layout(sg, seed)
+	s.pushHistory(vg)
+	writeJSON(w, vg)
+}
+
+func (s *Server) handleBack(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.history) < 2 {
+		httpErr(w, http.StatusNotFound, "no earlier view")
+		return
+	}
+	s.history = s.history[:len(s.history)-1]
+	writeJSON(w, s.history[len(s.history)-1])
+}
+
+func intParam(r *http.Request, name string, def int) int {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return def
+	}
+	return n
+}
+
+func nodeIDParam(r *http.Request, name string) (graph.NodeID, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return 0, fmt.Errorf("missing %s parameter", name)
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s parameter: %v", name, err)
+	}
+	return graph.NodeID(n), nil
+}
+
+func idListParam(r *http.Request, name string) ([]graph.NodeID, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return nil, nil
+	}
+	parts := strings.Split(v, ",")
+	out := make([]graph.NodeID, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad %s entry %q", name, p)
+		}
+		out = append(out, graph.NodeID(n))
+	}
+	return out, nil
+}

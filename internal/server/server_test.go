@@ -1,0 +1,216 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"securitykg/internal/graph"
+	"securitykg/internal/search"
+)
+
+func testServer(t *testing.T) (*Server, *graph.Store, graph.NodeID) {
+	t.Helper()
+	store := graph.New()
+	idx := search.NewIndex(nil)
+	wc, _ := store.MergeNode("Malware", "wannacry", nil)
+	fam, _ := store.MergeNode("MalwareFamily", "ransomware", nil)
+	ip, _ := store.MergeNode("IP", "10.0.0.1", nil)
+	rep, _ := store.MergeNode("MalwareReport", "r1", map[string]string{"report_id": "r1"})
+	store.AddEdge(wc, "BELONG_TO", fam, nil)
+	store.AddEdge(wc, "CONNECT", ip, nil)
+	store.AddEdge(rep, "DESCRIBES", wc, nil)
+	idx.Add(search.Document{ID: "r1", Fields: map[string]string{"title": "wannacry analysis"}})
+	return New(store, idx), store, wc
+}
+
+func get(t *testing.T, s *Server, path string, out any) *http.Response {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	res := rec.Result()
+	if out != nil && res.StatusCode == 200 {
+		if err := json.NewDecoder(res.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", path, err)
+		}
+	}
+	return res
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	s, _, _ := testServer(t)
+	var st graph.Stats
+	if res := get(t, s, "/api/stats", &st); res.StatusCode != 200 {
+		t.Fatalf("status %d", res.StatusCode)
+	}
+	if st.Nodes != 4 || st.Edges != 3 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	s, _, _ := testServer(t)
+	var hits []struct {
+		ID    string  `json:"id"`
+		Score float64 `json:"score"`
+	}
+	if res := get(t, s, "/api/search?q=wannacry", &hits); res.StatusCode != 200 {
+		t.Fatalf("status %d", res.StatusCode)
+	}
+	if len(hits) != 1 || hits[0].ID != "r1" {
+		t.Errorf("hits: %+v", hits)
+	}
+	if res := get(t, s, "/api/search", nil); res.StatusCode != 400 {
+		t.Errorf("missing q should 400, got %d", res.StatusCode)
+	}
+}
+
+func TestCypherEndpoint(t *testing.T) {
+	s, _, _ := testServer(t)
+	body, _ := json.Marshal(map[string]string{
+		"query": `match (n) where n.name = "wannacry" return n.name, n.type`,
+	})
+	req := httptest.NewRequest("POST", "/api/cypher", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var out struct {
+		Columns []string
+		Rows    [][]string
+	}
+	json.Unmarshal(rec.Body.Bytes(), &out)
+	if len(out.Rows) != 1 || out.Rows[0][0] != "wannacry" || out.Rows[0][1] != "Malware" {
+		t.Errorf("cypher result: %+v", out)
+	}
+	// Bad query -> 400 with error payload.
+	bad, _ := json.Marshal(map[string]string{"query": "nonsense"})
+	rec2 := httptest.NewRecorder()
+	s.ServeHTTP(rec2, httptest.NewRequest("POST", "/api/cypher", bytes.NewReader(bad)))
+	if rec2.Code != 400 {
+		t.Errorf("bad query status %d", rec2.Code)
+	}
+	// GET not allowed.
+	rec3 := httptest.NewRecorder()
+	s.ServeHTTP(rec3, httptest.NewRequest("GET", "/api/cypher", nil))
+	if rec3.Code != 405 {
+		t.Errorf("GET cypher status %d", rec3.Code)
+	}
+}
+
+func TestNodeEndpoint(t *testing.T) {
+	s, _, wc := testServer(t)
+	var out struct {
+		Node      *graph.Node
+		Degree    int
+		Neighbors []*graph.Node
+	}
+	if res := get(t, s, fmt.Sprintf("/api/node?id=%d", wc), &out); res.StatusCode != 200 {
+		t.Fatalf("status %d", res.StatusCode)
+	}
+	if out.Node.Name != "wannacry" || out.Degree != 3 || len(out.Neighbors) != 3 {
+		t.Errorf("node detail: %+v", out)
+	}
+	if res := get(t, s, "/api/node?id=9999", nil); res.StatusCode != 404 {
+		t.Errorf("missing node status %d", res.StatusCode)
+	}
+	if res := get(t, s, "/api/node?id=abc", nil); res.StatusCode != 400 {
+		t.Errorf("bad id status %d", res.StatusCode)
+	}
+}
+
+func TestExpandEndpointReturnsLayout(t *testing.T) {
+	s, _, wc := testServer(t)
+	var vg ViewGraph
+	if res := get(t, s, fmt.Sprintf("/api/expand?id=%d", wc), &vg); res.StatusCode != 200 {
+		t.Fatalf("status %d", res.StatusCode)
+	}
+	if len(vg.Nodes) != 4 {
+		t.Fatalf("expanded nodes: %d", len(vg.Nodes))
+	}
+	// Positions must be laid out (not all zero) and colored by type.
+	nonZero := false
+	for _, n := range vg.Nodes {
+		if n.X != 0 || n.Y != 0 {
+			nonZero = true
+		}
+		if n.Color == "" {
+			t.Errorf("node %s missing color", n.Name)
+		}
+	}
+	if !nonZero {
+		t.Error("layout did not assign positions")
+	}
+	// Distinct node types get distinct color groups.
+	colors := map[string]string{}
+	for _, n := range vg.Nodes {
+		colors[n.Type] = n.Color
+	}
+	if colors["Malware"] == colors["IP"] {
+		t.Error("malware and IOC share a color")
+	}
+}
+
+func TestCollapseEndpoint(t *testing.T) {
+	s, store, wc := testServer(t)
+	rep := store.FindNode("MalwareReport", "r1")
+	fam := store.FindNode("MalwareFamily", "ransomware")
+	ip := store.FindNode("IP", "10.0.0.1")
+	view := fmt.Sprintf("%d,%d,%d,%d", rep.ID, wc, fam.ID, ip.ID)
+	var out struct {
+		Hidden []graph.NodeID `json:"hidden"`
+	}
+	path := fmt.Sprintf("/api/collapse?id=%d&view=%s&anchors=%d", wc, view, rep.ID)
+	if res := get(t, s, path, &out); res.StatusCode != 200 {
+		t.Fatalf("status %d", res.StatusCode)
+	}
+	if len(out.Hidden) != 2 {
+		t.Errorf("collapse should hide the 2 leaves: %+v", out.Hidden)
+	}
+}
+
+func TestRandomAndBackEndpoints(t *testing.T) {
+	s, _, wc := testServer(t)
+	var first ViewGraph
+	if res := get(t, s, "/api/random?n=3&seed=7", &first); res.StatusCode != 200 {
+		t.Fatalf("random status %d", res.StatusCode)
+	}
+	if len(first.Nodes) == 0 {
+		t.Fatal("random subgraph empty")
+	}
+	// A second view, then back returns the first.
+	var second ViewGraph
+	get(t, s, fmt.Sprintf("/api/expand?id=%d", wc), &second)
+	var back ViewGraph
+	if res := get(t, s, "/api/back", &back); res.StatusCode != 200 {
+		t.Fatalf("back status %d", res.StatusCode)
+	}
+	if len(back.Nodes) != len(first.Nodes) {
+		t.Errorf("back returned wrong view: %d vs %d nodes", len(back.Nodes), len(first.Nodes))
+	}
+	// Exhausting history 404s.
+	get(t, s, "/api/back", nil)
+	if res := get(t, s, "/api/back", nil); res.StatusCode != 404 {
+		t.Errorf("empty history should 404, got %d", res.StatusCode)
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	s, _, _ := testServer(t)
+	var a, b ViewGraph
+	get(t, s, "/api/random?n=3&seed=9", &a)
+	get(t, s, "/api/random?n=3&seed=9", &b)
+	if len(a.Nodes) != len(b.Nodes) {
+		t.Fatal("same seed different sizes")
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i].ID != b.Nodes[i].ID {
+			t.Fatal("same seed different subgraph")
+		}
+	}
+}

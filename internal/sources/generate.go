@@ -1,0 +1,286 @@
+package sources
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strings"
+
+	"securitykg/internal/gazetteer"
+	"securitykg/internal/ontology"
+)
+
+// Truth is the ground truth behind one generated report: the entities and
+// relations its text encodes. Experiments score extraction against it.
+type Truth struct {
+	Source      string
+	Index       int
+	URL         string
+	Title       string
+	Vendor      string
+	Kind        string // malware | vulnerability | attack
+	PublishedAt string
+	Entities    []ontology.Entity
+	Relations   []ontology.Relation
+	Paragraphs  []string
+	MultiPage   bool
+	// UnseenMalware is set when the malware name was generated rather than
+	// drawn from the gazetteer (tests CRF generalization).
+	UnseenMalware bool
+	// AliasOf is set when the malware name is a vendor-convention variant
+	// of a canonical curated name (exercise for the fusion stage).
+	AliasOf string
+}
+
+// novel name parts for malware/actors outside every gazetteer.
+var novelPrefix = []string{"Frost", "Night", "Dusk", "Grim", "Pale", "Hollow",
+	"Iron", "Crimson", "Silent", "Amber", "Ghost", "Shadow", "Ember", "Rust"}
+var novelSuffix = []string{"bite", "shade", "lockr", "spider", "fang", "claw",
+	"viper", "wasp", "lynx", "moth", "crow", "howl", "root", "drift"}
+
+func novelName(rng *rand.Rand) string {
+	return novelPrefix[rng.Intn(len(novelPrefix))] + novelSuffix[rng.Intn(len(novelSuffix))]
+}
+
+// aliasVariant renders a curated malware name in a different vendor naming
+// convention; the fusion stage should merge it back onto the canonical.
+func aliasVariant(name string, rng *rand.Rand) string {
+	condensed := strings.ReplaceAll(name, " ", "")
+	switch rng.Intn(3) {
+	case 0:
+		return strings.ToUpper(condensed)
+	case 1:
+		return "W32/" + condensed
+	default:
+		return "Ransom.Win32." + condensed
+	}
+}
+
+func hashSeed(parts ...string) int64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return int64(h.Sum64() & 0x7fffffffffffffff)
+}
+
+// relTemplate is one sentence template plus the relation it encodes.
+type relTemplate struct {
+	format string // placeholders: %[1]s src name, %[2]s dst name
+	rel    ontology.RelationType
+	verb   string
+}
+
+// GenerateTruth deterministically generates the ground truth for report
+// idx of the given source under the web's seed.
+func (w *Web) GenerateTruth(spec SourceSpec, idx int) *Truth {
+	rng := rand.New(rand.NewSource(hashSeed(fmt.Sprint(w.seed), spec.Slug, fmt.Sprint(idx))))
+	t := &Truth{
+		Source: spec.Slug,
+		Index:  idx,
+		URL:    fmt.Sprintf("%s/report/%d", spec.BaseURL(), idx),
+		Vendor: spec.Vendor,
+	}
+	switch spec.Category {
+	case "encyclopedia":
+		t.Kind = "malware"
+	case "news":
+		t.Kind = []string{"attack", "attack", "vulnerability", "malware"}[rng.Intn(4)]
+	default:
+		t.Kind = []string{"malware", "malware", "attack", "vulnerability"}[rng.Intn(4)]
+	}
+	t.PublishedAt = fmt.Sprintf("20%02d-%02d-%02d", 18+rng.Intn(4), 1+rng.Intn(12), 1+rng.Intn(28))
+
+	// --- entity selection ---
+	malList := gazetteer.Malware()
+	malName := malList[rng.Intn(len(malList))]
+	switch {
+	case rng.Float64() < 0.12:
+		malName = novelName(rng)
+		t.UnseenMalware = true
+	case rng.Float64() < 0.25:
+		canonical := malName
+		malName = aliasVariant(canonical, rng)
+		t.AliasOf = canonical
+	}
+	actors := gazetteer.ThreatActors()
+	actor := actors[rng.Intn(len(actors))]
+	fams := gazetteer.MalwareFamilies()
+	family := fams[rng.Intn(len(fams))]
+	techs := gazetteer.Techniques()
+	tech1 := techs[rng.Intn(len(techs))]
+	tech2 := techs[rng.Intn(len(techs))]
+	tools := gazetteer.Tools()
+	tool := tools[rng.Intn(len(tools))]
+	sw := gazetteer.Software()
+	software := sw[rng.Intn(len(sw))]
+	plats := gazetteer.Platforms()
+	platform := plats[rng.Intn(len(plats))]
+	cve := fmt.Sprintf("CVE-20%02d-%04d", 15+rng.Intn(7), 1000+rng.Intn(9000))
+
+	ip := fmt.Sprintf("%d.%d.%d.%d", 1+rng.Intn(222), rng.Intn(255), rng.Intn(255), 1+rng.Intn(254))
+	domain := fmt.Sprintf("%s-%s.%s",
+		strings.ToLower(novelPrefix[rng.Intn(len(novelPrefix))]),
+		[]string{"panel", "cdn", "update", "mail", "gate"}[rng.Intn(5)],
+		[]string{"com", "net", "ru", "top", "xyz"}[rng.Intn(5)])
+	url := fmt.Sprintf("http://%s/%s", domain, []string{"gate.php", "load", "u/x", "cfg.bin"}[rng.Intn(4)])
+	fileName := fmt.Sprintf("%s.%s",
+		strings.ToLower(novelSuffix[rng.Intn(len(novelSuffix))])+fmt.Sprint(rng.Intn(90)),
+		[]string{"exe", "dll", "docm", "js", "ps1"}[rng.Intn(5)])
+	hash := randomHex(rng, []int{32, 40, 64}[rng.Intn(3)])
+	registry := `HKEY_LOCAL_MACHINE\Software\Microsoft\Windows\CurrentVersion\Run\` +
+		novelPrefix[rng.Intn(len(novelPrefix))]
+	email := fmt.Sprintf("%s@%s",
+		strings.ToLower(novelSuffix[rng.Intn(len(novelSuffix))]), domain)
+	filePath := fmt.Sprintf(`C:\Users\Public\%s\%s`,
+		novelPrefix[rng.Intn(len(novelPrefix))], fileName)
+
+	mal := ontology.Entity{Type: ontology.TypeMalware, Name: malName}
+	act := ontology.Entity{Type: ontology.TypeThreatActor, Name: actor}
+	fam := ontology.Entity{Type: ontology.TypeMalwareFamily, Name: family}
+	te1 := ontology.Entity{Type: ontology.TypeTechnique, Name: tech1}
+	te2 := ontology.Entity{Type: ontology.TypeTechnique, Name: tech2}
+	tl := ontology.Entity{Type: ontology.TypeTool, Name: tool}
+	sws := ontology.Entity{Type: ontology.TypeSoftware, Name: software}
+	plat := ontology.Entity{Type: ontology.TypeMalwarePlatform, Name: platform}
+	vuln := ontology.Entity{Type: ontology.TypeVulnerability, Name: cve}
+	eip := ontology.Entity{Type: ontology.TypeIP, Name: ip}
+	edom := ontology.Entity{Type: ontology.TypeDomain, Name: domain}
+	eurl := ontology.Entity{Type: ontology.TypeURL, Name: url}
+	efile := ontology.Entity{Type: ontology.TypeFileName, Name: fileName}
+	ehash := ontology.Entity{Type: ontology.TypeHash, Name: hash}
+	ereg := ontology.Entity{Type: ontology.TypeRegistry, Name: registry}
+	eemail := ontology.Entity{Type: ontology.TypeEmail, Name: email}
+	epath := ontology.Entity{Type: ontology.TypeFilePath, Name: filePath}
+
+	// --- sentence templates; each contributes text + a ground relation ---
+	type sentence struct {
+		text string
+		rels []ontology.Relation
+		ents []ontology.Entity
+	}
+	mk := func(text string, rel ontology.RelationType, src, dst ontology.Entity) sentence {
+		return sentence{text: text,
+			rels: []ontology.Relation{{Src: src, Type: rel, Dst: dst}},
+			ents: []ontology.Entity{src, dst}}
+	}
+	pool := []sentence{
+		mk(fmt.Sprintf("%s connects to %s for command and control.", malName, ip),
+			ontology.RelConnectsTo, mal, eip),
+		mk(fmt.Sprintf("%s contacts %s every six hours.", malName, domain),
+			ontology.RelConnectsTo, mal, edom),
+		mk(fmt.Sprintf("%s downloads additional payloads from %s.", malName, url),
+			ontology.RelDownloads, mal, eurl),
+		mk(fmt.Sprintf("%s drops %s in the system directory.", malName, fileName),
+			ontology.RelDrops, mal, efile),
+		mk(fmt.Sprintf("%s modifies %s to persist across reboots.", malName, registry),
+			ontology.RelModifies, mal, ereg),
+		mk(fmt.Sprintf("%s exploits %s to gain initial access.", malName, cve),
+			ontology.RelExploits, mal, vuln),
+		mk(fmt.Sprintf("The %s group deployed the tool %s during the intrusion.", actor, tool),
+			ontology.RelUses, act, tl),
+		mk(fmt.Sprintf("%s uses %s to move laterally inside victim networks.", malName, tech1),
+			ontology.RelUses, mal, te1),
+		mk(fmt.Sprintf("%s targets %s installations worldwide.", actor, software),
+			ontology.RelTargets, act, sws),
+		mk(fmt.Sprintf("%s runs on %s systems.", malName, platform),
+			ontology.RelRunsOn, mal, plat),
+		mk(fmt.Sprintf("%s spreads via %s against unpatched hosts.", malName, tech2),
+			ontology.RelSpreadsVia, mal, te2),
+		{
+			text: fmt.Sprintf("Researchers attributed %s to %s after infrastructure overlap.", malName, actor),
+			rels: []ontology.Relation{{Src: mal, Type: ontology.RelAttributedTo, Dst: act}},
+			ents: []ontology.Entity{mal, act},
+		},
+		mk(fmt.Sprintf("%s sends stolen data to %s nightly.", malName, email),
+			ontology.RelSends, mal, eemail),
+		mk(fmt.Sprintf("%s creates %s on startup.", malName, filePath),
+			ontology.RelCreates, mal, epath),
+	}
+	fillers := []string{
+		"Telemetry volume increased sharply over the observation window.",
+		"Victims reported degraded performance and unusual network activity.",
+		"The operators rotated infrastructure several times during the campaign.",
+		"Defenders are advised to review authentication logs for anomalies.",
+		"Patches for the affected components were released last quarter.",
+		"Incident responders recovered several artifacts from disk images.",
+	}
+
+	// Pick 5-8 relation sentences; always include the first (C2) and the
+	// family sentence for encyclopedia-style reports.
+	n := 5 + rng.Intn(4)
+	perm := rng.Perm(len(pool))
+	chosen := make([]sentence, 0, n+2)
+	chosen = append(chosen, mk(
+		fmt.Sprintf("%s belongs to the %s family.", malName, family),
+		ontology.RelBelongsTo, mal, fam))
+	for _, pi := range perm {
+		if len(chosen) >= n {
+			break
+		}
+		chosen = append(chosen, pool[pi])
+	}
+	// Hash sentence (entity only, no verb relation we extract).
+	chosen = append(chosen, sentence{
+		text: fmt.Sprintf("A sample with hash %s was recovered from an infected host.", hash),
+		rels: []ontology.Relation{{Src: mal, Type: ontology.RelHasHash, Dst: ehash}},
+		ents: []ontology.Entity{ehash},
+	})
+
+	// Title per kind.
+	switch t.Kind {
+	case "malware":
+		t.Title = fmt.Sprintf("%s: analysis of a %s campaign", malName, family)
+	case "vulnerability":
+		t.Title = fmt.Sprintf("%s exploited in the wild by %s", cve, malName)
+	default:
+		t.Title = fmt.Sprintf("New %s campaign by %s targets %s", malName, actor, software)
+	}
+
+	// Paragraphs: intro + grouped sentences + fillers.
+	intro := fmt.Sprintf("Researchers observed the %s ransomware in a new campaign. This report by %s summarizes the activity.",
+		malName, spec.Vendor)
+	var paras []string
+	paras = append(paras, intro)
+	var cur []string
+	for i, s := range chosen {
+		cur = append(cur, s.text)
+		if len(cur) == 3 || i == len(chosen)-1 {
+			paras = append(paras, strings.Join(cur, " "))
+			cur = nil
+		}
+	}
+	paras = append(paras, fillers[rng.Intn(len(fillers))]+" "+fillers[rng.Intn(len(fillers))])
+	t.Paragraphs = paras
+	t.MultiPage = idx%7 == 3 && spec.Format == "html"
+
+	// Assemble ground truth entity/relation sets.
+	seen := map[string]bool{}
+	addEnt := func(e ontology.Entity) {
+		if !seen[e.Key()] {
+			seen[e.Key()] = true
+			t.Entities = append(t.Entities, e)
+		}
+	}
+	addEnt(mal)
+	addEnt(fam)
+	for _, s := range chosen {
+		for _, e := range s.ents {
+			addEnt(e)
+		}
+		t.Relations = append(t.Relations, s.rels...)
+	}
+	vendorEnt := ontology.Entity{Type: ontology.TypeCTIVendor, Name: spec.Vendor}
+	addEnt(vendorEnt)
+	return t
+}
+
+func randomHex(rng *rand.Rand, n int) string {
+	const hex = "0123456789abcdef"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = hex[rng.Intn(16)]
+	}
+	return string(b)
+}

@@ -1,0 +1,115 @@
+// Package sources implements the synthetic OSCTI web that substitutes for
+// the paper's 40+ live security websites: deterministic source definitions
+// (threat encyclopedias, vendor blogs, security news), a report generator
+// with full ground truth (entities and relations), HTML and PDF rendering
+// in several site layouts, and an in-process Fetcher (plus an http.Handler)
+// the crawler framework collects from.
+//
+// Determinism matters twice: the same seed regenerates the same corpus for
+// reproducible experiments, and ground truth lets the NER/RE experiments
+// compute precision and recall, which live pages cannot.
+package sources
+
+import "fmt"
+
+// Layout selects the page structure a source renders reports with.
+type Layout string
+
+const (
+	// LayoutEncyclopedia has a metadata table, an IOC list, and body
+	// paragraphs (threat encyclopedia style).
+	LayoutEncyclopedia Layout = "encyclopedia"
+	// LayoutBlog has a headline, a byline, and body paragraphs.
+	LayoutBlog Layout = "blog"
+	// LayoutNews has a headline, a meta div, body paragraphs, and a
+	// related-links list.
+	LayoutNews Layout = "news"
+)
+
+// SourceSpec defines one synthetic OSCTI source.
+type SourceSpec struct {
+	Slug     string // subdomain-safe identifier
+	Name     string // display name
+	Vendor   string // CTI vendor credited on reports
+	Layout   Layout
+	Format   string // "html" or "pdf"
+	Category string // encyclopedia | blog | news
+	Reports  int    // number of reports the source publishes
+	PerPage  int    // index pagination size
+}
+
+// BaseURL returns the synthetic site root for the source.
+func (s SourceSpec) BaseURL() string {
+	return fmt.Sprintf("https://%s.osint.test", s.Slug)
+}
+
+// DefaultSources returns the canonical 42-source universe, mirroring the
+// paper's "40+ major security websites". reportsPerSource scales corpus
+// size (the paper's 120K+ corpus is 42 sources x ~2900 reports).
+func DefaultSources(reportsPerSource int) []SourceSpec {
+	if reportsPerSource <= 0 {
+		reportsPerSource = 50
+	}
+	type def struct {
+		slug, name, vendor string
+		layout             Layout
+		format             string
+		category           string
+	}
+	defs := []def{
+		{"acme-encyclopedia", "Acme Threat Encyclopedia", "AcmeSec", LayoutEncyclopedia, "html", "encyclopedia"},
+		{"virex-wiki", "Virex Malware Wiki", "Virex Labs", LayoutEncyclopedia, "html", "encyclopedia"},
+		{"threatpedia", "Threatpedia", "Threatpedia Org", LayoutEncyclopedia, "html", "encyclopedia"},
+		{"malcat-db", "Malcat Database", "Malcat", LayoutEncyclopedia, "html", "encyclopedia"},
+		{"infectindex", "Infect Index", "InfectIndex", LayoutEncyclopedia, "html", "encyclopedia"},
+		{"wormbase", "Wormbase Encyclopedia", "Wormbase", LayoutEncyclopedia, "html", "encyclopedia"},
+		{"trojan-atlas", "Trojan Atlas", "Atlas Security", LayoutEncyclopedia, "html", "encyclopedia"},
+		{"riskcodex", "Risk Codex", "RiskCodex", LayoutEncyclopedia, "html", "encyclopedia"},
+
+		{"redcanary-blog", "Red Canary Notes", "Red Canary", LayoutBlog, "html", "blog"},
+		{"kasper-blog", "Kasper Research Blog", "Kaspersky", LayoutBlog, "html", "blog"},
+		{"unit51", "Unit 51 Research", "Unit 42", LayoutBlog, "html", "blog"},
+		{"talos-notes", "Talos Field Notes", "Cisco Talos", LayoutBlog, "html", "blog"},
+		{"fireglow", "FireGlow Research", "FireEye", LayoutBlog, "html", "blog"},
+		{"crowdwatch", "CrowdWatch Blog", "CrowdStrike", LayoutBlog, "html", "blog"},
+		{"sentinel-lab", "Sentinel Laboratory", "SentinelOne", LayoutBlog, "html", "blog"},
+		{"sophoslabs-x", "SophosLabs Uncut", "Sophos", LayoutBlog, "html", "blog"},
+		{"esentire-blog", "eSentire Threat Blog", "eSentire", LayoutBlog, "html", "blog"},
+		{"proof-insights", "Proof Insights", "Proofpoint", LayoutBlog, "html", "blog"},
+		{"mandiant-notes", "Mandiant Notes", "Mandiant", LayoutBlog, "html", "blog"},
+		{"bitdef-lab", "Bitdefender Lab Notes", "Bitdefender", LayoutBlog, "html", "blog"},
+		{"checkpt-research", "CheckPoint Research", "Check Point", LayoutBlog, "html", "blog"},
+		{"welivesec", "WeLiveSec", "ESET", LayoutBlog, "html", "blog"},
+		{"trendlab", "TrendLab Intelligence", "TrendMicro", LayoutBlog, "html", "blog"},
+		{"securelist-x", "SecureList Weekly", "Kaspersky", LayoutBlog, "html", "blog"},
+
+		{"hack-daily", "Hack Daily News", "Hack Daily", LayoutNews, "html", "news"},
+		{"breach-wire", "Breach Wire", "Breach Wire", LayoutNews, "html", "news"},
+		{"cyber-ledger", "Cyber Ledger", "Cyber Ledger", LayoutNews, "html", "news"},
+		{"threatpost-x", "ThreatPost Mirror", "ThreatPost", LayoutNews, "html", "news"},
+		{"darkread", "DarkRead", "DarkRead", LayoutNews, "html", "news"},
+		{"zdi-news", "ZDI News Desk", "ZDI", LayoutNews, "html", "news"},
+		{"bleep-mirror", "Bleep Mirror", "BleepingComputer", LayoutNews, "html", "news"},
+		{"krebs-watch", "Krebs Watch", "KrebsWatch", LayoutNews, "html", "news"},
+		{"secweek", "Security Week Digest", "SecurityWeek", LayoutNews, "html", "news"},
+		{"infosec-times", "InfoSec Times", "InfoSec Times", LayoutNews, "html", "news"},
+		{"packet-herald", "Packet Herald", "Packet Herald", LayoutNews, "html", "news"},
+		{"exploit-gazette", "Exploit Gazette", "Exploit Gazette", LayoutNews, "html", "news"},
+
+		{"ibm-xforce-pdf", "X-Force Advisories", "IBM X-Force", LayoutBlog, "pdf", "blog"},
+		{"govcert-pdf", "GovCERT Bulletins", "GovCERT", LayoutBlog, "pdf", "news"},
+		{"nsa-advisories", "National Advisories", "NSA CSD", LayoutBlog, "pdf", "news"},
+		{"cisa-alerts-pdf", "CISA Alert Archive", "CISA", LayoutBlog, "pdf", "news"},
+		{"jpcert-pdf", "JPCERT Reports", "JPCERT/CC", LayoutBlog, "pdf", "blog"},
+		{"cert-eu-pdf", "CERT-EU Threat Memos", "CERT-EU", LayoutBlog, "pdf", "blog"},
+	}
+	out := make([]SourceSpec, len(defs))
+	for i, d := range defs {
+		out[i] = SourceSpec{
+			Slug: d.slug, Name: d.name, Vendor: d.vendor, Layout: d.layout,
+			Format: d.format, Category: d.category,
+			Reports: reportsPerSource, PerPage: 20,
+		}
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package stix
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"securitykg/internal/graph"
+)
+
+func sampleGraph(t *testing.T) *graph.Store {
+	t.Helper()
+	s := graph.New()
+	mal, _ := s.MergeNode("Malware", "WannaCry", map[string]string{"aliases": "W32/WannaCry|WANNACRY"})
+	actor, _ := s.MergeNode("ThreatActor", "Lazarus Group", nil)
+	ip, _ := s.MergeNode("IP", "10.0.0.5", nil)
+	tech, _ := s.MergeNode("Technique", "credential dumping", nil)
+	rep, _ := s.MergeNode("MalwareReport", "r1", map[string]string{"report_id": "r1"})
+	s.AddEdge(mal, "ATTRIBUTED_TO", actor, nil)
+	s.AddEdge(mal, "CONNECT", ip, nil)
+	s.AddEdge(actor, "USE", tech, nil)
+	s.AddEdge(rep, "DESCRIBES", mal, nil)
+	return s
+}
+
+func TestBuildBundleShapes(t *testing.T) {
+	b, err := BuildBundle(sampleGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Type != "bundle" || !strings.HasPrefix(b.ID, "bundle--") {
+		t.Errorf("bundle header: %+v", b.Type)
+	}
+	byType := map[string]int{}
+	for _, o := range b.Objects {
+		byType[o.Type]++
+		if o.SpecVersion != "2.1" {
+			t.Errorf("object %s missing spec_version", o.ID)
+		}
+		if !strings.HasPrefix(o.ID, o.Type+"--") {
+			t.Errorf("id %s does not embed type %s", o.ID, o.Type)
+		}
+	}
+	want := map[string]int{
+		"malware": 1, "threat-actor": 1, "ipv4-addr": 1,
+		"attack-pattern": 1, "report": 1, "relationship": 4,
+	}
+	for typ, n := range want {
+		if byType[typ] != n {
+			t.Errorf("%s: %d objects, want %d (all: %v)", typ, byType[typ], n, byType)
+		}
+	}
+}
+
+func TestBundleRelationshipsResolve(t *testing.T) {
+	b, err := BuildBundle(sampleGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := map[string]bool{}
+	for _, o := range b.Objects {
+		if o.Type != "relationship" {
+			ids[o.ID] = true
+		}
+	}
+	for _, o := range b.Objects {
+		if o.Type != "relationship" {
+			continue
+		}
+		if !ids[o.SourceRef] || !ids[o.TargetRef] {
+			t.Errorf("dangling relationship refs: %+v", o)
+		}
+		if o.RelType == "" {
+			t.Errorf("relationship without type: %+v", o)
+		}
+	}
+}
+
+func TestAliasesAndObservableValues(t *testing.T) {
+	b, _ := BuildBundle(sampleGraph(t))
+	var mal, ip *Object
+	for i := range b.Objects {
+		switch b.Objects[i].Type {
+		case "malware":
+			mal = &b.Objects[i]
+		case "ipv4-addr":
+			ip = &b.Objects[i]
+		}
+	}
+	if mal == nil || len(mal.Aliases) != 2 {
+		t.Errorf("malware aliases: %+v", mal)
+	}
+	if ip == nil || ip.Value != "10.0.0.5" || ip.Name != "" {
+		t.Errorf("observable should use value field: %+v", ip)
+	}
+}
+
+func TestExportDeterministic(t *testing.T) {
+	var a, c bytes.Buffer
+	if err := Export(sampleGraph(t), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := Export(sampleGraph(t), &c); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != c.String() {
+		t.Error("export is not deterministic")
+	}
+	// Output is valid JSON.
+	var parsed Bundle
+	if err := json.Unmarshal(a.Bytes(), &parsed); err != nil {
+		t.Fatalf("export not valid JSON: %v", err)
+	}
+	if len(parsed.Objects) == 0 {
+		t.Error("empty bundle")
+	}
+}
+
+func TestEmptyGraphExports(t *testing.T) {
+	b, err := BuildBundle(graph.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Objects) != 0 {
+		t.Errorf("empty graph produced %d objects", len(b.Objects))
+	}
+}
+
+func TestRelationshipMappingFallback(t *testing.T) {
+	s := graph.New()
+	a, _ := s.MergeNode("Malware", "a", nil)
+	bn, _ := s.MergeNode("Malware", "b", nil)
+	s.AddEdge(a, "SOME_CUSTOM_REL", bn, nil)
+	bundle, _ := BuildBundle(s)
+	for _, o := range bundle.Objects {
+		if o.Type == "relationship" && o.RelType != "related-to" {
+			t.Errorf("unmapped relation should fall back to related-to: %+v", o)
+		}
+	}
+}

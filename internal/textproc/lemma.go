@@ -1,0 +1,144 @@
+package textproc
+
+import "strings"
+
+// irregular maps irregular inflected forms to their lemmas.
+var irregular = map[string]string{
+	"is": "be", "are": "be", "was": "be", "were": "be", "been": "be",
+	"being": "be", "am": "be",
+	"has": "have", "had": "have", "having": "have",
+	"does": "do", "did": "do", "done": "do", "doing": "do",
+	"sent": "send", "wrote": "write", "written": "write",
+	"stole": "steal", "stolen": "steal", "ran": "run", "running": "run",
+	"began": "begin", "begun": "begin", "spread": "spread",
+	"built": "build", "made": "make", "making": "make", "took": "take",
+	"taken": "take", "went": "go", "gone": "go", "got": "get",
+	"gotten": "get", "found": "find", "left": "leave", "kept": "keep",
+	"held": "hold", "saw": "see", "seen": "see", "came": "come",
+	"gave": "give", "given": "give", "knew": "know", "known": "know",
+	"led": "lead", "met": "meet", "put": "put", "read": "read",
+	"said": "say", "sold": "sell", "set": "set", "shut": "shut",
+	"children": "child", "people": "person", "men": "man", "women": "woman",
+	"data": "data", "media": "media", "indices": "index",
+	"analyses": "analysis", "families": "family", "registries": "registry",
+	"vulnerabilities": "vulnerability", "binaries": "binary",
+	"utilities": "utility", "capabilities": "capability",
+	"activities": "activity", "entities": "entity", "proxies": "proxy",
+}
+
+// Lemmatize fills the Lemma field of every token, using the POS tag when
+// present to choose noun vs verb morphology. Call after Tag for best
+// results; without tags it applies generic suffix stripping.
+func Lemmatize(toks []Token) {
+	for i := range toks {
+		toks[i].Lemma = Lemma(toks[i].Text, toks[i].POS)
+	}
+}
+
+// Lemma computes the lemma of a single word given its POS tag (may be "").
+func Lemma(word, pos string) string {
+	lw := strings.ToLower(word)
+	if lem, ok := irregular[lw]; ok {
+		return lem
+	}
+	if pos == TagCD || pos == TagPunct || pos == TagNNP {
+		return lw
+	}
+	switch {
+	case IsVerbTag(pos) || pos == "":
+		if l := verbLemma(lw); l != "" {
+			return l
+		}
+	}
+	if IsNounTag(pos) || pos == "" {
+		if l := nounLemma(lw); l != "" {
+			return l
+		}
+	}
+	return lw
+}
+
+func verbLemma(w string) string {
+	switch {
+	case strings.HasSuffix(w, "ies") && len(w) > 4:
+		return w[:len(w)-3] + "y"
+	case strings.HasSuffix(w, "sses"), strings.HasSuffix(w, "ches"),
+		strings.HasSuffix(w, "shes"), strings.HasSuffix(w, "xes"),
+		strings.HasSuffix(w, "zes"):
+		return w[:len(w)-2]
+	case strings.HasSuffix(w, "s") && !strings.HasSuffix(w, "ss") && len(w) > 3:
+		return w[:len(w)-1]
+	case strings.HasSuffix(w, "ing") && len(w) > 4:
+		base := w[:len(w)-3]
+		return undouble(base)
+	case strings.HasSuffix(w, "ed") && len(w) > 4:
+		base := w[:len(w)-2]
+		return undouble(base)
+	}
+	return ""
+}
+
+func undouble(base string) string {
+	if verbLemmas[base] {
+		return base
+	}
+	if verbLemmas[base+"e"] {
+		return base + "e"
+	}
+	if len(base) > 1 && base[len(base)-1] == base[len(base)-2] {
+		if verbLemmas[base[:len(base)-1]] {
+			return base[:len(base)-1]
+		}
+	}
+	// Generic fallback: prefer the shortest plausible base.
+	if len(base) > 2 && base[len(base)-1] == base[len(base)-2] &&
+		!strings.ContainsRune("aeiou", rune(base[len(base)-1])) {
+		return base[:len(base)-1]
+	}
+	return base
+}
+
+func nounLemma(w string) string {
+	switch {
+	case strings.HasSuffix(w, "ies") && len(w) > 4:
+		return w[:len(w)-3] + "y"
+	case strings.HasSuffix(w, "ses"), strings.HasSuffix(w, "xes"),
+		strings.HasSuffix(w, "zes"), strings.HasSuffix(w, "ches"),
+		strings.HasSuffix(w, "shes"):
+		return w[:len(w)-2]
+	case strings.HasSuffix(w, "s") && !strings.HasSuffix(w, "ss") &&
+		!strings.HasSuffix(w, "us") && !strings.HasSuffix(w, "is") && len(w) > 3:
+		return w[:len(w)-1]
+	}
+	return ""
+}
+
+// Stopwords is the default English stopword set used by search indexing
+// and feature extraction.
+var Stopwords = map[string]bool{
+	"a": true, "an": true, "the": true, "and": true, "or": true,
+	"but": true, "of": true, "to": true, "in": true, "on": true,
+	"at": true, "by": true, "for": true, "with": true, "from": true,
+	"is": true, "are": true, "was": true, "were": true, "be": true,
+	"been": true, "it": true, "its": true, "this": true, "that": true,
+	"these": true, "those": true, "as": true, "which": true, "we": true,
+	"they": true, "their": true, "has": true, "have": true, "had": true,
+	"will": true, "would": true, "can": true, "could": true, "may": true,
+	"not": true, "no": true, "also": true, "such": true, "than": true,
+	"then": true, "there": true, "into": true, "over": true, "about": true,
+	"after": true, "before": true, "when": true, "while": true, "where": true,
+	"who": true, "what": true, "how": true, "all": true, "any": true,
+	"each": true, "other": true, "some": true, "more": true, "most": true,
+	"so": true, "if": true, "via": true, "per": true, "both": true,
+	"do": true, "does": true, "did": true, "s": true, "t": true,
+}
+
+// Annotate runs the full preprocessing stack on text: tokenize, tag,
+// lemmatize, and compute shapes.
+func Annotate(text string) []Token {
+	toks := Tokenize(text)
+	Tag(toks)
+	Lemmatize(toks)
+	Shapes(toks)
+	return toks
+}

@@ -1,0 +1,197 @@
+package securitykg
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"securitykg/internal/config"
+)
+
+// one shared small system per test binary: New trains a CRF, which is the
+// slow part.
+var (
+	sysOnce  sync.Once
+	sysVal   *System
+	sysErr   error
+	sysStats CollectStats
+)
+
+func sharedSystem(t *testing.T) (*System, CollectStats) {
+	t.Helper()
+	sysOnce.Do(func() {
+		cfg := config.Default()
+		cfg.ReportsPerSource = 6
+		cfg.NER.TrainDocs = 60
+		cfg.NER.Epochs = 4
+		cfg.Connectors = []string{"graph", "relational"}
+		sysVal, sysErr = New(Options{Config: &cfg})
+		if sysErr != nil {
+			return
+		}
+		sysStats, sysErr = sysVal.Collect(context.Background())
+	})
+	if sysErr != nil {
+		t.Fatal(sysErr)
+	}
+	return sysVal, sysStats
+}
+
+func TestSystemCollectEndToEnd(t *testing.T) {
+	sys, st := sharedSystem(t)
+	want := int64(len(sys.Sources()) * 6)
+	if st.Process.Connected != want {
+		t.Fatalf("connected %d reports, want %d", st.Process.Connected, want)
+	}
+	gs := sys.Store.Stats()
+	if gs.Nodes < 500 {
+		t.Errorf("graph too small after full collect: %+v", gs)
+	}
+	if sys.Index.Len() != int(want) {
+		t.Errorf("search index has %d docs, want %d", sys.Index.Len(), want)
+	}
+	if sys.RelStore == nil {
+		t.Fatal("relational connector not wired")
+	}
+	if n, _ := sys.RelStore.Count("reports"); n != int(want) {
+		t.Errorf("relational reports: %d", n)
+	}
+}
+
+func TestSystemSearchFindsReports(t *testing.T) {
+	sys, _ := sharedSystem(t)
+	// Search for a term every report contains.
+	hits, err := sys.Search("campaign", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("no hits for common term")
+	}
+	for _, h := range hits {
+		if h.Title == "" || h.Kind == "" {
+			t.Errorf("hit not resolved to report node: %+v", h)
+		}
+	}
+}
+
+func TestSystemCypherDemoQuery(t *testing.T) {
+	sys, _ := sharedSystem(t)
+	// Find any malware node, then run the paper's demo-style point query.
+	res, err := sys.Cypher(`match (n:Malware) return n.name limit 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatal("no malware nodes in KG")
+	}
+	name := res.Rows[0][0].Str
+	res2, err := sys.Cypher(`match (n) where n.name = "` + name + `" return n.type`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Rows) == 0 {
+		t.Errorf("point query found nothing for %q", name)
+	}
+}
+
+func TestSystemFuseReducesAliases(t *testing.T) {
+	sys, _ := sharedSystem(t)
+	before := sys.Store.Stats().Nodes
+	fstats, err := sys.Fuse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := sys.Store.Stats().Nodes
+	if fstats.NodesMerged > 0 && after >= before {
+		t.Errorf("fusion merged %d but node count went %d -> %d",
+			fstats.NodesMerged, before, after)
+	}
+	// Idempotent second pass.
+	f2, err := sys.Fuse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.NodesMerged != 0 {
+		t.Errorf("second fusion merged again: %+v", f2)
+	}
+}
+
+func TestSystemSaveLoadGraph(t *testing.T) {
+	sys, _ := sharedSystem(t)
+	path := filepath.Join(t.TempDir(), "kg.jsonl")
+	if err := sys.SaveGraph(path); err != nil {
+		t.Fatal(err)
+	}
+	before := sys.Store.Stats()
+	if err := sys.LoadGraph(path); err != nil {
+		t.Fatal(err)
+	}
+	after := sys.Store.Stats()
+	if before.Nodes != after.Nodes || before.Edges != after.Edges {
+		t.Errorf("save/load changed graph: %+v vs %+v", before, after)
+	}
+}
+
+func TestSystemSourceFiltering(t *testing.T) {
+	sys, err := New(Options{
+		ReportsPerSource: 2,
+		SourceSlugs:      []string{"acme-encyclopedia", "hack-daily"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Sources()) != 2 {
+		t.Errorf("source filter: %d sources", len(sys.Sources()))
+	}
+	if _, err := New(Options{SourceSlugs: []string{"nope"}}); err == nil {
+		t.Error("unknown source filter accepted")
+	}
+}
+
+func TestSystemLogConnector(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := config.Default()
+	cfg.ReportsPerSource = 2
+	cfg.Sources = []string{"acme-encyclopedia"}
+	cfg.NER.TrainDocs = 10
+	cfg.NER.Epochs = 1
+	cfg.Connectors = []string{"log"}
+	sys, err := New(Options{Config: &cfg, LogWriter: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Collect(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if lines != 2 {
+		t.Errorf("log connector wrote %d lines, want 2", lines)
+	}
+}
+
+func TestSystemWithEmbeddingFeatures(t *testing.T) {
+	cfg := config.Default()
+	cfg.ReportsPerSource = 3
+	cfg.Sources = []string{"acme-encyclopedia", "kasper-blog"}
+	cfg.NER.TrainDocs = 12
+	cfg.NER.Epochs = 2
+	cfg.NER.Embeddings = true
+	sys, err := New(Options{Config: &cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sys.Collect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Process.Connected != 6 {
+		t.Errorf("connected %d, want 6", st.Process.Connected)
+	}
+	if sys.Store.Stats().Nodes == 0 {
+		t.Error("embedding-featured system produced empty graph")
+	}
+}
