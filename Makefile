@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test vet bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench runs the Cypher engine benchmarks (planned vs legacy, index
+# on/off) and records the raw `go test -json` event stream in
+# BENCH_cypher.json so the perf trajectory is diffable across PRs.
+bench:
+	$(GO) test -run '^$$' -bench 'Cypher' -benchmem -benchtime 50x . -json | tee BENCH_cypher.json | \
+		grep -o '"Output":"Benchmark[^"]*' | sed 's/"Output":"//; s/\\t/\t/g; s/\\n//' || true

@@ -254,6 +254,59 @@ func BenchmarkCypherQuery(b *testing.B) {
 	}
 }
 
+// --- E15: planned streaming engine vs legacy matcher ---
+
+// benchKG is a 20k-node KG with malware hubs and IP fan-out, shared by
+// the planner benchmarks.
+func benchKG() *graph.Store {
+	s := graph.New()
+	for i := 0; i < 10000; i++ {
+		id, _ := s.MergeNode("Malware", fmt.Sprintf("malware-%d", i), nil)
+		for k := 0; k < 2; k++ {
+			ip, _ := s.MergeNode("IP", fmt.Sprintf("10.%d.%d.%d", i%200, (i/200)%200, k), nil)
+			s.AddEdge(id, "CONNECT", ip, nil)
+		}
+	}
+	return s
+}
+
+// BenchmarkCypherPlannerVsLegacy compares the two engines on the query
+// shapes that matter: point lookups, full multi-hop joins, and LIMIT-ed
+// multi-hop where the streaming executor's early cutoff dominates (the
+// legacy matcher materializes every match before truncating). Repeated
+// planned runs hit the engine's plan cache (skipping parse+plan), the
+// same advantage a serving workload sees; legacy re-parses every run.
+func BenchmarkCypherPlannerVsLegacy(b *testing.B) {
+	s := benchKG()
+	queries := []struct {
+		name string
+		q    string
+	}{
+		{"point", `match (n) where n.name = "malware-5000" return n`},
+		{"2-hop", `match (m {name: "malware-5000"})-[:CONNECT]->(ip)<-[:CONNECT]-(m2) return m2.name`},
+		{"reversed-entry", `match (ip)<-[:CONNECT]-(m {name: "malware-5000"}) return ip.name`},
+		{"multi-hop-limit", `match (m:Malware)-[:CONNECT]->(ip)<-[:CONNECT]-(m2) return m.name, m2.name limit 20`},
+		{"scan-limit", `match (m:Malware)-[:CONNECT]->(ip) return m.name, ip.name limit 10`},
+	}
+	for _, q := range queries {
+		for _, legacy := range []bool{false, true} {
+			mode := "planned"
+			if legacy {
+				mode = "legacy"
+			}
+			b.Run(fmt.Sprintf("%s/%s", q.name, mode), func(b *testing.B) {
+				eng := cypher.NewEngine(s, cypher.Options{UseIndexes: true, MaxRows: 100000, Legacy: legacy})
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := eng.Run(q.q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // --- E12: layout, Barnes-Hut vs exact ---
 
 func BenchmarkLayoutBarnesHut(b *testing.B) {

@@ -24,6 +24,7 @@ import (
 
 func main() {
 	graphPath := flag.String("graph", "kg.jsonl", "persisted knowledge graph file")
+	explain := flag.Bool("explain", false, "print the query plan before each result (EXPLAIN <query> also works per statement)")
 	flag.Parse()
 
 	store, err := graph.LoadFile(*graphPath)
@@ -32,7 +33,7 @@ func main() {
 	}
 	gs := store.Stats()
 	fmt.Printf("skg-query: loaded %d nodes, %d edges from %s\n", gs.Nodes, gs.Edges, *graphPath)
-	fmt.Println(`skg-query: enter Cypher (e.g. match (n:Malware) return n.name limit 5), /keyword search, or "quit"`)
+	fmt.Println(`skg-query: enter Cypher (e.g. match (n:Malware) return n.name limit 5), explain <query>, /keyword search, or "quit"`)
 
 	// Rebuild the keyword index from report nodes (title only; bodies are
 	// not persisted in the graph).
@@ -63,6 +64,13 @@ func main() {
 				fmt.Printf("  %8s  score=%.3f\n", h.ID, h.Score)
 			}
 		default:
+			// An inline "explain ..." statement already prints its plan as
+			// rows; don't duplicate it under -explain.
+			if *explain && !strings.HasPrefix(strings.ToLower(line), "explain") {
+				if plan, err := eng.Explain(line); err == nil {
+					fmt.Print(plan)
+				}
+			}
 			res, err := eng.Run(line)
 			if err != nil {
 				fmt.Println("error:", err)
@@ -76,7 +84,11 @@ func main() {
 				}
 				fmt.Println(strings.Join(cells, " | "))
 			}
-			fmt.Printf("(%d rows)\n", len(res.Rows))
+			if res.Truncated {
+				fmt.Printf("(%d rows, truncated by MaxRows)\n", len(res.Rows))
+			} else {
+				fmt.Printf("(%d rows)\n", len(res.Rows))
+			}
 		}
 		fmt.Print("> ")
 	}

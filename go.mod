@@ -1,0 +1,3 @@
+module securitykg
+
+go 1.24

@@ -2,6 +2,7 @@ package cypher
 
 // Query is the parsed form of a supported Cypher statement.
 type Query struct {
+	Explain  bool      // EXPLAIN prefix: render the plan instead of running it
 	Patterns []Pattern // comma-separated MATCH patterns
 	Where    Expr      // nil when absent
 	Distinct bool

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"securitykg/internal/graph"
 )
@@ -14,8 +15,14 @@ type Options struct {
 	// exact-property lookups). Disabling it forces full scans — exposed so
 	// the E11 ablation can measure the index's effect.
 	UseIndexes bool
-	// MaxRows caps result size as a safety valve (0 = unlimited).
+	// MaxRows caps result size as a safety valve (0 = unlimited). The
+	// streaming engine enforces it during matching: once the cap is hit,
+	// pattern enumeration stops and Result.Truncated is set.
 	MaxRows int
+	// Legacy selects the pre-planner tree-walking matcher. It exists for
+	// differential testing and planner-vs-legacy benchmarks; the planned
+	// streaming pipeline is the default.
+	Legacy bool
 }
 
 // DefaultOptions enables indexes with a 100k row cap.
@@ -25,26 +32,101 @@ func DefaultOptions() Options { return Options{UseIndexes: true, MaxRows: 100000
 type Engine struct {
 	store *graph.Store
 	opts  Options
+
+	mu        sync.Mutex
+	planCache map[string]planEntry
 }
+
+// planEntry is a cached plan plus the store cardinalities it was costed
+// against, so stale plans are re-planned once the graph has drifted.
+type planEntry struct {
+	pl    *Plan
+	nodes int
+	edges int
+}
+
+const planCacheMax = 512
 
 // NewEngine builds an engine over the store.
 func NewEngine(s *graph.Store, opts Options) *Engine {
-	return &Engine{store: s, opts: opts}
+	return &Engine{store: s, opts: opts, planCache: make(map[string]planEntry)}
+}
+
+// cachedPlan returns a previously planned pipeline for src if the store
+// cardinalities have not drifted past 2× since it was costed. Cached
+// plans stay correct under mutation (access paths never become invalid);
+// the bound only protects optimality.
+func (e *Engine) cachedPlan(src string) *Plan {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ent, ok := e.planCache[src]
+	if !ok {
+		return nil
+	}
+	n, m := e.store.CountNodes(), e.store.CountEdges()
+	if n > 2*ent.nodes+16 || ent.nodes > 2*n+16 || m > 2*ent.edges+16 || ent.edges > 2*m+16 {
+		delete(e.planCache, src)
+		return nil
+	}
+	return ent.pl
+}
+
+func (e *Engine) storePlan(src string, pl *Plan) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.planCache) >= planCacheMax {
+		for k := range e.planCache {
+			delete(e.planCache, k)
+			break
+		}
+	}
+	e.planCache[src] = planEntry{pl: pl, nodes: e.store.CountNodes(), edges: e.store.CountEdges()}
 }
 
 // Result is a rectangular query result.
 type Result struct {
 	Columns []string
 	Rows    [][]Value
+	// Truncated reports that rows were dropped by the MaxRows safety
+	// valve (never by an explicit LIMIT).
+	Truncated bool
 }
 
-// Run parses and executes a Cypher statement.
+// Run parses and executes a Cypher statement. Repeated statements reuse
+// the cached plan, skipping parse and planning entirely.
 func (e *Engine) Run(src string) (*Result, error) {
+	if !e.opts.Legacy {
+		if pl := e.cachedPlan(src); pl != nil {
+			return e.execPlan(pl)
+		}
+	}
 	q, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
+	if !e.opts.Legacy && !q.Explain {
+		pl, err := e.planQuery(q)
+		if err != nil {
+			return nil, err
+		}
+		e.storePlan(src, pl)
+		return e.execPlan(pl)
+	}
 	return e.RunQuery(q)
+}
+
+// Explain parses src and renders the plan the streaming engine would run,
+// without executing it.
+func (e *Engine) Explain(src string) (string, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return "", err
+	}
+	pl, err := e.planQuery(q)
+	if err != nil {
+		return "", err
+	}
+	return pl.String(), nil
 }
 
 // binding maps pattern variables to runtime values during matching.
@@ -58,11 +140,25 @@ func (b binding) clone() binding {
 	return c
 }
 
-// RunQuery executes a parsed query.
+// RunQuery executes a parsed query through the planned streaming
+// pipeline (planner.go + iter.go), or through the legacy tree-walking
+// matcher when Options.Legacy is set. EXPLAIN always reports the
+// streaming plan.
 func (e *Engine) RunQuery(q *Query) (*Result, error) {
 	if len(q.Returns) == 0 {
 		return nil, fmt.Errorf("cypher: empty RETURN")
 	}
+	if e.opts.Legacy && !q.Explain {
+		return e.runLegacy(q)
+	}
+	return e.runPlanned(q)
+}
+
+// runLegacy is the original recursive matcher: it materializes every
+// complete match before projection and paging. Kept as the differential
+// baseline the property tests and benchmarks compare the streaming
+// executor against.
+func (e *Engine) runLegacy(q *Query) (*Result, error) {
 	pushed := extractEqualityHints(q.Where)
 
 	var matches []binding
@@ -89,9 +185,11 @@ func (e *Engine) RunQuery(q *Query) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := e.orderAndPage(q, res, matches); err != nil {
+	keyCols, err := orderKeyColumns(q.OrderBy, res.Columns)
+	if err != nil {
 		return nil, err
 	}
+	finishRows(q.OrderBy, q.Skip, q.Limit, res, keyCols, e.opts.MaxRows)
 	return res, nil
 }
 
@@ -99,37 +197,9 @@ func (e *Engine) RunQuery(q *Query) (*Result, error) {
 
 // equality hints pushed down from WHERE: var -> prop -> literal string.
 func extractEqualityHints(w Expr) map[string]map[string]string {
-	out := map[string]map[string]string{}
-	var walk func(e Expr)
-	walk = func(e Expr) {
-		switch v := e.(type) {
-		case BoolExpr:
-			if v.Op == "and" {
-				walk(v.Left)
-				walk(v.Right)
-			}
-		case CmpExpr:
-			if v.Op != "=" {
-				return
-			}
-			pe, okL := v.Left.(PropExpr)
-			lit, okR := v.Right.(LitExpr)
-			if !okL || !okR {
-				pe, okL = v.Right.(PropExpr)
-				lit, okR = v.Left.(LitExpr)
-			}
-			if okL && okR && lit.Val.Kind == KindString {
-				if out[pe.Var] == nil {
-					out[pe.Var] = map[string]string{}
-				}
-				out[pe.Var][pe.Prop] = lit.Val.Str
-			}
-		}
-	}
-	if w != nil {
-		walk(w)
-	}
-	return out
+	var conjs []Expr
+	splitConjuncts(w, &conjs)
+	return equalityHints(conjs)
 }
 
 func (e *Engine) matchPatterns(pats []Pattern, idx int, b binding,
@@ -150,7 +220,7 @@ func (e *Engine) matchChain(p Pattern, i int, b binding,
 	np := p.Nodes[i]
 
 	tryNode := func(n *graph.Node) bool {
-		if !e.nodeMatches(np, n, hints) {
+		if !nodeMatches(np, n) {
 			return true // skip, continue search
 		}
 		b2 := b
@@ -226,7 +296,7 @@ func (e *Engine) matchEdge(p Pattern, i int, from *graph.Node, b binding,
 				}
 			}
 			np := p.Nodes[i+1]
-			if !e.nodeMatches(np, other, hints) {
+			if !nodeMatches(np, other) {
 				continue
 			}
 			b3 := b2
@@ -293,7 +363,7 @@ func (e *Engine) candidates(np NodePattern, hints map[string]map[string]string) 
 }
 
 // nodeMatches checks label and inline property constraints.
-func (e *Engine) nodeMatches(np NodePattern, n *graph.Node, _ map[string]map[string]string) bool {
+func nodeMatches(np NodePattern, n *graph.Node) bool {
 	if np.Label != "" && n.Type != np.Label {
 		return false
 	}
@@ -481,6 +551,28 @@ func isAggregate(e Expr) bool {
 
 // --- projection, grouping, ordering ---
 
+// projectRow evaluates the RETURN items against one binding.
+func projectRow(items []ReturnItem, b binding) ([]Value, error) {
+	row := make([]Value, len(items))
+	for i, it := range items {
+		v, err := evalExpr(it.Expr, b)
+		if err != nil {
+			return nil, err
+		}
+		row[i] = v
+	}
+	return row, nil
+}
+
+// rowKey identifies a row for DISTINCT and grouping.
+func rowKey(row []Value) string {
+	parts := make([]string, len(row))
+	for i, v := range row {
+		parts[i] = v.key()
+	}
+	return strings.Join(parts, "\x00")
+}
+
 func (e *Engine) project(q *Query, matches []binding) (*Result, error) {
 	res := &Result{}
 	hasAgg := false
@@ -491,16 +583,21 @@ func (e *Engine) project(q *Query, matches []binding) (*Result, error) {
 		}
 	}
 	if hasAgg {
-		return e.projectAggregate(q, matches, res)
+		i := 0
+		err := aggregateRows(q.Returns, res, func() (binding, error) {
+			if i >= len(matches) {
+				return nil, nil
+			}
+			b := matches[i]
+			i++
+			return b, nil
+		})
+		return res, err
 	}
 	for _, b := range matches {
-		row := make([]Value, len(q.Returns))
-		for i, it := range q.Returns {
-			v, err := evalExpr(it.Expr, b)
-			if err != nil {
-				return nil, err
-			}
-			row[i] = v
+		row, err := projectRow(q.Returns, b)
+		if err != nil {
+			return nil, err
 		}
 		res.Rows = append(res.Rows, row)
 	}
@@ -510,24 +607,35 @@ func (e *Engine) project(q *Query, matches []binding) (*Result, error) {
 	return res, nil
 }
 
-func (e *Engine) projectAggregate(q *Query, matches []binding, res *Result) (*Result, error) {
+// aggregateRows consumes bindings from pull (nil binding = exhausted),
+// grouping by the non-aggregate RETURN items and counting into the
+// aggregate ones. Groups are emitted in first-seen order. Both engines
+// share it: the legacy path wraps its match slice, the streaming path
+// wraps the iterator pipeline.
+func aggregateRows(items []ReturnItem, res *Result, pull func() (binding, error)) error {
 	type group struct {
 		keyVals []Value
 		counts  []int
-		seen    []map[string]bool // for count(DISTINCT …) — not exposed, kept simple
 	}
 	groups := map[string]*group{}
 	var order []string
-	for _, b := range matches {
+	for {
+		b, err := pull()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
 		var keyParts []string
-		keyVals := make([]Value, len(q.Returns))
-		for i, it := range q.Returns {
+		keyVals := make([]Value, len(items))
+		for i, it := range items {
 			if isAggregate(it.Expr) {
 				continue
 			}
 			v, err := evalExpr(it.Expr, b)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			keyVals[i] = v
 			keyParts = append(keyParts, v.key())
@@ -535,11 +643,11 @@ func (e *Engine) projectAggregate(q *Query, matches []binding, res *Result) (*Re
 		k := strings.Join(keyParts, "\x00")
 		g, ok := groups[k]
 		if !ok {
-			g = &group{keyVals: keyVals, counts: make([]int, len(q.Returns))}
+			g = &group{keyVals: keyVals, counts: make([]int, len(items))}
 			groups[k] = g
 			order = append(order, k)
 		}
-		for i, it := range q.Returns {
+		for i, it := range items {
 			fe, ok := it.Expr.(FuncExpr)
 			if !ok || fe.Name != "count" {
 				continue
@@ -550,7 +658,7 @@ func (e *Engine) projectAggregate(q *Query, matches []binding, res *Result) (*Re
 			}
 			v, err := evalExpr(fe.Arg, b)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if v.Kind != KindNull {
 				g.counts[i]++
@@ -559,8 +667,8 @@ func (e *Engine) projectAggregate(q *Query, matches []binding, res *Result) (*Re
 	}
 	for _, k := range order {
 		g := groups[k]
-		row := make([]Value, len(q.Returns))
-		for i, it := range q.Returns {
+		row := make([]Value, len(items))
+		for i, it := range items {
 			if isAggregate(it.Expr) {
 				row[i] = NumberValue(float64(g.counts[i]))
 			} else {
@@ -569,18 +677,14 @@ func (e *Engine) projectAggregate(q *Query, matches []binding, res *Result) (*Re
 		}
 		res.Rows = append(res.Rows, row)
 	}
-	return res, nil
+	return nil
 }
 
 func distinctRows(rows [][]Value) [][]Value {
 	seen := map[string]bool{}
 	out := rows[:0]
 	for _, r := range rows {
-		var parts []string
-		for _, v := range r {
-			parts = append(parts, v.key())
-		}
-		k := strings.Join(parts, "\x00")
+		k := rowKey(r)
 		if !seen[k] {
 			seen[k] = true
 			out = append(out, r)
@@ -589,50 +693,67 @@ func distinctRows(rows [][]Value) [][]Value {
 	return out
 }
 
-func (e *Engine) orderAndPage(q *Query, res *Result, _ []binding) error {
-	if len(q.OrderBy) > 0 {
-		// Resolve each key to a returned column by alias text.
-		keyCols := make([]int, len(q.OrderBy))
-		for i, k := range q.OrderBy {
-			txt := exprText(k.Expr)
-			col := -1
-			for j, c := range res.Columns {
-				if c == txt {
-					col = j
-					break
-				}
-			}
-			if col < 0 {
-				return fmt.Errorf("cypher: ORDER BY %q must reference a returned column", txt)
-			}
-			keyCols[i] = col
-		}
-		sort.SliceStable(res.Rows, func(a, b int) bool {
-			for i, col := range keyCols {
-				c, ok := res.Rows[a][col].Compare(res.Rows[b][col])
-				if !ok || c == 0 {
-					continue
-				}
-				if q.OrderBy[i].Desc {
-					return c > 0
-				}
-				return c < 0
-			}
-			return false
-		})
+// orderKeyColumns resolves ORDER BY keys to returned column indexes
+// (keys must reference a returned column by alias text). Returns nil
+// when the query has no ORDER BY.
+func orderKeyColumns(orderBy []OrderKey, columns []string) ([]int, error) {
+	if len(orderBy) == 0 {
+		return nil, nil
 	}
-	if q.Skip > 0 {
-		if q.Skip >= len(res.Rows) {
+	keyCols := make([]int, len(orderBy))
+	for i, k := range orderBy {
+		txt := exprText(k.Expr)
+		col := -1
+		for j, c := range columns {
+			if c == txt {
+				col = j
+				break
+			}
+		}
+		if col < 0 {
+			return nil, fmt.Errorf("cypher: ORDER BY %q must reference a returned column", txt)
+		}
+		keyCols[i] = col
+	}
+	return keyCols, nil
+}
+
+// sortRows sorts rows by the resolved ORDER BY key columns.
+func sortRows(orderBy []OrderKey, rows [][]Value, keyCols []int) {
+	sort.SliceStable(rows, func(a, b int) bool {
+		for i, col := range keyCols {
+			c, ok := rows[a][col].Compare(rows[b][col])
+			if !ok || c == 0 {
+				continue
+			}
+			if orderBy[i].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+}
+
+// finishRows applies the trailing row operators shared by both engines:
+// sort (when keyCols is non-empty), SKIP, LIMIT, and the MaxRows safety
+// valve (which sets Truncated when it drops rows).
+func finishRows(orderBy []OrderKey, skip, limit int, res *Result, keyCols []int, maxRows int) {
+	if len(keyCols) > 0 {
+		sortRows(orderBy, res.Rows, keyCols)
+	}
+	if skip > 0 {
+		if skip >= len(res.Rows) {
 			res.Rows = nil
 		} else {
-			res.Rows = res.Rows[q.Skip:]
+			res.Rows = res.Rows[skip:]
 		}
 	}
-	if q.Limit >= 0 && len(res.Rows) > q.Limit {
-		res.Rows = res.Rows[:q.Limit]
+	if limit >= 0 && len(res.Rows) > limit {
+		res.Rows = res.Rows[:limit]
 	}
-	if e.opts.MaxRows > 0 && len(res.Rows) > e.opts.MaxRows {
-		res.Rows = res.Rows[:e.opts.MaxRows]
+	if maxRows > 0 && len(res.Rows) > maxRows {
+		res.Rows = res.Rows[:maxRows]
+		res.Truncated = true
 	}
-	return nil
 }

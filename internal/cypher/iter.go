@@ -1,0 +1,474 @@
+package cypher
+
+import (
+	"strings"
+
+	"securitykg/internal/graph"
+)
+
+// The executor runs plans as lazy pull-based iterators (Volcano style,
+// but with a single shared binding mutated in place and undone on
+// backtrack instead of cloned per level). Each stage's iterator pulls
+// from its input only when it needs another row, so LIMIT, MaxRows and
+// aggregate early exits stop pattern matching upstream instead of
+// truncating a fully-materialized match set.
+
+// iter advances the shared binding to the next complete extension.
+type iter interface {
+	next() (bool, error)
+}
+
+// execCtx is the shared execution state: the engine and the one binding
+// all stage iterators extend and unwind.
+type execCtx struct {
+	e *Engine
+	b binding
+}
+
+func (s *ScanStage) newIter(ec *execCtx, input iter) iter {
+	return &scanIter{ec: ec, st: s, input: input}
+}
+
+func (s *ExpandStage) newIter(ec *execCtx, input iter) iter {
+	return &expandIter{ec: ec, st: s, input: input}
+}
+
+func evalPreds(preds []Expr, b binding) (bool, error) {
+	for _, p := range preds {
+		v, err := evalExpr(p, b)
+		if err != nil {
+			return false, err
+		}
+		if !v.Truthy() {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// --- scan ---
+
+type scanIter struct {
+	ec        *execCtx
+	st        *ScanStage
+	input     iter // nil for the first stage (single virtual input row)
+	started   bool
+	active    bool
+	fetched   bool // ids loaded once; the access path is constant per query
+	ids       []graph.NodeID
+	i         int
+	boundCand *graph.Node // AccessBound: the single candidate
+	set       bool        // we bound Node.Var on the last emitted row
+}
+
+func (s *scanIter) fetchIDs() []graph.NodeID {
+	st := s.ec.e.store
+	switch s.st.Access {
+	case AccessLabel:
+		return st.NodeIDsByType(s.st.Label)
+	case AccessName:
+		return st.NodeIDsByName(s.st.Name)
+	case AccessLabelName:
+		if n := st.FindNode(s.st.Label, s.st.Name); n != nil {
+			return []graph.NodeID{n.ID}
+		}
+		return nil
+	case AccessAttr:
+		return st.NodeIDsByAttr(s.st.AttrKey, s.st.AttrVal)
+	case AccessLabelAttr:
+		return st.NodeIDsByTypeAttr(s.st.Label, s.st.AttrKey, s.st.AttrVal)
+	}
+	return st.AllNodeIDs()
+}
+
+func (s *scanIter) next() (bool, error) {
+	ec := s.ec
+	np := s.st.Node
+	for {
+		if !s.active {
+			if s.input == nil {
+				if s.started {
+					return false, nil
+				}
+				s.started = true
+			} else {
+				ok, err := s.input.next()
+				if err != nil || !ok {
+					return false, err
+				}
+			}
+			s.active = true
+			s.i = 0
+			s.boundCand = nil
+			if s.st.Access == AccessBound {
+				if v, ok := ec.b[np.Var]; ok && v.Kind == KindNode {
+					s.boundCand = v.Node
+				}
+			} else if !s.fetched {
+				s.ids = s.fetchIDs()
+				s.fetched = true
+			}
+		}
+		if s.set {
+			delete(ec.b, np.Var)
+			s.set = false
+		}
+		for {
+			var n *graph.Node
+			if s.st.Access == AccessBound {
+				if s.boundCand == nil {
+					break
+				}
+				n, s.boundCand = s.boundCand, nil
+			} else {
+				if s.i >= len(s.ids) {
+					break
+				}
+				n = ec.e.store.Node(s.ids[s.i])
+				s.i++
+				if n == nil {
+					continue
+				}
+			}
+			if !nodeMatches(np, n) {
+				continue
+			}
+			if s.st.Access != AccessBound {
+				if prev, bound := ec.b[np.Var]; bound {
+					if prev.Kind != KindNode || prev.Node.ID != n.ID {
+						continue
+					}
+				} else {
+					ec.b[np.Var] = NodeValue(n)
+					s.set = true
+				}
+			}
+			ok, err := evalPreds(s.st.Filters, ec.b)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				if s.set {
+					delete(ec.b, np.Var)
+					s.set = false
+				}
+				continue
+			}
+			return true, nil
+		}
+		s.active = false
+	}
+}
+
+// --- expand ---
+
+type expandIter struct {
+	ec      *execCtx
+	st      *ExpandStage
+	input   iter
+	active  bool
+	fromID  graph.NodeID
+	dirs    []graph.Direction
+	di      int
+	edges   []*graph.Edge
+	ei      int
+	setEdge bool
+	setNode bool
+}
+
+// expandDirs maps an edge pattern direction onto store traversal
+// directions from the expansion's starting endpoint. Reverse means the
+// chain is being walked right-to-left, flipping the arrow.
+func expandDirs(d EdgeDir, reverse bool) []graph.Direction {
+	switch d {
+	case DirRight:
+		if reverse {
+			return []graph.Direction{graph.In}
+		}
+		return []graph.Direction{graph.Out}
+	case DirLeft:
+		if reverse {
+			return []graph.Direction{graph.Out}
+		}
+		return []graph.Direction{graph.In}
+	}
+	return []graph.Direction{graph.Out, graph.In}
+}
+
+func (x *expandIter) undo() {
+	if x.setEdge {
+		delete(x.ec.b, x.st.Edge.Var)
+		x.setEdge = false
+	}
+	if x.setNode {
+		delete(x.ec.b, x.st.To.Var)
+		x.setNode = false
+	}
+}
+
+func (x *expandIter) next() (bool, error) {
+	ec := x.ec
+	st := x.st
+	for {
+		if !x.active {
+			ok, err := x.input.next()
+			if err != nil || !ok {
+				return false, err
+			}
+			v, ok := ec.b[st.From]
+			if !ok || v.Kind != KindNode {
+				continue // non-node binding: no expansion from it
+			}
+			x.fromID = v.Node.ID
+			x.dirs = expandDirs(st.Edge.Dir, st.Reverse)
+			x.di = 0
+			x.edges = ec.e.store.Edges(x.fromID, x.dirs[0])
+			x.ei = 0
+			x.active = true
+		}
+		x.undo()
+		for {
+			if x.ei >= len(x.edges) {
+				x.di++
+				if x.di >= len(x.dirs) {
+					break
+				}
+				x.edges = ec.e.store.Edges(x.fromID, x.dirs[x.di])
+				x.ei = 0
+				continue
+			}
+			ed := x.edges[x.ei]
+			x.ei++
+			if st.Edge.Type != "" && ed.Type != st.Edge.Type {
+				continue
+			}
+			otherID := ed.To
+			if x.dirs[x.di] == graph.In {
+				otherID = ed.From
+			}
+			other := ec.e.store.Node(otherID)
+			if other == nil {
+				continue
+			}
+			if prev, bound := ec.b[st.Edge.Var]; bound {
+				if prev.Kind != KindEdge || prev.Edge.ID != ed.ID {
+					continue
+				}
+			} else {
+				ec.b[st.Edge.Var] = EdgeValue(ed)
+				x.setEdge = true
+			}
+			if !nodeMatches(st.To, other) {
+				x.undo()
+				continue
+			}
+			if prev, bound := ec.b[st.To.Var]; bound {
+				if prev.Kind != KindNode || prev.Node.ID != other.ID {
+					x.undo()
+					continue
+				}
+			} else {
+				ec.b[st.To.Var] = NodeValue(other)
+				x.setNode = true
+			}
+			ok, err := evalPreds(st.Filters, ec.b)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				x.undo()
+				continue
+			}
+			return true, nil
+		}
+		x.active = false
+	}
+}
+
+// --- plan execution ---
+
+// runPlanned plans and executes q through the streaming pipeline.
+func (e *Engine) runPlanned(q *Query) (*Result, error) {
+	pl, err := e.planQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	if q.Explain {
+		return explainResult(pl), nil
+	}
+	return e.execPlan(pl)
+}
+
+// execPlan executes a (possibly cached) plan through the streaming
+// iterator pipeline.
+func (e *Engine) execPlan(pl *Plan) (*Result, error) {
+	res := &Result{}
+	for _, it := range pl.Returns {
+		res.Columns = append(res.Columns, it.Alias)
+	}
+	keyCols, err := orderKeyColumns(pl.OrderBy, res.Columns)
+	if err != nil {
+		return nil, err
+	}
+
+	ec := &execCtx{e: e, b: binding{}}
+	var root iter
+	for _, st := range pl.Stages {
+		root = st.newIter(ec, root)
+	}
+
+	// matchCap bounds total enumeration on the paths that cannot
+	// short-circuit (aggregation, sorting) — the same MaxRows*4+1000
+	// slack the legacy matcher applied to its match set.
+	matchCap := -1
+	if e.opts.MaxRows > 0 {
+		matchCap = e.opts.MaxRows*4 + 1000
+	}
+
+	if pl.HasAggregate {
+		consumed := 0
+		if err := aggregateRows(pl.Returns, res, func() (binding, error) {
+			if matchCap >= 0 && consumed >= matchCap {
+				res.Truncated = true
+				return nil, nil
+			}
+			ok, err := root.next()
+			if err != nil || !ok {
+				return nil, err
+			}
+			consumed++
+			return ec.b, nil
+		}); err != nil {
+			return nil, err
+		}
+		finishRows(pl.OrderBy, pl.Skip, pl.Limit, res, keyCols, e.opts.MaxRows)
+		return res, nil
+	}
+
+	var seen map[string]bool
+	if pl.Distinct {
+		seen = map[string]bool{}
+	}
+	// pull produces the next accepted (projected, deduplicated) row.
+	pull := func() ([]Value, error) {
+		for {
+			ok, err := root.next()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return nil, nil
+			}
+			row, err := projectRow(pl.Returns, ec.b)
+			if err != nil {
+				return nil, err
+			}
+			if seen != nil {
+				k := rowKey(row)
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+			}
+			return row, nil
+		}
+	}
+	maxRows := e.opts.MaxRows
+
+	if len(keyCols) > 0 {
+		if pl.Limit >= 0 {
+			// ORDER BY + LIMIT: bounded top-k. Every matched row is
+			// considered, but the buffer is periodically sorted and cut to
+			// the first Skip+Limit rows, so memory stays O(k) and the
+			// result is the correct global top-k.
+			k := pl.Skip + pl.Limit
+			if k == 0 {
+				return res, nil
+			}
+			window := 2*k + 1024
+			pulled := 0
+			for {
+				if matchCap >= 0 && pulled >= matchCap {
+					res.Truncated = true
+					break
+				}
+				row, err := pull()
+				if err != nil {
+					return nil, err
+				}
+				if row == nil {
+					break
+				}
+				pulled++
+				res.Rows = append(res.Rows, row)
+				if len(res.Rows) >= window {
+					sortRows(pl.OrderBy, res.Rows, keyCols)
+					res.Rows = res.Rows[:k]
+				}
+			}
+			finishRows(pl.OrderBy, pl.Skip, pl.Limit, res, keyCols, maxRows)
+			return res, nil
+		}
+		// ORDER BY without LIMIT needs the full row set for a correct
+		// sort; matchCap bounds materialization best-effort.
+		for {
+			row, err := pull()
+			if err != nil {
+				return nil, err
+			}
+			if row == nil {
+				break
+			}
+			if matchCap >= 0 && len(res.Rows) == matchCap {
+				res.Truncated = true
+				break
+			}
+			res.Rows = append(res.Rows, row)
+		}
+		finishRows(pl.OrderBy, pl.Skip, pl.Limit, res, keyCols, maxRows)
+		return res, nil
+	}
+
+	// Streaming path: LIMIT and MaxRows short-circuit matching.
+	if pl.Limit == 0 {
+		return res, nil
+	}
+	skipped := 0
+	for {
+		row, err := pull()
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			break
+		}
+		if skipped < pl.Skip {
+			skipped++
+			continue
+		}
+		res.Rows = append(res.Rows, row)
+		if pl.Limit >= 0 && len(res.Rows) >= pl.Limit {
+			break
+		}
+		if maxRows > 0 && len(res.Rows) >= maxRows {
+			// Probe one more row so Truncated reflects dropped results.
+			probe, err := pull()
+			if err != nil {
+				return nil, err
+			}
+			if probe != nil {
+				res.Truncated = true
+			}
+			break
+		}
+	}
+	return res, nil
+}
+
+func explainResult(pl *Plan) *Result {
+	res := &Result{Columns: []string{"plan"}}
+	for _, line := range strings.Split(strings.TrimSuffix(pl.String(), "\n"), "\n") {
+		res.Rows = append(res.Rows, []Value{StringValue(line)})
+	}
+	return res
+}

@@ -51,6 +51,9 @@ func (p *parser) expect(k tokKind, what string) (token, error) {
 
 func (p *parser) parseQuery() (*Query, error) {
 	q := &Query{Limit: -1}
+	if p.keyword("explain") {
+		q.Explain = true
+	}
 	if !p.keyword("match") {
 		return nil, fmt.Errorf("cypher: query must start with MATCH")
 	}

@@ -1,0 +1,262 @@
+package cypher
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file defines the logical/physical plan the planner emits and the
+// executor runs: a linear left-deep pipeline of binding-producing stages
+// (scans and expansions, each with pushed-down filters) followed by the
+// row-level operators (project, aggregate, distinct, sort, skip/limit).
+// EXPLAIN renders this structure.
+
+// AccessKind is how a ScanStage locates its candidate nodes.
+type AccessKind int
+
+const (
+	AccessAll       AccessKind = iota // full node scan
+	AccessLabel                       // label index scan
+	AccessName                        // name index seek (any label)
+	AccessLabelName                   // exact (label, name) point seek
+	AccessAttr                        // attribute index seek
+	AccessLabelAttr                   // composite (label, attribute) index seek
+	AccessBound                       // variable already bound by an earlier stage
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case AccessAll:
+		return "AllNodesScan"
+	case AccessLabel:
+		return "LabelScan"
+	case AccessName:
+		return "IndexSeek(name)"
+	case AccessLabelName:
+		return "IndexSeek(label+name)"
+	case AccessAttr:
+		return "IndexSeek(attr)"
+	case AccessLabelAttr:
+		return "IndexSeek(label+attr)"
+	case AccessBound:
+		return "BoundRef"
+	}
+	return "?"
+}
+
+// Stage is one binding-producing pipeline operator.
+type Stage interface {
+	// newIter wires the stage into the Volcano pipeline; input is nil for
+	// the first stage.
+	newIter(ec *execCtx, input iter) iter
+	// estRows is the planner's estimated cumulative row count after this
+	// stage.
+	estRows() float64
+	describe() string
+	filters() []Expr
+}
+
+// ScanStage produces bindings for one pattern node, either from an index
+// access path or by re-checking an already-bound variable (AccessBound,
+// used when a later pattern starts at a variable an earlier one bound).
+type ScanStage struct {
+	Node    NodePattern
+	Access  AccessKind
+	Label   string // resolved label for the access path: Node.Label, or one inferred from a type-equality predicate
+	Name    string // name literal for name seeks
+	AttrKey string // attribute key/value for attr seeks
+	AttrVal string
+	Filters []Expr // pushed-down predicates evaluable once Node.Var is bound
+	Est     float64
+}
+
+func (s *ScanStage) estRows() float64 { return s.Est }
+func (s *ScanStage) filters() []Expr  { return s.Filters }
+
+func (s *ScanStage) describe() string {
+	var b strings.Builder
+	b.WriteString(s.Access.String())
+	b.WriteString(" ")
+	b.WriteString(patternNodeText(s.Node))
+	if s.Label != "" && s.Node.Label == "" {
+		fmt.Fprintf(&b, " label=%q", s.Label)
+	}
+	switch s.Access {
+	case AccessName, AccessLabelName:
+		fmt.Fprintf(&b, " name=%q", s.Name)
+	case AccessAttr, AccessLabelAttr:
+		fmt.Fprintf(&b, " %s=%q", s.AttrKey, s.AttrVal)
+	}
+	return b.String()
+}
+
+// ExpandStage traverses one edge pattern from a bound variable to its
+// neighbor, binding the edge and target variables (or checking them when
+// already bound).
+type ExpandStage struct {
+	From    string // bound node variable the expansion starts at
+	Edge    EdgePattern
+	To      NodePattern
+	Reverse bool // chain traversed right-to-left: edge direction flips
+	Filters []Expr
+	Est     float64
+}
+
+func (s *ExpandStage) estRows() float64 { return s.Est }
+func (s *ExpandStage) filters() []Expr  { return s.Filters }
+
+func (s *ExpandStage) describe() string {
+	left, right := "-", "-"
+	switch {
+	case s.Edge.Dir == DirRight && !s.Reverse, s.Edge.Dir == DirLeft && s.Reverse:
+		right = "->"
+	case s.Edge.Dir == DirLeft && !s.Reverse, s.Edge.Dir == DirRight && s.Reverse:
+		left = "<-"
+	}
+	edge := ""
+	if displayVar(s.Edge.Var) != "" || s.Edge.Type != "" {
+		edge = "[" + displayVar(s.Edge.Var)
+		if s.Edge.Type != "" {
+			edge += ":" + s.Edge.Type
+		}
+		edge += "]"
+	}
+	return fmt.Sprintf("Expand (%s)%s%s%s%s", s.From, left, edge, right, patternNodeText(s.To))
+}
+
+// Plan is the executable query plan.
+type Plan struct {
+	Stages       []Stage
+	Returns      []ReturnItem
+	Distinct     bool
+	HasAggregate bool
+	OrderBy      []OrderKey
+	Skip         int
+	Limit        int // -1 when absent
+}
+
+// String renders the plan for EXPLAIN: numbered pipeline stages with
+// their pushed-down filters, then the row-level operators in order.
+func (p *Plan) String() string {
+	var b strings.Builder
+	b.WriteString("plan (streaming, greedy-ordered):\n")
+	for i, st := range p.Stages {
+		fmt.Fprintf(&b, "  %2d. %-60s est≈%s\n", i+1, st.describe(), fmtEst(st.estRows()))
+		for _, f := range st.filters() {
+			fmt.Fprintf(&b, "      where %s\n", exprString(f))
+		}
+	}
+	var cols []string
+	for _, it := range p.Returns {
+		cols = append(cols, exprString(it.Expr))
+	}
+	if p.HasAggregate {
+		fmt.Fprintf(&b, "   => Aggregate %s\n", strings.Join(cols, ", "))
+	} else {
+		fmt.Fprintf(&b, "   => Project %s\n", strings.Join(cols, ", "))
+	}
+	if p.Distinct && !p.HasAggregate {
+		b.WriteString("   => Distinct\n")
+	}
+	if len(p.OrderBy) > 0 {
+		var keys []string
+		for _, k := range p.OrderBy {
+			t := exprString(k.Expr)
+			if k.Desc {
+				t += " desc"
+			}
+			keys = append(keys, t)
+		}
+		fmt.Fprintf(&b, "   => Sort %s\n", strings.Join(keys, ", "))
+	}
+	if p.Skip > 0 {
+		fmt.Fprintf(&b, "   => Skip %d\n", p.Skip)
+	}
+	if p.Limit >= 0 {
+		fmt.Fprintf(&b, "   => Limit %d (early cutoff)\n", p.Limit)
+	}
+	return b.String()
+}
+
+func fmtEst(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'f', 1, 64)
+}
+
+// displayVar hides the synthetic names the planner assigns to anonymous
+// pattern elements.
+func displayVar(v string) string {
+	if strings.HasPrefix(v, "$") {
+		return ""
+	}
+	return v
+}
+
+func patternNodeText(np NodePattern) string {
+	var b strings.Builder
+	b.WriteString("(")
+	b.WriteString(displayVar(np.Var))
+	if np.Label != "" {
+		b.WriteString(":")
+		b.WriteString(np.Label)
+	}
+	if len(np.Props) > 0 {
+		keys := make([]string, 0, len(np.Props))
+		for k := range np.Props {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			v := np.Props[k]
+			if v.Kind == KindString {
+				parts[i] = fmt.Sprintf("%s: %q", k, v.Str)
+			} else {
+				parts[i] = fmt.Sprintf("%s: %s", k, v.String())
+			}
+		}
+		b.WriteString(" {")
+		b.WriteString(strings.Join(parts, ", "))
+		b.WriteString("}")
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// exprString renders any expression for EXPLAIN output.
+func exprString(e Expr) string {
+	switch v := e.(type) {
+	case VarExpr:
+		return v.Name
+	case PropExpr:
+		return v.Var + "." + v.Prop
+	case LitExpr:
+		if v.Val.Kind == KindString {
+			return strconv.Quote(v.Val.Str)
+		}
+		return v.Val.String()
+	case CmpExpr:
+		op := v.Op
+		switch op {
+		case "starts":
+			op = "starts with"
+		case "ends":
+			op = "ends with"
+		}
+		return exprString(v.Left) + " " + op + " " + exprString(v.Right)
+	case BoolExpr:
+		return "(" + exprString(v.Left) + " " + v.Op + " " + exprString(v.Right) + ")"
+	case NotExpr:
+		return "not " + exprString(v.Inner)
+	case FuncExpr:
+		if v.Star {
+			return v.Name + "(*)"
+		}
+		return v.Name + "(" + exprString(v.Arg) + ")"
+	}
+	return "expr"
+}

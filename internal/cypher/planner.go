@@ -1,0 +1,408 @@
+package cypher
+
+import (
+	"fmt"
+	"math"
+)
+
+// The planner turns a parsed query into a Plan in three steps:
+//
+//  1. Predicate pushdown: the WHERE clause is split into AND-conjuncts;
+//     equality conjuncts against string literals become index hints, and
+//     every conjunct is attached to the earliest pipeline stage at which
+//     all of its variables are bound, so rows are discarded as soon as
+//     they can be.
+//  2. Greedy ordering (the "greedy beats optimal" strategy from the
+//     janus-datalog line of work): among all pattern chains and all
+//     possible entry nodes, repeatedly start at the node with the
+//     smallest estimated candidate count — a bound variable is free, an
+//     exact (label, name) seek is ~1, a label scan costs the label
+//     cardinality, a full scan costs the node count — then grow the
+//     chain in whichever direction has the smaller estimated fan-out
+//     (average edge-type degree × target selectivity).
+//  3. The resulting stages execute as lazy pull iterators (iter.go), so
+//     downstream LIMIT/MaxRows stop matching instead of truncating a
+//     materialized result.
+//
+// Statistics come from the graph store's selectivity layer (CountByType,
+// CountByName, CountByTypeAttr, AvgDegree, ...), kept live by the
+// indexes, so planning is O(pattern size) with O(1) stat lookups.
+
+// planQuery builds the plan for q against the engine's store and options.
+func (e *Engine) planQuery(q *Query) (*Plan, error) {
+	if len(q.Returns) == 0 {
+		return nil, fmt.Errorf("cypher: empty RETURN")
+	}
+	pats := withSyntheticVars(q.Patterns)
+
+	var conjs []Expr
+	splitConjuncts(q.Where, &conjs)
+	eq := equalityHints(conjs)
+
+	pl := &Plan{
+		Returns:  q.Returns,
+		Distinct: q.Distinct,
+		OrderBy:  q.OrderBy,
+		Skip:     q.Skip,
+		Limit:    q.Limit,
+	}
+	for _, it := range q.Returns {
+		if isAggregate(it.Expr) {
+			pl.HasAggregate = true
+		}
+	}
+
+	// Greedy chain ordering: repeatedly pick the unplanned chain with the
+	// cheapest entry node (bound variables are free, enabling join-connected
+	// chains to piggyback on earlier ones), then plan it outward from there.
+	bound := map[string]bool{}
+	planned := make([]bool, len(pats))
+	cur := 1.0 // running cumulative cardinality estimate
+	for {
+		best, bestNode := -1, 0
+		bestCost := math.Inf(1)
+		for pi, p := range pats {
+			if planned[pi] {
+				continue
+			}
+			for ni, np := range p.Nodes {
+				cost := math.Inf(1)
+				if bound[np.Var] {
+					cost = 0
+				} else {
+					_, _, _, _, _, est := e.accessFor(np, eq[np.Var])
+					cost = est
+				}
+				if cost < bestCost {
+					best, bestNode, bestCost = pi, ni, cost
+				}
+			}
+		}
+		if best < 0 {
+			break
+		}
+		cur = e.planChain(pl, pats[best], bestNode, bound, eq, cur)
+		planned[best] = true
+	}
+
+	assignPredicates(pl, conjs, q.Where)
+	return pl, nil
+}
+
+// planChain emits the stages for one pattern chain entered at node index
+// start, returning the updated cumulative cardinality estimate.
+func (e *Engine) planChain(pl *Plan, p Pattern, start int, bound map[string]bool,
+	eq map[string]map[string]string, cur float64) float64 {
+	np := p.Nodes[start]
+	if bound[np.Var] {
+		pl.Stages = append(pl.Stages, &ScanStage{Node: np, Access: AccessBound, Est: cur})
+	} else {
+		kind, label, name, ak, av, est := e.accessFor(np, eq[np.Var])
+		cur *= est
+		pl.Stages = append(pl.Stages, &ScanStage{
+			Node: np, Access: kind, Label: label, Name: name, AttrKey: ak, AttrVal: av, Est: cur,
+		})
+		bound[np.Var] = true
+	}
+
+	lo, hi := start, start
+	for lo > 0 || hi < len(p.Nodes)-1 {
+		right := math.Inf(1)
+		if hi < len(p.Nodes)-1 {
+			right = e.expandFactor(p.Edges[hi], p.Nodes[hi+1], bound, eq)
+		}
+		left := math.Inf(1)
+		if lo > 0 {
+			left = e.expandFactor(p.Edges[lo-1], p.Nodes[lo-1], bound, eq)
+		}
+		if right <= left {
+			cur = e.emitExpand(pl, p.Nodes[hi].Var, p.Edges[hi], p.Nodes[hi+1], false, bound, cur*right)
+			hi++
+		} else {
+			cur = e.emitExpand(pl, p.Nodes[lo].Var, p.Edges[lo-1], p.Nodes[lo-1], true, bound, cur*left)
+			lo--
+		}
+	}
+	return cur
+}
+
+func (e *Engine) emitExpand(pl *Plan, from string, ep EdgePattern, to NodePattern,
+	reverse bool, bound map[string]bool, est float64) float64 {
+	if est < 1 {
+		est = 1 // keep running products from collapsing to zero
+	}
+	// Whether Edge.Var/To.Var are already bound is re-derived from the
+	// runtime binding by the executor, which handles both cases.
+	pl.Stages = append(pl.Stages, &ExpandStage{
+		From: from, Edge: ep, To: to, Reverse: reverse, Est: est,
+	})
+	bound[ep.Var] = true
+	bound[to.Var] = true
+	return est
+}
+
+// expandFactor estimates the per-row multiplier of expanding one edge
+// pattern onto a target node pattern: average fan-out of the edge type
+// times the target's selectivity.
+func (e *Engine) expandFactor(ep EdgePattern, to NodePattern, bound map[string]bool,
+	eq map[string]map[string]string) float64 {
+	deg := e.store.AvgDegree(ep.Type)
+	if ep.Dir == DirAny {
+		deg *= 2
+	}
+	total := e.store.CountNodes()
+	if total == 0 {
+		return 0
+	}
+	var sel float64
+	if bound[to.Var] {
+		sel = 1 / float64(total) // join check: at most one node qualifies
+	} else {
+		_, _, _, _, _, est := e.accessFor(to, eq[to.Var])
+		sel = est / float64(total)
+	}
+	return deg * sel
+}
+
+// accessFor selects the cheapest access path for a node pattern given its
+// equality hints (inline string props merged with pushed-down WHERE
+// equalities) and returns the estimated candidate count. The returned
+// label is the one the access path must use: the pattern's own, or one
+// inferred from a type-equality predicate (n.type = "Malware" scans like
+// (:Malware)).
+func (e *Engine) accessFor(np NodePattern, hints map[string]string) (kind AccessKind, label, name, attrKey, attrVal string, est float64) {
+	st := e.store
+	total := float64(st.CountNodes())
+	if !e.opts.UseIndexes {
+		return AccessAll, "", "", "", "", total
+	}
+
+	merged := map[string]string{}
+	for k, v := range np.Props {
+		if v.Kind == KindString {
+			merged[k] = v.Str
+		}
+	}
+	for k, v := range hints {
+		if _, ok := merged[k]; !ok {
+			merged[k] = v
+		}
+	}
+	label = np.Label
+	if label == "" {
+		if t, ok := merged["type"]; ok {
+			label = t
+		} else if t, ok := merged["label"]; ok {
+			label = t
+		}
+	}
+
+	if n, hasName := merged["name"]; hasName {
+		if label != "" {
+			return AccessLabelName, label, n, "", "", float64(st.CountByTypeName(label, n))
+		}
+		return AccessName, "", n, "", "", float64(st.CountByName(n))
+	}
+
+	// Best indexed attribute equality, composite with the label when known.
+	kind, est = AccessAll, total
+	if label != "" {
+		kind, est = AccessLabel, float64(st.CountByType(label))
+	}
+	for k, v := range merged {
+		if k == "name" || k == "type" || k == "label" || k == "id" || !st.HasAttrIndex(k) {
+			continue
+		}
+		if label != "" {
+			if n, ok := st.CountByTypeAttr(label, k, v); ok && float64(n) < est {
+				kind, attrKey, attrVal, est = AccessLabelAttr, k, v, float64(n)
+			}
+		} else {
+			if n, ok := st.CountByAttr(k, v); ok && float64(n) < est {
+				kind, attrKey, attrVal, est = AccessAttr, k, v, float64(n)
+			}
+		}
+	}
+	if kind == AccessAll {
+		label = ""
+	}
+	return kind, label, "", attrKey, attrVal, est
+}
+
+// withSyntheticVars copies the patterns, naming every anonymous node and
+// edge ($n0, $e1, ...) so the executor can address them in bindings. "$"
+// cannot appear in user identifiers, so the names never collide.
+func withSyntheticVars(pats []Pattern) []Pattern {
+	out := make([]Pattern, len(pats))
+	n := 0
+	for pi, p := range pats {
+		cp := Pattern{Nodes: append([]NodePattern{}, p.Nodes...), Edges: append([]EdgePattern{}, p.Edges...)}
+		for i := range cp.Nodes {
+			if cp.Nodes[i].Var == "" {
+				cp.Nodes[i].Var = fmt.Sprintf("$n%d", n)
+				n++
+			}
+		}
+		for i := range cp.Edges {
+			if cp.Edges[i].Var == "" {
+				cp.Edges[i].Var = fmt.Sprintf("$e%d", n)
+				n++
+			}
+		}
+		out[pi] = cp
+	}
+	return out
+}
+
+// splitConjuncts flattens top-level ANDs into a conjunct list.
+func splitConjuncts(e Expr, out *[]Expr) {
+	if e == nil {
+		return
+	}
+	if b, ok := e.(BoolExpr); ok && b.Op == "and" {
+		splitConjuncts(b.Left, out)
+		splitConjuncts(b.Right, out)
+		return
+	}
+	*out = append(*out, e)
+}
+
+// equalityHints extracts var.prop = "literal" conjuncts usable as index
+// hints, keyed by variable.
+func equalityHints(conjs []Expr) map[string]map[string]string {
+	out := map[string]map[string]string{}
+	for _, c := range conjs {
+		cmp, ok := c.(CmpExpr)
+		if !ok || cmp.Op != "=" {
+			continue
+		}
+		pe, okL := cmp.Left.(PropExpr)
+		lit, okR := cmp.Right.(LitExpr)
+		if !okL || !okR {
+			pe, okL = cmp.Right.(PropExpr)
+			lit, okR = cmp.Left.(LitExpr)
+		}
+		if okL && okR && lit.Val.Kind == KindString {
+			if out[pe.Var] == nil {
+				out[pe.Var] = map[string]string{}
+			}
+			out[pe.Var][pe.Prop] = lit.Val.Str
+		}
+	}
+	return out
+}
+
+// exprVars collects the variables an expression references.
+func exprVars(e Expr, set map[string]bool) {
+	switch v := e.(type) {
+	case VarExpr:
+		set[v.Name] = true
+	case PropExpr:
+		set[v.Var] = true
+	case CmpExpr:
+		exprVars(v.Left, set)
+		exprVars(v.Right, set)
+	case BoolExpr:
+		exprVars(v.Left, set)
+		exprVars(v.Right, set)
+	case NotExpr:
+		exprVars(v.Inner, set)
+	case FuncExpr:
+		if v.Arg != nil {
+			exprVars(v.Arg, set)
+		}
+	}
+}
+
+// hasCountCall reports whether the expression contains a count() call,
+// which always errors when evaluated outside RETURN.
+func hasCountCall(e Expr) bool {
+	switch v := e.(type) {
+	case CmpExpr:
+		return hasCountCall(v.Left) || hasCountCall(v.Right)
+	case BoolExpr:
+		return hasCountCall(v.Left) || hasCountCall(v.Right)
+	case NotExpr:
+		return hasCountCall(v.Inner)
+	case FuncExpr:
+		if v.Name == "count" {
+			return true
+		}
+		if v.Arg != nil {
+			return hasCountCall(v.Arg)
+		}
+	}
+	return false
+}
+
+// assignPredicates attaches each WHERE conjunct to the earliest stage at
+// which all of its variables are bound. Conjuncts that can error when
+// evaluated — count() calls, or references to variables no pattern binds
+// — force a fallback: the whole original WHERE runs at the last stage,
+// preserving the tree-walking engine's left-to-right short-circuit
+// semantics (a false left conjunct hides an erroring right one).
+func assignPredicates(pl *Plan, conjs []Expr, whole Expr) {
+	if len(conjs) == 0 || len(pl.Stages) == 0 {
+		return
+	}
+	boundAfter := make([]map[string]bool, len(pl.Stages))
+	acc := map[string]bool{}
+	for i, st := range pl.Stages {
+		switch s := st.(type) {
+		case *ScanStage:
+			acc[s.Node.Var] = true
+		case *ExpandStage:
+			acc[s.From] = true
+			acc[s.Edge.Var] = true
+			acc[s.To.Var] = true
+		}
+		after := make(map[string]bool, len(acc))
+		for k := range acc {
+			after[k] = true
+		}
+		boundAfter[i] = after
+	}
+	last := len(pl.Stages) - 1
+	allBound := boundAfter[last]
+	attach := func(i int, c Expr) {
+		switch s := pl.Stages[i].(type) {
+		case *ScanStage:
+			s.Filters = append(s.Filters, c)
+		case *ExpandStage:
+			s.Filters = append(s.Filters, c)
+		}
+	}
+	for _, c := range conjs {
+		vars := map[string]bool{}
+		exprVars(c, vars)
+		for v := range vars {
+			if !allBound[v] {
+				attach(last, whole)
+				return
+			}
+		}
+		if hasCountCall(c) {
+			attach(last, whole)
+			return
+		}
+	}
+	for _, c := range conjs {
+		vars := map[string]bool{}
+		exprVars(c, vars)
+		target := last
+		for i := range pl.Stages {
+			all := true
+			for v := range vars {
+				if !boundAfter[i][v] {
+					all = false
+					break
+				}
+			}
+			if all {
+				target = i
+				break
+			}
+		}
+		attach(target, c)
+	}
+}

@@ -3,11 +3,42 @@ package cypher
 import (
 	"fmt"
 	"math/rand"
+	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 
 	"securitykg/internal/graph"
 )
+
+// renderRows flattens a result into one string per row for comparison.
+func renderRows(res *Result) []string {
+	out := make([]string, len(res.Rows))
+	for i, row := range res.Rows {
+		cells := make([]string, len(row))
+		for j, v := range row {
+			cells[j] = v.String()
+		}
+		out[i] = strings.Join(cells, "|")
+	}
+	return out
+}
+
+// sameMultiset compares two row sets ignoring order.
+func sameMultiset(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as, bs := append([]string{}, a...), append([]string{}, b...)
+	sort.Strings(as)
+	sort.Strings(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
 
 // randomStore builds a random typed graph from a seed.
 func randomStore(seed int64, n int) *graph.Store {
@@ -94,6 +125,162 @@ func TestLimitSkipBoundsQuick(t *testing.T) {
 			want = limit
 		}
 		return len(paged.Rows) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the planned streaming executor returns the same row multiset
+// as the legacy tree-walking matcher, over randomized graphs and a query
+// family covering chains, reverse/undirected edges, shared variables,
+// cross products, WHERE operators, DISTINCT and aggregation.
+func TestPlannedLegacyEquivalenceQuick(t *testing.T) {
+	queries := []string{
+		`match (n) return n.type, n.name`,
+		`match (n:Malware) return n.name`,
+		`match (n) where n.name = "n5" return n.type, n.name`,
+		`match (n) where n.type = "Malware" return n.name`,
+		`match (a)-[:CONNECT]->(b) return a.name, b.name`,
+		`match (a)<-[:USE]-(b:Malware) return a.name, b.name`,
+		`match (a {name: "n3"})-[r]-(b) return type(r), b.name`,
+		`match (a:Malware)-[:CONNECT]->(b)-[:RELATED_TO]->(c) return a.name, b.name, c.name`,
+		`match (a)-[:USE]->(b:IP) return distinct a.name`,
+		`match (a:Domain), (b:ThreatActor) return a.name, b.name`,
+		`match (a)-[:CONNECT]->(b), (a)-[:USE]->(c) return a.name, b.name, c.name`,
+		`match (a)-[r]->(a) return a.name, type(r)`,
+		`match (a)-[:RELATED_TO]->(b) where a.name contains "1" and not b.name = "n2" return a.name, b.name`,
+		`match (a)-[:CONNECT]->(b) where a.name = "n4" or b.name starts with "n1" return a.name, b.name`,
+		`match (a:Malware)-[:USE]->(b) return a.name, count(b)`,
+		`match (a)-[:CONNECT]->(b) return count(*)`,
+	}
+	f := func(seed int64, qi uint8) bool {
+		s := randomStore(seed%1000, 40)
+		q := queries[int(qi)%len(queries)]
+		planned, err1 := NewEngine(s, Options{UseIndexes: true}).Run(q)
+		legacy, err2 := NewEngine(s, Options{UseIndexes: true, Legacy: true}).Run(q)
+		if (err1 == nil) != (err2 == nil) {
+			t.Logf("error mismatch for %q: planned=%v legacy=%v", q, err1, err2)
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		if !sameMultiset(renderRows(planned), renderRows(legacy)) {
+			t.Logf("row mismatch for %q (seed %d):\nplanned: %v\nlegacy:  %v",
+				q, seed, renderRows(planned), renderRows(legacy))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with indexes disabled the planned engine still matches the
+// legacy engine (the ablation path stays correct).
+func TestPlannedLegacyEquivalenceNoIndexQuick(t *testing.T) {
+	queries := []string{
+		`match (a:Malware)-[:CONNECT]->(b) return a.name, b.name`,
+		`match (n) where n.name = "n7" return n.type`,
+		`match (a)-[:USE]->(b)<-[:USE]-(c) return a.name, c.name`,
+	}
+	f := func(seed int64, qi uint8) bool {
+		s := randomStore(seed%500, 30)
+		q := queries[int(qi)%len(queries)]
+		planned, err1 := NewEngine(s, Options{UseIndexes: false}).Run(q)
+		legacy, err2 := NewEngine(s, Options{UseIndexes: false, Legacy: true}).Run(q)
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		return sameMultiset(renderRows(planned), renderRows(legacy))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with an ORDER BY whose keys cover every projected column,
+// the planned and legacy engines return identical ordered rows for any
+// SKIP/LIMIT combination — including LIMIT 0.
+func TestOrderSkipLimitEquivalenceQuick(t *testing.T) {
+	f := func(seed int64, k, sk uint8) bool {
+		s := randomStore(seed%500, 40)
+		limit := int(k % 12) // 0 is a valid LIMIT
+		skip := int(sk % 10)
+		q := fmt.Sprintf(`match (a)-[:CONNECT]->(b) return a.type, a.name, b.name order by a.type, a.name, b.name skip %d limit %d`, skip, limit)
+		planned, e1 := NewEngine(s, Options{UseIndexes: true}).Run(q)
+		legacy, e2 := NewEngine(s, Options{UseIndexes: true, Legacy: true}).Run(q)
+		if (e1 == nil) != (e2 == nil) {
+			return false
+		}
+		if e1 != nil {
+			return true
+		}
+		a, b := renderRows(planned), renderRows(legacy)
+		if len(a) != len(b) {
+			t.Logf("row count mismatch skip=%d limit=%d: planned=%d legacy=%d", skip, limit, len(a), len(b))
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Logf("row %d mismatch skip=%d limit=%d: %q vs %q", i, skip, limit, a[i], b[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: both engines agree on how many rows the MaxRows safety valve
+// leaves and on the Truncated flag; with ORDER BY + LIMIT under the cap
+// they agree on the exact top-k rows.
+func TestMaxRowsEquivalenceQuick(t *testing.T) {
+	f := func(seed int64, mr uint8) bool {
+		s := randomStore(seed%500, 40)
+		max := int(mr%20) + 1
+		plannedEng := NewEngine(s, Options{UseIndexes: true, MaxRows: max})
+		legacyEng := NewEngine(s, Options{UseIndexes: true, MaxRows: max, Legacy: true})
+		q := `match (a)-[:CONNECT]->(b) return a.name, b.name`
+		planned, e1 := plannedEng.Run(q)
+		legacy, e2 := legacyEng.Run(q)
+		if e1 != nil || e2 != nil {
+			return false
+		}
+		if len(planned.Rows) != len(legacy.Rows) || planned.Truncated != legacy.Truncated {
+			t.Logf("maxRows=%d: planned %d rows (trunc=%v), legacy %d rows (trunc=%v)",
+				max, len(planned.Rows), planned.Truncated, len(legacy.Rows), legacy.Truncated)
+			return false
+		}
+		// Global top-k under the cap must be the true top-k.
+		limit := max
+		if limit > 5 {
+			limit = 5
+		}
+		qTop := fmt.Sprintf(`match (a)-[:CONNECT]->(b) return a.type, a.name, b.name order by a.type, a.name, b.name limit %d`, limit)
+		pTop, e3 := plannedEng.Run(qTop)
+		lTop, e4 := legacyEng.Run(qTop)
+		if e3 != nil || e4 != nil {
+			return false
+		}
+		a, b := renderRows(pTop), renderRows(lTop)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Logf("top-k mismatch maxRows=%d limit=%d: %q vs %q", max, limit, a[i], b[i])
+				return false
+			}
+		}
+		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
 		t.Error(err)

@@ -60,12 +60,15 @@ type Store struct {
 	out   map[NodeID][]EdgeID
 	in    map[NodeID][]EdgeID
 
-	byKey   map[string]NodeID              // exact (type, name) merge index
-	byType  map[string]map[NodeID]struct{} // label index
-	byName  map[string]map[NodeID]struct{} // name index across types
-	propIdx map[string]map[string]map[NodeID]struct{}
-	indexed map[string]bool // which attribute keys are indexed
-	edgeKey map[string]EdgeID
+	byKey    map[string]NodeID              // exact (type, name) merge index
+	byType   map[string]map[NodeID]struct{} // label index
+	byName   map[string]map[NodeID]struct{} // name index across types
+	propIdx  map[string]map[string]map[NodeID]struct{}
+	typeAttr map[string]map[NodeID]struct{} // composite (type, key, val) index for indexed attrs
+	indexed  map[string]bool                // which attribute keys are indexed
+	edgeKey  map[string]EdgeID
+
+	edgeTypeCount map[string]int // live per-type edge counts for the statistics layer
 
 	nextNode NodeID
 	nextEdge EdgeID
@@ -78,16 +81,18 @@ type Store struct {
 // indexes can be requested with IndexAttr.
 func New() *Store {
 	return &Store{
-		nodes:   make(map[NodeID]*Node),
-		edges:   make(map[EdgeID]*Edge),
-		out:     make(map[NodeID][]EdgeID),
-		in:      make(map[NodeID][]EdgeID),
-		byKey:   make(map[string]NodeID),
-		byType:  make(map[string]map[NodeID]struct{}),
-		byName:  make(map[string]map[NodeID]struct{}),
-		propIdx: make(map[string]map[string]map[NodeID]struct{}),
-		indexed: make(map[string]bool),
-		edgeKey: make(map[string]EdgeID),
+		nodes:         make(map[NodeID]*Node),
+		edges:         make(map[EdgeID]*Edge),
+		out:           make(map[NodeID][]EdgeID),
+		in:            make(map[NodeID][]EdgeID),
+		byKey:         make(map[string]NodeID),
+		byType:        make(map[string]map[NodeID]struct{}),
+		byName:        make(map[string]map[NodeID]struct{}),
+		propIdx:       make(map[string]map[string]map[NodeID]struct{}),
+		typeAttr:      make(map[string]map[NodeID]struct{}),
+		indexed:       make(map[string]bool),
+		edgeKey:       make(map[string]EdgeID),
+		edgeTypeCount: make(map[string]int),
 	}
 }
 
@@ -96,6 +101,8 @@ func nodeKey(typ, name string) string { return typ + "\x00" + name }
 func edgeKeyOf(from NodeID, typ string, to NodeID) string {
 	return fmt.Sprintf("%d\x00%s\x00%d", from, typ, to)
 }
+
+func typeAttrKey(typ, key, val string) string { return typ + "\x00" + key + "\x00" + val }
 
 // IndexAttr enables an index on the given attribute key. Existing nodes
 // are back-filled.
@@ -110,6 +117,27 @@ func (s *Store) IndexAttr(key string) {
 	for id, n := range s.nodes {
 		if v, ok := n.Attrs[key]; ok {
 			s.propIdxAdd(key, v, id)
+			s.typeAttrAdd(n.Type, key, v, id)
+		}
+	}
+}
+
+func (s *Store) typeAttrAdd(typ, key, val string, id NodeID) {
+	k := typeAttrKey(typ, key, val)
+	set, ok := s.typeAttr[k]
+	if !ok {
+		set = make(map[NodeID]struct{})
+		s.typeAttr[k] = set
+	}
+	set[id] = struct{}{}
+}
+
+func (s *Store) typeAttrDel(typ, key, val string, id NodeID) {
+	k := typeAttrKey(typ, key, val)
+	if set, ok := s.typeAttr[k]; ok {
+		delete(set, id)
+		if len(set) == 0 {
+			delete(s.typeAttr, k)
 		}
 	}
 }
@@ -153,6 +181,7 @@ func (s *Store) MergeNode(typ, name string, attrs map[string]string) (NodeID, bo
 				n.Attrs[k] = v
 				if s.indexed[k] {
 					s.propIdxAdd(k, v, id)
+					s.typeAttrAdd(n.Type, k, v, id)
 				}
 			}
 		}
@@ -167,6 +196,7 @@ func (s *Store) MergeNode(typ, name string, attrs map[string]string) (NodeID, bo
 			n.Attrs[k] = v
 			if s.indexed[k] {
 				s.propIdxAdd(k, v, id)
+				s.typeAttrAdd(typ, k, v, id)
 			}
 		}
 	}
@@ -221,6 +251,7 @@ func (s *Store) AddEdge(from NodeID, typ string, to NodeID, attrs map[string]str
 	s.edgeKey[ek] = id
 	s.out[from] = append(s.out[from], id)
 	s.in[to] = append(s.in[to], id)
+	s.edgeTypeCount[typ]++
 	return id, true, nil
 }
 
@@ -373,6 +404,7 @@ func (s *Store) SetAttr(id NodeID, key, val string) error {
 	}
 	if old, had := n.Attrs[key]; had && s.indexed[key] {
 		s.propIdxDel(key, old, id)
+		s.typeAttrDel(n.Type, key, old, id)
 	}
 	if n.Attrs == nil {
 		n.Attrs = make(map[string]string)
@@ -380,6 +412,7 @@ func (s *Store) SetAttr(id NodeID, key, val string) error {
 	n.Attrs[key] = val
 	if s.indexed[key] {
 		s.propIdxAdd(key, val, id)
+		s.typeAttrAdd(n.Type, key, val, id)
 	}
 	return nil
 }
@@ -401,6 +434,7 @@ func (s *Store) DeleteNode(id NodeID) error {
 	for k, v := range n.Attrs {
 		if s.indexed[k] {
 			s.propIdxDel(k, v, id)
+			s.typeAttrDel(n.Type, k, v, id)
 		}
 	}
 	delete(s.nodes, id)
@@ -429,6 +463,9 @@ func (s *Store) deleteEdgeLocked(id EdgeID) {
 	s.out[e.From] = removeEdgeID(s.out[e.From], id)
 	s.in[e.To] = removeEdgeID(s.in[e.To], id)
 	delete(s.edges, id)
+	if s.edgeTypeCount[e.Type]--; s.edgeTypeCount[e.Type] <= 0 {
+		delete(s.edgeTypeCount, e.Type)
+	}
 }
 
 func removeEdgeID(ids []EdgeID, id EdgeID) []EdgeID {
@@ -506,6 +543,7 @@ func (s *Store) addEdgeLocked(from NodeID, typ string, to NodeID, attrs map[stri
 	s.edgeKey[ek] = id
 	s.out[from] = append(s.out[from], id)
 	s.in[to] = append(s.in[to], id)
+	s.edgeTypeCount[typ]++
 }
 
 // ForEachNode calls fn for every node; iteration stops if fn returns false.
@@ -670,6 +708,7 @@ func Load(r io.Reader) (*Store, error) {
 		s.edgeKey[edgeKeyOf(e.From, e.Type, e.To)] = e.ID
 		s.out[e.From] = append(s.out[e.From], e.ID)
 		s.in[e.To] = append(s.in[e.To], e.ID)
+		s.edgeTypeCount[e.Type]++
 	}
 	s.nextNode = hdr.NextNode
 	s.nextEdge = hdr.NextEdge

@@ -1,0 +1,208 @@
+package graph
+
+import "sort"
+
+// This file is the statistics and selectivity layer the Cypher planner
+// consumes: O(1) cardinality estimates backed by the live indexes, degree
+// statistics for expansion fan-out, and NodeID-granular access paths so
+// the streaming executor can pull nodes lazily instead of materializing
+// full candidate slices up front.
+
+// CountNodes returns the number of nodes in the store.
+func (s *Store) CountNodes() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.nodes)
+}
+
+// CountEdges returns the number of edges in the store.
+func (s *Store) CountEdges() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.edges)
+}
+
+// CountByType returns the number of nodes with the given type (label).
+func (s *Store) CountByType(typ string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byType[typ])
+}
+
+// CountByName returns the number of nodes whose Name equals name.
+func (s *Store) CountByName(name string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byName[name])
+}
+
+// CountByTypeName returns 0 or 1: whether a node with the exact
+// (type, name) pair exists. The merge index makes this pair unique.
+func (s *Store) CountByTypeName(typ, name string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if _, ok := s.byKey[nodeKey(typ, name)]; ok {
+		return 1
+	}
+	return 0
+}
+
+// CountByAttr returns the number of nodes with attrs[key] == val. The
+// count is exact (ok=true) only when the attribute is indexed; otherwise
+// ok=false and the caller must fall back to a scan estimate.
+func (s *Store) CountByAttr(key, val string) (int, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !s.indexed[key] {
+		return 0, false
+	}
+	return len(s.propIdx[key][val]), true
+}
+
+// CountByTypeAttr returns the number of nodes of the given type with
+// attrs[key] == val, using the composite (type, key, val) index. ok=false
+// when the attribute is not indexed.
+func (s *Store) CountByTypeAttr(typ, key, val string) (int, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !s.indexed[key] {
+		return 0, false
+	}
+	return len(s.typeAttr[typeAttrKey(typ, key, val)]), true
+}
+
+// CountEdgesByType returns the number of edges with the given type.
+func (s *Store) CountEdgesByType(typ string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.edgeTypeCount[typ]
+}
+
+// HasAttrIndex reports whether IndexAttr was called for key.
+func (s *Store) HasAttrIndex(key string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.indexed[key]
+}
+
+// AvgDegree estimates the average per-node fan-out of edges with the
+// given type ("" = all edges). It is the planner's expansion-cost
+// estimate: expanding one bound node along edgeType yields about
+// AvgDegree(edgeType) candidate bindings.
+func (s *Store) AvgDegree(edgeType string) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.nodes) == 0 {
+		return 0
+	}
+	n := len(s.edges)
+	if edgeType != "" {
+		n = s.edgeTypeCount[edgeType]
+	}
+	return float64(n) / float64(len(s.nodes))
+}
+
+// DegreeStats returns the average and maximum degree over all nodes in
+// the given direction (Both counts each edge at both endpoints).
+func (s *Store) DegreeStats(dir Direction) (avg float64, max int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.nodes) == 0 {
+		return 0, 0
+	}
+	total := 0
+	for id := range s.nodes {
+		d := 0
+		if dir == Out || dir == Both {
+			d += len(s.out[id])
+		}
+		if dir == In || dir == Both {
+			d += len(s.in[id])
+		}
+		total += d
+		if d > max {
+			max = d
+		}
+	}
+	return float64(total) / float64(len(s.nodes)), max
+}
+
+// --- NodeID access paths for lazy scans ---
+
+func sortedIDs(set map[NodeID]struct{}) []NodeID {
+	out := make([]NodeID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AllNodeIDs returns every node ID, sorted.
+func (s *Store) AllNodeIDs() []NodeID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]NodeID, 0, len(s.nodes))
+	for id := range s.nodes {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NodeIDsByType returns the IDs of nodes with the given type, sorted.
+func (s *Store) NodeIDsByType(typ string) []NodeID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return sortedIDs(s.byType[typ])
+}
+
+// NodeIDsByName returns the IDs of nodes with the given name, sorted.
+func (s *Store) NodeIDsByName(name string) []NodeID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return sortedIDs(s.byName[name])
+}
+
+// NodeIDsByAttr returns the IDs of nodes with attrs[key] == val via the
+// attribute index; nil when the attribute is not indexed.
+func (s *Store) NodeIDsByAttr(key, val string) []NodeID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !s.indexed[key] {
+		return nil
+	}
+	return sortedIDs(s.propIdx[key][val])
+}
+
+// NodeIDsByTypeAttr returns the IDs of nodes of the given type with
+// attrs[key] == val via the composite index; nil when the attribute is
+// not indexed.
+func (s *Store) NodeIDsByTypeAttr(typ, key, val string) []NodeID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !s.indexed[key] {
+		return nil
+	}
+	return sortedIDs(s.typeAttr[typeAttrKey(typ, key, val)])
+}
+
+// NodesByTypeAttr returns copies of the nodes of the given type with
+// attrs[key] == val. Uses the composite index when available, otherwise
+// scans.
+func (s *Store) NodesByTypeAttr(typ, key, val string) []*Node {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.indexed[key] {
+		return s.collect(s.typeAttr[typeAttrKey(typ, key, val)])
+	}
+	var out []*Node
+	for id := range s.byType[typ] {
+		n := s.nodes[id]
+		if n.Attrs[key] == val {
+			out = append(out, copyNode(n))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

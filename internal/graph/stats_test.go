@@ -1,0 +1,197 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func buildStatsStore(t *testing.T) *Store {
+	t.Helper()
+	s := New()
+	s.IndexAttr("platform")
+	var mals []NodeID
+	for i := 0; i < 10; i++ {
+		plat := "windows"
+		if i%2 == 1 {
+			plat = "linux"
+		}
+		id, _ := s.MergeNode("Malware", fmt.Sprintf("m-%d", i), map[string]string{"platform": plat})
+		mals = append(mals, id)
+	}
+	for i := 0; i < 30; i++ {
+		ip, _ := s.MergeNode("IP", fmt.Sprintf("10.0.0.%d", i), nil)
+		if _, _, err := s.AddEdge(mals[i%len(mals)], "CONNECT", ip, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, _ := s.MergeNode("ThreatActor", "actor", map[string]string{"platform": "windows"})
+	s.AddEdge(mals[0], "ATTRIBUTED_TO", a, nil)
+	return s
+}
+
+func TestCounts(t *testing.T) {
+	s := buildStatsStore(t)
+	if got := s.CountNodes(); got != 41 {
+		t.Errorf("CountNodes = %d, want 41", got)
+	}
+	if got := s.CountEdges(); got != 31 {
+		t.Errorf("CountEdges = %d, want 31", got)
+	}
+	if got := s.CountByType("Malware"); got != 10 {
+		t.Errorf("CountByType(Malware) = %d, want 10", got)
+	}
+	if got := s.CountByType("Nope"); got != 0 {
+		t.Errorf("CountByType(Nope) = %d, want 0", got)
+	}
+	if got := s.CountByName("m-3"); got != 1 {
+		t.Errorf("CountByName = %d, want 1", got)
+	}
+	if got := s.CountByTypeName("Malware", "m-3"); got != 1 {
+		t.Errorf("CountByTypeName hit = %d, want 1", got)
+	}
+	if got := s.CountByTypeName("IP", "m-3"); got != 0 {
+		t.Errorf("CountByTypeName miss = %d, want 0", got)
+	}
+	if got := s.CountEdgesByType("CONNECT"); got != 30 {
+		t.Errorf("CountEdgesByType(CONNECT) = %d, want 30", got)
+	}
+}
+
+func TestCountByAttrIndexed(t *testing.T) {
+	s := buildStatsStore(t)
+	n, ok := s.CountByAttr("platform", "windows")
+	if !ok || n != 6 { // 5 malware + 1 actor
+		t.Errorf("CountByAttr(platform, windows) = %d, %v; want 6, true", n, ok)
+	}
+	if _, ok := s.CountByAttr("missing", "x"); ok {
+		t.Error("CountByAttr on unindexed key should report ok=false")
+	}
+	n, ok = s.CountByTypeAttr("Malware", "platform", "windows")
+	if !ok || n != 5 {
+		t.Errorf("CountByTypeAttr = %d, %v; want 5, true", n, ok)
+	}
+	if !s.HasAttrIndex("platform") || s.HasAttrIndex("missing") {
+		t.Error("HasAttrIndex wrong")
+	}
+}
+
+func TestCompositeIndexTracksMutations(t *testing.T) {
+	s := New()
+	s.IndexAttr("os")
+	id, _ := s.MergeNode("Malware", "x", map[string]string{"os": "win"})
+	if n, _ := s.CountByTypeAttr("Malware", "os", "win"); n != 1 {
+		t.Fatalf("after insert: %d", n)
+	}
+	if err := s.SetAttr(id, "os", "mac"); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := s.CountByTypeAttr("Malware", "os", "win"); n != 0 {
+		t.Errorf("stale composite entry after SetAttr: %d", n)
+	}
+	if n, _ := s.CountByTypeAttr("Malware", "os", "mac"); n != 1 {
+		t.Errorf("missing composite entry after SetAttr: %d", n)
+	}
+	if err := s.DeleteNode(id); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := s.CountByTypeAttr("Malware", "os", "mac"); n != 0 {
+		t.Errorf("stale composite entry after DeleteNode: %d", n)
+	}
+}
+
+func TestNodesByTypeAttr(t *testing.T) {
+	s := buildStatsStore(t)
+	got := s.NodesByTypeAttr("Malware", "platform", "linux")
+	if len(got) != 5 {
+		t.Fatalf("NodesByTypeAttr = %d nodes, want 5", len(got))
+	}
+	for _, n := range got {
+		if n.Type != "Malware" || n.Attrs["platform"] != "linux" {
+			t.Errorf("wrong node: %+v", n)
+		}
+	}
+	// Unindexed path scans.
+	s2 := New()
+	s2.MergeNode("Malware", "a", map[string]string{"fam": "x"})
+	s2.MergeNode("Malware", "b", map[string]string{"fam": "y"})
+	if got := s2.NodesByTypeAttr("Malware", "fam", "x"); len(got) != 1 || got[0].Name != "a" {
+		t.Errorf("scan path: %+v", got)
+	}
+}
+
+func TestAvgDegreeAndDegreeStats(t *testing.T) {
+	s := buildStatsStore(t)
+	if got := s.AvgDegree("CONNECT"); got <= 0 || got > 1 {
+		t.Errorf("AvgDegree(CONNECT) = %f, want in (0, 1]", got)
+	}
+	if got := s.AvgDegree(""); got <= 0 {
+		t.Errorf("AvgDegree(all) = %f", got)
+	}
+	avg, max := s.DegreeStats(Out)
+	if avg <= 0 || max < 4 { // malware 0 has 3 CONNECT + 1 ATTRIBUTED_TO
+		t.Errorf("DegreeStats(Out) = %f, %d", avg, max)
+	}
+	if empty := New(); func() float64 { a, _ := empty.DegreeStats(Both); return a }() != 0 {
+		t.Error("empty store degree should be 0")
+	}
+}
+
+func TestEdgeTypeCountSurvivesDeleteAndLoad(t *testing.T) {
+	s := buildStatsStore(t)
+	// Delete one CONNECT edge.
+	var victim EdgeID
+	s.ForEachEdge(func(e *Edge) bool {
+		if e.Type == "CONNECT" {
+			victim = e.ID
+			return false
+		}
+		return true
+	})
+	if err := s.DeleteEdge(victim); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.CountEdgesByType("CONNECT"); got != 29 {
+		t.Errorf("after delete: %d, want 29", got)
+	}
+	// Round-trip through Save/Load.
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.CountEdgesByType("CONNECT"); got != 29 {
+		t.Errorf("after load: %d, want 29", got)
+	}
+	if got := len(s2.AllNodeIDs()); got != s.CountNodes() {
+		t.Errorf("AllNodeIDs after load: %d, want %d", got, s.CountNodes())
+	}
+}
+
+func TestNodeIDAccessPaths(t *testing.T) {
+	s := buildStatsStore(t)
+	if got := s.NodeIDsByType("Malware"); len(got) != 10 {
+		t.Errorf("NodeIDsByType: %d, want 10", len(got))
+	}
+	if got := s.NodeIDsByName("actor"); len(got) != 1 {
+		t.Errorf("NodeIDsByName: %d, want 1", len(got))
+	}
+	if got := s.NodeIDsByAttr("platform", "linux"); len(got) != 5 {
+		t.Errorf("NodeIDsByAttr: %d, want 5", len(got))
+	}
+	if got := s.NodeIDsByAttr("unindexed", "x"); got != nil {
+		t.Errorf("NodeIDsByAttr unindexed should be nil, got %v", got)
+	}
+	if got := s.NodeIDsByTypeAttr("Malware", "platform", "linux"); len(got) != 5 {
+		t.Errorf("NodeIDsByTypeAttr: %d, want 5", len(got))
+	}
+	ids := s.AllNodeIDs()
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatal("AllNodeIDs not sorted")
+		}
+	}
+}

@@ -157,10 +157,20 @@ func (s *Server) handleCypher(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req struct {
-		Query string `json:"query"`
+		Query   string `json:"query"`
+		Explain bool   `json:"explain"` // render the plan instead of executing
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Explain {
+		plan, err := s.eng.Explain(req.Query)
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		writeJSON(w, map[string]string{"plan": plan})
 		return
 	}
 	res, err := s.eng.Run(req.Query)
@@ -168,11 +178,13 @@ func (s *Server) handleCypher(w http.ResponseWriter, r *http.Request) {
 		httpErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	// Render rows to strings for transport.
+	// Render rows to strings for transport. (An "EXPLAIN match ..."
+	// statement flows through here too, returning plan lines as rows.)
 	out := struct {
-		Columns []string   `json:"columns"`
-		Rows    [][]string `json:"rows"`
-	}{Columns: res.Columns}
+		Columns   []string   `json:"columns"`
+		Rows      [][]string `json:"rows"`
+		Truncated bool       `json:"truncated,omitempty"`
+	}{Columns: res.Columns, Truncated: res.Truncated}
 	for _, row := range res.Rows {
 		cells := make([]string, len(row))
 		for i, v := range row {

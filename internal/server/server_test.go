@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"securitykg/internal/graph"
@@ -100,6 +101,38 @@ func TestCypherEndpoint(t *testing.T) {
 	s.ServeHTTP(rec3, httptest.NewRequest("GET", "/api/cypher", nil))
 	if rec3.Code != 405 {
 		t.Errorf("GET cypher status %d", rec3.Code)
+	}
+}
+
+func TestCypherExplainEndpoint(t *testing.T) {
+	s, _, _ := testServer(t)
+	body, _ := json.Marshal(map[string]any{
+		"query":   `match (m:Malware)-[:CONNECT]->(ip) return ip.name limit 3`,
+		"explain": true,
+	})
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("POST", "/api/cypher", bytes.NewReader(body)))
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var out struct {
+		Plan string `json:"plan"`
+	}
+	json.Unmarshal(rec.Body.Bytes(), &out)
+	if !strings.Contains(out.Plan, "Expand") || !strings.Contains(out.Plan, "Limit 3") {
+		t.Errorf("plan output: %q", out.Plan)
+	}
+	// An inline EXPLAIN statement returns plan lines as rows.
+	body2, _ := json.Marshal(map[string]string{"query": `explain match (n) return n`})
+	rec2 := httptest.NewRecorder()
+	s.ServeHTTP(rec2, httptest.NewRequest("POST", "/api/cypher", bytes.NewReader(body2)))
+	var out2 struct {
+		Columns []string
+		Rows    [][]string
+	}
+	json.Unmarshal(rec2.Body.Bytes(), &out2)
+	if len(out2.Columns) != 1 || out2.Columns[0] != "plan" || len(out2.Rows) == 0 {
+		t.Errorf("inline explain result: %+v", out2)
 	}
 }
 
