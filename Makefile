@@ -1,19 +1,40 @@
 GO ?= go
 
-.PHONY: build test vet bench
+.PHONY: build test vet bench cover fuzz
 
 build:
 	$(GO) build ./...
 
-test:
-	$(GO) test ./...
+# test runs static analysis first, then the full suite under the race
+# detector (the graph store and query engine are concurrency-facing).
+test: vet
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...
 
 # bench runs the Cypher engine benchmarks (planned vs legacy, index
-# on/off) and records the raw `go test -json` event stream in
-# BENCH_cypher.json so the perf trajectory is diffable across PRs.
+# on/off, variable-length paths) and records the raw `go test -json`
+# event stream in BENCH_cypher.json so the perf trajectory is diffable
+# across PRs.
 bench:
 	$(GO) test -run '^$$' -bench 'Cypher' -benchmem -benchtime 50x . -json | tee BENCH_cypher.json | \
 		grep -o '"Output":"Benchmark[^"]*' | sed 's/"Output":"//; s/\\t/\t/g; s/\\n//' || true
+
+# cover profiles the query engine and fails the build when internal/cypher
+# statement coverage drops below the floor.
+COVER_FLOOR ?= 80
+cover:
+	$(GO) test -coverprofile=cover.out -covermode=atomic ./internal/cypher/
+	@$(GO) tool cover -func=cover.out | sort -t: -k2 -n | awk '$$3+0 < 60 {print "  low:", $$0}'
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {gsub("%","",$$3); print $$3}'); \
+	awk -v t=$$total -v floor=$(COVER_FLOOR) 'BEGIN { \
+		if (t+0 < floor+0) { printf "internal/cypher coverage %.1f%% is below the %s%% floor\n", t, floor; exit 1 } \
+		else { printf "internal/cypher coverage %.1f%% (floor %s%%)\n", t, floor } }'
+
+# fuzz exercises the parser and engine fuzz targets for 30s each
+# (parser must never panic; engine must error, not crash).
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/cypher -fuzz FuzzParse -fuzztime $(FUZZTIME) -run '^$$'
+	$(GO) test ./internal/cypher -fuzz FuzzEngineQuery -fuzztime $(FUZZTIME) -run '^$$'

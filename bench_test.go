@@ -307,6 +307,42 @@ func BenchmarkCypherPlannerVsLegacy(b *testing.B) {
 	}
 }
 
+// --- E16: variable-length path traversal (threat-hunt shape) ---
+
+// BenchmarkCypherVarLengthPath measures the bounded-BFS VarExpand
+// operator on the hunt-style query "what is within k undirected hops of
+// this malware" over the 20k-node KG, where the shared-IP structure
+// makes each extra hop fan out across neighboring malware. Compared on
+// both engines; the streaming path also exercises WITH + collect.
+func BenchmarkCypherVarLengthPath(b *testing.B) {
+	s := benchKG()
+	queries := []struct {
+		name string
+		q    string
+	}{
+		{"1..2-hop", `match (m {name: "malware-5000"})-[:CONNECT*1..2]-(x) return count(*)`},
+		{"1..3-hop", `match (m {name: "malware-5000"})-[:CONNECT*1..3]-(x) return count(*)`},
+		{"collect-2-hop", `match (m {name: "malware-5000"})-[:CONNECT*1..2]-(x) with m, collect(x.name) as reach return m.name, reach`},
+	}
+	for _, q := range queries {
+		for _, legacy := range []bool{false, true} {
+			mode := "planned"
+			if legacy {
+				mode = "legacy"
+			}
+			b.Run(fmt.Sprintf("%s/%s", q.name, mode), func(b *testing.B) {
+				eng := cypher.NewEngine(s, cypher.Options{UseIndexes: true, MaxRows: 100000, Legacy: legacy})
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := eng.Run(q.q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // --- E12: layout, Barnes-Hut vs exact ---
 
 func BenchmarkLayoutBarnesHut(b *testing.B) {

@@ -6,6 +6,9 @@
 //
 //	skg-query -graph kg.jsonl
 //	> match (n) where n.name = "wannacry" return n
+//	> match (m {name: "wannacry"})-[:CONNECT*1..3]-(x) return x.name
+//	> optional match (m:Malware)-[:USE]->(t) with m, collect(t.name) as tools return m.name, tools
+//	> explain match (m:Malware)-[*1..2]-(x) return x.name limit 5
 //	> /wannacry ransomware
 package main
 
@@ -33,7 +36,7 @@ func main() {
 	}
 	gs := store.Stats()
 	fmt.Printf("skg-query: loaded %d nodes, %d edges from %s\n", gs.Nodes, gs.Edges, *graphPath)
-	fmt.Println(`skg-query: enter Cypher (e.g. match (n:Malware) return n.name limit 5), explain <query>, /keyword search, or "quit"`)
+	fmt.Println(`skg-query: enter Cypher (e.g. match (m:Malware)-[:CONNECT*1..3]-(x) return x.name limit 5), explain <query>, /keyword search, or "quit"`)
 
 	// Rebuild the keyword index from report nodes (title only; bodies are
 	// not persisted in the graph).

@@ -95,8 +95,26 @@ func main() {
 		fmt.Printf("  %s %-14s -> [%s] %s\n", marker, e.Type, dst.Type, dst.Name)
 	}
 
+	// Multi-hop sweep via Cypher: a variable-length traversal pulls in
+	// the assets within two edges of the hypothesis (the classic
+	// "what is ≤ k hops from this IOC" hunt), with the actors that use
+	// each asset collected alongside — OPTIONAL MATCH keeps assets no
+	// actor touches, WITH + collect folds the actor sets per asset.
+	res, err := sys.Cypher(fmt.Sprintf(`
+		match (m {name: %q})-[*1..2]-(x)
+		optional match (x)<-[:USE]-(a:ThreatActor)
+		with x, collect(a.name) as actors
+		return x.type, x.name, actors
+		order by x.type, x.name limit 15`, top.Name))
+	if err == nil {
+		fmt.Println("\nhunting surface within 2 hops (Cypher var-length sweep):")
+		for _, row := range res.Rows {
+			fmt.Printf("  [%s] %s  actors=%s\n", row[0], row[1], row[2])
+		}
+	}
+
 	// Attribution and reporting context via Cypher.
-	res, err := sys.Cypher(fmt.Sprintf(
+	res, err = sys.Cypher(fmt.Sprintf(
 		`match (m {name: %q})-[:ATTRIBUTED_TO]->(a:ThreatActor) return a.name`, top.Name))
 	if err == nil && len(res.Rows) > 0 {
 		fmt.Printf("\nattribution: %s\n", res.Rows[0][0])

@@ -1,15 +1,33 @@
 package cypher
 
-// Query is the parsed form of a supported Cypher statement.
+// Query is the parsed form of a supported Cypher statement: a chain of
+// WITH-delimited parts, the last of which carries the RETURN projection.
 type Query struct {
-	Explain  bool      // EXPLAIN prefix: render the plan instead of running it
-	Patterns []Pattern // comma-separated MATCH patterns
-	Where    Expr      // nil when absent
+	Explain bool        // EXPLAIN prefix: render the plan instead of running it
+	Parts   []QueryPart // WITH-chained segments; the final one is the RETURN
+}
+
+// QueryPart is one pipeline segment: its reading clauses (MATCH /
+// OPTIONAL MATCH) followed by a projection (WITH for intermediate parts,
+// RETURN for the final one). ORDER BY / SKIP / LIMIT are only accepted on
+// the final part; Where is the post-WITH filter on projected values.
+type QueryPart struct {
+	Matches  []MatchClause
 	Distinct bool
-	Returns  []ReturnItem
+	Items    []ReturnItem
+	Where    Expr // WITH ... WHERE <expr>: filters projected rows (nil on the final part)
 	OrderBy  []OrderKey
 	Limit    int // -1 when absent
 	Skip     int // 0 when absent
+}
+
+// MatchClause is one MATCH or OPTIONAL MATCH with its own WHERE. An
+// optional clause null-pads the variables it fails to bind instead of
+// dropping the row.
+type MatchClause struct {
+	Optional bool
+	Patterns []Pattern // comma-separated patterns
+	Where    Expr      // nil when absent
 }
 
 // Pattern is one linear node-edge-node-... chain.
@@ -34,12 +52,24 @@ const (
 	DirAny                  // -[]-
 )
 
-// EdgePattern is "-[var:TYPE]->" and friends.
+// EdgePattern is "-[var:TYPE]->" and friends. A variable-length pattern
+// "-[:TYPE*m..n]->" sets VarLen plus MinHops/MaxHops; plain single-hop
+// patterns have both at 1 with VarLen false. MaxHops < 0 means unbounded
+// ("*m.."). Variable-length patterns cannot bind an edge variable.
 type EdgePattern struct {
-	Var  string
-	Type string
-	Dir  EdgeDir
+	Var     string
+	Type    string
+	Dir     EdgeDir
+	VarLen  bool // any "*" range, including "*1": reachability semantics
+	MinHops int  // 1 for plain edges
+	MaxHops int  // 1 for plain edges; -1 = unbounded
 }
+
+// VarLength reports whether the pattern uses variable-length (BFS
+// reachability) semantics. "*1" is var-length even though it spans
+// exactly one hop: it binds each distinct neighbor once, where a plain
+// edge binds once per connecting edge.
+func (ep EdgePattern) VarLength() bool { return ep.VarLen }
 
 // ReturnItem is one projection: an expression plus an optional alias.
 type ReturnItem struct {
@@ -47,8 +77,9 @@ type ReturnItem struct {
 	Alias string
 }
 
-// OrderKey orders results by a returned column (by alias/text) or
-// expression.
+// OrderKey orders results by a returned column (matched by alias/text) or,
+// for non-aggregate non-DISTINCT queries, by any expression evaluable
+// against the match bindings.
 type OrderKey struct {
 	Expr Expr
 	Desc bool
@@ -86,8 +117,8 @@ type BoolExpr struct {
 // NotExpr negates an expression.
 type NotExpr struct{ Inner Expr }
 
-// FuncExpr is a function call: count(*), count(x), type(r), id(n),
-// labels(n), lower(x), upper(x).
+// FuncExpr is a function call: count(*), count(x), min(x), max(x),
+// sum(x), collect(x), type(r), id(n), labels(n), lower(x), upper(x).
 type FuncExpr struct {
 	Name string
 	Arg  Expr // nil for count(*)

@@ -281,11 +281,38 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
-func TestOrderByMustReferenceColumn(t *testing.T) {
-	s := buildDemoGraph(t)
-	_, err := NewEngine(s, DefaultOptions()).Run(`match (n) return n.name order by n.other`)
-	if err == nil || !strings.Contains(err.Error(), "ORDER BY") {
-		t.Errorf("expected ORDER BY error, got %v", err)
+func TestOrderByNonReturnedExpression(t *testing.T) {
+	s := graph.New()
+	s.MergeNode("T", "b", map[string]string{"rank": "2"})
+	s.MergeNode("T", "c", map[string]string{"rank": "1"})
+	s.MergeNode("T", "a", map[string]string{"rank": "3"})
+	// The sort key is not projected: it is evaluated against the match
+	// binding as a hidden column and stripped after the sort.
+	res := run(t, s, `match (n) return n.name order by n.rank`)
+	if len(res.Rows) != 3 || len(res.Rows[0]) != 1 {
+		t.Fatalf("rows: %+v", res.Rows)
+	}
+	got := res.Rows[0][0].Str + res.Rows[1][0].Str + res.Rows[2][0].Str
+	if got != "cba" {
+		t.Errorf("hidden-key order: %q, want cba", got)
+	}
+	// Under DISTINCT or aggregation the binding is out of scope per
+	// output row, so non-returned sort keys are rejected.
+	for _, q := range []string{
+		`match (n) return distinct n.name order by n.rank`,
+		`match (n) return n.type, count(*) order by n.rank`,
+	} {
+		if _, err := NewEngine(s, DefaultOptions()).Run(q); err == nil || !strings.Contains(err.Error(), "ORDER BY") {
+			t.Errorf("%s: expected ORDER BY error, got %v", q, err)
+		}
+	}
+	// Legacy engine agrees on both semantics.
+	lres, err := NewEngine(s, Options{UseIndexes: true, Legacy: true}).Run(`match (n) return n.name order by n.rank`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameMultiset(renderRows(res), renderRows(lres)) || lres.Rows[0][0].Str != "c" {
+		t.Errorf("legacy hidden-key order: %+v", lres.Rows)
 	}
 }
 

@@ -37,12 +37,14 @@ type Engine struct {
 	planCache map[string]planEntry
 }
 
-// planEntry is a cached plan plus the store cardinalities it was costed
-// against, so stale plans are re-planned once the graph has drifted.
+// planEntry is a cached plan plus the store cardinalities and index
+// epoch it was costed against, so stale plans are re-planned once the
+// graph has drifted or a new index has appeared.
 type planEntry struct {
-	pl    *Plan
-	nodes int
-	edges int
+	pl       *Plan
+	nodes    int
+	edges    int
+	idxEpoch int64
 }
 
 const planCacheMax = 512
@@ -53,14 +55,20 @@ func NewEngine(s *graph.Store, opts Options) *Engine {
 }
 
 // cachedPlan returns a previously planned pipeline for src if the store
-// cardinalities have not drifted past 2× since it was costed. Cached
-// plans stay correct under mutation (access paths never become invalid);
-// the bound only protects optimality.
+// cardinalities have not drifted past 2× since it was costed and no new
+// attribute index has been created (IndexAttr bumps the store's index
+// epoch; a plan chosen without the index would ignore it forever).
+// Cached plans stay correct under mutation (access paths never become
+// invalid); the bounds only protect optimality.
 func (e *Engine) cachedPlan(src string) *Plan {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	ent, ok := e.planCache[src]
 	if !ok {
+		return nil
+	}
+	if ent.idxEpoch != e.store.IndexEpoch() {
+		delete(e.planCache, src)
 		return nil
 	}
 	n, m := e.store.CountNodes(), e.store.CountEdges()
@@ -80,7 +88,12 @@ func (e *Engine) storePlan(src string, pl *Plan) {
 			break
 		}
 	}
-	e.planCache[src] = planEntry{pl: pl, nodes: e.store.CountNodes(), edges: e.store.CountEdges()}
+	e.planCache[src] = planEntry{
+		pl:       pl,
+		nodes:    e.store.CountNodes(),
+		edges:    e.store.CountEdges(),
+		idxEpoch: e.store.IndexEpoch(),
+	}
 }
 
 // Result is a rectangular query result.
@@ -145,7 +158,7 @@ func (b binding) clone() binding {
 // matcher when Options.Legacy is set. EXPLAIN always reports the
 // streaming plan.
 func (e *Engine) RunQuery(q *Query) (*Result, error) {
-	if len(q.Returns) == 0 {
+	if len(q.Parts) == 0 || len(q.Parts[len(q.Parts)-1].Items) == 0 {
 		return nil, fmt.Errorf("cypher: empty RETURN")
 	}
 	if e.opts.Legacy && !q.Explain {
@@ -154,42 +167,220 @@ func (e *Engine) RunQuery(q *Query) (*Result, error) {
 	return e.runPlanned(q)
 }
 
-// runLegacy is the original recursive matcher: it materializes every
-// complete match before projection and paging. Kept as the differential
-// baseline the property tests and benchmarks compare the streaming
-// executor against.
+// runLegacy is the original recursive matcher, extended with the same
+// dialect as the streaming engine (variable-length BFS, OPTIONAL MATCH
+// null-padding, WITH segment chaining): it materializes every complete
+// match of a segment before projecting it into the next. Kept as the
+// differential baseline the property tests and benchmarks compare the
+// streaming executor against.
 func (e *Engine) runLegacy(q *Query) (*Result, error) {
-	pushed := extractEqualityHints(q.Where)
+	matchCap := -1
+	if e.opts.MaxRows > 0 {
+		matchCap = e.opts.MaxRows*4 + 1000
+	}
+	bindings := []binding{{}}
+	for pi := range q.Parts {
+		part := &q.Parts[pi]
+		var err error
+		bindings, err = e.legacyMatchPart(part, bindings, matchCap)
+		if err != nil {
+			return nil, err
+		}
+		if pi == len(q.Parts)-1 {
+			return e.legacyFinal(part, bindings)
+		}
+		bindings, err = e.legacyWith(part, bindings)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("cypher: query has no RETURN part")
+}
 
-	var matches []binding
-	var matchErr error
-	e.matchPatterns(q.Patterns, 0, binding{}, pushed, func(b binding) bool {
-		if q.Where != nil {
-			v, err := evalExpr(q.Where, b)
+// legacyMatchPart enumerates the bindings for one part's reading
+// clauses, processing the same clause runs the planner emits
+// (requiredRuns is shared, so grouping cannot drift): required runs
+// join, OPTIONAL MATCH null-pads.
+func (e *Engine) legacyMatchPart(part *QueryPart, in []binding, matchCap int) ([]binding, error) {
+	out := in
+	for _, run := range requiredRuns(part.Matches) {
+		if run.optional != nil {
+			var err error
+			out, err = e.legacyOptional(*run.optional, out, matchCap)
 			if err != nil {
-				matchErr = err
-				return false
+				return nil, err
 			}
-			if !v.Truthy() {
-				return true
+			continue
+		}
+		hints := extractEqualityHints(run.where)
+		var next []binding
+		var matchErr error
+		for _, b := range out {
+			e.matchPatterns(run.pats, 0, b, hints, func(b2 binding) bool {
+				if run.where != nil {
+					v, err := evalExpr(run.where, b2)
+					if err != nil {
+						matchErr = err
+						return false
+					}
+					if !v.Truthy() {
+						return true
+					}
+				}
+				next = append(next, b2.clone())
+				return matchCap < 0 || len(next) < matchCap
+			})
+			if matchErr != nil {
+				return nil, matchErr
+			}
+			if matchCap >= 0 && len(next) >= matchCap {
+				break
 			}
 		}
-		matches = append(matches, b.clone())
-		return e.opts.MaxRows == 0 || len(matches) < e.opts.MaxRows*4+1000
-	})
-	if matchErr != nil {
-		return nil, matchErr
+		out = next
 	}
+	return out, nil
+}
 
-	res, err := e.project(q, matches)
+// legacyOptional extends each input binding with every match of the
+// optional clause, or with a single null-padded copy when none exists.
+func (e *Engine) legacyOptional(mc MatchClause, in []binding, matchCap int) ([]binding, error) {
+	hints := extractEqualityHints(mc.Where)
+	optVars := map[string]bool{}
+	for _, p := range mc.Patterns {
+		for _, np := range p.Nodes {
+			if np.Var != "" {
+				optVars[np.Var] = true
+			}
+		}
+		for _, ep := range p.Edges {
+			if ep.Var != "" {
+				optVars[ep.Var] = true
+			}
+		}
+	}
+	var out []binding
+	var matchErr error
+	for _, b := range in {
+		found := false
+		e.matchPatterns(mc.Patterns, 0, b, hints, func(b2 binding) bool {
+			if mc.Where != nil {
+				v, err := evalExpr(mc.Where, b2)
+				if err != nil {
+					matchErr = err
+					return false
+				}
+				if !v.Truthy() {
+					return true
+				}
+			}
+			found = true
+			out = append(out, b2.clone())
+			return matchCap < 0 || len(out) < matchCap
+		})
+		if matchErr != nil {
+			return nil, matchErr
+		}
+		if !found {
+			b2 := b.clone()
+			for v := range optVars {
+				if _, bound := b2[v]; !bound {
+					b2[v] = NullValue()
+				}
+			}
+			out = append(out, b2)
+		}
+		if matchCap >= 0 && len(out) >= matchCap {
+			break
+		}
+	}
+	return out, nil
+}
+
+// legacyWith projects a part's bindings through its WITH items into
+// fresh bindings for the next part, applying DISTINCT and the post-WITH
+// WHERE filter.
+func (e *Engine) legacyWith(part *QueryPart, matches []binding) ([]binding, error) {
+	hasAgg := false
+	for _, it := range part.Items {
+		if isAggregate(it.Expr) {
+			hasAgg = true
+		}
+	}
+	var rows [][]Value
+	if hasAgg {
+		res := &Result{}
+		if err := aggregateRows(part.Items, res, pullFromSlice(matches)); err != nil {
+			return nil, err
+		}
+		rows = res.Rows
+	} else {
+		for _, b := range matches {
+			row, err := projectRow(part.Items, b)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+		if part.Distinct {
+			rows = distinctRows(rows)
+		}
+	}
+	var out []binding
+	for _, row := range rows {
+		nb := make(binding, len(part.Items))
+		for i, it := range part.Items {
+			nb[it.Alias] = row[i]
+		}
+		if part.Where != nil {
+			v, err := evalExpr(part.Where, nb)
+			if err != nil {
+				return nil, err
+			}
+			if !v.Truthy() {
+				continue
+			}
+		}
+		out = append(out, nb)
+	}
+	return out, nil
+}
+
+// legacyFinal projects, aggregates, sorts and pages the final part.
+func (e *Engine) legacyFinal(part *QueryPart, matches []binding) (*Result, error) {
+	res := &Result{}
+	hasAgg := false
+	for _, it := range part.Items {
+		res.Columns = append(res.Columns, it.Alias)
+		if isAggregate(it.Expr) {
+			hasAgg = true
+		}
+	}
+	op, err := resolveOrderKeys(part.OrderBy, part.Items, part.Distinct, hasAgg)
 	if err != nil {
 		return nil, err
 	}
-	keyCols, err := orderKeyColumns(q.OrderBy, res.Columns)
-	if err != nil {
-		return nil, err
+	if hasAgg {
+		if err := aggregateRows(part.Items, res, pullFromSlice(matches)); err != nil {
+			return nil, err
+		}
+	} else {
+		for _, b := range matches {
+			row, err := projectRow(part.Items, b)
+			if err != nil {
+				return nil, err
+			}
+			row, err = appendHiddenKeys(row, op, b)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, row)
+		}
+		if part.Distinct {
+			res.Rows = distinctRows(res.Rows)
+		}
 	}
-	finishRows(q.OrderBy, q.Skip, q.Limit, res, keyCols, e.opts.MaxRows)
+	finishRows(part.OrderBy, part.Skip, part.Limit, res, op, e.opts.MaxRows)
 	return res, nil
 }
 
@@ -262,6 +453,9 @@ func (e *Engine) matchChain(p Pattern, i int, b binding,
 func (e *Engine) matchEdge(p Pattern, i int, from *graph.Node, b binding,
 	hints map[string]map[string]string, emit func(binding) bool) bool {
 	ep := p.Edges[i]
+	if ep.VarLength() {
+		return e.matchVarEdge(p, i, from, b, hints, emit)
+	}
 	dirs := []graph.Direction{}
 	switch ep.Dir {
 	case DirRight:
@@ -322,6 +516,81 @@ func (e *Engine) matchEdge(p Pattern, i int, from *graph.Node, b binding,
 		}
 	}
 	return true
+}
+
+// matchVarEdge matches a variable-length edge pattern with the same
+// reachability semantics the streaming VarExpand iterator uses: the
+// target binds once per distinct node whose shortest distance from the
+// start lies within the hop range.
+func (e *Engine) matchVarEdge(p Pattern, i int, from *graph.Node, b binding,
+	hints map[string]map[string]string, emit func(binding) bool) bool {
+	np := p.Nodes[i+1]
+	for _, id := range e.bfsTargets(from.ID, p.Edges[i], false) {
+		other := e.store.Node(id)
+		if other == nil || !nodeMatches(np, other) {
+			continue
+		}
+		b2 := b
+		if np.Var != "" {
+			if prev, bound := b[np.Var]; bound {
+				if prev.Kind != KindNode || prev.Node.ID != other.ID {
+					continue
+				}
+			} else {
+				b2 = b.clone()
+				b2[np.Var] = NodeValue(other)
+			}
+		}
+		if i+1 == len(p.Nodes)-1 {
+			if !emit(b2) {
+				return false
+			}
+		} else if !e.matchEdge(p, i+1, other, b2, hints, emit) {
+			return false
+		}
+	}
+	return true
+}
+
+// bfsTargets returns the IDs of the nodes whose shortest distance from
+// start — along edges matching the pattern's type and direction — lies
+// within [MinHops, MaxHops] (MaxHops < 0 = unbounded). Each node is
+// visited at most once, so the walk terminates on any graph. Both
+// engines share it, so variable-length semantics cannot drift.
+func (e *Engine) bfsTargets(start graph.NodeID, ep EdgePattern, reverse bool) []graph.NodeID {
+	dirs := expandDirs(ep.Dir, reverse)
+	visited := map[graph.NodeID]bool{start: true}
+	frontier := []graph.NodeID{start}
+	var out []graph.NodeID
+	if ep.MinHops == 0 {
+		out = append(out, start)
+	}
+	for depth := 1; len(frontier) > 0 && (ep.MaxHops < 0 || depth <= ep.MaxHops); depth++ {
+		var next []graph.NodeID
+		for _, id := range frontier {
+			for _, d := range dirs {
+				for _, ed := range e.store.Edges(id, d) {
+					if ep.Type != "" && ed.Type != ep.Type {
+						continue
+					}
+					otherID := ed.To
+					if d == graph.In {
+						otherID = ed.From
+					}
+					if visited[otherID] {
+						continue
+					}
+					visited[otherID] = true
+					next = append(next, otherID)
+					if depth >= ep.MinHops {
+						out = append(out, otherID)
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	return out
 }
 
 // candidates enumerates starting nodes for a node pattern, using indexes
@@ -536,22 +805,31 @@ func evalExpr(e Expr, b binding) (Value, error) {
 				return StringValue(strings.ToLower(arg.Str)), nil
 			}
 			return StringValue(strings.ToUpper(arg.Str)), nil
-		case "count":
-			return NullValue(), fmt.Errorf("cypher: count() outside RETURN")
+		case "count", "min", "max", "sum", "collect":
+			return NullValue(), fmt.Errorf("cypher: %s() outside RETURN/WITH", v.Name)
 		}
 		return NullValue(), fmt.Errorf("cypher: unknown function %q", v.Name)
 	}
 	return NullValue(), fmt.Errorf("cypher: unevaluable expression %T", e)
 }
 
+// isAggName reports whether name is an aggregate function.
+func isAggName(name string) bool {
+	switch name {
+	case "count", "min", "max", "sum", "collect":
+		return true
+	}
+	return false
+}
+
 func isAggregate(e Expr) bool {
 	f, ok := e.(FuncExpr)
-	return ok && f.Name == "count"
+	return ok && isAggName(f.Name)
 }
 
 // --- projection, grouping, ordering ---
 
-// projectRow evaluates the RETURN items against one binding.
+// projectRow evaluates the projection items against one binding.
 func projectRow(items []ReturnItem, b binding) ([]Value, error) {
 	row := make([]Value, len(items))
 	for i, it := range items {
@@ -573,49 +851,80 @@ func rowKey(row []Value) string {
 	return strings.Join(parts, "\x00")
 }
 
-func (e *Engine) project(q *Query, matches []binding) (*Result, error) {
-	res := &Result{}
-	hasAgg := false
-	for _, it := range q.Returns {
-		res.Columns = append(res.Columns, it.Alias)
-		if isAggregate(it.Expr) {
-			hasAgg = true
+// aggState accumulates one aggregate column within one group.
+type aggState struct {
+	count    int
+	sum      float64
+	min, max Value   // KindNull until a value is seen
+	vals     []Value // collect
+}
+
+func (a *aggState) add(name string, v Value) error {
+	if v.Kind == KindNull {
+		return nil
+	}
+	a.count++
+	switch name {
+	case "sum":
+		if v.Kind != KindNumber {
+			return fmt.Errorf("cypher: sum() over non-numeric value %s", v.String())
 		}
-	}
-	if hasAgg {
-		i := 0
-		err := aggregateRows(q.Returns, res, func() (binding, error) {
-			if i >= len(matches) {
-				return nil, nil
-			}
-			b := matches[i]
-			i++
-			return b, nil
-		})
-		return res, err
-	}
-	for _, b := range matches {
-		row, err := projectRow(q.Returns, b)
-		if err != nil {
-			return nil, err
+		a.sum += v.Num
+	case "min":
+		if a.min.Kind == KindNull || v.totalLess(a.min) {
+			a.min = v
 		}
-		res.Rows = append(res.Rows, row)
+	case "max":
+		if a.max.Kind == KindNull || a.max.totalLess(v) {
+			a.max = v
+		}
+	case "collect":
+		a.vals = append(a.vals, v)
 	}
-	if q.Distinct {
-		res.Rows = distinctRows(res.Rows)
+	return nil
+}
+
+func (a *aggState) result(name string) Value {
+	switch name {
+	case "count":
+		return NumberValue(float64(a.count))
+	case "sum":
+		return NumberValue(a.sum) // sum of nothing is 0
+	case "min":
+		return a.min
+	case "max":
+		return a.max
+	case "collect":
+		sort.SliceStable(a.vals, func(i, j int) bool { return a.vals[i].totalLess(a.vals[j]) })
+		return ListValue(a.vals)
 	}
-	return res, nil
+	return NullValue()
+}
+
+// pullFromSlice adapts a materialized match set to aggregateRows' pull
+// protocol (nil binding = exhausted).
+func pullFromSlice(matches []binding) func() (binding, error) {
+	i := 0
+	return func() (binding, error) {
+		if i >= len(matches) {
+			return nil, nil
+		}
+		b := matches[i]
+		i++
+		return b, nil
+	}
 }
 
 // aggregateRows consumes bindings from pull (nil binding = exhausted),
-// grouping by the non-aggregate RETURN items and counting into the
-// aggregate ones. Groups are emitted in first-seen order. Both engines
-// share it: the legacy path wraps its match slice, the streaming path
-// wraps the iterator pipeline.
+// grouping by the non-aggregate projection items and folding the
+// aggregate ones (count/min/max/sum/collect). Groups are emitted in
+// first-seen order; collect() lists are canonically ordered so both
+// engines agree regardless of enumeration order. The legacy path wraps
+// its match slice, the streaming path wraps the iterator pipeline.
 func aggregateRows(items []ReturnItem, res *Result, pull func() (binding, error)) error {
 	type group struct {
 		keyVals []Value
-		counts  []int
+		aggs    []aggState
 	}
 	groups := map[string]*group{}
 	var order []string
@@ -643,25 +952,25 @@ func aggregateRows(items []ReturnItem, res *Result, pull func() (binding, error)
 		k := strings.Join(keyParts, "\x00")
 		g, ok := groups[k]
 		if !ok {
-			g = &group{keyVals: keyVals, counts: make([]int, len(items))}
+			g = &group{keyVals: keyVals, aggs: make([]aggState, len(items))}
 			groups[k] = g
 			order = append(order, k)
 		}
 		for i, it := range items {
 			fe, ok := it.Expr.(FuncExpr)
-			if !ok || fe.Name != "count" {
+			if !ok || !isAggName(fe.Name) {
 				continue
 			}
 			if fe.Star {
-				g.counts[i]++
+				g.aggs[i].count++
 				continue
 			}
 			v, err := evalExpr(fe.Arg, b)
 			if err != nil {
 				return err
 			}
-			if v.Kind != KindNull {
-				g.counts[i]++
+			if err := g.aggs[i].add(fe.Name, v); err != nil {
+				return err
 			}
 		}
 	}
@@ -669,8 +978,8 @@ func aggregateRows(items []ReturnItem, res *Result, pull func() (binding, error)
 		g := groups[k]
 		row := make([]Value, len(items))
 		for i, it := range items {
-			if isAggregate(it.Expr) {
-				row[i] = NumberValue(float64(g.counts[i]))
+			if fe, ok := it.Expr.(FuncExpr); ok && isAggName(fe.Name) {
+				row[i] = g.aggs[i].result(fe.Name)
 			} else {
 				row[i] = g.keyVals[i]
 			}
@@ -693,29 +1002,60 @@ func distinctRows(rows [][]Value) [][]Value {
 	return out
 }
 
-// orderKeyColumns resolves ORDER BY keys to returned column indexes
-// (keys must reference a returned column by alias text). Returns nil
-// when the query has no ORDER BY.
-func orderKeyColumns(orderBy []OrderKey, columns []string) ([]int, error) {
+// orderPlan is the resolved ORDER BY strategy: each key maps to a column
+// index in the (visible + hidden) row. Keys naming a returned column by
+// alias text sort on it directly; other expressions become hidden
+// columns evaluated against the match binding and stripped after the
+// sort.
+type orderPlan struct {
+	keyCols []int
+	hidden  []Expr
+}
+
+// resolveOrderKeys maps ORDER BY keys onto returned columns or hidden
+// expressions. Hidden keys are rejected under DISTINCT or aggregation,
+// where the match binding is no longer in scope per output row. Returns
+// nil when the query has no ORDER BY.
+func resolveOrderKeys(orderBy []OrderKey, items []ReturnItem, distinct, hasAgg bool) (*orderPlan, error) {
 	if len(orderBy) == 0 {
 		return nil, nil
 	}
-	keyCols := make([]int, len(orderBy))
+	op := &orderPlan{keyCols: make([]int, len(orderBy))}
 	for i, k := range orderBy {
 		txt := exprText(k.Expr)
 		col := -1
-		for j, c := range columns {
-			if c == txt {
+		for j := range items {
+			if items[j].Alias == txt {
 				col = j
 				break
 			}
 		}
 		if col < 0 {
-			return nil, fmt.Errorf("cypher: ORDER BY %q must reference a returned column", txt)
+			if distinct || hasAgg {
+				return nil, fmt.Errorf("cypher: ORDER BY %q must reference a returned column when DISTINCT or aggregation is used", txt)
+			}
+			col = len(items) + len(op.hidden)
+			op.hidden = append(op.hidden, k.Expr)
 		}
-		keyCols[i] = col
+		op.keyCols[i] = col
 	}
-	return keyCols, nil
+	return op, nil
+}
+
+// appendHiddenKeys evaluates the order plan's hidden expressions against
+// the binding and appends them to the row.
+func appendHiddenKeys(row []Value, op *orderPlan, b binding) ([]Value, error) {
+	if op == nil || len(op.hidden) == 0 {
+		return row, nil
+	}
+	for _, hx := range op.hidden {
+		v, err := evalExpr(hx, b)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, v)
+	}
+	return row, nil
 }
 
 // sortRows sorts rows by the resolved ORDER BY key columns.
@@ -736,11 +1076,17 @@ func sortRows(orderBy []OrderKey, rows [][]Value, keyCols []int) {
 }
 
 // finishRows applies the trailing row operators shared by both engines:
-// sort (when keyCols is non-empty), SKIP, LIMIT, and the MaxRows safety
-// valve (which sets Truncated when it drops rows).
-func finishRows(orderBy []OrderKey, skip, limit int, res *Result, keyCols []int, maxRows int) {
-	if len(keyCols) > 0 {
-		sortRows(orderBy, res.Rows, keyCols)
+// sort (stripping any hidden key columns afterwards), SKIP, LIMIT, and
+// the MaxRows safety valve (which sets Truncated when it drops rows).
+func finishRows(orderBy []OrderKey, skip, limit int, res *Result, op *orderPlan, maxRows int) {
+	if op != nil {
+		sortRows(orderBy, res.Rows, op.keyCols)
+		if len(op.hidden) > 0 {
+			visible := len(res.Columns)
+			for i, r := range res.Rows {
+				res.Rows[i] = r[:visible]
+			}
+		}
 	}
 	if skip > 0 {
 		if skip >= len(res.Rows) {

@@ -7,22 +7,42 @@ import (
 )
 
 // The executor runs plans as lazy pull-based iterators (Volcano style,
-// but with a single shared binding mutated in place and undone on
-// backtrack instead of cloned per level). Each stage's iterator pulls
-// from its input only when it needs another row, so LIMIT, MaxRows and
-// aggregate early exits stop pattern matching upstream instead of
-// truncating a fully-materialized match set.
+// but with a single shared binding per segment mutated in place and
+// undone on backtrack instead of cloned per level). Each stage's
+// iterator pulls from its input only when it needs another row, so
+// LIMIT, MaxRows and aggregate early exits stop pattern matching
+// upstream instead of truncating a materialized match set. WITH
+// boundaries bridge segments: the upstream segment's projected row
+// becomes the downstream segment's entire binding namespace.
 
 // iter advances the shared binding to the next complete extension.
 type iter interface {
 	next() (bool, error)
 }
 
-// execCtx is the shared execution state: the engine and the one binding
-// all stage iterators extend and unwind.
+// execCtx is the shared execution state of one pipeline segment: the
+// engine and the one binding all of the segment's stage iterators extend
+// and unwind, plus a per-execution cache of scan ID lists so optional
+// sub-pipelines rebuilt per input row (optionalIter) don't re-fetch a
+// constant access path every time.
 type execCtx struct {
-	e *Engine
-	b binding
+	e       *Engine
+	b       binding
+	scanIDs map[*ScanStage][]graph.NodeID
+}
+
+// fetchScanIDs returns the (cached) candidate ID list for a scan stage;
+// the access path is constant for the query's lifetime.
+func (ec *execCtx) fetchScanIDs(s *scanIter) []graph.NodeID {
+	if ec.scanIDs == nil {
+		ec.scanIDs = map[*ScanStage][]graph.NodeID{}
+	}
+	ids, ok := ec.scanIDs[s.st]
+	if !ok {
+		ids = s.fetchIDs()
+		ec.scanIDs[s.st] = ids
+	}
+	return ids
 }
 
 func (s *ScanStage) newIter(ec *execCtx, input iter) iter {
@@ -31,6 +51,38 @@ func (s *ScanStage) newIter(ec *execCtx, input iter) iter {
 
 func (s *ExpandStage) newIter(ec *execCtx, input iter) iter {
 	return &expandIter{ec: ec, st: s, input: input}
+}
+
+func (s *VarExpandStage) newIter(ec *execCtx, input iter) iter {
+	return &varExpandIter{ec: ec, st: s, input: input}
+}
+
+func (s *OptionalStage) newIter(ec *execCtx, input iter) iter {
+	if input == nil {
+		input = &onceIter{}
+	}
+	return &optionalIter{ec: ec, st: s, input: input}
+}
+
+// buildStageChain wires a stage list into a pull pipeline. input is nil
+// for a pipeline rooted at the virtual single input row.
+func buildStageChain(ec *execCtx, stages []Stage, input iter) iter {
+	root := input
+	for _, st := range stages {
+		root = st.newIter(ec, root)
+	}
+	return root
+}
+
+// onceIter emits the single virtual input row.
+type onceIter struct{ done bool }
+
+func (o *onceIter) next() (bool, error) {
+	if o.done {
+		return false, nil
+	}
+	o.done = true
+	return true, nil
 }
 
 func evalPreds(preds []Expr, b binding) (bool, error) {
@@ -105,7 +157,7 @@ func (s *scanIter) next() (bool, error) {
 					s.boundCand = v.Node
 				}
 			} else if !s.fetched {
-				s.ids = s.fetchIDs()
+				s.ids = ec.fetchScanIDs(s)
 				s.fetched = true
 			}
 		}
@@ -217,7 +269,7 @@ func (x *expandIter) next() (bool, error) {
 			}
 			v, ok := ec.b[st.From]
 			if !ok || v.Kind != KindNode {
-				continue // non-node binding: no expansion from it
+				continue // non-node binding (e.g. optional null): no expansion
 			}
 			x.fromID = v.Node.ID
 			x.dirs = expandDirs(st.Edge.Dir, st.Reverse)
@@ -285,6 +337,241 @@ func (x *expandIter) next() (bool, error) {
 	}
 }
 
+// --- variable-length expand ---
+
+// varExpandIter streams the bounded BFS of a variable-length pattern:
+// for every input row it computes the set of nodes whose shortest
+// distance from the anchor lies within the hop range (bfsTargets, shared
+// with the legacy matcher) and binds the target variable once per
+// distinct endpoint.
+type varExpandIter struct {
+	ec      *execCtx
+	st      *VarExpandStage
+	input   iter
+	active  bool
+	targets []graph.NodeID
+	ti      int
+	set     bool
+}
+
+func (x *varExpandIter) next() (bool, error) {
+	ec := x.ec
+	st := x.st
+	for {
+		if !x.active {
+			ok, err := x.input.next()
+			if err != nil || !ok {
+				return false, err
+			}
+			v, ok := ec.b[st.From]
+			if !ok || v.Kind != KindNode {
+				continue // non-node binding (e.g. optional null): nothing reachable
+			}
+			x.targets = ec.e.bfsTargets(v.Node.ID, st.Edge, st.Reverse)
+			x.ti = 0
+			x.active = true
+		}
+		if x.set {
+			delete(ec.b, st.To.Var)
+			x.set = false
+		}
+		for x.ti < len(x.targets) {
+			n := ec.e.store.Node(x.targets[x.ti])
+			x.ti++
+			if n == nil || !nodeMatches(st.To, n) {
+				continue
+			}
+			if prev, bound := ec.b[st.To.Var]; bound {
+				if prev.Kind != KindNode || prev.Node.ID != n.ID {
+					continue
+				}
+			} else {
+				ec.b[st.To.Var] = NodeValue(n)
+				x.set = true
+			}
+			ok, err := evalPreds(st.Filters, ec.b)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				if x.set {
+					delete(ec.b, st.To.Var)
+					x.set = false
+				}
+				continue
+			}
+			return true, nil
+		}
+		x.active = false
+	}
+}
+
+// --- optional ---
+
+// optionalIter runs the optional sub-pipeline once per input row. Rows
+// with at least one extension stream each of them; rows with none pass
+// through once with the sub-pipeline's variables bound to null. The
+// inner iterator chain is rebuilt per input row (stage state is cheap)
+// and shares the segment's binding, so anchored scans and expands read
+// the outer row's variables directly.
+type optionalIter struct {
+	ec      *execCtx
+	st      *OptionalStage
+	input   iter
+	inner   iter
+	matched bool
+	padded  bool
+}
+
+func (o *optionalIter) clearPad() {
+	if o.padded {
+		for _, v := range o.st.Vars {
+			delete(o.ec.b, v)
+		}
+		o.padded = false
+	}
+}
+
+func (o *optionalIter) next() (bool, error) {
+	for {
+		if o.inner == nil {
+			o.clearPad()
+			ok, err := o.input.next()
+			if err != nil || !ok {
+				return false, err
+			}
+			o.inner = buildStageChain(o.ec, o.st.Inner, nil)
+			o.matched = false
+		}
+		ok, err := o.inner.next()
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			o.matched = true
+			return true, nil
+		}
+		o.inner = nil
+		if !o.matched {
+			for _, v := range o.st.Vars {
+				o.ec.b[v] = NullValue()
+			}
+			o.padded = true
+			return true, nil
+		}
+	}
+}
+
+// --- WITH segment bridge ---
+
+// withIter bridges two pipeline segments: it pulls the upstream
+// segment's rows, projects them through the WITH items (aggregating or
+// deduplicating when asked), applies the post-WITH WHERE filter, and
+// re-roots the downstream segment's binding namespace to exactly the
+// projected aliases. Non-aggregating bridges stream row by row, so a
+// downstream LIMIT still stops upstream matching early; aggregating
+// bridges materialize their (match-capped) group table on first pull.
+type withIter struct {
+	srcEC *execCtx
+	dstEC *execCtx
+	seg   *PlanSegment
+	src   iter
+
+	seen      map[string]bool // DISTINCT
+	buf       [][]Value       // aggregate groups
+	bi        int
+	started   bool
+	cap       int // aggregate consumption cap (-1 = unlimited)
+	truncated *bool
+}
+
+// emit installs a projected row as the downstream binding and applies
+// the WITH ... WHERE filter.
+func (w *withIter) emit(row []Value) (bool, error) {
+	for i, it := range w.seg.Items {
+		w.dstEC.b[it.Alias] = row[i]
+	}
+	if w.seg.Filter != nil {
+		v, err := evalExpr(w.seg.Filter, w.dstEC.b)
+		if err != nil {
+			return false, err
+		}
+		if !v.Truthy() {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func (w *withIter) next() (bool, error) {
+	if w.seg.HasAggregate {
+		if !w.started {
+			w.started = true
+			res := &Result{}
+			consumed := 0
+			if err := aggregateRows(w.seg.Items, res, func() (binding, error) {
+				if w.cap >= 0 && consumed >= w.cap {
+					// Probe before flagging: a stream of exactly cap
+					// rows was fully aggregated, not truncated.
+					ok, err := w.src.next()
+					if err != nil {
+						return nil, err
+					}
+					if ok {
+						*w.truncated = true
+					}
+					return nil, nil
+				}
+				ok, err := w.src.next()
+				if err != nil || !ok {
+					return nil, err
+				}
+				consumed++
+				return w.srcEC.b, nil
+			}); err != nil {
+				return false, err
+			}
+			w.buf = res.Rows
+		}
+		for w.bi < len(w.buf) {
+			row := w.buf[w.bi]
+			w.bi++
+			ok, err := w.emit(row)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	for {
+		ok, err := w.src.next()
+		if err != nil || !ok {
+			return false, err
+		}
+		row, err := projectRow(w.seg.Items, w.srcEC.b)
+		if err != nil {
+			return false, err
+		}
+		if w.seen != nil {
+			k := rowKey(row)
+			if w.seen[k] {
+				continue
+			}
+			w.seen[k] = true
+		}
+		ok, err = w.emit(row)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+}
+
 // --- plan execution ---
 
 // runPlanned plans and executes q through the streaming pipeline.
@@ -303,33 +590,51 @@ func (e *Engine) runPlanned(q *Query) (*Result, error) {
 // iterator pipeline.
 func (e *Engine) execPlan(pl *Plan) (*Result, error) {
 	res := &Result{}
-	for _, it := range pl.Returns {
+	fin := pl.final()
+	for _, it := range fin.Items {
 		res.Columns = append(res.Columns, it.Alias)
 	}
-	keyCols, err := orderKeyColumns(pl.OrderBy, res.Columns)
+	op, err := resolveOrderKeys(fin.OrderBy, fin.Items, fin.Distinct, fin.HasAggregate)
 	if err != nil {
 		return nil, err
 	}
 
-	ec := &execCtx{e: e, b: binding{}}
-	var root iter
-	for _, st := range pl.Stages {
-		root = st.newIter(ec, root)
-	}
-
 	// matchCap bounds total enumeration on the paths that cannot
 	// short-circuit (aggregation, sorting) — the same MaxRows*4+1000
-	// slack the legacy matcher applied to its match set.
+	// slack the legacy matcher applies to its match sets.
 	matchCap := -1
 	if e.opts.MaxRows > 0 {
 		matchCap = e.opts.MaxRows*4 + 1000
 	}
 
-	if pl.HasAggregate {
+	ec := &execCtx{e: e, b: binding{}}
+	var root iter
+	for si, seg := range pl.Segments {
+		root = buildStageChain(ec, seg.Stages, root)
+		if si < len(pl.Segments)-1 {
+			nec := &execCtx{e: e, b: binding{}}
+			w := &withIter{srcEC: ec, dstEC: nec, seg: seg, src: root, cap: matchCap, truncated: &res.Truncated}
+			if seg.Distinct && !seg.HasAggregate {
+				w.seen = map[string]bool{}
+			}
+			root = w
+			ec = nec
+		}
+	}
+
+	if fin.HasAggregate {
 		consumed := 0
-		if err := aggregateRows(pl.Returns, res, func() (binding, error) {
+		if err := aggregateRows(fin.Items, res, func() (binding, error) {
 			if matchCap >= 0 && consumed >= matchCap {
-				res.Truncated = true
+				// Probe before flagging: exactly-cap streams were fully
+				// aggregated, not truncated.
+				ok, err := root.next()
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					res.Truncated = true
+				}
 				return nil, nil
 			}
 			ok, err := root.next()
@@ -341,15 +646,16 @@ func (e *Engine) execPlan(pl *Plan) (*Result, error) {
 		}); err != nil {
 			return nil, err
 		}
-		finishRows(pl.OrderBy, pl.Skip, pl.Limit, res, keyCols, e.opts.MaxRows)
+		finishRows(fin.OrderBy, fin.Skip, fin.Limit, res, op, e.opts.MaxRows)
 		return res, nil
 	}
 
 	var seen map[string]bool
-	if pl.Distinct {
+	if fin.Distinct {
 		seen = map[string]bool{}
 	}
-	// pull produces the next accepted (projected, deduplicated) row.
+	// pull produces the next accepted (projected, deduplicated) row,
+	// with any hidden ORDER BY key columns appended.
 	pull := func() ([]Value, error) {
 		for {
 			ok, err := root.next()
@@ -359,7 +665,7 @@ func (e *Engine) execPlan(pl *Plan) (*Result, error) {
 			if !ok {
 				return nil, nil
 			}
-			row, err := projectRow(pl.Returns, ec.b)
+			row, err := projectRow(fin.Items, ec.b)
 			if err != nil {
 				return nil, err
 			}
@@ -370,18 +676,22 @@ func (e *Engine) execPlan(pl *Plan) (*Result, error) {
 				}
 				seen[k] = true
 			}
+			row, err = appendHiddenKeys(row, op, ec.b)
+			if err != nil {
+				return nil, err
+			}
 			return row, nil
 		}
 	}
 	maxRows := e.opts.MaxRows
 
-	if len(keyCols) > 0 {
-		if pl.Limit >= 0 {
+	if op != nil {
+		if fin.Limit >= 0 {
 			// ORDER BY + LIMIT: bounded top-k. Every matched row is
 			// considered, but the buffer is periodically sorted and cut to
 			// the first Skip+Limit rows, so memory stays O(k) and the
 			// result is the correct global top-k.
-			k := pl.Skip + pl.Limit
+			k := fin.Skip + fin.Limit
 			if k == 0 {
 				return res, nil
 			}
@@ -402,11 +712,11 @@ func (e *Engine) execPlan(pl *Plan) (*Result, error) {
 				pulled++
 				res.Rows = append(res.Rows, row)
 				if len(res.Rows) >= window {
-					sortRows(pl.OrderBy, res.Rows, keyCols)
+					sortRows(fin.OrderBy, res.Rows, op.keyCols)
 					res.Rows = res.Rows[:k]
 				}
 			}
-			finishRows(pl.OrderBy, pl.Skip, pl.Limit, res, keyCols, maxRows)
+			finishRows(fin.OrderBy, fin.Skip, fin.Limit, res, op, maxRows)
 			return res, nil
 		}
 		// ORDER BY without LIMIT needs the full row set for a correct
@@ -425,12 +735,12 @@ func (e *Engine) execPlan(pl *Plan) (*Result, error) {
 			}
 			res.Rows = append(res.Rows, row)
 		}
-		finishRows(pl.OrderBy, pl.Skip, pl.Limit, res, keyCols, maxRows)
+		finishRows(fin.OrderBy, fin.Skip, fin.Limit, res, op, maxRows)
 		return res, nil
 	}
 
 	// Streaming path: LIMIT and MaxRows short-circuit matching.
-	if pl.Limit == 0 {
+	if fin.Limit == 0 {
 		return res, nil
 	}
 	skipped := 0
@@ -442,12 +752,12 @@ func (e *Engine) execPlan(pl *Plan) (*Result, error) {
 		if row == nil {
 			break
 		}
-		if skipped < pl.Skip {
+		if skipped < fin.Skip {
 			skipped++
 			continue
 		}
 		res.Rows = append(res.Rows, row)
-		if pl.Limit >= 0 && len(res.Rows) >= pl.Limit {
+		if fin.Limit >= 0 && len(res.Rows) >= fin.Limit {
 			break
 		}
 		if maxRows > 0 && len(res.Rows) >= maxRows {

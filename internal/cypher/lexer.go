@@ -1,14 +1,20 @@
 // Package cypher implements the query language of SecurityKG's exploration
 // stack: a practical subset of Neo4j's Cypher sufficient for the paper's
-// demo scenarios and the threat-analysis examples. Supported shape:
+// demo scenarios and the threat-hunting workloads. Supported shape:
 //
 //	MATCH (a:Label {prop: "v"})-[r:RELTYPE]->(b), (c)
-//	WHERE a.name = "wannacry" AND b.kind <> "x" OR NOT (a.n CONTAINS "y")
-//	RETURN DISTINCT a, b.name, type(r), count(*)
-//	ORDER BY b.name DESC LIMIT 10
+//	OPTIONAL MATCH (a)-[:USES*1..3]->(d) WHERE d.name <> "x"
+//	WITH a, collect(d.name) AS tools WHERE a.name CONTAINS "y"
+//	MATCH (a)-[:DROP]->(f)
+//	RETURN DISTINCT a, tools, min(f.name), count(*)
+//	ORDER BY a.name DESC SKIP 2 LIMIT 10
 //
-// The executor is an index-aware backtracking pattern matcher over
-// internal/graph. Identifier comparison is case-insensitive for keywords,
+// Variable-length patterns ("-[:T*m..n]->") use reachability semantics:
+// an endpoint matches when its shortest distance from the start along
+// edges of the given type/direction lies in [m, n], and each endpoint is
+// bound once per input row (bounded BFS with a visited set), not once per
+// path. collect() returns a canonically ordered list so results are
+// deterministic. Identifier comparison is case-insensitive for keywords,
 // case-sensitive for labels, relation types, and property values.
 package cypher
 
@@ -34,6 +40,7 @@ const (
 	tokColon
 	tokComma
 	tokDot
+	tokDotDot // .. (variable-length hop range)
 	tokDash
 	tokArrowRight // ->
 	tokArrowLeft  // <-
@@ -82,7 +89,11 @@ func lex(src string) ([]token, error) {
 		case c == ',':
 			l.emit(tokComma, ",")
 		case c == '.':
-			l.emit(tokDot, ".")
+			if strings.HasPrefix(l.src[l.pos:], "..") {
+				l.emitN(tokDotDot, "..", 2)
+			} else {
+				l.emit(tokDot, ".")
+			}
 		case c == '*':
 			l.emit(tokStar, "*")
 		case c == '-':
@@ -124,8 +135,16 @@ func lex(src string) ([]token, error) {
 			l.toks = append(l.toks, token{tokString, s, l.pos})
 		case c >= '0' && c <= '9':
 			start := l.pos
-			for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.') {
+			for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
 				l.pos++
+			}
+			// A fractional part needs a digit after the dot, so "1..3"
+			// lexes as NUMBER DOTDOT NUMBER, not one malformed number.
+			if l.pos+1 < len(l.src) && l.src[l.pos] == '.' && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+				l.pos++
+				for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+					l.pos++
+				}
 			}
 			l.toks = append(l.toks, token{tokNumber, l.src[start:l.pos], start})
 		case isIdentStart(rune(c)):

@@ -49,59 +49,130 @@ func (p *parser) expect(k tokKind, what string) (token, error) {
 	return t, nil
 }
 
+// peekKeyword reports whether the current token is the given keyword
+// without consuming it.
+func (p *parser) peekKeyword(kw string) bool {
+	t := p.cur()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
 func (p *parser) parseQuery() (*Query, error) {
-	q := &Query{Limit: -1}
+	q := &Query{}
 	if p.keyword("explain") {
 		q.Explain = true
 	}
-	if !p.keyword("match") {
-		return nil, fmt.Errorf("cypher: query must start with MATCH")
-	}
 	for {
-		pat, err := p.parsePattern()
+		part, final, err := p.parsePart(len(q.Parts) == 0)
 		if err != nil {
 			return nil, err
 		}
-		q.Patterns = append(q.Patterns, pat)
-		if p.cur().kind == tokComma {
+		q.Parts = append(q.Parts, part)
+		if final {
+			return q, nil
+		}
+		if len(q.Parts) > 32 {
+			return nil, fmt.Errorf("cypher: too many WITH segments")
+		}
+	}
+}
+
+// parsePart parses one pipeline segment: MATCH/OPTIONAL MATCH clauses
+// followed by WITH (final=false) or RETURN (final=true).
+func (p *parser) parsePart(first bool) (QueryPart, bool, error) {
+	part := QueryPart{Limit: -1}
+	for {
+		optional := false
+		if p.peekKeyword("optional") {
 			p.i++
-			continue
+			if !p.keyword("match") {
+				return part, false, fmt.Errorf("cypher: OPTIONAL must be followed by MATCH")
+			}
+			optional = true
+		} else if p.keyword("match") {
+		} else {
+			break
 		}
-		break
-	}
-	if p.keyword("where") {
-		e, err := p.parseOr()
-		if err != nil {
-			return nil, err
+		mc := MatchClause{Optional: optional}
+		for {
+			pat, err := p.parsePattern()
+			if err != nil {
+				return part, false, err
+			}
+			mc.Patterns = append(mc.Patterns, pat)
+			if p.cur().kind == tokComma {
+				p.i++
+				continue
+			}
+			break
 		}
-		q.Where = e
+		if p.keyword("where") {
+			e, err := p.parseOr()
+			if err != nil {
+				return part, false, err
+			}
+			mc.Where = e
+		}
+		part.Matches = append(part.Matches, mc)
 	}
-	if !p.keyword("return") {
-		return nil, fmt.Errorf("cypher: missing RETURN clause")
+	if first && len(part.Matches) == 0 {
+		return part, false, fmt.Errorf("cypher: query must start with MATCH")
 	}
-	if p.keyword("distinct") {
-		q.Distinct = true
+	switch {
+	case p.keyword("with"):
+		if p.keyword("distinct") {
+			part.Distinct = true
+		}
+		if err := p.parseItems(&part); err != nil {
+			return part, false, err
+		}
+		if p.keyword("where") {
+			e, err := p.parseOr()
+			if err != nil {
+				return part, false, err
+			}
+			part.Where = e
+		}
+		return part, false, nil
+	case p.keyword("return"):
+		if p.keyword("distinct") {
+			part.Distinct = true
+		}
+		if err := p.parseItems(&part); err != nil {
+			return part, false, err
+		}
+		if err := p.parseTail(&part); err != nil {
+			return part, false, err
+		}
+		return part, true, nil
 	}
+	return part, false, fmt.Errorf("cypher: expected MATCH, WITH or RETURN near %q", p.cur().text)
+}
+
+func (p *parser) parseItems(part *QueryPart) error {
 	for {
 		item, err := p.parseReturnItem()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		q.Returns = append(q.Returns, item)
+		part.Items = append(part.Items, item)
 		if p.cur().kind == tokComma {
 			p.i++
 			continue
 		}
-		break
+		return nil
 	}
+}
+
+// parseTail parses ORDER BY / SKIP / LIMIT on the final (RETURN) part.
+func (p *parser) parseTail(part *QueryPart) error {
 	if p.keyword("order") {
 		if !p.keyword("by") {
-			return nil, fmt.Errorf("cypher: ORDER must be followed by BY")
+			return fmt.Errorf("cypher: ORDER must be followed by BY")
 		}
 		for {
 			e, err := p.parseAtom()
 			if err != nil {
-				return nil, err
+				return err
 			}
 			key := OrderKey{Expr: e}
 			if p.keyword("desc") {
@@ -109,7 +180,7 @@ func (p *parser) parseQuery() (*Query, error) {
 			} else {
 				p.keyword("asc")
 			}
-			q.OrderBy = append(q.OrderBy, key)
+			part.OrderBy = append(part.OrderBy, key)
 			if p.cur().kind == tokComma {
 				p.i++
 				continue
@@ -120,26 +191,26 @@ func (p *parser) parseQuery() (*Query, error) {
 	if p.keyword("skip") {
 		t, err := p.expect(tokNumber, "SKIP count")
 		if err != nil {
-			return nil, err
+			return err
 		}
 		v, err := strconv.Atoi(t.text)
 		if err != nil || v < 0 {
-			return nil, fmt.Errorf("cypher: bad SKIP %q", t.text)
+			return fmt.Errorf("cypher: bad SKIP %q", t.text)
 		}
-		q.Skip = v
+		part.Skip = v
 	}
 	if p.keyword("limit") {
 		t, err := p.expect(tokNumber, "LIMIT count")
 		if err != nil {
-			return nil, err
+			return err
 		}
 		v, err := strconv.Atoi(t.text)
 		if err != nil || v < 0 {
-			return nil, fmt.Errorf("cypher: bad LIMIT %q", t.text)
+			return fmt.Errorf("cypher: bad LIMIT %q", t.text)
 		}
-		q.Limit = v
+		part.Limit = v
 	}
-	return q, nil
+	return nil
 }
 
 func (p *parser) parsePattern() (Pattern, error) {
@@ -161,7 +232,7 @@ func (p *parser) parsePattern() (Pattern, error) {
 		default:
 			return pat, nil
 		}
-		ep := EdgePattern{Dir: dir}
+		ep := EdgePattern{Dir: dir, MinHops: 1, MaxHops: 1}
 		if p.cur().kind == tokLBracket {
 			p.i++
 			if p.cur().kind == tokIdent {
@@ -174,6 +245,15 @@ func (p *parser) parsePattern() (Pattern, error) {
 					return pat, err
 				}
 				ep.Type = t.text
+			}
+			if p.cur().kind == tokStar {
+				p.i++
+				if ep.Var != "" {
+					return pat, fmt.Errorf("cypher: variable-length relationship cannot bind a variable (%q)", ep.Var)
+				}
+				if err := p.parseHopRange(&ep); err != nil {
+					return pat, err
+				}
 			}
 			if _, err := p.expect(tokRBracket, "]"); err != nil {
 				return pat, err
@@ -200,6 +280,48 @@ func (p *parser) parsePattern() (Pattern, error) {
 		pat.Edges = append(pat.Edges, ep)
 		pat.Nodes = append(pat.Nodes, nn)
 	}
+}
+
+// parseHopRange parses the bounds after the '*' of a variable-length
+// relationship: "*", "*n", "*m..n", "*m..", "*..n". MaxHops -1 means
+// unbounded (the bounded-BFS executor still terminates: each node is
+// visited at most once per input row).
+func (p *parser) parseHopRange(ep *EdgePattern) error {
+	hop := func(what string) (int, error) {
+		t, err := p.expect(tokNumber, what)
+		if err != nil {
+			return 0, err
+		}
+		v, err := strconv.Atoi(t.text)
+		if err != nil || v < 0 {
+			return 0, fmt.Errorf("cypher: bad hop count %q", t.text)
+		}
+		return v, nil
+	}
+	ep.VarLen = true
+	ep.MinHops, ep.MaxHops = 1, -1
+	if p.cur().kind == tokNumber {
+		n, err := hop("hop count")
+		if err != nil {
+			return err
+		}
+		ep.MinHops, ep.MaxHops = n, n
+	}
+	if p.cur().kind == tokDotDot {
+		p.i++
+		ep.MaxHops = -1
+		if p.cur().kind == tokNumber {
+			n, err := hop("max hop count")
+			if err != nil {
+				return err
+			}
+			ep.MaxHops = n
+		}
+	}
+	if ep.MaxHops >= 0 && ep.MaxHops < ep.MinHops {
+		return fmt.Errorf("cypher: empty hop range *%d..%d", ep.MinHops, ep.MaxHops)
+	}
+	return nil
 }
 
 func (p *parser) parseNodePattern() (NodePattern, error) {
@@ -410,12 +532,15 @@ func (p *parser) parseAtom() (Expr, error) {
 		case "true", "false", "null":
 			v, _ := p.parseLiteral()
 			return LitExpr{Val: v}, nil
-		case "count", "type", "id", "labels", "lower", "upper":
+		case "count", "min", "max", "sum", "collect", "type", "id", "labels", "lower", "upper":
 			// function call if followed by '('
 			if p.toks[p.i+1].kind == tokLParen {
 				p.i += 2
 				fe := FuncExpr{Name: lower}
 				if p.cur().kind == tokStar {
+					if lower != "count" {
+						return nil, fmt.Errorf("cypher: %s(*) is not supported", lower)
+					}
 					p.i++
 					fe.Star = true
 				} else {

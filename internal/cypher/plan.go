@@ -8,10 +8,12 @@ import (
 )
 
 // This file defines the logical/physical plan the planner emits and the
-// executor runs: a linear left-deep pipeline of binding-producing stages
-// (scans and expansions, each with pushed-down filters) followed by the
-// row-level operators (project, aggregate, distinct, sort, skip/limit).
-// EXPLAIN renders this structure.
+// executor runs. A plan is a chain of pipeline segments (one per WITH
+// boundary plus the final RETURN); each segment is a linear left-deep
+// pipeline of binding-producing stages (scans and expansions, each with
+// pushed-down filters) followed by its projection. The final segment also
+// carries the row-level operators (distinct, sort, skip/limit). EXPLAIN
+// renders this structure.
 
 // AccessKind is how a ScanStage locates its candidate nodes.
 type AccessKind int
@@ -92,6 +94,43 @@ func (s *ScanStage) describe() string {
 	return b.String()
 }
 
+// edgeText renders the edge pattern between its endpoints for EXPLAIN,
+// honoring the chain traversal direction (Reverse flips the arrow).
+func edgeText(ep EdgePattern, reverse bool) string {
+	left, right := "-", "-"
+	switch {
+	case ep.Dir == DirRight && !reverse, ep.Dir == DirLeft && reverse:
+		right = "->"
+	case ep.Dir == DirLeft && !reverse, ep.Dir == DirRight && reverse:
+		left = "<-"
+	}
+	edge := ""
+	if displayVar(ep.Var) != "" || ep.Type != "" || ep.VarLength() {
+		edge = "[" + displayVar(ep.Var)
+		if ep.Type != "" {
+			edge += ":" + ep.Type
+		}
+		if ep.VarLength() {
+			edge += "*" + hopRangeText(ep)
+		}
+		edge += "]"
+	}
+	return left + edge + right
+}
+
+func hopRangeText(ep EdgePattern) string {
+	if ep.MinHops == ep.MaxHops {
+		return strconv.Itoa(ep.MinHops)
+	}
+	if ep.MaxHops < 0 {
+		if ep.MinHops == 1 {
+			return ""
+		}
+		return fmt.Sprintf("%d..", ep.MinHops)
+	}
+	return fmt.Sprintf("%d..%d", ep.MinHops, ep.MaxHops)
+}
+
 // ExpandStage traverses one edge pattern from a bound variable to its
 // neighbor, binding the edge and target variables (or checking them when
 // already bound).
@@ -108,74 +147,138 @@ func (s *ExpandStage) estRows() float64 { return s.Est }
 func (s *ExpandStage) filters() []Expr  { return s.Filters }
 
 func (s *ExpandStage) describe() string {
-	left, right := "-", "-"
-	switch {
-	case s.Edge.Dir == DirRight && !s.Reverse, s.Edge.Dir == DirLeft && s.Reverse:
-		right = "->"
-	case s.Edge.Dir == DirLeft && !s.Reverse, s.Edge.Dir == DirRight && s.Reverse:
-		left = "<-"
-	}
-	edge := ""
-	if displayVar(s.Edge.Var) != "" || s.Edge.Type != "" {
-		edge = "[" + displayVar(s.Edge.Var)
-		if s.Edge.Type != "" {
-			edge += ":" + s.Edge.Type
-		}
-		edge += "]"
-	}
-	return fmt.Sprintf("Expand (%s)%s%s%s%s", s.From, left, edge, right, patternNodeText(s.To))
+	return fmt.Sprintf("Expand (%s)%s%s", s.From, edgeText(s.Edge, s.Reverse), patternNodeText(s.To))
 }
 
-// Plan is the executable query plan.
-type Plan struct {
+// VarExpandStage traverses a variable-length edge pattern from a bound
+// variable: a bounded BFS that binds the target variable once per
+// distinct endpoint whose shortest distance lies in [MinHops, MaxHops]
+// (reachability semantics, not path enumeration).
+type VarExpandStage struct {
+	From    string
+	Edge    EdgePattern // VarLength() is true
+	To      NodePattern
+	Reverse bool
+	Filters []Expr
+	Est     float64
+}
+
+func (s *VarExpandStage) estRows() float64 { return s.Est }
+func (s *VarExpandStage) filters() []Expr  { return s.Filters }
+
+func (s *VarExpandStage) describe() string {
+	return fmt.Sprintf("VarExpand (%s)%s%s", s.From, edgeText(s.Edge, s.Reverse), patternNodeText(s.To))
+}
+
+// OptionalStage runs an inner pipeline for every input row; when the
+// inner pipeline produces no extension, the row passes through once with
+// the inner pipeline's variables bound to null instead of being dropped.
+type OptionalStage struct {
+	Inner []Stage  // sub-pipeline, anchored on already-bound variables
+	Vars  []string // variables the inner pipeline introduces (null-padded)
+	Est   float64
+}
+
+func (s *OptionalStage) estRows() float64 { return s.Est }
+func (s *OptionalStage) filters() []Expr  { return nil }
+
+func (s *OptionalStage) describe() string {
+	vars := make([]string, 0, len(s.Vars))
+	for _, v := range s.Vars {
+		if displayVar(v) != "" {
+			vars = append(vars, v)
+		}
+	}
+	sort.Strings(vars)
+	return fmt.Sprintf("Optional [introduces %s]", strings.Join(vars, ", "))
+}
+
+// PlanSegment is one WITH-delimited pipeline segment: stages producing
+// bindings, then a projection. Non-final segments feed their projected
+// rows to the next segment as fresh bindings; the final segment carries
+// the row-level result operators.
+type PlanSegment struct {
 	Stages       []Stage
-	Returns      []ReturnItem
+	Items        []ReturnItem
 	Distinct     bool
 	HasAggregate bool
+	Filter       Expr // WITH ... WHERE on projected values (nil on final)
 	OrderBy      []OrderKey
 	Skip         int
 	Limit        int // -1 when absent
 }
 
+// Plan is the executable query plan: a chain of pipeline segments.
+type Plan struct {
+	Segments []*PlanSegment
+}
+
+// final returns the RETURN segment.
+func (p *Plan) final() *PlanSegment { return p.Segments[len(p.Segments)-1] }
+
 // String renders the plan for EXPLAIN: numbered pipeline stages with
-// their pushed-down filters, then the row-level operators in order.
+// their pushed-down filters (optional sub-pipelines indented), WITH
+// boundaries between segments, then the row-level operators in order.
 func (p *Plan) String() string {
 	var b strings.Builder
 	b.WriteString("plan (streaming, greedy-ordered):\n")
-	for i, st := range p.Stages {
-		fmt.Fprintf(&b, "  %2d. %-60s est≈%s\n", i+1, st.describe(), fmtEst(st.estRows()))
-		for _, f := range st.filters() {
-			fmt.Fprintf(&b, "      where %s\n", exprString(f))
-		}
-	}
-	var cols []string
-	for _, it := range p.Returns {
-		cols = append(cols, exprString(it.Expr))
-	}
-	if p.HasAggregate {
-		fmt.Fprintf(&b, "   => Aggregate %s\n", strings.Join(cols, ", "))
-	} else {
-		fmt.Fprintf(&b, "   => Project %s\n", strings.Join(cols, ", "))
-	}
-	if p.Distinct && !p.HasAggregate {
-		b.WriteString("   => Distinct\n")
-	}
-	if len(p.OrderBy) > 0 {
-		var keys []string
-		for _, k := range p.OrderBy {
-			t := exprString(k.Expr)
-			if k.Desc {
-				t += " desc"
+	n := 0
+	for si, seg := range p.Segments {
+		for _, st := range seg.Stages {
+			n++
+			fmt.Fprintf(&b, "  %2d. %-60s est≈%s\n", n, st.describe(), fmtEst(st.estRows()))
+			for _, f := range st.filters() {
+				fmt.Fprintf(&b, "      where %s\n", exprString(f))
 			}
-			keys = append(keys, t)
+			if opt, ok := st.(*OptionalStage); ok {
+				for ii, ist := range opt.Inner {
+					fmt.Fprintf(&b, "      %2d.%d %-55s est≈%s\n", n, ii+1, ist.describe(), fmtEst(ist.estRows()))
+					for _, f := range ist.filters() {
+						fmt.Fprintf(&b, "           where %s\n", exprString(f))
+					}
+				}
+			}
 		}
-		fmt.Fprintf(&b, "   => Sort %s\n", strings.Join(keys, ", "))
-	}
-	if p.Skip > 0 {
-		fmt.Fprintf(&b, "   => Skip %d\n", p.Skip)
-	}
-	if p.Limit >= 0 {
-		fmt.Fprintf(&b, "   => Limit %d (early cutoff)\n", p.Limit)
+		var cols []string
+		for _, it := range seg.Items {
+			cols = append(cols, exprString(it.Expr))
+		}
+		final := si == len(p.Segments)-1
+		op := "With"
+		if final {
+			op = "Project"
+			if seg.HasAggregate {
+				op = "Aggregate"
+			}
+		} else if seg.HasAggregate {
+			op = "With (aggregating)"
+		}
+		fmt.Fprintf(&b, "   => %s %s\n", op, strings.Join(cols, ", "))
+		if seg.Distinct && !seg.HasAggregate {
+			b.WriteString("   => Distinct\n")
+		}
+		if seg.Filter != nil {
+			fmt.Fprintf(&b, "      where %s\n", exprString(seg.Filter))
+		}
+		if final {
+			if len(seg.OrderBy) > 0 {
+				var keys []string
+				for _, k := range seg.OrderBy {
+					t := exprString(k.Expr)
+					if k.Desc {
+						t += " desc"
+					}
+					keys = append(keys, t)
+				}
+				fmt.Fprintf(&b, "   => Sort %s\n", strings.Join(keys, ", "))
+			}
+			if seg.Skip > 0 {
+				fmt.Fprintf(&b, "   => Skip %d\n", seg.Skip)
+			}
+			if seg.Limit >= 0 {
+				fmt.Fprintf(&b, "   => Limit %d (early cutoff)\n", seg.Limit)
+			}
+		}
 	}
 	return b.String()
 }

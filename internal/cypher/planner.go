@@ -3,15 +3,16 @@ package cypher
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // The planner turns a parsed query into a Plan in three steps:
 //
-//  1. Predicate pushdown: the WHERE clause is split into AND-conjuncts;
-//     equality conjuncts against string literals become index hints, and
-//     every conjunct is attached to the earliest pipeline stage at which
-//     all of its variables are bound, so rows are discarded as soon as
-//     they can be.
+//  1. Predicate pushdown: each run of required MATCH clauses has its
+//     WHERE split into AND-conjuncts; equality conjuncts against string
+//     literals become index hints, and every conjunct is attached to the
+//     earliest pipeline stage at which all of its variables are bound, so
+//     rows are discarded as soon as they can be.
 //  2. Greedy ordering (the "greedy beats optimal" strategy from the
 //     janus-datalog line of work): among all pattern chains and all
 //     possible entry nodes, repeatedly start at the node with the
@@ -19,10 +20,15 @@ import (
 //     exact (label, name) seek is ~1, a label scan costs the label
 //     cardinality, a full scan costs the node count — then grow the
 //     chain in whichever direction has the smaller estimated fan-out
-//     (average edge-type degree × target selectivity).
+//     (average edge-type degree × target selectivity). Variable-length
+//     expansions cost the geometric sum of the per-hop fan-out over the
+//     hop range. OPTIONAL MATCH clauses plan in place (after the
+//     required stages that bind their anchors) as nested sub-pipelines,
+//     preserving clause order across null-padding boundaries.
 //  3. The resulting stages execute as lazy pull iterators (iter.go), so
 //     downstream LIMIT/MaxRows stop matching instead of truncating a
-//     materialized result.
+//     materialized result. WITH boundaries become segment bridges that
+//     re-root the binding namespace.
 //
 // Statistics come from the graph store's selectivity layer (CountByType,
 // CountByName, CountByTypeAttr, AvgDegree, ...), kept live by the
@@ -30,34 +36,113 @@ import (
 
 // planQuery builds the plan for q against the engine's store and options.
 func (e *Engine) planQuery(q *Query) (*Plan, error) {
-	if len(q.Returns) == 0 {
+	if len(q.Parts) == 0 {
+		return nil, fmt.Errorf("cypher: empty query")
+	}
+	pl := &Plan{}
+	bound := map[string]bool{}
+	synth := 0
+	for pi := range q.Parts {
+		part := &q.Parts[pi]
+		final := pi == len(q.Parts)-1
+		seg, err := e.planPart(part, final, bound, &synth)
+		if err != nil {
+			return nil, err
+		}
+		pl.Segments = append(pl.Segments, seg)
+		// The next segment sees only the projected aliases.
+		bound = map[string]bool{}
+		for _, it := range part.Items {
+			bound[it.Alias] = true
+		}
+	}
+	return pl, nil
+}
+
+// planPart plans one WITH-delimited segment. preBound names the
+// variables carried in from the previous segment's projection.
+func (e *Engine) planPart(part *QueryPart, final bool, preBound map[string]bool, synth *int) (*PlanSegment, error) {
+	if len(part.Items) == 0 {
 		return nil, fmt.Errorf("cypher: empty RETURN")
 	}
-	pats := withSyntheticVars(q.Patterns)
-
-	var conjs []Expr
-	splitConjuncts(q.Where, &conjs)
-	eq := equalityHints(conjs)
-
-	pl := &Plan{
-		Returns:  q.Returns,
-		Distinct: q.Distinct,
-		OrderBy:  q.OrderBy,
-		Skip:     q.Skip,
-		Limit:    q.Limit,
+	seg := &PlanSegment{
+		Items:    part.Items,
+		Distinct: part.Distinct,
+		OrderBy:  part.OrderBy,
+		Skip:     part.Skip,
+		Limit:    part.Limit,
 	}
-	for _, it := range q.Returns {
+	if !final {
+		seg.Filter = part.Where
+	}
+	for _, it := range part.Items {
 		if isAggregate(it.Expr) {
-			pl.HasAggregate = true
+			seg.HasAggregate = true
 		}
 	}
 
-	// Greedy chain ordering: repeatedly pick the unplanned chain with the
-	// cheapest entry node (bound variables are free, enabling join-connected
-	// chains to piggyback on earlier ones), then plan it outward from there.
-	bound := map[string]bool{}
+	bound := copyBound(preBound)
+	cur := 1.0
+	for _, run := range requiredRuns(part.Matches) {
+		if run.optional != nil {
+			st, err := e.planOptional(*run.optional, bound, synth, cur)
+			if err != nil {
+				return nil, err
+			}
+			seg.Stages = append(seg.Stages, st)
+			cur = st.Est
+			continue
+		}
+		pats := withSyntheticVars(run.pats, synth)
+		var conjs []Expr
+		splitConjuncts(run.where, &conjs)
+		eq := equalityHints(conjs)
+		runStart := len(seg.Stages)
+		preRun := copyBound(bound)
+		cur = e.planPatterns(&seg.Stages, pats, bound, eq, cur)
+		assignPredicates(seg.Stages[runStart:], conjs, run.where, preRun)
+	}
+	return seg, nil
+}
+
+// planOptional plans one OPTIONAL MATCH clause as a nested sub-pipeline
+// anchored on the variables bound so far, recording which variables it
+// introduces so the executor can null-pad them on no-match.
+func (e *Engine) planOptional(mc MatchClause, bound map[string]bool, synth *int, cur float64) (*OptionalStage, error) {
+	pats := withSyntheticVars(mc.Patterns, synth)
+	var conjs []Expr
+	splitConjuncts(mc.Where, &conjs)
+	eq := equalityHints(conjs)
+	pre := copyBound(bound)
+	innerBound := copyBound(bound)
+	var inner []Stage
+	est := e.planPatterns(&inner, pats, innerBound, eq, cur)
+	assignPredicates(inner, conjs, mc.Where, pre)
+	var vars []string
+	for v := range innerBound {
+		if !pre[v] {
+			vars = append(vars, v)
+		}
+	}
+	sort.Strings(vars)
+	// The introduced variables stay in scope (possibly null) downstream.
+	for _, v := range vars {
+		bound[v] = true
+	}
+	if est < cur {
+		est = cur // null-padding means optional stages never shrink the stream
+	}
+	return &OptionalStage{Inner: inner, Vars: vars, Est: est}, nil
+}
+
+// planPatterns greedily orders a group of pattern chains: repeatedly pick
+// the unplanned chain with the cheapest entry node (bound variables are
+// free, enabling join-connected chains to piggyback on earlier ones),
+// then plan it outward from there. Mutates bound; returns the updated
+// cumulative cardinality estimate.
+func (e *Engine) planPatterns(stages *[]Stage, pats []Pattern, bound map[string]bool,
+	eq map[string]map[string]string, cur float64) float64 {
 	planned := make([]bool, len(pats))
-	cur := 1.0 // running cumulative cardinality estimate
 	for {
 		best, bestNode := -1, 0
 		bestCost := math.Inf(1)
@@ -79,27 +164,24 @@ func (e *Engine) planQuery(q *Query) (*Plan, error) {
 			}
 		}
 		if best < 0 {
-			break
+			return cur
 		}
-		cur = e.planChain(pl, pats[best], bestNode, bound, eq, cur)
+		cur = e.planChain(stages, pats[best], bestNode, bound, eq, cur)
 		planned[best] = true
 	}
-
-	assignPredicates(pl, conjs, q.Where)
-	return pl, nil
 }
 
 // planChain emits the stages for one pattern chain entered at node index
 // start, returning the updated cumulative cardinality estimate.
-func (e *Engine) planChain(pl *Plan, p Pattern, start int, bound map[string]bool,
+func (e *Engine) planChain(stages *[]Stage, p Pattern, start int, bound map[string]bool,
 	eq map[string]map[string]string, cur float64) float64 {
 	np := p.Nodes[start]
 	if bound[np.Var] {
-		pl.Stages = append(pl.Stages, &ScanStage{Node: np, Access: AccessBound, Est: cur})
+		*stages = append(*stages, &ScanStage{Node: np, Access: AccessBound, Est: cur})
 	} else {
 		kind, label, name, ak, av, est := e.accessFor(np, eq[np.Var])
 		cur *= est
-		pl.Stages = append(pl.Stages, &ScanStage{
+		*stages = append(*stages, &ScanStage{
 			Node: np, Access: kind, Label: label, Name: name, AttrKey: ak, AttrVal: av, Est: cur,
 		})
 		bound[np.Var] = true
@@ -116,39 +198,50 @@ func (e *Engine) planChain(pl *Plan, p Pattern, start int, bound map[string]bool
 			left = e.expandFactor(p.Edges[lo-1], p.Nodes[lo-1], bound, eq)
 		}
 		if right <= left {
-			cur = e.emitExpand(pl, p.Nodes[hi].Var, p.Edges[hi], p.Nodes[hi+1], false, bound, cur*right)
+			cur = e.emitExpand(stages, p.Nodes[hi].Var, p.Edges[hi], p.Nodes[hi+1], false, bound, cur*right)
 			hi++
 		} else {
-			cur = e.emitExpand(pl, p.Nodes[lo].Var, p.Edges[lo-1], p.Nodes[lo-1], true, bound, cur*left)
+			cur = e.emitExpand(stages, p.Nodes[lo].Var, p.Edges[lo-1], p.Nodes[lo-1], true, bound, cur*left)
 			lo--
 		}
 	}
 	return cur
 }
 
-func (e *Engine) emitExpand(pl *Plan, from string, ep EdgePattern, to NodePattern,
+func (e *Engine) emitExpand(stages *[]Stage, from string, ep EdgePattern, to NodePattern,
 	reverse bool, bound map[string]bool, est float64) float64 {
 	if est < 1 {
 		est = 1 // keep running products from collapsing to zero
 	}
 	// Whether Edge.Var/To.Var are already bound is re-derived from the
 	// runtime binding by the executor, which handles both cases.
-	pl.Stages = append(pl.Stages, &ExpandStage{
-		From: from, Edge: ep, To: to, Reverse: reverse, Est: est,
-	})
-	bound[ep.Var] = true
+	if ep.VarLength() {
+		*stages = append(*stages, &VarExpandStage{
+			From: from, Edge: ep, To: to, Reverse: reverse, Est: est,
+		})
+	} else {
+		*stages = append(*stages, &ExpandStage{
+			From: from, Edge: ep, To: to, Reverse: reverse, Est: est,
+		})
+		bound[ep.Var] = true
+	}
 	bound[to.Var] = true
 	return est
 }
 
 // expandFactor estimates the per-row multiplier of expanding one edge
 // pattern onto a target node pattern: average fan-out of the edge type
-// times the target's selectivity.
+// times the target's selectivity. Variable-length patterns cost the
+// geometric sum of the per-hop fan-out over the hop range (unbounded
+// ranges are capped at a costing horizon; execution is exact).
 func (e *Engine) expandFactor(ep EdgePattern, to NodePattern, bound map[string]bool,
 	eq map[string]map[string]string) float64 {
 	deg := e.store.AvgDegree(ep.Type)
 	if ep.Dir == DirAny {
 		deg *= 2
+	}
+	if ep.VarLength() {
+		deg = varExpandFanout(deg, ep.MinHops, ep.MaxHops)
 	}
 	total := e.store.CountNodes()
 	if total == 0 {
@@ -162,6 +255,30 @@ func (e *Engine) expandFactor(ep EdgePattern, to NodePattern, bound map[string]b
 		sel = est / float64(total)
 	}
 	return deg * sel
+}
+
+// varExpandFanout sums deg^h for h in [min, max] (BFS frontier estimate
+// assuming uniform fan-out). max < 0 (unbounded) is capped at min+8 for
+// costing only.
+func varExpandFanout(deg float64, min, max int) float64 {
+	if max < 0 || max > min+8 {
+		max = min + 8
+	}
+	fan := 0.0
+	if min == 0 {
+		fan = 1 // the start node itself
+	}
+	pow := 1.0
+	for h := 1; h <= max; h++ {
+		pow *= deg
+		if h >= min {
+			fan += pow
+		}
+		if pow > 1e12 {
+			break
+		}
+	}
+	return fan
 }
 
 // accessFor selects the cheapest access path for a node pattern given its
@@ -230,26 +347,87 @@ func (e *Engine) accessFor(np NodePattern, hints map[string]string) (kind Access
 }
 
 // withSyntheticVars copies the patterns, naming every anonymous node and
-// edge ($n0, $e1, ...) so the executor can address them in bindings. "$"
-// cannot appear in user identifiers, so the names never collide.
-func withSyntheticVars(pats []Pattern) []Pattern {
+// single-hop edge ($n0, $e1, ...) so the executor can address them in
+// bindings. Variable-length edges never bind, so they stay anonymous.
+// "$" cannot appear in user identifiers, so the names never collide.
+func withSyntheticVars(pats []Pattern, counter *int) []Pattern {
 	out := make([]Pattern, len(pats))
-	n := 0
 	for pi, p := range pats {
 		cp := Pattern{Nodes: append([]NodePattern{}, p.Nodes...), Edges: append([]EdgePattern{}, p.Edges...)}
 		for i := range cp.Nodes {
 			if cp.Nodes[i].Var == "" {
-				cp.Nodes[i].Var = fmt.Sprintf("$n%d", n)
-				n++
+				cp.Nodes[i].Var = fmt.Sprintf("$n%d", *counter)
+				*counter++
 			}
 		}
 		for i := range cp.Edges {
-			if cp.Edges[i].Var == "" {
-				cp.Edges[i].Var = fmt.Sprintf("$e%d", n)
-				n++
+			if cp.Edges[i].Var == "" && !cp.Edges[i].VarLength() {
+				cp.Edges[i].Var = fmt.Sprintf("$e%d", *counter)
+				*counter++
 			}
 		}
 		out[pi] = cp
+	}
+	return out
+}
+
+func copyBound(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// matchRun is one maximal group of consecutive clauses within a part:
+// either a single OPTIONAL MATCH, or a run of required MATCHes merged
+// into one joint pattern set with their WHEREs AND-folded. Both engines
+// plan/execute runs identically (requiredRuns is shared), so clause
+// grouping cannot drift between them.
+type matchRun struct {
+	optional *MatchClause // set for an optional run
+	pats     []Pattern    // required run: merged patterns
+	where    Expr         // required run: AND-fold of the clauses' WHEREs
+}
+
+// requiredRuns splits a part's clauses into ordered runs: consecutive
+// required MATCHes join as one group (joins are commutative), optional
+// clauses stand alone so clause order is preserved across null-padding
+// boundaries.
+func requiredRuns(matches []MatchClause) []matchRun {
+	var runs []matchRun
+	i := 0
+	for i < len(matches) {
+		if matches[i].Optional {
+			runs = append(runs, matchRun{optional: &matches[i]})
+			i++
+			continue
+		}
+		var run matchRun
+		var wheres []Expr
+		for i < len(matches) && !matches[i].Optional {
+			run.pats = append(run.pats, matches[i].Patterns...)
+			if matches[i].Where != nil {
+				wheres = append(wheres, matches[i].Where)
+			}
+			i++
+		}
+		run.where = andAll(wheres)
+		runs = append(runs, run)
+	}
+	return runs
+}
+
+// andAll folds expressions left-to-right into one AND conjunction,
+// preserving the evaluation order the legacy engine uses.
+func andAll(exprs []Expr) Expr {
+	var out Expr
+	for _, ex := range exprs {
+		if out == nil {
+			out = ex
+		} else {
+			out = BoolExpr{Op: "and", Left: out, Right: ex}
+		}
 	}
 	return out
 }
@@ -314,61 +492,74 @@ func exprVars(e Expr, set map[string]bool) {
 	}
 }
 
-// hasCountCall reports whether the expression contains a count() call,
-// which always errors when evaluated outside RETURN.
-func hasCountCall(e Expr) bool {
+// hasAggCall reports whether the expression contains an aggregate call
+// (count/min/max/sum/collect), which always errors when evaluated
+// outside a projection.
+func hasAggCall(e Expr) bool {
 	switch v := e.(type) {
 	case CmpExpr:
-		return hasCountCall(v.Left) || hasCountCall(v.Right)
+		return hasAggCall(v.Left) || hasAggCall(v.Right)
 	case BoolExpr:
-		return hasCountCall(v.Left) || hasCountCall(v.Right)
+		return hasAggCall(v.Left) || hasAggCall(v.Right)
 	case NotExpr:
-		return hasCountCall(v.Inner)
+		return hasAggCall(v.Inner)
 	case FuncExpr:
-		if v.Name == "count" {
+		if isAggName(v.Name) {
 			return true
 		}
 		if v.Arg != nil {
-			return hasCountCall(v.Arg)
+			return hasAggCall(v.Arg)
 		}
 	}
 	return false
 }
 
+// stageBinds records the variables a stage makes available.
+func stageBinds(st Stage, acc map[string]bool) {
+	switch s := st.(type) {
+	case *ScanStage:
+		acc[s.Node.Var] = true
+	case *ExpandStage:
+		acc[s.From] = true
+		acc[s.Edge.Var] = true
+		acc[s.To.Var] = true
+	case *VarExpandStage:
+		acc[s.From] = true
+		acc[s.To.Var] = true
+	case *OptionalStage:
+		for _, v := range s.Vars {
+			acc[v] = true
+		}
+	}
+}
+
 // assignPredicates attaches each WHERE conjunct to the earliest stage at
-// which all of its variables are bound. Conjuncts that can error when
-// evaluated — count() calls, or references to variables no pattern binds
-// — force a fallback: the whole original WHERE runs at the last stage,
-// preserving the tree-walking engine's left-to-right short-circuit
-// semantics (a false left conjunct hides an erroring right one).
-func assignPredicates(pl *Plan, conjs []Expr, whole Expr) {
-	if len(conjs) == 0 || len(pl.Stages) == 0 {
+// which all of its variables are bound (preBound names variables already
+// bound before these stages run). Conjuncts that can error when
+// evaluated — aggregate calls, or references to variables no pattern
+// binds — force a fallback: the whole original WHERE runs at the last
+// stage, preserving the tree-walking engine's left-to-right
+// short-circuit semantics (a false left conjunct hides an erroring right
+// one).
+func assignPredicates(stages []Stage, conjs []Expr, whole Expr, preBound map[string]bool) {
+	if len(conjs) == 0 || len(stages) == 0 {
 		return
 	}
-	boundAfter := make([]map[string]bool, len(pl.Stages))
-	acc := map[string]bool{}
-	for i, st := range pl.Stages {
-		switch s := st.(type) {
-		case *ScanStage:
-			acc[s.Node.Var] = true
-		case *ExpandStage:
-			acc[s.From] = true
-			acc[s.Edge.Var] = true
-			acc[s.To.Var] = true
-		}
-		after := make(map[string]bool, len(acc))
-		for k := range acc {
-			after[k] = true
-		}
-		boundAfter[i] = after
+	boundAfter := make([]map[string]bool, len(stages))
+	acc := copyBound(preBound)
+	for i, st := range stages {
+		stageBinds(st, acc)
+		boundAfter[i] = copyBound(acc)
 	}
-	last := len(pl.Stages) - 1
+	last := len(stages) - 1
 	allBound := boundAfter[last]
 	attach := func(i int, c Expr) {
-		switch s := pl.Stages[i].(type) {
+		switch s := stages[i].(type) {
 		case *ScanStage:
 			s.Filters = append(s.Filters, c)
 		case *ExpandStage:
+			s.Filters = append(s.Filters, c)
+		case *VarExpandStage:
 			s.Filters = append(s.Filters, c)
 		}
 	}
@@ -381,7 +572,7 @@ func assignPredicates(pl *Plan, conjs []Expr, whole Expr) {
 				return
 			}
 		}
-		if hasCountCall(c) {
+		if hasAggCall(c) {
 			attach(last, whole)
 			return
 		}
@@ -390,7 +581,7 @@ func assignPredicates(pl *Plan, conjs []Expr, whole Expr) {
 		vars := map[string]bool{}
 		exprVars(c, vars)
 		target := last
-		for i := range pl.Stages {
+		for i := range stages {
 			all := true
 			for v := range vars {
 				if !boundAfter[i][v] {

@@ -40,16 +40,16 @@ func TestPlannerStartsAtSelectiveLabel(t *testing.T) {
 	// Written order starts at the 500-node IP side; the planner must
 	// reverse it and enter at the single Malware node.
 	pl := plan(t, skewedStore(t), `match (ip:IP)<-[:CONNECT]-(m:Malware) return ip.name`)
-	scan, ok := pl.Stages[0].(*ScanStage)
+	scan, ok := pl.Segments[0].Stages[0].(*ScanStage)
 	if !ok {
-		t.Fatalf("first stage is %T, want ScanStage", pl.Stages[0])
+		t.Fatalf("first stage is %T, want ScanStage", pl.Segments[0].Stages[0])
 	}
 	if scan.Node.Label != "Malware" || scan.Access != AccessLabel {
 		t.Errorf("start = %s %s, want LabelScan on Malware", scan.Access, scan.Node.Label)
 	}
-	exp, ok := pl.Stages[1].(*ExpandStage)
+	exp, ok := pl.Segments[0].Stages[1].(*ExpandStage)
 	if !ok {
-		t.Fatalf("second stage is %T, want ExpandStage", pl.Stages[1])
+		t.Fatalf("second stage is %T, want ExpandStage", pl.Segments[0].Stages[1])
 	}
 	if !exp.Reverse || exp.From != "m" || exp.To.Var != "ip" {
 		t.Errorf("expand = %+v, want reverse m->ip", exp)
@@ -60,7 +60,7 @@ func TestPlannerNameSeekPushdown(t *testing.T) {
 	// A WHERE name equality plus a type equality must collapse into an
 	// exact (label, name) point seek.
 	pl := plan(t, skewedStore(t), `match (n) where n.name = "hub" and n.type = "Malware" return n`)
-	scan := pl.Stages[0].(*ScanStage)
+	scan := pl.Segments[0].Stages[0].(*ScanStage)
 	if scan.Access != AccessLabelName || scan.Name != "hub" {
 		t.Errorf("access = %s name=%q, want IndexSeek(label+name) hub", scan.Access, scan.Name)
 	}
@@ -84,7 +84,7 @@ func TestPlannerCompositeAttrSeek(t *testing.T) {
 		s.MergeNode("Malware", fmt.Sprintf("m%d", i), map[string]string{"platform": plat})
 	}
 	pl := plan(t, s, `match (m:Malware) where m.platform = "solaris" return m.name`)
-	scan := pl.Stages[0].(*ScanStage)
+	scan := pl.Segments[0].Stages[0].(*ScanStage)
 	if scan.Access != AccessLabelAttr || scan.AttrKey != "platform" || scan.AttrVal != "solaris" {
 		t.Errorf("access = %s %s=%s, want composite seek on platform=solaris", scan.Access, scan.AttrKey, scan.AttrVal)
 	}
@@ -105,7 +105,7 @@ func TestPlannerBoundChainPiggybacks(t *testing.T) {
 	// variable instead of a fresh scan.
 	pl := plan(t, skewedStore(t), `match (m:Malware)-[:CONNECT]->(ip), (m)-[:CONNECT]->(ip2) return ip.name, ip2.name`)
 	bounds := 0
-	for _, st := range pl.Stages {
+	for _, st := range pl.Segments[0].Stages {
 		if sc, ok := st.(*ScanStage); ok && sc.Access == AccessBound {
 			bounds++
 		}
@@ -127,7 +127,7 @@ func TestPlannerNoIndexesForcesFullScan(t *testing.T) {
 		}
 		return p
 	}()
-	if scan := pl.Stages[0].(*ScanStage); scan.Access != AccessAll {
+	if scan := pl.Segments[0].Stages[0].(*ScanStage); scan.Access != AccessAll {
 		t.Errorf("access = %s, want AllNodesScan when indexes are disabled", scan.Access)
 	}
 }
@@ -233,7 +233,7 @@ func TestTypeEqualityPredicateScans(t *testing.T) {
 		}
 	}
 	pl := plan(t, s, `match (n) where n.type = "A" return n.name`)
-	scan := pl.Stages[0].(*ScanStage)
+	scan := pl.Segments[0].Stages[0].(*ScanStage)
 	if scan.Access != AccessLabel || scan.Label != "A" {
 		t.Errorf("access = %s label=%q, want LabelScan with inferred label A", scan.Access, scan.Label)
 	}
@@ -312,5 +312,44 @@ func TestPlannedAndLegacyAgreeOnDemoGraph(t *testing.T) {
 		if got, want := renderRows(planned), renderRows(legacy); !sameMultiset(got, want) {
 			t.Errorf("%s:\nplanned: %v\nlegacy:  %v", q, got, want)
 		}
+	}
+}
+
+func TestPlanCacheInvalidatedByIndexAttr(t *testing.T) {
+	// Regression: the cache used to evict only on cardinality drift, so a
+	// plan chosen before IndexAttr kept label-scanning forever.
+	s := graph.New()
+	for i := 0; i < 100; i++ {
+		plat := "windows"
+		if i%10 == 0 {
+			plat = "solaris"
+		}
+		s.MergeNode("Malware", fmt.Sprintf("m%d", i), map[string]string{"platform": plat})
+	}
+	eng := NewEngine(s, DefaultOptions())
+	q := `match (m:Malware) where m.platform = "solaris" return m.name`
+	res, err := eng.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("pre-index rows: %d", len(res.Rows))
+	}
+	if scan := eng.cachedPlan(q).Segments[0].Stages[0].(*ScanStage); scan.Access != AccessLabel {
+		t.Fatalf("pre-index access = %s, want LabelScan", scan.Access)
+	}
+	s.IndexAttr("platform")
+	if eng.cachedPlan(q) != nil {
+		t.Fatal("stale plan survived IndexAttr")
+	}
+	res, err = eng.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("post-index rows: %d", len(res.Rows))
+	}
+	if scan := eng.cachedPlan(q).Segments[0].Stages[0].(*ScanStage); scan.Access != AccessLabelAttr {
+		t.Errorf("post-index access = %s, want IndexSeek(label+attr)", scan.Access)
 	}
 }

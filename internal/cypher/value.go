@@ -3,6 +3,7 @@ package cypher
 import (
 	"fmt"
 	"strconv"
+	"strings"
 
 	"securitykg/internal/graph"
 )
@@ -17,6 +18,7 @@ const (
 	KindBool
 	KindNode
 	KindEdge
+	KindList
 )
 
 // Value is one runtime value produced during query evaluation.
@@ -27,6 +29,7 @@ type Value struct {
 	Bool bool
 	Node *graph.Node
 	Edge *graph.Edge
+	List []Value
 }
 
 // NullValue returns the null value.
@@ -47,6 +50,9 @@ func NodeValue(n *graph.Node) Value { return Value{Kind: KindNode, Node: n} }
 // EdgeValue wraps a graph edge.
 func EdgeValue(e *graph.Edge) Value { return Value{Kind: KindEdge, Edge: e} }
 
+// ListValue wraps a list of values (the collect() aggregate result).
+func ListValue(vs []Value) Value { return Value{Kind: KindList, List: vs} }
+
 // String renders a value for display.
 func (v Value) String() string {
 	switch v.Kind {
@@ -65,6 +71,12 @@ func (v Value) String() string {
 		return fmt.Sprintf("(:%s {name: %q})", v.Node.Type, v.Node.Name)
 	case KindEdge:
 		return fmt.Sprintf("[:%s]", v.Edge.Type)
+	case KindList:
+		parts := make([]string, len(v.List))
+		for i, e := range v.List {
+			parts[i] = e.String()
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
 	}
 	return "?"
 }
@@ -80,6 +92,8 @@ func (v Value) Truthy() bool {
 		return v.Str != ""
 	case KindNumber:
 		return v.Num != 0
+	case KindList:
+		return len(v.List) > 0
 	}
 	return true
 }
@@ -104,6 +118,16 @@ func (v Value) Equal(o Value) bool {
 		return v.Node.ID == o.Node.ID
 	case KindEdge:
 		return v.Edge.ID == o.Edge.ID
+	case KindList:
+		if len(v.List) != len(o.List) {
+			return false
+		}
+		for i := range v.List {
+			if !v.List[i].Equal(o.List[i]) {
+				return false
+			}
+		}
+		return true
 	}
 	return false
 }
@@ -159,6 +183,49 @@ func (v Value) key() string {
 		return "N:" + strconv.FormatInt(int64(v.Node.ID), 10)
 	case KindEdge:
 		return "E:" + strconv.FormatInt(int64(v.Edge.ID), 10)
+	case KindList:
+		parts := make([]string, len(v.List))
+		for i, e := range v.List {
+			parts[i] = e.key()
+		}
+		return "L:" + strings.Join(parts, "\x01")
 	}
 	return "?"
+}
+
+// totalLess is a total order over all values, used by min()/max() and
+// the canonical ordering of collect() so aggregates are deterministic
+// regardless of match enumeration order. Kinds order by their enum value;
+// within a kind, the natural order (numbers numerically, strings
+// lexically, nodes/edges by ID, lists lexicographically).
+func (v Value) totalLess(o Value) bool {
+	if v.Kind != o.Kind {
+		return v.Kind < o.Kind
+	}
+	switch v.Kind {
+	case KindString:
+		return v.Str < o.Str
+	case KindNumber:
+		return v.Num < o.Num
+	case KindBool:
+		return !v.Bool && o.Bool
+	case KindNode:
+		return v.Node.ID < o.Node.ID
+	case KindEdge:
+		return v.Edge.ID < o.Edge.ID
+	case KindList:
+		for i := range v.List {
+			if i >= len(o.List) {
+				return false
+			}
+			if v.List[i].totalLess(o.List[i]) {
+				return true
+			}
+			if o.List[i].totalLess(v.List[i]) {
+				return false
+			}
+		}
+		return len(v.List) < len(o.List)
+	}
+	return false
 }

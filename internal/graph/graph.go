@@ -69,6 +69,7 @@ type Store struct {
 	edgeKey  map[string]EdgeID
 
 	edgeTypeCount map[string]int // live per-type edge counts for the statistics layer
+	idxEpoch      int64          // bumped by IndexAttr; consumers cache it to notice new indexes
 
 	nextNode NodeID
 	nextEdge EdgeID
@@ -113,6 +114,7 @@ func (s *Store) IndexAttr(key string) {
 		return
 	}
 	s.indexed[key] = true
+	s.idxEpoch++
 	s.propIdx[key] = make(map[string]map[NodeID]struct{})
 	for id, n := range s.nodes {
 		if v, ok := n.Attrs[key]; ok {

@@ -85,6 +85,15 @@ func (s *Store) HasAttrIndex(key string) bool {
 	return s.indexed[key]
 }
 
+// IndexEpoch returns a counter that increases every time a new attribute
+// index is created. Plan caches key their entries on it so a plan chosen
+// before IndexAttr does not shadow the new access path forever.
+func (s *Store) IndexEpoch() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.idxEpoch
+}
+
 // AvgDegree estimates the average per-node fan-out of edges with the
 // given type ("" = all edges). It is the planner's expansion-cost
 // estimate: expanding one bound node along edgeType yields about

@@ -31,12 +31,18 @@ type Server struct {
 	history []*ViewGraph // view stack for the back button
 }
 
-// New builds the server.
+// New builds the server with the default query options.
 func New(store *graph.Store, index *search.Index) *Server {
+	return NewWith(store, index, cypher.DefaultOptions())
+}
+
+// NewWith builds the server with explicit query options (row caps,
+// index toggles), so deployments can tune the Cypher safety valve.
+func NewWith(store *graph.Store, index *search.Index, opts cypher.Options) *Server {
 	s := &Server{
 		store: store,
 		index: index,
-		eng:   cypher.NewEngine(store, cypher.DefaultOptions()),
+		eng:   cypher.NewEngine(store, opts),
 		mux:   http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/api/stats", s.handleStats)

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"securitykg/internal/cypher"
 	"securitykg/internal/graph"
 	"securitykg/internal/search"
 )
@@ -245,5 +246,125 @@ func TestRandomDeterministicPerSeed(t *testing.T) {
 		if a.Nodes[i].ID != b.Nodes[i].ID {
 			t.Fatal("same seed different subgraph")
 		}
+	}
+}
+
+// postCypher posts a query and decodes the result payload.
+func postCypher(t *testing.T, s *Server, payload map[string]any) (*httptest.ResponseRecorder, struct {
+	Columns   []string
+	Rows      [][]string
+	Truncated bool
+	Error     string
+}) {
+	t.Helper()
+	body, _ := json.Marshal(payload)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("POST", "/api/cypher", bytes.NewReader(body)))
+	var out struct {
+		Columns   []string
+		Rows      [][]string
+		Truncated bool
+		Error     string
+	}
+	json.Unmarshal(rec.Body.Bytes(), &out)
+	return rec, out
+}
+
+func TestCypherErrorPaths(t *testing.T) {
+	s, _, _ := testServer(t)
+	cases := []struct {
+		name  string
+		query string
+	}{
+		{"lex error", `match (n) where n.name = "unterminated return n`},
+		{"parse error", `match (n)-[r->(m) return n`},
+		{"missing return", `match (n) where n.name = "x"`},
+		{"var-length binds var", `match (a)-[r:T*1..3]->(b) return a`},
+		{"empty hop range", `match (a)-[:T*3..1]->(b) return a`},
+		{"order-by under distinct", `match (n) return distinct n.name order by n.type`},
+		{"with after return", `match (n) return n with n`},
+	}
+	for _, c := range cases {
+		rec, out := postCypher(t, s, map[string]any{"query": c.query})
+		if rec.Code != 400 {
+			t.Errorf("%s: status %d, want 400 (%s)", c.name, rec.Code, rec.Body.String())
+		}
+		if out.Error == "" {
+			t.Errorf("%s: missing error payload: %s", c.name, rec.Body.String())
+		}
+	}
+	// Malformed body (not JSON) is a 400 too.
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("POST", "/api/cypher", strings.NewReader("{not json")))
+	if rec.Code != 400 {
+		t.Errorf("malformed body status %d", rec.Code)
+	}
+	// Explain of an invalid query reports the error instead of a plan.
+	rec2, out2 := postCypher(t, s, map[string]any{"query": "nope", "explain": true})
+	if rec2.Code != 400 || out2.Error == "" {
+		t.Errorf("explain of bad query: status %d body %s", rec2.Code, rec2.Body.String())
+	}
+}
+
+func TestCypherTruncatedFlag(t *testing.T) {
+	// A MaxRows-capped server truncates mid-stream and surfaces the flag.
+	store := graph.New()
+	hub, _ := store.MergeNode("Malware", "hub", nil)
+	for i := 0; i < 40; i++ {
+		ip, _ := store.MergeNode("IP", fmt.Sprintf("10.0.0.%d", i), nil)
+		store.AddEdge(hub, "CONNECT", ip, nil)
+	}
+	s := NewWith(store, search.NewIndex(nil), cypher.Options{UseIndexes: true, MaxRows: 5})
+	rec, out := postCypher(t, s, map[string]any{
+		"query": `match (m:Malware)-[:CONNECT]->(ip) return ip.name`,
+	})
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if len(out.Rows) != 5 || !out.Truncated {
+		t.Errorf("rows=%d truncated=%v, want 5/true", len(out.Rows), out.Truncated)
+	}
+	// An explicit LIMIT under the cap is not a truncation.
+	rec, out = postCypher(t, s, map[string]any{
+		"query": `match (m:Malware)-[:CONNECT]->(ip) return ip.name limit 3`,
+	})
+	if rec.Code != 200 || len(out.Rows) != 3 || out.Truncated {
+		t.Errorf("limit: status=%d rows=%d truncated=%v, want 200/3/false", rec.Code, len(out.Rows), out.Truncated)
+	}
+}
+
+func TestCypherExplainNewOperators(t *testing.T) {
+	store := graph.New()
+	x, _ := store.MergeNode("Malware", "X", nil)
+	tl, _ := store.MergeNode("Tool", "t1", nil)
+	store.AddEdge(x, "uses", tl, nil)
+	s := New(store, search.NewIndex(nil))
+	body, _ := json.Marshal(map[string]any{
+		"query": `match (m:Malware {name:"X"})-[:uses*1..3]->(b)
+			optional match (b)-[:uses]->(c)
+			with b, collect(c.name) as deps
+			return b.name, deps`,
+		"explain": true,
+	})
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("POST", "/api/cypher", bytes.NewReader(body)))
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var out struct {
+		Plan string `json:"plan"`
+	}
+	json.Unmarshal(rec.Body.Bytes(), &out)
+	for _, want := range []string{"VarExpand", "[:uses*1..3]", "Optional", "With (aggregating)"} {
+		if !strings.Contains(out.Plan, want) {
+			t.Errorf("plan missing %q:\n%s", want, out.Plan)
+		}
+	}
+	// The new forms also execute through the endpoint, list rendering included.
+	rec2, res := postCypher(t, s, map[string]any{
+		"query": `match (m:Malware) optional match (m)-[:uses*1..2]->(b) with m, collect(b.name) as bs return m.name, bs`,
+	})
+	if rec2.Code != 200 || len(res.Rows) != 1 || res.Rows[0][1] != "[t1]" {
+		t.Errorf("var-length via endpoint: status=%d rows=%+v", rec2.Code, res.Rows)
 	}
 }
