@@ -21,9 +21,11 @@ bench:
 	$(GO) test -run '^$$' -bench 'Cypher' -benchmem -benchtime 50x . -json | tee BENCH_cypher.json | \
 		grep -o '"Output":"Benchmark[^"]*' | sed 's/"Output":"//; s/\\t/\t/g; s/\\n//' || true
 
-# cover profiles the query engine and fails the build when internal/cypher
-# statement coverage drops below the floor.
+# cover profiles the query engine and the exploration API server, and
+# fails the build when either package's statement coverage drops below
+# its floor.
 COVER_FLOOR ?= 80
+COVER_FLOOR_SERVER ?= 85
 cover:
 	$(GO) test -coverprofile=cover.out -covermode=atomic ./internal/cypher/
 	@$(GO) tool cover -func=cover.out | sort -t: -k2 -n | awk '$$3+0 < 60 {print "  low:", $$0}'
@@ -31,6 +33,11 @@ cover:
 	awk -v t=$$total -v floor=$(COVER_FLOOR) 'BEGIN { \
 		if (t+0 < floor+0) { printf "internal/cypher coverage %.1f%% is below the %s%% floor\n", t, floor; exit 1 } \
 		else { printf "internal/cypher coverage %.1f%% (floor %s%%)\n", t, floor } }'
+	$(GO) test -coverprofile=cover_server.out -covermode=atomic ./internal/server/
+	@total=$$($(GO) tool cover -func=cover_server.out | awk '/^total:/ {gsub("%","",$$3); print $$3}'); \
+	awk -v t=$$total -v floor=$(COVER_FLOOR_SERVER) 'BEGIN { \
+		if (t+0 < floor+0) { printf "internal/server coverage %.1f%% is below the %s%% floor\n", t, floor; exit 1 } \
+		else { printf "internal/server coverage %.1f%% (floor %s%%)\n", t, floor } }'
 
 # fuzz exercises the parser and engine fuzz targets for 30s each
 # (parser must never panic; engine must error, not crash).

@@ -343,6 +343,106 @@ func BenchmarkCypherVarLengthPath(b *testing.B) {
 	}
 }
 
+// --- E17: prepared statements vs per-query parse+plan ---
+
+// BenchmarkCypherPreparedVsParse measures the per-query overhead the
+// driver-grade API removes. "prepared" executes one Stmt with a
+// rotating $name binding (one parse+plan ever; every run binds params
+// and hits the shared plan cache), "parse-literal" re-submits a
+// literal-substituted query string per run — the pre-parameter call
+// pattern — so every run misses the plan cache and pays
+// lex+parse+plan+store again. Both arms use the hunt-shaped statement
+// interactive threat-hunting issues per indicator, and both bind
+// indicators absent from the graph: the point seek misses, so the
+// shared execution work is near zero and the spread between the arms
+// is the per-query overhead itself. "prepared-hit" is the same
+// statement with matching bindings, for the end-to-end number.
+func BenchmarkCypherPreparedVsParse(b *testing.B) {
+	s := benchKG()
+	paramQ := `match (m:Malware {name: $name})-[:CONNECT]->(ip)` +
+		` where ip.name starts with "10." and not ip.name ends with ".zz" and m.name contains "malware"` +
+		` return m.name as malware, ip.name as address limit 5`
+	litQ := `match (m:Malware {name: "absent-%d"})-[:CONNECT]->(ip)` +
+		` where ip.name starts with "10." and not ip.name ends with ".zz" and m.name contains "malware"` +
+		` return m.name as malware, ip.name as address limit 5`
+	b.Run("prepared", func(b *testing.B) {
+		eng := cypher.NewEngine(s, cypher.DefaultOptions())
+		stmt, err := eng.Prepare(paramQ)
+		if err != nil {
+			b.Fatal(err)
+		}
+		args := map[string]any{"name": ""}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			args["name"] = fmt.Sprintf("absent-%d", i%10000)
+			if _, err := stmt.Query(args); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parse-literal", func(b *testing.B) {
+		eng := cypher.NewEngine(s, cypher.DefaultOptions())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Query(fmt.Sprintf(litQ, i%10000), nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prepared-hit", func(b *testing.B) {
+		eng := cypher.NewEngine(s, cypher.DefaultOptions())
+		stmt, err := eng.Prepare(paramQ)
+		if err != nil {
+			b.Fatal(err)
+		}
+		args := map[string]any{"name": ""}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			args["name"] = fmt.Sprintf("malware-%d", i%10000)
+			if _, err := stmt.Query(args); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- E18: streaming cursor vs materialized results ---
+
+// BenchmarkCypherRowsStreaming measures the Rows cursor against full
+// materialization on a 20k-row scan: "rows-first10" pulls ten rows and
+// closes (the interactive-hunting shape — upstream matching stops at
+// the tenth row), "materialize-all" drains the same query through the
+// compatibility Query path.
+func BenchmarkCypherRowsStreaming(b *testing.B) {
+	s := benchKG()
+	q := `match (m:Malware)-[:CONNECT]->(ip) return m.name, ip.name`
+	b.Run("rows-first10", func(b *testing.B) {
+		eng := cypher.NewEngine(s, cypher.DefaultOptions())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rows, err := eng.QueryRows(q, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j := 0; j < 10 && rows.Next(); j++ {
+			}
+			if err := rows.Err(); err != nil {
+				b.Fatal(err)
+			}
+			rows.Close()
+		}
+	})
+	b.Run("materialize-all", func(b *testing.B) {
+		eng := cypher.NewEngine(s, cypher.DefaultOptions())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Query(q, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // --- E12: layout, Barnes-Hut vs exact ---
 
 func BenchmarkLayoutBarnesHut(b *testing.B) {

@@ -1,14 +1,20 @@
 // Command skg-query is an interactive query shell over a persisted
-// knowledge graph: Cypher-subset statements run against the graph engine;
-// lines starting with "/" run keyword search over report nodes.
+// knowledge graph: Cypher-subset statements run against the graph engine
+// and stream row by row; lines starting with "/" run keyword search
+// over report nodes. Queries are parameterized with $name placeholders
+// bound via \set, so hunted values (IOC strings, report titles) are
+// never spliced into query text — and every execution of the same
+// statement text reuses one cached plan.
 //
 // Usage:
 //
 //	skg-query -graph kg.jsonl
-//	> match (n) where n.name = "wannacry" return n
-//	> match (m {name: "wannacry"})-[:CONNECT*1..3]-(x) return x.name
+//	> \set ioc wannacry
+//	> match (n) where n.name = $ioc return n
+//	> match (m {name: $ioc})-[:CONNECT*1..3]-(x) return x.name
 //	> optional match (m:Malware)-[:USE]->(t) with m, collect(t.name) as tools return m.name, tools
 //	> explain match (m:Malware)-[*1..2]-(x) return x.name limit 5
+//	> \params
 //	> /wannacry ransomware
 package main
 
@@ -18,6 +24,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
 
 	"securitykg/internal/cypher"
@@ -36,7 +44,9 @@ func main() {
 	}
 	gs := store.Stats()
 	fmt.Printf("skg-query: loaded %d nodes, %d edges from %s\n", gs.Nodes, gs.Edges, *graphPath)
-	fmt.Println(`skg-query: enter Cypher (e.g. match (m:Malware)-[:CONNECT*1..3]-(x) return x.name limit 5), explain <query>, /keyword search, or "quit"`)
+	fmt.Println(`skg-query: enter Cypher (e.g. match (m {name: $ioc})-[:CONNECT*1..3]-(x) return x.name limit 5),`)
+	fmt.Println(`  \set name value / \unset name / \params to manage $parameters,`)
+	fmt.Println(`  explain <query> for plans, /keyword search, or "quit"`)
 
 	// Rebuild the keyword index from report nodes (title only; bodies are
 	// not persisted in the graph).
@@ -49,6 +59,7 @@ func main() {
 		return true
 	})
 	eng := cypher.NewEngine(store, cypher.DefaultOptions())
+	params := map[string]any{}
 
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Print("> ")
@@ -58,6 +69,8 @@ func main() {
 		case line == "":
 		case line == "quit" || line == "exit":
 			return
+		case strings.HasPrefix(line, `\`):
+			runMeta(line, params)
 		case strings.HasPrefix(line, "/"):
 			hits := idx.Search(strings.TrimPrefix(line, "/"), 10)
 			if len(hits) == 0 {
@@ -74,25 +87,89 @@ func main() {
 					fmt.Print(plan)
 				}
 			}
-			res, err := eng.Run(line)
-			if err != nil {
-				fmt.Println("error:", err)
-				break
-			}
-			fmt.Println(strings.Join(res.Columns, " | "))
-			for _, row := range res.Rows {
-				cells := make([]string, len(row))
-				for i, v := range row {
-					cells[i] = v.String()
-				}
-				fmt.Println(strings.Join(cells, " | "))
-			}
-			if res.Truncated {
-				fmt.Printf("(%d rows, truncated by MaxRows)\n", len(res.Rows))
-			} else {
-				fmt.Printf("(%d rows)\n", len(res.Rows))
-			}
+			runQuery(eng, line, params)
 		}
 		fmt.Print("> ")
 	}
+}
+
+// runQuery streams the statement's rows as the executor produces them,
+// so the first match of a long hunt prints immediately.
+func runQuery(eng *cypher.Engine, line string, params map[string]any) {
+	rows, err := eng.QueryRows(line, params)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer rows.Close()
+	fmt.Println(strings.Join(rows.Columns(), " | "))
+	n := 0
+	for rows.Next() {
+		vals := rows.Row()
+		cells := make([]string, len(vals))
+		for i, v := range vals {
+			cells[i] = v.String()
+		}
+		fmt.Println(strings.Join(cells, " | "))
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		fmt.Printf("(%d rows, then error: %v)\n", n, err)
+		return
+	}
+	fmt.Printf("(%d rows)\n", n)
+}
+
+// runMeta handles the backslash commands that manage the shell's
+// $parameter bindings. Values parse as number/true/false/null when they
+// look like one; everything else (or anything quoted) is a string.
+func runMeta(line string, params map[string]any) {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case `\set`:
+		if len(fields) < 3 {
+			fmt.Println(`usage: \set name value`)
+			return
+		}
+		params[fields[1]] = parseParamValue(strings.Join(fields[2:], " "))
+	case `\unset`:
+		if len(fields) != 2 {
+			fmt.Println(`usage: \unset name`)
+			return
+		}
+		delete(params, fields[1])
+	case `\params`:
+		if len(params) == 0 {
+			fmt.Println("(no parameters set)")
+			return
+		}
+		names := make([]string, 0, len(params))
+		for k := range params {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			fmt.Printf("  $%s = %v\n", k, params[k])
+		}
+	default:
+		fmt.Printf("unknown command %s (try \\set, \\unset, \\params)\n", fields[0])
+	}
+}
+
+func parseParamValue(s string) any {
+	if len(s) >= 2 && (s[0] == '"' || s[0] == '\'') && s[len(s)-1] == s[0] {
+		return s[1 : len(s)-1]
+	}
+	switch s {
+	case "true":
+		return true
+	case "false":
+		return false
+	case "null":
+		return nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f
+	}
+	return s
 }

@@ -99,13 +99,17 @@ func main() {
 	// the assets within two edges of the hypothesis (the classic
 	// "what is ≤ k hops from this IOC" hunt), with the actors that use
 	// each asset collected alongside — OPTIONAL MATCH keeps assets no
-	// actor touches, WITH + collect folds the actor sets per asset.
-	res, err := sys.Cypher(fmt.Sprintf(`
-		match (m {name: %q})-[*1..2]-(x)
+	// actor touches, WITH + collect folds the actor sets per asset. The
+	// hypothesis name binds as $threat: hunted values (which come from
+	// the graph, i.e. from crawled CTI text) are never spliced into
+	// query strings.
+	threat := map[string]any{"threat": top.Name}
+	res, err := sys.CypherP(`
+		match (m {name: $threat})-[*1..2]-(x)
 		optional match (x)<-[:USE]-(a:ThreatActor)
 		with x, collect(a.name) as actors
 		return x.type, x.name, actors
-		order by x.type, x.name limit 15`, top.Name))
+		order by x.type, x.name limit 15`, threat)
 	if err == nil {
 		fmt.Println("\nhunting surface within 2 hops (Cypher var-length sweep):")
 		for _, row := range res.Rows {
@@ -113,19 +117,25 @@ func main() {
 		}
 	}
 
-	// Attribution and reporting context via Cypher.
-	res, err = sys.Cypher(fmt.Sprintf(
-		`match (m {name: %q})-[:ATTRIBUTED_TO]->(a:ThreatActor) return a.name`, top.Name))
+	// Attribution and reporting context via Cypher, streamed through the
+	// cursor API: the DESCRIBES sweep prints reports as they match.
+	res, err = sys.CypherP(
+		`match (m {name: $threat})-[:ATTRIBUTED_TO]->(a:ThreatActor) return a.name`, threat)
 	if err == nil && len(res.Rows) > 0 {
 		fmt.Printf("\nattribution: %s\n", res.Rows[0][0])
 	}
-	res, err = sys.Cypher(fmt.Sprintf(
-		`match (r)-[:DESCRIBES]->(m {name: %q}) return r.name, r.source`, top.Name))
+	rows, err := sys.CypherRows(
+		`match (r)-[:DESCRIBES]->(m {name: $threat}) return r.name, r.source`, threat)
 	if err == nil {
 		fmt.Println("reports describing this threat:")
-		for _, row := range res.Rows {
-			fmt.Printf("  %s (%s)\n", row[0], row[1])
+		for rows.Next() {
+			var name, source string
+			if err := rows.Scan(&name, &source); err != nil {
+				break
+			}
+			fmt.Printf("  %s (%s)\n", name, source)
 		}
+		rows.Close()
 	}
 }
 

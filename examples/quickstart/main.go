@@ -48,13 +48,23 @@ func main() {
 		fmt.Printf("  %.2f  %s\n", h.Score, h.Title)
 	}
 
-	// 5. Cypher queries (the Neo4j role).
-	res, err := sys.Cypher(`match (m:Malware)-[:CONNECT]->(ip:IP) return m.name, ip.name limit 5`)
+	// 5. Cypher queries (the Neo4j role), streamed through the cursor
+	// API: rows print as the executor matches them, and Close after the
+	// LIMIT stops the traversal early.
+	rows, err := sys.CypherRows(`match (m:Malware)-[:CONNECT]->(ip:IP) return m.name, ip.name limit 5`, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer rows.Close()
 	fmt.Println("\nmalware → C2 addresses:")
-	for _, row := range res.Rows {
-		fmt.Printf("  %s -> %s\n", row[0], row[1])
+	for rows.Next() {
+		var mal, ip string
+		if err := rows.Scan(&mal, &ip); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s -> %s\n", mal, ip)
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -59,9 +59,9 @@ func main() {
 	for _, h := range hits {
 		fmt.Printf("  report %.2f  %s\n", h.Score, h.Title)
 	}
-	res, err := sys.Cypher(`match (a:ThreatActor {name: "CozyDuke"})-[:USE]->(t)<-[:USE]-(other:ThreatActor)
-		where other.name <> "CozyDuke"
-		return distinct other.name, t.name`)
+	res, err := sys.CypherP(`match (a:ThreatActor {name: $actor})-[:USE]->(t)<-[:USE]-(other:ThreatActor)
+		where other.name <> $actor
+		return distinct other.name, t.name`, map[string]any{"actor": "CozyDuke"})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -79,9 +79,11 @@ func main() {
 	if wc != nil {
 		name = wc.Name
 	}
-	q := fmt.Sprintf(`match(n) where n.name = %q return n`, name)
-	fmt.Printf("  %s\n", q)
-	res, err = sys.Cypher(q)
+	// The looked-up name binds as a $parameter — no value splicing, and
+	// the statement text (hence its cached plan) is the same every run.
+	q := `match (n) where n.name = $name return n`
+	fmt.Printf("  %s  ($name = %q)\n", q, name)
+	res, err = sys.CypherP(q, map[string]any{"name": name})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,9 @@ package cypher
 type Query struct {
 	Explain bool        // EXPLAIN prefix: render the plan instead of running it
 	Parts   []QueryPart // WITH-chained segments; the final one is the RETURN
+	// Params lists the $parameter names the statement references (sorted,
+	// deduplicated). Every listed name must be bound at execution time.
+	Params []string
 }
 
 // QueryPart is one pipeline segment: its reading clauses (MATCH /
@@ -37,10 +40,13 @@ type Pattern struct {
 }
 
 // NodePattern is "(var:Label {prop: value, ...})"; all parts optional.
+// Property values are literals (Props) or $parameters resolved at bind
+// time (ParamProps, keyed by property name, valued by parameter name).
 type NodePattern struct {
-	Var   string
-	Label string
-	Props map[string]Value
+	Var        string
+	Label      string
+	Props      map[string]Value
+	ParamProps map[string]string
 }
 
 // EdgeDir is the direction of an edge pattern.
@@ -100,6 +106,12 @@ type PropExpr struct {
 // LitExpr is a literal value.
 type LitExpr struct{ Val Value }
 
+// ParamExpr references a $parameter supplied at bind time. The same
+// parsed query (and its cached plan) serves every binding, which is why
+// parameterized statements hit the plan cache where literal-substituted
+// query strings miss.
+type ParamExpr struct{ Name string }
+
 // CmpExpr compares two sub-expressions.
 type CmpExpr struct {
 	Op    string // "=", "<>", "<", ">", "<=", ">=", "contains", "starts", "ends", "in"
@@ -125,9 +137,10 @@ type FuncExpr struct {
 	Star bool
 }
 
-func (VarExpr) exprNode()  {}
-func (PropExpr) exprNode() {}
-func (LitExpr) exprNode()  {}
+func (VarExpr) exprNode()   {}
+func (PropExpr) exprNode()  {}
+func (LitExpr) exprNode()   {}
+func (ParamExpr) exprNode() {}
 func (CmpExpr) exprNode()  {}
 func (BoolExpr) exprNode() {}
 func (NotExpr) exprNode()  {}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 
 	"securitykg/internal/graph"
 )
@@ -15,85 +14,44 @@ type Options struct {
 	// exact-property lookups). Disabling it forces full scans — exposed so
 	// the E11 ablation can measure the index's effect.
 	UseIndexes bool
-	// MaxRows caps result size as a safety valve (0 = unlimited). The
-	// streaming engine enforces it during matching: once the cap is hit,
-	// pattern enumeration stops and Result.Truncated is set.
+	// MaxRows caps materialized result size as a safety valve
+	// (0 = unlimited): Engine.Query and Stmt.Query drop rows past the cap
+	// and set Result.Truncated. Streaming cursors ignore it.
+	//
+	// Deprecated: MaxRows predates the byte budget and is honored only
+	// for compatibility. Bound queries with MaxBytes (which fails loudly
+	// instead of silently truncating) and explicit LIMITs.
 	MaxRows int
+	// MaxBytes is the per-query byte budget (0 = unlimited). Every row
+	// the executor streams or materializes — including rows consumed by
+	// aggregation or dropped by DISTINCT — is charged against it, and a
+	// query that exceeds the budget aborts with a *BudgetError instead
+	// of returning silently truncated results.
+	MaxBytes int64
 	// Legacy selects the pre-planner tree-walking matcher. It exists for
 	// differential testing and planner-vs-legacy benchmarks; the planned
 	// streaming pipeline is the default.
 	Legacy bool
 }
 
-// DefaultOptions enables indexes with a 100k row cap.
-func DefaultOptions() Options { return Options{UseIndexes: true, MaxRows: 100000} }
+// DefaultOptions enables indexes with a 100k row cap and a 64 MiB
+// per-query byte budget.
+func DefaultOptions() Options {
+	return Options{UseIndexes: true, MaxRows: 100000, MaxBytes: 64 << 20}
+}
 
-// Engine executes parsed queries against a graph store.
+// Engine executes parsed queries against a graph store. Engines are
+// cheap: the compiled-plan cache lives on the store (cache.go), so every
+// engine over one store shares it.
 type Engine struct {
 	store *graph.Store
 	opts  Options
-
-	mu        sync.Mutex
-	planCache map[string]planEntry
+	cache *planCache
 }
-
-// planEntry is a cached plan plus the store cardinalities and index
-// epoch it was costed against, so stale plans are re-planned once the
-// graph has drifted or a new index has appeared.
-type planEntry struct {
-	pl       *Plan
-	nodes    int
-	edges    int
-	idxEpoch int64
-}
-
-const planCacheMax = 512
 
 // NewEngine builds an engine over the store.
 func NewEngine(s *graph.Store, opts Options) *Engine {
-	return &Engine{store: s, opts: opts, planCache: make(map[string]planEntry)}
-}
-
-// cachedPlan returns a previously planned pipeline for src if the store
-// cardinalities have not drifted past 2× since it was costed and no new
-// attribute index has been created (IndexAttr bumps the store's index
-// epoch; a plan chosen without the index would ignore it forever).
-// Cached plans stay correct under mutation (access paths never become
-// invalid); the bounds only protect optimality.
-func (e *Engine) cachedPlan(src string) *Plan {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	ent, ok := e.planCache[src]
-	if !ok {
-		return nil
-	}
-	if ent.idxEpoch != e.store.IndexEpoch() {
-		delete(e.planCache, src)
-		return nil
-	}
-	n, m := e.store.CountNodes(), e.store.CountEdges()
-	if n > 2*ent.nodes+16 || ent.nodes > 2*n+16 || m > 2*ent.edges+16 || ent.edges > 2*m+16 {
-		delete(e.planCache, src)
-		return nil
-	}
-	return ent.pl
-}
-
-func (e *Engine) storePlan(src string, pl *Plan) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if len(e.planCache) >= planCacheMax {
-		for k := range e.planCache {
-			delete(e.planCache, k)
-			break
-		}
-	}
-	e.planCache[src] = planEntry{
-		pl:       pl,
-		nodes:    e.store.CountNodes(),
-		edges:    e.store.CountEdges(),
-		idxEpoch: e.store.IndexEpoch(),
-	}
+	return &Engine{store: s, opts: opts, cache: cacheFor(s)}
 }
 
 // Result is a rectangular query result.
@@ -105,27 +63,120 @@ type Result struct {
 	Truncated bool
 }
 
-// Run parses and executes a Cypher statement. Repeated statements reuse
-// the cached plan, skipping parse and planning entirely.
-func (e *Engine) Run(src string) (*Result, error) {
-	if !e.opts.Legacy {
-		if pl := e.cachedPlan(src); pl != nil {
-			return e.execPlan(pl)
+// params are the bound $parameter values for one execution, stored as
+// parallel slices: binding sets are tiny (a handful of names), so a
+// linear scan beats a map's per-bucket allocation on the hot path —
+// prepared-statement workloads bind params on every execution.
+type params struct {
+	names []string
+	vals  []Value
+}
+
+// get resolves one $parameter by name.
+func (p params) get(name string) (Value, bool) {
+	for i, n := range p.names {
+		if n == name {
+			return p.vals[i], true
 		}
+	}
+	return Value{}, false
+}
+
+// bindParams converts the caller's arguments and validates that every
+// $parameter the statement references is bound. Extra arguments are
+// allowed (a shell can keep one binding set for many statements).
+func bindParams(names []string, args map[string]any) (params, error) {
+	var ps params
+	if len(args) > 0 {
+		ps.names = make([]string, 0, len(args))
+		ps.vals = make([]Value, 0, len(args))
+		for k, v := range args {
+			val, err := ToValue(v)
+			if err != nil {
+				return ps, fmt.Errorf("cypher: parameter $%s: %w", k, err)
+			}
+			ps.names = append(ps.names, k)
+			ps.vals = append(ps.vals, val)
+		}
+	}
+	for _, n := range names {
+		if _, ok := ps.get(n); !ok {
+			return ps, fmt.Errorf("cypher: missing parameter $%s", n)
+		}
+	}
+	return ps, nil
+}
+
+// Run parses and executes a statement with no parameters. Kept as the
+// zero-ceremony entry point; parameterized callers use Query/QueryRows.
+func (e *Engine) Run(src string) (*Result, error) { return e.Query(src, nil) }
+
+// Query executes a statement with the given parameter bindings and
+// materializes the full result — a thin wrapper over QueryRows that
+// preserves the MaxRows safety valve and Result.Truncated semantics.
+// Repeated statements (same text; parameters do not change the text)
+// reuse the store-shared cached plan, skipping parse and planning.
+func (e *Engine) Query(src string, args map[string]any) (*Result, error) {
+	if e.opts.Legacy {
+		q, err := Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		if q.Explain {
+			// EXPLAIN never executes, so it needs no bindings.
+			return e.runPlanned(q, params{})
+		}
+		ps, err := bindParams(q.Params, args)
+		if err != nil {
+			return nil, err
+		}
+		return e.runLegacy(q, ps)
+	}
+	rows, err := e.QueryRows(src, args)
+	if err != nil {
+		return nil, err
+	}
+	return materialize(rows, e.opts.MaxRows)
+}
+
+// QueryRows executes a statement and returns an incremental cursor: the
+// first row is available without materializing the match set, and
+// closing the cursor early stops all upstream matching. The legacy
+// engine has no streaming pipeline, so it materializes first and the
+// cursor merely iterates the buffer.
+func (e *Engine) QueryRows(src string, args map[string]any) (*Rows, error) {
+	if e.opts.Legacy {
+		res, err := e.Query(src, args)
+		if err != nil {
+			return nil, err
+		}
+		return rowsFromResult(res), nil
+	}
+	if pl := e.cachedPlan(src); pl != nil {
+		ps, err := bindParams(pl.Params, args)
+		if err != nil {
+			return nil, err
+		}
+		return e.rowsForPlan(pl, ps)
 	}
 	q, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	if !e.opts.Legacy && !q.Explain {
-		pl, err := e.planQuery(q)
-		if err != nil {
-			return nil, err
-		}
-		e.storePlan(src, pl)
-		return e.execPlan(pl)
+	pl, err := e.planQuery(q)
+	if err != nil {
+		return nil, err
 	}
-	return e.RunQuery(q)
+	if q.Explain {
+		// EXPLAIN renders the plan without executing: no bindings needed.
+		return rowsFromResult(explainResult(pl)), nil
+	}
+	ps, err := bindParams(q.Params, args)
+	if err != nil {
+		return nil, err
+	}
+	e.storePlan(src, pl)
+	return e.rowsForPlan(pl, ps)
 }
 
 // Explain parses src and renders the plan the streaming engine would run,
@@ -156,40 +207,48 @@ func (b binding) clone() binding {
 // RunQuery executes a parsed query through the planned streaming
 // pipeline (planner.go + iter.go), or through the legacy tree-walking
 // matcher when Options.Legacy is set. EXPLAIN always reports the
-// streaming plan.
+// streaming plan. Queries with $parameters need bindings — use
+// Query/QueryRows/Prepare instead.
 func (e *Engine) RunQuery(q *Query) (*Result, error) {
 	if len(q.Parts) == 0 || len(q.Parts[len(q.Parts)-1].Items) == 0 {
 		return nil, fmt.Errorf("cypher: empty RETURN")
 	}
-	if e.opts.Legacy && !q.Explain {
-		return e.runLegacy(q)
+	if q.Explain {
+		return e.runPlanned(q, params{})
 	}
-	return e.runPlanned(q)
+	ps, err := bindParams(q.Params, nil)
+	if err != nil {
+		return nil, err
+	}
+	if e.opts.Legacy {
+		return e.runLegacy(q, ps)
+	}
+	return e.runPlanned(q, ps)
 }
 
 // runLegacy is the original recursive matcher, extended with the same
 // dialect as the streaming engine (variable-length BFS, OPTIONAL MATCH
 // null-padding, WITH segment chaining): it materializes every complete
-// match of a segment before projecting it into the next. Kept as the
+// match of a segment before projecting it into the next. Each
+// materialized binding is charged against the byte budget, so an
+// over-budget query fails with *BudgetError instead of being silently
+// truncated (the old MaxRows*4+1000 match cap). Kept as the
 // differential baseline the property tests and benchmarks compare the
 // streaming executor against.
-func (e *Engine) runLegacy(q *Query) (*Result, error) {
-	matchCap := -1
-	if e.opts.MaxRows > 0 {
-		matchCap = e.opts.MaxRows*4 + 1000
-	}
+func (e *Engine) runLegacy(q *Query, ps params) (*Result, error) {
+	bud := newBudget(e.opts.MaxBytes)
 	bindings := []binding{{}}
 	for pi := range q.Parts {
 		part := &q.Parts[pi]
 		var err error
-		bindings, err = e.legacyMatchPart(part, bindings, matchCap)
+		bindings, err = e.legacyMatchPart(part, bindings, ps, bud)
 		if err != nil {
 			return nil, err
 		}
 		if pi == len(q.Parts)-1 {
-			return e.legacyFinal(part, bindings)
+			return e.legacyFinal(part, bindings, ps, bud)
 		}
-		bindings, err = e.legacyWith(part, bindings)
+		bindings, err = e.legacyWith(part, bindings, ps, bud)
 		if err != nil {
 			return nil, err
 		}
@@ -201,12 +260,12 @@ func (e *Engine) runLegacy(q *Query) (*Result, error) {
 // clauses, processing the same clause runs the planner emits
 // (requiredRuns is shared, so grouping cannot drift): required runs
 // join, OPTIONAL MATCH null-pads.
-func (e *Engine) legacyMatchPart(part *QueryPart, in []binding, matchCap int) ([]binding, error) {
+func (e *Engine) legacyMatchPart(part *QueryPart, in []binding, ps params, bud *byteBudget) ([]binding, error) {
 	out := in
 	for _, run := range requiredRuns(part.Matches) {
 		if run.optional != nil {
 			var err error
-			out, err = e.legacyOptional(*run.optional, out, matchCap)
+			out, err = e.legacyOptional(*run.optional, out, ps, bud)
 			if err != nil {
 				return nil, err
 			}
@@ -216,9 +275,9 @@ func (e *Engine) legacyMatchPart(part *QueryPart, in []binding, matchCap int) ([
 		var next []binding
 		var matchErr error
 		for _, b := range out {
-			e.matchPatterns(run.pats, 0, b, hints, func(b2 binding) bool {
+			e.matchPatterns(run.pats, 0, b, hints, ps, func(b2 binding) bool {
 				if run.where != nil {
-					v, err := evalExpr(run.where, b2)
+					v, err := evalExpr(run.where, b2, ps)
 					if err != nil {
 						matchErr = err
 						return false
@@ -227,14 +286,15 @@ func (e *Engine) legacyMatchPart(part *QueryPart, in []binding, matchCap int) ([
 						return true
 					}
 				}
+				if err := bud.charge(bindingBytes(b2)); err != nil {
+					matchErr = err
+					return false
+				}
 				next = append(next, b2.clone())
-				return matchCap < 0 || len(next) < matchCap
+				return true
 			})
 			if matchErr != nil {
 				return nil, matchErr
-			}
-			if matchCap >= 0 && len(next) >= matchCap {
-				break
 			}
 		}
 		out = next
@@ -244,7 +304,7 @@ func (e *Engine) legacyMatchPart(part *QueryPart, in []binding, matchCap int) ([
 
 // legacyOptional extends each input binding with every match of the
 // optional clause, or with a single null-padded copy when none exists.
-func (e *Engine) legacyOptional(mc MatchClause, in []binding, matchCap int) ([]binding, error) {
+func (e *Engine) legacyOptional(mc MatchClause, in []binding, ps params, bud *byteBudget) ([]binding, error) {
 	hints := extractEqualityHints(mc.Where)
 	optVars := map[string]bool{}
 	for _, p := range mc.Patterns {
@@ -263,9 +323,9 @@ func (e *Engine) legacyOptional(mc MatchClause, in []binding, matchCap int) ([]b
 	var matchErr error
 	for _, b := range in {
 		found := false
-		e.matchPatterns(mc.Patterns, 0, b, hints, func(b2 binding) bool {
+		e.matchPatterns(mc.Patterns, 0, b, hints, ps, func(b2 binding) bool {
 			if mc.Where != nil {
-				v, err := evalExpr(mc.Where, b2)
+				v, err := evalExpr(mc.Where, b2, ps)
 				if err != nil {
 					matchErr = err
 					return false
@@ -275,8 +335,12 @@ func (e *Engine) legacyOptional(mc MatchClause, in []binding, matchCap int) ([]b
 				}
 			}
 			found = true
+			if err := bud.charge(bindingBytes(b2)); err != nil {
+				matchErr = err
+				return false
+			}
 			out = append(out, b2.clone())
-			return matchCap < 0 || len(out) < matchCap
+			return true
 		})
 		if matchErr != nil {
 			return nil, matchErr
@@ -288,10 +352,10 @@ func (e *Engine) legacyOptional(mc MatchClause, in []binding, matchCap int) ([]b
 					b2[v] = NullValue()
 				}
 			}
+			if err := bud.charge(bindingBytes(b2)); err != nil {
+				return nil, err
+			}
 			out = append(out, b2)
-		}
-		if matchCap >= 0 && len(out) >= matchCap {
-			break
 		}
 	}
 	return out, nil
@@ -300,7 +364,7 @@ func (e *Engine) legacyOptional(mc MatchClause, in []binding, matchCap int) ([]b
 // legacyWith projects a part's bindings through its WITH items into
 // fresh bindings for the next part, applying DISTINCT and the post-WITH
 // WHERE filter.
-func (e *Engine) legacyWith(part *QueryPart, matches []binding) ([]binding, error) {
+func (e *Engine) legacyWith(part *QueryPart, matches []binding, ps params, bud *byteBudget) ([]binding, error) {
 	hasAgg := false
 	for _, it := range part.Items {
 		if isAggregate(it.Expr) {
@@ -310,14 +374,17 @@ func (e *Engine) legacyWith(part *QueryPart, matches []binding) ([]binding, erro
 	var rows [][]Value
 	if hasAgg {
 		res := &Result{}
-		if err := aggregateRows(part.Items, res, pullFromSlice(matches)); err != nil {
+		if err := aggregateRows(part.Items, res, pullFromSlice(matches), ps); err != nil {
 			return nil, err
 		}
 		rows = res.Rows
 	} else {
 		for _, b := range matches {
-			row, err := projectRow(part.Items, b)
+			row, err := projectRow(part.Items, b, ps)
 			if err != nil {
+				return nil, err
+			}
+			if err := bud.charge(rowBytes(row)); err != nil {
 				return nil, err
 			}
 			rows = append(rows, row)
@@ -333,7 +400,7 @@ func (e *Engine) legacyWith(part *QueryPart, matches []binding) ([]binding, erro
 			nb[it.Alias] = row[i]
 		}
 		if part.Where != nil {
-			v, err := evalExpr(part.Where, nb)
+			v, err := evalExpr(part.Where, nb, ps)
 			if err != nil {
 				return nil, err
 			}
@@ -347,7 +414,7 @@ func (e *Engine) legacyWith(part *QueryPart, matches []binding) ([]binding, erro
 }
 
 // legacyFinal projects, aggregates, sorts and pages the final part.
-func (e *Engine) legacyFinal(part *QueryPart, matches []binding) (*Result, error) {
+func (e *Engine) legacyFinal(part *QueryPart, matches []binding, ps params, bud *byteBudget) (*Result, error) {
 	res := &Result{}
 	hasAgg := false
 	for _, it := range part.Items {
@@ -361,17 +428,20 @@ func (e *Engine) legacyFinal(part *QueryPart, matches []binding) (*Result, error
 		return nil, err
 	}
 	if hasAgg {
-		if err := aggregateRows(part.Items, res, pullFromSlice(matches)); err != nil {
+		if err := aggregateRows(part.Items, res, pullFromSlice(matches), ps); err != nil {
 			return nil, err
 		}
 	} else {
 		for _, b := range matches {
-			row, err := projectRow(part.Items, b)
+			row, err := projectRow(part.Items, b, ps)
 			if err != nil {
 				return nil, err
 			}
-			row, err = appendHiddenKeys(row, op, b)
+			row, err = appendHiddenKeys(row, op, b, ps)
 			if err != nil {
+				return nil, err
+			}
+			if err := bud.charge(rowBytes(row)); err != nil {
 				return nil, err
 			}
 			res.Rows = append(res.Rows, row)
@@ -386,20 +456,21 @@ func (e *Engine) legacyFinal(part *QueryPart, matches []binding) (*Result, error
 
 // --- pattern matching ---
 
-// equality hints pushed down from WHERE: var -> prop -> literal string.
-func extractEqualityHints(w Expr) map[string]map[string]string {
+// equality hints pushed down from WHERE: var -> prop -> literal or
+// $parameter string value (hintVal).
+func extractEqualityHints(w Expr) map[string]map[string]hintVal {
 	var conjs []Expr
 	splitConjuncts(w, &conjs)
 	return equalityHints(conjs)
 }
 
 func (e *Engine) matchPatterns(pats []Pattern, idx int, b binding,
-	hints map[string]map[string]string, emit func(binding) bool) bool {
+	hints map[string]map[string]hintVal, ps params, emit func(binding) bool) bool {
 	if idx >= len(pats) {
 		return emit(b)
 	}
-	return e.matchChain(pats[idx], 0, b, hints, func(b2 binding) bool {
-		return e.matchPatterns(pats, idx+1, b2, hints, emit)
+	return e.matchChain(pats[idx], 0, b, hints, ps, func(b2 binding) bool {
+		return e.matchPatterns(pats, idx+1, b2, hints, ps, emit)
 	})
 }
 
@@ -407,11 +478,11 @@ func (e *Engine) matchPatterns(pats []Pattern, idx int, b binding,
 // edge pattern chain, calling emit for every complete assignment. The
 // return value follows the emit protocol: false stops the search.
 func (e *Engine) matchChain(p Pattern, i int, b binding,
-	hints map[string]map[string]string, emit func(binding) bool) bool {
+	hints map[string]map[string]hintVal, ps params, emit func(binding) bool) bool {
 	np := p.Nodes[i]
 
 	tryNode := func(n *graph.Node) bool {
-		if !nodeMatches(np, n) {
+		if !nodeMatches(np, n, ps) {
 			return true // skip, continue search
 		}
 		b2 := b
@@ -428,7 +499,7 @@ func (e *Engine) matchChain(p Pattern, i int, b binding,
 		if i == len(p.Nodes)-1 {
 			return emit(b2)
 		}
-		return e.matchEdge(p, i, n, b2, hints, emit)
+		return e.matchEdge(p, i, n, b2, hints, ps, emit)
 	}
 
 	// If the variable is already bound, only that node is a candidate.
@@ -441,7 +512,7 @@ func (e *Engine) matchChain(p Pattern, i int, b binding,
 		}
 	}
 	cont := true
-	for _, n := range e.candidates(np, hints) {
+	for _, n := range e.candidates(np, hints, ps) {
 		if !tryNode(n) {
 			cont = false
 			break
@@ -451,10 +522,10 @@ func (e *Engine) matchChain(p Pattern, i int, b binding,
 }
 
 func (e *Engine) matchEdge(p Pattern, i int, from *graph.Node, b binding,
-	hints map[string]map[string]string, emit func(binding) bool) bool {
+	hints map[string]map[string]hintVal, ps params, emit func(binding) bool) bool {
 	ep := p.Edges[i]
 	if ep.VarLength() {
-		return e.matchVarEdge(p, i, from, b, hints, emit)
+		return e.matchVarEdge(p, i, from, b, hints, ps, emit)
 	}
 	dirs := []graph.Direction{}
 	switch ep.Dir {
@@ -490,7 +561,7 @@ func (e *Engine) matchEdge(p Pattern, i int, from *graph.Node, b binding,
 				}
 			}
 			np := p.Nodes[i+1]
-			if !nodeMatches(np, other) {
+			if !nodeMatches(np, other, ps) {
 				continue
 			}
 			b3 := b2
@@ -509,7 +580,7 @@ func (e *Engine) matchEdge(p Pattern, i int, from *graph.Node, b binding,
 					return false
 				}
 			} else {
-				if !e.matchEdge(p, i+1, other, b3, hints, emit) {
+				if !e.matchEdge(p, i+1, other, b3, hints, ps, emit) {
 					return false
 				}
 			}
@@ -523,11 +594,11 @@ func (e *Engine) matchEdge(p Pattern, i int, from *graph.Node, b binding,
 // target binds once per distinct node whose shortest distance from the
 // start lies within the hop range.
 func (e *Engine) matchVarEdge(p Pattern, i int, from *graph.Node, b binding,
-	hints map[string]map[string]string, emit func(binding) bool) bool {
+	hints map[string]map[string]hintVal, ps params, emit func(binding) bool) bool {
 	np := p.Nodes[i+1]
 	for _, id := range e.bfsTargets(from.ID, p.Edges[i], false) {
 		other := e.store.Node(id)
-		if other == nil || !nodeMatches(np, other) {
+		if other == nil || !nodeMatches(np, other, ps) {
 			continue
 		}
 		b2 := b
@@ -545,7 +616,7 @@ func (e *Engine) matchVarEdge(p Pattern, i int, from *graph.Node, b binding,
 			if !emit(b2) {
 				return false
 			}
-		} else if !e.matchEdge(p, i+1, other, b2, hints, emit) {
+		} else if !e.matchEdge(p, i+1, other, b2, hints, ps, emit) {
 			return false
 		}
 	}
@@ -595,18 +666,28 @@ func (e *Engine) bfsTargets(start graph.NodeID, ep EdgePattern, reverse bool) []
 
 // candidates enumerates starting nodes for a node pattern, using indexes
 // when allowed: exact (label, name) lookup, name index, label index, then
-// full scan as a last resort.
-func (e *Engine) candidates(np NodePattern, hints map[string]map[string]string) []*graph.Node {
+// full scan as a last resort. Parameter-valued name constraints (inline
+// $param props or WHERE hints) resolve against ps before the lookup.
+func (e *Engine) candidates(np NodePattern, hints map[string]map[string]hintVal, ps params) []*graph.Node {
 	name, hasName := "", false
 	if np.Props != nil {
 		if v, ok := np.Props["name"]; ok && v.Kind == KindString {
 			name, hasName = v.Str, true
 		}
 	}
+	if !hasName && np.ParamProps != nil {
+		if pn, ok := np.ParamProps["name"]; ok {
+			if v, bound := ps.get(pn); bound && v.Kind == KindString {
+				name, hasName = v.Str, true
+			}
+		}
+	}
 	if !hasName && np.Var != "" {
 		if h, ok := hints[np.Var]; ok {
-			if v, ok := h["name"]; ok {
-				name, hasName = v, true
+			if hv, ok := h["name"]; ok {
+				if s, ok := hv.resolve(ps); ok {
+					name, hasName = s, true
+				}
 			}
 		}
 	}
@@ -631,12 +712,23 @@ func (e *Engine) candidates(np NodePattern, hints map[string]map[string]string) 
 	return out
 }
 
-// nodeMatches checks label and inline property constraints.
-func nodeMatches(np NodePattern, n *graph.Node) bool {
+// nodeMatches checks label and inline property constraints, resolving
+// $parameter-valued properties against the execution's bindings.
+func nodeMatches(np NodePattern, n *graph.Node, ps params) bool {
 	if np.Label != "" && n.Type != np.Label {
 		return false
 	}
 	for k, want := range np.Props {
+		got := nodeProp(n, k)
+		if !got.Equal(want) {
+			return false
+		}
+	}
+	for k, pn := range np.ParamProps {
+		want, ok := ps.get(pn)
+		if !ok {
+			return false // unbound parameter: bindParams rejects this upfront
+		}
 		got := nodeProp(n, k)
 		if !got.Equal(want) {
 			return false
@@ -675,10 +767,15 @@ func edgeProp(ed *graph.Edge, prop string) Value {
 	return NullValue()
 }
 
-func evalExpr(e Expr, b binding) (Value, error) {
+func evalExpr(e Expr, b binding, ps params) (Value, error) {
 	switch v := e.(type) {
 	case LitExpr:
 		return v.Val, nil
+	case ParamExpr:
+		if val, ok := ps.get(v.Name); ok {
+			return val, nil
+		}
+		return NullValue(), fmt.Errorf("cypher: missing parameter $%s", v.Name)
 	case VarExpr:
 		if val, ok := b[v.Name]; ok {
 			return val, nil
@@ -697,13 +794,13 @@ func evalExpr(e Expr, b binding) (Value, error) {
 		}
 		return NullValue(), nil
 	case NotExpr:
-		inner, err := evalExpr(v.Inner, b)
+		inner, err := evalExpr(v.Inner, b, ps)
 		if err != nil {
 			return NullValue(), err
 		}
 		return BoolValue(!inner.Truthy()), nil
 	case BoolExpr:
-		l, err := evalExpr(v.Left, b)
+		l, err := evalExpr(v.Left, b, ps)
 		if err != nil {
 			return NullValue(), err
 		}
@@ -713,17 +810,17 @@ func evalExpr(e Expr, b binding) (Value, error) {
 		if v.Op == "or" && l.Truthy() {
 			return BoolValue(true), nil
 		}
-		r, err := evalExpr(v.Right, b)
+		r, err := evalExpr(v.Right, b, ps)
 		if err != nil {
 			return NullValue(), err
 		}
 		return BoolValue(r.Truthy()), nil
 	case CmpExpr:
-		l, err := evalExpr(v.Left, b)
+		l, err := evalExpr(v.Left, b, ps)
 		if err != nil {
 			return NullValue(), err
 		}
-		r, err := evalExpr(v.Right, b)
+		r, err := evalExpr(v.Right, b, ps)
 		if err != nil {
 			return NullValue(), err
 		}
@@ -764,7 +861,7 @@ func evalExpr(e Expr, b binding) (Value, error) {
 	case FuncExpr:
 		switch v.Name {
 		case "type":
-			arg, err := evalExpr(v.Arg, b)
+			arg, err := evalExpr(v.Arg, b, ps)
 			if err != nil {
 				return NullValue(), err
 			}
@@ -773,7 +870,7 @@ func evalExpr(e Expr, b binding) (Value, error) {
 			}
 			return NullValue(), nil
 		case "id":
-			arg, err := evalExpr(v.Arg, b)
+			arg, err := evalExpr(v.Arg, b, ps)
 			if err != nil {
 				return NullValue(), err
 			}
@@ -785,7 +882,7 @@ func evalExpr(e Expr, b binding) (Value, error) {
 			}
 			return NullValue(), nil
 		case "labels":
-			arg, err := evalExpr(v.Arg, b)
+			arg, err := evalExpr(v.Arg, b, ps)
 			if err != nil {
 				return NullValue(), err
 			}
@@ -794,7 +891,7 @@ func evalExpr(e Expr, b binding) (Value, error) {
 			}
 			return NullValue(), nil
 		case "lower", "upper":
-			arg, err := evalExpr(v.Arg, b)
+			arg, err := evalExpr(v.Arg, b, ps)
 			if err != nil {
 				return NullValue(), err
 			}
@@ -830,10 +927,10 @@ func isAggregate(e Expr) bool {
 // --- projection, grouping, ordering ---
 
 // projectRow evaluates the projection items against one binding.
-func projectRow(items []ReturnItem, b binding) ([]Value, error) {
+func projectRow(items []ReturnItem, b binding, ps params) ([]Value, error) {
 	row := make([]Value, len(items))
 	for i, it := range items {
-		v, err := evalExpr(it.Expr, b)
+		v, err := evalExpr(it.Expr, b, ps)
 		if err != nil {
 			return nil, err
 		}
@@ -921,7 +1018,7 @@ func pullFromSlice(matches []binding) func() (binding, error) {
 // first-seen order; collect() lists are canonically ordered so both
 // engines agree regardless of enumeration order. The legacy path wraps
 // its match slice, the streaming path wraps the iterator pipeline.
-func aggregateRows(items []ReturnItem, res *Result, pull func() (binding, error)) error {
+func aggregateRows(items []ReturnItem, res *Result, pull func() (binding, error), ps params) error {
 	type group struct {
 		keyVals []Value
 		aggs    []aggState
@@ -942,7 +1039,7 @@ func aggregateRows(items []ReturnItem, res *Result, pull func() (binding, error)
 			if isAggregate(it.Expr) {
 				continue
 			}
-			v, err := evalExpr(it.Expr, b)
+			v, err := evalExpr(it.Expr, b, ps)
 			if err != nil {
 				return err
 			}
@@ -965,7 +1062,7 @@ func aggregateRows(items []ReturnItem, res *Result, pull func() (binding, error)
 				g.aggs[i].count++
 				continue
 			}
-			v, err := evalExpr(fe.Arg, b)
+			v, err := evalExpr(fe.Arg, b, ps)
 			if err != nil {
 				return err
 			}
@@ -1044,12 +1141,12 @@ func resolveOrderKeys(orderBy []OrderKey, items []ReturnItem, distinct, hasAgg b
 
 // appendHiddenKeys evaluates the order plan's hidden expressions against
 // the binding and appends them to the row.
-func appendHiddenKeys(row []Value, op *orderPlan, b binding) ([]Value, error) {
+func appendHiddenKeys(row []Value, op *orderPlan, b binding, ps params) ([]Value, error) {
 	if op == nil || len(op.hidden) == 0 {
 		return row, nil
 	}
 	for _, hx := range op.hidden {
-		v, err := evalExpr(hx, b)
+		v, err := evalExpr(hx, b, ps)
 		if err != nil {
 			return nil, err
 		}

@@ -86,6 +86,19 @@ var seedQueries = []string{
 	`match (m:Malware {name:"X"}) optional match (m)-[:uses*1..3]->(asset) with m, collect(asset.name) as reachable return m.name, reachable`,
 	`match (n) return n.name order by n.rank`,
 	`explain match (m:Malware {name:"X"})-[:uses*1..3]->(b) optional match (b)-[:uses]->(c) with b, count(c) as deps where deps >= 0 return b.name, deps order by b.name limit 5`,
+	// Parameterized surface: inline $param props, WHERE operands on both
+	// sides, projections, and params the fixed binding set doesn't cover
+	// (which must error cleanly, not crash).
+	`match (n {name: $p}) return n`,
+	`match (n:Malware {name: $p, platform: $plat}) return n.name`,
+	`match (n) where n.name = $p or $p = n.name return n.name`,
+	`match (n) where n.name contains $frag and not n.name = $p return n.name, $num`,
+	`match (a {name: $p})-[:uses*1..2]->(b) return b.name`,
+	`match (a:Tool) optional match (a)-[:uses]->(b {name: $p}) return a.name, b.name`,
+	`match (a)-[:uses]->(b) with a, count(b) as c where c >= $num return a.name, c`,
+	`explain match (n {name: $p}) return n`,
+	`match (n {name: $unbound_param}) return n`,
+	`match (n) where n.name = $ return n`,
 	// Historic parse-error corpus (must keep failing cleanly).
 	``,
 	`return 1`,
@@ -147,8 +160,21 @@ func FuzzParse(f *testing.F) {
 	})
 }
 
+// fuzzArgs is the fixed binding set the engine fuzz target executes
+// with: enough names/kinds to exercise param seeks, inline param props
+// and numeric comparisons. Queries referencing other $params must error
+// cleanly ("missing parameter"), never panic.
+var fuzzArgs = map[string]any{
+	"p":    "X",
+	"plat": "windows",
+	"frag": "1",
+	"num":  1,
+}
+
 // FuzzEngineQuery asserts both engines return an error rather than
-// crashing on any parse-accepted input.
+// crashing on any parse-accepted input. The byte budget (1 MiB) bounds
+// enumeration — unbounded cross products abort with *BudgetError
+// instead of hanging.
 func FuzzEngineQuery(f *testing.F) {
 	for _, q := range seedQueries {
 		f.Add(q)
@@ -159,8 +185,8 @@ func FuzzEngineQuery(f *testing.F) {
 		}
 		s := fuzzStore()
 		for _, legacy := range []bool{false, true} {
-			eng := NewEngine(s, Options{UseIndexes: true, MaxRows: 50, Legacy: legacy})
-			res, err := eng.Run(src)
+			eng := NewEngine(s, Options{UseIndexes: true, MaxRows: 50, MaxBytes: 1 << 20, Legacy: legacy})
+			res, err := eng.Query(src, fuzzArgs)
 			if err == nil && res == nil {
 				t.Fatalf("legacy=%v: nil result without error for %q", legacy, src)
 			}

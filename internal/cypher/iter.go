@@ -22,13 +22,17 @@ type iter interface {
 
 // execCtx is the shared execution state of one pipeline segment: the
 // engine and the one binding all of the segment's stage iterators extend
-// and unwind, plus a per-execution cache of scan ID lists so optional
-// sub-pipelines rebuilt per input row (optionalIter) don't re-fetch a
-// constant access path every time.
+// and unwind, the execution's parameter bindings and byte budget (both
+// shared across every segment of the query), plus a per-execution cache
+// of scan ID lists so optional sub-pipelines rebuilt per input row
+// (optionalIter) don't re-fetch a constant access path every time.
 type execCtx struct {
-	e       *Engine
-	b       binding
-	scanIDs map[*ScanStage][]graph.NodeID
+	e          *Engine
+	b          binding
+	ps         params
+	bud        *byteBudget
+	cacheScans bool // segment has optional sub-pipelines: cache scan ID lists
+	scanIDs    map[*ScanStage][]graph.NodeID
 }
 
 // fetchScanIDs returns the (cached) candidate ID list for a scan stage;
@@ -85,9 +89,9 @@ func (o *onceIter) next() (bool, error) {
 	return true, nil
 }
 
-func evalPreds(preds []Expr, b binding) (bool, error) {
+func evalPreds(preds []Expr, b binding, ps params) (bool, error) {
 	for _, p := range preds {
-		v, err := evalExpr(p, b)
+		v, err := evalExpr(p, b, ps)
 		if err != nil {
 			return false, err
 		}
@@ -115,20 +119,40 @@ type scanIter struct {
 
 func (s *scanIter) fetchIDs() []graph.NodeID {
 	st := s.ec.e.store
+	// Parameter-valued seeks resolve their key at execution time; the
+	// access path itself was chosen at plan time and is shared by every
+	// binding. A non-string value can never equal a node name or
+	// attribute, so the seek is empty.
+	name := s.st.Name
+	if s.st.NameParam != "" {
+		v, ok := s.ec.ps.get(s.st.NameParam)
+		if !ok || v.Kind != KindString {
+			return nil
+		}
+		name = v.Str
+	}
+	attrVal := s.st.AttrVal
+	if s.st.AttrParam != "" {
+		v, ok := s.ec.ps.get(s.st.AttrParam)
+		if !ok || v.Kind != KindString {
+			return nil
+		}
+		attrVal = v.Str
+	}
 	switch s.st.Access {
 	case AccessLabel:
 		return st.NodeIDsByType(s.st.Label)
 	case AccessName:
-		return st.NodeIDsByName(s.st.Name)
+		return st.NodeIDsByName(name)
 	case AccessLabelName:
-		if n := st.FindNode(s.st.Label, s.st.Name); n != nil {
+		if n := st.FindNode(s.st.Label, name); n != nil {
 			return []graph.NodeID{n.ID}
 		}
 		return nil
 	case AccessAttr:
-		return st.NodeIDsByAttr(s.st.AttrKey, s.st.AttrVal)
+		return st.NodeIDsByAttr(s.st.AttrKey, attrVal)
 	case AccessLabelAttr:
-		return st.NodeIDsByTypeAttr(s.st.Label, s.st.AttrKey, s.st.AttrVal)
+		return st.NodeIDsByTypeAttr(s.st.Label, s.st.AttrKey, attrVal)
 	}
 	return st.AllNodeIDs()
 }
@@ -157,7 +181,11 @@ func (s *scanIter) next() (bool, error) {
 					s.boundCand = v.Node
 				}
 			} else if !s.fetched {
-				s.ids = ec.fetchScanIDs(s)
+				if ec.cacheScans {
+					s.ids = ec.fetchScanIDs(s)
+				} else {
+					s.ids = s.fetchIDs()
+				}
 				s.fetched = true
 			}
 		}
@@ -182,7 +210,7 @@ func (s *scanIter) next() (bool, error) {
 					continue
 				}
 			}
-			if !nodeMatches(np, n) {
+			if !nodeMatches(np, n, ec.ps) {
 				continue
 			}
 			if s.st.Access != AccessBound {
@@ -195,7 +223,7 @@ func (s *scanIter) next() (bool, error) {
 					s.set = true
 				}
 			}
-			ok, err := evalPreds(s.st.Filters, ec.b)
+			ok, err := evalPreds(s.st.Filters, ec.b, ec.ps)
 			if err != nil {
 				return false, err
 			}
@@ -310,7 +338,7 @@ func (x *expandIter) next() (bool, error) {
 				ec.b[st.Edge.Var] = EdgeValue(ed)
 				x.setEdge = true
 			}
-			if !nodeMatches(st.To, other) {
+			if !nodeMatches(st.To, other, ec.ps) {
 				x.undo()
 				continue
 			}
@@ -323,7 +351,7 @@ func (x *expandIter) next() (bool, error) {
 				ec.b[st.To.Var] = NodeValue(other)
 				x.setNode = true
 			}
-			ok, err := evalPreds(st.Filters, ec.b)
+			ok, err := evalPreds(st.Filters, ec.b, ec.ps)
 			if err != nil {
 				return false, err
 			}
@@ -378,7 +406,7 @@ func (x *varExpandIter) next() (bool, error) {
 		for x.ti < len(x.targets) {
 			n := ec.e.store.Node(x.targets[x.ti])
 			x.ti++
-			if n == nil || !nodeMatches(st.To, n) {
+			if n == nil || !nodeMatches(st.To, n, ec.ps) {
 				continue
 			}
 			if prev, bound := ec.b[st.To.Var]; bound {
@@ -389,7 +417,7 @@ func (x *varExpandIter) next() (bool, error) {
 				ec.b[st.To.Var] = NodeValue(n)
 				x.set = true
 			}
-			ok, err := evalPreds(st.Filters, ec.b)
+			ok, err := evalPreds(st.Filters, ec.b, ec.ps)
 			if err != nil {
 				return false, err
 			}
@@ -470,19 +498,18 @@ func (o *optionalIter) next() (bool, error) {
 // re-roots the downstream segment's binding namespace to exactly the
 // projected aliases. Non-aggregating bridges stream row by row, so a
 // downstream LIMIT still stops upstream matching early; aggregating
-// bridges materialize their (match-capped) group table on first pull.
+// bridges materialize their group table on first pull, charging the
+// query's byte budget for every row consumed and every row projected.
 type withIter struct {
 	srcEC *execCtx
 	dstEC *execCtx
 	seg   *PlanSegment
 	src   iter
 
-	seen      map[string]bool // DISTINCT
-	buf       [][]Value       // aggregate groups
-	bi        int
-	started   bool
-	cap       int // aggregate consumption cap (-1 = unlimited)
-	truncated *bool
+	seen    map[string]bool // DISTINCT
+	buf     [][]Value       // aggregate groups
+	bi      int
+	started bool
 }
 
 // emit installs a projected row as the downstream binding and applies
@@ -492,7 +519,7 @@ func (w *withIter) emit(row []Value) (bool, error) {
 		w.dstEC.b[it.Alias] = row[i]
 	}
 	if w.seg.Filter != nil {
-		v, err := evalExpr(w.seg.Filter, w.dstEC.b)
+		v, err := evalExpr(w.seg.Filter, w.dstEC.b, w.dstEC.ps)
 		if err != nil {
 			return false, err
 		}
@@ -508,27 +535,16 @@ func (w *withIter) next() (bool, error) {
 		if !w.started {
 			w.started = true
 			res := &Result{}
-			consumed := 0
 			if err := aggregateRows(w.seg.Items, res, func() (binding, error) {
-				if w.cap >= 0 && consumed >= w.cap {
-					// Probe before flagging: a stream of exactly cap
-					// rows was fully aggregated, not truncated.
-					ok, err := w.src.next()
-					if err != nil {
-						return nil, err
-					}
-					if ok {
-						*w.truncated = true
-					}
-					return nil, nil
-				}
 				ok, err := w.src.next()
 				if err != nil || !ok {
 					return nil, err
 				}
-				consumed++
+				if err := w.srcEC.bud.charge(aggRowCost); err != nil {
+					return nil, err
+				}
 				return w.srcEC.b, nil
-			}); err != nil {
+			}, w.srcEC.ps); err != nil {
 				return false, err
 			}
 			w.buf = res.Rows
@@ -551,8 +567,11 @@ func (w *withIter) next() (bool, error) {
 		if err != nil || !ok {
 			return false, err
 		}
-		row, err := projectRow(w.seg.Items, w.srcEC.b)
+		row, err := projectRow(w.seg.Items, w.srcEC.b, w.srcEC.ps)
 		if err != nil {
+			return false, err
+		}
+		if err := w.srcEC.bud.charge(rowBytes(row)); err != nil {
 			return false, err
 		}
 		if w.seen != nil {
@@ -574,8 +593,9 @@ func (w *withIter) next() (bool, error) {
 
 // --- plan execution ---
 
-// runPlanned plans and executes q through the streaming pipeline.
-func (e *Engine) runPlanned(q *Query) (*Result, error) {
+// runPlanned plans and executes q through the streaming pipeline,
+// materializing the cursor (Engine.Query's MaxRows semantics).
+func (e *Engine) runPlanned(q *Query, ps params) (*Result, error) {
 	pl, err := e.planQuery(q)
 	if err != nil {
 		return nil, err
@@ -583,196 +603,11 @@ func (e *Engine) runPlanned(q *Query) (*Result, error) {
 	if q.Explain {
 		return explainResult(pl), nil
 	}
-	return e.execPlan(pl)
-}
-
-// execPlan executes a (possibly cached) plan through the streaming
-// iterator pipeline.
-func (e *Engine) execPlan(pl *Plan) (*Result, error) {
-	res := &Result{}
-	fin := pl.final()
-	for _, it := range fin.Items {
-		res.Columns = append(res.Columns, it.Alias)
-	}
-	op, err := resolveOrderKeys(fin.OrderBy, fin.Items, fin.Distinct, fin.HasAggregate)
+	rows, err := e.rowsForPlan(pl, ps)
 	if err != nil {
 		return nil, err
 	}
-
-	// matchCap bounds total enumeration on the paths that cannot
-	// short-circuit (aggregation, sorting) — the same MaxRows*4+1000
-	// slack the legacy matcher applies to its match sets.
-	matchCap := -1
-	if e.opts.MaxRows > 0 {
-		matchCap = e.opts.MaxRows*4 + 1000
-	}
-
-	ec := &execCtx{e: e, b: binding{}}
-	var root iter
-	for si, seg := range pl.Segments {
-		root = buildStageChain(ec, seg.Stages, root)
-		if si < len(pl.Segments)-1 {
-			nec := &execCtx{e: e, b: binding{}}
-			w := &withIter{srcEC: ec, dstEC: nec, seg: seg, src: root, cap: matchCap, truncated: &res.Truncated}
-			if seg.Distinct && !seg.HasAggregate {
-				w.seen = map[string]bool{}
-			}
-			root = w
-			ec = nec
-		}
-	}
-
-	if fin.HasAggregate {
-		consumed := 0
-		if err := aggregateRows(fin.Items, res, func() (binding, error) {
-			if matchCap >= 0 && consumed >= matchCap {
-				// Probe before flagging: exactly-cap streams were fully
-				// aggregated, not truncated.
-				ok, err := root.next()
-				if err != nil {
-					return nil, err
-				}
-				if ok {
-					res.Truncated = true
-				}
-				return nil, nil
-			}
-			ok, err := root.next()
-			if err != nil || !ok {
-				return nil, err
-			}
-			consumed++
-			return ec.b, nil
-		}); err != nil {
-			return nil, err
-		}
-		finishRows(fin.OrderBy, fin.Skip, fin.Limit, res, op, e.opts.MaxRows)
-		return res, nil
-	}
-
-	var seen map[string]bool
-	if fin.Distinct {
-		seen = map[string]bool{}
-	}
-	// pull produces the next accepted (projected, deduplicated) row,
-	// with any hidden ORDER BY key columns appended.
-	pull := func() ([]Value, error) {
-		for {
-			ok, err := root.next()
-			if err != nil {
-				return nil, err
-			}
-			if !ok {
-				return nil, nil
-			}
-			row, err := projectRow(fin.Items, ec.b)
-			if err != nil {
-				return nil, err
-			}
-			if seen != nil {
-				k := rowKey(row)
-				if seen[k] {
-					continue
-				}
-				seen[k] = true
-			}
-			row, err = appendHiddenKeys(row, op, ec.b)
-			if err != nil {
-				return nil, err
-			}
-			return row, nil
-		}
-	}
-	maxRows := e.opts.MaxRows
-
-	if op != nil {
-		if fin.Limit >= 0 {
-			// ORDER BY + LIMIT: bounded top-k. Every matched row is
-			// considered, but the buffer is periodically sorted and cut to
-			// the first Skip+Limit rows, so memory stays O(k) and the
-			// result is the correct global top-k.
-			k := fin.Skip + fin.Limit
-			if k == 0 {
-				return res, nil
-			}
-			window := 2*k + 1024
-			pulled := 0
-			for {
-				if matchCap >= 0 && pulled >= matchCap {
-					res.Truncated = true
-					break
-				}
-				row, err := pull()
-				if err != nil {
-					return nil, err
-				}
-				if row == nil {
-					break
-				}
-				pulled++
-				res.Rows = append(res.Rows, row)
-				if len(res.Rows) >= window {
-					sortRows(fin.OrderBy, res.Rows, op.keyCols)
-					res.Rows = res.Rows[:k]
-				}
-			}
-			finishRows(fin.OrderBy, fin.Skip, fin.Limit, res, op, maxRows)
-			return res, nil
-		}
-		// ORDER BY without LIMIT needs the full row set for a correct
-		// sort; matchCap bounds materialization best-effort.
-		for {
-			row, err := pull()
-			if err != nil {
-				return nil, err
-			}
-			if row == nil {
-				break
-			}
-			if matchCap >= 0 && len(res.Rows) == matchCap {
-				res.Truncated = true
-				break
-			}
-			res.Rows = append(res.Rows, row)
-		}
-		finishRows(fin.OrderBy, fin.Skip, fin.Limit, res, op, maxRows)
-		return res, nil
-	}
-
-	// Streaming path: LIMIT and MaxRows short-circuit matching.
-	if fin.Limit == 0 {
-		return res, nil
-	}
-	skipped := 0
-	for {
-		row, err := pull()
-		if err != nil {
-			return nil, err
-		}
-		if row == nil {
-			break
-		}
-		if skipped < fin.Skip {
-			skipped++
-			continue
-		}
-		res.Rows = append(res.Rows, row)
-		if fin.Limit >= 0 && len(res.Rows) >= fin.Limit {
-			break
-		}
-		if maxRows > 0 && len(res.Rows) >= maxRows {
-			// Probe one more row so Truncated reflects dropped results.
-			probe, err := pull()
-			if err != nil {
-				return nil, err
-			}
-			if probe != nil {
-				res.Truncated = true
-			}
-			break
-		}
-	}
-	return res, nil
+	return materialize(rows, e.opts.MaxRows)
 }
 
 func explainResult(pl *Plan) *Result {

@@ -3,11 +3,17 @@
 // demo scenarios and the threat-hunting workloads. Supported shape:
 //
 //	MATCH (a:Label {prop: "v"})-[r:RELTYPE]->(b), (c)
-//	OPTIONAL MATCH (a)-[:USES*1..3]->(d) WHERE d.name <> "x"
-//	WITH a, collect(d.name) AS tools WHERE a.name CONTAINS "y"
+//	OPTIONAL MATCH (a)-[:USES*1..3]->(d) WHERE d.name <> $excluded
+//	WITH a, collect(d.name) AS tools WHERE a.name CONTAINS $fragment
 //	MATCH (a)-[:DROP]->(f)
 //	RETURN DISTINCT a, tools, min(f.name), count(*)
 //	ORDER BY a.name DESC SKIP 2 LIMIT 10
+//
+// "$name" placeholders are query parameters, usable wherever a literal
+// is (inline property maps, WHERE operands, projections). They are
+// resolved when the statement is executed, so one parsed-and-planned
+// statement serves every binding and values are never spliced into
+// query text.
 //
 // Variable-length patterns ("-[:T*m..n]->") use reachability semantics:
 // an endpoint matches when its shortest distance from the start along
@@ -51,6 +57,7 @@ const (
 	tokLe
 	tokGe
 	tokStar
+	tokParam // $name placeholder; token text is the bare name
 )
 
 type token struct {
@@ -153,6 +160,16 @@ func lex(src string) ([]token, error) {
 				l.pos++
 			}
 			l.toks = append(l.toks, token{tokIdent, l.src[start:l.pos], start})
+		case c == '$':
+			start := l.pos
+			l.pos++
+			for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			if l.pos == start+1 {
+				return nil, fmt.Errorf("cypher: '$' must be followed by a parameter name at %d", start)
+			}
+			l.toks = append(l.toks, token{tokParam, l.src[start+1 : l.pos], start})
 		case c == '`':
 			// Backquoted identifier (allows special characters).
 			end := strings.IndexByte(l.src[l.pos+1:], '`')

@@ -1,0 +1,458 @@
+package cypher
+
+// Tests for the driver-grade query API: $parameter binding, prepared
+// statements over the store-shared plan cache, the streaming Rows
+// cursor, and the byte budget's typed error.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"securitykg/internal/graph"
+)
+
+func TestParseCollectsParams(t *testing.T) {
+	q, err := Parse(`match (a {name: $who})-[:USE]->(b) where b.name <> $other and b.name contains $frag return b.name, $who`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(q.Params, ",")
+	if got != "frag,other,who" {
+		t.Errorf("params = %q, want frag,other,who", got)
+	}
+	np := q.Parts[0].Matches[0].Patterns[0].Nodes[0]
+	if np.ParamProps["name"] != "who" {
+		t.Errorf("ParamProps = %v, want name->who", np.ParamProps)
+	}
+	if _, err := Parse(`match (n) where n.name = $ return n`); err == nil {
+		t.Error("bare '$' parsed without error")
+	}
+}
+
+func TestMissingAndBadParams(t *testing.T) {
+	s := randomStore(1, 20)
+	eng := NewEngine(s, DefaultOptions())
+	if _, err := eng.Query(`match (n {name: $who}) return n`, nil); err == nil ||
+		!strings.Contains(err.Error(), "missing parameter $who") {
+		t.Errorf("want missing-parameter error, got %v", err)
+	}
+	if _, err := eng.Query(`match (n {name: $who}) return n`,
+		map[string]any{"who": struct{}{}}); err == nil ||
+		!strings.Contains(err.Error(), "unsupported parameter type") {
+		t.Errorf("want unsupported-type error, got %v", err)
+	}
+	// Extra bindings are allowed (shells keep one set for many queries).
+	if _, err := eng.Query(`match (n) return count(*)`,
+		map[string]any{"unused": 1}); err != nil {
+		t.Errorf("extra binding rejected: %v", err)
+	}
+}
+
+func TestParamEquivalentToLiteral(t *testing.T) {
+	// A parameterized statement must return exactly what the same
+	// statement with the value spliced as a literal returns — on both
+	// engines, with and without indexes.
+	s := randomStore(3, 40)
+	for _, legacy := range []bool{false, true} {
+		for _, useIdx := range []bool{true, false} {
+			eng := NewEngine(s, Options{UseIndexes: useIdx, Legacy: legacy})
+			for _, name := range []string{"n1", "n17", "does-not-exist"} {
+				lit, err := eng.Query(fmt.Sprintf(`match (a {name: %q})-[r]-(b) return type(r), b.name`, name), nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				par, err := eng.Query(`match (a {name: $n})-[r]-(b) return type(r), b.name`,
+					map[string]any{"n": name})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sameMultiset(renderRows(lit), renderRows(par)) {
+					t.Errorf("legacy=%v idx=%v name=%s:\nliteral: %v\nparam:   %v",
+						legacy, useIdx, name, renderRows(lit), renderRows(par))
+				}
+			}
+		}
+	}
+}
+
+// paramQueryTemplates are the differential shapes for randomized
+// parameter bindings: inline props, WHERE equalities (the index-hint
+// path), string operators, numeric comparisons after aggregation, and
+// var-length anchors.
+var paramQueryTemplates = []string{
+	`match (n {name: $a}) return n.type, n.name`,
+	`match (n) where n.name = $a return n.type, n.name`,
+	`match (n:Malware) where n.name = $a or n.name = $b return n.name`,
+	`match (x)-[:CONNECT]->(y) where x.name = $a or y.name starts with $b return x.name, y.name`,
+	`match (n) where n.name contains $a and not n.name = $b return n.name`,
+	`match (a {name: $a})-[:RELATED_TO*1..2]-(b) return b.name`,
+	`match (a {name: $a}) optional match (a)-[r]-(b) return a.name, b.name`,
+	`match (a)-[:USE]->(b) with a, count(b) as c where c >= $k return a.name, c`,
+	`match (n) where n.name = $a return n.name, $b`,
+}
+
+// Property: over randomized graphs, queries and parameter bindings, the
+// planned engine and the legacy matcher agree row-for-row.
+func TestParamDifferentialQuick(t *testing.T) {
+	f := func(seed int64, qi uint8, av, bv uint8, kv int8) bool {
+		s := randomStore(seed%1000, 40)
+		q := paramQueryTemplates[int(qi)%len(paramQueryTemplates)]
+		args := map[string]any{
+			"a": fmt.Sprintf("n%d", int(av)%45),
+			"b": fmt.Sprintf("n%d", int(bv)%45),
+			"k": int(kv % 4),
+		}
+		planned, err1 := NewEngine(s, Options{UseIndexes: true}).Query(q, args)
+		legacy, err2 := NewEngine(s, Options{UseIndexes: true, Legacy: true}).Query(q, args)
+		if (err1 == nil) != (err2 == nil) {
+			t.Logf("error mismatch for %q %v: planned=%v legacy=%v", q, args, err1, err2)
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		if !sameMultiset(renderRows(planned), renderRows(legacy)) {
+			t.Logf("row mismatch for %q %v (seed %d):\nplanned: %v\nlegacy:  %v",
+				q, args, seed, renderRows(planned), renderRows(legacy))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPreparedReuseOnePlanManyBindings(t *testing.T) {
+	// The acceptance-criteria shape: one prepared statement, 100 distinct
+	// bindings, exactly one parse+plan — verified by the shared cache's
+	// hit/miss counters and by every binding returning its own row.
+	s := graph.New()
+	for i := 0; i < 200; i++ {
+		s.MergeNode("Malware", fmt.Sprintf("m%d", i), nil)
+	}
+	eng := NewEngine(s, DefaultOptions())
+	base := eng.PlanCacheStats()
+	stmt, err := eng.Prepare(`match (n:Malware {name: $name}) return n.name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stmt.Close()
+	if got := stmt.Params(); len(got) != 1 || got[0] != "name" {
+		t.Fatalf("stmt.Params() = %v", got)
+	}
+	for i := 0; i < 100; i++ {
+		res, err := stmt.Query(map[string]any{"name": fmt.Sprintf("m%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 1 || res.Rows[0][0].Str != fmt.Sprintf("m%d", i) {
+			t.Fatalf("binding %d: rows %v", i, renderRows(res))
+		}
+	}
+	st := eng.PlanCacheStats()
+	if misses := st.Misses - base.Misses; misses != 1 {
+		t.Errorf("plan builds = %d, want exactly 1 (parse+plan only at Prepare)", misses)
+	}
+	if hits := st.Hits - base.Hits; hits != 100 {
+		t.Errorf("plan-cache hits = %d, want 100 (one per execution)", hits)
+	}
+}
+
+func TestSharedPlanCacheAcrossEngines(t *testing.T) {
+	// Satellite regression: two engines over one store must hit each
+	// other's plans — the cache is keyed per store, not per engine.
+	s := graph.New()
+	for i := 0; i < 50; i++ {
+		s.MergeNode("T", fmt.Sprintf("n%d", i), nil)
+	}
+	q := `match (n:T) where n.name = $x return n.name`
+	eng1 := NewEngine(s, DefaultOptions())
+	base := eng1.PlanCacheStats()
+	if _, err := eng1.Query(q, map[string]any{"x": "n5"}); err != nil {
+		t.Fatal(err)
+	}
+	eng2 := NewEngine(s, DefaultOptions())
+	res, err := eng2.Query(q, map[string]any{"x": "n7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Str != "n7" {
+		t.Fatalf("eng2 rows: %v", renderRows(res))
+	}
+	st := eng2.PlanCacheStats()
+	if st.Misses-base.Misses != 1 || st.Hits-base.Hits != 1 {
+		t.Errorf("misses=%d hits=%d after two engines ran the same text, want 1/1",
+			st.Misses-base.Misses, st.Hits-base.Hits)
+	}
+	// Engines with different planning options must NOT share entries.
+	eng3 := NewEngine(s, Options{UseIndexes: false})
+	if _, err := eng3.Query(q, map[string]any{"x": "n5"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng3.PlanCacheStats().Misses - base.Misses; got != 2 {
+		t.Errorf("no-index engine misses = %d, want its own entry (2 total misses)", got)
+	}
+}
+
+func TestParamValuesNeverParsedAsQueryText(t *testing.T) {
+	// The injection-shaped footgun: a value full of Cypher syntax binds
+	// as an inert string. Spliced, it would change the statement; bound,
+	// it matches (or not) literally.
+	s := graph.New()
+	hostile := `x" return n // `
+	s.MergeNode("Malware", hostile, nil)
+	s.MergeNode("Malware", "benign", nil)
+	for _, legacy := range []bool{false, true} {
+		eng := NewEngine(s, Options{UseIndexes: true, Legacy: legacy})
+		res, err := eng.Query(`match (n {name: $v}) return n.name, labels(n)`,
+			map[string]any{"v": hostile})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 1 || res.Rows[0][0].Str != hostile {
+			t.Errorf("legacy=%v: hostile value did not bind literally: %v", legacy, renderRows(res))
+		}
+	}
+}
+
+func TestParamSeekPlansLikeLiteral(t *testing.T) {
+	// A $param name equality must pick the same index kinds a literal
+	// does, with the param carried in the plan (visible via EXPLAIN).
+	s := graph.New()
+	s.IndexAttr("platform")
+	for i := 0; i < 100; i++ {
+		// Ten distinct platform values: the average bucket (10) beats the
+		// label scan (100), so the stats-default costing must pick the
+		// composite attr seek even though the bound value is unknown.
+		s.MergeNode("Malware", fmt.Sprintf("m%d", i), map[string]string{"platform": fmt.Sprintf("os%d", i%10)})
+	}
+	eng := NewEngine(s, DefaultOptions())
+	plan, err := eng.Explain(`match (n:Malware {name: $who}) return n`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "IndexSeek(label+name)") || !strings.Contains(plan, "name=$who") {
+		t.Errorf("param name seek missing from plan:\n%s", plan)
+	}
+	plan, err = eng.Explain(`match (n:Malware) where n.platform = $p return n`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "IndexSeek(label+attr)") || !strings.Contains(plan, "platform=$p") {
+		t.Errorf("param attr seek missing from plan:\n%s", plan)
+	}
+	// Non-string bindings for a name seek are an empty (not erroneous) match.
+	res, err := eng.Query(`match (n {name: $who}) return n`, map[string]any{"who": 7})
+	if err != nil || len(res.Rows) != 0 {
+		t.Errorf("numeric name binding: rows=%v err=%v, want empty/nil", res, err)
+	}
+	// EXPLAIN never executes, so it must not require bindings — on any
+	// entry point, including the legacy engine.
+	for _, legacy := range []bool{false, true} {
+		res, err := NewEngine(s, Options{UseIndexes: true, Legacy: legacy}).
+			Run(`explain match (n:Malware {name: $who}) return n`)
+		if err != nil || len(res.Rows) == 0 {
+			t.Errorf("legacy=%v: EXPLAIN of unbound param statement: rows=%v err=%v", legacy, res, err)
+		}
+	}
+}
+
+// --- Rows cursor ---
+
+func TestRowsStreamsFirstRowWithoutMaterializing(t *testing.T) {
+	// Acceptance shape: a LIMIT 1 over an effectively unbounded cross
+	// product (1000^3 = 1e9 combinations). Materializing would run for
+	// hours; the cursor must surface its row immediately because the
+	// executor only pulls what the cursor asks for.
+	s := graph.New()
+	for i := 0; i < 1000; i++ {
+		s.MergeNode("T", fmt.Sprintf("n%d", i), nil)
+	}
+	eng := NewEngine(s, DefaultOptions())
+	rows, err := eng.QueryRows(`match (a), (b), (c) return a.name, b.name, c.name limit 1`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	if !rows.Next() {
+		t.Fatalf("no first row: %v", rows.Err())
+	}
+	if rows.Next() {
+		t.Error("LIMIT 1 produced a second row")
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Without a LIMIT, pulling a handful of rows and abandoning the
+	// cursor must be equally immediate.
+	rows, err = eng.QueryRows(`match (a), (b), (c) return a.name`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if !rows.Next() {
+			t.Fatalf("row %d missing: %v", i, rows.Err())
+		}
+	}
+	rows.Close()
+	if rows.Next() {
+		t.Error("Next returned true after Close")
+	}
+}
+
+func TestRowsColumnsAndScan(t *testing.T) {
+	s := graph.New()
+	s.MergeNode("Malware", "wannacry", nil)
+	eng := NewEngine(s, DefaultOptions())
+	rows, err := eng.QueryRows(`match (n:Malware) return n.name as name, count(*) as c`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	if cols := rows.Columns(); len(cols) != 2 || cols[0] != "name" || cols[1] != "c" {
+		t.Fatalf("columns = %v", rows.Columns())
+	}
+	if err := rows.Scan(new(string)); err == nil {
+		t.Error("Scan before Next succeeded")
+	}
+	if !rows.Next() {
+		t.Fatalf("no row: %v", rows.Err())
+	}
+	var name string
+	var c int
+	if err := rows.Scan(&name, &c); err != nil {
+		t.Fatal(err)
+	}
+	if name != "wannacry" || c != 1 {
+		t.Errorf("scanned %q/%d", name, c)
+	}
+	if err := rows.Scan(&name); err == nil {
+		t.Error("arity-mismatched Scan succeeded")
+	}
+	if err := rows.Scan(new(bool), new(int)); err == nil {
+		t.Error("type-mismatched Scan succeeded")
+	}
+}
+
+func TestRowsOrderedAndAggregatedPaths(t *testing.T) {
+	// The buffered cursor paths (sort, aggregate) must agree with the
+	// materializing API.
+	s := randomStore(11, 40)
+	eng := NewEngine(s, DefaultOptions())
+	for _, q := range []string{
+		`match (n) return n.name order by n.name desc skip 3 limit 4`,
+		`match (a)-[:CONNECT]->(b) return a.type, count(b) order by a.type`,
+		`match (n) return distinct n.type order by n.type`,
+	} {
+		res, err := eng.Run(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := eng.QueryRows(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []string
+		for rows.Next() {
+			cells := make([]string, len(rows.Row()))
+			for i, v := range rows.Row() {
+				cells[i] = v.String()
+			}
+			got = append(got, strings.Join(cells, "|"))
+		}
+		rows.Close()
+		if err := rows.Err(); err != nil {
+			t.Fatal(err)
+		}
+		want := renderRows(res)
+		if strings.Join(got, "\n") != strings.Join(want, "\n") {
+			t.Errorf("%s:\ncursor: %v\nquery:  %v", q, got, want)
+		}
+	}
+}
+
+func TestBudgetErrorIsTypedNotTruncation(t *testing.T) {
+	// Acceptance: exceeding the byte budget surfaces *BudgetError — on
+	// the streaming path, through the cursor, and on the legacy engine.
+	s := graph.New()
+	for i := 0; i < 2000; i++ {
+		s.MergeNode("T", fmt.Sprintf("node-with-a-long-name-%d", i), nil)
+	}
+	opts := Options{UseIndexes: true, MaxBytes: 8 << 10}
+	_, err := NewEngine(s, opts).Run(`match (n) return n.name`)
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("materialized: want *BudgetError, got %v", err)
+	}
+	if be.Limit != 8<<10 || be.Used <= be.Limit {
+		t.Errorf("budget fields: limit=%d used=%d", be.Limit, be.Used)
+	}
+
+	rows, err := NewEngine(s, opts).QueryRows(`match (n) return n.name`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	if !errors.As(rows.Err(), &be) {
+		t.Fatalf("cursor: want *BudgetError after %d rows, got %v", n, rows.Err())
+	}
+	if n == 0 {
+		t.Error("cursor produced no rows before tripping the budget")
+	}
+
+	_, err = NewEngine(s, Options{UseIndexes: true, MaxBytes: 8 << 10, Legacy: true}).
+		Run(`match (n) return n.name`)
+	if !errors.As(err, &be) {
+		t.Fatalf("legacy: want *BudgetError, got %v", err)
+	}
+
+	// Under the budget the same query succeeds exactly.
+	res, err := NewEngine(s, Options{UseIndexes: true, MaxBytes: 1 << 20}).Run(`match (n) return count(*)`)
+	if err != nil || res.Rows[0][0].Num != 2000 {
+		t.Errorf("under budget: res=%v err=%v", res, err)
+	}
+}
+
+func TestRowsParamStreamRandomBindings(t *testing.T) {
+	// Streaming with rotating bindings over one prepared statement:
+	// every pull must see its own binding's rows (no state bleed).
+	s := randomStore(5, 60)
+	eng := NewEngine(s, DefaultOptions())
+	stmt, err := eng.Prepare(`match (a {name: $who})-[r]-(b) return type(r), b.name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 30; i++ {
+		who := fmt.Sprintf("n%d", rng.Intn(60))
+		want, err := eng.Query(fmt.Sprintf(`match (a {name: %q})-[r]-(b) return type(r), b.name`, who), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := stmt.QueryRows(map[string]any{"who": who})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []string
+		for rows.Next() {
+			cells := make([]string, len(rows.Row()))
+			for j, v := range rows.Row() {
+				cells[j] = v.String()
+			}
+			got = append(got, strings.Join(cells, "|"))
+		}
+		rows.Close()
+		if !sameMultiset(got, renderRows(want)) {
+			t.Fatalf("binding %q: cursor %v, query %v", who, got, renderRows(want))
+		}
+	}
+}

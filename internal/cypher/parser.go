@@ -2,13 +2,15 @@ package cypher
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 )
 
 type parser struct {
-	toks []token
-	i    int
+	toks   []token
+	i      int
+	params map[string]bool // $parameter names seen so far
 }
 
 // Parse compiles a Cypher statement into a Query.
@@ -17,7 +19,7 @@ func Parse(src string) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks}
+	p := &parser{toks: toks, params: map[string]bool{}}
 	q, err := p.parseQuery()
 	if err != nil {
 		return nil, err
@@ -25,6 +27,10 @@ func Parse(src string) (*Query, error) {
 	if p.cur().kind != tokEOF {
 		return nil, fmt.Errorf("cypher: trailing input at %q", p.cur().text)
 	}
+	for name := range p.params {
+		q.Params = append(q.Params, name)
+	}
+	sort.Strings(q.Params)
 	return q, nil
 }
 
@@ -351,11 +357,20 @@ func (p *parser) parseNodePattern() (NodePattern, error) {
 			if _, err := p.expect(tokColon, ":"); err != nil {
 				return np, err
 			}
-			v, err := p.parseLiteral()
-			if err != nil {
-				return np, err
+			if p.cur().kind == tokParam {
+				t := p.next()
+				p.params[t.text] = true
+				if np.ParamProps == nil {
+					np.ParamProps = map[string]string{}
+				}
+				np.ParamProps[k.text] = t.text
+			} else {
+				v, err := p.parseLiteral()
+				if err != nil {
+					return np, err
+				}
+				np.Props[k.text] = v
 			}
-			np.Props[k.text] = v
 			if p.cur().kind == tokComma {
 				p.i++
 				continue
@@ -510,6 +525,10 @@ func (p *parser) parseComparison() (Expr, error) {
 func (p *parser) parseAtom() (Expr, error) {
 	t := p.cur()
 	switch t.kind {
+	case tokParam:
+		p.i++
+		p.params[t.text] = true
+		return ParamExpr{Name: t.text}, nil
 	case tokLParen:
 		p.i++
 		e, err := p.parseOr()
@@ -599,6 +618,8 @@ func exprText(e Expr) string {
 		return v.Name + "(" + exprText(v.Arg) + ")"
 	case LitExpr:
 		return v.Val.String()
+	case ParamExpr:
+		return "$" + v.Name
 	}
 	return "expr"
 }

@@ -63,15 +63,20 @@ type Stage interface {
 // ScanStage produces bindings for one pattern node, either from an index
 // access path or by re-checking an already-bound variable (AccessBound,
 // used when a later pattern starts at a variable an earlier one bound).
+// Seek keys are literals (Name/AttrVal) or $parameter names
+// (NameParam/AttrParam) resolved per execution, which is what lets one
+// cached plan serve every parameter binding.
 type ScanStage struct {
-	Node    NodePattern
-	Access  AccessKind
-	Label   string // resolved label for the access path: Node.Label, or one inferred from a type-equality predicate
-	Name    string // name literal for name seeks
-	AttrKey string // attribute key/value for attr seeks
-	AttrVal string
-	Filters []Expr // pushed-down predicates evaluable once Node.Var is bound
-	Est     float64
+	Node      NodePattern
+	Access    AccessKind
+	Label     string // resolved label for the access path: Node.Label, or one inferred from a type-equality predicate
+	Name      string // name literal for name seeks
+	NameParam string // $parameter supplying the name at bind time
+	AttrKey   string // attribute key/value for attr seeks
+	AttrVal   string
+	AttrParam string // $parameter supplying the attribute value at bind time
+	Filters   []Expr // pushed-down predicates evaluable once Node.Var is bound
+	Est       float64
 }
 
 func (s *ScanStage) estRows() float64 { return s.Est }
@@ -87,9 +92,17 @@ func (s *ScanStage) describe() string {
 	}
 	switch s.Access {
 	case AccessName, AccessLabelName:
-		fmt.Fprintf(&b, " name=%q", s.Name)
+		if s.NameParam != "" {
+			fmt.Fprintf(&b, " name=$%s", s.NameParam)
+		} else {
+			fmt.Fprintf(&b, " name=%q", s.Name)
+		}
 	case AccessAttr, AccessLabelAttr:
-		fmt.Fprintf(&b, " %s=%q", s.AttrKey, s.AttrVal)
+		if s.AttrParam != "" {
+			fmt.Fprintf(&b, " %s=$%s", s.AttrKey, s.AttrParam)
+		} else {
+			fmt.Fprintf(&b, " %s=%q", s.AttrKey, s.AttrVal)
+		}
 	}
 	return b.String()
 }
@@ -206,11 +219,20 @@ type PlanSegment struct {
 	OrderBy      []OrderKey
 	Skip         int
 	Limit        int // -1 when absent
+
+	// Resolved once at plan time (both are plan-invariant), so repeated
+	// executions of a cached plan skip the work: the projected column
+	// names, and the ORDER BY strategy (nil without ORDER BY).
+	cols []string
+	op   *orderPlan
 }
 
 // Plan is the executable query plan: a chain of pipeline segments.
+// Params carries the $parameter names the plan's query references, so a
+// cache hit can validate bindings without re-parsing the text.
 type Plan struct {
 	Segments []*PlanSegment
+	Params   []string
 }
 
 // final returns the RETURN segment.
@@ -355,6 +377,8 @@ func exprString(e Expr) string {
 		return "(" + exprString(v.Left) + " " + v.Op + " " + exprString(v.Right) + ")"
 	case NotExpr:
 		return "not " + exprString(v.Inner)
+	case ParamExpr:
+		return "$" + v.Name
 	case FuncExpr:
 		if v.Star {
 			return v.Name + "(*)"

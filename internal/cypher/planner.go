@@ -35,11 +35,14 @@ import (
 // indexes, so planning is O(pattern size) with O(1) stat lookups.
 
 // planQuery builds the plan for q against the engine's store and options.
+// $parameter predicates are costed with stats defaults (average index
+// bucket sizes) so one plan serves every binding; the chosen access
+// path's key is resolved per execution by the scan iterator.
 func (e *Engine) planQuery(q *Query) (*Plan, error) {
 	if len(q.Parts) == 0 {
 		return nil, fmt.Errorf("cypher: empty query")
 	}
-	pl := &Plan{}
+	pl := &Plan{Params: q.Params}
 	bound := map[string]bool{}
 	synth := 0
 	for pi := range q.Parts {
@@ -79,6 +82,17 @@ func (e *Engine) planPart(part *QueryPart, final bool, preBound map[string]bool,
 		if isAggregate(it.Expr) {
 			seg.HasAggregate = true
 		}
+	}
+	seg.cols = make([]string, len(seg.Items))
+	for i, it := range seg.Items {
+		seg.cols[i] = it.Alias
+	}
+	if final {
+		op, err := resolveOrderKeys(part.OrderBy, part.Items, seg.Distinct, seg.HasAggregate)
+		if err != nil {
+			return nil, err
+		}
+		seg.op = op
 	}
 
 	bound := copyBound(preBound)
@@ -141,7 +155,7 @@ func (e *Engine) planOptional(mc MatchClause, bound map[string]bool, synth *int,
 // then plan it outward from there. Mutates bound; returns the updated
 // cumulative cardinality estimate.
 func (e *Engine) planPatterns(stages *[]Stage, pats []Pattern, bound map[string]bool,
-	eq map[string]map[string]string, cur float64) float64 {
+	eq map[string]map[string]hintVal, cur float64) float64 {
 	planned := make([]bool, len(pats))
 	for {
 		best, bestNode := -1, 0
@@ -155,8 +169,7 @@ func (e *Engine) planPatterns(stages *[]Stage, pats []Pattern, bound map[string]
 				if bound[np.Var] {
 					cost = 0
 				} else {
-					_, _, _, _, _, est := e.accessFor(np, eq[np.Var])
-					cost = est
+					cost = e.accessFor(np, eq[np.Var]).est
 				}
 				if cost < bestCost {
 					best, bestNode, bestCost = pi, ni, cost
@@ -174,15 +187,18 @@ func (e *Engine) planPatterns(stages *[]Stage, pats []Pattern, bound map[string]
 // planChain emits the stages for one pattern chain entered at node index
 // start, returning the updated cumulative cardinality estimate.
 func (e *Engine) planChain(stages *[]Stage, p Pattern, start int, bound map[string]bool,
-	eq map[string]map[string]string, cur float64) float64 {
+	eq map[string]map[string]hintVal, cur float64) float64 {
 	np := p.Nodes[start]
 	if bound[np.Var] {
 		*stages = append(*stages, &ScanStage{Node: np, Access: AccessBound, Est: cur})
 	} else {
-		kind, label, name, ak, av, est := e.accessFor(np, eq[np.Var])
-		cur *= est
+		ap := e.accessFor(np, eq[np.Var])
+		cur *= ap.est
 		*stages = append(*stages, &ScanStage{
-			Node: np, Access: kind, Label: label, Name: name, AttrKey: ak, AttrVal: av, Est: cur,
+			Node: np, Access: ap.kind, Label: ap.label,
+			Name: ap.name, NameParam: ap.nameParam,
+			AttrKey: ap.attrKey, AttrVal: ap.attrVal, AttrParam: ap.attrParam,
+			Est: cur,
 		})
 		bound[np.Var] = true
 	}
@@ -235,7 +251,7 @@ func (e *Engine) emitExpand(stages *[]Stage, from string, ep EdgePattern, to Nod
 // geometric sum of the per-hop fan-out over the hop range (unbounded
 // ranges are capped at a costing horizon; execution is exact).
 func (e *Engine) expandFactor(ep EdgePattern, to NodePattern, bound map[string]bool,
-	eq map[string]map[string]string) float64 {
+	eq map[string]map[string]hintVal) float64 {
 	deg := e.store.AvgDegree(ep.Type)
 	if ep.Dir == DirAny {
 		deg *= 2
@@ -251,8 +267,7 @@ func (e *Engine) expandFactor(ep EdgePattern, to NodePattern, bound map[string]b
 	if bound[to.Var] {
 		sel = 1 / float64(total) // join check: at most one node qualifies
 	} else {
-		_, _, _, _, _, est := e.accessFor(to, eq[to.Var])
-		sel = est / float64(total)
+		sel = e.accessFor(to, eq[to.Var]).est / float64(total)
 	}
 	return deg * sel
 }
@@ -281,23 +296,47 @@ func varExpandFanout(deg float64, min, max int) float64 {
 	return fan
 }
 
+// accessPath is the planner's chosen way to locate a node pattern's
+// candidates plus its estimated candidate count. Exactly one of
+// name/nameParam (or attrVal/attrParam) is set for seek paths: params
+// defer the key to bind time.
+type accessPath struct {
+	kind      AccessKind
+	label     string
+	name      string
+	nameParam string
+	attrKey   string
+	attrVal   string
+	attrParam string
+	est       float64
+}
+
 // accessFor selects the cheapest access path for a node pattern given its
-// equality hints (inline string props merged with pushed-down WHERE
+// equality hints (inline props and $params merged with pushed-down WHERE
 // equalities) and returns the estimated candidate count. The returned
 // label is the one the access path must use: the pattern's own, or one
-// inferred from a type-equality predicate (n.type = "Malware" scans like
-// (:Malware)).
-func (e *Engine) accessFor(np NodePattern, hints map[string]string) (kind AccessKind, label, name, attrKey, attrVal string, est float64) {
+// inferred from a literal type-equality predicate (n.type = "Malware"
+// scans like (:Malware)). Parameter-valued hints select the same index
+// kinds as literals but are costed with stats defaults — the average
+// name/attribute bucket size — since the bound value is unknown at plan
+// time. The index *kind* never depends on the bound value, so the plan
+// is reusable across bindings without re-costing.
+func (e *Engine) accessFor(np NodePattern, hints map[string]hintVal) accessPath {
 	st := e.store
 	total := float64(st.CountNodes())
 	if !e.opts.UseIndexes {
-		return AccessAll, "", "", "", "", total
+		return accessPath{kind: AccessAll, est: total}
 	}
 
-	merged := map[string]string{}
+	merged := map[string]hintVal{}
 	for k, v := range np.Props {
 		if v.Kind == KindString {
-			merged[k] = v.Str
+			merged[k] = hintVal{lit: v.Str}
+		}
+	}
+	for k, pn := range np.ParamProps {
+		if _, ok := merged[k]; !ok {
+			merged[k] = hintVal{param: pn}
 		}
 	}
 	for k, v := range hints {
@@ -305,45 +344,75 @@ func (e *Engine) accessFor(np NodePattern, hints map[string]string) (kind Access
 			merged[k] = v
 		}
 	}
-	label = np.Label
+	label := np.Label
 	if label == "" {
-		if t, ok := merged["type"]; ok {
-			label = t
-		} else if t, ok := merged["label"]; ok {
-			label = t
+		// Only literal type predicates can pin the scan label: a
+		// $param-valued one would change the access path per binding.
+		if t, ok := merged["type"]; ok && t.param == "" {
+			label = t.lit
+		} else if t, ok := merged["label"]; ok && t.param == "" {
+			label = t.lit
 		}
 	}
 
 	if n, hasName := merged["name"]; hasName {
-		if label != "" {
-			return AccessLabelName, label, n, "", "", float64(st.CountByTypeName(label, n))
+		if n.param != "" {
+			est := st.AvgNameBucket()
+			if label != "" {
+				// (label, name) pairs are unique in the store.
+				if est > 1 {
+					est = 1
+				}
+				return accessPath{kind: AccessLabelName, label: label, nameParam: n.param, est: est}
+			}
+			return accessPath{kind: AccessName, nameParam: n.param, est: est}
 		}
-		return AccessName, "", n, "", "", float64(st.CountByName(n))
+		if label != "" {
+			return accessPath{kind: AccessLabelName, label: label, name: n.lit,
+				est: float64(st.CountByTypeName(label, n.lit))}
+		}
+		return accessPath{kind: AccessName, name: n.lit, est: float64(st.CountByName(n.lit))}
 	}
 
 	// Best indexed attribute equality, composite with the label when known.
-	kind, est = AccessAll, total
+	ap := accessPath{kind: AccessAll, label: label, est: total}
 	if label != "" {
-		kind, est = AccessLabel, float64(st.CountByType(label))
+		ap.kind, ap.est = AccessLabel, float64(st.CountByType(label))
 	}
 	for k, v := range merged {
 		if k == "name" || k == "type" || k == "label" || k == "id" || !st.HasAttrIndex(k) {
 			continue
 		}
-		if label != "" {
-			if n, ok := st.CountByTypeAttr(label, k, v); ok && float64(n) < est {
-				kind, attrKey, attrVal, est = AccessLabelAttr, k, v, float64(n)
-			}
+		var n float64
+		var ok bool
+		if v.param != "" {
+			n, ok = st.AvgAttrBucket(k)
+		} else if label != "" {
+			var c int
+			c, ok = st.CountByTypeAttr(label, k, v.lit)
+			n = float64(c)
 		} else {
-			if n, ok := st.CountByAttr(k, v); ok && float64(n) < est {
-				kind, attrKey, attrVal, est = AccessAttr, k, v, float64(n)
-			}
+			var c int
+			c, ok = st.CountByAttr(k, v.lit)
+			n = float64(c)
+		}
+		if !ok || n >= ap.est {
+			continue
+		}
+		if label != "" {
+			ap.kind = AccessLabelAttr
+		} else {
+			ap.kind = AccessAttr
+		}
+		ap.attrKey, ap.attrVal, ap.attrParam, ap.est = k, v.lit, v.param, n
+		if v.param != "" {
+			ap.attrVal = ""
 		}
 	}
-	if kind == AccessAll {
-		label = ""
+	if ap.kind == AccessAll {
+		ap.label = ""
 	}
-	return kind, label, "", attrKey, attrVal, est
+	return ap
 }
 
 // withSyntheticVars copies the patterns, naming every anonymous node and
@@ -445,27 +514,61 @@ func splitConjuncts(e Expr, out *[]Expr) {
 	*out = append(*out, e)
 }
 
-// equalityHints extracts var.prop = "literal" conjuncts usable as index
-// hints, keyed by variable.
-func equalityHints(conjs []Expr) map[string]map[string]string {
-	out := map[string]map[string]string{}
+// hintVal is one equality hint's value: a string literal known at plan
+// time, or a $parameter resolved at bind time.
+type hintVal struct {
+	lit   string
+	param string // non-empty when the hint is $param-valued
+}
+
+// resolve returns the concrete string for the hint under the execution's
+// parameter bindings (ok=false for a param bound to a non-string value,
+// which can never equal a name/attribute and so provides no seek key).
+func (h hintVal) resolve(ps params) (string, bool) {
+	if h.param == "" {
+		return h.lit, true
+	}
+	v, ok := ps.get(h.param)
+	if !ok || v.Kind != KindString {
+		return "", false
+	}
+	return v.Str, true
+}
+
+// equalityHints extracts var.prop = "literal" and var.prop = $param
+// conjuncts usable as index hints, keyed by variable.
+func equalityHints(conjs []Expr) map[string]map[string]hintVal {
+	out := map[string]map[string]hintVal{}
 	for _, c := range conjs {
 		cmp, ok := c.(CmpExpr)
 		if !ok || cmp.Op != "=" {
 			continue
 		}
 		pe, okL := cmp.Left.(PropExpr)
-		lit, okR := cmp.Right.(LitExpr)
-		if !okL || !okR {
+		rhs := cmp.Right
+		if !okL {
 			pe, okL = cmp.Right.(PropExpr)
-			lit, okR = cmp.Left.(LitExpr)
+			rhs = cmp.Left
 		}
-		if okL && okR && lit.Val.Kind == KindString {
-			if out[pe.Var] == nil {
-				out[pe.Var] = map[string]string{}
+		if !okL {
+			continue
+		}
+		var hv hintVal
+		switch r := rhs.(type) {
+		case LitExpr:
+			if r.Val.Kind != KindString {
+				continue
 			}
-			out[pe.Var][pe.Prop] = lit.Val.Str
+			hv = hintVal{lit: r.Val.Str}
+		case ParamExpr:
+			hv = hintVal{param: r.Name}
+		default:
+			continue
 		}
+		if out[pe.Var] == nil {
+			out[pe.Var] = map[string]hintVal{}
+		}
+		out[pe.Var][pe.Prop] = hv
 	}
 	return out
 }

@@ -1,6 +1,7 @@
 package cypher
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -264,30 +265,30 @@ func TestErroringConjunctKeepsShortCircuit(t *testing.T) {
 	}
 }
 
-func TestAggregateRespectsMatchCap(t *testing.T) {
-	// The safety valve must bound enumeration on the aggregate path too:
-	// both engines stop after MaxRows*4+1000 matches, so an unbounded
-	// cross product cannot hang a MaxRows-capped engine.
+func TestAggregateBudgetBoundsEnumeration(t *testing.T) {
+	// The byte budget replaced the MaxRows*4+1000 match cap: with no
+	// budget an aggregate over a cross product is exact (no silent
+	// truncation), and with a tight budget both engines abort with a
+	// typed *BudgetError instead of returning a quietly wrong count.
 	s := graph.New()
 	for i := 0; i < 50; i++ {
 		s.MergeNode("T", fmt.Sprintf("n%d", i), nil)
 	}
-	q := `match (a), (b), (c) return count(*)` // 125000 bindings uncapped
-	planned, err := NewEngine(s, Options{UseIndexes: true, MaxRows: 10}).Run(q)
-	if err != nil {
-		t.Fatal(err)
-	}
-	legacy, err := NewEngine(s, Options{UseIndexes: true, MaxRows: 10, Legacy: true}).Run(q)
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := float64(10*4 + 1000)
-	if planned.Rows[0][0].Num != want || legacy.Rows[0][0].Num != want {
-		t.Errorf("capped counts: planned=%v legacy=%v, want %v",
-			planned.Rows[0][0].Num, legacy.Rows[0][0].Num, want)
-	}
-	if !planned.Truncated {
-		t.Error("planned aggregate hit the match cap but Truncated is false")
+	q := `match (a), (b), (c) return count(*)` // 125000 bindings
+	for _, legacy := range []bool{false, true} {
+		res, err := NewEngine(s, Options{UseIndexes: true, MaxRows: 10, Legacy: legacy}).Run(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rows[0][0].Num != 125000 || res.Truncated {
+			t.Errorf("legacy=%v: count=%v truncated=%v, want exact 125000/false",
+				legacy, res.Rows[0][0].Num, res.Truncated)
+		}
+		_, err = NewEngine(s, Options{UseIndexes: true, MaxBytes: 32 << 10, Legacy: legacy}).Run(q)
+		var be *BudgetError
+		if !errors.As(err, &be) {
+			t.Errorf("legacy=%v: want *BudgetError under a 32KiB budget, got %v", legacy, err)
+		}
 	}
 }
 

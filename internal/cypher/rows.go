@@ -1,0 +1,496 @@
+package cypher
+
+import (
+	"fmt"
+)
+
+// Rows is an incremental cursor over a query's result stream, in the
+// spirit of database/sql.Rows: rows are produced as the caller pulls
+// them, so a LIMIT-ed or abandoned query never materializes its full
+// match set. Usage:
+//
+//	rows, err := eng.QueryRows(src, args)
+//	if err != nil { ... }
+//	defer rows.Close()
+//	for rows.Next() {
+//		var name string
+//		if err := rows.Scan(&name); err != nil { ... }
+//	}
+//	if err := rows.Err(); err != nil { ... }
+//
+// Aggregation and ORDER BY cannot emit their first row before consuming
+// their input; those queries buffer internally on the first Next call
+// (charging the byte budget), then stream the buffered result.
+type Rows struct {
+	cols []string
+	src  rowSource
+	cur  []Value
+	err  error
+	done bool
+}
+
+// rowSource produces rows one at a time; nil row = exhausted. Sources
+// are small structs rather than closures so a cursor costs one
+// allocation, not one per captured variable — prepared-statement
+// workloads execute millions of these.
+type rowSource interface {
+	pull() ([]Value, error)
+}
+
+func newRows(cols []string, src rowSource) *Rows {
+	return &Rows{cols: cols, src: src}
+}
+
+// Columns returns the result column names, available before the first
+// Next call. The caller must not modify the returned slice.
+func (r *Rows) Columns() []string { return r.cols }
+
+// Next advances to the next row, returning false when the stream is
+// exhausted or failed (check Err to tell the two apart).
+func (r *Rows) Next() bool {
+	if r.done {
+		return false
+	}
+	row, err := r.src.pull()
+	if err != nil {
+		r.err = err
+		r.close()
+		return false
+	}
+	if row == nil {
+		r.close()
+		return false
+	}
+	r.cur = row
+	return true
+}
+
+// Row returns the current row's values. The slice is valid until the
+// next call to Next or Close.
+func (r *Rows) Row() []Value { return r.cur }
+
+// Scan copies the current row into dest, one destination per column.
+// Supported destinations: *Value (verbatim), *string (rendered),
+// *float64/*int (numbers), *bool, and *any (plain Go representation).
+func (r *Rows) Scan(dest ...any) error {
+	if r.cur == nil {
+		return fmt.Errorf("cypher: Scan called without a row (call Next first)")
+	}
+	if len(dest) != len(r.cur) {
+		return fmt.Errorf("cypher: Scan expects %d destinations, got %d", len(r.cur), len(dest))
+	}
+	for i, d := range dest {
+		v := r.cur[i]
+		switch p := d.(type) {
+		case *Value:
+			*p = v
+		case *string:
+			*p = v.String()
+		case *float64:
+			if v.Kind != KindNumber {
+				return fmt.Errorf("cypher: column %q is not a number", r.cols[i])
+			}
+			*p = v.Num
+		case *int:
+			if v.Kind != KindNumber {
+				return fmt.Errorf("cypher: column %q is not a number", r.cols[i])
+			}
+			*p = int(v.Num)
+		case *bool:
+			if v.Kind != KindBool {
+				return fmt.Errorf("cypher: column %q is not a boolean", r.cols[i])
+			}
+			*p = v.Bool
+		case *any:
+			*p = v.Go()
+		default:
+			return fmt.Errorf("cypher: unsupported Scan destination %T for column %q", d, r.cols[i])
+		}
+	}
+	return nil
+}
+
+// Err returns the error that terminated iteration, if any. A query that
+// exceeds its byte budget surfaces a *BudgetError here.
+func (r *Rows) Err() error { return r.err }
+
+// Close releases the cursor. Abandoning a cursor early (e.g. after the
+// first row of interest) stops all upstream pattern matching — nothing
+// past the pulled rows is ever computed.
+func (r *Rows) Close() error {
+	r.close()
+	return nil
+}
+
+func (r *Rows) close() {
+	r.done = true
+	r.cur = nil
+	r.src = nil
+}
+
+// sliceSource streams an already-materialized row set (legacy engine,
+// EXPLAIN output, buffered sort/aggregate results).
+type sliceSource struct {
+	rows [][]Value
+	i    int
+}
+
+func (s *sliceSource) pull() ([]Value, error) {
+	if s.i >= len(s.rows) {
+		return nil, nil
+	}
+	row := s.rows[s.i]
+	s.i++
+	return row, nil
+}
+
+// rowsFromResult adapts an already-materialized result to the cursor
+// interface.
+func rowsFromResult(res *Result) *Rows {
+	return newRows(res.Columns, &sliceSource{rows: res.Rows})
+}
+
+// materialize drains a cursor into a rectangular Result, honoring the
+// deprecated-but-honored MaxRows safety valve: when the cap drops rows,
+// Result.Truncated is set (a probe distinguishes an exactly-cap stream
+// from a truncated one).
+func materialize(rows *Rows, maxRows int) (*Result, error) {
+	defer rows.Close()
+	res := &Result{Columns: rows.Columns()}
+	for rows.Next() {
+		res.Rows = append(res.Rows, rows.Row())
+		if maxRows > 0 && len(res.Rows) >= maxRows {
+			if rows.Next() {
+				res.Truncated = true
+			}
+			break
+		}
+	}
+	if err := rows.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// --- byte budget ---
+
+// BudgetError is the typed error a query returns when it exceeds its
+// Options.MaxBytes byte budget. It replaces the silent match-set
+// truncation the engine used to apply: an over-budget query fails
+// loudly instead of returning quietly wrong (truncated) aggregates.
+type BudgetError struct {
+	Limit int64 // the configured budget
+	Used  int64 // bytes charged when the budget tripped
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("cypher: query exceeded its %d-byte budget (≈%d bytes streamed/materialized); add a LIMIT, narrow the match, or raise Options.MaxBytes", e.Limit, e.Used)
+}
+
+// byteBudget accrues the bytes a query streams or materializes. A nil
+// budget (MaxBytes <= 0) is unlimited. Charges are coarse estimates —
+// the point is bounding runaway queries, not exact accounting.
+type byteBudget struct {
+	limit int64
+	used  int64
+}
+
+func newBudget(limit int64) *byteBudget {
+	if limit <= 0 {
+		return nil
+	}
+	return &byteBudget{limit: limit}
+}
+
+func (b *byteBudget) charge(n int) error {
+	if b == nil {
+		return nil
+	}
+	b.used += int64(n)
+	if b.used > b.limit {
+		return &BudgetError{Limit: b.limit, Used: b.used}
+	}
+	return nil
+}
+
+// aggRowCost is the flat per-row charge for rows consumed by an
+// aggregation: the row itself is folded, not retained, so the charge
+// models enumeration work (and bounds unbounded cross products) rather
+// than held memory.
+const aggRowCost = 64
+
+// bindingBytes charges one materialized binding (legacy engine).
+func bindingBytes(b binding) int {
+	n := 48
+	for _, v := range b {
+		n += 16 + valueBytes(v)
+	}
+	return n
+}
+
+// --- plan execution as a row stream ---
+
+// rowsForPlan wires a (possibly cached, possibly shared) plan into the
+// streaming iterator pipeline and returns a cursor over its output.
+// Every projected row is charged against the query's byte budget as it
+// streams, whether the caller keeps it or not — rows dropped by
+// DISTINCT included, so the charge bounds enumeration, not just
+// retained memory.
+func (e *Engine) rowsForPlan(pl *Plan, ps params) (*Rows, error) {
+	fin := pl.final()
+	bud := newBudget(e.opts.MaxBytes)
+	ec := &execCtx{e: e, b: binding{}, ps: ps, bud: bud}
+	var root iter
+	for si, seg := range pl.Segments {
+		for _, st := range seg.Stages {
+			if _, ok := st.(*OptionalStage); ok {
+				// Optional sub-pipelines rebuild their iterators per input
+				// row; cache their scans' constant ID lists.
+				ec.cacheScans = true
+				break
+			}
+		}
+		root = buildStageChain(ec, seg.Stages, root)
+		if si < len(pl.Segments)-1 {
+			nec := &execCtx{e: e, b: binding{}, ps: ps, bud: bud}
+			w := &withIter{srcEC: ec, dstEC: nec, seg: seg, src: root}
+			if seg.Distinct && !seg.HasAggregate {
+				w.seen = map[string]bool{}
+			}
+			root = w
+			ec = nec
+		}
+	}
+
+	var src rowSource
+	switch {
+	case fin.HasAggregate:
+		src = &aggSource{fin: fin, root: root, ec: ec}
+	case fin.op != nil:
+		ss := &sortedSource{fin: fin, root: root, ec: ec}
+		if fin.Distinct {
+			ss.seen = map[string]bool{}
+		}
+		src = ss
+	default:
+		st := &streamSource{fin: fin, root: root, ec: ec}
+		if fin.Distinct {
+			st.seen = map[string]bool{}
+		}
+		src = st
+	}
+	return newRows(fin.cols, src), nil
+}
+
+// basePull produces the next accepted (projected, budget-charged,
+// deduplicated) row for the sorted path, with hidden ORDER BY key
+// columns appended.
+func basePull(fin *PlanSegment, root iter, ec *execCtx, seen map[string]bool) ([]Value, error) {
+	for {
+		ok, err := root.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, nil
+		}
+		row, err := projectRow(fin.Items, ec.b, ec.ps)
+		if err != nil {
+			return nil, err
+		}
+		if err := ec.bud.charge(rowBytes(row)); err != nil {
+			return nil, err
+		}
+		if seen != nil {
+			k := rowKey(row)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		row, err = appendHiddenKeys(row, fin.op, ec.b, ec.ps)
+		if err != nil {
+			return nil, err
+		}
+		return row, nil
+	}
+}
+
+// streamSource is the fully incremental path: projection, DISTINCT,
+// SKIP and LIMIT are applied row by row, so a satisfied LIMIT stops
+// upstream matching immediately.
+type streamSource struct {
+	fin     *PlanSegment
+	root    iter
+	ec      *execCtx
+	seen    map[string]bool
+	skipped int
+	emitted int
+	done    bool
+}
+
+func (s *streamSource) pull() ([]Value, error) {
+	fin := s.fin
+	if s.done || (fin.Limit >= 0 && s.emitted >= fin.Limit) {
+		s.done = true
+		return nil, nil
+	}
+	for {
+		ok, err := s.root.next()
+		if err != nil {
+			s.done = true
+			return nil, err
+		}
+		if !ok {
+			s.done = true
+			return nil, nil
+		}
+		row, err := projectRow(fin.Items, s.ec.b, s.ec.ps)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.ec.bud.charge(rowBytes(row)); err != nil {
+			s.done = true
+			return nil, err
+		}
+		if s.seen != nil {
+			k := rowKey(row)
+			if s.seen[k] {
+				continue
+			}
+			s.seen[k] = true
+		}
+		if s.skipped < fin.Skip {
+			s.skipped++
+			continue
+		}
+		s.emitted++
+		return row, nil
+	}
+}
+
+// sortedSource buffers, sorts and pages the stream on the first pull.
+// With a LIMIT it keeps a bounded top-k window: the buffer is
+// periodically sorted and cut to Skip+Limit rows, so memory stays O(k)
+// while every matched row is still considered.
+type sortedSource struct {
+	fin     *PlanSegment
+	root    iter
+	ec      *execCtx
+	seen    map[string]bool
+	started bool
+	buf     [][]Value
+	bi      int
+}
+
+func (s *sortedSource) pull() ([]Value, error) {
+	fin := s.fin
+	if !s.started {
+		s.started = true
+		if fin.Limit == 0 {
+			return nil, nil
+		}
+		if k := fin.Skip + fin.Limit; fin.Limit > 0 {
+			window := 2*k + 1024
+			for {
+				row, err := basePull(fin, s.root, s.ec, s.seen)
+				if err != nil {
+					return nil, err
+				}
+				if row == nil {
+					break
+				}
+				s.buf = append(s.buf, row)
+				if len(s.buf) >= window {
+					sortRows(fin.OrderBy, s.buf, fin.op.keyCols)
+					s.buf = s.buf[:k]
+				}
+			}
+		} else {
+			for {
+				row, err := basePull(fin, s.root, s.ec, s.seen)
+				if err != nil {
+					return nil, err
+				}
+				if row == nil {
+					break
+				}
+				s.buf = append(s.buf, row)
+			}
+		}
+		sortRows(fin.OrderBy, s.buf, fin.op.keyCols)
+		if len(fin.op.hidden) > 0 {
+			visible := len(fin.cols)
+			for i, r := range s.buf {
+				s.buf[i] = r[:visible]
+			}
+		}
+		s.buf = pageRows(s.buf, fin.Skip, fin.Limit)
+	}
+	if s.bi >= len(s.buf) {
+		return nil, nil
+	}
+	row := s.buf[s.bi]
+	s.bi++
+	return row, nil
+}
+
+// aggSource lazily runs the final aggregation on the first pull
+// (sorting the group table when asked), then streams the SKIP/LIMIT
+// window.
+type aggSource struct {
+	fin     *PlanSegment
+	root    iter
+	ec      *execCtx
+	started bool
+	buf     [][]Value
+	bi      int
+}
+
+func (s *aggSource) pull() ([]Value, error) {
+	fin := s.fin
+	if !s.started {
+		s.started = true
+		res := &Result{}
+		if err := aggregateRows(fin.Items, res, s.consume, s.ec.ps); err != nil {
+			return nil, err
+		}
+		if fin.op != nil {
+			sortRows(fin.OrderBy, res.Rows, fin.op.keyCols)
+		}
+		s.buf = pageRows(res.Rows, fin.Skip, fin.Limit)
+	}
+	if s.bi >= len(s.buf) {
+		return nil, nil
+	}
+	row := s.buf[s.bi]
+	s.bi++
+	return row, nil
+}
+
+// consume feeds one upstream binding to the aggregation, charging the
+// byte budget so unbounded enumerations abort instead of hanging.
+func (s *aggSource) consume() (binding, error) {
+	ok, err := s.root.next()
+	if err != nil || !ok {
+		return nil, err
+	}
+	if err := s.ec.bud.charge(aggRowCost); err != nil {
+		return nil, err
+	}
+	return s.ec.b, nil
+}
+
+// pageRows applies SKIP and LIMIT to a materialized row buffer.
+func pageRows(rows [][]Value, skip, limit int) [][]Value {
+	if skip > 0 {
+		if skip >= len(rows) {
+			return nil
+		}
+		rows = rows[skip:]
+	}
+	if limit >= 0 && len(rows) > limit {
+		rows = rows[:limit]
+	}
+	return rows
+}

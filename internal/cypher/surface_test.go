@@ -330,36 +330,27 @@ func TestSumOverNonNumericErrors(t *testing.T) {
 	}
 }
 
-func TestAggregateExactCapNotTruncated(t *testing.T) {
-	// A stream of exactly matchCap rows is fully aggregated: Truncated
-	// must stay false (regression: the cap check used to flag before
-	// probing for a further row).
+func TestAggregateExactUnderMaxRows(t *testing.T) {
+	// Aggregates fold the full stream regardless of MaxRows (which caps
+	// output rows, not consumption): counts are exact and never flagged
+	// Truncated — also through a WITH bridge. The old engine silently
+	// stopped consuming at MaxRows*4+1000; the byte budget made that an
+	// explicit error path instead (see TestAggregateBudgetBoundsEnumeration).
 	s := graph.New()
-	max := 1
-	cap := max*4 + 1000
-	for i := 0; i < cap; i++ {
+	n := 1005
+	for i := 0; i < n; i++ {
 		s.MergeNode("T", fmt.Sprintf("n%d", i), nil)
 	}
-	eng := NewEngine(s, Options{UseIndexes: true, MaxRows: max})
-	res, err := eng.Run(`match (n) return count(*)`)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Rows[0][0].Num != float64(cap) || res.Truncated {
-		t.Errorf("count=%v truncated=%v, want %d/false", res.Rows[0][0].Num, res.Truncated, cap)
-	}
-	// One node over the cap is a real truncation, also through a WITH.
-	s.MergeNode("T", "extra", nil)
 	for _, q := range []string{
 		`match (n) return count(*)`,
 		`match (n) with count(*) as c return c`,
 	} {
-		res, err = NewEngine(s, Options{UseIndexes: true, MaxRows: max}).Run(q)
+		res, err := NewEngine(s, Options{UseIndexes: true, MaxRows: 1}).Run(q)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if res.Rows[0][0].Num != float64(cap) || !res.Truncated {
-			t.Errorf("%s: count=%v truncated=%v, want %d/true", q, res.Rows[0][0].Num, res.Truncated, cap)
+		if res.Rows[0][0].Num != float64(n) || res.Truncated {
+			t.Errorf("%s: count=%v truncated=%v, want %d/false", q, res.Rows[0][0].Num, res.Truncated, n)
 		}
 	}
 }

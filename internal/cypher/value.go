@@ -53,6 +53,105 @@ func EdgeValue(e *graph.Edge) Value { return Value{Kind: KindEdge, Edge: e} }
 // ListValue wraps a list of values (the collect() aggregate result).
 func ListValue(vs []Value) Value { return Value{Kind: KindList, List: vs} }
 
+// ToValue converts a plain Go value into a query Value; it is how
+// parameter bindings supplied as map[string]any enter the engine.
+// Supported: nil, string, bool, every built-in numeric type, Value
+// itself, and []any (recursively).
+func ToValue(v any) (Value, error) {
+	switch x := v.(type) {
+	case nil:
+		return NullValue(), nil
+	case Value:
+		return x, nil
+	case string:
+		return StringValue(x), nil
+	case bool:
+		return BoolValue(x), nil
+	case float64:
+		return NumberValue(x), nil
+	case float32:
+		return NumberValue(float64(x)), nil
+	case int:
+		return NumberValue(float64(x)), nil
+	case int8:
+		return NumberValue(float64(x)), nil
+	case int16:
+		return NumberValue(float64(x)), nil
+	case int32:
+		return NumberValue(float64(x)), nil
+	case int64:
+		return NumberValue(float64(x)), nil
+	case uint:
+		return NumberValue(float64(x)), nil
+	case uint8:
+		return NumberValue(float64(x)), nil
+	case uint16:
+		return NumberValue(float64(x)), nil
+	case uint32:
+		return NumberValue(float64(x)), nil
+	case uint64:
+		return NumberValue(float64(x)), nil
+	case []any:
+		vs := make([]Value, len(x))
+		for i, e := range x {
+			ev, err := ToValue(e)
+			if err != nil {
+				return Value{}, err
+			}
+			vs[i] = ev
+		}
+		return ListValue(vs), nil
+	}
+	return Value{}, fmt.Errorf("cypher: unsupported parameter type %T", v)
+}
+
+// Go returns the plain Go representation of a value (inverse of ToValue
+// where one exists); nodes and edges come back as their graph pointers.
+func (v Value) Go() any {
+	switch v.Kind {
+	case KindNull:
+		return nil
+	case KindString:
+		return v.Str
+	case KindNumber:
+		return v.Num
+	case KindBool:
+		return v.Bool
+	case KindNode:
+		return v.Node
+	case KindEdge:
+		return v.Edge
+	case KindList:
+		out := make([]any, len(v.List))
+		for i, e := range v.List {
+			out[i] = e.Go()
+		}
+		return out
+	}
+	return nil
+}
+
+// valueBytes is the byte-budget charge for one value: a coarse estimate
+// of its in-memory footprint (struct header plus owned string bytes,
+// lists recursively). Node/edge values charge only the header — the
+// store owns the pointed-to data.
+func valueBytes(v Value) int {
+	n := 48 + len(v.Str)
+	for _, e := range v.List {
+		n += valueBytes(e)
+	}
+	return n
+}
+
+// rowBytes charges a projected row: slice header plus its values.
+func rowBytes(row []Value) int {
+	n := 24
+	for _, v := range row {
+		n += valueBytes(v)
+	}
+	return n
+}
+
 // String renders a value for display.
 func (v Value) String() string {
 	switch v.Kind {

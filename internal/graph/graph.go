@@ -75,6 +75,11 @@ type Store struct {
 	nextEdge EdgeID
 
 	mergeHits int64 // how many MergeNode calls matched an existing node
+
+	// queryCache anchors engine-level derived state to the store (see
+	// QueryCache); opaque to the graph package.
+	queryCacheOnce sync.Once
+	queryCache     any
 }
 
 // New creates an empty store with a property index on "name" semantics
@@ -95,6 +100,16 @@ func New() *Store {
 		edgeKey:       make(map[string]EdgeID),
 		edgeTypeCount: make(map[string]int),
 	}
+}
+
+// QueryCache returns the store-scoped slot higher layers use to share
+// derived state across consumers of one store — the Cypher engine keeps
+// its compiled-plan cache here, so every engine over a store shares
+// plans. init runs at most once per store; the value's lifetime is the
+// store's, so caches can never outlive (or leak past) their graph.
+func (s *Store) QueryCache(init func() any) any {
+	s.queryCacheOnce.Do(func() { s.queryCache = init() })
+	return s.queryCache
 }
 
 func nodeKey(typ, name string) string { return typ + "\x00" + name }
@@ -369,10 +384,20 @@ func (s *Store) Edges(id NodeID, dir Direction) []*Edge {
 		ids = append(append([]EdgeID{}, s.out[id]...), s.in[id]...)
 	}
 	out := make([]*Edge, 0, len(ids))
+	sorted := true
 	for _, eid := range ids {
-		out = append(out, copyEdge(s.edges[eid]))
+		e := copyEdge(s.edges[eid])
+		if n := len(out); n > 0 && out[n-1].ID > e.ID {
+			sorted = false
+		}
+		out = append(out, e)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	// Incidence lists grow in edge-ID order, so they are already sorted
+	// unless MigrateEdges reparented older edges; only then pay the sort.
+	// Edges is the executor's inner loop — expansion calls it per row.
+	if !sorted {
+		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	}
 	return out
 }
 

@@ -94,6 +94,39 @@ func (s *Store) IndexEpoch() int64 {
 	return s.idxEpoch
 }
 
+// AvgNameBucket returns the average number of nodes sharing one name —
+// the planner's default selectivity for a name seek whose key is a
+// query parameter (unknown until bind time).
+func (s *Store) AvgNameBucket() float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.byName) == 0 {
+		return 1
+	}
+	return float64(len(s.nodes)) / float64(len(s.byName))
+}
+
+// AvgAttrBucket returns the average number of nodes per distinct value
+// of an indexed attribute (ok=false when the attribute is not indexed)
+// — the stats default for parameter-valued attribute seeks. O(distinct
+// values); called at plan time only.
+func (s *Store) AvgAttrBucket(key string) (float64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !s.indexed[key] {
+		return 0, false
+	}
+	buckets := s.propIdx[key]
+	if len(buckets) == 0 {
+		return 1, true
+	}
+	total := 0
+	for _, set := range buckets {
+		total += len(set)
+	}
+	return float64(total) / float64(len(buckets)), true
+}
+
 // AvgDegree estimates the average per-node fan-out of edges with the
 // given type ("" = all edges). It is the planner's expansion-cost
 // estimate: expanding one bound node along edgeType yields about

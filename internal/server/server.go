@@ -157,14 +157,27 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, out)
 }
 
+// handleCypher executes a Cypher statement POSTed as JSON:
+//
+//	{"query": "match (m {name: $ioc})-[r]-(x) return x.name",
+//	 "params": {"ioc": "wannacry"}}
+//
+// Values bind via "params" instead of being spliced into the query
+// text, so one cached plan serves every binding and IOC strings never
+// need escaping. {"explain": true} renders the plan; {"stream": true}
+// switches the response to NDJSON (one JSON object per line: a columns
+// header, then {"row": [...]} per result row as it is matched, then a
+// {"done": n} trailer — or {"error": ...} if the stream fails mid-way).
 func (s *Server) handleCypher(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpErr(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	var req struct {
-		Query   string `json:"query"`
-		Explain bool   `json:"explain"` // render the plan instead of executing
+		Query   string         `json:"query"`
+		Params  map[string]any `json:"params"`
+		Explain bool           `json:"explain"` // render the plan instead of executing
+		Stream  bool           `json:"stream"`  // NDJSON row-by-row response
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpErr(w, http.StatusBadRequest, "bad request body: %v", err)
@@ -179,7 +192,11 @@ func (s *Server) handleCypher(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, map[string]string{"plan": plan})
 		return
 	}
-	res, err := s.eng.Run(req.Query)
+	if req.Stream {
+		s.streamCypher(w, r, req.Query, req.Params)
+		return
+	}
+	res, err := s.eng.Query(req.Query, req.Params)
 	if err != nil {
 		httpErr(w, http.StatusBadRequest, "%v", err)
 		return
@@ -199,6 +216,56 @@ func (s *Server) handleCypher(w http.ResponseWriter, r *http.Request) {
 		out.Rows = append(out.Rows, cells)
 	}
 	writeJSON(w, out)
+}
+
+// streamCypher writes the result as NDJSON, flushing after every row so
+// a hunting client sees matches as the executor produces them. Rows are
+// not capped by MaxRows here — the cursor streams until exhaustion, an
+// error (e.g. the byte budget), or the client going away: a failed
+// write or a canceled request context closes the cursor, which stops
+// all remaining pattern matching.
+func (s *Server) streamCypher(w http.ResponseWriter, r *http.Request, query string, params map[string]any) {
+	rows, err := s.eng.QueryRows(query, params)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer rows.Close()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(map[string]any{"columns": rows.Columns()}); err != nil {
+		return
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+	done := r.Context().Done()
+	n := 0
+	for rows.Next() {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		vals := rows.Row()
+		cells := make([]string, len(vals))
+		for i, v := range vals {
+			cells[i] = v.String()
+		}
+		if err := enc.Encode(map[string]any{"row": cells}); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		enc.Encode(map[string]any{"error": err.Error()})
+		return
+	}
+	enc.Encode(map[string]any{"done": n})
 }
 
 func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -366,5 +367,144 @@ func TestCypherExplainNewOperators(t *testing.T) {
 	})
 	if rec2.Code != 200 || len(res.Rows) != 1 || res.Rows[0][1] != "[t1]" {
 		t.Errorf("var-length via endpoint: status=%d rows=%+v", rec2.Code, res.Rows)
+	}
+}
+
+func TestCypherParams(t *testing.T) {
+	// Values bind via "params" instead of being spliced into the text.
+	s, _, _ := testServer(t)
+	rec, out := postCypher(t, s, map[string]any{
+		"query":  `match (m {name: $ioc})-[r]-(x) return type(r), x.name order by x.name`,
+		"params": map[string]any{"ioc": "wannacry"},
+	})
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if len(out.Rows) != 3 {
+		t.Fatalf("rows: %v", out.Rows)
+	}
+	// A hostile value binds literally: no syntax leaks into the query.
+	rec, out = postCypher(t, s, map[string]any{
+		"query":  `match (m {name: $ioc}) return m.name`,
+		"params": map[string]any{"ioc": `x" return m //`},
+	})
+	if rec.Code != 200 || len(out.Rows) != 0 {
+		t.Errorf("hostile binding: status=%d rows=%v", rec.Code, out.Rows)
+	}
+	// A missing binding is a 400 with the parameter named.
+	rec, out = postCypher(t, s, map[string]any{
+		"query": `match (m {name: $ioc}) return m.name`,
+	})
+	if rec.Code != 400 || !strings.Contains(out.Error, "$ioc") {
+		t.Errorf("missing param: status=%d error=%q", rec.Code, out.Error)
+	}
+}
+
+// ndjsonLines posts a streaming cypher request and decodes each NDJSON
+// line into a generic map.
+func ndjsonLines(t *testing.T, s *Server, payload map[string]any) (*httptest.ResponseRecorder, []map[string]any) {
+	t.Helper()
+	body, _ := json.Marshal(payload)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("POST", "/api/cypher", bytes.NewReader(body)))
+	var lines []map[string]any
+	for _, ln := range strings.Split(strings.TrimSpace(rec.Body.String()), "\n") {
+		if ln == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(ln), &m); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", ln, err)
+		}
+		lines = append(lines, m)
+	}
+	return rec, lines
+}
+
+func TestCypherStreamNDJSON(t *testing.T) {
+	s, _, _ := testServer(t)
+	rec, lines := ndjsonLines(t, s, map[string]any{
+		"query":  `match (m {name: $ioc})-[r]-(x) return x.name order by x.name`,
+		"params": map[string]any{"ioc": "wannacry"},
+		"stream": true,
+	})
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type %q", ct)
+	}
+	if len(lines) != 5 { // columns + 3 rows + done
+		t.Fatalf("lines: %v", lines)
+	}
+	if cols, ok := lines[0]["columns"].([]any); !ok || len(cols) != 1 {
+		t.Errorf("header line: %v", lines[0])
+	}
+	var names []string
+	for _, ln := range lines[1:4] {
+		row, ok := ln["row"].([]any)
+		if !ok || len(row) != 1 {
+			t.Fatalf("row line: %v", ln)
+		}
+		names = append(names, row[0].(string))
+	}
+	if names[0] != "10.0.0.1" || names[1] != "r1" || names[2] != "ransomware" {
+		t.Errorf("streamed rows: %v", names)
+	}
+	if done, ok := lines[4]["done"].(float64); !ok || done != 3 {
+		t.Errorf("trailer: %v", lines[4])
+	}
+	// A bad query fails before any bytes stream: plain 400 JSON error.
+	rec, _ = ndjsonLines(t, s, map[string]any{"query": `match (n`, "stream": true})
+	if rec.Code != 400 {
+		t.Errorf("bad query stream status %d", rec.Code)
+	}
+}
+
+func TestCypherStreamBudgetErrorTrailer(t *testing.T) {
+	// A mid-stream failure (byte budget) surfaces as an {"error": ...}
+	// trailer after the rows that did fit — not a silent cut.
+	store := graph.New()
+	for i := 0; i < 5000; i++ {
+		store.MergeNode("T", fmt.Sprintf("some-quite-long-node-name-%d", i), nil)
+	}
+	s := NewWith(store, search.NewIndex(nil), cypher.Options{UseIndexes: true, MaxBytes: 16 << 10})
+	rec, lines := ndjsonLines(t, s, map[string]any{
+		"query":  `match (n) return n.name`,
+		"stream": true,
+	})
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	last := lines[len(lines)-1]
+	errMsg, ok := last["error"].(string)
+	if !ok || !strings.Contains(errMsg, "byte budget") {
+		t.Errorf("want budget error trailer, got %v", last)
+	}
+	if len(lines) < 3 {
+		t.Errorf("no rows streamed before the budget tripped: %v", lines)
+	}
+}
+
+func TestCypherStreamStopsOnClientGone(t *testing.T) {
+	// A canceled request context stops the stream instead of driving the
+	// cursor to exhaustion on behalf of a client that went away.
+	store := graph.New()
+	for i := 0; i < 1000; i++ {
+		store.MergeNode("T", fmt.Sprintf("n%d", i), nil)
+	}
+	s := New(store, search.NewIndex(nil))
+	body, _ := json.Marshal(map[string]any{"query": `match (n) return n.name`, "stream": true})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest("POST", "/api/cypher", bytes.NewReader(body)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	if len(lines) > 2 {
+		t.Errorf("canceled stream still wrote %d lines", len(lines))
+	}
+	if strings.Contains(rec.Body.String(), `"done"`) {
+		t.Error("canceled stream reached the done trailer")
 	}
 }
