@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet bench cover fuzz
+.PHONY: build test vet bench cover fuzz crash-test
 
 build:
 	$(GO) build ./...
@@ -14,12 +14,21 @@ vet:
 	$(GO) vet ./...
 
 # bench runs the Cypher engine benchmarks (planned vs legacy, index
-# on/off, variable-length paths) and records the raw `go test -json`
-# event stream in BENCH_cypher.json so the perf trajectory is diffable
-# across PRs.
+# on/off, variable-length paths, MERGE write path) plus the durability
+# benchmarks (WAL append throughput, cold-start recovery) and records
+# the raw `go test -json` event stream in BENCH_cypher.json so the perf
+# trajectory is diffable across PRs.
 bench:
-	$(GO) test -run '^$$' -bench 'Cypher' -benchmem -benchtime 50x . -json | tee BENCH_cypher.json | \
+	$(GO) test -run '^$$' -bench 'Cypher|WAL' -benchmem -benchtime 50x . -json | tee BENCH_cypher.json | \
 		grep -o '"Output":"Benchmark[^"]*' | sed 's/"Output":"//; s/\\t/\t/g; s/\\n//' || true
+
+# crash-test hammers the durability subsystem: a child writer process
+# is SIGKILLed at random moments and recovery must reproduce a prefix
+# fold of its mutation stream byte-for-byte (TestCrashProcessKill),
+# plus the kill-at-every-byte-offset torn-tail property
+# (TestTornTailEveryOffset). -count re-randomizes the kill timing.
+crash-test:
+	$(GO) test ./internal/storage -run 'TestCrashProcessKill|TestTornTailEveryOffset' -count=3 -v
 
 # cover profiles the query engine and the exploration API server, and
 # fails the build when either package's statement coverage drops below
@@ -39,9 +48,11 @@ cover:
 		if (t+0 < floor+0) { printf "internal/server coverage %.1f%% is below the %s%% floor\n", t, floor; exit 1 } \
 		else { printf "internal/server coverage %.1f%% (floor %s%%)\n", t, floor } }'
 
-# fuzz exercises the parser and engine fuzz targets for 30s each
-# (parser must never panic; engine must error, not crash).
+# fuzz exercises the parser, engine and WAL-recovery fuzz targets for
+# 30s each (parser must never panic; engines must error, not crash;
+# recovery must survive arbitrary log bytes and stay writable).
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test ./internal/cypher -fuzz FuzzParse -fuzztime $(FUZZTIME) -run '^$$'
 	$(GO) test ./internal/cypher -fuzz FuzzEngineQuery -fuzztime $(FUZZTIME) -run '^$$'
+	$(GO) test ./internal/storage -fuzz FuzzWALReplay -fuzztime $(FUZZTIME) -run '^$$'

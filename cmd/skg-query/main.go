@@ -6,11 +6,18 @@
 // never spliced into query text — and every execution of the same
 // statement text reuses one cached plan.
 //
+// With -data-dir the shell is a durable client: it opens (or creates)
+// a write-ahead-logged data directory, so CREATE/MERGE/SET/DELETE
+// statements persist across sessions — every write is logged before its
+// counts print, and quitting checkpoints the store. With -graph the
+// shell is read-only-durable: writes mutate only the in-memory copy.
+//
 // Usage:
 //
-//	skg-query -graph kg.jsonl
+//	skg-query -graph kg.jsonl          (or: -data-dir ./data)
 //	> \set ioc wannacry
 //	> match (n) where n.name = $ioc return n
+//	> merge (m:Malware {name: $ioc}) set m.triaged = "true"
 //	> match (m {name: $ioc})-[:CONNECT*1..3]-(x) return x.name
 //	> optional match (m:Malware)-[:USE]->(t) with m, collect(t.name) as tools return m.name, tools
 //	> explain match (m:Malware)-[*1..2]-(x) return x.name limit 5
@@ -31,20 +38,50 @@ import (
 	"securitykg/internal/cypher"
 	"securitykg/internal/graph"
 	"securitykg/internal/search"
+	"securitykg/internal/storage"
 )
 
 func main() {
-	graphPath := flag.String("graph", "kg.jsonl", "persisted knowledge graph file")
+	graphPath := flag.String("graph", "kg.jsonl", "persisted knowledge graph file (ignored when -data-dir is set)")
+	dataDir := flag.String("data-dir", "", "durable data directory: writes are WAL-logged and survive across sessions")
+	fsyncFlag := flag.String("fsync", "interval", "WAL fsync policy with -data-dir: always | interval | never")
 	explain := flag.Bool("explain", false, "print the query plan before each result (EXPLAIN <query> also works per statement)")
 	flag.Parse()
 
-	store, err := graph.LoadFile(*graphPath)
-	if err != nil {
-		log.Fatalf("skg-query: %v", err)
+	var store *graph.Store
+	var db *storage.DB
+	if *dataDir != "" {
+		policy, err := storage.ParseSyncPolicy(*fsyncFlag)
+		if err != nil {
+			log.Fatalf("skg-query: %v", err)
+		}
+		db, err = storage.Open(*dataDir, storage.Options{Sync: policy})
+		if err != nil {
+			log.Fatalf("skg-query: %v", err)
+		}
+		store = db.Store()
+		gs := store.Stats()
+		fmt.Printf("skg-query: recovered %d nodes, %d edges from %s (snapshot seq %d, %d WAL records replayed)\n",
+			gs.Nodes, gs.Edges, *dataDir, db.Recovered.SnapshotSeq, db.Recovered.Replayed)
+		defer func() {
+			if err := db.Checkpoint(); err != nil {
+				log.Printf("skg-query: checkpoint: %v", err)
+			}
+			if err := db.Close(); err != nil {
+				log.Printf("skg-query: close: %v", err)
+			}
+		}()
+	} else {
+		var err error
+		store, err = graph.LoadFile(*graphPath)
+		if err != nil {
+			log.Fatalf("skg-query: %v", err)
+		}
+		gs := store.Stats()
+		fmt.Printf("skg-query: loaded %d nodes, %d edges from %s (writes will NOT persist; use -data-dir)\n",
+			gs.Nodes, gs.Edges, *graphPath)
 	}
-	gs := store.Stats()
-	fmt.Printf("skg-query: loaded %d nodes, %d edges from %s\n", gs.Nodes, gs.Edges, *graphPath)
-	fmt.Println(`skg-query: enter Cypher (e.g. match (m {name: $ioc})-[:CONNECT*1..3]-(x) return x.name limit 5),`)
+	fmt.Println(`skg-query: enter Cypher (reads and writes, e.g. merge (m:Malware {name: $ioc}) set m.triaged = "true"),`)
 	fmt.Println(`  \set name value / \unset name / \params to manage $parameters,`)
 	fmt.Println(`  explain <query> for plans, /keyword search, or "quit"`)
 
@@ -88,6 +125,11 @@ func main() {
 				}
 			}
 			runQuery(eng, line, params)
+			if db != nil {
+				if err := db.Err(); err != nil {
+					fmt.Printf("WARNING: writes are not durable right now: %v (a checkpoint will re-base once the directory is writable)\n", err)
+				}
+			}
 		}
 		fmt.Print("> ")
 	}
@@ -102,7 +144,9 @@ func runQuery(eng *cypher.Engine, line string, params map[string]any) {
 		return
 	}
 	defer rows.Close()
-	fmt.Println(strings.Join(rows.Columns(), " | "))
+	if cols := rows.Columns(); len(cols) > 0 {
+		fmt.Println(strings.Join(cols, " | "))
+	}
 	n := 0
 	for rows.Next() {
 		vals := rows.Row()
@@ -115,6 +159,10 @@ func runQuery(eng *cypher.Engine, line string, params map[string]any) {
 	}
 	if err := rows.Err(); err != nil {
 		fmt.Printf("(%d rows, then error: %v)\n", n, err)
+		return
+	}
+	if ws := rows.Writes(); ws != nil {
+		fmt.Printf("(%d rows; %s)\n", n, ws)
 		return
 	}
 	fmt.Printf("(%d rows)\n", n)

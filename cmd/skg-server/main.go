@@ -1,12 +1,23 @@
-// Command skg-server builds (or loads) a knowledge graph and serves the
-// exploration API the paper's web UI consumes: /api/search, /api/cypher,
-// /api/node, /api/expand, /api/collapse, /api/random, /api/back, and
-// /api/stats, with Barnes-Hut layout positions on every returned subgraph.
-// The synthetic OSCTI web itself is exposed under /s/ for inspection.
+// Command skg-server builds (or recovers) a knowledge graph and serves
+// the exploration API the paper's web UI consumes: /api/search,
+// /api/cypher (reads and writes), /api/node, /api/expand,
+// /api/collapse, /api/random, /api/back, and /api/stats, with
+// Barnes-Hut layout positions on every returned subgraph. The synthetic
+// OSCTI web itself is exposed under /s/ for inspection.
+//
+// With -data-dir the server is durable: boot loads the latest snapshot
+// and replays the write-ahead log tail (tolerating a torn final record
+// from a crash), every mutation — ingestion, fusion, Cypher writes — is
+// logged before the response, the log self-compacts past a size
+// threshold, and SIGTERM/SIGINT snapshots before exit. Restarting the
+// server therefore resumes exactly where it stopped instead of
+// re-ingesting from scratch.
 //
 // Usage:
 //
 //	skg-server [-addr :8080] [-reports 10] [-graph kg.jsonl]
+//	           [-data-dir ./data] [-fsync interval|always|never]
+//	           [-compact-mb 64]
 package main
 
 import (
@@ -15,16 +26,26 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"securitykg"
+	"securitykg/internal/cypher"
 	"securitykg/internal/server"
+	"securitykg/internal/storage"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		reports = flag.Int("reports", 10, "reports per source to ingest at startup")
-		graphIn = flag.String("graph", "", "serve a persisted graph instead of ingesting")
+		addr      = flag.String("addr", ":8080", "listen address")
+		reports   = flag.Int("reports", 10, "reports per source to ingest when the store starts empty")
+		graphIn   = flag.String("graph", "", "serve a persisted graph file instead of ingesting (read-only snapshot load)")
+		dataDir   = flag.String("data-dir", "", "durable data directory (snapshot + write-ahead log); state survives restarts")
+		fsyncFlag = flag.String("fsync", "interval", "WAL fsync policy: always (fsync per write), interval (group commit), never")
+		compactMB = flag.Int("compact-mb", 64, "snapshot and truncate the WAL once it exceeds this many MiB (0 disables automatic compaction)")
+		readOnly  = flag.Bool("read-only", false, "reject Cypher write statements on /api/cypher (implied by -graph, which serves a snapshot whose writes would not persist)")
 	)
 	flag.Parse()
 
@@ -33,27 +54,125 @@ func main() {
 	if err != nil {
 		log.Fatalf("skg-server: %v", err)
 	}
-	if *graphIn != "" {
+
+	var db *storage.DB
+	switch {
+	case *dataDir != "":
+		policy, err := storage.ParseSyncPolicy(*fsyncFlag)
+		if err != nil {
+			log.Fatalf("skg-server: %v", err)
+		}
+		compactBytes := int64(*compactMB) << 20
+		if *compactMB <= 0 {
+			compactBytes = -1 // flag semantics: 0 disables (Options treats 0 as "default")
+		}
+		db, err = storage.Open(*dataDir, storage.Options{
+			Sync:         policy,
+			CompactBytes: compactBytes,
+		})
+		if err != nil {
+			log.Fatalf("skg-server: %v", err)
+		}
+		fmt.Printf("skg-server: recovered %s (snapshot seq %d, %d WAL records replayed, torn tail: %v)\n",
+			*dataDir, db.Recovered.SnapshotSeq, db.Recovered.Replayed, db.Recovered.TornTail)
+		// Adopt before ingesting so every ingested mutation is logged.
+		sys.AdoptStore(db.Store())
+		if db.Store().CountNodes() == 0 && *reports > 0 {
+			ingest(sys)
+			if err := db.Checkpoint(); err != nil {
+				log.Fatalf("skg-server: post-ingest checkpoint: %v", err)
+			}
+			fmt.Println("skg-server: initial ingest checkpointed")
+		} else {
+			sys.RebuildIndex()
+		}
+	case *graphIn != "":
 		if err := sys.LoadGraph(*graphIn); err != nil {
 			log.Fatalf("skg-server: %v", err)
 		}
-		fmt.Printf("skg-server: loaded graph from %s\n", *graphIn)
-	} else {
-		st, err := sys.Collect(context.Background())
-		if err != nil {
-			log.Fatalf("skg-server: collect: %v", err)
-		}
-		if _, err := sys.Fuse(); err != nil {
-			log.Fatalf("skg-server: fuse: %v", err)
-		}
-		fmt.Printf("skg-server: ingested %d reports\n", st.Process.Connected)
+		sys.RebuildIndex()
+		// A -graph snapshot has no write-ahead log behind it: accepting
+		// writes would silently drop them on restart.
+		*readOnly = true
+		fmt.Printf("skg-server: loaded graph from %s (read-only)\n", *graphIn)
+	default:
+		ingest(sys)
 	}
 	gs := sys.Store.Stats()
 	fmt.Printf("skg-server: knowledge graph: %d nodes, %d edges\n", gs.Nodes, gs.Edges)
 
+	opts := cypher.DefaultOptions()
+	opts.ReadOnly = *readOnly
 	mux := http.NewServeMux()
-	mux.Handle("/api/", server.New(sys.Store, sys.Index))
+	mux.Handle("/api/", server.NewWith(sys.Store, sys.Index, opts))
 	mux.Handle("/s/", sys.Web()) // the synthetic OSCTI web itself
+
+	if db != nil {
+		// Watch for durability failures: writes keep succeeding in
+		// memory while the WAL is poisoned (a checkpoint self-heals once
+		// the directory is writable again), so transitions are loud.
+		go func() {
+			var last string
+			for range time.Tick(2 * time.Second) {
+				msg := ""
+				if err := db.Err(); err != nil {
+					msg = err.Error()
+				}
+				if msg != last {
+					if msg != "" {
+						log.Printf("skg-server: DURABILITY DEGRADED: %s", msg)
+					} else {
+						log.Printf("skg-server: durability restored (checkpoint re-based the log)")
+					}
+					last = msg
+				}
+			}
+		}()
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	if db != nil {
+		// Snapshot-and-sync on SIGTERM/SIGINT so the next boot replays a
+		// short (usually empty) WAL tail. Ordering matters: drain the
+		// listener FIRST — a write acknowledged after db.Close detached
+		// the mutation hook would reach the store but never the WAL, and
+		// silently vanish on the very restart this shutdown prepares.
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+		go func() {
+			sig := <-sigc
+			fmt.Printf("\nskg-server: %v: draining connections...\n", sig)
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			if err := httpSrv.Shutdown(ctx); err != nil {
+				log.Printf("skg-server: shutdown: %v", err)
+			}
+			cancel()
+			fmt.Printf("skg-server: checkpointing %s...\n", *dataDir)
+			if err := db.Checkpoint(); err != nil {
+				log.Printf("skg-server: shutdown checkpoint: %v", err)
+			}
+			if err := db.Close(); err != nil {
+				log.Printf("skg-server: close: %v", err)
+			}
+			os.Exit(0)
+		}()
+	}
+
 	fmt.Printf("skg-server: listening on %s (try /api/stats, /api/search?q=wannacry)\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	err = httpSrv.ListenAndServe()
+	if err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	select {} // Shutdown in flight: the signal goroutine exits the process
+}
+
+func ingest(sys *securitykg.System) {
+	st, err := sys.Collect(context.Background())
+	if err != nil {
+		log.Fatalf("skg-server: collect: %v", err)
+	}
+	if _, err := sys.Fuse(); err != nil {
+		log.Fatalf("skg-server: fuse: %v", err)
+	}
+	fmt.Printf("skg-server: ingested %d reports\n", st.Process.Connected)
 }

@@ -11,17 +11,65 @@ type Query struct {
 }
 
 // QueryPart is one pipeline segment: its reading clauses (MATCH /
-// OPTIONAL MATCH) followed by a projection (WITH for intermediate parts,
-// RETURN for the final one). ORDER BY / SKIP / LIMIT are only accepted on
-// the final part; Where is the post-WITH filter on projected values.
+// OPTIONAL MATCH), then its writing clauses (CREATE / MERGE, SET,
+// DELETE — applied in that order, once per matched row, after the reads
+// fully materialize so writes can never feed their own match), followed
+// by a projection (WITH for intermediate parts, RETURN for the final
+// one — RETURN is optional when the final part writes). ORDER BY /
+// SKIP / LIMIT are only accepted on the final part; Where is the
+// post-WITH filter on projected values.
 type QueryPart struct {
 	Matches  []MatchClause
+	Creates  []CreateClause
+	Sets     []SetItem
+	Delete   *DeleteClause
 	Distinct bool
 	Items    []ReturnItem
 	Where    Expr // WITH ... WHERE <expr>: filters projected rows (nil on the final part)
 	OrderBy  []OrderKey
 	Limit    int // -1 when absent
 	Skip     int // 0 when absent
+}
+
+// HasWrites reports whether the part carries any writing clause.
+func (p *QueryPart) HasWrites() bool {
+	return len(p.Creates) > 0 || len(p.Sets) > 0 || p.Delete != nil
+}
+
+// CreateClause is one CREATE or MERGE clause. Both map onto the store's
+// exact-(type, name) merge semantics — the paper's storage-time merge
+// rule means a "create" of an already-present node augments it instead
+// of duplicating — so the two clauses differ only in intent; created
+// counts reflect what actually came into existence.
+type CreateClause struct {
+	Merge    bool
+	Patterns []Pattern
+}
+
+// SetItem is one "SET var.prop = expr" assignment, applied per row.
+type SetItem struct {
+	Var  string
+	Prop string
+	Val  Expr
+}
+
+// DeleteClause is "DELETE var, ..." or "DETACH DELETE var, ...". Plain
+// DELETE refuses nodes that still have relationships; DETACH removes
+// them along with the node. Null bindings (from OPTIONAL MATCH) are
+// skipped, as are entities already deleted by an earlier row.
+type DeleteClause struct {
+	Detach bool
+	Vars   []string
+}
+
+// HasWrites reports whether any part of the query mutates the graph.
+func (q *Query) HasWrites() bool {
+	for i := range q.Parts {
+		if q.Parts[i].HasWrites() {
+			return true
+		}
+	}
+	return false
 }
 
 // MatchClause is one MATCH or OPTIONAL MATCH with its own WHERE. An
@@ -62,13 +110,17 @@ const (
 // "-[:TYPE*m..n]->" sets VarLen plus MinHops/MaxHops; plain single-hop
 // patterns have both at 1 with VarLen false. MaxHops < 0 means unbounded
 // ("*m.."). Variable-length patterns cannot bind an edge variable.
+// Props/ParamProps are edge attributes, accepted only inside CREATE /
+// MERGE patterns (the parser rejects them in reading clauses).
 type EdgePattern struct {
-	Var     string
-	Type    string
-	Dir     EdgeDir
-	VarLen  bool // any "*" range, including "*1": reachability semantics
-	MinHops int  // 1 for plain edges
-	MaxHops int  // 1 for plain edges; -1 = unbounded
+	Var        string
+	Type       string
+	Dir        EdgeDir
+	VarLen     bool // any "*" range, including "*1": reachability semantics
+	MinHops    int  // 1 for plain edges
+	MaxHops    int  // 1 for plain edges; -1 = unbounded
+	Props      map[string]Value
+	ParamProps map[string]string
 }
 
 // VarLength reports whether the pattern uses variable-length (BFS
@@ -141,7 +193,7 @@ func (VarExpr) exprNode()   {}
 func (PropExpr) exprNode()  {}
 func (LitExpr) exprNode()   {}
 func (ParamExpr) exprNode() {}
-func (CmpExpr) exprNode()  {}
-func (BoolExpr) exprNode() {}
-func (NotExpr) exprNode()  {}
-func (FuncExpr) exprNode() {}
+func (CmpExpr) exprNode()   {}
+func (BoolExpr) exprNode()  {}
+func (NotExpr) exprNode()   {}
+func (FuncExpr) exprNode()  {}

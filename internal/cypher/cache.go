@@ -27,8 +27,9 @@ type planEntry struct {
 const planCacheMax = 512
 
 // planCache is the store-scoped compiled-plan cache. Hits and misses
-// are counted so callers can verify reuse (a prepared statement run N
-// times must show N hits and one miss).
+// are counted so callers can verify reuse (a read-only prepared
+// statement run N times against an unchanging store must show N hits
+// and one miss; statements that write invalidate their own entry).
 type planCache struct {
 	mu      sync.Mutex
 	entries map[string]planEntry
@@ -45,12 +46,19 @@ func cacheFor(s *graph.Store) *planCache {
 	}).(*planCache)
 }
 
-// get returns the cached plan for key if the store cardinalities have
-// not drifted past 2× since it was costed and no new attribute index
-// has been created (IndexAttr bumps the store's index epoch; a plan
-// chosen without the index would ignore it forever). Cached plans stay
-// correct under mutation (access paths never become invalid); the
-// bounds only protect optimality.
+// get returns the cached plan for key if the store's invalidation
+// epoch has not moved since it was costed. IndexAttr and every
+// effective mutation bump the epoch, so a plan costed against
+// pre-mutation statistics (or without a newly created index) is
+// re-planned deterministically rather than riding stale cardinalities.
+// The deliberate trade-off: under write traffic every cached plan
+// invalidates per mutation, so prepared statements on a mutating store
+// pay a re-plan (not a re-parse — Stmt keeps the parsed query) per
+// write; read-mostly workloads keep full cache reuse. The 2× drift
+// bound below is a second line of defense for stores mutated before
+// this cache existed (e.g. a snapshot loaded at a different size).
+// Cached plans stay correct under mutation either way (access paths
+// never become invalid); epoch and drift only protect optimality.
 func (c *planCache) get(key string, s *graph.Store) *Plan {
 	c.mu.Lock()
 	defer c.mu.Unlock()

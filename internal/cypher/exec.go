@@ -32,6 +32,10 @@ type Options struct {
 	// differential testing and planner-vs-legacy benchmarks; the planned
 	// streaming pipeline is the default.
 	Legacy bool
+	// ReadOnly rejects statements with writing clauses (CREATE, MERGE,
+	// SET, DELETE) at execution time. EXPLAIN of a write statement is
+	// still allowed — it never executes.
+	ReadOnly bool
 }
 
 // DefaultOptions enables indexes with a 100k row cap and a 64 MiB
@@ -61,6 +65,10 @@ type Result struct {
 	// Truncated reports that rows were dropped by the MaxRows safety
 	// valve (never by an explicit LIMIT).
 	Truncated bool
+	// Writes summarizes what a write statement changed (nil for
+	// read-only statements). A write-only statement (no RETURN) yields
+	// zero columns and rows; the counts are its result.
+	Writes *WriteStats
 }
 
 // params are the bound $parameter values for one execution, stored as
@@ -210,7 +218,10 @@ func (b binding) clone() binding {
 // streaming plan. Queries with $parameters need bindings — use
 // Query/QueryRows/Prepare instead.
 func (e *Engine) RunQuery(q *Query) (*Result, error) {
-	if len(q.Parts) == 0 || len(q.Parts[len(q.Parts)-1].Items) == 0 {
+	if len(q.Parts) == 0 {
+		return nil, fmt.Errorf("cypher: empty query")
+	}
+	if fin := &q.Parts[len(q.Parts)-1]; len(fin.Items) == 0 && !fin.HasWrites() {
 		return nil, fmt.Errorf("cypher: empty RETURN")
 	}
 	if q.Explain {
@@ -237,6 +248,13 @@ func (e *Engine) RunQuery(q *Query) (*Result, error) {
 // streaming executor against.
 func (e *Engine) runLegacy(q *Query, ps params) (*Result, error) {
 	bud := newBudget(e.opts.MaxBytes)
+	var stats *WriteStats
+	if q.HasWrites() {
+		if e.opts.ReadOnly {
+			return nil, errReadOnly
+		}
+		stats = &WriteStats{}
+	}
 	bindings := []binding{{}}
 	for pi := range q.Parts {
 		part := &q.Parts[pi]
@@ -245,8 +263,17 @@ func (e *Engine) runLegacy(q *Query, ps params) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Writes run after the part's reads have fully materialized —
+		// the same eager barrier the planned MutationStage provides.
+		if wc := writeClausesOf(part); wc != nil {
+			for _, b := range bindings {
+				if err := e.applyWrites(wc, b, ps, stats); err != nil {
+					return nil, err
+				}
+			}
+		}
 		if pi == len(q.Parts)-1 {
-			return e.legacyFinal(part, bindings, ps, bud)
+			return e.legacyFinal(part, bindings, ps, bud, stats)
 		}
 		bindings, err = e.legacyWith(part, bindings, ps, bud)
 		if err != nil {
@@ -255,6 +282,10 @@ func (e *Engine) runLegacy(q *Query, ps params) (*Result, error) {
 	}
 	return nil, fmt.Errorf("cypher: query has no RETURN part")
 }
+
+// errReadOnly is the uniform rejection both engines return for write
+// statements on a ReadOnly engine.
+var errReadOnly = fmt.Errorf("cypher: write clauses (CREATE/MERGE/SET/DELETE) are disabled on this read-only engine")
 
 // legacyMatchPart enumerates the bindings for one part's reading
 // clauses, processing the same clause runs the planner emits
@@ -414,8 +445,12 @@ func (e *Engine) legacyWith(part *QueryPart, matches []binding, ps params, bud *
 }
 
 // legacyFinal projects, aggregates, sorts and pages the final part.
-func (e *Engine) legacyFinal(part *QueryPart, matches []binding, ps params, bud *byteBudget) (*Result, error) {
-	res := &Result{}
+func (e *Engine) legacyFinal(part *QueryPart, matches []binding, ps params, bud *byteBudget, stats *WriteStats) (*Result, error) {
+	res := &Result{Writes: stats}
+	if len(part.Items) == 0 {
+		// Write-only statement: the counts are the result.
+		return res, nil
+	}
 	hasAgg := false
 	for _, it := range part.Items {
 		res.Columns = append(res.Columns, it.Alias)

@@ -99,6 +99,26 @@ var seedQueries = []string{
 	`explain match (n {name: $p}) return n`,
 	`match (n {name: $unbound_param}) return n`,
 	`match (n) where n.name = $ return n`,
+	// Write surface: CREATE/MERGE/SET/DELETE, edge props, params,
+	// optional RETURN, WITH chaining across writes.
+	`create (m:Malware {name: "petya"})`,
+	`create (m:Malware {name: $p, platform: $plat})-[:CONNECT {proto: "tcp"}]->(ip:IP {name: "10.0.0.9"})`,
+	`merge (t:Tool {name: "t9"}) return t.name`,
+	`merge (t:Tool {name: $p}) set t.seen = $num return t.name, t.seen`,
+	`match (m:Malware) set m.family = "worm", m.active = true return m.name order by m.name`,
+	`match (a:Tool) optional match (a)-[:uses]->(b) set b.mark = "1" return a.name`,
+	`match (m {name: "wannacry"})-[r]-(x) delete r return count(*)`,
+	`match (m:Malware {name: "X"}) detach delete m`,
+	`match (t:Tool) with t where t.name = "t1" create (g:Host {name: "h7"})-[:runs]->(t) return g.name`,
+	`create (a:A {name: "a"}), (b:B {name: "b"}) create (a)-[:pair]->(b)`,
+	`match (a:A {name: "a"}), (b:B {name: "b"}) merge (a)-[:pair]->(b)`,
+	`match (n:Host) delete n`,
+	`create (x:T)`,
+	`create (x {name: "nolabel"})`,
+	`match (t:Tool) set t.name = "nope"`,
+	`create (a:A {name:"a"})-[:T*1..2]->(b:B {name:"b"})`,
+	`match (a)-[r:uses {w: "1"}]->(b) return a`,
+	`detach delete n`,
 	// Historic parse-error corpus (must keep failing cleanly).
 	``,
 	`return 1`,
@@ -119,31 +139,37 @@ var seedQueries = []string{
 	`match (n) return n with n`,
 }
 
-// fuzzStore is a small graph shared by the engine fuzz target; built
-// once because fuzz workers call the target millions of times.
+// buildFuzzStore constructs the small graph the engine fuzz target
+// queries. Read-only executions share one instance (fuzzStore); write
+// statements get a fresh copy per execution so mutations cannot leak
+// across fuzz iterations.
+func buildFuzzStore() *graph.Store {
+	s := graph.New()
+	s.IndexAttr("platform")
+	x, _ := s.MergeNode("Malware", "X", map[string]string{"platform": "windows"})
+	t1, _ := s.MergeNode("Tool", "t1", nil)
+	t2, _ := s.MergeNode("Tool", "t2", nil)
+	h1, _ := s.MergeNode("Host", "h1", nil)
+	wc, _ := s.MergeNode("Malware", "wannacry", nil)
+	ip, _ := s.MergeNode("IP", "10.1.2.3", nil)
+	s.AddEdge(x, "uses", t1, nil)
+	s.AddEdge(t1, "uses", t2, nil)
+	s.AddEdge(t2, "uses", h1, nil)
+	s.AddEdge(wc, "CONNECT", ip, nil)
+	s.AddEdge(wc, "uses", x, nil) // cycle via x -> ... plus cross-type edge
+	s.AddEdge(h1, "uses", x, nil) // real cycle for unbounded BFS
+	return s
+}
+
+// fuzzStore is the shared read-only instance; built once because fuzz
+// workers call the target millions of times.
 var (
 	fuzzStoreOnce sync.Once
 	fuzzStoreVal  *graph.Store
 )
 
 func fuzzStore() *graph.Store {
-	fuzzStoreOnce.Do(func() {
-		s := graph.New()
-		s.IndexAttr("platform")
-		x, _ := s.MergeNode("Malware", "X", map[string]string{"platform": "windows"})
-		t1, _ := s.MergeNode("Tool", "t1", nil)
-		t2, _ := s.MergeNode("Tool", "t2", nil)
-		h1, _ := s.MergeNode("Host", "h1", nil)
-		wc, _ := s.MergeNode("Malware", "wannacry", nil)
-		ip, _ := s.MergeNode("IP", "10.1.2.3", nil)
-		s.AddEdge(x, "uses", t1, nil)
-		s.AddEdge(t1, "uses", t2, nil)
-		s.AddEdge(t2, "uses", h1, nil)
-		s.AddEdge(wc, "CONNECT", ip, nil)
-		s.AddEdge(wc, "uses", x, nil) // cycle via x -> ... plus cross-type edge
-		s.AddEdge(h1, "uses", x, nil) // real cycle for unbounded BFS
-		fuzzStoreVal = s
-	})
+	fuzzStoreOnce.Do(func() { fuzzStoreVal = buildFuzzStore() })
 	return fuzzStoreVal
 }
 
@@ -180,11 +206,18 @@ func FuzzEngineQuery(f *testing.F) {
 		f.Add(q)
 	}
 	f.Fuzz(func(t *testing.T, src string) {
-		if _, err := Parse(src); err != nil {
+		q, err := Parse(src)
+		if err != nil {
 			return // parser rejected it; FuzzParse covers the no-panic side
 		}
-		s := fuzzStore()
+		writes := q.HasWrites()
 		for _, legacy := range []bool{false, true} {
+			s := fuzzStore()
+			if writes {
+				// Write statements mutate: give each engine its own store
+				// so iterations stay independent.
+				s = buildFuzzStore()
+			}
 			eng := NewEngine(s, Options{UseIndexes: true, MaxRows: 50, MaxBytes: 1 << 20, Legacy: legacy})
 			res, err := eng.Query(src, fuzzArgs)
 			if err == nil && res == nil {

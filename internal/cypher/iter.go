@@ -31,7 +31,8 @@ type execCtx struct {
 	b          binding
 	ps         params
 	bud        *byteBudget
-	cacheScans bool // segment has optional sub-pipelines: cache scan ID lists
+	writes     *WriteStats // shared across segments; nil for read-only plans
+	cacheScans bool        // segment has optional sub-pipelines: cache scan ID lists
 	scanIDs    map[*ScanStage][]graph.NodeID
 }
 
@@ -66,6 +67,10 @@ func (s *OptionalStage) newIter(ec *execCtx, input iter) iter {
 		input = &onceIter{}
 	}
 	return &optionalIter{ec: ec, st: s, input: input}
+}
+
+func (s *MutationStage) newIter(ec *execCtx, input iter) iter {
+	return &mutationIter{ec: ec, st: s, input: input}
 }
 
 // buildStageChain wires a stage list into a pull pipeline. input is nil
@@ -488,6 +493,59 @@ func (o *optionalIter) next() (bool, error) {
 			return true, nil
 		}
 	}
+}
+
+// --- mutation (eager write barrier) ---
+
+// mutationIter applies a part's writing clauses: on the first pull it
+// drains its entire input, cloning each row (charged to the byte
+// budget), applies the writes once per buffered row in input order —
+// all mutations complete before the first row leaves the stage — then
+// re-streams the rows by installing each buffered (and write-extended)
+// binding as the segment's current row. The input is nil for a
+// write-only query rooted at the single virtual row.
+type mutationIter struct {
+	ec      *execCtx
+	st      *MutationStage
+	input   iter
+	started bool
+	buf     []binding
+	i       int
+}
+
+func (m *mutationIter) next() (bool, error) {
+	ec := m.ec
+	if !m.started {
+		m.started = true
+		if m.input == nil {
+			m.buf = append(m.buf, ec.b.clone())
+		} else {
+			for {
+				ok, err := m.input.next()
+				if err != nil {
+					return false, err
+				}
+				if !ok {
+					break
+				}
+				if err := ec.bud.charge(bindingBytes(ec.b)); err != nil {
+					return false, err
+				}
+				m.buf = append(m.buf, ec.b.clone())
+			}
+		}
+		for _, b := range m.buf {
+			if err := ec.e.applyWrites(m.st.Writes, b, ec.ps, ec.writes); err != nil {
+				return false, err
+			}
+		}
+	}
+	if m.i >= len(m.buf) {
+		return false, nil
+	}
+	ec.b = m.buf[m.i]
+	m.i++
+	return true, nil
 }
 
 // --- WITH segment bridge ---

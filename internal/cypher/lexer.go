@@ -9,6 +9,22 @@
 //	RETURN DISTINCT a, tools, min(f.name), count(*)
 //	ORDER BY a.name DESC SKIP 2 LIMIT 10
 //
+// The write surface mutates the graph through the same statement shape:
+//
+//	CREATE (m:Malware {name: $ioc})-[:CONNECT {proto: "tcp"}]->(ip:IP {name: "10.0.0.1"})
+//	MERGE (t:Tool {name: "mimikatz"})
+//	MATCH (m:Malware {name: $ioc}) SET m.triaged = "true"
+//	MATCH (m:Malware {name: $ioc}) DETACH DELETE m
+//
+// CREATE and MERGE both land on the store's exact-(label, name) merge
+// rule (Section 2.5: nodes with exactly the same description text are
+// one node), so creation is idempotent; returned WriteStats count what
+// actually came into existence. Writes are eager — a segment's reads
+// fully materialize before its writes run — and RETURN is optional on a
+// writing statement. Every mutation is observed by the store's
+// mutation hook, which is how the durability layer (internal/storage)
+// write-ahead-logs Cypher writes.
+//
 // "$name" placeholders are query parameters, usable wherever a literal
 // is (inline property maps, WHERE operands, projections). They are
 // resolved when the statement is executed, so one parsed-and-planned

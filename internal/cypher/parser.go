@@ -82,8 +82,13 @@ func (p *parser) parseQuery() (*Query, error) {
 	}
 }
 
-// parsePart parses one pipeline segment: MATCH/OPTIONAL MATCH clauses
-// followed by WITH (final=false) or RETURN (final=true).
+// parsePart parses one pipeline segment: MATCH/OPTIONAL MATCH reading
+// clauses interleaved-in-order with CREATE/MERGE writing clauses —
+// except that a MATCH may not follow a write in the same segment (add a
+// WITH boundary; writes are applied after the segment's reads
+// materialize, so a later MATCH could not see them anyway) — then SET,
+// then [DETACH] DELETE, then WITH (final=false) or RETURN (final=true).
+// RETURN is optional on a segment that writes.
 func (p *parser) parsePart(first bool) (QueryPart, bool, error) {
 	part := QueryPart{Limit: -1}
 	for {
@@ -94,13 +99,24 @@ func (p *parser) parsePart(first bool) (QueryPart, bool, error) {
 				return part, false, fmt.Errorf("cypher: OPTIONAL must be followed by MATCH")
 			}
 			optional = true
-		} else if p.keyword("match") {
+		} else if p.peekKeyword("match") {
+			p.i++
+		} else if p.peekKeyword("create") || p.peekKeyword("merge") {
+			cc := CreateClause{Merge: strings.EqualFold(p.next().text, "merge")}
+			if err := p.parseCreatePatterns(&cc); err != nil {
+				return part, false, err
+			}
+			part.Creates = append(part.Creates, cc)
+			continue
 		} else {
 			break
 		}
+		if len(part.Creates) > 0 {
+			return part, false, fmt.Errorf("cypher: MATCH after CREATE/MERGE in the same segment; separate them with WITH")
+		}
 		mc := MatchClause{Optional: optional}
 		for {
-			pat, err := p.parsePattern()
+			pat, err := p.parsePattern(false)
 			if err != nil {
 				return part, false, err
 			}
@@ -120,10 +136,29 @@ func (p *parser) parsePart(first bool) (QueryPart, bool, error) {
 		}
 		part.Matches = append(part.Matches, mc)
 	}
-	if first && len(part.Matches) == 0 {
-		return part, false, fmt.Errorf("cypher: query must start with MATCH")
+	if first && len(part.Matches) == 0 && len(part.Creates) == 0 {
+		return part, false, fmt.Errorf("cypher: query must start with MATCH, CREATE or MERGE")
+	}
+	if err := p.parseSet(&part); err != nil {
+		return part, false, err
+	}
+	if err := p.parseDelete(&part); err != nil {
+		return part, false, err
+	}
+	// Reads and creates cannot follow SET/DELETE within one segment (the
+	// segment's clause order is reads → creates → sets → delete); name
+	// the remedy instead of listing the rejected keyword as expected.
+	if len(part.Sets) > 0 || part.Delete != nil {
+		for _, kw := range []string{"match", "optional", "create", "merge", "set"} {
+			if p.peekKeyword(kw) {
+				return part, false, fmt.Errorf("cypher: %s cannot follow SET/DELETE in the same segment; separate them with WITH", strings.ToUpper(kw))
+			}
+		}
 	}
 	switch {
+	case p.cur().kind == tokEOF && part.HasWrites():
+		// Write-only final segment: counts are the result.
+		return part, true, nil
 	case p.keyword("with"):
 		if p.keyword("distinct") {
 			part.Distinct = true
@@ -151,7 +186,103 @@ func (p *parser) parsePart(first bool) (QueryPart, bool, error) {
 		}
 		return part, true, nil
 	}
-	return part, false, fmt.Errorf("cypher: expected MATCH, WITH or RETURN near %q", p.cur().text)
+	return part, false, fmt.Errorf("cypher: expected MATCH, CREATE, MERGE, SET, DELETE, WITH or RETURN near %q", p.cur().text)
+}
+
+// parseCreatePatterns parses the comma-separated pattern list of one
+// CREATE/MERGE clause and enforces the write-pattern restrictions that
+// make creation well defined: every edge needs an explicit type and
+// direction, and variable-length edges cannot be created.
+func (p *parser) parseCreatePatterns(cc *CreateClause) error {
+	for {
+		pat, err := p.parsePattern(true)
+		if err != nil {
+			return err
+		}
+		for _, ep := range pat.Edges {
+			if ep.VarLength() {
+				return fmt.Errorf("cypher: cannot CREATE a variable-length relationship")
+			}
+			if ep.Type == "" {
+				return fmt.Errorf("cypher: CREATE requires a relationship type (-[:TYPE]->)")
+			}
+			if ep.Dir == DirAny {
+				return fmt.Errorf("cypher: CREATE requires a directed relationship (-> or <-)")
+			}
+		}
+		cc.Patterns = append(cc.Patterns, pat)
+		if p.cur().kind == tokComma {
+			p.i++
+			continue
+		}
+		return nil
+	}
+}
+
+// parseSet parses "SET var.prop = atom [, ...]" clauses (repeatable).
+func (p *parser) parseSet(part *QueryPart) error {
+	for p.keyword("set") {
+		for {
+			v, err := p.expect(tokIdent, "variable")
+			if err != nil {
+				return err
+			}
+			if _, err := p.expect(tokDot, "."); err != nil {
+				return err
+			}
+			prop, err := p.expect(tokIdent, "property name")
+			if err != nil {
+				return err
+			}
+			if _, err := p.expect(tokEq, "="); err != nil {
+				return err
+			}
+			val, err := p.parseAtom()
+			if err != nil {
+				return err
+			}
+			part.Sets = append(part.Sets, SetItem{Var: v.text, Prop: prop.text, Val: val})
+			if p.cur().kind == tokComma {
+				p.i++
+				continue
+			}
+			break
+		}
+	}
+	return nil
+}
+
+// parseDelete parses "[DETACH] DELETE var [, ...]".
+func (p *parser) parseDelete(part *QueryPart) error {
+	detach := false
+	if p.peekKeyword("detach") {
+		p.i++
+		if !p.peekKeyword("delete") {
+			return fmt.Errorf("cypher: DETACH must be followed by DELETE")
+		}
+		detach = true
+	}
+	if !p.keyword("delete") {
+		if detach {
+			return fmt.Errorf("cypher: DETACH must be followed by DELETE")
+		}
+		return nil
+	}
+	dc := &DeleteClause{Detach: detach}
+	for {
+		v, err := p.expect(tokIdent, "variable to delete")
+		if err != nil {
+			return err
+		}
+		dc.Vars = append(dc.Vars, v.text)
+		if p.cur().kind == tokComma {
+			p.i++
+			continue
+		}
+		break
+	}
+	part.Delete = dc
+	return nil
 }
 
 func (p *parser) parseItems(part *QueryPart) error {
@@ -219,7 +350,9 @@ func (p *parser) parseTail(part *QueryPart) error {
 	return nil
 }
 
-func (p *parser) parsePattern() (Pattern, error) {
+// parsePattern parses one node-edge-node chain. writeCtx marks a
+// CREATE/MERGE pattern, the only place edge property maps are legal.
+func (p *parser) parsePattern(writeCtx bool) (Pattern, error) {
 	var pat Pattern
 	n, err := p.parseNodePattern()
 	if err != nil {
@@ -260,6 +393,16 @@ func (p *parser) parsePattern() (Pattern, error) {
 				if err := p.parseHopRange(&ep); err != nil {
 					return pat, err
 				}
+			}
+			if p.cur().kind == tokLBrace {
+				if !writeCtx {
+					return pat, fmt.Errorf("cypher: relationship property maps are only supported in CREATE/MERGE")
+				}
+				props, paramProps, err := p.parsePropMap()
+				if err != nil {
+					return pat, err
+				}
+				ep.Props, ep.ParamProps = props, paramProps
 			}
 			if _, err := p.expect(tokRBracket, "]"); err != nil {
 				return pat, err
@@ -347,44 +490,57 @@ func (p *parser) parseNodePattern() (NodePattern, error) {
 		np.Label = t.text
 	}
 	if p.cur().kind == tokLBrace {
-		p.i++
-		np.Props = map[string]Value{}
-		for {
-			k, err := p.expect(tokIdent, "property name")
-			if err != nil {
-				return np, err
-			}
-			if _, err := p.expect(tokColon, ":"); err != nil {
-				return np, err
-			}
-			if p.cur().kind == tokParam {
-				t := p.next()
-				p.params[t.text] = true
-				if np.ParamProps == nil {
-					np.ParamProps = map[string]string{}
-				}
-				np.ParamProps[k.text] = t.text
-			} else {
-				v, err := p.parseLiteral()
-				if err != nil {
-					return np, err
-				}
-				np.Props[k.text] = v
-			}
-			if p.cur().kind == tokComma {
-				p.i++
-				continue
-			}
-			break
-		}
-		if _, err := p.expect(tokRBrace, "}"); err != nil {
+		props, paramProps, err := p.parsePropMap()
+		if err != nil {
 			return np, err
 		}
+		np.Props, np.ParamProps = props, paramProps
 	}
 	if _, err := p.expect(tokRParen, ")"); err != nil {
 		return np, err
 	}
 	return np, nil
+}
+
+// parsePropMap parses "{key: literal-or-$param, ...}" (the opening
+// brace is the current token), splitting literal props from
+// $parameter-valued ones.
+func (p *parser) parsePropMap() (map[string]Value, map[string]string, error) {
+	p.i++ // consume '{'
+	props := map[string]Value{}
+	var paramProps map[string]string
+	for {
+		k, err := p.expect(tokIdent, "property name")
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := p.expect(tokColon, ":"); err != nil {
+			return nil, nil, err
+		}
+		if p.cur().kind == tokParam {
+			t := p.next()
+			p.params[t.text] = true
+			if paramProps == nil {
+				paramProps = map[string]string{}
+			}
+			paramProps[k.text] = t.text
+		} else {
+			v, err := p.parseLiteral()
+			if err != nil {
+				return nil, nil, err
+			}
+			props[k.text] = v
+		}
+		if p.cur().kind == tokComma {
+			p.i++
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRBrace, "}"); err != nil {
+		return nil, nil, err
+	}
+	return props, paramProps, nil
 }
 
 func (p *parser) parseLiteral() (Value, error) {

@@ -206,6 +206,42 @@ func (s *OptionalStage) describe() string {
 	return fmt.Sprintf("Optional [introduces %s]", strings.Join(vars, ", "))
 }
 
+// MutationStage applies a part's writing clauses. It is an eager
+// barrier: on first pull it drains and buffers its entire input (the
+// part's reading clauses), applies CREATE/MERGE, SET and DELETE once
+// per buffered row — so writes can never feed the very match that
+// produced them — then re-streams the rows, with created entities bound
+// to their pattern variables.
+type MutationStage struct {
+	Writes *writeClauses
+	Est    float64
+}
+
+func (s *MutationStage) estRows() float64 { return s.Est }
+func (s *MutationStage) filters() []Expr  { return nil }
+
+func (s *MutationStage) describe() string {
+	var parts []string
+	for _, cc := range s.Writes.creates {
+		kw := "Create"
+		if cc.Merge {
+			kw = "Merge"
+		}
+		parts = append(parts, fmt.Sprintf("%s %d pattern(s)", kw, len(cc.Patterns)))
+	}
+	if n := len(s.Writes.sets); n > 0 {
+		parts = append(parts, fmt.Sprintf("Set %d prop(s)", n))
+	}
+	if dc := s.Writes.del; dc != nil {
+		kw := "Delete"
+		if dc.Detach {
+			kw = "DetachDelete"
+		}
+		parts = append(parts, fmt.Sprintf("%s %s", kw, strings.Join(dc.Vars, ", ")))
+	}
+	return "Mutate (eager) [" + strings.Join(parts, "; ") + "]"
+}
+
 // PlanSegment is one WITH-delimited pipeline segment: stages producing
 // bindings, then a projection. Non-final segments feed their projected
 // rows to the next segment as fresh bindings; the final segment carries
@@ -230,9 +266,12 @@ type PlanSegment struct {
 // Plan is the executable query plan: a chain of pipeline segments.
 // Params carries the $parameter names the plan's query references, so a
 // cache hit can validate bindings without re-parsing the text.
+// HasWrites marks plans with mutation stages: they refuse to run on a
+// read-only engine and report WriteStats.
 type Plan struct {
-	Segments []*PlanSegment
-	Params   []string
+	Segments  []*PlanSegment
+	Params    []string
+	HasWrites bool
 }
 
 // final returns the RETURN segment.
@@ -275,7 +314,11 @@ func (p *Plan) String() string {
 		} else if seg.HasAggregate {
 			op = "With (aggregating)"
 		}
-		fmt.Fprintf(&b, "   => %s %s\n", op, strings.Join(cols, ", "))
+		colsText := strings.Join(cols, ", ")
+		if colsText == "" {
+			colsText = "(write counts only)"
+		}
+		fmt.Fprintf(&b, "   => %s %s\n", op, colsText)
 		if seg.Distinct && !seg.HasAggregate {
 			b.WriteString("   => Distinct\n")
 		}

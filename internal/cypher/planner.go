@@ -42,7 +42,7 @@ func (e *Engine) planQuery(q *Query) (*Plan, error) {
 	if len(q.Parts) == 0 {
 		return nil, fmt.Errorf("cypher: empty query")
 	}
-	pl := &Plan{Params: q.Params}
+	pl := &Plan{Params: q.Params, HasWrites: q.HasWrites()}
 	bound := map[string]bool{}
 	synth := 0
 	for pi := range q.Parts {
@@ -65,7 +65,7 @@ func (e *Engine) planQuery(q *Query) (*Plan, error) {
 // planPart plans one WITH-delimited segment. preBound names the
 // variables carried in from the previous segment's projection.
 func (e *Engine) planPart(part *QueryPart, final bool, preBound map[string]bool, synth *int) (*PlanSegment, error) {
-	if len(part.Items) == 0 {
+	if len(part.Items) == 0 && !(final && part.HasWrites()) {
 		return nil, fmt.Errorf("cypher: empty RETURN")
 	}
 	seg := &PlanSegment{
@@ -115,6 +115,12 @@ func (e *Engine) planPart(part *QueryPart, final bool, preBound map[string]bool,
 		preRun := copyBound(bound)
 		cur = e.planPatterns(&seg.Stages, pats, bound, eq, cur)
 		assignPredicates(seg.Stages[runStart:], conjs, run.where, preRun)
+	}
+	if wc := writeClausesOf(part); wc != nil {
+		// Writes run after every read of the part has materialized
+		// (the stage is an eager barrier) and bind their created
+		// variables for the projection.
+		seg.Stages = append(seg.Stages, &MutationStage{Writes: wc, Est: cur})
 	}
 	return seg, nil
 }

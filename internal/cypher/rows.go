@@ -22,12 +22,22 @@ import (
 // their input; those queries buffer internally on the first Next call
 // (charging the byte budget), then stream the buffered result.
 type Rows struct {
-	cols []string
-	src  rowSource
-	cur  []Value
-	err  error
-	done bool
+	cols    []string
+	src     rowSource
+	cur     []Value
+	err     error
+	done    bool
+	started bool // Next was called at least once
+	writes  *WriteStats
 }
+
+// Writes returns the statement's write counters (nil for read-only
+// statements). A write statement applies all of its mutations on the
+// first Next call (the mutation stage is an eager barrier); closing a
+// write cursor that was never advanced applies them too (Close pulls
+// once), so the counters are complete once the cursor is exhausted or
+// closed. An error during that deferred application surfaces via Err.
+func (r *Rows) Writes() *WriteStats { return r.writes }
 
 // rowSource produces rows one at a time; nil row = exhausted. Sources
 // are small structs rather than closures so a cursor costs one
@@ -51,6 +61,7 @@ func (r *Rows) Next() bool {
 	if r.done {
 		return false
 	}
+	r.started = true
 	row, err := r.src.pull()
 	if err != nil {
 		r.err = err
@@ -116,10 +127,19 @@ func (r *Rows) Err() error { return r.err }
 
 // Close releases the cursor. Abandoning a cursor early (e.g. after the
 // first row of interest) stops all upstream pattern matching — nothing
-// past the pulled rows is ever computed.
+// past the pulled rows is ever computed. The one exception is a write
+// statement whose cursor was never advanced: its mutations have not
+// run yet (they apply on the first pull), so Close pulls once to apply
+// them — a write a caller was handed must not silently evaporate. Any
+// error from that application lands in Err.
 func (r *Rows) Close() error {
+	if r.writes != nil && !r.started && !r.done && r.src != nil {
+		if _, err := r.src.pull(); err != nil {
+			r.err = err
+		}
+	}
 	r.close()
-	return nil
+	return r.err
 }
 
 func (r *Rows) close() {
@@ -147,7 +167,9 @@ func (s *sliceSource) pull() ([]Value, error) {
 // rowsFromResult adapts an already-materialized result to the cursor
 // interface.
 func rowsFromResult(res *Result) *Rows {
-	return newRows(res.Columns, &sliceSource{rows: res.Rows})
+	r := newRows(res.Columns, &sliceSource{rows: res.Rows})
+	r.writes = res.Writes
+	return r
 }
 
 // materialize drains a cursor into a rectangular Result, honoring the
@@ -169,6 +191,7 @@ func materialize(rows *Rows, maxRows int) (*Result, error) {
 	if err := rows.Err(); err != nil {
 		return nil, err
 	}
+	res.Writes = rows.Writes()
 	return res, nil
 }
 
@@ -239,7 +262,14 @@ func bindingBytes(b binding) int {
 func (e *Engine) rowsForPlan(pl *Plan, ps params) (*Rows, error) {
 	fin := pl.final()
 	bud := newBudget(e.opts.MaxBytes)
-	ec := &execCtx{e: e, b: binding{}, ps: ps, bud: bud}
+	var writes *WriteStats
+	if pl.HasWrites {
+		if e.opts.ReadOnly {
+			return nil, errReadOnly
+		}
+		writes = &WriteStats{}
+	}
+	ec := &execCtx{e: e, b: binding{}, ps: ps, bud: bud, writes: writes}
 	var root iter
 	for si, seg := range pl.Segments {
 		for _, st := range seg.Stages {
@@ -252,7 +282,7 @@ func (e *Engine) rowsForPlan(pl *Plan, ps params) (*Rows, error) {
 		}
 		root = buildStageChain(ec, seg.Stages, root)
 		if si < len(pl.Segments)-1 {
-			nec := &execCtx{e: e, b: binding{}, ps: ps, bud: bud}
+			nec := &execCtx{e: e, b: binding{}, ps: ps, bud: bud, writes: writes}
 			w := &withIter{srcEC: ec, dstEC: nec, seg: seg, src: root}
 			if seg.Distinct && !seg.HasAggregate {
 				w.seen = map[string]bool{}
@@ -262,8 +292,28 @@ func (e *Engine) rowsForPlan(pl *Plan, ps params) (*Rows, error) {
 		}
 	}
 
+	if writes != nil && fin.Limit == 0 && len(fin.Items) > 0 {
+		// LIMIT 0 returns no rows, but the statement's writes must still
+		// apply (the legacy engine applies them; row sources would
+		// short-circuit without ever pulling the mutation stage). Drain
+		// the pipeline now; the source below then emits nothing.
+		for {
+			ok, err := root.next()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+		}
+	}
+
 	var src rowSource
 	switch {
+	case len(fin.Items) == 0:
+		// Write-only statement: drain the pipeline (applying every
+		// mutation), emit no rows.
+		src = &drainSource{root: root}
 	case fin.HasAggregate:
 		src = &aggSource{fin: fin, root: root, ec: ec}
 	case fin.op != nil:
@@ -279,7 +329,32 @@ func (e *Engine) rowsForPlan(pl *Plan, ps params) (*Rows, error) {
 		}
 		src = st
 	}
-	return newRows(fin.cols, src), nil
+	r := newRows(fin.cols, src)
+	r.writes = writes
+	return r, nil
+}
+
+// drainSource exhausts the pipeline without projecting: the execution
+// path of a write-only statement, whose result is its WriteStats.
+type drainSource struct {
+	root iter
+	done bool
+}
+
+func (d *drainSource) pull() ([]Value, error) {
+	if d.done {
+		return nil, nil
+	}
+	d.done = true
+	for {
+		ok, err := d.root.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, nil
+		}
+	}
 }
 
 // basePull produces the next accepted (projected, budget-charged,

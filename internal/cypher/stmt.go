@@ -29,7 +29,10 @@ func (e *Engine) Prepare(src string) (*Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(q.Parts) == 0 || len(q.Parts[len(q.Parts)-1].Items) == 0 {
+	if len(q.Parts) == 0 {
+		return nil, fmt.Errorf("cypher: empty query")
+	}
+	if fin := &q.Parts[len(q.Parts)-1]; len(fin.Items) == 0 && !fin.HasWrites() {
 		return nil, fmt.Errorf("cypher: empty RETURN")
 	}
 	st := &Stmt{e: e, src: src, key: e.cacheKey(src), q: q}

@@ -372,12 +372,12 @@ func TestOptionalWithCollectHuntQuery(t *testing.T) {
 
 func TestNewSurfaceParseErrors(t *testing.T) {
 	bad := []string{
-		`match (a)-[r:T*1..3]->(b) return a`,  // var-length cannot bind
-		`match (a)-[:T*3..1]->(b) return a`,   // empty range
-		`match (a)-[:T*1.5]->(b) return a`,    // fractional hops
-		`match (n) return min(*)`,             // star only for count
-		`match (n) with return n`,             // WITH needs items
-		`optional match (n) return n limit x`, // bad limit
+		`match (a)-[r:T*1..3]->(b) return a`,        // var-length cannot bind
+		`match (a)-[:T*3..1]->(b) return a`,         // empty range
+		`match (a)-[:T*1.5]->(b) return a`,          // fractional hops
+		`match (n) return min(*)`,                   // star only for count
+		`match (n) with return n`,                   // WITH needs items
+		`optional match (n) return n limit x`,       // bad limit
 		`match (n) with n order by n.name return n`, // ORDER BY only on RETURN
 		`match (n) return n with n`,                 // WITH after RETURN
 	}

@@ -1,0 +1,334 @@
+package cypher
+
+import (
+	"fmt"
+
+	"securitykg/internal/graph"
+)
+
+// This file is the write path shared by both engines: one function
+// (applyWrites) applies a part's CREATE/MERGE, SET and DELETE clauses
+// to one matched row, so mutation semantics cannot drift between the
+// planned pipeline (mutationIter) and the legacy matcher. Writes are
+// eager: a part's reading clauses fully materialize before its writes
+// run, which is what keeps a CREATE from feeding its own MATCH
+// (the Halloween problem) and keeps both engines row-for-row identical.
+//
+// Statements are NOT atomic: writes apply row by row, and a statement
+// that errors mid-way (a connected node hit by plain DELETE, a type
+// error in a SET expression) leaves the earlier rows' mutations
+// applied — and, on a durable store, WAL-logged. The error reports the
+// first failure; there is no rollback. A transaction layer is future
+// work (see ROADMAP); until then, validate-before-write or DETACH
+// DELETE defensively.
+
+// WriteStats counts what a write query changed. Merged-but-not-created
+// entities (the store's exact-(type, name) merge rule firing) do not
+// count as created. The counts are exact for a single writer; under
+// CONCURRENT writers racing on the same keys they are best-effort (the
+// "did it change" pre-checks run outside the store op's critical
+// section), while the store state and the WAL stay exact — tightening
+// this means the store ops reporting their own deltas, which belongs
+// with the transaction layer (see ROADMAP).
+type WriteStats struct {
+	NodesCreated int `json:"nodes_created"`
+	EdgesCreated int `json:"edges_created"`
+	PropsSet     int `json:"props_set"`
+	NodesDeleted int `json:"nodes_deleted"`
+	EdgesDeleted int `json:"edges_deleted"`
+}
+
+// Zero reports whether nothing was changed.
+func (w WriteStats) Zero() bool { return w == WriteStats{} }
+
+func (w WriteStats) String() string {
+	return fmt.Sprintf("nodes created: %d, edges created: %d, props set: %d, nodes deleted: %d, edges deleted: %d",
+		w.NodesCreated, w.EdgesCreated, w.PropsSet, w.NodesDeleted, w.EdgesDeleted)
+}
+
+// writeClauses bundles one part's writing clauses in application order.
+type writeClauses struct {
+	creates []CreateClause
+	sets    []SetItem
+	del     *DeleteClause
+}
+
+// writeClausesOf extracts a part's writes (nil for read-only parts).
+func writeClausesOf(part *QueryPart) *writeClauses {
+	if !part.HasWrites() {
+		return nil
+	}
+	return &writeClauses{creates: part.Creates, sets: part.Sets, del: part.Delete}
+}
+
+// applyWrites applies one part's writes for one row, mutating the
+// binding in place: CREATE/MERGE bind their pattern variables to the
+// created-or-merged entities, SET refreshes the variable it updates so
+// downstream projections see the new value. Every count lands in stats.
+func (e *Engine) applyWrites(wc *writeClauses, b binding, ps params, stats *WriteStats) error {
+	for i := range wc.creates {
+		cc := &wc.creates[i]
+		for pi := range cc.Patterns {
+			if err := e.createPattern(&cc.Patterns[pi], b, ps, stats); err != nil {
+				return err
+			}
+		}
+	}
+	for i := range wc.sets {
+		if err := e.applySet(&wc.sets[i], b, ps, stats); err != nil {
+			return err
+		}
+	}
+	if wc.del != nil {
+		if err := e.applyDelete(wc.del, b, stats); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// createPattern merges one pattern chain into the store: nodes left to
+// right, then the edges between them.
+func (e *Engine) createPattern(p *Pattern, b binding, ps params, stats *WriteStats) error {
+	ids := make([]graph.NodeID, len(p.Nodes))
+	for i := range p.Nodes {
+		id, err := e.createNode(&p.Nodes[i], b, ps, stats)
+		if err != nil {
+			return err
+		}
+		ids[i] = id
+	}
+	for i := range p.Edges {
+		ep := &p.Edges[i]
+		from, to := ids[i], ids[i+1]
+		if ep.Dir == DirLeft {
+			from, to = to, from
+		}
+		attrs, err := resolveAttrs(ep.Props, ep.ParamProps, ps)
+		if err != nil {
+			return err
+		}
+		// Like createNode: an existing edge augmented with new attributes
+		// is a real (WAL-logged) mutation, counted as props set.
+		augmented := 0
+		if len(attrs) > 0 {
+			for _, ed := range e.store.Edges(from, graph.Out) {
+				if ed.Type != ep.Type || ed.To != to {
+					continue
+				}
+				for k := range attrs {
+					if _, has := ed.Attrs[k]; !has {
+						augmented++
+					}
+				}
+				break
+			}
+		}
+		id, created, err := e.store.AddEdge(from, ep.Type, to, attrs)
+		if err != nil {
+			return err
+		}
+		if created {
+			stats.EdgesCreated++
+		} else {
+			stats.PropsSet += augmented
+		}
+		if ep.Var != "" {
+			if _, bound := b[ep.Var]; bound {
+				return fmt.Errorf("cypher: relationship variable %q already bound in CREATE", ep.Var)
+			}
+			b[ep.Var] = EdgeValue(e.store.Edge(id))
+		}
+	}
+	return nil
+}
+
+// createNode resolves one CREATE pattern node: an already-bound
+// variable refers to the existing node (and may carry no further
+// pattern), anything else needs a label and a name and is merged in.
+func (e *Engine) createNode(np *NodePattern, b binding, ps params, stats *WriteStats) (graph.NodeID, error) {
+	if np.Var != "" {
+		if v, bound := b[np.Var]; bound {
+			if v.Kind != KindNode {
+				return 0, fmt.Errorf("cypher: CREATE endpoint %q is not a node (null from OPTIONAL MATCH?)", np.Var)
+			}
+			if np.Label != "" || len(np.Props) > 0 || len(np.ParamProps) > 0 {
+				return 0, fmt.Errorf("cypher: variable %q is already bound; a CREATE/MERGE reuse cannot restate a label or properties", np.Var)
+			}
+			if e.store.Node(v.Node.ID) == nil {
+				return 0, fmt.Errorf("cypher: CREATE endpoint %q refers to a deleted node", np.Var)
+			}
+			return v.Node.ID, nil
+		}
+	}
+	if np.Label == "" {
+		return 0, fmt.Errorf("cypher: CREATE/MERGE requires a label on (%s)", displayVar(np.Var))
+	}
+	attrs, err := resolveAttrs(np.Props, np.ParamProps, ps)
+	if err != nil {
+		return 0, err
+	}
+	name, ok := attrs["name"]
+	if !ok {
+		return 0, fmt.Errorf("cypher: CREATE/MERGE requires a name property on (%s:%s) — the store merges on exact (label, name)", displayVar(np.Var), np.Label)
+	}
+	delete(attrs, "name")
+	if len(attrs) == 0 {
+		attrs = nil
+	}
+	// A merge hit that augments an existing node with new attributes is
+	// a real mutation (it is WAL-logged); count the added properties so
+	// the stats never claim "nothing changed" for a write that changed
+	// something. Diffed before the merge because MergeNode only reports
+	// whether the node itself was created.
+	augmented := 0
+	if existing := e.store.FindNode(np.Label, name); existing != nil {
+		for k := range attrs {
+			if _, has := existing.Attrs[k]; !has {
+				augmented++
+			}
+		}
+	}
+	id, created := e.store.MergeNode(np.Label, name, attrs)
+	if created {
+		stats.NodesCreated++
+	} else {
+		stats.PropsSet += augmented
+	}
+	if np.Var != "" {
+		b[np.Var] = NodeValue(e.store.Node(id))
+	}
+	return id, nil
+}
+
+// resolveAttrs renders a pattern's literal and $parameter properties as
+// store attributes.
+func resolveAttrs(props map[string]Value, paramProps map[string]string, ps params) (map[string]string, error) {
+	if len(props) == 0 && len(paramProps) == 0 {
+		return nil, nil
+	}
+	attrs := make(map[string]string, len(props)+len(paramProps))
+	for k, v := range props {
+		s, err := attrString(k, v)
+		if err != nil {
+			return nil, err
+		}
+		attrs[k] = s
+	}
+	for k, pn := range paramProps {
+		v, ok := ps.get(pn)
+		if !ok {
+			return nil, fmt.Errorf("cypher: missing parameter $%s", pn)
+		}
+		s, err := attrString(k, v)
+		if err != nil {
+			return nil, err
+		}
+		attrs[k] = s
+	}
+	return attrs, nil
+}
+
+// attrString renders a value as a store attribute (attributes are
+// strings; numbers and booleans use their canonical rendering).
+func attrString(key string, v Value) (string, error) {
+	switch v.Kind {
+	case KindString, KindNumber, KindBool:
+		return v.String(), nil
+	}
+	return "", fmt.Errorf("cypher: property %q must be a string, number or boolean (got %s)", key, v.String())
+}
+
+// applySet applies one SET assignment for one row. Null targets (an
+// OPTIONAL MATCH that found nothing) skip silently, mirroring Neo4j.
+func (e *Engine) applySet(it *SetItem, b binding, ps params, stats *WriteStats) error {
+	v, bound := b[it.Var]
+	if !bound {
+		return fmt.Errorf("cypher: SET references unbound variable %q", it.Var)
+	}
+	if v.Kind == KindNull {
+		return nil
+	}
+	if v.Kind != KindNode {
+		return fmt.Errorf("cypher: SET is only supported on nodes (%q is %s)", it.Var, v.String())
+	}
+	switch it.Prop {
+	case "name", "type", "label", "id":
+		return fmt.Errorf("cypher: cannot SET %s.%s — it is structural (drives the merge and label indexes)", it.Var, it.Prop)
+	}
+	val, err := evalExpr(it.Val, b, ps)
+	if err != nil {
+		return err
+	}
+	if val.Kind == KindNull {
+		return fmt.Errorf("cypher: cannot SET %s.%s to null (attribute removal is not supported)", it.Var, it.Prop)
+	}
+	s, err := attrString(it.Prop, val)
+	if err != nil {
+		return err
+	}
+	// Writing the value already present is a no-op everywhere (the store
+	// neither logs nor bumps its epoch), so the counter agrees with the
+	// WAL: PropsSet counts what actually changed.
+	cur := e.store.Node(v.Node.ID)
+	if cur == nil {
+		return fmt.Errorf("cypher: SET %s.%s: node was deleted", it.Var, it.Prop)
+	}
+	if old, had := cur.Attrs[it.Prop]; had && old == s {
+		b[it.Var] = NodeValue(cur)
+		return nil
+	}
+	if err := e.store.SetAttr(v.Node.ID, it.Prop, s); err != nil {
+		return err
+	}
+	stats.PropsSet++
+	// Refresh the binding so downstream projections see the new value.
+	b[it.Var] = NodeValue(e.store.Node(v.Node.ID))
+	return nil
+}
+
+// applyDelete deletes the row's bound entities. Entities a previous row
+// already removed (or edges that vanished with a DETACH-deleted
+// endpoint) skip silently; the store is the source of truth.
+func (e *Engine) applyDelete(dc *DeleteClause, b binding, stats *WriteStats) error {
+	for _, name := range dc.Vars {
+		v, bound := b[name]
+		if !bound {
+			return fmt.Errorf("cypher: DELETE references unbound variable %q", name)
+		}
+		switch v.Kind {
+		case KindNull:
+			continue
+		case KindEdge:
+			if e.store.Edge(v.Edge.ID) == nil {
+				continue
+			}
+			if err := e.store.DeleteEdge(v.Edge.ID); err != nil {
+				return err
+			}
+			stats.EdgesDeleted++
+		case KindNode:
+			if e.store.Node(v.Node.ID) == nil {
+				continue
+			}
+			// Count distinct incident edges: a self-loop appears in both
+			// the out and in incidence lists but is one edge.
+			seen := map[graph.EdgeID]struct{}{}
+			for _, ed := range e.store.Edges(v.Node.ID, graph.Both) {
+				seen[ed.ID] = struct{}{}
+			}
+			incident := len(seen)
+			if incident > 0 && !dc.Detach {
+				return fmt.Errorf("cypher: cannot DELETE %q: node still has %d relationship(s) — use DETACH DELETE", name, incident)
+			}
+			if err := e.store.DeleteNode(v.Node.ID); err != nil {
+				return err
+			}
+			stats.NodesDeleted++
+			stats.EdgesDeleted += incident
+		default:
+			return fmt.Errorf("cypher: DELETE expects a node or relationship (%q is %s)", name, v.String())
+		}
+	}
+	return nil
+}

@@ -69,7 +69,13 @@ type Store struct {
 	edgeKey  map[string]EdgeID
 
 	edgeTypeCount map[string]int // live per-type edge counts for the statistics layer
-	idxEpoch      int64          // bumped by IndexAttr; consumers cache it to notice new indexes
+	// idxEpoch is the invalidation epoch: bumped by IndexAttr and by every
+	// effective mutation, so plan caches and stats consumers notice both
+	// new access paths and cardinality drift deterministically.
+	idxEpoch int64
+	// onMutation observes every effective mutation under the write lock
+	// (SetMutationHook); the durability layer tees writes into its WAL here.
+	onMutation func(Mutation)
 
 	nextNode NodeID
 	nextEdge EdgeID
@@ -190,17 +196,22 @@ func (s *Store) MergeNode(typ, name string, attrs map[string]string) (NodeID, bo
 	if id, ok := s.byKey[key]; ok {
 		s.mergeHits++
 		n := s.nodes[id]
+		augmented := false
 		for k, v := range attrs {
 			if _, exists := n.Attrs[k]; !exists {
 				if n.Attrs == nil {
 					n.Attrs = make(map[string]string)
 				}
 				n.Attrs[k] = v
+				augmented = true
 				if s.indexed[k] {
 					s.propIdxAdd(k, v, id)
 					s.typeAttrAdd(n.Type, k, v, id)
 				}
 			}
+		}
+		if augmented {
+			s.noteMutation(Mutation{Op: OpMergeNode, Type: typ, Name: name, Attrs: attrs})
 		}
 		return id, false
 	}
@@ -227,6 +238,7 @@ func (s *Store) MergeNode(typ, name string, attrs map[string]string) (NodeID, bo
 		s.byName[name] = make(map[NodeID]struct{})
 	}
 	s.byName[name][id] = struct{}{}
+	s.noteMutation(Mutation{Op: OpMergeNode, Type: typ, Name: name, Attrs: attrs})
 	return id, true
 }
 
@@ -245,13 +257,18 @@ func (s *Store) AddEdge(from NodeID, typ string, to NodeID, attrs map[string]str
 	ek := edgeKeyOf(from, typ, to)
 	if id, ok := s.edgeKey[ek]; ok {
 		e := s.edges[id]
+		augmented := false
 		for k, v := range attrs {
 			if _, exists := e.Attrs[k]; !exists {
 				if e.Attrs == nil {
 					e.Attrs = make(map[string]string)
 				}
 				e.Attrs[k] = v
+				augmented = true
 			}
+		}
+		if augmented {
+			s.noteMutation(Mutation{Op: OpAddEdge, From: from, Type: typ, To: to, Attrs: attrs})
 		}
 		return id, false, nil
 	}
@@ -269,6 +286,7 @@ func (s *Store) AddEdge(from NodeID, typ string, to NodeID, attrs map[string]str
 	s.out[from] = append(s.out[from], id)
 	s.in[to] = append(s.in[to], id)
 	s.edgeTypeCount[typ]++
+	s.noteMutation(Mutation{Op: OpAddEdge, From: from, Type: typ, To: to, Attrs: attrs})
 	return id, true, nil
 }
 
@@ -429,7 +447,11 @@ func (s *Store) SetAttr(id NodeID, key, val string) error {
 	if !ok {
 		return fmt.Errorf("graph: SetAttr: unknown node %d", id)
 	}
-	if old, had := n.Attrs[key]; had && s.indexed[key] {
+	old, had := n.Attrs[key]
+	if had && old == val {
+		return nil // no-op write: nothing to invalidate or log
+	}
+	if had && s.indexed[key] {
 		s.propIdxDel(key, old, id)
 		s.typeAttrDel(n.Type, key, old, id)
 	}
@@ -441,6 +463,7 @@ func (s *Store) SetAttr(id NodeID, key, val string) error {
 		s.propIdxAdd(key, val, id)
 		s.typeAttrAdd(n.Type, key, val, id)
 	}
+	s.noteMutation(Mutation{Op: OpSetAttr, Node: id, Key: key, Val: val})
 	return nil
 }
 
@@ -467,6 +490,7 @@ func (s *Store) DeleteNode(id NodeID) error {
 	delete(s.nodes, id)
 	delete(s.out, id)
 	delete(s.in, id)
+	s.noteMutation(Mutation{Op: OpDeleteNode, Node: id})
 	return nil
 }
 
@@ -478,6 +502,7 @@ func (s *Store) DeleteEdge(id EdgeID) error {
 		return fmt.Errorf("graph: DeleteEdge: unknown edge %d", id)
 	}
 	s.deleteEdgeLocked(id)
+	s.noteMutation(Mutation{Op: OpDeleteEdge, Edge: id})
 	return nil
 }
 
@@ -519,6 +544,9 @@ func (s *Store) MigrateEdges(from, to NodeID) error {
 	}
 	outs := append([]EdgeID{}, s.out[from]...)
 	ins := append([]EdgeID{}, s.in[from]...)
+	if len(outs) == 0 && len(ins) == 0 {
+		return nil // nothing incident: no state change to log
+	}
 	for _, eid := range outs {
 		e := s.edges[eid]
 		typ, dst, attrs := e.Type, e.To, e.Attrs
@@ -540,6 +568,9 @@ func (s *Store) MigrateEdges(from, to NodeID) error {
 		}
 		s.addEdgeLocked(src, typ, to, attrs)
 	}
+	// One logical record regardless of fan-in/out: replaying the call
+	// reproduces every per-edge delete/re-add deterministically.
+	s.noteMutation(Mutation{Op: OpMigrateEdges, From: from, To: to})
 	return nil
 }
 
@@ -661,6 +692,25 @@ const persistMagic = "securitykg-graph"
 func (s *Store) Save(w io.Writer) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	return s.saveLocked(w)
+}
+
+// SaveWithHeader writes hdr's output, then the Save stream, all under one
+// read lock — so whatever the header records (the durability layer's WAL
+// sequence number) observes exactly the state the snapshot captures: no
+// mutation can slip between the two.
+func (s *Store) SaveWithHeader(w io.Writer, hdr func(io.Writer) error) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if hdr != nil {
+		if err := hdr(w); err != nil {
+			return err
+		}
+	}
+	return s.saveLocked(w)
+}
+
+func (s *Store) saveLocked(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	hdr := persistHeader{
@@ -713,6 +763,12 @@ func Load(r io.Reader) (*Store, error) {
 		if err := dec.Decode(&n); err != nil {
 			return nil, fmt.Errorf("graph: load node %d/%d: %w", i, hdr.Nodes, err)
 		}
+		if _, dup := s.nodes[n.ID]; dup {
+			return nil, fmt.Errorf("graph: load: duplicate node id %d", n.ID)
+		}
+		if _, dup := s.byKey[nodeKey(n.Type, n.Name)]; dup {
+			return nil, fmt.Errorf("graph: load: duplicate node (%s, %q)", n.Type, n.Name)
+		}
 		nc := n
 		s.nodes[n.ID] = &nc
 		s.byKey[nodeKey(n.Type, n.Name)] = n.ID
@@ -729,6 +785,15 @@ func Load(r io.Reader) (*Store, error) {
 		var e Edge
 		if err := dec.Decode(&e); err != nil {
 			return nil, fmt.Errorf("graph: load edge %d/%d: %w", i, hdr.Edges, err)
+		}
+		if _, dup := s.edges[e.ID]; dup {
+			return nil, fmt.Errorf("graph: load: duplicate edge id %d", e.ID)
+		}
+		if _, ok := s.nodes[e.From]; !ok {
+			return nil, fmt.Errorf("graph: load: edge %d references unknown node %d", e.ID, e.From)
+		}
+		if _, ok := s.nodes[e.To]; !ok {
+			return nil, fmt.Errorf("graph: load: edge %d references unknown node %d", e.ID, e.To)
 		}
 		ec := e
 		s.edges[e.ID] = &ec

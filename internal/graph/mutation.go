@@ -1,0 +1,89 @@
+package graph
+
+import "fmt"
+
+// This file defines the logical mutation log the durability layer hangs
+// off the store: every state-changing public operation describes itself
+// as a Mutation, and a hook installed with SetMutationHook observes the
+// sequence under the store's write lock — in exactly the order the
+// mutations applied. Replaying the same Mutation sequence against the
+// same starting state reproduces the store byte-for-byte (including
+// NextNode/NextEdge allocation), which is what makes the write-ahead log
+// in internal/storage a correct recovery mechanism.
+
+// MutationOp names one replayable store operation.
+type MutationOp string
+
+const (
+	OpMergeNode    MutationOp = "merge_node"
+	OpAddEdge      MutationOp = "add_edge"
+	OpSetAttr      MutationOp = "set_attr"
+	OpDeleteNode   MutationOp = "delete_node"
+	OpDeleteEdge   MutationOp = "delete_edge"
+	OpMigrateEdges MutationOp = "migrate_edges"
+)
+
+// Mutation is one logical store mutation, carrying the arguments of the
+// public call that produced it (not its effect): replay re-issues the
+// call, and because every store operation is deterministic given the
+// prior state, the effect reproduces exactly. Fields are a union across
+// ops; unused fields are zero.
+type Mutation struct {
+	Op    MutationOp
+	Type  string            // merge_node: node type; add_edge: edge type
+	Name  string            // merge_node: node name
+	Attrs map[string]string // merge_node / add_edge: input attributes
+	From  NodeID            // add_edge source; migrate_edges from
+	To    NodeID            // add_edge target; migrate_edges to
+	Node  NodeID            // set_attr / delete_node target
+	Edge  EdgeID            // delete_edge target
+	Key   string            // set_attr key
+	Val   string            // set_attr value
+}
+
+// SetMutationHook installs fn, called under the store's write lock after
+// every effective mutation (calls that change no state — a MergeNode hit
+// adding no attributes, a SetAttr writing the value already present — do
+// not fire). The hook must be fast and must not call back into the
+// store or retain the Attrs map past its return; the write-ahead log
+// encodes the record inside the callback. Passing nil uninstalls.
+func (s *Store) SetMutationHook(fn func(Mutation)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onMutation = fn
+}
+
+// noteMutation records one effective mutation: the invalidation epoch
+// bumps so shared plan caches and statistics consumers deterministically
+// notice the drift, then the durability hook (if any) observes the
+// mutation. Callers hold the write lock.
+func (s *Store) noteMutation(m Mutation) {
+	s.idxEpoch++
+	if s.onMutation != nil {
+		s.onMutation(m)
+	}
+}
+
+// Apply replays one mutation through the corresponding public operation.
+// It is how recovery turns a surviving WAL prefix back into state; the
+// caller installs the mutation hook only after replay, so replay itself
+// is never re-logged.
+func (s *Store) Apply(m Mutation) error {
+	switch m.Op {
+	case OpMergeNode:
+		s.MergeNode(m.Type, m.Name, m.Attrs)
+		return nil
+	case OpAddEdge:
+		_, _, err := s.AddEdge(m.From, m.Type, m.To, m.Attrs)
+		return err
+	case OpSetAttr:
+		return s.SetAttr(m.Node, m.Key, m.Val)
+	case OpDeleteNode:
+		return s.DeleteNode(m.Node)
+	case OpDeleteEdge:
+		return s.DeleteEdge(m.Edge)
+	case OpMigrateEdges:
+		return s.MigrateEdges(m.From, m.To)
+	}
+	return fmt.Errorf("graph: Apply: unknown mutation op %q", m.Op)
+}

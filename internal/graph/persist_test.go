@@ -1,0 +1,170 @@
+package graph
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// Save/Load failure-mode coverage: recovery builds on this format, so
+// damaged inputs must fail loudly instead of loading half a graph.
+
+// persistFixture builds a small graph and returns its Save bytes.
+func persistFixture(t *testing.T) (*Store, []byte) {
+	t.Helper()
+	s := New()
+	a, _ := s.MergeNode("Malware", "wannacry", map[string]string{"platform": "windows"})
+	b, _ := s.MergeNode("IP", "10.1.2.3", nil)
+	c, _ := s.MergeNode("Tool", "mimikatz", nil)
+	s.AddEdge(a, "CONNECT", b, map[string]string{"proto": "tcp"})
+	s.AddEdge(a, "USE", c, nil)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	return s, buf.Bytes()
+}
+
+func TestLoadTruncatedStream(t *testing.T) {
+	_, data := persistFixture(t)
+	// Every truncation that cuts into or before a record must error —
+	// the header's node/edge counts promise more records than arrive.
+	for _, cut := range []int{0, 1, len(data) / 4, len(data) / 2, len(data) - 2} {
+		if _, err := Load(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("Load accepted a stream truncated at %d/%d bytes", cut, len(data))
+		}
+	}
+}
+
+func TestLoadMidRecordCorruption(t *testing.T) {
+	_, data := persistFixture(t)
+	// Smash the middle of a node record's JSON.
+	lines := bytes.Split(data, []byte("\n"))
+	if len(lines) < 4 {
+		t.Fatal("fixture too small")
+	}
+	lines[2] = []byte(`{"id":2,"type":`)
+	if _, err := Load(bytes.NewReader(bytes.Join(lines, []byte("\n")))); err == nil {
+		t.Error("Load accepted mid-record corruption")
+	}
+	// A wrong magic and a wrong version must also fail.
+	if _, err := Load(strings.NewReader(`{"magic":"other","version":1,"nodes":0,"edges":0}` + "\n")); err == nil {
+		t.Error("Load accepted a foreign magic")
+	}
+	if _, err := Load(strings.NewReader(`{"magic":"securitykg-graph","version":9,"nodes":0,"edges":0}` + "\n")); err == nil {
+		t.Error("Load accepted an unknown version")
+	}
+}
+
+func TestLoadDuplicateAndDanglingRecords(t *testing.T) {
+	// Duplicate node IDs.
+	in := `{"magic":"securitykg-graph","version":1,"next_node":2,"next_edge":0,"nodes":2,"edges":0}
+{"id":1,"type":"A","name":"x"}
+{"id":1,"type":"B","name":"y"}
+`
+	if _, err := Load(strings.NewReader(in)); err == nil || !strings.Contains(err.Error(), "duplicate node id") {
+		t.Errorf("duplicate node id: got %v", err)
+	}
+	// Duplicate (type, name) pairs under different IDs break the merge index.
+	in = `{"magic":"securitykg-graph","version":1,"next_node":2,"next_edge":0,"nodes":2,"edges":0}
+{"id":1,"type":"A","name":"x"}
+{"id":2,"type":"A","name":"x"}
+`
+	if _, err := Load(strings.NewReader(in)); err == nil || !strings.Contains(err.Error(), "duplicate node") {
+		t.Errorf("duplicate (type,name): got %v", err)
+	}
+	// An edge referencing a node that was never loaded.
+	in = `{"magic":"securitykg-graph","version":1,"next_node":1,"next_edge":1,"nodes":1,"edges":1}
+{"id":1,"type":"A","name":"x"}
+{"id":1,"type":"E","from":1,"to":99}
+`
+	if _, err := Load(strings.NewReader(in)); err == nil || !strings.Contains(err.Error(), "unknown node") {
+		t.Errorf("dangling edge: got %v", err)
+	}
+	// Duplicate edge IDs.
+	in = `{"magic":"securitykg-graph","version":1,"next_node":2,"next_edge":1,"nodes":2,"edges":2}
+{"id":1,"type":"A","name":"x"}
+{"id":2,"type":"A","name":"y"}
+{"id":1,"type":"E","from":1,"to":2}
+{"id":1,"type":"F","from":2,"to":1}
+`
+	if _, err := Load(strings.NewReader(in)); err == nil || !strings.Contains(err.Error(), "duplicate edge id") {
+		t.Errorf("duplicate edge id: got %v", err)
+	}
+}
+
+// TestSubgraphRoundTrip: subgraph extraction commutes with Save/Load —
+// the same expansion over a persisted-and-reloaded store returns the
+// same view the original store produced.
+func TestSubgraphRoundTrip(t *testing.T) {
+	s, data := persistFixture(t)
+	loaded, err := Load(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	seed := s.FindNode("Malware", "wannacry")
+	if seed == nil {
+		t.Fatal("fixture node missing")
+	}
+	want := s.ExpandFrom([]NodeID{seed.ID}, 2, 10, 100)
+	got := loaded.ExpandFrom([]NodeID{seed.ID}, 2, 10, 100)
+	if !reflect.DeepEqual(want.NodeIDs(), got.NodeIDs()) {
+		t.Fatalf("subgraph nodes drifted across Save/Load: %v vs %v", want.NodeIDs(), got.NodeIDs())
+	}
+	if len(want.Edges) != len(got.Edges) {
+		t.Fatalf("subgraph edges drifted: %d vs %d", len(want.Edges), len(got.Edges))
+	}
+	for i := range want.Edges {
+		if !reflect.DeepEqual(want.Edges[i], got.Edges[i]) {
+			t.Fatalf("edge %d drifted: %+v vs %+v", i, want.Edges[i], got.Edges[i])
+		}
+	}
+	// And the reloaded store re-saves to identical bytes.
+	var again bytes.Buffer
+	if err := loaded.Save(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again.Bytes(), data) {
+		t.Fatal("Save→Load→Save is not byte-stable")
+	}
+}
+
+// TestMutationHookAndEpoch: every effective mutating op fires the hook
+// exactly once and bumps the invalidation epoch; no-ops do neither.
+func TestMutationHookAndEpoch(t *testing.T) {
+	s := New()
+	var ops []MutationOp
+	s.SetMutationHook(func(m Mutation) { ops = append(ops, m.Op) })
+	epoch := func() int64 { return s.IndexEpoch() }
+
+	e0 := epoch()
+	a, _ := s.MergeNode("A", "x", nil)
+	b, _ := s.MergeNode("B", "y", nil)
+	if epoch() != e0+2 {
+		t.Fatalf("MergeNode create did not bump epoch: %d -> %d", e0, epoch())
+	}
+	s.MergeNode("A", "x", nil) // pure hit: no change
+	if epoch() != e0+2 || len(ops) != 2 {
+		t.Fatalf("no-op merge fired hook or bumped epoch (ops=%v)", ops)
+	}
+	s.MergeNode("A", "x", map[string]string{"k": "v"}) // augmenting hit
+	eid, _, _ := s.AddEdge(a, "E", b, nil)
+	s.AddEdge(a, "E", b, nil) // dedup: no change
+	s.SetAttr(a, "k", "v")    // same value: no change
+	s.SetAttr(a, "k", "w")
+	s.DeleteEdge(eid)
+	s.AddEdge(a, "E", b, nil)
+	s.DeleteNode(b)
+	s.MigrateEdges(a, a) // no incident edges left on a: no change
+	want := []MutationOp{
+		OpMergeNode, OpMergeNode, OpMergeNode, OpAddEdge,
+		OpSetAttr, OpDeleteEdge, OpAddEdge, OpDeleteNode,
+	}
+	if !reflect.DeepEqual(ops, want) {
+		t.Fatalf("hook sequence:\n got %v\nwant %v", ops, want)
+	}
+	if epoch() != e0+int64(len(want)) {
+		t.Fatalf("epoch %d after %d effective mutations (started %d)", epoch(), len(want), e0)
+	}
+}

@@ -85,9 +85,13 @@ func (s *Store) HasAttrIndex(key string) bool {
 	return s.indexed[key]
 }
 
-// IndexEpoch returns a counter that increases every time a new attribute
-// index is created. Plan caches key their entries on it so a plan chosen
-// before IndexAttr does not shadow the new access path forever.
+// IndexEpoch returns the store's invalidation epoch: a counter that
+// increases every time a new attribute index is created AND on every
+// effective mutation (node/edge creation, attribute writes, deletions,
+// edge migration). Plan caches key their entries on it, so a plan chosen
+// before IndexAttr never shadows the new access path, and plans costed
+// against pre-mutation statistics are deterministically re-planned
+// instead of riding stale cardinalities until the 2× drift bound trips.
 func (s *Store) IndexEpoch() int64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()

@@ -164,10 +164,14 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 //
 // Values bind via "params" instead of being spliced into the query
 // text, so one cached plan serves every binding and IOC strings never
-// need escaping. {"explain": true} renders the plan; {"stream": true}
-// switches the response to NDJSON (one JSON object per line: a columns
-// header, then {"row": [...]} per result row as it is matched, then a
-// {"done": n} trailer — or {"error": ...} if the stream fails mid-way).
+// need escaping. Write statements (CREATE/MERGE/SET/DELETE) are
+// accepted; their response carries a "writes" counter object, and when
+// the server runs over a durable store every mutation is write-ahead
+// logged before the response. {"explain": true} renders the plan;
+// {"stream": true} switches the response to NDJSON (one JSON object per
+// line: a columns header, then {"row": [...]} per result row as it is
+// matched, then a {"done": n} trailer with the write counters when the
+// statement wrote — or {"error": ...} if the stream fails mid-way).
 func (s *Server) handleCypher(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpErr(w, http.StatusMethodNotAllowed, "POST required")
@@ -204,10 +208,11 @@ func (s *Server) handleCypher(w http.ResponseWriter, r *http.Request) {
 	// Render rows to strings for transport. (An "EXPLAIN match ..."
 	// statement flows through here too, returning plan lines as rows.)
 	out := struct {
-		Columns   []string   `json:"columns"`
-		Rows      [][]string `json:"rows"`
-		Truncated bool       `json:"truncated,omitempty"`
-	}{Columns: res.Columns, Truncated: res.Truncated}
+		Columns   []string           `json:"columns"`
+		Rows      [][]string         `json:"rows"`
+		Truncated bool               `json:"truncated,omitempty"`
+		Writes    *cypher.WriteStats `json:"writes,omitempty"`
+	}{Columns: res.Columns, Truncated: res.Truncated, Writes: res.Writes}
 	for _, row := range res.Rows {
 		cells := make([]string, len(row))
 		for i, v := range row {
@@ -265,7 +270,11 @@ func (s *Server) streamCypher(w http.ResponseWriter, r *http.Request, query stri
 		enc.Encode(map[string]any{"error": err.Error()})
 		return
 	}
-	enc.Encode(map[string]any{"done": n})
+	trailer := map[string]any{"done": n}
+	if ws := rows.Writes(); ws != nil {
+		trailer["writes"] = ws
+	}
+	enc.Encode(trailer)
 }
 
 func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {

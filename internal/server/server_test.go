@@ -508,3 +508,82 @@ func TestCypherStreamStopsOnClientGone(t *testing.T) {
 		t.Error("canceled stream reached the done trailer")
 	}
 }
+
+// TestCypherWriteEndpoint: /api/cypher accepts write statements, the
+// store actually mutates, and the response carries the write counters.
+func TestCypherWriteEndpoint(t *testing.T) {
+	s, store, _ := testServer(t)
+	body, _ := json.Marshal(map[string]any{
+		"query":  `merge (m:Malware {name: $ioc}) set m.triaged = "yes"`,
+		"params": map[string]any{"ioc": "petya"},
+	})
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("POST", "/api/cypher", bytes.NewReader(body)))
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var out struct {
+		Columns []string
+		Writes  *cypher.WriteStats
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Writes == nil || out.Writes.NodesCreated != 1 || out.Writes.PropsSet != 1 {
+		t.Fatalf("writes: %+v", out.Writes)
+	}
+	n := store.FindNode("Malware", "petya")
+	if n == nil || n.Attrs["triaged"] != "yes" {
+		t.Fatalf("mutation did not reach the store: %+v", n)
+	}
+	// Read-back through the same endpoint.
+	_, res := postCypher(t, s, map[string]any{
+		"query":  `match (m:Malware {name: $ioc}) return m.triaged`,
+		"params": map[string]any{"ioc": "petya"},
+	})
+	if len(res.Rows) != 1 || res.Rows[0][0] != "yes" {
+		t.Fatalf("read-back: %+v", res.Rows)
+	}
+}
+
+// TestCypherWriteStreamTrailer: the NDJSON trailer of a streamed write
+// statement carries the write counters.
+func TestCypherWriteStreamTrailer(t *testing.T) {
+	s, _, _ := testServer(t)
+	_, lines := ndjsonLines(t, s, map[string]any{
+		"query":  `match (m:Malware {name: "wannacry"}) set m.mark = "1" return m.name`,
+		"stream": true,
+	})
+	last := lines[len(lines)-1]
+	if _, ok := last["done"]; !ok {
+		t.Fatalf("missing done trailer: %v", last)
+	}
+	ws, ok := last["writes"].(map[string]any)
+	if !ok {
+		t.Fatalf("missing writes in trailer: %v", last)
+	}
+	if ws["props_set"].(float64) != 1 {
+		t.Fatalf("trailer writes: %v", ws)
+	}
+}
+
+// TestCypherReadOnlyServer: a server built with ReadOnly options (the
+// -graph snapshot mode) rejects write statements and still reads.
+func TestCypherReadOnlyServer(t *testing.T) {
+	store := graph.New()
+	store.MergeNode("Malware", "wannacry", nil)
+	opts := cypher.DefaultOptions()
+	opts.ReadOnly = true
+	s := NewWith(store, search.NewIndex(nil), opts)
+	rec, out := postCypher(t, s, map[string]any{"query": `create (x:T {name: "nope"})`})
+	if rec.Code != 400 || !strings.Contains(out.Error, "read-only") {
+		t.Fatalf("write on read-only server: code=%d out=%+v", rec.Code, out)
+	}
+	if store.CountNodes() != 1 {
+		t.Fatal("read-only server mutated the store")
+	}
+	_, out = postCypher(t, s, map[string]any{"query": `match (n) return n.name`})
+	if len(out.Rows) != 1 {
+		t.Fatalf("read on read-only server: %+v", out)
+	}
+}

@@ -1,0 +1,344 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"securitykg/internal/graph"
+)
+
+// DB is a durable graph store: an in-memory graph.Store whose every
+// effective mutation is teed into a write-ahead log, plus snapshot
+// checkpoints that bound recovery time and log growth. Layout of a data
+// directory:
+//
+//	snapshot.jsonl   one JSON header line {magic, seq}, then the
+//	                 graph's stable Save stream (same JSONL format
+//	                 skg-query's -graph flag reads, after the header)
+//	wal.log          length-prefixed CRC-checked mutation records
+//	                 with seq > the snapshot's seq (plus, transiently,
+//	                 already-checkpointed records recovery skips)
+//
+// Recovery (Open) loads the snapshot, replays the WAL tail, discards a
+// torn final record, and truncates the file to the valid prefix. The
+// snapshot and its covering sequence number travel in one file renamed
+// into place atomically, so there is no crash window in which they can
+// disagree; WAL truncation after a checkpoint is pure space reclamation.
+type DB struct {
+	dir   string
+	store *graph.Store
+	wal   *WAL
+	lock  *os.File // exclusive flock on the data directory
+	opts  Options
+
+	mu         sync.Mutex // serializes checkpoints
+	compacting atomic.Bool
+	compactErr atomic.Value // error from a background compaction
+	compactWG  sync.WaitGroup
+
+	// Recovered reports what Open found: snapshot seq, WAL records
+	// replayed, and whether a torn tail was discarded.
+	Recovered RecoveryInfo
+}
+
+// RecoveryInfo summarizes what Open reconstructed.
+type RecoveryInfo struct {
+	SnapshotSeq uint64 // checkpoint the snapshot covered (0 = none)
+	Replayed    int    // WAL records applied on top of it
+	TornTail    bool   // a damaged final record was discarded
+}
+
+// Options tune a DB.
+type Options struct {
+	// Sync is the WAL fsync policy (default SyncInterval).
+	Sync SyncPolicy
+	// SyncEvery is the group-commit interval for SyncInterval
+	// (default 50ms).
+	SyncEvery time.Duration
+	// CompactBytes triggers a background checkpoint (snapshot + WAL
+	// truncation) once the log exceeds this size. 0 means the 64 MiB
+	// default; negative disables automatic compaction.
+	CompactBytes int64
+}
+
+const (
+	snapshotFile = "snapshot.jsonl"
+	walFile      = "wal.log"
+	lockFile     = "LOCK"
+	snapMagic    = "securitykg-wal-snapshot"
+)
+
+type snapHeader struct {
+	Magic string `json:"magic"`
+	Seq   uint64 `json:"seq"`
+}
+
+// Open recovers (or initializes) the data directory and returns a DB
+// whose store logs every mutation from here on.
+func Open(dir string, opts Options) (*DB, error) {
+	if opts.CompactBytes == 0 {
+		opts.CompactBytes = 64 << 20
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: open %s: %w", dir, err)
+	}
+	// Exactly one process may own a data directory: two appenders would
+	// interleave record bytes at the same offset and corrupt the log at
+	// the first recovery. flock (not a pid file) so a crashed owner
+	// releases automatically.
+	lf, err := os.OpenFile(filepath.Join(dir, lockFile), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: lock %s: %w", dir, err)
+	}
+	if err := lockDataDir(lf); err != nil {
+		lf.Close()
+		return nil, fmt.Errorf("storage: %s is in use by another process (%w)", dir, err)
+	}
+	os.Remove(filepath.Join(dir, snapshotFile+".tmp")) // crashed mid-checkpoint
+
+	owned := false
+	defer func() {
+		if !owned {
+			lf.Close() // closing drops the flock
+		}
+	}()
+
+	st, snapSeq, err := loadSnapshot(filepath.Join(dir, snapshotFile))
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{dir: dir, store: st, opts: opts, lock: lf}
+	db.Recovered.SnapshotSeq = snapSeq
+
+	walPath := filepath.Join(dir, walFile)
+	lastSeq := snapSeq
+	var validLen int64
+	if f, err := os.Open(walPath); err == nil {
+		res := scanWAL(f)
+		fi, serr := f.Stat()
+		f.Close()
+		if serr != nil {
+			return nil, fmt.Errorf("storage: stat wal: %w", serr)
+		}
+		for _, rec := range res.records {
+			if rec.Seq <= snapSeq {
+				continue
+			}
+			if aerr := st.Apply(rec.Mutation()); aerr != nil {
+				return nil, fmt.Errorf("storage: replay seq %d: %w", rec.Seq, aerr)
+			}
+			db.Recovered.Replayed++
+		}
+		if n := len(res.records); n > 0 && res.records[n-1].Seq > lastSeq {
+			lastSeq = res.records[n-1].Seq
+		}
+		validLen = res.valid
+		if res.torn || fi.Size() > res.valid {
+			db.Recovered.TornTail = res.torn
+			if terr := os.Truncate(walPath, res.valid); terr != nil {
+				return nil, fmt.Errorf("storage: truncate torn wal: %w", terr)
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("storage: open wal: %w", err)
+	}
+
+	wal, err := openWAL(walPath, validLen, lastSeq, opts.Sync, opts.SyncEvery)
+	if err != nil {
+		return nil, err
+	}
+	db.wal = wal
+	st.SetMutationHook(db.logMutation)
+	owned = true
+	return db, nil
+}
+
+// lockDataDir takes an exclusive non-blocking flock on the lock file.
+func lockDataDir(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}
+
+// loadSnapshot reads a snapshot file (nil-safe on absence: a fresh
+// store at seq 0).
+func loadSnapshot(path string) (*graph.Store, uint64, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return graph.New(), 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("storage: open snapshot: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		return nil, 0, fmt.Errorf("storage: snapshot header: %w", err)
+	}
+	var hdr snapHeader
+	if err := json.Unmarshal(line, &hdr); err != nil {
+		return nil, 0, fmt.Errorf("storage: snapshot header: %w", err)
+	}
+	if hdr.Magic != snapMagic {
+		return nil, 0, fmt.Errorf("storage: %s is not a %s snapshot", path, snapMagic)
+	}
+	st, err := graph.Load(br)
+	if err != nil {
+		return nil, 0, fmt.Errorf("storage: load snapshot: %w", err)
+	}
+	return st, hdr.Seq, nil
+}
+
+// logMutation is the store's mutation hook: it runs under the store's
+// write lock, so records land in the WAL in exactly mutation order. An
+// append failure is sticky on the WAL (Err surfaces it) and the
+// in-memory store runs ahead of the log until a checkpoint — which a
+// failed append schedules immediately — snapshots the full store and
+// re-bases durability past the gap, clearing the sticky error.
+func (db *DB) logMutation(m graph.Mutation) {
+	if db.wal.Append(m) != nil {
+		db.scheduleCheckpoint()
+		return // sticky until the checkpoint lands; Err() reports it
+	}
+	if db.opts.CompactBytes > 0 && db.wal.Size() > db.opts.CompactBytes {
+		db.scheduleCheckpoint()
+	}
+}
+
+// scheduleCheckpoint runs Checkpoint on its own goroutine (the mutation
+// hook holds the store's write lock and Checkpoint needs its read
+// lock), collapsing concurrent requests into one.
+func (db *DB) scheduleCheckpoint() {
+	if db.compacting.CompareAndSwap(false, true) {
+		// The hook holds the store's write lock and Checkpoint needs its
+		// read lock, so compaction must run on its own goroutine.
+		db.compactWG.Add(1)
+		go func() {
+			defer db.compactWG.Done()
+			err := db.Checkpoint()
+			db.compactErr.Store(errBox{err})
+			db.compacting.Store(false)
+			// A mutation whose append failed while this checkpoint was in
+			// flight is covered by neither the snapshot nor the log (its
+			// retry request lost the CAS race against us). If the
+			// checkpoint itself worked, run another one to cover it; if
+			// the checkpoint failed there is nothing to gain by spinning —
+			// the next mutation re-triggers.
+			if err == nil && db.wal.Err() != nil {
+				db.scheduleCheckpoint()
+			}
+		}()
+	}
+}
+
+// Store returns the underlying graph store. Every mutation applied to
+// it — directly, through Cypher write clauses, or through the ingestion
+// pipeline — is logged.
+func (db *DB) Store() *graph.Store { return db.store }
+
+// Checkpoint snapshots the store (with the covering WAL sequence number
+// in the snapshot's header, captured under the same lock as the state)
+// to a temp file, atomically renames it into place, and truncates the
+// WAL if nothing was appended meanwhile.
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	tmp := filepath.Join(db.dir, snapshotFile+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("storage: checkpoint: %w", err)
+	}
+	var seq, fails uint64
+	err = db.store.SaveWithHeader(f, func(w io.Writer) error {
+		seq, fails = db.wal.state()
+		return json.NewEncoder(w).Encode(snapHeader{Magic: snapMagic, Seq: seq})
+	})
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("storage: checkpoint sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: checkpoint close: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(db.dir, snapshotFile)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: checkpoint rename: %w", err)
+	}
+	syncDir(db.dir)
+	// Truncation (and the sticky-error re-base it performs) is best
+	// effort: the snapshot has already landed, which is what Checkpoint
+	// promises. If an append failed after the snapshot captured its
+	// (seq, fails) pair, truncateThrough keeps the sticky error — that
+	// mutation is covered by neither file — and Err() stays loud until
+	// the next covering checkpoint (scheduled by our caller or by the
+	// next mutation).
+	db.wal.truncateThrough(seq, fails)
+	// A landed checkpoint supersedes any earlier background-compaction
+	// failure.
+	db.compactErr.Store(errBox{nil})
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename survives power loss; best
+// effort (some filesystems refuse directory fsync).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// Sync forces the WAL to disk (exposed so callers can group-commit
+// around a batch regardless of policy).
+func (db *DB) Sync() error { return db.wal.Sync() }
+
+// LastSeq returns the last logged sequence number.
+func (db *DB) LastSeq() uint64 { return db.wal.LastSeq() }
+
+// WALSize returns the current log size in bytes.
+func (db *DB) WALSize() int64 { return db.wal.Size() }
+
+// errBox wraps an error (possibly nil) for atomic.Value, which cannot
+// hold a nil interface directly.
+type errBox struct{ err error }
+
+// Err returns the current durability failure, if any: a sticky WAL
+// append/flush error (cleared once a covering checkpoint re-bases the
+// log) or the most recent background compaction error. Long-running
+// callers should surface it — writes keep succeeding in memory while
+// it is non-nil, but they are not durable.
+func (db *DB) Err() error {
+	if err := db.wal.Err(); err != nil {
+		return err
+	}
+	if v := db.compactErr.Load(); v != nil {
+		return v.(errBox).err
+	}
+	return nil
+}
+
+// Close detaches the store's hook, waits for any in-flight compaction,
+// and flushes + fsyncs + closes the WAL. The store remains usable (but
+// no longer durable) afterwards. Callers wanting a fresh snapshot on
+// shutdown run Checkpoint first.
+func (db *DB) Close() error {
+	db.store.SetMutationHook(nil)
+	db.compactWG.Wait()
+	err := db.wal.Close()
+	db.lock.Close() // drops the flock; the directory is free to reopen
+	return err
+}

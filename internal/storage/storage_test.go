@@ -1,0 +1,393 @@
+package storage
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"securitykg/internal/graph"
+)
+
+// mutGen deterministically generates a stream of store operations that
+// exercises every WAL record type. Applying the same seed's stream to
+// any store yields the same state, which is what the crash tests lean
+// on: the surviving log prefix must equal a prefix of this stream.
+type mutGen struct {
+	rng   *rand.Rand
+	nodes []graph.NodeID
+	edges []graph.EdgeID
+}
+
+func newMutGen(seed int64) *mutGen { return &mutGen{rng: rand.New(rand.NewSource(seed))} }
+
+var genTypes = []string{"Malware", "IP", "Tool", "ThreatActor"}
+var genEdgeTypes = []string{"CONNECT", "USE", "DROP"}
+
+// step applies one random operation to st. Operations are chosen so the
+// store keeps growing (deletes are rarer than creates) and so every
+// mutation op appears.
+func (g *mutGen) step(st *graph.Store) {
+	r := g.rng.Intn(100)
+	switch {
+	case r < 45 || len(g.nodes) < 2:
+		typ := genTypes[g.rng.Intn(len(genTypes))]
+		name := typ + "-" + string(rune('a'+g.rng.Intn(26))) + string(rune('a'+g.rng.Intn(26)))
+		var attrs map[string]string
+		if g.rng.Intn(2) == 0 {
+			attrs = map[string]string{"seen": string(rune('0' + g.rng.Intn(10)))}
+		}
+		id, created := st.MergeNode(typ, name, attrs)
+		if created {
+			g.nodes = append(g.nodes, id)
+		}
+	case r < 75:
+		from := g.nodes[g.rng.Intn(len(g.nodes))]
+		to := g.nodes[g.rng.Intn(len(g.nodes))]
+		et := genEdgeTypes[g.rng.Intn(len(genEdgeTypes))]
+		if id, created, err := st.AddEdge(from, et, to, nil); err == nil && created {
+			g.edges = append(g.edges, id)
+		}
+	case r < 85:
+		id := g.nodes[g.rng.Intn(len(g.nodes))]
+		st.SetAttr(id, "score", string(rune('0'+g.rng.Intn(10))))
+	case r < 90 && len(g.edges) > 0:
+		i := g.rng.Intn(len(g.edges))
+		st.DeleteEdge(g.edges[i])
+		g.edges = append(g.edges[:i], g.edges[i+1:]...)
+	case r < 95 && len(g.nodes) > 4:
+		i := g.rng.Intn(len(g.nodes))
+		st.DeleteNode(g.nodes[i])
+		g.nodes = append(g.nodes[:i], g.nodes[i+1:]...)
+	case len(g.nodes) > 2:
+		st.MigrateEdges(g.nodes[g.rng.Intn(len(g.nodes))], g.nodes[g.rng.Intn(len(g.nodes))])
+	}
+}
+
+func saveBytes(t *testing.T, st *graph.Store) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := st.Save(&b); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	return b.Bytes()
+}
+
+func openT(t *testing.T, dir string, opts Options) *DB {
+	t.Helper()
+	db, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return db
+}
+
+// TestDurableRoundTrip: mutations applied to an open DB survive a
+// close/reopen cycle exactly, via WAL replay alone (no checkpoint).
+func TestDurableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	db := openT(t, dir, Options{Sync: SyncNever, CompactBytes: -1})
+	g := newMutGen(1)
+	for i := 0; i < 500; i++ {
+		g.step(db.Store())
+	}
+	want := saveBytes(t, db.Store())
+	wantSeq := db.LastSeq()
+	if err := db.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	db2 := openT(t, dir, Options{Sync: SyncNever, CompactBytes: -1})
+	defer db2.Close()
+	if got := saveBytes(t, db2.Store()); !bytes.Equal(got, want) {
+		t.Fatalf("recovered store differs from pre-close store")
+	}
+	if db2.Recovered.Replayed == 0 || db2.LastSeq() != wantSeq {
+		t.Fatalf("recovery info: %+v lastSeq=%d want %d", db2.Recovered, db2.LastSeq(), wantSeq)
+	}
+	if db2.Recovered.TornTail {
+		t.Fatalf("clean close reported a torn tail")
+	}
+}
+
+// TestTornTailEveryOffset is the kill-at-any-byte-offset property: for a
+// WAL truncated at every possible byte offset, recovery must yield
+// exactly the fold of the record prefix that fully survived — compared
+// byte-for-byte via Save — and must leave the directory writable.
+func TestTornTailEveryOffset(t *testing.T) {
+	dir := t.TempDir()
+	db := openT(t, dir, Options{Sync: SyncNever, CompactBytes: -1})
+	g := newMutGen(2)
+	for i := 0; i < 40; i++ {
+		g.step(db.Store())
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	walBytes, err := os.ReadFile(filepath.Join(dir, walFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record boundaries, from a clean scan.
+	full := scanWAL(bytes.NewReader(walBytes))
+	if full.torn || len(full.records) == 0 {
+		t.Fatalf("clean log scans torn=%v records=%d", full.torn, len(full.records))
+	}
+
+	// Expected Save bytes after each record prefix (prefixSave[k] = fold
+	// of the first k records into a fresh store).
+	prefixSave := make([][]byte, len(full.records)+1)
+	ref := graph.New()
+	prefixSave[0] = saveBytes(t, ref)
+	bounds := make([]int64, len(full.records)+1)
+	for i, rec := range full.records {
+		if err := ref.Apply(rec.Mutation()); err != nil {
+			t.Fatalf("apply record %d: %v", i, err)
+		}
+		prefixSave[i+1] = saveBytes(t, ref)
+		bounds[i+1] = bounds[i] + int64(recordHeaderLen+recordPayloadLen(t, walBytes, bounds[i]))
+	}
+
+	// Every offset is ~3k recoveries; cover all record boundaries plus a
+	// stride over intra-record offsets under -short.
+	step := 1
+	if testing.Short() {
+		step = 11
+	}
+	for cut := 0; cut <= len(walBytes); cut += step {
+		sub := t.TempDir()
+		if err := os.WriteFile(filepath.Join(sub, walFile), walBytes[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rdb, err := Open(sub, Options{Sync: SyncNever, CompactBytes: -1})
+		if err != nil {
+			t.Fatalf("cut=%d: Open: %v", cut, err)
+		}
+		// How many records fully fit in the first cut bytes?
+		k := 0
+		for k < len(full.records) && bounds[k+1] <= int64(cut) {
+			k++
+		}
+		if got := saveBytes(t, rdb.Store()); !bytes.Equal(got, prefixSave[k]) {
+			t.Fatalf("cut=%d: recovered store is not the %d-record prefix fold", cut, k)
+		}
+		// The truncated directory must accept new writes cleanly.
+		rdb.Store().MergeNode("Post", "recovery", nil)
+		if err := rdb.Close(); err != nil {
+			t.Fatalf("cut=%d: close: %v", cut, err)
+		}
+		rdb2, err := Open(sub, Options{Sync: SyncNever, CompactBytes: -1})
+		if err != nil {
+			t.Fatalf("cut=%d: reopen after post-recovery write: %v", cut, err)
+		}
+		if rdb2.Store().FindNode("Post", "recovery") == nil {
+			t.Fatalf("cut=%d: post-recovery write lost", cut)
+		}
+		rdb2.Close()
+	}
+}
+
+// recordPayloadLen reads the length prefix of the record starting at off.
+func recordPayloadLen(t *testing.T, wal []byte, off int64) int {
+	t.Helper()
+	if off+recordHeaderLen > int64(len(wal)) {
+		t.Fatalf("record header out of range at %d", off)
+	}
+	return int(uint32(wal[off]) | uint32(wal[off+1])<<8 | uint32(wal[off+2])<<16 | uint32(wal[off+3])<<24)
+}
+
+// TestCheckpoint: a checkpoint truncates the WAL, recovery prefers the
+// snapshot, and records already covered by the snapshot are skipped if
+// a crash leaves them in the log (the rename-before-truncate window).
+func TestCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	db := openT(t, dir, Options{Sync: SyncNever, CompactBytes: -1})
+	g := newMutGen(3)
+	for i := 0; i < 200; i++ {
+		g.step(db.Store())
+	}
+	preWal, err := os.ReadFile(filepath.Join(dir, walFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if db.WALSize() != 0 {
+		t.Fatalf("WAL not truncated after checkpoint: %d bytes", db.WALSize())
+	}
+	for i := 0; i < 50; i++ {
+		g.step(db.Store())
+	}
+	want := saveBytes(t, db.Store())
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := openT(t, dir, Options{Sync: SyncNever, CompactBytes: -1})
+	if db2.Recovered.SnapshotSeq == 0 {
+		t.Fatalf("recovery ignored the snapshot: %+v", db2.Recovered)
+	}
+	if got := saveBytes(t, db2.Store()); !bytes.Equal(got, want) {
+		t.Fatalf("checkpoint+tail recovery differs")
+	}
+	db2.Close()
+
+	// Crash window: snapshot renamed but WAL never truncated. Glue the
+	// pre-checkpoint records back in front of the tail; recovery must
+	// skip everything the snapshot covers and still land on `want`.
+	tail, err := os.ReadFile(filepath.Join(dir, walFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, walFile), append(append([]byte{}, preWal...), tail...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db3 := openT(t, dir, Options{Sync: SyncNever, CompactBytes: -1})
+	if got := saveBytes(t, db3.Store()); !bytes.Equal(got, want) {
+		t.Fatalf("recovery with untruncated WAL differs (snapshot-covered records re-applied?)")
+	}
+	db3.Close()
+}
+
+// TestCompactionTrigger: the WAL self-compacts once it crosses the
+// configured threshold.
+func TestCompactionTrigger(t *testing.T) {
+	dir := t.TempDir()
+	db := openT(t, dir, Options{Sync: SyncNever, CompactBytes: 4096})
+	g := newMutGen(4)
+	deadline := time.Now().Add(5 * time.Second)
+	compacted := false
+	for time.Now().Before(deadline) {
+		for i := 0; i < 50; i++ {
+			g.step(db.Store())
+		}
+		if _, err := os.Stat(filepath.Join(dir, snapshotFile)); err == nil {
+			compacted = true
+			break
+		}
+	}
+	if !compacted {
+		t.Fatalf("no snapshot appeared after sustained writes past the threshold")
+	}
+	want := saveBytes(t, db.Store())
+	if err := db.Err(); err != nil {
+		t.Fatalf("durability error: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := openT(t, dir, Options{Sync: SyncNever, CompactBytes: -1})
+	defer db2.Close()
+	if got := saveBytes(t, db2.Store()); !bytes.Equal(got, want) {
+		t.Fatalf("post-compaction recovery differs")
+	}
+}
+
+// TestSyncPolicies: the flag parser and the always/interval paths.
+func TestSyncPolicies(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SyncPolicy
+		err  bool
+	}{
+		{"always", SyncAlways, false},
+		{"interval", SyncInterval, false},
+		{"", SyncInterval, false},
+		{"never", SyncNever, false},
+		{"sometimes", 0, true},
+	} {
+		got, err := ParseSyncPolicy(tc.in)
+		if (err != nil) != tc.err || (err == nil && got != tc.want) {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	for _, pol := range []SyncPolicy{SyncAlways, SyncInterval} {
+		dir := t.TempDir()
+		db := openT(t, dir, Options{Sync: pol, SyncEvery: 5 * time.Millisecond, CompactBytes: -1})
+		db.Store().MergeNode("A", "x", nil)
+		if err := db.Sync(); err != nil {
+			t.Fatalf("%v: sync: %v", pol, err)
+		}
+		if err := db.Close(); err != nil {
+			t.Fatalf("%v: close: %v", pol, err)
+		}
+		db2 := openT(t, dir, Options{CompactBytes: -1})
+		if db2.Store().FindNode("A", "x") == nil {
+			t.Fatalf("%v: write lost", pol)
+		}
+		db2.Close()
+	}
+}
+
+// TestOpenRejectsForeignSnapshot: a non-snapshot file fails loudly.
+func TestOpenRejectsForeignSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, snapshotFile), []byte("{\"magic\":\"nope\"}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open accepted a foreign snapshot")
+	}
+}
+
+// TestOversizeRecordRejected: a mutation whose record would exceed the
+// reader's size bound is refused at append time (never acknowledged
+// into a log that recovery would have to discard), the error is sticky
+// and visible, and a checkpoint re-bases durability past the gap —
+// clearing the error and preserving every mutation across reopen.
+func TestOversizeRecordRejected(t *testing.T) {
+	dir := t.TempDir()
+	db := openT(t, dir, Options{Sync: SyncNever, CompactBytes: -1})
+	db.Store().MergeNode("A", "before", nil)
+	huge := make([]byte, maxRecordLen+1024)
+	for i := range huge {
+		huge[i] = 'x'
+	}
+	db.Store().MergeNode("A", "oversize", map[string]string{"blob": string(huge)})
+	if db.Err() == nil {
+		t.Fatal("oversize record was accepted without error")
+	}
+	db.Store().MergeNode("A", "after", nil) // store runs ahead of the log
+	if err := db.Checkpoint(); err != nil {
+		t.Fatalf("re-basing checkpoint: %v", err)
+	}
+	if err := db.Err(); err != nil {
+		t.Fatalf("sticky error survived a covering checkpoint: %v", err)
+	}
+	db.Store().MergeNode("A", "resumed", nil) // appends work again
+	if err := db.Err(); err != nil {
+		t.Fatalf("append after re-base: %v", err)
+	}
+	want := saveBytes(t, db.Store())
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := openT(t, dir, Options{Sync: SyncNever, CompactBytes: -1})
+	defer db2.Close()
+	if got := saveBytes(t, db2.Store()); !bytes.Equal(got, want) {
+		t.Fatal("state lost across the oversize-record gap")
+	}
+	for _, name := range []string{"before", "oversize", "after", "resumed"} {
+		if db2.Store().FindNode("A", name) == nil {
+			t.Fatalf("node %q lost", name)
+		}
+	}
+}
+
+// TestSingleOwnerLock: a data directory can only be opened by one
+// process/handle at a time; Close releases the lock.
+func TestSingleOwnerLock(t *testing.T) {
+	dir := t.TempDir()
+	db := openT(t, dir, Options{Sync: SyncNever, CompactBytes: -1})
+	if _, err := Open(dir, Options{Sync: SyncNever, CompactBytes: -1}); err == nil {
+		t.Fatal("second Open on a held data directory succeeded")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := openT(t, dir, Options{Sync: SyncNever, CompactBytes: -1})
+	db2.Close()
+}

@@ -1,0 +1,461 @@
+// Package storage is the durability subsystem underneath the in-memory
+// graph store: an append-only write-ahead log of logical mutations, a
+// snapshot format that wraps the graph's stable Save/Load JSONL stream,
+// and recovery that turns a data directory back into the exact store
+// that was running before a crash.
+//
+// The design follows the log-structured discipline of datom-log stores
+// (janus-datalog's replayable assert/retract sequence): the source of
+// truth is the ordered mutation log, the in-memory store is a cache of
+// its fold, and a snapshot is just a checkpoint that lets recovery skip
+// a log prefix. Because every graph.Store operation is deterministic
+// given prior state, replaying the surviving log prefix reproduces the
+// pre-crash store byte-for-byte — torn final records are expected
+// (a crash mid-append) and discarded.
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"securitykg/internal/graph"
+)
+
+// Record is one WAL entry: a logical store mutation plus its log
+// sequence number. Seq is assigned at append time and is strictly
+// increasing within one data directory; snapshots record the Seq they
+// cover, so recovery applies only records past the checkpoint.
+type Record struct {
+	Seq   uint64            `json:"seq"`
+	Op    graph.MutationOp  `json:"op"`
+	Type  string            `json:"type,omitempty"`
+	Name  string            `json:"name,omitempty"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+	From  graph.NodeID      `json:"from,omitempty"`
+	To    graph.NodeID      `json:"to,omitempty"`
+	Node  graph.NodeID      `json:"node,omitempty"`
+	Edge  graph.EdgeID      `json:"edge,omitempty"`
+	Key   string            `json:"key,omitempty"`
+	Val   string            `json:"val,omitempty"`
+}
+
+// recordFromMutation wraps a graph mutation as a WAL record (Seq filled
+// in by the appender).
+func recordFromMutation(m graph.Mutation) Record {
+	return Record{
+		Op: m.Op, Type: m.Type, Name: m.Name, Attrs: m.Attrs,
+		From: m.From, To: m.To, Node: m.Node, Edge: m.Edge,
+		Key: m.Key, Val: m.Val,
+	}
+}
+
+// Mutation converts the record back to the graph-layer mutation it logs.
+func (r Record) Mutation() graph.Mutation {
+	return graph.Mutation{
+		Op: r.Op, Type: r.Type, Name: r.Name, Attrs: r.Attrs,
+		From: r.From, To: r.To, Node: r.Node, Edge: r.Edge,
+		Key: r.Key, Val: r.Val,
+	}
+}
+
+// On-disk framing: each record is
+//
+//	uint32  payload length (little-endian)
+//	uint32  CRC-32 (IEEE) of the payload
+//	[]byte  payload (JSON-encoded Record)
+//
+// The length comes first so a reader can skip to the checksum decision
+// without parsing JSON; the CRC covers only the payload, so a torn
+// header, a torn payload, and a bit-flipped payload are all detected
+// the same way: the record (and everything after it) is discarded.
+
+const (
+	recordHeaderLen = 8
+	// maxRecordLen bounds a single record so a corrupt length prefix
+	// cannot ask the reader to allocate gigabytes. Mutations are small
+	// (a node's attrs at most); 16 MiB is orders of magnitude of slack.
+	maxRecordLen = 16 << 20
+)
+
+// SyncPolicy selects when the WAL calls fsync.
+type SyncPolicy int
+
+const (
+	// SyncInterval groups commits: appends return after the buffered
+	// write, and a background ticker fsyncs every Options.SyncEvery.
+	// One fsync covers every append since the last — the group-commit
+	// default. A crash can lose at most the last interval's writes.
+	SyncInterval SyncPolicy = iota
+	// SyncAlways fsyncs after every append: no acknowledged mutation is
+	// ever lost, at one fsync per write.
+	SyncAlways
+	// SyncNever never fsyncs explicitly; the OS flushes on its own
+	// schedule. Fastest, loses the page cache on power failure, still
+	// safe against process crashes (the kernel has the writes).
+	SyncNever
+)
+
+// ParseSyncPolicy maps the --fsync flag values onto policies.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "interval", "":
+		return SyncInterval, nil
+	case "always":
+		return SyncAlways, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("storage: unknown fsync policy %q (want always, interval or never)", s)
+}
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncNever:
+		return "never"
+	}
+	return "interval"
+}
+
+// WAL is the append-only mutation log. Appends are serialized by an
+// internal mutex; in practice they already arrive serialized, because
+// the store invokes its mutation hook under its write lock.
+type WAL struct {
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	size    int64
+	lastSeq uint64
+	policy  SyncPolicy
+	dirty   bool   // buffered-or-unsynced bytes since the last fsync
+	err     error  // sticky: first append/flush failure poisons the log
+	fails   uint64 // appends that failed (these never advance lastSeq)
+
+	closed   bool
+	stopSync chan struct{} // stops the interval-sync goroutine
+	syncDone chan struct{}
+}
+
+// openWAL opens (creating if needed) the log file for appending at
+// offset size, with lastSeq seeded from recovery.
+func openWAL(path string, size int64, lastSeq uint64, policy SyncPolicy, every time.Duration) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open wal: %w", err)
+	}
+	if _, err := f.Seek(size, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: seek wal: %w", err)
+	}
+	w := &WAL{
+		f: f, w: bufio.NewWriterSize(f, 1<<16),
+		size: size, lastSeq: lastSeq, policy: policy,
+	}
+	if policy == SyncInterval {
+		if every <= 0 {
+			every = 50 * time.Millisecond
+		}
+		w.stopSync = make(chan struct{})
+		w.syncDone = make(chan struct{})
+		go w.syncLoop(every)
+	}
+	return w, nil
+}
+
+func (w *WAL) syncLoop(every time.Duration) {
+	defer close(w.syncDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stopSync:
+			return
+		case <-t.C:
+			w.mu.Lock()
+			if w.dirty && w.err == nil && !w.closed {
+				if err := w.flushLocked(true); err != nil {
+					w.err = err
+				}
+			}
+			w.mu.Unlock()
+		}
+	}
+}
+
+// Append encodes the mutation as the next record and writes it. The
+// write is flushed to the OS before returning (so a process crash never
+// loses an acknowledged append); whether it is fsynced depends on the
+// policy. Errors are sticky: once an append fails, the WAL refuses
+// further writes and Err/Close report the failure.
+func (w *WAL) Append(m graph.Mutation) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		w.fails++
+		return w.err
+	}
+	if w.closed {
+		return errors.New("storage: append to closed WAL")
+	}
+	rec := recordFromMutation(m)
+	rec.Seq = w.lastSeq + 1
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		w.err = fmt.Errorf("storage: encode record: %w", err)
+		w.fails++
+		return w.err
+	}
+	if len(payload) > maxRecordLen {
+		// Never frame a record the reader is obliged to reject: an
+		// oversize record would be acknowledged now and then discarded —
+		// along with every record after it — at recovery. Refuse it
+		// (sticky), leaving the store ahead of the log until a
+		// checkpoint re-bases durability.
+		w.err = fmt.Errorf("storage: mutation record is %d bytes, past the %d-byte limit", len(payload), maxRecordLen)
+		w.fails++
+		return w.err
+	}
+	var hdr [recordHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		w.err = fmt.Errorf("storage: append: %w", err)
+		w.fails++
+		return w.err
+	}
+	if _, err := w.w.Write(payload); err != nil {
+		w.err = fmt.Errorf("storage: append: %w", err)
+		w.fails++
+		return w.err
+	}
+	if err := w.flushLocked(w.policy == SyncAlways); err != nil {
+		w.err = err
+		w.fails++
+		return w.err
+	}
+	w.lastSeq = rec.Seq
+	w.size += int64(recordHeaderLen + len(payload))
+	return nil
+}
+
+// flushLocked drains the buffer to the OS and optionally fsyncs.
+func (w *WAL) flushLocked(sync bool) error {
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("storage: flush wal: %w", err)
+	}
+	if sync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("storage: fsync wal: %w", err)
+		}
+		w.dirty = false
+	} else {
+		w.dirty = true
+	}
+	return nil
+}
+
+// Sync forces an fsync regardless of policy.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return nil
+	}
+	if err := w.flushLocked(true); err != nil {
+		w.err = err
+	}
+	return w.err
+}
+
+// LastSeq returns the sequence number of the last appended record.
+func (w *WAL) LastSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastSeq
+}
+
+// state returns (lastSeq, fails) atomically: the checkpoint captures
+// both under the store's read lock so it can later tell whether an
+// append failed after the snapshot was taken.
+func (w *WAL) state() (uint64, uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastSeq, w.fails
+}
+
+// Size returns the current log size in bytes.
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
+// Err returns the sticky append/flush error, if any. The in-memory
+// store stays ahead of a poisoned log; the next successful checkpoint
+// (which snapshots the full store) re-bases durability past the gap.
+func (w *WAL) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// truncateThrough discards the log if (and only if) everything in it is
+// covered by a snapshot at seq: called after a checkpoint. If an append
+// slipped in after the snapshot captured seq, the log keeps its tail —
+// the next checkpoint reclaims it. Recovery is indifferent either way
+// (records ≤ the snapshot seq are skipped), so a crash anywhere around
+// truncation is safe; this is space reclamation, not correctness.
+//
+// A sticky append error does not block truncation: failed appends never
+// advanced lastSeq, so a snapshot at lastSeq covers the full store —
+// including the mutations the log missed — and truncating behind it
+// re-bases durability past the gap, clearing the sticky error so
+// appends can resume. fails is the failure count captured with the
+// snapshot: if another append failed AFTER the snapshot was taken,
+// that mutation is in neither the snapshot nor the log, so the sticky
+// error must survive this truncation (the caller schedules another
+// covering checkpoint).
+func (w *WAL) truncateThrough(seq, fails uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed || w.lastSeq != seq || (w.size == 0 && w.err == nil) {
+		return w.err
+	}
+	if w.fails != fails {
+		// A mutation slipped into the store (and past the snapshot)
+		// without reaching the log; this snapshot does not cover it.
+		return w.err
+	}
+	if err := w.w.Flush(); err != nil && w.err == nil {
+		w.err = err
+		return err
+	}
+	if err := w.f.Truncate(0); err != nil {
+		w.err = fmt.Errorf("storage: truncate wal: %w", err)
+		return w.err
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		w.err = fmt.Errorf("storage: rewind wal: %w", err)
+		return w.err
+	}
+	w.w.Reset(w.f)
+	w.size = 0
+	w.dirty = true // the truncation itself should reach disk eventually
+	w.err = nil    // the snapshot covers everything the log missed
+	return nil
+}
+
+// Close flushes, fsyncs and closes the log.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return w.err
+	}
+	w.closed = true
+	var err error
+	if w.err == nil {
+		err = w.flushLocked(true)
+	}
+	cerr := w.f.Close()
+	if err == nil {
+		err = cerr
+	}
+	if w.err == nil {
+		w.err = err
+	}
+	stop := w.stopSync
+	done := w.syncDone
+	w.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	return err
+}
+
+// replayResult is what scanning a WAL file yields: the records of the
+// valid prefix, the byte offset where that prefix ends, and whether a
+// torn/corrupt tail was discarded after it.
+type replayResult struct {
+	records []Record
+	valid   int64
+	torn    bool
+}
+
+// scanWAL reads records from r until EOF or the first damaged record.
+// Damage — a short header, a length past the size bound, a CRC
+// mismatch, a short payload, unparseable JSON, or a sequence number
+// that does not increase — ends the scan: nothing after a bad record
+// can be trusted, because record boundaries are only known by walking
+// the length prefixes. This is exactly the torn-final-record tolerance
+// a crash mid-append requires, generalized to arbitrary corruption.
+func scanWAL(r io.Reader) replayResult {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var res replayResult
+	var lastSeq uint64
+	for {
+		var hdr [recordHeaderLen]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			res.torn = !errors.Is(err, io.EOF)
+			return res
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if n == 0 || n > maxRecordLen {
+			res.torn = true
+			return res
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			res.torn = true
+			return res
+		}
+		if crc32.ChecksumIEEE(payload) != want {
+			res.torn = true
+			return res
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			res.torn = true
+			return res
+		}
+		if rec.Seq <= lastSeq {
+			res.torn = true
+			return res
+		}
+		lastSeq = rec.Seq
+		res.records = append(res.records, rec)
+		res.valid += int64(recordHeaderLen) + int64(n)
+	}
+}
+
+// ReplayReader applies every valid record in r with seq > afterSeq to
+// the store, returning how many records were applied and whether a
+// damaged tail was discarded. Exposed for fuzzing and tests; Open wires
+// it into directory recovery.
+func ReplayReader(r io.Reader, st *graph.Store, afterSeq uint64) (applied int, torn bool, err error) {
+	res := scanWAL(r)
+	for _, rec := range res.records {
+		if rec.Seq <= afterSeq {
+			continue
+		}
+		if aerr := st.Apply(rec.Mutation()); aerr != nil {
+			return applied, res.torn, fmt.Errorf("storage: replay seq %d: %w", rec.Seq, aerr)
+		}
+		applied++
+	}
+	return applied, res.torn, nil
+}

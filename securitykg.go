@@ -389,6 +389,35 @@ func (sys *System) SaveGraph(path string) error { return sys.Store.SaveFile(path
 // it consumable by standard CTI tooling.
 func (sys *System) ExportSTIX(w io.Writer) error { return stix.Export(sys.Store, w) }
 
+// AdoptStore replaces the knowledge graph with an externally managed
+// store — the durability layer's recovered store, whose mutations are
+// write-ahead-logged — and installs the attribute indexes the system
+// expects. Ingestion, fusion and Cypher writes all flow into it from
+// here on.
+func (sys *System) AdoptStore(st *graph.Store) {
+	st.IndexAttr("report_id")
+	sys.Store = st
+}
+
+// RebuildIndex reconstructs the keyword search index from the report
+// nodes already in the graph (title field only; bodies are not
+// persisted). Used after adopting a recovered store, where ingestion —
+// which indexes bodies as it runs — did not populate the index.
+func (sys *System) RebuildIndex() {
+	idx := search.NewIndex(map[string]float64{"title": 2.0})
+	sys.Store.ForEachNode(func(n *graph.Node) bool {
+		if strings.HasSuffix(n.Type, "Report") {
+			id := n.Attrs["report_id"]
+			if id == "" {
+				id = fmt.Sprint(n.ID)
+			}
+			idx.Add(search.Document{ID: id, Fields: map[string]string{"title": n.Name}})
+		}
+		return true
+	})
+	sys.Index = idx
+}
+
 // LoadGraph replaces the knowledge graph with one loaded from path.
 func (sys *System) LoadGraph(path string) error {
 	s, err := graph.LoadFile(path)
