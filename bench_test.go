@@ -444,6 +444,105 @@ func BenchmarkCypherRowsStreaming(b *testing.B) {
 	})
 }
 
+// --- E19: join strategies (PR 5) ---
+
+// BenchmarkCypherHashJoinVsNestedLoop measures the cross-chain equality
+// join: two 400-node label scans linked only by a.name = b.name. The
+// planned engine hashes the cheaper side (one pass over each scan); the
+// legacy engine is the nested-loop baseline, re-enumerating the second
+// chain for every row of the first (160k pairs per execution).
+func BenchmarkCypherHashJoinVsNestedLoop(b *testing.B) {
+	s := graph.New()
+	for i := 0; i < 400; i++ {
+		s.MergeNode("Src", fmt.Sprintf("k%d", i), nil)
+		s.MergeNode("Dst", fmt.Sprintf("k%d", i+100), nil)
+	}
+	q := `match (a:Src), (b:Dst) where a.name = b.name return count(*)`
+	for _, legacy := range []bool{false, true} {
+		mode := "hash-join"
+		if legacy {
+			mode = "nested-loop"
+		}
+		b.Run(mode, func(b *testing.B) {
+			eng := cypher.NewEngine(s, cypher.Options{UseIndexes: true, Legacy: legacy})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := eng.Run(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Rows[0][0].Num != 300 {
+					b.Fatalf("join count = %v, want 300", res.Rows[0][0].Num)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCypherBiExpand measures a 4-hop symmetric chain with both
+// endpoints pinned on a dense 20-node clique: the planned engine's
+// BiExpand collapses walk multiplicities level by level (counted
+// frontier expansion, ~20 map entries per level); the legacy engine is
+// the one-sided baseline, enumerating all 19^3 ≈ 6.9k complete walks
+// (and visiting 19^4 ≈ 130k edges) per execution.
+func BenchmarkCypherBiExpand(b *testing.B) {
+	s := graph.New()
+	ids := make([]graph.NodeID, 20)
+	for i := range ids {
+		ids[i], _ = s.MergeNode("H", fmt.Sprintf("h%d", i), nil)
+	}
+	for i := range ids {
+		for j := range ids {
+			if i != j {
+				s.AddEdge(ids[i], "R", ids[j], nil)
+			}
+		}
+	}
+	q := `match (a:H {name: "h0"})-[:R]->()-[:R]->()-[:R]->()-[:R]->(b:H {name: "h1"}) return count(*)`
+	for _, legacy := range []bool{false, true} {
+		mode := "bi-expand"
+		if legacy {
+			mode = "one-sided"
+		}
+		b.Run(mode, func(b *testing.B) {
+			eng := cypher.NewEngine(s, cypher.Options{UseIndexes: true, Legacy: legacy})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCypherParallelScan measures the partitioned full scan on a
+// 50k-node store: a contains-filtered aggregate that must touch every
+// node. workers=1 is the sequential baseline; workers=4 partitions the
+// ID list across four goroutines and re-merges in ID order
+// (byte-identical output). The spread tracks the machine's core count —
+// on a single-core host the two arms measure the same work plus the
+// fan-out overhead.
+func BenchmarkCypherParallelScan(b *testing.B) {
+	s := graph.New()
+	for i := 0; i < 50000; i++ {
+		s.MergeNode("T", fmt.Sprintf("node-%05d", i), nil)
+	}
+	q := `match (n:T) where n.name contains "42" return count(*)`
+	for _, workers := range []int{1, 4} {
+		mode := fmt.Sprintf("workers=%d", workers)
+		b.Run(mode, func(b *testing.B) {
+			eng := cypher.NewEngine(s, cypher.Options{UseIndexes: true, ScanWorkers: workers})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- E12: layout, Barnes-Hut vs exact ---
 
 func BenchmarkLayoutBarnesHut(b *testing.B) {

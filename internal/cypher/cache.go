@@ -14,14 +14,12 @@ import (
 // query strings each miss. The key also carries the engine's UseIndexes
 // flag, since it changes which access paths the planner may pick.
 
-// planEntry is a cached plan plus the store cardinalities and index
-// epoch it was costed against, so stale plans are re-planned once the
-// graph has drifted or a new index has appeared.
+// planEntry is a cached plan plus the store stats version it was costed
+// against, so plans are re-planned once the planner-visible statistics
+// have materially changed or a new index has appeared.
 type planEntry struct {
-	pl       *Plan
-	nodes    int
-	edges    int
-	idxEpoch int64
+	pl           *Plan
+	statsVersion int64
 }
 
 const planCacheMax = 512
@@ -46,19 +44,15 @@ func cacheFor(s *graph.Store) *planCache {
 	}).(*planCache)
 }
 
-// get returns the cached plan for key if the store's invalidation
-// epoch has not moved since it was costed. IndexAttr and every
-// effective mutation bump the epoch, so a plan costed against
-// pre-mutation statistics (or without a newly created index) is
-// re-planned deterministically rather than riding stale cardinalities.
-// The deliberate trade-off: under write traffic every cached plan
-// invalidates per mutation, so prepared statements on a mutating store
-// pay a re-plan (not a re-parse — Stmt keeps the parsed query) per
-// write; read-mostly workloads keep full cache reuse. The 2× drift
-// bound below is a second line of defense for stores mutated before
-// this cache existed (e.g. a snapshot loaded at a different size).
-// Cached plans stay correct under mutation either way (access paths
-// never become invalid); epoch and drift only protect optimality.
+// get returns the cached plan for key if the store's stats version has
+// not moved since it was costed. The version bumps when IndexAttr
+// creates a new access path and when a planner-visible count (total
+// nodes/edges, any label or edge-type cardinality) drifts materially —
+// but NOT on every effective mutation, so a write-heavy prepared
+// workload whose store shape stays roughly stable keeps its cache hits
+// instead of re-planning per write (the pre-PR-5 behavior). Cached
+// plans stay correct under mutation either way (access paths never
+// become invalid); the version only protects optimality.
 func (c *planCache) get(key string, s *graph.Store) *Plan {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -67,13 +61,7 @@ func (c *planCache) get(key string, s *graph.Store) *Plan {
 		c.misses++
 		return nil
 	}
-	if ent.idxEpoch != s.IndexEpoch() {
-		delete(c.entries, key)
-		c.misses++
-		return nil
-	}
-	n, m := s.CountNodes(), s.CountEdges()
-	if n > 2*ent.nodes+16 || ent.nodes > 2*n+16 || m > 2*ent.edges+16 || ent.edges > 2*m+16 {
+	if ent.statsVersion != s.StatsVersion() {
 		delete(c.entries, key)
 		c.misses++
 		return nil
@@ -91,12 +79,7 @@ func (c *planCache) put(key string, pl *Plan, s *graph.Store) {
 			break
 		}
 	}
-	c.entries[key] = planEntry{
-		pl:       pl,
-		nodes:    s.CountNodes(),
-		edges:    s.CountEdges(),
-		idxEpoch: s.IndexEpoch(),
-	}
+	c.entries[key] = planEntry{pl: pl, statsVersion: s.StatsVersion()}
 }
 
 func (c *planCache) stats() CacheStats {

@@ -137,6 +137,10 @@ var seedQueries = []string{
 	`match (n) with return n`,
 	`match (n) with n order by n.name return n`,
 	`match (n) return n with n`,
+	`match (a:Malware), (b:IP) where a.name = b.name return a.name, b.name`,
+	`match (a)-[:uses]->(x), (b)-[:uses]->(y) where x.name = y.name and a.name = b.name return count(*)`,
+	`match (a {name: "x"})-[:uses]->()-[:uses]->()-[:uses]->(b) return b.name, count(*)`,
+	`match (a {name: "x"})-[:uses]->()-[:uses]->()-[:uses]->(a) return count(*)`,
 }
 
 // buildFuzzStore constructs the small graph the engine fuzz target

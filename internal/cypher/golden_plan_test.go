@@ -1,0 +1,160 @@
+package cypher
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"securitykg/internal/graph"
+)
+
+// The golden-plan suite pins the planner's choices on canonical shapes
+// over fixture stores with known skew: full EXPLAIN snapshots where the
+// whole plan matters, operator assertions where only the choice does.
+// Cost-model edits that change a choice fail loudly here instead of
+// silently regressing plans. Everything is deterministic: the fixtures
+// are fixed, and estimates come from histograms over them.
+
+// goldenJoinStore: 300 :Src and 300 :Dst nodes overlapping on name —
+// the canonical cross-chain equality shape.
+func goldenJoinStore() *graph.Store {
+	s := graph.New()
+	for i := 0; i < 300; i++ {
+		s.MergeNode("Src", fmt.Sprintf("k%d", i), nil)
+		s.MergeNode("Dst", fmt.Sprintf("k%d", i+100), nil)
+	}
+	return s
+}
+
+// goldenMeshStore: a 40-node directed :H clique — the walk-explosion
+// regime for chain expansion.
+func goldenMeshStore() *graph.Store {
+	s := graph.New()
+	ids := make([]graph.NodeID, 40)
+	for i := range ids {
+		ids[i], _ = s.MergeNode("H", fmt.Sprintf("h%d", i), nil)
+	}
+	for i := range ids {
+		for j := range ids {
+			if i != j {
+				s.AddEdge(ids[i], "R", ids[j], nil)
+			}
+		}
+	}
+	return s
+}
+
+func explain(t *testing.T, s *graph.Store, q string) string {
+	t.Helper()
+	text, err := NewEngine(s, DefaultOptions()).Explain(q)
+	if err != nil {
+		t.Fatalf("explain %q: %v", q, err)
+	}
+	return text
+}
+
+func assertGolden(t *testing.T, got, want string) {
+	t.Helper()
+	got, want = strings.TrimSpace(got), strings.TrimSpace(want)
+	if got != want {
+		t.Errorf("plan drifted from golden snapshot:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestGoldenHashJoinPlan(t *testing.T) {
+	got := explain(t, goldenJoinStore(),
+		`match (a:Src), (b:Dst) where a.name = b.name return a.name, b.name`)
+	assertGolden(t, got, `
+plan (streaming, greedy-ordered):
+   1. LabelScan (a:Src)                                            est≈300
+   2. HashJoin on a.name = b.name (build=chain)                    est≈300
+      where a.name = b.name
+       2.1 LabelScan (b:Dst)                                       est≈300
+   => Project a.name, b.name
+`)
+}
+
+func TestGoldenHashJoinFallbackOnSelectiveProbe(t *testing.T) {
+	// A point-seek probe side produces one row: the histograms say the
+	// nested loop enumerates the other chain exactly once either way, so
+	// building a hash table buys nothing and the planner must fall back.
+	pl := plan(t, goldenJoinStore(),
+		`match (a:Src {name: "k7"}), (b:Dst) where a.name = b.name return b.name`)
+	if planHas(pl, isHashJoin) {
+		t.Fatalf("selective probe side must keep the nested loop:\n%s", pl.String())
+	}
+}
+
+func TestGoldenHashJoinFallbackOnOversizedBuild(t *testing.T) {
+	// Both sides past hashJoinMaxBuild: the build table cannot fit, so
+	// the planner keeps the pipelined nested loop. Exercised through the
+	// pure decision function — building a 10^6-node fixture store for
+	// this would dominate the suite's runtime.
+	if got := chooseJoin(1<<20, 1<<21, 1<<21, 1e18, 1<<20); got != joinNested {
+		t.Fatalf("oversized build side chose %v, want nested", got)
+	}
+	// Just under the cap, the same shape hashes.
+	if got := chooseJoin(1<<16, 1<<21, 1<<21, 1e18, 1<<16); got != joinHashInput {
+		t.Fatalf("fitting build side chose %v, want hash(input)", got)
+	}
+}
+
+func TestGoldenBiExpandPlan(t *testing.T) {
+	got := explain(t, goldenMeshStore(),
+		`match (a:H {name: "h0"})-[:R]->()-[:R]->()-[:R]->()-[:R]->(b:H {name: "h1"}) return count(*)`)
+	assertGolden(t, got, `
+plan (streaming, greedy-ordered):
+   1. IndexSeek(label+name) (a:H {name: "h0"}) name="h0"           est≈1
+   2. BiExpand (a)-[:R]->()-[:R]->()-[:R]->()-[:R]->(b:H {name: "h1"}) [4 hops, meet@2] est≈57836.0
+   => Aggregate count(*)
+`)
+}
+
+func TestGoldenBiExpandFallbackOnShortChain(t *testing.T) {
+	// Two hops: the per-level map bookkeeping outweighs collapsing, so
+	// the chain stays plain Expand stages.
+	pl := plan(t, goldenMeshStore(),
+		`match (a:H {name: "h0"})-[:R]->()-[:R]->(b:H {name: "h1"}) return count(*)`)
+	if planHas(pl, isBiExpand) {
+		t.Fatalf("2-hop chain must stay nested:\n%s", pl.String())
+	}
+}
+
+func TestGoldenBiExpandFallbackOnSparseGraph(t *testing.T) {
+	// A sparse chain graph: walks never outnumber nodes, so counted
+	// expansion would only add map overhead — enumeration stays.
+	s := graph.New()
+	prev, _ := s.MergeNode("H", "h0", nil)
+	for i := 1; i < 200; i++ {
+		cur, _ := s.MergeNode("H", fmt.Sprintf("h%d", i), nil)
+		s.AddEdge(prev, "R", cur, nil)
+		prev = cur
+	}
+	pl := plan(t, s,
+		`match (a:H {name: "h0"})-[:R]->()-[:R]->()-[:R]->()-[:R]->(b) return b.name`)
+	if planHas(pl, isBiExpand) {
+		t.Fatalf("sparse chain must stay nested:\n%s", pl.String())
+	}
+}
+
+func TestGoldenParallelScanPlan(t *testing.T) {
+	s := graph.New()
+	for i := 0; i < 2500; i++ {
+		s.MergeNode("T", fmt.Sprintf("node-%04d", i), nil)
+	}
+	got := explain(t, s, `match (n:T) where n.name contains "7" return count(*)`)
+	assertGolden(t, got, `
+plan (streaming, greedy-ordered):
+   1. LabelScan(parallel) (n:T)                                    est≈2500
+      where n.name contains "7"
+   => Aggregate count(*)
+`)
+	// Below the partition threshold the scan stays sequential.
+	small := graph.New()
+	for i := 0; i < 500; i++ {
+		small.MergeNode("T", fmt.Sprintf("n%d", i), nil)
+	}
+	if sc := plan(t, small, `match (n:T) return count(*)`).Segments[0].Stages[0].(*ScanStage); sc.Parallel {
+		t.Error("500-row scan must not be partitioned")
+	}
+}

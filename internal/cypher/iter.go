@@ -1,7 +1,9 @@
 package cypher
 
 import (
+	"sort"
 	"strings"
+	"sync"
 
 	"securitykg/internal/graph"
 )
@@ -62,6 +64,17 @@ func (s *VarExpandStage) newIter(ec *execCtx, input iter) iter {
 	return &varExpandIter{ec: ec, st: s, input: input}
 }
 
+func (s *HashJoinStage) newIter(ec *execCtx, input iter) iter {
+	if input == nil {
+		input = &onceIter{}
+	}
+	return &hashJoinIter{ec: ec, st: s, input: input}
+}
+
+func (s *BiExpandStage) newIter(ec *execCtx, input iter) iter {
+	return &biExpandIter{ec: ec, st: s, input: input}
+}
+
 func (s *OptionalStage) newIter(ec *execCtx, input iter) iter {
 	if input == nil {
 		input = &onceIter{}
@@ -120,6 +133,85 @@ type scanIter struct {
 	i         int
 	boundCand *graph.Node // AccessBound: the single candidate
 	set       bool        // we bound Node.Var on the last emitted row
+	// Partitioned scan: par holds the IDs of the pattern- and
+	// filter-accepted nodes, pre-filtered across workers and merged in
+	// ID order; emission re-fetches each node just like the sequential
+	// path, so output is byte-identical and the retained buffer is only
+	// IDs — strictly smaller than the candidate list the scan already
+	// holds, so budget behavior matches the sequential scan exactly.
+	// Only used when the planner marked the stage Parallel (root of the
+	// pipeline, large scan).
+	par     []graph.NodeID
+	usePar  bool
+	parErr  error
+}
+
+// runParallelScan partitions the ID list across workers, each applying
+// the node pattern and the pushed-down filters against a private
+// binding, and concatenates the accepted IDs in partition (= ID)
+// order. Errors are reported from the lowest partition — the same error
+// the sequential scan would have hit first. The stage is only marked
+// Parallel when it is the pipeline's root, so the filters can reference
+// no variable but the scan's own.
+func (s *scanIter) runParallelScan(ids []graph.NodeID) ([]graph.NodeID, error) {
+	ec := s.ec
+	workers := ec.e.scanWorkers()
+	if workers > len(ids)/parallelScanMinRows+1 {
+		workers = len(ids)/parallelScanMinRows + 1
+	}
+	filter := func(part []graph.NodeID) ([]graph.NodeID, error) {
+		b := binding{}
+		var out []graph.NodeID
+		for _, id := range part {
+			n := ec.e.store.Node(id)
+			if n == nil || !nodeMatches(s.st.Node, n, ec.ps) {
+				continue
+			}
+			b[s.st.Node.Var] = NodeValue(n)
+			ok, err := evalPreds(s.st.Filters, b, ec.ps)
+			delete(b, s.st.Node.Var)
+			if err != nil {
+				return out, err
+			}
+			if ok {
+				out = append(out, id)
+			}
+		}
+		return out, nil
+	}
+	if workers <= 1 {
+		return filter(ids)
+	}
+	chunk := (len(ids) + workers - 1) / workers
+	results := make([][]graph.NodeID, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(ids) {
+			hi = len(ids)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w int, part []graph.NodeID) {
+			defer wg.Done()
+			results[w], errs[w] = filter(part)
+		}(w, ids[lo:hi])
+	}
+	wg.Wait()
+	var out []graph.NodeID
+	for w := 0; w < workers; w++ {
+		out = append(out, results[w]...)
+		if errs[w] != nil {
+			// Deterministic: the first error in ID order, exactly where
+			// the sequential scan would have stopped.
+			return nil, errs[w]
+		}
+	}
+	return out, nil
 }
 
 func (s *scanIter) fetchIDs() []graph.NodeID {
@@ -191,12 +283,39 @@ func (s *scanIter) next() (bool, error) {
 				} else {
 					s.ids = s.fetchIDs()
 				}
+				// ScanWorkers: 1 is the documented escape hatch back to the
+				// streaming scan; the materializing path only engages when
+				// more than one worker can actually run.
+				if s.st.Parallel && s.input == nil && len(s.ids) >= parallelScanMinRows &&
+					ec.e.scanWorkers() > 1 {
+					s.usePar = true
+					s.par, s.parErr = s.runParallelScan(s.ids)
+				}
 				s.fetched = true
+			}
+			if s.parErr != nil {
+				return false, s.parErr
 			}
 		}
 		if s.set {
 			delete(ec.b, np.Var)
 			s.set = false
+		}
+		if s.usePar {
+			// Pattern and filters were already applied by the workers;
+			// emission re-fetches by ID like the sequential path.
+			for s.i < len(s.par) {
+				n := ec.e.store.Node(s.par[s.i])
+				s.i++
+				if n == nil {
+					continue
+				}
+				ec.b[np.Var] = NodeValue(n)
+				s.set = true
+				return true, nil
+			}
+			s.active = false
+			continue
 		}
 		for {
 			var n *graph.Node
@@ -433,6 +552,397 @@ func (x *varExpandIter) next() (bool, error) {
 				}
 				continue
 			}
+			return true, nil
+		}
+		x.active = false
+	}
+}
+
+// --- hash join ---
+
+// joinKey evaluates the key expressions against a binding and renders
+// them as one hashable string. ok=false when any component is null: a
+// null key can never satisfy the equality the join implements, so the
+// row is dropped exactly as the predicate filter would have dropped it.
+func joinKey(keys []Expr, b binding, ps params) (string, bool, error) {
+	var sb strings.Builder
+	for i, k := range keys {
+		v, err := evalExpr(k, b, ps)
+		if err != nil {
+			return "", false, err
+		}
+		if v.Kind == KindNull {
+			return "", false, nil
+		}
+		if i > 0 {
+			sb.WriteByte(0)
+		}
+		sb.WriteString(v.key())
+	}
+	return sb.String(), true, nil
+}
+
+// hashJoinIter executes a HashJoinStage. Build-side rows are charged to
+// the query's byte budget as they are retained — the hash table is the
+// stage's one materialization point. Bucket contents keep insertion
+// order and the chain enumerates deterministically, so output order is
+// byte-stable across runs.
+type hashJoinIter struct {
+	ec      *execCtx
+	st      *HashJoinStage
+	input   iter
+	started bool
+
+	// build=chain mode: chain rows hashed, input rows probe.
+	buckets   map[string][][]Value
+	matches   [][]Value
+	mi        int
+	installed bool
+
+	// build=input mode: input rows hashed, chain streams as probe.
+	inBuckets map[string][]binding
+	chain     iter
+	chainB    binding
+	inMatches []binding
+	imi       int
+	merged    binding  // bucket row currently extended with chain vars
+	mergedSet []string // chain vars installed into merged (for undo)
+}
+
+func (h *hashJoinIter) undo() {
+	if h.installed {
+		for _, v := range h.st.BuildVars {
+			delete(h.ec.b, v)
+		}
+		h.installed = false
+	}
+}
+
+func (h *hashJoinIter) next() (bool, error) {
+	if h.st.BuildInput {
+		return h.nextBuildInput()
+	}
+	ec := h.ec
+	if !h.started {
+		h.started = true
+		h.buckets = map[string][][]Value{}
+		// The build sub-pipeline runs once in its own binding namespace;
+		// it shares the engine, parameters and byte budget.
+		bec := &execCtx{e: ec.e, b: binding{}, ps: ec.ps, bud: ec.bud}
+		chain := buildStageChain(bec, h.st.Build, nil)
+		for {
+			ok, err := chain.next()
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				break
+			}
+			key, ok, err := joinKey(h.st.BuildKeys, bec.b, ec.ps)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				continue
+			}
+			row := make([]Value, len(h.st.BuildVars))
+			for i, v := range h.st.BuildVars {
+				row[i] = bec.b[v]
+			}
+			if err := ec.bud.charge(24 + len(key) + rowBytes(row)); err != nil {
+				return false, err
+			}
+			h.buckets[key] = append(h.buckets[key], row)
+		}
+	}
+	for {
+		h.undo()
+		for h.mi < len(h.matches) {
+			row := h.matches[h.mi]
+			h.mi++
+			for i, v := range h.st.BuildVars {
+				ec.b[v] = row[i]
+			}
+			h.installed = true
+			ok, err := evalPreds(h.st.Filters, ec.b, ec.ps)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+			h.undo()
+		}
+		ok, err := h.input.next()
+		if err != nil || !ok {
+			return false, err
+		}
+		key, ok, err := joinKey(h.st.ProbeKeys, ec.b, ec.ps)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			continue
+		}
+		h.matches, h.mi = h.buckets[key], 0
+	}
+}
+
+// nextBuildInput is the flipped mode: the incoming rows are the cheaper
+// side, so they are drained into the hash table and the chain streams
+// as the probe. The segment binding is swapped wholesale per emitted
+// row (the same technique mutationIter uses to re-stream buffered rows).
+func (h *hashJoinIter) nextBuildInput() (bool, error) {
+	ec := h.ec
+	if !h.started {
+		h.started = true
+		h.inBuckets = map[string][]binding{}
+		for {
+			ok, err := h.input.next()
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				break
+			}
+			key, ok, err := joinKey(h.st.ProbeKeys, ec.b, ec.ps)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				continue
+			}
+			if err := ec.bud.charge(bindingBytes(ec.b)); err != nil {
+				return false, err
+			}
+			h.inBuckets[key] = append(h.inBuckets[key], ec.b.clone())
+		}
+		h.chainB = binding{}
+		ec.b = h.chainB
+		h.chain = buildStageChain(ec, h.st.Build, nil)
+	}
+	for {
+		// Restore the previously emitted bucket row before reusing it (or
+		// any other) — the same install/undo discipline the build=chain
+		// mode applies to the shared binding, so no per-row clones.
+		if h.merged != nil {
+			for _, v := range h.mergedSet {
+				delete(h.merged, v)
+			}
+			h.merged, h.mergedSet = nil, h.mergedSet[:0]
+		}
+		if h.imi < len(h.inMatches) {
+			outer := h.inMatches[h.imi]
+			h.imi++
+			// BuildVars are disjoint from every probe row's keys (bound
+			// and synthetic vars are excluded at plan time), so installing
+			// into the bucket row cannot shadow anything.
+			for _, v := range h.st.BuildVars {
+				if val, ok := h.chainB[v]; ok {
+					outer[v] = val
+					h.mergedSet = append(h.mergedSet, v)
+				}
+			}
+			h.merged = outer
+			ec.b = outer
+			ok, err := evalPreds(h.st.Filters, ec.b, ec.ps)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+			continue
+		}
+		ec.b = h.chainB
+		ok, err := h.chain.next()
+		if err != nil || !ok {
+			return false, err
+		}
+		key, ok, err := joinKey(h.st.BuildKeys, h.chainB, ec.ps)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			continue
+		}
+		h.inMatches, h.imi = h.inBuckets[key], 0
+	}
+}
+
+// --- bidirectional (counted) expand ---
+
+// biExpandIter executes a BiExpandStage: per input row it runs a counted
+// frontier expansion — each BFS level maps node → number of walks
+// reaching it, so multiplicities collapse level by level instead of
+// being enumerated path by path. With the far endpoint already bound it
+// expands from both ends and intersects the counts at the middle level;
+// otherwise it streams the final level in node-ID order (deterministic),
+// emitting each row once per walk so the output multiset is exactly the
+// nested Expand chain's.
+type biExpandIter struct {
+	ec    *execCtx
+	st    *BiExpandStage
+	input iter
+
+	active    bool
+	remaining int // duplicate emissions left for the current row
+	ids       []graph.NodeID
+	counts    map[graph.NodeID]int
+	i         int
+	set       bool
+}
+
+// stepCounts advances one counted BFS level across one hop: every walk
+// count flows along each matching edge, landing only on nodes that
+// match the hop's target pattern.
+func (x *biExpandIter) stepCounts(cur map[graph.NodeID]int, edge EdgePattern, to NodePattern, reverse bool) map[graph.NodeID]int {
+	ec := x.ec
+	next := map[graph.NodeID]int{}
+	dirs := expandDirs(edge.Dir, reverse)
+	for id, c := range cur {
+		for _, d := range dirs {
+			for _, ed := range ec.e.store.Edges(id, d) {
+				if edge.Type != "" && ed.Type != edge.Type {
+					continue
+				}
+				otherID := ed.To
+				if d == graph.In {
+					otherID = ed.From
+				}
+				if _, seen := next[otherID]; !seen {
+					n := ec.e.store.Node(otherID)
+					if n == nil || !nodeMatches(to, n, ec.ps) {
+						next[otherID] = -1 // rejected: cached so we match each node once
+						continue
+					}
+					next[otherID] = 0
+				}
+				if next[otherID] >= 0 {
+					next[otherID] += c
+				}
+			}
+		}
+	}
+	for id, c := range next {
+		if c <= 0 {
+			delete(next, id)
+		}
+	}
+	return next
+}
+
+// forwardCounts runs the counted expansion over hops[0:n].
+func (x *biExpandIter) forwardCounts(from graph.NodeID, hops []BiHop) map[graph.NodeID]int {
+	cur := map[graph.NodeID]int{from: 1}
+	for _, h := range hops {
+		if len(cur) == 0 {
+			return cur
+		}
+		cur = x.stepCounts(cur, h.Edge, h.To, h.Reverse)
+	}
+	return cur
+}
+
+// meetCount counts the walks from `from` to the bound node `to`:
+// forward over the first half of the hops, backward (directions
+// flipped) over the second half, then the dot product of the two count
+// maps over the middle frontier.
+func (x *biExpandIter) meetCount(from, to graph.NodeID) int {
+	hops := x.st.Hops
+	l := len(hops) / 2
+	fwd := x.forwardCounts(from, hops[:l])
+	if len(fwd) == 0 {
+		return 0
+	}
+	bwd := map[graph.NodeID]int{to: 1}
+	for j := len(hops) - 1; j >= l; j-- {
+		if len(bwd) == 0 {
+			return 0
+		}
+		// Walking hop j from its target back to its source: flip the
+		// orientation; the landing nodes are hop j-1's targets.
+		bwd = x.stepCounts(bwd, hops[j].Edge, hops[j-1].To, !hops[j].Reverse)
+	}
+	total := 0
+	for id, c := range fwd {
+		total += c * bwd[id]
+	}
+	return total
+}
+
+func (x *biExpandIter) clear() {
+	if x.set {
+		delete(x.ec.b, x.st.toPattern().Var)
+		x.set = false
+	}
+}
+
+func (x *biExpandIter) next() (bool, error) {
+	ec := x.ec
+	to := x.st.toPattern()
+	for {
+		if x.remaining > 0 {
+			x.remaining--
+			return true, nil
+		}
+		if !x.active {
+			x.clear()
+			ok, err := x.input.next()
+			if err != nil || !ok {
+				return false, err
+			}
+			v, ok := ec.b[x.st.From]
+			if !ok || v.Kind != KindNode {
+				continue // non-node binding (e.g. optional null): no walks
+			}
+			if prev, bound := ec.b[to.Var]; bound {
+				// Far endpoint already bound: meet in the middle.
+				if prev.Kind != KindNode || !nodeMatches(to, prev.Node, ec.ps) {
+					continue
+				}
+				c := x.meetCount(v.Node.ID, prev.Node.ID)
+				if c == 0 {
+					continue
+				}
+				ok, err := evalPreds(x.st.Filters, ec.b, ec.ps)
+				if err != nil {
+					return false, err
+				}
+				if !ok {
+					continue
+				}
+				x.remaining = c
+				continue
+			}
+			x.counts = x.forwardCounts(v.Node.ID, x.st.Hops)
+			x.ids = x.ids[:0]
+			for id := range x.counts {
+				x.ids = append(x.ids, id)
+			}
+			sort.Slice(x.ids, func(i, j int) bool { return x.ids[i] < x.ids[j] })
+			x.i = 0
+			x.active = true
+		}
+		x.clear()
+		for x.i < len(x.ids) {
+			id := x.ids[x.i]
+			x.i++
+			n := ec.e.store.Node(id)
+			if n == nil {
+				continue
+			}
+			ec.b[to.Var] = NodeValue(n)
+			x.set = true
+			ok, err := evalPreds(x.st.Filters, ec.b, ec.ps)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				x.clear()
+				continue
+			}
+			x.remaining = x.counts[id] - 1
 			return true, nil
 		}
 		x.active = false

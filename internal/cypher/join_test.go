@@ -1,0 +1,437 @@
+package cypher
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"securitykg/internal/graph"
+)
+
+// This file locks down the PR-5 join strategies: hash joins for
+// equality-linked chains, bidirectional counted expansion for long
+// anonymous chains, and partitioned parallel scans. Every new plan shape
+// is (a) asserted to actually appear in the plan — so the differential
+// comparisons below exercise the new operators, not a silent fallback —
+// and (b) pinned to the legacy tree-walking matcher's rows, errors and
+// ordering.
+
+// planHas reports whether any stage (recursively through optional and
+// hash-join sub-pipelines) satisfies pred.
+func planHas(pl *Plan, pred func(Stage) bool) bool {
+	var walk func(st []Stage) bool
+	walk = func(st []Stage) bool {
+		for _, s := range st {
+			if pred(s) {
+				return true
+			}
+			switch is := s.(type) {
+			case *OptionalStage:
+				if walk(is.Inner) {
+					return true
+				}
+			case *HashJoinStage:
+				if walk(is.Build) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, seg := range pl.Segments {
+		if walk(seg.Stages) {
+			return true
+		}
+	}
+	return false
+}
+
+func isHashJoin(s Stage) bool { _, ok := s.(*HashJoinStage); return ok }
+func isBiExpand(s Stage) bool { _, ok := s.(*BiExpandStage); return ok }
+
+// diffEngines runs q on both engines over the same store and fails on
+// any divergence in error status or row multiset.
+func diffEngines(t *testing.T, s *graph.Store, q string) {
+	t.Helper()
+	planned, err1 := NewEngine(s, Options{UseIndexes: true}).Run(q)
+	legacy, err2 := NewEngine(s, Options{UseIndexes: true, Legacy: true}).Run(q)
+	if (err1 == nil) != (err2 == nil) {
+		t.Fatalf("error mismatch for %q: planned=%v legacy=%v", q, err1, err2)
+	}
+	if err1 != nil {
+		return
+	}
+	if !sameMultiset(renderRows(planned), renderRows(legacy)) {
+		t.Fatalf("row mismatch for %q:\nplanned: %v\nlegacy:  %v", q, renderRows(planned), renderRows(legacy))
+	}
+}
+
+// joinStore: two disjoint chains whose only link is name equality, with
+// enough rows on both sides that the planner picks a hash join.
+func joinStore() *graph.Store {
+	s := graph.New()
+	for i := 0; i < 120; i++ {
+		a, _ := s.MergeNode("Src", fmt.Sprintf("k%d", i%60), map[string]string{"grp": fmt.Sprintf("g%d", i%5)})
+		ax, _ := s.MergeNode("SrcX", fmt.Sprintf("x%d", i), nil)
+		s.AddEdge(a, "FEEDS", ax, nil)
+		b, _ := s.MergeNode("Dst", fmt.Sprintf("k%d", (i+30)%90), nil)
+		bx, _ := s.MergeNode("DstX", fmt.Sprintf("y%d", i), nil)
+		s.AddEdge(b, "FEEDS", bx, nil)
+	}
+	return s
+}
+
+func TestHashJoinPlanShapeAndDifferential(t *testing.T) {
+	s := joinStore()
+	queries := []string{
+		// Plain cross-chain equality over two label scans.
+		`match (a:Src), (b:Dst) where a.name = b.name return a.name, b.name`,
+		// Chains (not just single nodes) on both sides.
+		`match (a:Src)-[:FEEDS]->(x), (b:Dst)-[:FEEDS]->(y) where a.name = b.name return a.name, x.name, y.name`,
+		// Expression keys (function of a property).
+		`match (a:Src), (b:Dst) where upper(a.name) = upper(b.name) return a.name`,
+		// Null keys on both sides: a.missing is null everywhere, so the
+		// join must produce no rows (null never equals null).
+		`match (a:Src), (b:Dst) where a.missing = b.missing return a.name, b.name`,
+		// Composite key: two equality conjuncts across the same chains.
+		`match (a:Src), (b:Dst) where a.name = b.name and a.grp = b.grp return a.name`,
+		// Aggregation over the join.
+		`match (a:Src), (b:Dst) where a.name = b.name return count(*)`,
+		// Residual non-equality predicate rides along.
+		`match (a:Src), (b:Dst) where a.name = b.name and a.name contains "1" return a.name, b.name`,
+		// Three chains: the join cascades.
+		`match (a:Src), (b:Dst), (c:SrcX) where a.name = b.name and c.name = a.name return a.name`,
+	}
+	hashJoins := 0
+	for _, q := range queries {
+		pl := plan(t, s, q)
+		if planHas(pl, isHashJoin) {
+			hashJoins++
+		}
+		diffEngines(t, s, q)
+	}
+	if hashJoins < 5 {
+		t.Errorf("only %d/%d queries planned a hash join; the differential is not exercising the operator", hashJoins, len(queries))
+	}
+}
+
+func TestHashJoinOrderingAndLimit(t *testing.T) {
+	// With a total ORDER BY both engines must agree on exact ordered rows
+	// through a hash-join plan, for every SKIP/LIMIT combination.
+	s := joinStore()
+	q := `match (a:Src), (b:Dst) where a.name = b.name return a.name, b.name order by a.name, b.name skip 3 limit 7`
+	if !planHas(plan(t, s, q), isHashJoin) {
+		t.Fatal("expected a hash-join plan")
+	}
+	planned, err := NewEngine(s, Options{UseIndexes: true}).Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := NewEngine(s, Options{UseIndexes: true, Legacy: true}).Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := renderRows(planned), renderRows(legacy)
+	if len(a) != len(b) {
+		t.Fatalf("row counts: planned=%d legacy=%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestHashJoinSharedVariable(t *testing.T) {
+	// A chain reaching a shared variable from a selective far end: the
+	// planner may hash on the shared node, and either way the rows must
+	// match the legacy matcher.
+	s := graph.New()
+	hub, _ := s.MergeNode("Hub", "hub", nil)
+	for i := 0; i < 200; i++ {
+		ip, _ := s.MergeNode("IP", fmt.Sprintf("10.0.0.%d", i), nil)
+		s.AddEdge(hub, "CONNECT", ip, nil)
+		d, _ := s.MergeNode("Domain", fmt.Sprintf("d%d", i), nil)
+		s.AddEdge(d, "RESOLVES", ip, nil)
+	}
+	for _, q := range []string{
+		`match (h:Hub)-[:CONNECT]->(ip), (d:Domain)-[:RESOLVES]->(ip) return d.name, ip.name`,
+		`match (h:Hub)-[:CONNECT]->(ip), (d:Domain {name: "d7"})-[:RESOLVES]->(ip) return ip.name`,
+	} {
+		diffEngines(t, s, q)
+	}
+}
+
+// meshStore is a dense directed clique on n :H nodes — the walk-explosion
+// regime where counted expansion beats path enumeration.
+func meshStore(n int) *graph.Store {
+	s := graph.New()
+	ids := make([]graph.NodeID, n)
+	for i := 0; i < n; i++ {
+		ids[i], _ = s.MergeNode("H", fmt.Sprintf("h%d", i), nil)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				s.AddEdge(ids[i], "R", ids[j], nil)
+			}
+		}
+	}
+	return s
+}
+
+func TestBiExpandPlanShapeAndDifferential(t *testing.T) {
+	s := meshStore(12)
+	queries := []string{
+		// Both endpoints pinned: walk counting end to end.
+		`match (a:H {name: "h0"})-[:R]->()-[:R]->()-[:R]->()-[:R]->(b:H {name: "h1"}) return count(*)`,
+		// Far endpoint free: multiplicity emission per distinct endpoint.
+		`match (a:H {name: "h0"})-[:R]->()-[:R]->()-[:R]->(b) return b.name, count(*)`,
+		// Cycle: the far endpoint is the (bound) start — meet in the middle.
+		`match (a:H {name: "h3"})-[:R]->()-[:R]->()-[:R]->(a) return count(*)`,
+		// Mixed directions inside the run.
+		`match (a:H {name: "h2"})-[:R]->()<-[:R]-()-[:R]->(b:H {name: "h5"}) return count(*)`,
+		// Labeled interior nodes still collapse (synthetic vars, user label).
+		`match (a:H {name: "h0"})-[:R]->(:H)-[:R]->(:H)-[:R]->(b:H {name: "h4"}) return count(*)`,
+	}
+	biplans := 0
+	for _, q := range queries {
+		if planHas(plan(t, s, q), isBiExpand) {
+			biplans++
+		}
+		diffEngines(t, s, q)
+	}
+	if biplans < 4 {
+		t.Errorf("only %d/%d queries planned a BiExpand; the differential is not exercising the operator", biplans, len(queries))
+	}
+}
+
+func TestBiExpandRandomizedDifferential(t *testing.T) {
+	// Random dense graphs × random 3-5 hop anonymous chains. Fixed seed
+	// range keeps failures reproducible.
+	rels := []string{"R", "S"}
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := graph.New()
+		n := 8 + rng.Intn(6)
+		ids := make([]graph.NodeID, n)
+		for i := range ids {
+			ids[i], _ = s.MergeNode("H", fmt.Sprintf("h%d", i), nil)
+		}
+		for i := 0; i < n*n; i++ {
+			s.AddEdge(ids[rng.Intn(n)], rels[rng.Intn(2)], ids[rng.Intn(n)], nil)
+		}
+		hops := 3 + rng.Intn(3)
+		var q strings.Builder
+		fmt.Fprintf(&q, `match (a {name: "h%d"})`, rng.Intn(n))
+		for h := 0; h < hops; h++ {
+			arrow := []string{`-[:%s]->`, `<-[:%s]-`, `-[:%s]-`}[rng.Intn(3)]
+			fmt.Fprintf(&q, arrow, rels[rng.Intn(2)])
+			if h < hops-1 {
+				q.WriteString("()")
+			}
+		}
+		switch rng.Intn(3) {
+		case 0:
+			fmt.Fprintf(&q, `(b {name: "h%d"}) return count(*)`, rng.Intn(n))
+		case 1:
+			q.WriteString(`(b) return b.name, count(*)`)
+		default:
+			q.WriteString(`(a) return count(*)`) // cycle back to the start
+		}
+		diffEngines(t, s, q.String())
+	}
+}
+
+func TestParallelScanDeterminismAndDifferential(t *testing.T) {
+	s := graph.New()
+	for i := 0; i < 3000; i++ {
+		s.MergeNode("T", fmt.Sprintf("node-%04d", i), nil)
+	}
+	q := `match (n:T) where n.name contains "7" return n.name order by n.name`
+	pl := plan(t, s, q)
+	sc, ok := pl.Segments[0].Stages[0].(*ScanStage)
+	if !ok || !sc.Parallel {
+		t.Fatalf("expected a parallel label scan, got %+v", pl.Segments[0].Stages[0])
+	}
+	// Byte-stable: the partitioned scan must return exactly the sequential
+	// engine's rows in exactly its order. Workers are forced to 4 so the
+	// concurrent path runs (and races surface under -race) even on a
+	// single-core machine where auto would resolve to 1.
+	par, err := NewEngine(s, Options{UseIndexes: true, ScanWorkers: 4}).Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := NewEngine(s, Options{UseIndexes: true, ScanWorkers: 1}).Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := renderRows(par), renderRows(seq)
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ: parallel=%d sequential=%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs: %q vs %q", i, a[i], b[i])
+		}
+	}
+	diffEngines(t, s, q)
+	diffEngines(t, s, `match (n:T) return count(*)`)
+
+	// Errors inside worker partitions surface deterministically and match
+	// the legacy engine (aggregate call in WHERE errors at evaluation;
+	// the ORDER BY keeps the scan on the partitioned path).
+	qErr := `match (n:T) where count(n) > 0 return n.name order by n.name`
+	_, err1 := NewEngine(s, Options{UseIndexes: true, ScanWorkers: 4}).Run(qErr)
+	_, err2 := NewEngine(s, Options{UseIndexes: true, Legacy: true}).Run(qErr)
+	if err1 == nil || err2 == nil || err1.Error() != err2.Error() {
+		t.Fatalf("error mismatch: planned=%v legacy=%v", err1, err2)
+	}
+}
+
+func TestParallelScanSkippedForStreamingPlans(t *testing.T) {
+	s := graph.New()
+	for i := 0; i < 3000; i++ {
+		s.MergeNode("T", fmt.Sprintf("n%d", i), nil)
+	}
+	// Streaming plans stay sequential — with a LIMIT (the early cutoff
+	// must keep its effect) and without one (time-to-first-row, cheap
+	// cursor abandonment, stream-until-budget-trips all depend on it).
+	pl := plan(t, s, `match (n:T) return n.name limit 5`)
+	if sc := pl.Segments[0].Stages[0].(*ScanStage); sc.Parallel {
+		t.Error("LIMIT-ed streaming scan must not be parallel")
+	}
+	pl = plan(t, s, `match (n:T) return n.name`)
+	if sc := pl.Segments[0].Stages[0].(*ScanStage); sc.Parallel {
+		t.Error("plain streaming scan must not be parallel")
+	}
+	// With ORDER BY the whole input is consumed anyway: parallel is fine.
+	pl = plan(t, s, `match (n:T) return n.name order by n.name limit 5`)
+	if sc := pl.Segments[0].Stages[0].(*ScanStage); !sc.Parallel {
+		t.Error("ORDER BY + LIMIT consumes the full scan; expected parallel")
+	}
+	// An aggregating WITH bridge is a barrier: the final LIMIT can never
+	// cut the scan short, so the scan must still be parallelized.
+	pl = plan(t, s, `match (n:T) with n.name as g, count(*) as c return g, c limit 3`)
+	if sc := pl.Segments[0].Stages[0].(*ScanStage); !sc.Parallel {
+		t.Error("aggregating WITH consumes the full scan; expected parallel despite the final LIMIT")
+	}
+	// A write stage is an eager barrier too.
+	pl = plan(t, s, `match (n:T) set n.seen = "1" return n.name limit 3`)
+	if sc := pl.Segments[0].Stages[0].(*ScanStage); !sc.Parallel {
+		t.Error("mutation barrier consumes the full scan; expected parallel despite the LIMIT")
+	}
+}
+
+func TestParallelScanBudgetParity(t *testing.T) {
+	// The partitioned scan retains only accepted IDs — strictly smaller
+	// than the candidate list every scan already holds — so a budget the
+	// sequential scan satisfies must never fail just because the planner
+	// parallelized, and a budget neither fits under must fail for both.
+	s := graph.New()
+	for i := 0; i < 3000; i++ {
+		s.MergeNode("T", fmt.Sprintf("node-%04d", i), map[string]string{"k": "vvvvvvvv"})
+	}
+	q := `match (n:T) return count(*)`
+	// 256KiB > 3000 × aggRowCost: both succeed with the same count.
+	for _, workers := range []int{1, 4} {
+		res, err := NewEngine(s, Options{UseIndexes: true, ScanWorkers: workers, MaxBytes: 256 << 10}).Run(q)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Rows[0][0].Num != 3000 {
+			t.Fatalf("workers=%d: count = %v, want 3000", workers, res.Rows[0][0].Num)
+		}
+	}
+	// 32KiB < the aggregate's enumeration charge: both fail, typed.
+	for _, workers := range []int{1, 4} {
+		_, err := NewEngine(s, Options{UseIndexes: true, ScanWorkers: workers, MaxBytes: 32 << 10}).Run(q)
+		var be *BudgetError
+		if !errors.As(err, &be) {
+			t.Fatalf("workers=%d: want *BudgetError, got %v", workers, err)
+		}
+	}
+}
+
+func TestHashJoinPushesChainLocalFilterIntoBuild(t *testing.T) {
+	// A conjunct referencing only the build chain's variables must run
+	// inside the build sub-pipeline, so the hash table holds filtered
+	// rows instead of every chain row.
+	s := joinStore()
+	q := `match (a:Src), (b:Dst) where a.name = b.name and b.name contains "3" return a.name`
+	pl := plan(t, s, q)
+	var hj *HashJoinStage
+	for _, st := range pl.Segments[0].Stages {
+		if j, ok := st.(*HashJoinStage); ok {
+			hj = j
+		}
+	}
+	if hj == nil {
+		t.Fatalf("expected a hash join:\n%s", pl.String())
+	}
+	found := false
+	for _, st := range hj.Build {
+		for _, f := range st.filters() {
+			if exprString(f) == `b.name contains "3"` {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("chain-local filter not pushed into the build side:\n%s", pl.String())
+	}
+	diffEngines(t, s, q)
+}
+
+func TestHashJoinBuildVarsExcludeSynthetic(t *testing.T) {
+	// Anonymous nodes/edges in the build chain get synthetic "$" names no
+	// expression can reference: the hash table must not store (or
+	// budget-charge) their values, while row multiplicity via duplicate
+	// bucket entries is preserved — checked by the differential.
+	s := joinStore()
+	q := `match (a:Src)-[]->(), (b:Dst)-[]->() where a.name = b.name return a.name, b.name`
+	pl := plan(t, s, q)
+	var hj *HashJoinStage
+	for _, st := range pl.Segments[0].Stages {
+		if j, ok := st.(*HashJoinStage); ok {
+			hj = j
+		}
+	}
+	if hj == nil {
+		t.Fatalf("expected a hash join:\n%s", pl.String())
+	}
+	for _, v := range hj.BuildVars {
+		if strings.HasPrefix(v, "$") {
+			t.Errorf("synthetic variable %q retained in the hash table", v)
+		}
+	}
+	diffEngines(t, s, q)
+}
+
+func TestChooseJoinDecision(t *testing.T) {
+	cases := []struct {
+		name                                              string
+		inputRows, chainRows, chainWork, nestedWork, outRows float64
+		want                                              joinMode
+	}{
+		// 300×300 cartesian with an equality key: classic hash-join win.
+		{"cartesian-win", 300, 300, 300, 90000, 300, joinHashChain},
+		// Tiny probe side whose nested plan is anchored (cheap per row):
+		// building a table saves nothing.
+		{"tiny-probe", 2, 300, 300, 420, 2, joinNested},
+		// Input side smaller than the chain: hash the input.
+		{"input-cheaper", 50, 5000, 5000, 250000, 50, joinHashInput},
+		// Both sides huge: the histogram says the build side cannot fit.
+		{"build-too-big", 1 << 20, 1 << 20, 1 << 20, math.Inf(1), 1 << 20, joinNested},
+		// Nested work comparable to hash work: stay pipelined.
+		{"comparable", 500, 500, 501, 251000, 250000, joinNested},
+	}
+	for _, c := range cases {
+		if got := chooseJoin(c.inputRows, c.chainRows, c.chainWork, c.nestedWork, c.outRows); got != c.want {
+			t.Errorf("%s: chooseJoin = %v, want %v", c.name, got, c.want)
+		}
+	}
+}

@@ -76,7 +76,13 @@ type ScanStage struct {
 	AttrVal   string
 	AttrParam string // $parameter supplying the attribute value at bind time
 	Filters   []Expr // pushed-down predicates evaluable once Node.Var is bound
-	Est       float64
+	// Parallel marks a large full/label scan at the root of the pipeline
+	// for partitioned execution: the ID list is split across workers that
+	// apply the pattern and pushed-down filters concurrently, and the
+	// accepted nodes are re-merged in ID order, so downstream stages see
+	// exactly the sequential stream (planner.go markParallelScan).
+	Parallel bool
+	Est      float64
 }
 
 func (s *ScanStage) estRows() float64 { return s.Est }
@@ -85,6 +91,9 @@ func (s *ScanStage) filters() []Expr  { return s.Filters }
 func (s *ScanStage) describe() string {
 	var b strings.Builder
 	b.WriteString(s.Access.String())
+	if s.Parallel {
+		b.WriteString("(parallel)")
+	}
 	b.WriteString(" ")
 	b.WriteString(patternNodeText(s.Node))
 	if s.Label != "" && s.Node.Label == "" {
@@ -181,6 +190,88 @@ func (s *VarExpandStage) filters() []Expr  { return s.Filters }
 
 func (s *VarExpandStage) describe() string {
 	return fmt.Sprintf("VarExpand (%s)%s%s", s.From, edgeText(s.Edge, s.Reverse), patternNodeText(s.To))
+}
+
+// HashJoinStage joins the incoming row stream against an independently
+// planned pattern chain on equality keys, replacing the O(n·m)
+// nested re-expand the planner used to emit for chains linked only by a
+// cross-chain equality predicate (a.x = b.y) or a shared node variable.
+// The cheaper side is hashed: with BuildInput false the chain
+// sub-pipeline runs once and its rows are hashed by BuildKeys, then each
+// incoming row probes by ProbeKeys; with BuildInput true the incoming
+// rows are drained and hashed instead and the chain streams as the
+// probe. Rows whose key evaluates to null never match (Cypher equality
+// semantics), exactly as the predicate filter would have decided.
+type HashJoinStage struct {
+	Build      []Stage  // standalone sub-pipeline for the joined chain
+	BuildVars  []string // variables the chain introduces (installed on match)
+	ProbeKeys  []Expr   // evaluated against the incoming row
+	BuildKeys  []Expr   // evaluated against the chain row, aligned with ProbeKeys
+	BuildInput bool     // hash the incoming side instead (it is the cheaper one)
+	Filters    []Expr
+	Est        float64
+}
+
+func (s *HashJoinStage) estRows() float64 { return s.Est }
+func (s *HashJoinStage) filters() []Expr  { return s.Filters }
+
+func (s *HashJoinStage) describe() string {
+	keys := make([]string, len(s.ProbeKeys))
+	for i := range s.ProbeKeys {
+		p, b := exprString(s.ProbeKeys[i]), exprString(s.BuildKeys[i])
+		if p == b {
+			keys[i] = p
+		} else {
+			keys[i] = p + " = " + b
+		}
+	}
+	side := "chain"
+	if s.BuildInput {
+		side = "input"
+	}
+	return fmt.Sprintf("HashJoin on %s (build=%s)", strings.Join(keys, ", "), side)
+}
+
+// BiHop is one hop of a collapsed chain segment: its edge pattern, the
+// node pattern the hop lands on, and whether the chain is being walked
+// right-to-left at that hop.
+type BiHop struct {
+	Edge    EdgePattern
+	To      NodePattern
+	Reverse bool
+}
+
+// BiExpandStage traverses a run of ≥3 single-hop edges whose interior
+// nodes and edges are anonymous, using counted frontier expansion
+// instead of path enumeration: each BFS level carries a walk count per
+// node, so multiplicities collapse level by level instead of being
+// enumerated path by path. When the far endpoint is already bound the
+// stage expands from both endpoints and intersects the counts at the
+// middle level (meet-in-the-middle); otherwise it streams the final
+// level's nodes in ID order, emitting each row once per walk. The
+// multiset of rows is identical to the equivalent Expand chain — only
+// the enumeration strategy changes.
+type BiExpandStage struct {
+	From    string
+	Hops    []BiHop
+	Filters []Expr
+	Est     float64
+}
+
+func (s *BiExpandStage) toPattern() NodePattern { return s.Hops[len(s.Hops)-1].To }
+
+func (s *BiExpandStage) estRows() float64 { return s.Est }
+func (s *BiExpandStage) filters() []Expr  { return s.Filters }
+
+func (s *BiExpandStage) describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "BiExpand (%s)", displayVar(s.From))
+	for _, h := range s.Hops {
+		b.WriteString(edgeText(h.Edge, h.Reverse))
+		b.WriteString(patternNodeText(h.To))
+	}
+	fmt.Fprintf(&b, " [%d hops, meet@%d]", len(s.Hops), len(s.Hops)/2)
+	return b.String()
 }
 
 // OptionalStage runs an inner pipeline for every input row; when the
@@ -291,12 +382,17 @@ func (p *Plan) String() string {
 			for _, f := range st.filters() {
 				fmt.Fprintf(&b, "      where %s\n", exprString(f))
 			}
-			if opt, ok := st.(*OptionalStage); ok {
-				for ii, ist := range opt.Inner {
-					fmt.Fprintf(&b, "      %2d.%d %-55s est≈%s\n", n, ii+1, ist.describe(), fmtEst(ist.estRows()))
-					for _, f := range ist.filters() {
-						fmt.Fprintf(&b, "           where %s\n", exprString(f))
-					}
+			var inner []Stage
+			switch is := st.(type) {
+			case *OptionalStage:
+				inner = is.Inner
+			case *HashJoinStage:
+				inner = is.Build
+			}
+			for ii, ist := range inner {
+				fmt.Fprintf(&b, "      %2d.%d %-55s est≈%s\n", n, ii+1, ist.describe(), fmtEst(ist.estRows()))
+				for _, f := range ist.filters() {
+					fmt.Fprintf(&b, "           where %s\n", exprString(f))
 				}
 			}
 		}

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
+
+	"securitykg/internal/graph"
 )
 
 // The planner turns a parsed query into a Plan in three steps:
@@ -31,7 +34,7 @@ import (
 //     re-root the binding namespace.
 //
 // Statistics come from the graph store's selectivity layer (CountByType,
-// CountByName, CountByTypeAttr, AvgDegree, ...), kept live by the
+// CountByName, CountByTypeAttr, DegreeHistogram, ...), kept live by the
 // indexes, so planning is O(pattern size) with O(1) stat lookups.
 
 // planQuery builds the plan for q against the engine's store and options.
@@ -59,7 +62,59 @@ func (e *Engine) planQuery(q *Query) (*Plan, error) {
 			bound[it.Alias] = true
 		}
 	}
+	e.markParallelScan(pl)
 	return pl, nil
+}
+
+// parallelScanMinRows is the estimated (and at runtime, actual) row
+// count below which partitioning a scan is not worth the goroutine
+// fan-out.
+const parallelScanMinRows = 2048
+
+// markParallelScan marks the plan's root scan for partitioned execution
+// when it is a large full/label scan feeding a barrier that drains the
+// whole scan before the first row leaves the query anyway. Streaming
+// plans — even without a LIMIT — stay sequential: the partitioned path
+// filters every partition up front, which would cost a LIMIT its early
+// cutoff, an abandoned cursor its cheap close, and a tight byte budget
+// its stream-until-tripped behavior.
+func (e *Engine) markParallelScan(pl *Plan) {
+	seg := pl.Segments[0]
+	if len(seg.Stages) == 0 {
+		return
+	}
+	sc, ok := seg.Stages[0].(*ScanStage)
+	if !ok || (sc.Access != AccessAll && sc.Access != AccessLabel) {
+		return
+	}
+	if sc.Est < parallelScanMinRows {
+		return
+	}
+	if !scanFeedsBarrier(pl) {
+		return
+	}
+	sc.Parallel = true
+}
+
+// scanFeedsBarrier reports whether something downstream of the root
+// scan consumes the entire scan before emitting: a final aggregation or
+// ORDER BY, an aggregating WITH bridge, or an eager mutation stage.
+func scanFeedsBarrier(pl *Plan) bool {
+	fin := pl.final()
+	if fin.HasAggregate || len(fin.OrderBy) > 0 {
+		return true
+	}
+	for i, seg := range pl.Segments {
+		if i < len(pl.Segments)-1 && seg.HasAggregate {
+			return true
+		}
+		for _, st := range seg.Stages {
+			if _, ok := st.(*MutationStage); ok {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // planPart plans one WITH-delimited segment. preBound names the
@@ -113,7 +168,7 @@ func (e *Engine) planPart(part *QueryPart, final bool, preBound map[string]bool,
 		eq := equalityHints(conjs)
 		runStart := len(seg.Stages)
 		preRun := copyBound(bound)
-		cur = e.planPatterns(&seg.Stages, pats, bound, eq, cur)
+		cur = e.planPatterns(&seg.Stages, pats, bound, eq, conjs, true, cur)
 		assignPredicates(seg.Stages[runStart:], conjs, run.where, preRun)
 	}
 	if wc := writeClausesOf(part); wc != nil {
@@ -136,7 +191,10 @@ func (e *Engine) planOptional(mc MatchClause, bound map[string]bool, synth *int,
 	pre := copyBound(bound)
 	innerBound := copyBound(bound)
 	var inner []Stage
-	est := e.planPatterns(&inner, pats, innerBound, eq, cur)
+	// Optional sub-pipelines rebuild their iterators per input row, so a
+	// hash join there would re-run its build side per row: joins stay
+	// disabled inside OPTIONAL MATCH.
+	est := e.planPatterns(&inner, pats, innerBound, eq, conjs, false, cur)
 	assignPredicates(inner, conjs, mc.Where, pre)
 	var vars []string
 	for v := range innerBound {
@@ -158,10 +216,13 @@ func (e *Engine) planOptional(mc MatchClause, bound map[string]bool, synth *int,
 // planPatterns greedily orders a group of pattern chains: repeatedly pick
 // the unplanned chain with the cheapest entry node (bound variables are
 // free, enabling join-connected chains to piggyback on earlier ones),
-// then plan it outward from there. Mutates bound; returns the updated
-// cumulative cardinality estimate.
+// then plan it outward from there — or, when the chain is linked to the
+// rows planned so far only through equality (a cross-chain predicate or
+// a shared variable) and the histograms say hashing one side is cheaper
+// than re-expanding per row, as a HashJoinStage. Mutates bound; returns
+// the updated cumulative cardinality estimate.
 func (e *Engine) planPatterns(stages *[]Stage, pats []Pattern, bound map[string]bool,
-	eq map[string]map[string]hintVal, cur float64) float64 {
+	eq map[string]map[string]hintVal, conjs []Expr, allowJoin bool, cur float64) float64 {
 	planned := make([]bool, len(pats))
 	for {
 		best, bestNode := -1, 0
@@ -170,28 +231,53 @@ func (e *Engine) planPatterns(stages *[]Stage, pats []Pattern, bound map[string]
 			if planned[pi] {
 				continue
 			}
-			for ni, np := range p.Nodes {
-				cost := math.Inf(1)
-				if bound[np.Var] {
-					cost = 0
-				} else {
-					cost = e.accessFor(np, eq[np.Var]).est
-				}
-				if cost < bestCost {
-					best, bestNode, bestCost = pi, ni, cost
-				}
+			ni, cost := e.bestEntry(p, bound, eq)
+			if cost < bestCost {
+				best, bestNode, bestCost = pi, ni, cost
 			}
 		}
 		if best < 0 {
 			return cur
+		}
+		if allowJoin {
+			if st, est, ok := e.planHashJoin(pats[best], bound, eq, conjs, cur); ok {
+				*stages = append(*stages, st)
+				for v := range patternVars(pats[best]) {
+					bound[v] = true
+				}
+				cur = est
+				planned[best] = true
+				continue
+			}
 		}
 		cur = e.planChain(stages, pats[best], bestNode, bound, eq, cur)
 		planned[best] = true
 	}
 }
 
+// bestEntry returns the cheapest entry node of a chain and its estimated
+// candidate count (bound variables are free).
+func (e *Engine) bestEntry(p Pattern, bound map[string]bool, eq map[string]map[string]hintVal) (int, float64) {
+	best, bestCost := 0, math.Inf(1)
+	for ni, np := range p.Nodes {
+		cost := math.Inf(1)
+		if bound[np.Var] {
+			cost = 0
+		} else {
+			cost = e.accessFor(np, eq[np.Var]).est
+		}
+		if cost < bestCost {
+			best, bestCost = ni, cost
+		}
+	}
+	return best, bestCost
+}
+
 // planChain emits the stages for one pattern chain entered at node index
-// start, returning the updated cumulative cardinality estimate.
+// start, returning the updated cumulative cardinality estimate. Long
+// runs of anonymous single-hop edges collapse into a BiExpandStage when
+// the degree histograms put path enumeration deep into walk-explosion
+// territory (tryBiExpand).
 func (e *Engine) planChain(stages *[]Stage, p Pattern, start int, bound map[string]bool,
 	eq map[string]map[string]hintVal, cur float64) float64 {
 	np := p.Nodes[start]
@@ -213,21 +299,102 @@ func (e *Engine) planChain(stages *[]Stage, p Pattern, start int, bound map[stri
 	for lo > 0 || hi < len(p.Nodes)-1 {
 		right := math.Inf(1)
 		if hi < len(p.Nodes)-1 {
-			right = e.expandFactor(p.Edges[hi], p.Nodes[hi+1], bound, eq)
+			right = e.expandFactor(p.Nodes[hi], p.Edges[hi], p.Nodes[hi+1], false, bound, eq)
 		}
 		left := math.Inf(1)
 		if lo > 0 {
-			left = e.expandFactor(p.Edges[lo-1], p.Nodes[lo-1], bound, eq)
+			left = e.expandFactor(p.Nodes[lo], p.Edges[lo-1], p.Nodes[lo-1], true, bound, eq)
 		}
 		if right <= left {
+			if hops, est, ok := e.tryBiExpand(stages, p, hi, false, bound, eq, cur); ok {
+				hi += hops
+				cur = est
+				continue
+			}
 			cur = e.emitExpand(stages, p.Nodes[hi].Var, p.Edges[hi], p.Nodes[hi+1], false, bound, cur*right)
 			hi++
 		} else {
+			if hops, est, ok := e.tryBiExpand(stages, p, lo, true, bound, eq, cur); ok {
+				lo -= hops
+				cur = est
+				continue
+			}
 			cur = e.emitExpand(stages, p.Nodes[lo].Var, p.Edges[lo-1], p.Nodes[lo-1], true, bound, cur*left)
 			lo--
 		}
 	}
 	return cur
+}
+
+// biExpandMinHops is the shortest collapsible run worth counted
+// expansion: below it the per-level map bookkeeping costs more than the
+// walks it collapses.
+const biExpandMinHops = 3
+
+// tryBiExpand collapses the maximal run of single-hop, anonymous-interior
+// edges starting at chain position idx (walking leftward or rightward)
+// into one BiExpandStage — if the run is long enough and the per-hop
+// degree product says enumeration would explode: past ~32 walks per row
+// when the far endpoint is already bound (meet-in-the-middle pays
+// immediately), or past 4× the node count when it is free (counts only
+// collapse work once walks outnumber distinct nodes). Returns the number
+// of hops consumed and the updated cumulative estimate.
+func (e *Engine) tryBiExpand(stages *[]Stage, p Pattern, idx int, leftward bool,
+	bound map[string]bool, eq map[string]map[string]hintVal, cur float64) (int, float64, bool) {
+	var hops []BiHop
+	prodDeg, est := 1.0, cur
+	node := p.Nodes[idx]
+	j := idx
+	for {
+		var edge EdgePattern
+		var next NodePattern
+		if leftward {
+			if j == 0 {
+				break
+			}
+			edge, next = p.Edges[j-1], p.Nodes[j-1]
+		} else {
+			if j == len(p.Nodes)-1 {
+				break
+			}
+			edge, next = p.Edges[j], p.Nodes[j+1]
+		}
+		// Interior edges must be anonymous single hops (synthetic "$"
+		// names cannot be referenced, so collapsing them is invisible).
+		if edge.VarLength() || !strings.HasPrefix(edge.Var, "$") {
+			break
+		}
+		hops = append(hops, BiHop{Edge: edge, To: next, Reverse: leftward})
+		prodDeg *= e.hopDegree(nodeLabelFor(node, eq), edge, leftward)
+		est *= e.expandFactor(node, edge, next, leftward, bound, eq)
+		node = next
+		if leftward {
+			j--
+		} else {
+			j++
+		}
+		// The run ends at the first named (bindable) node.
+		if !strings.HasPrefix(next.Var, "$") {
+			break
+		}
+	}
+	if len(hops) < biExpandMinHops {
+		return 0, 0, false
+	}
+	to := hops[len(hops)-1].To
+	if bound[to.Var] {
+		if prodDeg <= 32 {
+			return 0, 0, false
+		}
+	} else if prodDeg <= 4*math.Max(1, float64(e.store.CountNodes())) {
+		return 0, 0, false
+	}
+	if est < 1 {
+		est = 1
+	}
+	*stages = append(*stages, &BiExpandStage{From: p.Nodes[idx].Var, Hops: hops, Est: est})
+	bound[to.Var] = true
+	return len(hops), est, true
 }
 
 func (e *Engine) emitExpand(stages *[]Stage, from string, ep EdgePattern, to NodePattern,
@@ -251,19 +418,57 @@ func (e *Engine) emitExpand(stages *[]Stage, from string, ep EdgePattern, to Nod
 	return est
 }
 
-// expandFactor estimates the per-row multiplier of expanding one edge
-// pattern onto a target node pattern: average fan-out of the edge type
-// times the target's selectivity. Variable-length patterns cost the
-// geometric sum of the per-hop fan-out over the hop range (unbounded
-// ranges are capped at a costing horizon; execution is exact).
-func (e *Engine) expandFactor(ep EdgePattern, to NodePattern, bound map[string]bool,
-	eq map[string]map[string]hintVal) float64 {
-	deg := e.store.AvgDegree(ep.Type)
-	if ep.Dir == DirAny {
-		deg *= 2
+// nodeLabelFor resolves the label the planner may assume for a node
+// pattern: its own, or one pinned by a literal type-equality hint.
+func nodeLabelFor(np NodePattern, eq map[string]map[string]hintVal) string {
+	if np.Label != "" {
+		return np.Label
 	}
+	if h := eq[np.Var]; h != nil {
+		if t, ok := h["type"]; ok && t.param == "" {
+			return t.lit
+		}
+		if t, ok := h["label"]; ok && t.param == "" {
+			return t.lit
+		}
+	}
+	return ""
+}
+
+// dirFor maps an edge pattern direction (and chain walk orientation)
+// onto the store direction a histogram lookup needs.
+func dirFor(d EdgeDir, reverse bool) graph.Direction {
+	switch {
+	case d == DirAny:
+		return graph.Both
+	case (d == DirRight) != reverse:
+		return graph.Out
+	}
+	return graph.In
+}
+
+// hopDegree is the histogram-measured average fan-out of one hop: edges
+// of the pattern's type, in the traversal direction, out of nodes with
+// the source's label — replacing the old uniform AvgDegree assumption,
+// so a hub label costs what the hub label actually fans out.
+func (e *Engine) hopDegree(fromLabel string, ep EdgePattern, reverse bool) float64 {
+	return e.store.DegreeHistogram(fromLabel, ep.Type, dirFor(ep.Dir, reverse)).Avg()
+}
+
+// expandFactor estimates the per-row multiplier of expanding one edge
+// pattern onto a target node pattern: the (source label, edge type,
+// direction) degree histogram's average fan-out times the target's
+// selectivity. Variable-length patterns cost the geometric sum of the
+// per-hop fan-out over the hop range — the first hop at the source
+// label's measured degree, later hops at the label-blind degree
+// (unbounded ranges are capped at a costing horizon; execution is
+// exact).
+func (e *Engine) expandFactor(from NodePattern, ep EdgePattern, to NodePattern, reverse bool,
+	bound map[string]bool, eq map[string]map[string]hintVal) float64 {
+	deg := e.hopDegree(nodeLabelFor(from, eq), ep, reverse)
 	if ep.VarLength() {
-		deg = varExpandFanout(deg, ep.MinHops, ep.MaxHops)
+		tail := e.hopDegree("", ep, reverse)
+		deg = varExpandFanout(deg, tail, ep.MinHops, ep.MaxHops)
 	}
 	total := e.store.CountNodes()
 	if total == 0 {
@@ -278,10 +483,11 @@ func (e *Engine) expandFactor(ep EdgePattern, to NodePattern, bound map[string]b
 	return deg * sel
 }
 
-// varExpandFanout sums deg^h for h in [min, max] (BFS frontier estimate
-// assuming uniform fan-out). max < 0 (unbounded) is capped at min+8 for
+// varExpandFanout sums the expected frontier over hops in [min, max]:
+// the first hop fans out at the source label's measured degree, later
+// hops at the tail degree. max < 0 (unbounded) is capped at min+8 for
 // costing only.
-func varExpandFanout(deg float64, min, max int) float64 {
+func varExpandFanout(first, tail float64, min, max int) float64 {
 	if max < 0 || max > min+8 {
 		max = min + 8
 	}
@@ -291,7 +497,11 @@ func varExpandFanout(deg float64, min, max int) float64 {
 	}
 	pow := 1.0
 	for h := 1; h <= max; h++ {
-		pow *= deg
+		if h == 1 {
+			pow *= first
+		} else {
+			pow *= tail
+		}
 		if h >= min {
 			fan += pow
 		}
@@ -300,6 +510,196 @@ func varExpandFanout(deg float64, min, max int) float64 {
 		}
 	}
 	return fan
+}
+
+// --- hash-join planning ---
+
+// joinMode is the planner's decision for one equality-linked chain.
+type joinMode int
+
+const (
+	joinNested    joinMode = iota // keep the nested-loop re-expand / cartesian
+	joinHashChain                 // hash the standalone chain, probe with input rows
+	joinHashInput                 // hash the input rows, probe with the chain
+)
+
+// hashJoinMaxBuild caps the estimated row count of the hashed side: past
+// it the build table's memory dominates whatever work the join saves, so
+// the planner keeps the pipelined nested loop.
+const hashJoinMaxBuild = 1 << 17
+
+// chooseJoin is the pure cost decision between a nested-loop plan and a
+// hash join, from the planner's estimates: the incoming row count, the
+// standalone chain's output rows and enumeration work, the nested plan's
+// work, and the join's estimated output. The chain is fully enumerated
+// under either hash mode (as build or as probe), so hash work is
+// chainWork + one pass over the input + the output itself; nested work
+// must beat that by 1.5× before the hash table is worth building, and
+// the hashed (cheaper) side must fit under hashJoinMaxBuild.
+func chooseJoin(inputRows, chainRows, chainWork, nestedWork, outRows float64) joinMode {
+	hashWork := chainWork + inputRows + outRows
+	if hashWork*1.5 >= nestedWork {
+		return joinNested
+	}
+	if math.Min(inputRows, chainRows) > hashJoinMaxBuild {
+		return joinNested
+	}
+	if chainRows <= inputRows {
+		return joinHashChain
+	}
+	return joinHashInput
+}
+
+// patternVars collects the bindable variables of a chain: node variables
+// plus single-hop edge variables (variable-length edges never bind).
+func patternVars(p Pattern) map[string]bool {
+	vs := map[string]bool{}
+	for _, np := range p.Nodes {
+		if np.Var != "" {
+			vs[np.Var] = true
+		}
+	}
+	for _, ep := range p.Edges {
+		if ep.Var != "" && !ep.VarLength() {
+			vs[ep.Var] = true
+		}
+	}
+	return vs
+}
+
+func sumEst(stages []Stage) float64 {
+	t := 0.0
+	for _, st := range stages {
+		t += st.estRows()
+	}
+	return t
+}
+
+// planHashJoin decides whether the next chain should join the rows
+// planned so far through a hash table instead of a nested re-expand.
+// Join keys are the chain's shared bound node variables plus every
+// cross-chain equality conjunct with one side evaluable on each scope;
+// without at least one key there is nothing to hash on (a pure cartesian
+// stays nested). The chain is scratch-planned twice — once anchored on
+// the bound variables (the nested alternative) and once standalone (the
+// build side) — and chooseJoin picks from the resulting estimates.
+func (e *Engine) planHashJoin(p Pattern, bound map[string]bool,
+	eq map[string]map[string]hintVal, conjs []Expr, cur float64) (*HashJoinStage, float64, bool) {
+	if cur <= 1 {
+		return nil, 0, false // single-row probe side: nested is at least as good
+	}
+	pv := patternVars(p)
+	var probeKeys, buildKeys []Expr
+	var shared []string
+	for v := range pv {
+		if bound[v] {
+			shared = append(shared, v)
+		}
+	}
+	sort.Strings(shared)
+	for _, v := range shared {
+		probeKeys = append(probeKeys, VarExpr{Name: v})
+		buildKeys = append(buildKeys, VarExpr{Name: v})
+	}
+	crossKeys := 0
+	for _, c := range conjs {
+		cmp, ok := c.(CmpExpr)
+		if !ok || cmp.Op != "=" || hasAggCall(c) {
+			continue
+		}
+		lv, rv := map[string]bool{}, map[string]bool{}
+		exprVars(cmp.Left, lv)
+		exprVars(cmp.Right, rv)
+		if len(lv) == 0 || len(rv) == 0 {
+			continue
+		}
+		lB, rB := subsetOf(lv, bound), subsetOf(rv, bound)
+		lP, rP := subsetOf(lv, pv), subsetOf(rv, pv)
+		switch {
+		case lB && rP && !rB:
+			probeKeys = append(probeKeys, cmp.Left)
+			buildKeys = append(buildKeys, cmp.Right)
+		case rB && lP && !lB:
+			probeKeys = append(probeKeys, cmp.Right)
+			buildKeys = append(buildKeys, cmp.Left)
+		default:
+			continue
+		}
+		crossKeys++
+	}
+	if len(probeKeys) == 0 {
+		return nil, 0, false
+	}
+	buildVars := make([]string, 0, len(pv))
+	for v := range pv {
+		// Synthetic "$" names are unreferencable (users cannot type them):
+		// storing them in the hash table would charge the byte budget for
+		// values no expression can read. Row multiplicity is preserved
+		// regardless — each build match is its own bucket entry.
+		if !bound[v] && !strings.HasPrefix(v, "$") {
+			buildVars = append(buildVars, v)
+		}
+	}
+	if len(buildVars) == 0 {
+		return nil, 0, false // nothing referencable to bind: keep the nested plan
+	}
+	sort.Strings(buildVars)
+
+	// Scratch-plan both alternatives.
+	nb := copyBound(bound)
+	var nested []Stage
+	entry, _ := e.bestEntry(p, nb, eq)
+	nestedEst := e.planChain(&nested, p, entry, nb, eq, cur)
+	sb := map[string]bool{}
+	var build []Stage
+	sEntry, _ := e.bestEntry(p, sb, eq)
+	buildEst := e.planChain(&build, p, sEntry, sb, eq, 1)
+	// Push chain-local conjuncts into the build sub-pipeline so the hash
+	// table holds filtered rows only. The caller's assignPredicates will
+	// also attach them at the join stage (belt and braces, like scan
+	// hints); aggregate calls and conjuncts referencing outer variables
+	// must stay outside — they cannot evaluate in the build's namespace.
+	var local []Expr
+	for _, c := range conjs {
+		if hasAggCall(c) {
+			continue
+		}
+		vs := map[string]bool{}
+		exprVars(c, vs)
+		if len(vs) > 0 && subsetOf(vs, pv) {
+			local = append(local, c)
+		}
+	}
+	assignPredicates(build, local, andAll(local), map[string]bool{})
+
+	outEst := nestedEst
+	if crossKeys > 0 {
+		// Classic equality-join selectivity with unknown distinct counts:
+		// |R ⋈ S| ≈ |R|·|S| / max(|R|, |S|).
+		outEst = math.Max(1, nestedEst/math.Max(1, math.Max(cur, buildEst)))
+	}
+	mode := chooseJoin(cur, buildEst, sumEst(build), sumEst(nested), outEst)
+	if mode == joinNested {
+		return nil, 0, false
+	}
+	return &HashJoinStage{
+		Build:      build,
+		BuildVars:  buildVars,
+		ProbeKeys:  probeKeys,
+		BuildKeys:  buildKeys,
+		BuildInput: mode == joinHashInput,
+		Est:        outEst,
+	}, outEst, true
+}
+
+// subsetOf reports whether every variable in vs is present in set.
+func subsetOf(vs map[string]bool, set map[string]bool) bool {
+	for v := range vs {
+		if !set[v] {
+			return false
+		}
+	}
+	return true
 }
 
 // accessPath is the planner's chosen way to locate a node pattern's
@@ -635,6 +1035,13 @@ func stageBinds(st Stage, acc map[string]bool) {
 	case *VarExpandStage:
 		acc[s.From] = true
 		acc[s.To.Var] = true
+	case *HashJoinStage:
+		for _, v := range s.BuildVars {
+			acc[v] = true
+		}
+	case *BiExpandStage:
+		acc[s.From] = true
+		acc[s.toPattern().Var] = true
 	case *OptionalStage:
 		for _, v := range s.Vars {
 			acc[v] = true
@@ -669,6 +1076,10 @@ func assignPredicates(stages []Stage, conjs []Expr, whole Expr, preBound map[str
 		case *ExpandStage:
 			s.Filters = append(s.Filters, c)
 		case *VarExpandStage:
+			s.Filters = append(s.Filters, c)
+		case *HashJoinStage:
+			s.Filters = append(s.Filters, c)
+		case *BiExpandStage:
 			s.Filters = append(s.Filters, c)
 		}
 	}

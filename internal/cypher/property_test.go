@@ -370,7 +370,7 @@ func genSurfaceQuery(rng *rand.Rand) string {
 			return fmt.Sprintf("-[%s]-", edge)
 		}
 	}
-	switch rng.Intn(6) {
+	switch rng.Intn(9) {
 	case 0: // plain var-length chain
 		return fmt.Sprintf(`match (a%s)%s(b%s) return a.name, b.name`,
 			label(), arrow(":"+rel()+hops()), label())
@@ -390,18 +390,52 @@ func genSurfaceQuery(rng *rand.Rand) string {
 	case 4: // optional + with + collect (canonically ordered list)
 		return fmt.Sprintf(`match (a%s) optional match (a)%s(b) with a, collect(b.name) as ns return a.name, ns`,
 			label(), arrow(":"+rel()+hops()))
-	default: // with-rename chain plus second match on the carried var
+	case 5: // with-rename chain plus second match on the carried var
 		return fmt.Sprintf(`match (a%s)-[:%s]->(b) with b as x match (x)%s(c) return x.name, c.name`,
 			label(), rel(), arrow(":"+rel()))
+	case 6: // multi-chain with a cross-chain equality predicate (hash join)
+		return fmt.Sprintf(`match (a%s)-[:%s]->(b), (c%s)-[:%s]->(d) where b.name = d.name return a.name, b.name, c.name, d.name`,
+			label(), rel(), label(), rel())
+	case 7: // long anonymous chain, both endpoints name-constrained
+		return fmt.Sprintf(`match (a {name: "n%d"})%s()%s()%s(b {name: "n%d"}) return count(*)`,
+			rng.Intn(30), arrow(":"+rel()), arrow(":"+rel()), arrow(":"+rel()), rng.Intn(30))
+	default: // disjoint single-node chains linked only by equality
+		return fmt.Sprintf(`match (a%s), (b%s) where a.name = b.name return a.name, b.name`,
+			label(), label())
 	}
 }
 
+// denseRandomStore builds a small high-degree graph — the
+// walk-explosion regime where the planner picks BiExpand — so generator
+// runs exercise the counted-expansion operator against the legacy
+// matcher, not just sparse nested plans.
+func denseRandomStore(seed int64, n int) *graph.Store {
+	rng := rand.New(rand.NewSource(seed))
+	s := graph.New()
+	types := []string{"Malware", "IP", "Domain", "ThreatActor"}
+	rels := []string{"CONNECT", "USE", "RELATED_TO"}
+	var ids []graph.NodeID
+	for i := 0; i < n; i++ {
+		id, _ := s.MergeNode(types[rng.Intn(len(types))], fmt.Sprintf("n%d", i), nil)
+		ids = append(ids, id)
+	}
+	for i := 0; i < 15*n; i++ {
+		s.AddEdge(ids[rng.Intn(n)], rels[rng.Intn(len(rels))], ids[rng.Intn(n)], nil)
+	}
+	return s
+}
+
 // Property: the planned streaming executor and the legacy matcher agree
-// on the full expanded surface — variable-length paths, OPTIONAL MATCH
-// and WITH chaining — over randomized graphs and randomized queries.
+// on the full expanded surface — variable-length paths, OPTIONAL MATCH,
+// WITH chaining, cross-chain equality joins and long symmetric chains —
+// over randomized graphs (every third round a dense one, so hash-join
+// and bidirectional-expand plans are exercised) and randomized queries.
 func TestExpandedSurfaceEquivalenceQuick(t *testing.T) {
 	f := func(seed int64, qseed int64) bool {
 		s := randomStore(seed%1000, 30)
+		if qseed%3 == 0 {
+			s = denseRandomStore(seed%1000, 12)
+		}
 		rng := rand.New(rand.NewSource(qseed))
 		q := genSurfaceQuery(rng)
 		if !legacySupports(q) {

@@ -232,64 +232,89 @@ func TestWriteEagerness(t *testing.T) {
 	}
 }
 
-// TestMutationEpochInvalidatesPlanCache is the satellite regression:
-// cardinality-changing mutations (DeleteNode, MigrateEdges — and every
-// other effective mutation) bump the store epoch, so the shared plan
-// cache re-plans instead of serving plans costed against stale stats.
-func TestMutationEpochInvalidatesPlanCache(t *testing.T) {
-	s := writeFixture()
+// TestMaterialMutationInvalidatesPlanCache: mutations that materially
+// change a planner-visible count (bulk deletes, bulk inserts) bump the
+// store's stats version, so the shared plan cache re-plans instead of
+// serving plans costed against stale statistics.
+func TestMaterialMutationInvalidatesPlanCache(t *testing.T) {
+	s := graph.New()
+	var mals []graph.NodeID
+	for i := 0; i < 100; i++ {
+		m, _ := s.MergeNode("Malware", fmt.Sprintf("m%d", i), nil)
+		ip, _ := s.MergeNode("IP", fmt.Sprintf("10.0.0.%d", i), nil)
+		s.AddEdge(m, "CONNECT", ip, nil)
+		mals = append(mals, m)
+	}
 	eng := NewEngine(s, DefaultOptions())
 	const q = `match (m:Malware)-[:CONNECT]->(ip) return ip.name`
-	if _, err := eng.Query(q, nil); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := eng.Query(q, nil); err != nil {
-		t.Fatal(err)
+	for i := 0; i < 2; i++ {
+		if _, err := eng.Query(q, nil); err != nil {
+			t.Fatal(err)
+		}
 	}
 	st := eng.PlanCacheStats()
 	if st.Hits < 1 {
 		t.Fatalf("warmup did not hit the cache: %+v", st)
 	}
-
-	check := func(label string, mutate func()) {
-		t.Helper()
-		if _, err := eng.Query(q, nil); err != nil { // ensure cached
+	before := eng.PlanCacheStats()
+	for _, id := range mals[:40] { // 40% of the Malware label: material
+		if err := s.DeleteNode(id); err != nil {
 			t.Fatal(err)
-		}
-		before := eng.PlanCacheStats()
-		mutate()
-		if _, err := eng.Query(q, nil); err != nil {
-			t.Fatal(err)
-		}
-		after := eng.PlanCacheStats()
-		if after.Misses == before.Misses {
-			t.Fatalf("%s did not invalidate the cached plan (stats %+v -> %+v)", label, before, after)
 		}
 	}
-	check("DeleteNode", func() {
-		n := s.FindNode("Tool", "t2")
-		if n == nil {
-			t.Fatal("fixture node missing")
-		}
-		if err := s.DeleteNode(n.ID); err != nil {
+	if _, err := eng.Query(q, nil); err != nil {
+		t.Fatal(err)
+	}
+	after := eng.PlanCacheStats()
+	if after.Misses == before.Misses {
+		t.Fatalf("bulk delete did not invalidate the cached plan (stats %+v -> %+v)", before, after)
+	}
+}
+
+// TestWriteHeavyPreparedKeepsCacheHits is the epoch-granularity
+// regression from the ROADMAP: single-row writes on a store whose shape
+// stays roughly stable are immaterial to the planner, so a write-heavy
+// prepared workload must keep hitting the shared plan cache instead of
+// re-planning after every mutation (the old per-mutation epoch evicted
+// everything on every effective write).
+func TestWriteHeavyPreparedKeepsCacheHits(t *testing.T) {
+	s := graph.New()
+	for i := 0; i < 300; i++ {
+		m, _ := s.MergeNode("Malware", fmt.Sprintf("m%d", i), nil)
+		ip, _ := s.MergeNode("IP", fmt.Sprintf("10.0.%d.%d", i/250, i%250), nil)
+		s.AddEdge(m, "CONNECT", ip, nil)
+	}
+	eng := NewEngine(s, DefaultOptions())
+	const read = `match (m:Malware {name: $name})-[:CONNECT]->(ip) return ip.name`
+	// Warm the read plan.
+	if _, err := eng.Query(read, map[string]any{"name": "m0"}); err != nil {
+		t.Fatal(err)
+	}
+	write, err := eng.Prepare(`match (m:Malware {name: $name}) set m.seen = $seen`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer write.Close()
+	base := eng.PlanCacheStats()
+	const rounds = 50
+	for i := 0; i < rounds; i++ {
+		// Effective mutation every round: the value changes each time.
+		if _, err := write.Query(map[string]any{"name": fmt.Sprintf("m%d", i%300), "seen": fmt.Sprintf("t%d", i)}); err != nil {
 			t.Fatal(err)
 		}
-	})
-	check("MigrateEdges", func() {
-		a := s.FindNode("Malware", "wannacry")
-		b := s.FindNode("ThreatActor", "apt0")
-		if a == nil || b == nil {
-			t.Fatal("fixture nodes missing")
-		}
-		if err := s.MigrateEdges(a.ID, b.ID); err != nil {
+		if _, err := eng.Query(read, map[string]any{"name": fmt.Sprintf("m%d", i%300)}); err != nil {
 			t.Fatal(err)
 		}
-	})
-	check("CypherDelete", func() {
-		if _, err := eng.Query(`match (t:Tool {name: "t1"}) detach delete t`, nil); err != nil {
-			t.Fatal(err)
-		}
-	})
+	}
+	st := eng.PlanCacheStats()
+	if got := st.Misses - base.Misses; got != 0 {
+		t.Errorf("write-heavy workload re-planned %d times; want 0 (stats %+v -> %+v)", got, base, st)
+	}
+	// One prepared-write plan + interleaved reads: every execution after
+	// warmup must be a hit.
+	if got := st.Hits - base.Hits; got < rounds {
+		t.Errorf("hits grew by %d, want >= %d", st.Hits-base.Hits, rounds)
+	}
 }
 
 // TestPreparedWriteStatement: a prepared MERGE runs per binding with

@@ -69,10 +69,21 @@ type Store struct {
 	edgeKey  map[string]EdgeID
 
 	edgeTypeCount map[string]int // live per-type edge counts for the statistics layer
-	// idxEpoch is the invalidation epoch: bumped by IndexAttr and by every
-	// effective mutation, so plan caches and stats consumers notice both
-	// new access paths and cardinality drift deterministically.
+	// idxEpoch is the per-mutation change counter: bumped by IndexAttr and
+	// by every effective mutation. A cheap has-anything-changed probe for
+	// diagnostics and tests — the plan cache keys on statsVersion below,
+	// and the durability layer consumes onMutation, not this counter.
 	idxEpoch int64
+	// statsVersion is the coarser planner-facing epoch: it bumps only when
+	// a planner-visible count (total nodes/edges, a label's cardinality, an
+	// edge type's cardinality) has drifted materially since the last bump,
+	// or when IndexAttr creates a new access path. Plan caches key on it,
+	// so write-heavy workloads whose store size stays roughly stable keep
+	// their cached plans (stats.go).
+	statsVersion  int64
+	statsBase     statsSnapshot
+	histMu        sync.Mutex
+	histCache     map[degreeKey]cachedHistogram
 	// onMutation observes every effective mutation under the write lock
 	// (SetMutationHook); the durability layer tees writes into its WAL here.
 	onMutation func(Mutation)
@@ -92,7 +103,7 @@ type Store struct {
 // already provided by the dedicated name index. Additional attribute
 // indexes can be requested with IndexAttr.
 func New() *Store {
-	return &Store{
+	s := &Store{
 		nodes:         make(map[NodeID]*Node),
 		edges:         make(map[EdgeID]*Edge),
 		out:           make(map[NodeID][]EdgeID),
@@ -105,7 +116,10 @@ func New() *Store {
 		indexed:       make(map[string]bool),
 		edgeKey:       make(map[string]EdgeID),
 		edgeTypeCount: make(map[string]int),
+		statsVersion:  1,
 	}
+	s.rebaseStatsLocked()
+	return s
 }
 
 // QueryCache returns the store-scoped slot higher layers use to share
@@ -136,6 +150,9 @@ func (s *Store) IndexAttr(key string) {
 	}
 	s.indexed[key] = true
 	s.idxEpoch++
+	// A new access path always changes what the planner may pick: bump the
+	// planner-facing stats version unconditionally.
+	s.bumpStatsLocked()
 	s.propIdx[key] = make(map[string]map[NodeID]struct{})
 	for id, n := range s.nodes {
 		if v, ok := n.Attrs[key]; ok {
@@ -804,6 +821,7 @@ func Load(r io.Reader) (*Store, error) {
 	}
 	s.nextNode = hdr.NextNode
 	s.nextEdge = hdr.NextEdge
+	s.rebaseStatsLocked()
 	return s, nil
 }
 

@@ -53,12 +53,16 @@ func (s *Store) SetMutationHook(fn func(Mutation)) {
 	s.onMutation = fn
 }
 
-// noteMutation records one effective mutation: the invalidation epoch
-// bumps so shared plan caches and statistics consumers deterministically
-// notice the drift, then the durability hook (if any) observes the
-// mutation. Callers hold the write lock.
+// noteMutation records one effective mutation: the per-mutation epoch
+// bumps, the coarser planner-facing stats version bumps only if a
+// planner-visible count has drifted materially (stats.go), then the
+// durability hook (if any) observes the mutation. Callers hold the
+// write lock.
 func (s *Store) noteMutation(m Mutation) {
 	s.idxEpoch++
+	if s.statsMaterialLocked() {
+		s.bumpStatsLocked()
+	}
 	if s.onMutation != nil {
 		s.onMutation(m)
 	}

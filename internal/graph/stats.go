@@ -85,13 +85,13 @@ func (s *Store) HasAttrIndex(key string) bool {
 	return s.indexed[key]
 }
 
-// IndexEpoch returns the store's invalidation epoch: a counter that
+// IndexEpoch returns the store's per-mutation change counter: it
 // increases every time a new attribute index is created AND on every
 // effective mutation (node/edge creation, attribute writes, deletions,
-// edge migration). Plan caches key their entries on it, so a plan chosen
-// before IndexAttr never shadows the new access path, and plans costed
-// against pre-mutation statistics are deterministically re-planned
-// instead of riding stale cardinalities until the 2× drift bound trips.
+// edge migration). It is a cheap has-anything-changed probe for
+// diagnostics and tests; the plan cache keys on the coarser
+// StatsVersion, and the durability layer consumes the mutation hook
+// (SetMutationHook), not this counter.
 func (s *Store) IndexEpoch() int64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -131,21 +131,246 @@ func (s *Store) AvgAttrBucket(key string) (float64, bool) {
 	return float64(total) / float64(len(buckets)), true
 }
 
-// AvgDegree estimates the average per-node fan-out of edges with the
-// given type ("" = all edges). It is the planner's expansion-cost
-// estimate: expanding one bound node along edgeType yields about
-// AvgDegree(edgeType) candidate bindings.
-func (s *Store) AvgDegree(edgeType string) float64 {
+// --- stats version: the planner-facing invalidation epoch ---
+
+// statsSnapshot captures the planner-visible counts at the last stats
+// version bump, so materiality is judged against what cached plans were
+// actually costed with rather than against the previous mutation.
+type statsSnapshot struct {
+	nodes      int
+	edges      int
+	byLabel    map[string]int
+	byEdgeType map[string]int
+	// byAttrVals tracks the distinct-value count of each indexed
+	// attribute and names the distinct-name count: AvgAttrBucket and
+	// AvgNameBucket (= nodes / distinct values) are plan-time inputs, so
+	// a key spreading from one value to thousands is a material change
+	// even when no count above moves.
+	byAttrVals map[string]int
+	names      int
+}
+
+// statsDrift reports whether cur has moved materially away from base:
+// more than 12.5% plus a small absolute slack, so single-row writes on a
+// store of any size are never material but bulk shifts always are.
+func statsDrift(cur, base int) bool {
+	d := cur - base
+	if d < 0 {
+		d = -d
+	}
+	return d*8 > base+32
+}
+
+// statsMaterialLocked reports whether any planner-visible count has
+// drifted materially since the last stats version bump. Callers hold the
+// write lock. O(labels + edge types), both small in practice.
+func (s *Store) statsMaterialLocked() bool {
+	if statsDrift(len(s.nodes), s.statsBase.nodes) || statsDrift(len(s.edges), s.statsBase.edges) {
+		return true
+	}
+	for l, set := range s.byType {
+		if statsDrift(len(set), s.statsBase.byLabel[l]) {
+			return true
+		}
+	}
+	for l, c := range s.statsBase.byLabel {
+		if _, ok := s.byType[l]; !ok && statsDrift(0, c) {
+			return true
+		}
+	}
+	for t, c := range s.edgeTypeCount {
+		if statsDrift(c, s.statsBase.byEdgeType[t]) {
+			return true
+		}
+	}
+	for t, c := range s.statsBase.byEdgeType {
+		if _, ok := s.edgeTypeCount[t]; !ok && statsDrift(0, c) {
+			return true
+		}
+	}
+	for k := range s.indexed {
+		if statsDrift(len(s.propIdx[k]), s.statsBase.byAttrVals[k]) {
+			return true
+		}
+	}
+	return statsDrift(len(s.byName), s.statsBase.names)
+}
+
+// bumpStatsLocked advances the stats version and re-snapshots the counts
+// the next materiality judgement compares against. Degree histograms are
+// cached per version (DegreeHistogram), so a bump implicitly retires
+// them. Callers hold the write lock.
+func (s *Store) bumpStatsLocked() {
+	s.statsVersion++
+	s.rebaseStatsLocked()
+}
+
+func (s *Store) rebaseStatsLocked() {
+	base := statsSnapshot{
+		nodes:      len(s.nodes),
+		edges:      len(s.edges),
+		byLabel:    make(map[string]int, len(s.byType)),
+		byEdgeType: make(map[string]int, len(s.edgeTypeCount)),
+	}
+	for l, set := range s.byType {
+		base.byLabel[l] = len(set)
+	}
+	for t, c := range s.edgeTypeCount {
+		base.byEdgeType[t] = c
+	}
+	base.byAttrVals = make(map[string]int, len(s.indexed))
+	for k := range s.indexed {
+		base.byAttrVals[k] = len(s.propIdx[k])
+	}
+	base.names = len(s.byName)
+	s.statsBase = base
+}
+
+// StatsVersion returns the planner-facing invalidation epoch: it
+// advances when a planner-visible count changes materially (>12.5% plus
+// slack on total nodes/edges, any single label / edge type count, the
+// distinct-name count, or an indexed attribute's distinct-value count)
+// and whenever IndexAttr creates a new access path. Unlike IndexEpoch — which
+// counts every effective mutation — it stays put under write-heavy
+// workloads whose store shape is roughly stable, which is what lets the
+// shared plan cache keep serving prepared statements between bumps.
+// Cached plans stay *correct* either way (access paths never become
+// invalid); the version only protects optimality.
+func (s *Store) StatsVersion() int64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if len(s.nodes) == 0 {
+	return s.statsVersion
+}
+
+// --- degree histograms ---
+
+// degreeKey identifies one cached histogram.
+type degreeKey struct {
+	label    string
+	edgeType string
+	dir      Direction
+}
+
+type cachedHistogram struct {
+	version int64
+	hist    DegreeHistogram
+}
+
+// DegreeHistogram summarizes the fan-out of one (source label, edge
+// type, direction) combination: how many sources exist, how many of them
+// have at least one matching edge, the total/maximum degree, and a log2
+// bucket profile (Buckets[i] counts sources with degree in
+// [2^i, 2^(i+1))). It is what replaced the planner's uniform
+// expand-factor assumption: the cost model reads Avg() — the measured
+// mean fan-out of exactly the (label, type, direction) being expanded —
+// while NonZero/Max/Buckets are the documented observability surface
+// (ARCHITECTURE.md) and the inputs skew-aware costing (damping hub
+// estimates by Max/AvgNonZero) will build on; they cost one shift loop
+// per source at (cached, per-version) compute time.
+type DegreeHistogram struct {
+	Label    string    // "" = all nodes
+	EdgeType string    // "" = all edge types
+	Dir      Direction // Out, In or Both (Both counts each loop edge twice)
+	Sources  int       // nodes carrying Label
+	NonZero  int       // sources with degree >= 1
+	Walks    int       // sum of per-source degrees (matching incidences)
+	Max      int
+	Buckets  []int
+}
+
+// Avg returns the mean degree over all sources (0 when there are none).
+func (h DegreeHistogram) Avg() float64 {
+	if h.Sources == 0 {
 		return 0
 	}
-	n := len(s.edges)
-	if edgeType != "" {
-		n = s.edgeTypeCount[edgeType]
+	return float64(h.Walks) / float64(h.Sources)
+}
+
+// AvgNonZero returns the mean degree over sources that have at least one
+// matching edge — the fan-out a row that *did* expand sees.
+func (h DegreeHistogram) AvgNonZero() float64 {
+	if h.NonZero == 0 {
+		return 0
 	}
-	return float64(n) / float64(len(s.nodes))
+	return float64(h.Walks) / float64(h.NonZero)
+}
+
+// DegreeHistogram returns the (cached) degree histogram for the given
+// source label ("" = all nodes), edge type ("" = all types) and
+// direction. Histograms are computed lazily — O(sources + incident
+// edges) — and cached per stats version, so plan-time lookups are O(1)
+// between material changes of the store.
+func (s *Store) DegreeHistogram(label, edgeType string, dir Direction) DegreeHistogram {
+	ver := s.StatsVersion()
+	key := degreeKey{label: label, edgeType: edgeType, dir: dir}
+	s.histMu.Lock()
+	if c, ok := s.histCache[key]; ok && c.version == ver {
+		s.histMu.Unlock()
+		return c.hist
+	}
+	s.histMu.Unlock()
+	h := s.computeDegreeHistogram(label, edgeType, dir)
+	s.histMu.Lock()
+	if s.histCache == nil {
+		s.histCache = make(map[degreeKey]cachedHistogram)
+	}
+	s.histCache[key] = cachedHistogram{version: ver, hist: h}
+	s.histMu.Unlock()
+	return h
+}
+
+func (s *Store) computeDegreeHistogram(label, edgeType string, dir Direction) DegreeHistogram {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	h := DegreeHistogram{Label: label, EdgeType: edgeType, Dir: dir}
+	count := func(ids []EdgeID) int {
+		if edgeType == "" {
+			return len(ids)
+		}
+		n := 0
+		for _, eid := range ids {
+			if s.edges[eid].Type == edgeType {
+				n++
+			}
+		}
+		return n
+	}
+	add := func(id NodeID) {
+		h.Sources++
+		d := 0
+		if dir == Out || dir == Both {
+			d += count(s.out[id])
+		}
+		if dir == In || dir == Both {
+			d += count(s.in[id])
+		}
+		if d == 0 {
+			return
+		}
+		h.NonZero++
+		h.Walks += d
+		if d > h.Max {
+			h.Max = d
+		}
+		b := 0
+		for v := d; v > 1; v >>= 1 {
+			b++
+		}
+		for len(h.Buckets) <= b {
+			h.Buckets = append(h.Buckets, 0)
+		}
+		h.Buckets[b]++
+	}
+	if label == "" {
+		for id := range s.nodes {
+			add(id)
+		}
+	} else {
+		for id := range s.byType[label] {
+			add(id)
+		}
+	}
+	return h
 }
 
 // DegreeStats returns the average and maximum degree over all nodes in

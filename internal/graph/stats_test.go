@@ -120,14 +120,8 @@ func TestNodesByTypeAttr(t *testing.T) {
 	}
 }
 
-func TestAvgDegreeAndDegreeStats(t *testing.T) {
+func TestDegreeStats(t *testing.T) {
 	s := buildStatsStore(t)
-	if got := s.AvgDegree("CONNECT"); got <= 0 || got > 1 {
-		t.Errorf("AvgDegree(CONNECT) = %f, want in (0, 1]", got)
-	}
-	if got := s.AvgDegree(""); got <= 0 {
-		t.Errorf("AvgDegree(all) = %f", got)
-	}
 	avg, max := s.DegreeStats(Out)
 	if avg <= 0 || max < 4 { // malware 0 has 3 CONNECT + 1 ATTRIBUTED_TO
 		t.Errorf("DegreeStats(Out) = %f, %d", avg, max)
@@ -168,6 +162,175 @@ func TestEdgeTypeCountSurvivesDeleteAndLoad(t *testing.T) {
 	}
 	if got := len(s2.AllNodeIDs()); got != s.CountNodes() {
 		t.Errorf("AllNodeIDs after load: %d, want %d", got, s.CountNodes())
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	s := buildStatsStore(t)
+	// 10 Malware sources; 30 CONNECT edges spread i%10, so each malware
+	// has exactly 3 outgoing CONNECTs (and malware 0 one extra edge of a
+	// different type that must not count).
+	h := s.DegreeHistogram("Malware", "CONNECT", Out)
+	if h.Sources != 10 || h.NonZero != 10 || h.Walks != 30 || h.Max != 3 {
+		t.Errorf("Malware/CONNECT/Out = %+v, want 10 sources, 30 walks, max 3", h)
+	}
+	if got := h.Avg(); got != 3 {
+		t.Errorf("Avg = %f, want 3", got)
+	}
+	// Degree 3 lands in the [2,4) log2 bucket (index 1).
+	if len(h.Buckets) != 2 || h.Buckets[1] != 10 {
+		t.Errorf("Buckets = %v, want [0 10]", h.Buckets)
+	}
+	// IPs have no outgoing CONNECTs, one incoming each.
+	if h := s.DegreeHistogram("IP", "CONNECT", Out); h.NonZero != 0 || h.Avg() != 0 {
+		t.Errorf("IP/CONNECT/Out = %+v, want all-zero", h)
+	}
+	if h := s.DegreeHistogram("IP", "CONNECT", In); h.Sources != 30 || h.Walks != 30 || h.Max != 1 {
+		t.Errorf("IP/CONNECT/In = %+v, want 30 sources each degree 1", h)
+	}
+	// "" label covers every node; "" type counts all edges; Both sums.
+	if h := s.DegreeHistogram("", "", Both); h.Sources != 41 || h.Walks != 62 {
+		t.Errorf("all/all/Both = %+v, want 41 sources, 62 walks", h)
+	}
+	if got := s.DegreeHistogram("Malware", "CONNECT", Out).AvgNonZero(); got != 3 {
+		t.Errorf("AvgNonZero = %f, want 3", got)
+	}
+}
+
+func TestDegreeHistogramCachePerVersion(t *testing.T) {
+	s := buildStatsStore(t)
+	before := s.DegreeHistogram("Malware", "CONNECT", Out)
+	// A non-material write must serve the cached histogram unchanged.
+	m0 := s.FindNode("Malware", "m-0")
+	ip0 := s.FindNode("IP", "10.0.0.0")
+	s.AddEdge(m0.ID, "CONNECT", ip0.ID, map[string]string{"x": "1"}) // dup edge: attr merge only
+	if got := s.DegreeHistogram("Malware", "CONNECT", Out); got.Walks != before.Walks {
+		t.Errorf("histogram recomputed on non-material write: %+v", got)
+	}
+	// A material change (bulk insert) must refresh it.
+	ver := s.StatsVersion()
+	for i := 0; i < 40; i++ {
+		id, _ := s.MergeNode("Malware", fmt.Sprintf("new-%d", i), nil)
+		s.AddEdge(id, "CONNECT", ip0.ID, nil)
+	}
+	if s.StatsVersion() == ver {
+		t.Fatal("bulk insert did not bump the stats version")
+	}
+	h := s.DegreeHistogram("Malware", "CONNECT", Out)
+	if h.Sources != 50 || h.Walks != 70 {
+		t.Errorf("post-bulk histogram = %+v, want 50 sources, 70 walks", h)
+	}
+}
+
+func TestStatsVersionMaterialityThreshold(t *testing.T) {
+	s := New()
+	for i := 0; i < 200; i++ {
+		s.MergeNode("T", fmt.Sprintf("n%d", i), nil)
+	}
+	ver := s.StatsVersion()
+	// Single-row writes on a 200-node store are immaterial.
+	id, _ := s.MergeNode("T", "extra", nil)
+	if err := s.SetAttr(id, "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteNode(id); err != nil {
+		t.Fatal(err)
+	}
+	if s.StatsVersion() != ver {
+		t.Fatalf("immaterial writes bumped the stats version")
+	}
+	// Growing the store by >12.5% is material.
+	for i := 0; i < 40; i++ {
+		s.MergeNode("T", fmt.Sprintf("grow%d", i), nil)
+	}
+	if s.StatsVersion() == ver {
+		t.Fatal("material growth did not bump the stats version")
+	}
+	// A small label drifting materially bumps even when totals barely move.
+	ver = s.StatsVersion()
+	for i := 0; i < 8; i++ {
+		s.MergeNode("Rare", fmt.Sprintf("r%d", i), nil)
+	}
+	if s.StatsVersion() == ver {
+		t.Fatal("new label's growth did not bump the stats version")
+	}
+	// IndexAttr always bumps: it creates a new access path.
+	ver = s.StatsVersion()
+	s.IndexAttr("k")
+	if s.StatsVersion() == ver {
+		t.Fatal("IndexAttr did not bump the stats version")
+	}
+}
+
+func TestStatsVersionTracksIndexedAttrSpread(t *testing.T) {
+	// AvgAttrBucket (nodes per distinct indexed value) is a plan-time
+	// input: an indexed key spreading from one value to many is material
+	// even though no node/label/edge count moves.
+	s := New()
+	s.IndexAttr("family")
+	var ids []NodeID
+	for i := 0; i < 200; i++ {
+		id, _ := s.MergeNode("T", fmt.Sprintf("n%d", i), map[string]string{"family": "unknown"})
+		ids = append(ids, id)
+	}
+	ver := s.StatsVersion()
+	// A couple of re-labels: immaterial.
+	s.SetAttr(ids[0], "family", "emotet")
+	if s.StatsVersion() != ver {
+		t.Fatal("single indexed-attr write was treated as material")
+	}
+	// Spreading across dozens of distinct values: material.
+	for i, id := range ids[:60] {
+		if err := s.SetAttr(id, "family", fmt.Sprintf("fam-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.StatsVersion() == ver {
+		t.Fatal("indexed attribute spreading across values did not bump the stats version")
+	}
+}
+
+func TestStatsVersionTracksDistinctNameDrift(t *testing.T) {
+	// AvgNameBucket (nodes / distinct names) is a plan-time input too: a
+	// store whose node count stays flat while its names spread from a few
+	// shared buckets to mostly-unique is a material change.
+	s := New()
+	var ids []NodeID
+	for i := 0; i < 200; i++ {
+		// 200 nodes over 4 shared names (distinct labels keep (type,name) unique).
+		id, _ := s.MergeNode(fmt.Sprintf("T%d", i), fmt.Sprintf("shared-%d", i%4), nil)
+		ids = append(ids, id)
+	}
+	ver := s.StatsVersion()
+	// Rename churn via delete+merge pairs: totals stay inside the drift
+	// bound, but distinct names climb 4 -> ~24.
+	for i := 0; i < 20; i++ {
+		if err := s.DeleteNode(ids[i]); err != nil {
+			t.Fatal(err)
+		}
+		s.MergeNode(fmt.Sprintf("T%d", i), fmt.Sprintf("unique-%d", i), nil)
+	}
+	if s.StatsVersion() == ver {
+		t.Fatal("distinct-name spread did not bump the stats version")
+	}
+}
+
+func TestStatsVersionRebasedOnLoad(t *testing.T) {
+	s := buildStatsStore(t)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ver := s2.StatsVersion()
+	// The loaded store's base is its loaded size, so a single write on it
+	// is immaterial — not a drift from an empty base.
+	s2.MergeNode("Malware", "fresh", nil)
+	if s2.StatsVersion() != ver {
+		t.Fatal("single write after Load was treated as material")
 	}
 }
 
