@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet bench cover fuzz crash-test
+.PHONY: build test vet bench bench-storage cover fuzz crash-test
 
 build:
 	$(GO) build ./...
@@ -9,9 +9,13 @@ build:
 # detector (the graph store and query engine are concurrency-facing;
 # the suite includes the join-strategy differential and golden-plan
 # tests, and the parallel-scan tests force multi-worker partitions so
-# the concurrent scan path is race-checked even on one core).
+# the concurrent scan path is race-checked even on one core). The
+# allocation-regression guards (zero-alloc CSR incidence iteration,
+# zero-alloc binary WAL append) are gated //go:build !race — the race
+# detector inflates AllocsPerRun — so a plain-build pass runs them.
 test: vet
 	$(GO) test -race ./...
+	$(GO) test -run 'Allocs' ./internal/graph/ ./internal/storage/
 
 vet:
 	$(GO) vet ./...
@@ -24,6 +28,16 @@ vet:
 # trajectory is diffable across PRs.
 bench:
 	$(GO) test -run '^$$' -bench 'Cypher|WAL' -benchmem -benchtime 50x . -json | tee BENCH_cypher.json | \
+		grep -o '"Output":"Benchmark[^"]*' | sed 's/"Output":"//; s/\\t/\t/g; s/\\n//' || true
+
+# bench-storage runs the binary-vs-JSON storage codec matrix (WAL
+# append, 20k-record cold-start replay, snapshot save/load) and appends
+# the event stream to BENCH_cypher.json so codec regressions are
+# diffable alongside the engine numbers. The PR 6 acceptance bar lives
+# here: StorageCodecReplay/binary-20k must stay >= 2x faster than
+# /json-20k.
+bench-storage:
+	$(GO) test -run '^$$' -bench 'StorageCodec' -benchmem -benchtime 20x . -json | tee -a BENCH_cypher.json | \
 		grep -o '"Output":"Benchmark[^"]*' | sed 's/"Output":"//; s/\\t/\t/g; s/\\n//' || true
 
 # crash-test hammers the durability subsystem: a child writer process

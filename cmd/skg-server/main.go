@@ -17,7 +17,7 @@
 //
 //	skg-server [-addr :8080] [-reports 10] [-graph kg.jsonl]
 //	           [-data-dir ./data] [-fsync interval|always|never]
-//	           [-compact-mb 64]
+//	           [-codec binary|json] [-compact-mb 64]
 package main
 
 import (
@@ -44,6 +44,7 @@ func main() {
 		graphIn   = flag.String("graph", "", "serve a persisted graph file instead of ingesting (read-only snapshot load)")
 		dataDir   = flag.String("data-dir", "", "durable data directory (snapshot + write-ahead log); state survives restarts")
 		fsyncFlag = flag.String("fsync", "interval", "WAL fsync policy: always (fsync per write), interval (group commit), never")
+		codecFlag = flag.String("codec", "binary", "on-disk WAL/snapshot codec: binary | json (recovery reads either; the directory converts at its next checkpoint)")
 		compactMB = flag.Int("compact-mb", 64, "snapshot and truncate the WAL once it exceeds this many MiB (0 disables automatic compaction)")
 		readOnly  = flag.Bool("read-only", false, "reject Cypher write statements on /api/cypher (implied by -graph, which serves a snapshot whose writes would not persist)")
 	)
@@ -62,6 +63,10 @@ func main() {
 		if err != nil {
 			log.Fatalf("skg-server: %v", err)
 		}
+		codec, err := storage.ParseCodec(*codecFlag)
+		if err != nil {
+			log.Fatalf("skg-server: %v", err)
+		}
 		compactBytes := int64(*compactMB) << 20
 		if *compactMB <= 0 {
 			compactBytes = -1 // flag semantics: 0 disables (Options treats 0 as "default")
@@ -69,6 +74,7 @@ func main() {
 		db, err = storage.Open(*dataDir, storage.Options{
 			Sync:         policy,
 			CompactBytes: compactBytes,
+			Codec:        codec,
 		})
 		if err != nil {
 			log.Fatalf("skg-server: %v", err)

@@ -684,33 +684,26 @@ func (e *Engine) matchVarEdge(p Pattern, i int, from *graph.Node, b binding,
 // visited at most once, so the walk terminates on any graph. Both
 // engines share it, so variable-length semantics cannot drift.
 func (e *Engine) bfsTargets(start graph.NodeID, ep EdgePattern, reverse bool) []graph.NodeID {
-	dirs := expandDirs(ep.Dir, reverse)
+	dir := expandDir(ep.Dir, reverse)
 	visited := map[graph.NodeID]bool{start: true}
 	frontier := []graph.NodeID{start}
 	var out []graph.NodeID
+	var inc []graph.IncidentEdge
 	if ep.MinHops == 0 {
 		out = append(out, start)
 	}
 	for depth := 1; len(frontier) > 0 && (ep.MaxHops < 0 || depth <= ep.MaxHops); depth++ {
 		var next []graph.NodeID
 		for _, id := range frontier {
-			for _, d := range dirs {
-				for _, ed := range e.store.Edges(id, d) {
-					if ep.Type != "" && ed.Type != ep.Type {
-						continue
-					}
-					otherID := ed.To
-					if d == graph.In {
-						otherID = ed.From
-					}
-					if visited[otherID] {
-						continue
-					}
-					visited[otherID] = true
-					next = append(next, otherID)
-					if depth >= ep.MinHops {
-						out = append(out, otherID)
-					}
+			inc = e.store.IncidentEdges(inc[:0], id, dir, ep.Type)
+			for _, he := range inc {
+				if visited[he.Other] {
+					continue
+				}
+				visited[he.Other] = true
+				next = append(next, he.Other)
+				if depth >= ep.MinHops {
+					out = append(out, he.Other)
 				}
 			}
 		}

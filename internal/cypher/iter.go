@@ -367,22 +367,27 @@ func (s *scanIter) next() (bool, error) {
 // --- expand ---
 
 type expandIter struct {
-	ec      *execCtx
-	st      *ExpandStage
-	input   iter
-	active  bool
-	fromID  graph.NodeID
-	dirs    []graph.Direction
-	di      int
-	edges   []*graph.Edge
+	ec     *execCtx
+	st     *ExpandStage
+	input  iter
+	active bool
+	// inc is the reusable incidence buffer: one IncidentEdges call per
+	// input row, no per-edge record fetches. The edge record itself is
+	// only materialized (store.Edge) when a user-named edge variable
+	// must be bound; synthetic "$" variables skip binding entirely —
+	// nothing can reference them.
+	inc     []graph.IncidentEdge
 	ei      int
+	synth   bool // st.Edge.Var is planner-synthesized, never bound/read
 	setEdge bool
 	setNode bool
 }
 
 // expandDirs maps an edge pattern direction onto store traversal
 // directions from the expansion's starting endpoint. Reverse means the
-// chain is being walked right-to-left, flipping the arrow.
+// chain is being walked right-to-left, flipping the arrow. (Used by the
+// legacy matcher; the streaming iterators use expandDir + IncidentEdges,
+// whose Both iteration is the same out-block-then-in-block order.)
 func expandDirs(d EdgeDir, reverse bool) []graph.Direction {
 	switch d {
 	case DirRight:
@@ -397,6 +402,24 @@ func expandDirs(d EdgeDir, reverse bool) []graph.Direction {
 		return []graph.Direction{graph.In}
 	}
 	return []graph.Direction{graph.Out, graph.In}
+}
+
+// expandDir is expandDirs collapsed to the single direction value the
+// CSR incidence iterator traverses natively.
+func expandDir(d EdgeDir, reverse bool) graph.Direction {
+	switch d {
+	case DirRight:
+		if reverse {
+			return graph.In
+		}
+		return graph.Out
+	case DirLeft:
+		if reverse {
+			return graph.Out
+		}
+		return graph.In
+	}
+	return graph.Both
 }
 
 func (x *expandIter) undo() {
@@ -423,44 +446,31 @@ func (x *expandIter) next() (bool, error) {
 			if !ok || v.Kind != KindNode {
 				continue // non-node binding (e.g. optional null): no expansion
 			}
-			x.fromID = v.Node.ID
-			x.dirs = expandDirs(st.Edge.Dir, st.Reverse)
-			x.di = 0
-			x.edges = ec.e.store.Edges(x.fromID, x.dirs[0])
+			x.inc = ec.e.store.IncidentEdges(x.inc[:0], v.Node.ID,
+				expandDir(st.Edge.Dir, st.Reverse), st.Edge.Type)
 			x.ei = 0
+			x.synth = strings.HasPrefix(st.Edge.Var, "$")
 			x.active = true
 		}
 		x.undo()
-		for {
-			if x.ei >= len(x.edges) {
-				x.di++
-				if x.di >= len(x.dirs) {
-					break
-				}
-				x.edges = ec.e.store.Edges(x.fromID, x.dirs[x.di])
-				x.ei = 0
-				continue
-			}
-			ed := x.edges[x.ei]
+		for x.ei < len(x.inc) {
+			he := x.inc[x.ei]
 			x.ei++
-			if st.Edge.Type != "" && ed.Type != st.Edge.Type {
-				continue
-			}
-			otherID := ed.To
-			if x.dirs[x.di] == graph.In {
-				otherID = ed.From
-			}
-			other := ec.e.store.Node(otherID)
+			other := ec.e.store.Node(he.Other)
 			if other == nil {
 				continue
 			}
-			if prev, bound := ec.b[st.Edge.Var]; bound {
-				if prev.Kind != KindEdge || prev.Edge.ID != ed.ID {
+			if !x.synth {
+				if prev, bound := ec.b[st.Edge.Var]; bound {
+					if prev.Kind != KindEdge || prev.Edge.ID != he.ID {
+						continue
+					}
+				} else if ed := ec.e.store.Edge(he.ID); ed != nil {
+					ec.b[st.Edge.Var] = EdgeValue(ed)
+					x.setEdge = true
+				} else {
 					continue
 				}
-			} else {
-				ec.b[st.Edge.Var] = EdgeValue(ed)
-				x.setEdge = true
 			}
 			if !nodeMatches(st.To, other, ec.ps) {
 				x.undo()
@@ -791,6 +801,7 @@ type biExpandIter struct {
 	counts    map[graph.NodeID]int
 	i         int
 	set       bool
+	inc       []graph.IncidentEdge // reusable incidence buffer
 }
 
 // stepCounts advances one counted BFS level across one hop: every walk
@@ -799,28 +810,21 @@ type biExpandIter struct {
 func (x *biExpandIter) stepCounts(cur map[graph.NodeID]int, edge EdgePattern, to NodePattern, reverse bool) map[graph.NodeID]int {
 	ec := x.ec
 	next := map[graph.NodeID]int{}
-	dirs := expandDirs(edge.Dir, reverse)
+	dir := expandDir(edge.Dir, reverse)
 	for id, c := range cur {
-		for _, d := range dirs {
-			for _, ed := range ec.e.store.Edges(id, d) {
-				if edge.Type != "" && ed.Type != edge.Type {
+		x.inc = ec.e.store.IncidentEdges(x.inc[:0], id, dir, edge.Type)
+		for _, he := range x.inc {
+			otherID := he.Other
+			if _, seen := next[otherID]; !seen {
+				n := ec.e.store.Node(otherID)
+				if n == nil || !nodeMatches(to, n, ec.ps) {
+					next[otherID] = -1 // rejected: cached so we match each node once
 					continue
 				}
-				otherID := ed.To
-				if d == graph.In {
-					otherID = ed.From
-				}
-				if _, seen := next[otherID]; !seen {
-					n := ec.e.store.Node(otherID)
-					if n == nil || !nodeMatches(to, n, ec.ps) {
-						next[otherID] = -1 // rejected: cached so we match each node once
-						continue
-					}
-					next[otherID] = 0
-				}
-				if next[otherID] >= 0 {
-					next[otherID] += c
-				}
+				next[otherID] = 0
+			}
+			if next[otherID] >= 0 {
+				next[otherID] += c
 			}
 		}
 	}

@@ -1,0 +1,44 @@
+//go:build !race
+
+// Allocation regression guards. AllocsPerRun numbers are meaningless
+// under the race detector (it instruments allocations), so these run in
+// the plain-build test pass `make test` adds alongside the -race suite.
+
+package graph
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestIncidentEdgesAllocs locks down the zero-allocation contract of the
+// CSR incidence iteration the query executor's expand stages sit on: a
+// caller-reused buffer means steady-state traversal never allocates.
+func TestIncidentEdgesAllocs(t *testing.T) {
+	s := New()
+	hub, _ := s.MergeNode("Malware", "hub", nil)
+	for i := 0; i < 200; i++ {
+		ip, _ := s.MergeNode("IP", fmt.Sprintf("10.0.0.%d", i), nil)
+		s.AddEdge(hub, "CONNECT", ip, nil)
+		if i%3 == 0 {
+			s.AddEdge(ip, "RESOLVE", hub, nil)
+		}
+	}
+	buf := make([]IncidentEdge, 0, 512)
+	for _, tc := range []struct {
+		name string
+		dir  Direction
+		typ  string
+	}{
+		{"out-typed", Out, "CONNECT"},
+		{"in-typed", In, "RESOLVE"},
+		{"both-all", Both, ""},
+	} {
+		allocs := testing.AllocsPerRun(100, func() {
+			buf = s.IncidentEdges(buf[:0], hub, tc.dir, tc.typ)
+		})
+		if allocs > 0 {
+			t.Errorf("%s: IncidentEdges allocates %.1f/op with a warm buffer, want 0", tc.name, allocs)
+		}
+	}
+}

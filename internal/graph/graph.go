@@ -4,6 +4,15 @@
 // semantics at insertion time (Section 2.5), JSON persistence, and the
 // traversal primitives the Cypher engine, the fusion stage, and the
 // exploration API are built on.
+//
+// Internally the store is symbol-interned and copy-on-write: labels, edge
+// types, and attribute names resolve to dense uint32 symbols (symtab.go),
+// every index map is keyed on symbols or small structs rather than built
+// strings, incidence lives in a CSR-style packed layout (adjacency.go),
+// and node/edge records are immutable once published — mutations build a
+// fresh record and swap it in, so accessors hand out shared pointers
+// without copying. None of this is visible at the API: everything exported
+// still speaks strings, and the JSON persistence format is unchanged.
 package graph
 
 import (
@@ -26,6 +35,9 @@ type EdgeID int64
 // Node is one graph node. Type is the ontology entity type (stored as a
 // string so the store stays schema-agnostic), Name is the description text
 // whose exact equality drives storage-time merging.
+//
+// Nodes returned by the store are shared immutable records: treat them
+// (including Attrs) as read-only. Mutating one corrupts indexed state.
 type Node struct {
 	ID    NodeID            `json:"id"`
 	Type  string            `json:"type"`
@@ -33,7 +45,8 @@ type Node struct {
 	Attrs map[string]string `json:"attrs,omitempty"`
 }
 
-// Edge is one directed, typed edge.
+// Edge is one directed, typed edge. Edges returned by the store are shared
+// immutable records: treat them (including Attrs) as read-only.
 type Edge struct {
 	ID    EdgeID            `json:"id"`
 	Type  string            `json:"type"`
@@ -51,24 +64,67 @@ const (
 	Both
 )
 
+// nodeRec pairs a node's immutable record with its interned label so
+// index maintenance never re-hashes the label string.
+type nodeRec struct {
+	typ Sym
+	n   *Node
+}
+
+// edgeRec carries the adjacency-relevant edge fields (endpoints, interned
+// type) alongside the immutable record, so CSR rebuilds and type filters
+// never chase the record pointer for strings.
+type edgeRec struct {
+	from NodeID
+	to   NodeID
+	typ  Sym
+	e    *Edge
+}
+
+// nodeKeyT is the exact (type, name) merge-index key: interned label +
+// name string, hashed as a struct instead of a concatenation.
+type nodeKeyT struct {
+	typ  Sym
+	name string
+}
+
+// edgeKeyT is the (from, type, to) dedup-index key.
+type edgeKeyT struct {
+	from NodeID
+	to   NodeID
+	typ  Sym
+}
+
+// typeAttrKeyT is the composite (type, key, val) index key for indexed
+// attributes.
+type typeAttrKeyT struct {
+	typ Sym
+	key Sym
+	val string
+}
+
 // Store is an in-memory property graph safe for concurrent use.
 type Store struct {
 	mu sync.RWMutex
 
-	nodes map[NodeID]*Node
-	edges map[EdgeID]*Edge
-	out   map[NodeID][]EdgeID
-	in    map[NodeID][]EdgeID
+	syms  *symtab
+	nodes map[NodeID]nodeRec
+	edges map[EdgeID]edgeRec
+	adj   *adjacency
 
-	byKey    map[string]NodeID              // exact (type, name) merge index
-	byType   map[string]map[NodeID]struct{} // label index
-	byName   map[string]map[NodeID]struct{} // name index across types
-	propIdx  map[string]map[string]map[NodeID]struct{}
-	typeAttr map[string]map[NodeID]struct{} // composite (type, key, val) index for indexed attrs
-	indexed  map[string]bool                // which attribute keys are indexed
-	edgeKey  map[string]EdgeID
+	byKey  map[nodeKeyT]NodeID            // exact (type, name) merge index
+	byType map[Sym]map[NodeID]struct{}    // label index; empty sets are pruned
+	byName map[string]map[NodeID]struct{} // name index across types; empty sets are pruned
+	// propIdx[key][val] is the node set for one indexed attribute value;
+	// propIdxSize[key] counts the nodes carrying the key (sum over vals),
+	// kept live so AvgAttrBucket is O(1).
+	propIdx     map[Sym]map[string]map[NodeID]struct{}
+	propIdxSize map[Sym]int
+	typeAttr    map[typeAttrKeyT]map[NodeID]struct{} // composite (type, key, val) index for indexed attrs
+	indexed     map[Sym]bool                         // which attribute keys are indexed
+	edgeKey     map[edgeKeyT]EdgeID
 
-	edgeTypeCount map[string]int // live per-type edge counts for the statistics layer
+	edgeTypeCount map[Sym]int // live per-type edge counts for the statistics layer
 	// idxEpoch is the per-mutation change counter: bumped by IndexAttr and
 	// by every effective mutation. A cheap has-anything-changed probe for
 	// diagnostics and tests — the plan cache keys on statsVersion below,
@@ -80,13 +136,17 @@ type Store struct {
 	// or when IndexAttr creates a new access path. Plan caches key on it,
 	// so write-heavy workloads whose store size stays roughly stable keep
 	// their cached plans (stats.go).
-	statsVersion  int64
-	statsBase     statsSnapshot
-	histMu        sync.Mutex
-	histCache     map[degreeKey]cachedHistogram
+	statsVersion int64
+	statsBase    statsSnapshot
+	histMu       sync.Mutex
+	histCache    map[degreeKey]cachedHistogram
 	// onMutation observes every effective mutation under the write lock
 	// (SetMutationHook); the durability layer tees writes into its WAL here.
 	onMutation func(Mutation)
+	// bulk suppresses per-mutation adjacency compaction and stats-drift
+	// checks while ApplyBatch replays a long mutation sequence; the batch
+	// seals with one rebuild + rebase instead.
+	bulk bool
 
 	nextNode NodeID
 	nextEdge EdgeID
@@ -104,22 +164,43 @@ type Store struct {
 // indexes can be requested with IndexAttr.
 func New() *Store {
 	s := &Store{
-		nodes:         make(map[NodeID]*Node),
-		edges:         make(map[EdgeID]*Edge),
-		out:           make(map[NodeID][]EdgeID),
-		in:            make(map[NodeID][]EdgeID),
-		byKey:         make(map[string]NodeID),
-		byType:        make(map[string]map[NodeID]struct{}),
+		syms:          newSymtab(),
+		nodes:         make(map[NodeID]nodeRec),
+		edges:         make(map[EdgeID]edgeRec),
+		adj:           newAdjacency(),
+		byKey:         make(map[nodeKeyT]NodeID),
+		byType:        make(map[Sym]map[NodeID]struct{}),
 		byName:        make(map[string]map[NodeID]struct{}),
-		propIdx:       make(map[string]map[string]map[NodeID]struct{}),
-		typeAttr:      make(map[string]map[NodeID]struct{}),
-		indexed:       make(map[string]bool),
-		edgeKey:       make(map[string]EdgeID),
-		edgeTypeCount: make(map[string]int),
+		propIdx:       make(map[Sym]map[string]map[NodeID]struct{}),
+		propIdxSize:   make(map[Sym]int),
+		typeAttr:      make(map[typeAttrKeyT]map[NodeID]struct{}),
+		indexed:       make(map[Sym]bool),
+		edgeKey:       make(map[edgeKeyT]EdgeID),
+		edgeTypeCount: make(map[Sym]int),
 		statsVersion:  1,
 	}
+	s.adj.all = []EdgeID{}
 	s.rebaseStatsLocked()
 	return s
+}
+
+// Reserve pre-sizes the store's core maps for a bulk load of roughly
+// nodes nodes and edges edges, eliminating the incremental rehashing a
+// long insert sequence otherwise pays. Only empty maps are replaced —
+// on a store that already holds data Reserve is a no-op — so callers
+// (recovery, bulk import) can pass a cheap upper bound unconditionally.
+func (s *Store) Reserve(nodes, edges int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if nodes > 0 && len(s.nodes) == 0 {
+		s.nodes = make(map[NodeID]nodeRec, nodes)
+		s.byKey = make(map[nodeKeyT]NodeID, nodes)
+		s.byName = make(map[string]map[NodeID]struct{}, nodes)
+	}
+	if edges > 0 && len(s.edges) == 0 {
+		s.edges = make(map[EdgeID]edgeRec, edges)
+		s.edgeKey = make(map[edgeKeyT]EdgeID, edges)
+	}
 }
 
 // QueryCache returns the store-scoped slot higher layers use to share
@@ -132,38 +213,31 @@ func (s *Store) QueryCache(init func() any) any {
 	return s.queryCache
 }
 
-func nodeKey(typ, name string) string { return typ + "\x00" + name }
-
-func edgeKeyOf(from NodeID, typ string, to NodeID) string {
-	return fmt.Sprintf("%d\x00%s\x00%d", from, typ, to)
-}
-
-func typeAttrKey(typ, key, val string) string { return typ + "\x00" + key + "\x00" + val }
-
 // IndexAttr enables an index on the given attribute key. Existing nodes
 // are back-filled.
 func (s *Store) IndexAttr(key string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.indexed[key] {
+	ks := s.syms.intern(key)
+	if s.indexed[ks] {
 		return
 	}
-	s.indexed[key] = true
+	s.indexed[ks] = true
 	s.idxEpoch++
 	// A new access path always changes what the planner may pick: bump the
 	// planner-facing stats version unconditionally.
 	s.bumpStatsLocked()
-	s.propIdx[key] = make(map[string]map[NodeID]struct{})
-	for id, n := range s.nodes {
-		if v, ok := n.Attrs[key]; ok {
-			s.propIdxAdd(key, v, id)
-			s.typeAttrAdd(n.Type, key, v, id)
+	s.propIdx[ks] = make(map[string]map[NodeID]struct{})
+	for id, rec := range s.nodes {
+		if v, ok := rec.n.Attrs[key]; ok {
+			s.propIdxAdd(ks, v, id)
+			s.typeAttrAdd(rec.typ, ks, v, id)
 		}
 	}
 }
 
-func (s *Store) typeAttrAdd(typ, key, val string, id NodeID) {
-	k := typeAttrKey(typ, key, val)
+func (s *Store) typeAttrAdd(typ, key Sym, val string, id NodeID) {
+	k := typeAttrKeyT{typ: typ, key: key, val: val}
 	set, ok := s.typeAttr[k]
 	if !ok {
 		set = make(map[NodeID]struct{})
@@ -172,8 +246,8 @@ func (s *Store) typeAttrAdd(typ, key, val string, id NodeID) {
 	set[id] = struct{}{}
 }
 
-func (s *Store) typeAttrDel(typ, key, val string, id NodeID) {
-	k := typeAttrKey(typ, key, val)
+func (s *Store) typeAttrDel(typ, key Sym, val string, id NodeID) {
+	k := typeAttrKeyT{typ: typ, key: key, val: val}
 	if set, ok := s.typeAttr[k]; ok {
 		delete(set, id)
 		if len(set) == 0 {
@@ -182,7 +256,7 @@ func (s *Store) typeAttrDel(typ, key, val string, id NodeID) {
 	}
 }
 
-func (s *Store) propIdxAdd(key, val string, id NodeID) {
+func (s *Store) propIdxAdd(key Sym, val string, id NodeID) {
 	m := s.propIdx[key]
 	set, ok := m[val]
 	if !ok {
@@ -190,13 +264,17 @@ func (s *Store) propIdxAdd(key, val string, id NodeID) {
 		m[val] = set
 	}
 	set[id] = struct{}{}
+	s.propIdxSize[key]++
 }
 
-func (s *Store) propIdxDel(key, val string, id NodeID) {
+func (s *Store) propIdxDel(key Sym, val string, id NodeID) {
 	if set, ok := s.propIdx[key][val]; ok {
-		delete(set, id)
-		if len(set) == 0 {
-			delete(s.propIdx[key], val)
+		if _, had := set[id]; had {
+			delete(set, id)
+			s.propIdxSize[key]--
+			if len(set) == 0 {
+				delete(s.propIdx[key], val)
+			}
 		}
 	}
 }
@@ -209,48 +287,59 @@ func (s *Store) propIdxDel(key, val string, id NodeID) {
 func (s *Store) MergeNode(typ, name string, attrs map[string]string) (NodeID, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	key := nodeKey(typ, name)
+	tsym := s.syms.intern(typ)
+	key := nodeKeyT{typ: tsym, name: name}
 	if id, ok := s.byKey[key]; ok {
 		s.mergeHits++
-		n := s.nodes[id]
-		augmented := false
+		rec := s.nodes[id]
+		n := rec.n
+		// Copy-on-write: records already published to readers are never
+		// touched — augmentation builds a fresh attr map and node.
+		var merged map[string]string
 		for k, v := range attrs {
 			if _, exists := n.Attrs[k]; !exists {
-				if n.Attrs == nil {
-					n.Attrs = make(map[string]string)
+				if merged == nil {
+					merged = make(map[string]string, len(n.Attrs)+len(attrs))
+					for k2, v2 := range n.Attrs {
+						merged[k2] = v2
+					}
 				}
-				n.Attrs[k] = v
-				augmented = true
-				if s.indexed[k] {
-					s.propIdxAdd(k, v, id)
-					s.typeAttrAdd(n.Type, k, v, id)
+				ks := s.syms.intern(k)
+				merged[s.syms.str(ks)] = v
+				if s.indexed[ks] {
+					s.propIdxAdd(ks, v, id)
+					s.typeAttrAdd(tsym, ks, v, id)
 				}
 			}
 		}
-		if augmented {
+		if merged != nil {
+			nn := *n
+			nn.Attrs = merged
+			s.nodes[id] = nodeRec{typ: rec.typ, n: &nn}
 			s.noteMutation(Mutation{Op: OpMergeNode, Type: typ, Name: name, Attrs: attrs})
 		}
 		return id, false
 	}
 	s.nextNode++
 	id := s.nextNode
-	n := &Node{ID: id, Type: typ, Name: name}
+	n := &Node{ID: id, Type: s.syms.str(tsym), Name: name}
 	if len(attrs) > 0 {
 		n.Attrs = make(map[string]string, len(attrs))
 		for k, v := range attrs {
-			n.Attrs[k] = v
-			if s.indexed[k] {
-				s.propIdxAdd(k, v, id)
-				s.typeAttrAdd(typ, k, v, id)
+			ks := s.syms.intern(k)
+			n.Attrs[s.syms.str(ks)] = v
+			if s.indexed[ks] {
+				s.propIdxAdd(ks, v, id)
+				s.typeAttrAdd(tsym, ks, v, id)
 			}
 		}
 	}
-	s.nodes[id] = n
+	s.nodes[id] = nodeRec{typ: tsym, n: n}
 	s.byKey[key] = id
-	if s.byType[typ] == nil {
-		s.byType[typ] = make(map[NodeID]struct{})
+	if s.byType[tsym] == nil {
+		s.byType[tsym] = make(map[NodeID]struct{})
 	}
-	s.byType[typ][id] = struct{}{}
+	s.byType[tsym][id] = struct{}{}
 	if s.byName[name] == nil {
 		s.byName[name] = make(map[NodeID]struct{})
 	}
@@ -271,93 +360,79 @@ func (s *Store) AddEdge(from NodeID, typ string, to NodeID, attrs map[string]str
 	if _, ok := s.nodes[to]; !ok {
 		return 0, false, fmt.Errorf("graph: AddEdge: unknown target node %d", to)
 	}
-	ek := edgeKeyOf(from, typ, to)
+	tsym := s.syms.intern(typ)
+	ek := edgeKeyT{from: from, to: to, typ: tsym}
 	if id, ok := s.edgeKey[ek]; ok {
-		e := s.edges[id]
-		augmented := false
+		rec := s.edges[id]
+		e := rec.e
+		var merged map[string]string
 		for k, v := range attrs {
 			if _, exists := e.Attrs[k]; !exists {
-				if e.Attrs == nil {
-					e.Attrs = make(map[string]string)
+				if merged == nil {
+					merged = make(map[string]string, len(e.Attrs)+len(attrs))
+					for k2, v2 := range e.Attrs {
+						merged[k2] = v2
+					}
 				}
-				e.Attrs[k] = v
-				augmented = true
+				merged[s.syms.canon(k)] = v
 			}
 		}
-		if augmented {
+		if merged != nil {
+			ne := *e
+			ne.Attrs = merged
+			s.edges[id] = edgeRec{from: rec.from, to: rec.to, typ: rec.typ, e: &ne}
 			s.noteMutation(Mutation{Op: OpAddEdge, From: from, Type: typ, To: to, Attrs: attrs})
 		}
 		return id, false, nil
 	}
 	s.nextEdge++
 	id := s.nextEdge
-	e := &Edge{ID: id, Type: typ, From: from, To: to}
+	e := &Edge{ID: id, Type: s.syms.str(tsym), From: from, To: to}
 	if len(attrs) > 0 {
 		e.Attrs = make(map[string]string, len(attrs))
 		for k, v := range attrs {
-			e.Attrs[k] = v
+			e.Attrs[s.syms.canon(k)] = v
 		}
 	}
-	s.edges[id] = e
+	s.edges[id] = edgeRec{from: from, to: to, typ: tsym, e: e}
 	s.edgeKey[ek] = id
-	s.out[from] = append(s.out[from], id)
-	s.in[to] = append(s.in[to], id)
-	s.edgeTypeCount[typ]++
+	s.adj.addEdge(id, from, to, tsym)
+	s.edgeTypeCount[tsym]++
 	s.noteMutation(Mutation{Op: OpAddEdge, From: from, Type: typ, To: to, Attrs: attrs})
+	s.maybeRebuildAdjLocked()
 	return id, true, nil
 }
 
-// Node returns a copy of the node (nil if absent). Copies keep callers from
-// mutating indexed state behind the store's back.
+// Node returns the node (nil if absent). The returned record is shared and
+// immutable — treat it and its Attrs as read-only.
 func (s *Store) Node(id NodeID) *Node {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	n, ok := s.nodes[id]
+	rec, ok := s.nodes[id]
 	if !ok {
 		return nil
 	}
-	return copyNode(n)
+	return rec.n
 }
 
-func copyNode(n *Node) *Node {
-	c := *n
-	if n.Attrs != nil {
-		c.Attrs = make(map[string]string, len(n.Attrs))
-		for k, v := range n.Attrs {
-			c.Attrs[k] = v
-		}
-	}
-	return &c
-}
-
-func copyEdge(e *Edge) *Edge {
-	c := *e
-	if e.Attrs != nil {
-		c.Attrs = make(map[string]string, len(e.Attrs))
-		for k, v := range e.Attrs {
-			c.Attrs[k] = v
-		}
-	}
-	return &c
-}
-
-// Edge returns a copy of the edge (nil if absent).
+// Edge returns the edge (nil if absent). The returned record is shared and
+// immutable — treat it and its Attrs as read-only.
 func (s *Store) Edge(id EdgeID) *Edge {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	e, ok := s.edges[id]
+	rec, ok := s.edges[id]
 	if !ok {
 		return nil
 	}
-	return copyEdge(e)
+	return rec.e
 }
 
 // FindNode returns the node with the exact (type, name), or nil.
 func (s *Store) FindNode(typ, name string) *Node {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if id, ok := s.byKey[nodeKey(typ, name)]; ok {
-		return copyNode(s.nodes[id])
+	if id, ok := s.byKey[nodeKeyT{typ: s.syms.lookup(typ), name: name}]; ok {
+		return s.nodes[id].n
 	}
 	return nil
 }
@@ -374,7 +449,7 @@ func (s *Store) NodesByName(name string) []*Node {
 func (s *Store) NodesByType(typ string) []*Node {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.collect(s.byType[typ])
+	return s.collect(s.byType[s.syms.lookup(typ)])
 }
 
 // NodesByAttr returns nodes with attrs[key] == val. If the attribute is
@@ -382,13 +457,13 @@ func (s *Store) NodesByType(typ string) []*Node {
 func (s *Store) NodesByAttr(key, val string) []*Node {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if s.indexed[key] {
-		return s.collect(s.propIdx[key][val])
+	if ks := s.syms.lookup(key); s.indexed[ks] {
+		return s.collect(s.propIdx[ks][val])
 	}
 	var out []*Node
-	for _, n := range s.nodes {
-		if n.Attrs[key] == val {
-			out = append(out, copyNode(n))
+	for _, rec := range s.nodes {
+		if rec.n.Attrs[key] == val {
+			out = append(out, rec.n)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
@@ -398,38 +473,31 @@ func (s *Store) NodesByAttr(key, val string) []*Node {
 func (s *Store) collect(set map[NodeID]struct{}) []*Node {
 	out := make([]*Node, 0, len(set))
 	for id := range set {
-		out = append(out, copyNode(s.nodes[id]))
+		out = append(out, s.nodes[id].n)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
 // Edges returns the edges incident to id in the given direction, sorted by
-// edge ID.
+// edge ID. The records are shared and immutable — read-only. For the
+// executor's inner loop prefer IncidentEdges, which avoids materializing
+// edge records at all.
 func (s *Store) Edges(id NodeID, dir Direction) []*Edge {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	var ids []EdgeID
-	switch dir {
-	case Out:
-		ids = s.out[id]
-	case In:
-		ids = s.in[id]
-	case Both:
-		ids = append(append([]EdgeID{}, s.out[id]...), s.in[id]...)
-	}
-	out := make([]*Edge, 0, len(ids))
+	var out []*Edge
 	sorted := true
-	for _, eid := range ids {
-		e := copyEdge(s.edges[eid])
+	s.adj.forEach(id, dir, func(he halfEdge) bool {
+		e := s.edges[he.id].e
 		if n := len(out); n > 0 && out[n-1].ID > e.ID {
 			sorted = false
 		}
 		out = append(out, e)
-	}
-	// Incidence lists grow in edge-ID order, so they are already sorted
-	// unless MigrateEdges reparented older edges; only then pay the sort.
-	// Edges is the executor's inner loop — expansion calls it per row.
+		return true
+	})
+	// Each direction walks in ascending edge-ID order already; only a Both
+	// walk whose out and in blocks interleave pays the sort.
 	if !sorted {
 		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	}
@@ -442,17 +510,10 @@ func (s *Store) Neighbors(id NodeID, dir Direction) []*Node {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	seen := make(map[NodeID]struct{})
-	add := func(nid NodeID) { seen[nid] = struct{}{} }
-	if dir == Out || dir == Both {
-		for _, eid := range s.out[id] {
-			add(s.edges[eid].To)
-		}
-	}
-	if dir == In || dir == Both {
-		for _, eid := range s.in[id] {
-			add(s.edges[eid].From)
-		}
-	}
+	s.adj.forEach(id, dir, func(he halfEdge) bool {
+		seen[he.other] = struct{}{}
+		return true
+	})
 	return s.collect(seen)
 }
 
@@ -460,25 +521,31 @@ func (s *Store) Neighbors(id NodeID, dir Direction) []*Node {
 func (s *Store) SetAttr(id NodeID, key, val string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	n, ok := s.nodes[id]
+	rec, ok := s.nodes[id]
 	if !ok {
 		return fmt.Errorf("graph: SetAttr: unknown node %d", id)
 	}
+	n := rec.n
 	old, had := n.Attrs[key]
 	if had && old == val {
 		return nil // no-op write: nothing to invalidate or log
 	}
-	if had && s.indexed[key] {
-		s.propIdxDel(key, old, id)
-		s.typeAttrDel(n.Type, key, old, id)
+	ks := s.syms.intern(key)
+	if had && s.indexed[ks] {
+		s.propIdxDel(ks, old, id)
+		s.typeAttrDel(rec.typ, ks, old, id)
 	}
-	if n.Attrs == nil {
-		n.Attrs = make(map[string]string)
+	merged := make(map[string]string, len(n.Attrs)+1)
+	for k, v := range n.Attrs {
+		merged[k] = v
 	}
-	n.Attrs[key] = val
-	if s.indexed[key] {
-		s.propIdxAdd(key, val, id)
-		s.typeAttrAdd(n.Type, key, val, id)
+	merged[s.syms.str(ks)] = val
+	nn := *n
+	nn.Attrs = merged
+	s.nodes[id] = nodeRec{typ: rec.typ, n: &nn}
+	if s.indexed[ks] {
+		s.propIdxAdd(ks, val, id)
+		s.typeAttrAdd(rec.typ, ks, val, id)
 	}
 	s.noteMutation(Mutation{Op: OpSetAttr, Node: id, Key: key, Val: val})
 	return nil
@@ -488,26 +555,42 @@ func (s *Store) SetAttr(id NodeID, key, val string) error {
 func (s *Store) DeleteNode(id NodeID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	n, ok := s.nodes[id]
+	rec, ok := s.nodes[id]
 	if !ok {
 		return fmt.Errorf("graph: DeleteNode: unknown node %d", id)
 	}
-	for _, eid := range append(append([]EdgeID{}, s.out[id]...), s.in[id]...) {
-		s.deleteEdgeLocked(eid)
+	n := rec.n
+	var eids []EdgeID
+	s.adj.forEach(id, Both, func(he halfEdge) bool {
+		eids = append(eids, he.id)
+		return true
+	})
+	for _, eid := range eids {
+		s.deleteEdgeLocked(eid) // idempotent: self-loops appear twice
 	}
-	delete(s.byKey, nodeKey(n.Type, n.Name))
-	delete(s.byType[n.Type], id)
-	delete(s.byName[n.Name], id)
+	delete(s.byKey, nodeKeyT{typ: rec.typ, name: n.Name})
+	if set := s.byType[rec.typ]; set != nil {
+		delete(set, id)
+		if len(set) == 0 {
+			delete(s.byType, rec.typ)
+		}
+	}
+	if set := s.byName[n.Name]; set != nil {
+		delete(set, id)
+		if len(set) == 0 {
+			delete(s.byName, n.Name)
+		}
+	}
 	for k, v := range n.Attrs {
-		if s.indexed[k] {
-			s.propIdxDel(k, v, id)
-			s.typeAttrDel(n.Type, k, v, id)
+		if ks := s.syms.lookup(k); s.indexed[ks] {
+			s.propIdxDel(ks, v, id)
+			s.typeAttrDel(rec.typ, ks, v, id)
 		}
 	}
 	delete(s.nodes, id)
-	delete(s.out, id)
-	delete(s.in, id)
+	s.adj.removeNode(id)
 	s.noteMutation(Mutation{Op: OpDeleteNode, Node: id})
+	s.maybeRebuildAdjLocked()
 	return nil
 }
 
@@ -520,30 +603,21 @@ func (s *Store) DeleteEdge(id EdgeID) error {
 	}
 	s.deleteEdgeLocked(id)
 	s.noteMutation(Mutation{Op: OpDeleteEdge, Edge: id})
+	s.maybeRebuildAdjLocked()
 	return nil
 }
 
 func (s *Store) deleteEdgeLocked(id EdgeID) {
-	e, ok := s.edges[id]
+	rec, ok := s.edges[id]
 	if !ok {
 		return
 	}
-	delete(s.edgeKey, edgeKeyOf(e.From, e.Type, e.To))
-	s.out[e.From] = removeEdgeID(s.out[e.From], id)
-	s.in[e.To] = removeEdgeID(s.in[e.To], id)
+	delete(s.edgeKey, edgeKeyT{from: rec.from, to: rec.to, typ: rec.typ})
+	s.adj.removeEdge(id, rec.from, rec.to)
 	delete(s.edges, id)
-	if s.edgeTypeCount[e.Type]--; s.edgeTypeCount[e.Type] <= 0 {
-		delete(s.edgeTypeCount, e.Type)
+	if s.edgeTypeCount[rec.typ]--; s.edgeTypeCount[rec.typ] <= 0 {
+		delete(s.edgeTypeCount, rec.typ)
 	}
-}
-
-func removeEdgeID(ids []EdgeID, id EdgeID) []EdgeID {
-	for i, x := range ids {
-		if x == id {
-			return append(ids[:i], ids[i+1:]...)
-		}
-	}
-	return ids
 }
 
 // MigrateEdges re-points every edge incident to from so it is incident to
@@ -559,14 +633,21 @@ func (s *Store) MigrateEdges(from, to NodeID) error {
 	if _, ok := s.nodes[to]; !ok {
 		return fmt.Errorf("graph: MigrateEdges: unknown node %d", to)
 	}
-	outs := append([]EdgeID{}, s.out[from]...)
-	ins := append([]EdgeID{}, s.in[from]...)
+	var outs, ins []EdgeID
+	s.adj.forEach(from, Out, func(he halfEdge) bool {
+		outs = append(outs, he.id)
+		return true
+	})
+	s.adj.forEach(from, In, func(he halfEdge) bool {
+		ins = append(ins, he.id)
+		return true
+	})
 	if len(outs) == 0 && len(ins) == 0 {
 		return nil // nothing incident: no state change to log
 	}
 	for _, eid := range outs {
-		e := s.edges[eid]
-		typ, dst, attrs := e.Type, e.To, e.Attrs
+		rec := s.edges[eid]
+		typ, dst, attrs := rec.typ, rec.to, rec.e.Attrs
 		s.deleteEdgeLocked(eid)
 		if dst == to || dst == from {
 			continue
@@ -574,11 +655,11 @@ func (s *Store) MigrateEdges(from, to NodeID) error {
 		s.addEdgeLocked(to, typ, dst, attrs)
 	}
 	for _, eid := range ins {
-		e, ok := s.edges[eid]
+		rec, ok := s.edges[eid]
 		if !ok {
 			continue // already removed as an out-edge self pair
 		}
-		typ, src, attrs := e.Type, e.From, e.Attrs
+		typ, src, attrs := rec.typ, rec.from, rec.e.Attrs
 		s.deleteEdgeLocked(eid)
 		if src == to || src == from {
 			continue
@@ -588,41 +669,50 @@ func (s *Store) MigrateEdges(from, to NodeID) error {
 	// One logical record regardless of fan-in/out: replaying the call
 	// reproduces every per-edge delete/re-add deterministically.
 	s.noteMutation(Mutation{Op: OpMigrateEdges, From: from, To: to})
+	s.maybeRebuildAdjLocked()
 	return nil
 }
 
-func (s *Store) addEdgeLocked(from NodeID, typ string, to NodeID, attrs map[string]string) {
-	ek := edgeKeyOf(from, typ, to)
+// addEdgeLocked inserts or augments an edge whose attrs map is already
+// safe to share (it comes from an immutable record).
+func (s *Store) addEdgeLocked(from NodeID, typ Sym, to NodeID, attrs map[string]string) {
+	ek := edgeKeyT{from: from, to: to, typ: typ}
 	if id, ok := s.edgeKey[ek]; ok {
-		e := s.edges[id]
+		rec := s.edges[id]
+		e := rec.e
+		var merged map[string]string
 		for k, v := range attrs {
 			if _, exists := e.Attrs[k]; !exists {
-				if e.Attrs == nil {
-					e.Attrs = make(map[string]string)
+				if merged == nil {
+					merged = make(map[string]string, len(e.Attrs)+len(attrs))
+					for k2, v2 := range e.Attrs {
+						merged[k2] = v2
+					}
 				}
-				e.Attrs[k] = v
+				merged[k] = v
 			}
+		}
+		if merged != nil {
+			ne := *e
+			ne.Attrs = merged
+			s.edges[id] = edgeRec{from: rec.from, to: rec.to, typ: rec.typ, e: &ne}
 		}
 		return
 	}
 	s.nextEdge++
 	id := s.nextEdge
-	e := &Edge{ID: id, Type: typ, From: from, To: to}
+	e := &Edge{ID: id, Type: s.syms.str(typ), From: from, To: to}
 	if len(attrs) > 0 {
-		e.Attrs = make(map[string]string, len(attrs))
-		for k, v := range attrs {
-			e.Attrs[k] = v
-		}
+		e.Attrs = attrs
 	}
-	s.edges[id] = e
+	s.edges[id] = edgeRec{from: from, to: to, typ: typ, e: e}
 	s.edgeKey[ek] = id
-	s.out[from] = append(s.out[from], id)
-	s.in[to] = append(s.in[to], id)
+	s.adj.addEdge(id, from, to, typ)
 	s.edgeTypeCount[typ]++
 }
 
 // ForEachNode calls fn for every node; iteration stops if fn returns false.
-// The callback receives a copy.
+// The callback receives the shared immutable record.
 func (s *Store) ForEachNode(fn func(*Node) bool) {
 	s.mu.RLock()
 	ids := make([]NodeID, 0, len(s.nodes))
@@ -672,21 +762,23 @@ type Stats struct {
 }
 
 // Stats returns counts by type plus the number of storage-time merges.
+// O(labels + edge types): the per-type counts read the live indexes, not
+// a node/edge scan.
 func (s *Store) Stats() Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	st := Stats{
 		Nodes:       len(s.nodes),
 		Edges:       len(s.edges),
-		NodesByType: make(map[string]int),
-		EdgesByType: make(map[string]int),
+		NodesByType: make(map[string]int, len(s.byType)),
+		EdgesByType: make(map[string]int, len(s.edgeTypeCount)),
 		MergeHits:   s.mergeHits,
 	}
-	for _, n := range s.nodes {
-		st.NodesByType[n.Type]++
+	for sy, set := range s.byType {
+		st.NodesByType[s.syms.str(sy)] = len(set)
 	}
-	for _, e := range s.edges {
-		st.EdgesByType[e.Type]++
+	for sy, c := range s.edgeTypeCount {
+		st.EdgesByType[s.syms.str(sy)] = c
 	}
 	return st
 }
@@ -706,6 +798,7 @@ const persistMagic = "securitykg-graph"
 
 // Save writes the graph as JSON lines: a header record, then one record
 // per node, then one per edge. The format is stable and diff-friendly.
+// SaveBinary (binary.go) is the compact alternative; Load sniffs both.
 func (s *Store) Save(w io.Writer) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -738,33 +831,51 @@ func (s *Store) saveLocked(w io.Writer) error {
 	if err := enc.Encode(hdr); err != nil {
 		return fmt.Errorf("graph: save header: %w", err)
 	}
-	nids := make([]NodeID, 0, len(s.nodes))
-	for id := range s.nodes {
-		nids = append(nids, id)
-	}
-	sort.Slice(nids, func(i, j int) bool { return nids[i] < nids[j] })
-	for _, id := range nids {
-		if err := enc.Encode(s.nodes[id]); err != nil {
+	for _, id := range s.sortedNodeIDsLocked() {
+		if err := enc.Encode(s.nodes[id].n); err != nil {
 			return fmt.Errorf("graph: save node %d: %w", id, err)
 		}
 	}
-	eids := make([]EdgeID, 0, len(s.edges))
-	for id := range s.edges {
-		eids = append(eids, id)
-	}
-	sort.Slice(eids, func(i, j int) bool { return eids[i] < eids[j] })
-	for _, id := range eids {
-		if err := enc.Encode(s.edges[id]); err != nil {
+	for _, id := range s.sortedEdgeIDsLocked() {
+		if err := enc.Encode(s.edges[id].e); err != nil {
 			return fmt.Errorf("graph: save edge %d: %w", id, err)
 		}
 	}
 	return bw.Flush()
 }
 
-// Load reads a graph previously written by Save into an empty store.
+func (s *Store) sortedNodeIDsLocked() []NodeID {
+	nids := make([]NodeID, 0, len(s.nodes))
+	for id := range s.nodes {
+		nids = append(nids, id)
+	}
+	sort.Slice(nids, func(i, j int) bool { return nids[i] < nids[j] })
+	return nids
+}
+
+func (s *Store) sortedEdgeIDsLocked() []EdgeID {
+	eids := make([]EdgeID, 0, len(s.edges))
+	for id := range s.edges {
+		eids = append(eids, id)
+	}
+	sort.Slice(eids, func(i, j int) bool { return eids[i] < eids[j] })
+	return eids
+}
+
+// Load reads a graph previously written by Save or SaveBinary into an
+// empty store, sniffing which codec wrote it.
 func Load(r io.Reader) (*Store, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(binaryMagic))
+	if err == nil && string(head) == binaryMagic {
+		return loadBinary(br)
+	}
+	return loadJSON(br)
+}
+
+func loadJSON(br *bufio.Reader) (*Store, error) {
 	s := New()
-	dec := json.NewDecoder(bufio.NewReader(r))
+	dec := json.NewDecoder(br)
 	var hdr persistHeader
 	if err := dec.Decode(&hdr); err != nil {
 		return nil, fmt.Errorf("graph: load header: %w", err)
@@ -780,49 +891,84 @@ func Load(r io.Reader) (*Store, error) {
 		if err := dec.Decode(&n); err != nil {
 			return nil, fmt.Errorf("graph: load node %d/%d: %w", i, hdr.Nodes, err)
 		}
-		if _, dup := s.nodes[n.ID]; dup {
-			return nil, fmt.Errorf("graph: load: duplicate node id %d", n.ID)
+		if err := s.loadNode(n); err != nil {
+			return nil, err
 		}
-		if _, dup := s.byKey[nodeKey(n.Type, n.Name)]; dup {
-			return nil, fmt.Errorf("graph: load: duplicate node (%s, %q)", n.Type, n.Name)
-		}
-		nc := n
-		s.nodes[n.ID] = &nc
-		s.byKey[nodeKey(n.Type, n.Name)] = n.ID
-		if s.byType[n.Type] == nil {
-			s.byType[n.Type] = make(map[NodeID]struct{})
-		}
-		s.byType[n.Type][n.ID] = struct{}{}
-		if s.byName[n.Name] == nil {
-			s.byName[n.Name] = make(map[NodeID]struct{})
-		}
-		s.byName[n.Name][n.ID] = struct{}{}
 	}
 	for i := 0; i < hdr.Edges; i++ {
 		var e Edge
 		if err := dec.Decode(&e); err != nil {
 			return nil, fmt.Errorf("graph: load edge %d/%d: %w", i, hdr.Edges, err)
 		}
-		if _, dup := s.edges[e.ID]; dup {
-			return nil, fmt.Errorf("graph: load: duplicate edge id %d", e.ID)
+		if err := s.loadEdge(e); err != nil {
+			return nil, err
 		}
-		if _, ok := s.nodes[e.From]; !ok {
-			return nil, fmt.Errorf("graph: load: edge %d references unknown node %d", e.ID, e.From)
-		}
-		if _, ok := s.nodes[e.To]; !ok {
-			return nil, fmt.Errorf("graph: load: edge %d references unknown node %d", e.ID, e.To)
-		}
-		ec := e
-		s.edges[e.ID] = &ec
-		s.edgeKey[edgeKeyOf(e.From, e.Type, e.To)] = e.ID
-		s.out[e.From] = append(s.out[e.From], e.ID)
-		s.in[e.To] = append(s.in[e.To], e.ID)
-		s.edgeTypeCount[e.Type]++
 	}
-	s.nextNode = hdr.NextNode
-	s.nextEdge = hdr.NextEdge
-	s.rebaseStatsLocked()
+	s.finishLoad(hdr.NextNode, hdr.NextEdge)
 	return s, nil
+}
+
+// loadNode validates and installs one node during Load. The store is not
+// yet shared, so no locking.
+func (s *Store) loadNode(n Node) error {
+	if n.ID < 1 {
+		return fmt.Errorf("graph: load: invalid node id %d", n.ID)
+	}
+	if _, dup := s.nodes[n.ID]; dup {
+		return fmt.Errorf("graph: load: duplicate node id %d", n.ID)
+	}
+	tsym := s.syms.intern(n.Type)
+	key := nodeKeyT{typ: tsym, name: n.Name}
+	if _, dup := s.byKey[key]; dup {
+		return fmt.Errorf("graph: load: duplicate node (%s, %q)", n.Type, n.Name)
+	}
+	nc := n
+	nc.Type = s.syms.str(tsym)
+	s.nodes[n.ID] = nodeRec{typ: tsym, n: &nc}
+	s.byKey[key] = n.ID
+	if s.byType[tsym] == nil {
+		s.byType[tsym] = make(map[NodeID]struct{})
+	}
+	s.byType[tsym][n.ID] = struct{}{}
+	if s.byName[n.Name] == nil {
+		s.byName[n.Name] = make(map[NodeID]struct{})
+	}
+	s.byName[n.Name][n.ID] = struct{}{}
+	return nil
+}
+
+// loadEdge validates and installs one edge during Load. Adjacency is not
+// maintained per edge; finishLoad rebuilds it in one pass.
+func (s *Store) loadEdge(e Edge) error {
+	if e.ID < 1 {
+		return fmt.Errorf("graph: load: invalid edge id %d", e.ID)
+	}
+	if _, dup := s.edges[e.ID]; dup {
+		return fmt.Errorf("graph: load: duplicate edge id %d", e.ID)
+	}
+	if _, ok := s.nodes[e.From]; !ok {
+		return fmt.Errorf("graph: load: edge %d references unknown node %d", e.ID, e.From)
+	}
+	if _, ok := s.nodes[e.To]; !ok {
+		return fmt.Errorf("graph: load: edge %d references unknown node %d", e.ID, e.To)
+	}
+	tsym := s.syms.intern(e.Type)
+	ec := e
+	ec.Type = s.syms.str(tsym)
+	s.edges[e.ID] = edgeRec{from: e.From, to: e.To, typ: tsym, e: &ec}
+	s.edgeKey[edgeKeyT{from: e.From, to: e.To, typ: tsym}] = e.ID
+	s.edgeTypeCount[tsym]++
+	return nil
+}
+
+// finishLoad seals a bulk load: ID allocators, one adjacency rebuild over
+// all loaded edges, and the stats baseline.
+func (s *Store) finishLoad(nextNode NodeID, nextEdge EdgeID) {
+	s.nextNode = nextNode
+	s.nextEdge = nextEdge
+	s.adj.all = nil // force reconstruction from the edge map
+	s.rebuildAdjLocked()
+	s.rebaseStatsLocked()
 }
 
 // SaveFile persists the graph to path atomically (write temp + rename).

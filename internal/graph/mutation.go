@@ -60,12 +60,64 @@ func (s *Store) SetMutationHook(fn func(Mutation)) {
 // write lock.
 func (s *Store) noteMutation(m Mutation) {
 	s.idxEpoch++
-	if s.statsMaterialLocked() {
+	if !s.bulk && s.statsMaterialLocked() {
 		s.bumpStatsLocked()
 	}
 	if s.onMutation != nil {
 		s.onMutation(m)
 	}
+}
+
+// ApplyStream replays the mutation sequence next yields (until it
+// reports false) with bulk economics: the per-mutation adjacency
+// compaction and stats-drift checks Apply pays are deferred, and the
+// stream seals with one adjacency rebuild and one stats materiality
+// judgement. State afterwards is identical to the equivalent Apply
+// loop (adjacency layout and stats versioning are not part of logical
+// state); recovery uses it to fold a WAL tail straight off the
+// scanner without materializing the record list. On error, mutations
+// before the failing one remain applied and the returned count names
+// how many succeeded.
+func (s *Store) ApplyStream(next func() (Mutation, bool)) (int, error) {
+	s.mu.Lock()
+	s.bulk = true
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.bulk = false
+		if s.adj.pending > 0 {
+			s.rebuildAdjLocked()
+		}
+		if s.statsMaterialLocked() {
+			s.bumpStatsLocked()
+		}
+		s.mu.Unlock()
+	}()
+	applied := 0
+	for {
+		m, ok := next()
+		if !ok {
+			return applied, nil
+		}
+		if err := s.Apply(m); err != nil {
+			return applied, err
+		}
+		applied++
+	}
+}
+
+// ApplyBatch replays a mutation slice through ApplyStream; the
+// returned index names the failing mutation on error.
+func (s *Store) ApplyBatch(ms []Mutation) (int, error) {
+	i := 0
+	return s.ApplyStream(func() (Mutation, bool) {
+		if i >= len(ms) {
+			return Mutation{}, false
+		}
+		m := ms[i]
+		i++
+		return m, true
+	})
 }
 
 // Apply replays one mutation through the corresponding public operation.

@@ -6,7 +6,9 @@ import "sort"
 // consumes: O(1) cardinality estimates backed by the live indexes, degree
 // statistics for expansion fan-out, and NodeID-granular access paths so
 // the streaming executor can pull nodes lazily instead of materializing
-// full candidate slices up front.
+// full candidate slices up front. Planner-facing string inputs resolve
+// through the symbol table with lookup (never intern): probing for a
+// label or key the store has never seen must not grow the table.
 
 // CountNodes returns the number of nodes in the store.
 func (s *Store) CountNodes() int {
@@ -26,7 +28,7 @@ func (s *Store) CountEdges() int {
 func (s *Store) CountByType(typ string) int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.byType[typ])
+	return len(s.byType[s.syms.lookup(typ)])
 }
 
 // CountByName returns the number of nodes whose Name equals name.
@@ -41,7 +43,7 @@ func (s *Store) CountByName(name string) int {
 func (s *Store) CountByTypeName(typ, name string) int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if _, ok := s.byKey[nodeKey(typ, name)]; ok {
+	if _, ok := s.byKey[nodeKeyT{typ: s.syms.lookup(typ), name: name}]; ok {
 		return 1
 	}
 	return 0
@@ -53,10 +55,11 @@ func (s *Store) CountByTypeName(typ, name string) int {
 func (s *Store) CountByAttr(key, val string) (int, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if !s.indexed[key] {
+	ks := s.syms.lookup(key)
+	if !s.indexed[ks] {
 		return 0, false
 	}
-	return len(s.propIdx[key][val]), true
+	return len(s.propIdx[ks][val]), true
 }
 
 // CountByTypeAttr returns the number of nodes of the given type with
@@ -65,24 +68,42 @@ func (s *Store) CountByAttr(key, val string) (int, bool) {
 func (s *Store) CountByTypeAttr(typ, key, val string) (int, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if !s.indexed[key] {
+	ks := s.syms.lookup(key)
+	if !s.indexed[ks] {
 		return 0, false
 	}
-	return len(s.typeAttr[typeAttrKey(typ, key, val)]), true
+	return len(s.typeAttr[typeAttrKeyT{typ: s.syms.lookup(typ), key: ks, val: val}]), true
 }
 
 // CountEdgesByType returns the number of edges with the given type.
 func (s *Store) CountEdgesByType(typ string) int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.edgeTypeCount[typ]
+	return s.edgeTypeCount[s.syms.lookup(typ)]
+}
+
+// DistinctLabels returns the number of distinct node types currently
+// live in the store. O(1): the label index prunes empty sets, so its
+// size is the live distinct-label count.
+func (s *Store) DistinctLabels() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byType)
+}
+
+// DistinctNames returns the number of distinct node names currently live
+// in the store. O(1) for the same reason as DistinctLabels.
+func (s *Store) DistinctNames() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byName)
 }
 
 // HasAttrIndex reports whether IndexAttr was called for key.
 func (s *Store) HasAttrIndex(key string) bool {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.indexed[key]
+	return s.indexed[s.syms.lookup(key)]
 }
 
 // IndexEpoch returns the store's per-mutation change counter: it
@@ -100,7 +121,8 @@ func (s *Store) IndexEpoch() int64 {
 
 // AvgNameBucket returns the average number of nodes sharing one name —
 // the planner's default selectivity for a name seek whose key is a
-// query parameter (unknown until bind time).
+// query parameter (unknown until bind time). O(1): the name index prunes
+// empty buckets.
 func (s *Store) AvgNameBucket() float64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -112,41 +134,41 @@ func (s *Store) AvgNameBucket() float64 {
 
 // AvgAttrBucket returns the average number of nodes per distinct value
 // of an indexed attribute (ok=false when the attribute is not indexed)
-// — the stats default for parameter-valued attribute seeks. O(distinct
-// values); called at plan time only.
+// — the stats default for parameter-valued attribute seeks. O(1): the
+// store keeps a live count of nodes carrying each indexed key, so no
+// per-value scan happens at plan time.
 func (s *Store) AvgAttrBucket(key string) (float64, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if !s.indexed[key] {
+	ks := s.syms.lookup(key)
+	if !s.indexed[ks] {
 		return 0, false
 	}
-	buckets := s.propIdx[key]
-	if len(buckets) == 0 {
+	buckets := len(s.propIdx[ks])
+	if buckets == 0 {
 		return 1, true
 	}
-	total := 0
-	for _, set := range buckets {
-		total += len(set)
-	}
-	return float64(total) / float64(len(buckets)), true
+	return float64(s.propIdxSize[ks]) / float64(buckets), true
 }
 
 // --- stats version: the planner-facing invalidation epoch ---
 
 // statsSnapshot captures the planner-visible counts at the last stats
 // version bump, so materiality is judged against what cached plans were
-// actually costed with rather than against the previous mutation.
+// actually costed with rather than against the previous mutation. Keys
+// are interned symbols: snapshots are rebuilt on every bump, so symbol
+// keys keep that rebuild allocation-light.
 type statsSnapshot struct {
 	nodes      int
 	edges      int
-	byLabel    map[string]int
-	byEdgeType map[string]int
+	byLabel    map[Sym]int
+	byEdgeType map[Sym]int
 	// byAttrVals tracks the distinct-value count of each indexed
 	// attribute and names the distinct-name count: AvgAttrBucket and
 	// AvgNameBucket (= nodes / distinct values) are plan-time inputs, so
 	// a key spreading from one value to thousands is a material change
 	// even when no count above moves.
-	byAttrVals map[string]int
+	byAttrVals map[Sym]int
 	names      int
 }
 
@@ -209,8 +231,8 @@ func (s *Store) rebaseStatsLocked() {
 	base := statsSnapshot{
 		nodes:      len(s.nodes),
 		edges:      len(s.edges),
-		byLabel:    make(map[string]int, len(s.byType)),
-		byEdgeType: make(map[string]int, len(s.edgeTypeCount)),
+		byLabel:    make(map[Sym]int, len(s.byType)),
+		byEdgeType: make(map[Sym]int, len(s.edgeTypeCount)),
 	}
 	for l, set := range s.byType {
 		base.byLabel[l] = len(set)
@@ -218,7 +240,7 @@ func (s *Store) rebaseStatsLocked() {
 	for t, c := range s.edgeTypeCount {
 		base.byEdgeType[t] = c
 	}
-	base.byAttrVals = make(map[string]int, len(s.indexed))
+	base.byAttrVals = make(map[Sym]int, len(s.indexed))
 	for k := range s.indexed {
 		base.byAttrVals[k] = len(s.propIdx[k])
 	}
@@ -244,7 +266,9 @@ func (s *Store) StatsVersion() int64 {
 
 // --- degree histograms ---
 
-// degreeKey identifies one cached histogram.
+// degreeKey identifies one cached histogram. Strings, not symbols: the
+// cache is probed once per plan, and string keys keep unknown labels
+// (which have no symbol) addressable without sentinel juggling.
 type degreeKey struct {
 	label    string
 	edgeType string
@@ -298,8 +322,8 @@ func (h DegreeHistogram) AvgNonZero() float64 {
 // DegreeHistogram returns the (cached) degree histogram for the given
 // source label ("" = all nodes), edge type ("" = all types) and
 // direction. Histograms are computed lazily — O(sources + incident
-// edges) — and cached per stats version, so plan-time lookups are O(1)
-// between material changes of the store.
+// edges) over the packed adjacency — and cached per stats version, so
+// plan-time lookups are O(1) between material changes of the store.
 func (s *Store) DegreeHistogram(label, edgeType string, dir Direction) DegreeHistogram {
 	ver := s.StatsVersion()
 	key := degreeKey{label: label, edgeType: edgeType, dir: dir}
@@ -323,27 +347,14 @@ func (s *Store) computeDegreeHistogram(label, edgeType string, dir Direction) De
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	h := DegreeHistogram{Label: label, EdgeType: edgeType, Dir: dir}
-	count := func(ids []EdgeID) int {
-		if edgeType == "" {
-			return len(ids)
-		}
-		n := 0
-		for _, eid := range ids {
-			if s.edges[eid].Type == edgeType {
-				n++
-			}
-		}
-		return n
+	anyType := edgeType == ""
+	want := Sym(0)
+	if !anyType {
+		want = s.syms.lookup(edgeType)
 	}
 	add := func(id NodeID) {
 		h.Sources++
-		d := 0
-		if dir == Out || dir == Both {
-			d += count(s.out[id])
-		}
-		if dir == In || dir == Both {
-			d += count(s.in[id])
-		}
+		d := s.adj.degree(id, dir, want, anyType)
 		if d == 0 {
 			return
 		}
@@ -366,7 +377,7 @@ func (s *Store) computeDegreeHistogram(label, edgeType string, dir Direction) De
 			add(id)
 		}
 	} else {
-		for id := range s.byType[label] {
+		for id := range s.byType[s.syms.lookup(label)] {
 			add(id)
 		}
 	}
@@ -383,13 +394,7 @@ func (s *Store) DegreeStats(dir Direction) (avg float64, max int) {
 	}
 	total := 0
 	for id := range s.nodes {
-		d := 0
-		if dir == Out || dir == Both {
-			d += len(s.out[id])
-		}
-		if dir == In || dir == Both {
-			d += len(s.in[id])
-		}
+		d := s.adj.degree(id, dir, 0, true)
 		total += d
 		if d > max {
 			max = d
@@ -425,7 +430,7 @@ func (s *Store) AllNodeIDs() []NodeID {
 func (s *Store) NodeIDsByType(typ string) []NodeID {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return sortedIDs(s.byType[typ])
+	return sortedIDs(s.byType[s.syms.lookup(typ)])
 }
 
 // NodeIDsByName returns the IDs of nodes with the given name, sorted.
@@ -440,10 +445,11 @@ func (s *Store) NodeIDsByName(name string) []NodeID {
 func (s *Store) NodeIDsByAttr(key, val string) []NodeID {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if !s.indexed[key] {
+	ks := s.syms.lookup(key)
+	if !s.indexed[ks] {
 		return nil
 	}
-	return sortedIDs(s.propIdx[key][val])
+	return sortedIDs(s.propIdx[ks][val])
 }
 
 // NodeIDsByTypeAttr returns the IDs of nodes of the given type with
@@ -452,26 +458,28 @@ func (s *Store) NodeIDsByAttr(key, val string) []NodeID {
 func (s *Store) NodeIDsByTypeAttr(typ, key, val string) []NodeID {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if !s.indexed[key] {
+	ks := s.syms.lookup(key)
+	if !s.indexed[ks] {
 		return nil
 	}
-	return sortedIDs(s.typeAttr[typeAttrKey(typ, key, val)])
+	return sortedIDs(s.typeAttr[typeAttrKeyT{typ: s.syms.lookup(typ), key: ks, val: val}])
 }
 
-// NodesByTypeAttr returns copies of the nodes of the given type with
+// NodesByTypeAttr returns the nodes of the given type with
 // attrs[key] == val. Uses the composite index when available, otherwise
-// scans.
+// scans. The records are shared and immutable — read-only.
 func (s *Store) NodesByTypeAttr(typ, key, val string) []*Node {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if s.indexed[key] {
-		return s.collect(s.typeAttr[typeAttrKey(typ, key, val)])
+	ks := s.syms.lookup(key)
+	if s.indexed[ks] {
+		return s.collect(s.typeAttr[typeAttrKeyT{typ: s.syms.lookup(typ), key: ks, val: val}])
 	}
 	var out []*Node
-	for id := range s.byType[typ] {
-		n := s.nodes[id]
+	for id := range s.byType[s.syms.lookup(typ)] {
+		n := s.nodes[id].n
 		if n.Attrs[key] == val {
-			out = append(out, copyNode(n))
+			out = append(out, n)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })

@@ -1,0 +1,61 @@
+//go:build !race
+
+// Allocation regression guards. AllocsPerRun numbers are meaningless
+// under the race detector (it instruments allocations), so these run in
+// the plain-build test pass `make test` adds alongside the -race suite.
+
+package storage
+
+import (
+	"path/filepath"
+	"testing"
+
+	"securitykg/internal/graph"
+)
+
+// TestWALAppendAllocs locks down the binary append hot path: with the
+// dictionary warm and the scratch buffers grown, framing and encoding a
+// record must not allocate (the record's own payload bytes travel
+// through reused buffers straight into the bufio writer).
+func TestWALAppendAllocs(t *testing.T) {
+	dir := t.TempDir()
+	w, err := openWAL(filepath.Join(dir, walFile), 0, 0, CodecBinary, nil, CodecBinary, SyncNever, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	mut := graph.Mutation{Op: graph.OpSetAttr, Node: 7, Key: "score", Val: "9"}
+	// Warm: register the dictionary entries and grow the scratch buffers.
+	for i := 0; i < 4; i++ {
+		if err := w.Append(mut); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := w.Append(mut); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("binary WAL append allocates %.1f/op warm, want 0", allocs)
+	}
+
+	// Attr-carrying records may allocate for map iteration scratch but
+	// must stay bounded — a regression to per-append JSON-style encoding
+	// shows up as dozens of allocations.
+	mutAttrs := graph.Mutation{Op: graph.OpMergeNode, Type: "Malware", Name: "m",
+		Attrs: map[string]string{"seen": "1", "family": "trojan"}}
+	for i := 0; i < 4; i++ {
+		if err := w.Append(mutAttrs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs = testing.AllocsPerRun(200, func() {
+		if err := w.Append(mutAttrs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Errorf("binary WAL append with attrs allocates %.1f/op warm, want <= 2", allocs)
+	}
+}

@@ -70,12 +70,15 @@ func (r Record) Mutation() graph.Mutation {
 //
 //	uint32  payload length (little-endian)
 //	uint32  CRC-32 (IEEE) of the payload
-//	[]byte  payload (JSON-encoded Record)
+//	[]byte  payload (binary- or JSON-encoded Record; see codec.go)
 //
-// The length comes first so a reader can skip to the checksum decision
-// without parsing JSON; the CRC covers only the payload, so a torn
-// header, a torn payload, and a bit-flipped payload are all detected
-// the same way: the record (and everything after it) is discarded.
+// A binary-codec log additionally opens with the 8-byte walMagic file
+// header; a JSON log starts directly at the first frame, which is how
+// legacy directories stay readable. The length comes first so a reader
+// can skip to the checksum decision without parsing the payload; the
+// CRC covers only the payload, so a torn header, a torn payload, and a
+// bit-flipped payload are all detected the same way: the record (and
+// everything after it) is discarded.
 
 const (
 	recordHeaderLen = 8
@@ -140,14 +143,36 @@ type WAL struct {
 	err     error  // sticky: first append/flush failure poisons the log
 	fails   uint64 // appends that failed (these never advance lastSeq)
 
+	// codec is the format of the bytes already in the file — appends must
+	// match it. wantCodec is the configured format, adopted whenever the
+	// file restarts from empty (truncation after a covering checkpoint),
+	// which is how legacy JSON logs upgrade without an in-place rewrite.
+	codec     Codec
+	wantCodec Codec
+	dict      *walDict              // encode-side in-band dictionary (binary codec)
+	encBuf    []byte                // reusable binary payload scratch
+	keyBuf    []string              // reusable attr-key sort scratch
+	hdrBuf    [recordHeaderLen]byte // framing scratch; a local escapes via the Write call
+
 	closed   bool
 	stopSync chan struct{} // stops the interval-sync goroutine
 	syncDone chan struct{}
 }
 
+// fileHdrLen returns the byte length of the current file's codec header
+// (the walMagic for binary logs); size equal to it means "empty log".
+func (w *WAL) fileHdrLen() int64 {
+	if w.codec == CodecBinary {
+		return int64(len(walMagic))
+	}
+	return 0
+}
+
 // openWAL opens (creating if needed) the log file for appending at
-// offset size, with lastSeq seeded from recovery.
-func openWAL(path string, size int64, lastSeq uint64, policy SyncPolicy, every time.Duration) (*WAL, error) {
+// offset size, with lastSeq, the file's codec, and the binary
+// dictionary seeded from recovery's scan. An empty file adopts want —
+// writing the binary magic up front — instead of the scanned codec.
+func openWAL(path string, size int64, lastSeq uint64, fileCodec Codec, dictSeed []string, want Codec, policy SyncPolicy, every time.Duration) (*WAL, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open wal: %w", err)
@@ -159,6 +184,16 @@ func openWAL(path string, size int64, lastSeq uint64, policy SyncPolicy, every t
 	w := &WAL{
 		f: f, w: bufio.NewWriterSize(f, 1<<16),
 		size: size, lastSeq: lastSeq, policy: policy,
+		codec: fileCodec, wantCodec: want,
+	}
+	if size == 0 {
+		w.codec = want
+		if err := w.beginFileLocked(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	} else if w.codec == CodecBinary {
+		w.dict = newWALDict(dictSeed)
 	}
 	if policy == SyncInterval {
 		if every <= 0 {
@@ -169,6 +204,23 @@ func openWAL(path string, size int64, lastSeq uint64, policy SyncPolicy, every t
 		go w.syncLoop(every)
 	}
 	return w, nil
+}
+
+// beginFileLocked initializes an empty log file for w.codec: the binary
+// codec writes its magic header (buffered; it reaches disk with the
+// first flush) and starts a fresh dictionary.
+func (w *WAL) beginFileLocked() error {
+	if w.codec != CodecBinary {
+		w.dict = nil
+		return nil
+	}
+	if _, err := w.w.WriteString(walMagic); err != nil {
+		return fmt.Errorf("storage: write wal header: %w", err)
+	}
+	w.size = int64(len(walMagic))
+	w.dirty = true
+	w.dict = newWALDict(nil)
+	return nil
 }
 
 func (w *WAL) syncLoop(every time.Duration) {
@@ -208,11 +260,22 @@ func (w *WAL) Append(m graph.Mutation) error {
 	}
 	rec := recordFromMutation(m)
 	rec.Seq = w.lastSeq + 1
-	payload, err := json.Marshal(rec)
-	if err != nil {
-		w.err = fmt.Errorf("storage: encode record: %w", err)
-		w.fails++
-		return w.err
+	var payload []byte
+	if w.codec == CodecBinary {
+		// Encoding into the reusable scratch keeps the append hot path
+		// allocation-free. The dictionary mutates as we encode; if any
+		// later step fails the error is sticky, so no bytes diverging
+		// from the dictionary state can ever reach the file.
+		w.encBuf, w.keyBuf = encodeRecordBinary(w.encBuf[:0], rec, w.dict, w.keyBuf)
+		payload = w.encBuf
+	} else {
+		var err error
+		payload, err = json.Marshal(rec)
+		if err != nil {
+			w.err = fmt.Errorf("storage: encode record: %w", err)
+			w.fails++
+			return w.err
+		}
 	}
 	if len(payload) > maxRecordLen {
 		// Never frame a record the reader is obliged to reject: an
@@ -224,10 +287,10 @@ func (w *WAL) Append(m graph.Mutation) error {
 		w.fails++
 		return w.err
 	}
-	var hdr [recordHeaderLen]byte
+	hdr := w.hdrBuf[:]
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
-	if _, err := w.w.Write(hdr[:]); err != nil {
+	if _, err := w.w.Write(hdr); err != nil {
 		w.err = fmt.Errorf("storage: append: %w", err)
 		w.fails++
 		return w.err
@@ -330,7 +393,8 @@ func (w *WAL) Err() error {
 func (w *WAL) truncateThrough(seq, fails uint64) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if w.closed || w.lastSeq != seq || (w.size == 0 && w.err == nil) {
+	if w.closed || w.lastSeq != seq ||
+		(w.size <= w.fileHdrLen() && w.codec == w.wantCodec && w.err == nil) {
 		return w.err
 	}
 	if w.fails != fails {
@@ -354,7 +418,14 @@ func (w *WAL) truncateThrough(seq, fails uint64) error {
 	w.size = 0
 	w.dirty = true // the truncation itself should reach disk eventually
 	w.err = nil    // the snapshot covers everything the log missed
-	return nil
+	// A fresh file restarts in the configured codec — this is the only
+	// point a log ever changes format (and where the dictionary resets,
+	// keeping encoder state in lockstep with the bytes on disk).
+	w.codec = w.wantCodec
+	if err := w.beginFileLocked(); err != nil {
+		w.err = err
+	}
+	return w.err
 }
 
 // Close flushes, fsyncs and closes the log.
@@ -387,59 +458,154 @@ func (w *WAL) Close() error {
 }
 
 // replayResult is what scanning a WAL file yields: the records of the
-// valid prefix, the byte offset where that prefix ends, and whether a
-// torn/corrupt tail was discarded after it.
+// valid prefix, the byte offset where that prefix ends, whether a
+// torn/corrupt tail was discarded after it, the codec the file was
+// written in, and (for binary logs) the in-band dictionary accumulated
+// over the valid prefix — exactly the state an appender must resume
+// with.
 type replayResult struct {
 	records []Record
 	valid   int64
 	torn    bool
+	codec   Codec
+	dict    []string
 }
 
-// scanWAL reads records from r until EOF or the first damaged record.
+// walScanner walks a log's valid record prefix one record at a time,
+// sniffing the codec from the file's first bytes (walMagic → binary;
+// anything else, including a legacy log's first length prefix → JSON).
 // Damage — a short header, a length past the size bound, a CRC
-// mismatch, a short payload, unparseable JSON, or a sequence number
-// that does not increase — ends the scan: nothing after a bad record
-// can be trusted, because record boundaries are only known by walking
-// the length prefixes. This is exactly the torn-final-record tolerance
-// a crash mid-append requires, generalized to arbitrary corruption.
-func scanWAL(r io.Reader) replayResult {
+// mismatch, a short payload, an undecodable payload, or a sequence
+// number that does not increase — ends the scan: nothing after a bad
+// record can be trusted, because record boundaries are only known by
+// walking the length prefixes. This is exactly the torn-final-record
+// tolerance a crash mid-append requires, generalized to arbitrary
+// corruption. A JSON log can never sniff as binary: its first four
+// bytes are a record length, and the length walMagic's bytes spell is
+// far past maxRecordLen.
+//
+// Streaming (next into a caller-reused Record) rather than returning
+// the record list keeps recovery of a long tail from materializing
+// every record: the caller folds each one into the store and the
+// scanner's two scratch buffers are the only per-record state.
+type walScanner struct {
+	br      *bufio.Reader
+	res     replayResult // records stays nil; valid/torn/codec/dict accumulate
+	lastSeq uint64
+	hdr     [recordHeaderLen]byte
+	payload []byte
+	// attrs, when non-nil, is handed to the binary decoder as a reusable
+	// attribute map. Only streaming consumers that fold each record into
+	// the store before asking for the next may set it (reuseAttrs):
+	// records sharing the map must never be retained side by side.
+	attrs map[string]string
+}
+
+// reuseAttrs opts the scanner into attribute-map reuse across records.
+// Callers that collect records (scanWAL) must not enable it.
+func (sc *walScanner) reuseAttrs() *walScanner {
+	sc.attrs = make(map[string]string, 8)
+	return sc
+}
+
+func newWALScanner(r io.Reader) *walScanner {
+	sc := &walScanner{br: bufio.NewReaderSize(r, 1<<16), res: replayResult{codec: CodecJSON}}
+	if head, err := sc.br.Peek(len(walMagic)); err == nil && string(head) == walMagic {
+		sc.br.Discard(len(walMagic))
+		sc.res.codec = CodecBinary
+		sc.res.valid = int64(len(walMagic))
+	}
+	return sc
+}
+
+// next decodes the next valid record into *rec, returning false at the
+// end of the valid prefix (EOF or first damage; res.torn tells which).
+// Payload scratch reuse is safe because both decoders copy every
+// string they keep (string conversions; the dictionary appends the
+// copies) — nothing aliases the buffer across calls.
+func (sc *walScanner) next(rec *Record) bool {
+	if sc.res.torn {
+		return false
+	}
+	if _, err := io.ReadFull(sc.br, sc.hdr[:]); err != nil {
+		sc.res.torn = !errors.Is(err, io.EOF)
+		return false
+	}
+	n := binary.LittleEndian.Uint32(sc.hdr[0:4])
+	want := binary.LittleEndian.Uint32(sc.hdr[4:8])
+	if n == 0 || n > maxRecordLen {
+		sc.res.torn = true
+		return false
+	}
+	if cap(sc.payload) < int(n) {
+		sc.payload = make([]byte, n)
+	}
+	sc.payload = sc.payload[:n]
+	if _, err := io.ReadFull(sc.br, sc.payload); err != nil {
+		sc.res.torn = true
+		return false
+	}
+	if crc32.ChecksumIEEE(sc.payload) != want {
+		sc.res.torn = true
+		return false
+	}
+	if sc.res.codec == CodecBinary {
+		if derr := decodeRecordBinaryInto(sc.payload, &sc.res.dict, rec, sc.attrs); derr != nil {
+			sc.res.torn = true
+			return false
+		}
+	} else {
+		*rec = Record{}
+		if err := json.Unmarshal(sc.payload, rec); err != nil {
+			sc.res.torn = true
+			return false
+		}
+	}
+	if rec.Seq <= sc.lastSeq {
+		sc.res.torn = true
+		return false
+	}
+	sc.lastSeq = rec.Seq
+	sc.res.valid += int64(recordHeaderLen) + int64(n)
+	return true
+}
+
+// countWALFrames walks the record framing (headers only — no CRC, no
+// decode) and returns an upper bound on how many records the file
+// holds. Recovery uses it to pre-size the store's maps before a long
+// replay; garbage past a torn tail can only inflate the count, which
+// Reserve tolerates (it is a sizing hint, bounded by file size).
+func countWALFrames(r io.Reader) int {
 	br := bufio.NewReaderSize(r, 1<<16)
-	var res replayResult
-	var lastSeq uint64
+	if head, err := br.Peek(len(walMagic)); err == nil && string(head) == walMagic {
+		br.Discard(len(walMagic))
+	}
+	count := 0
+	var hdr [recordHeaderLen]byte
 	for {
-		var hdr [recordHeaderLen]byte
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
-			res.torn = !errors.Is(err, io.EOF)
-			return res
+			return count
 		}
 		n := binary.LittleEndian.Uint32(hdr[0:4])
-		want := binary.LittleEndian.Uint32(hdr[4:8])
 		if n == 0 || n > maxRecordLen {
-			res.torn = true
-			return res
+			return count
 		}
-		payload := make([]byte, n)
-		if _, err := io.ReadFull(br, payload); err != nil {
-			res.torn = true
-			return res
+		if _, err := br.Discard(int(n)); err != nil {
+			return count
 		}
-		if crc32.ChecksumIEEE(payload) != want {
-			res.torn = true
-			return res
-		}
-		var rec Record
-		if err := json.Unmarshal(payload, &rec); err != nil {
-			res.torn = true
-			return res
-		}
-		if rec.Seq <= lastSeq {
-			res.torn = true
-			return res
-		}
-		lastSeq = rec.Seq
-		res.records = append(res.records, rec)
-		res.valid += int64(recordHeaderLen) + int64(n)
+		count++
 	}
+}
+
+// scanWAL collects the whole valid prefix — the convenience form the
+// tests and ReplayReader use; recovery streams via walScanner instead.
+func scanWAL(r io.Reader) replayResult {
+	sc := newWALScanner(r)
+	var rec Record
+	for sc.next(&rec) {
+		sc.res.records = append(sc.res.records, rec)
+	}
+	return sc.res
 }
 
 // ReplayReader applies every valid record in r with seq > afterSeq to
@@ -447,15 +613,19 @@ func scanWAL(r io.Reader) replayResult {
 // damaged tail was discarded. Exposed for fuzzing and tests; Open wires
 // it into directory recovery.
 func ReplayReader(r io.Reader, st *graph.Store, afterSeq uint64) (applied int, torn bool, err error) {
-	res := scanWAL(r)
-	for _, rec := range res.records {
-		if rec.Seq <= afterSeq {
-			continue
+	sc := newWALScanner(r).reuseAttrs()
+	var rec Record
+	applied, aerr := st.ApplyStream(func() (graph.Mutation, bool) {
+		for sc.next(&rec) {
+			if rec.Seq <= afterSeq {
+				continue
+			}
+			return rec.Mutation(), true
 		}
-		if aerr := st.Apply(rec.Mutation()); aerr != nil {
-			return applied, res.torn, fmt.Errorf("storage: replay seq %d: %w", rec.Seq, aerr)
-		}
-		applied++
+		return graph.Mutation{}, false
+	})
+	if aerr != nil {
+		return applied, sc.res.torn, fmt.Errorf("storage: replay seq %d: %w", rec.Seq, aerr)
 	}
-	return applied, res.torn, nil
+	return applied, sc.res.torn, nil
 }
