@@ -13,9 +13,15 @@ build:
 # allocation-regression guards (zero-alloc CSR incidence iteration,
 # zero-alloc binary WAL append) are gated //go:build !race — the race
 # detector inflates AllocsPerRun — so a plain-build pass runs them.
+# The final pass re-runs the transaction schedule harness (scripted +
+# randomized interleavings against the snapshot-isolation oracle) and
+# the parallel reader stress test under -race with fresh counts, so the
+# MVCC visibility paths get a dedicated concurrency shakedown beyond
+# the cached full-suite run.
 test: vet
 	$(GO) test -race ./...
 	$(GO) test -run 'Allocs' ./internal/graph/ ./internal/storage/
+	$(GO) test -race -count=2 -run 'TestSchedule|TestConcurrentReadersSeeAtomicWrites|TestTx' ./internal/cypher/
 
 vet:
 	$(GO) vet ./...
@@ -23,11 +29,13 @@ vet:
 # bench runs the Cypher engine benchmarks (planned vs legacy, index
 # on/off, variable-length paths, MERGE write path, hash join vs nested
 # loop, bidirectional expand, parallel scans) plus the durability
-# benchmarks (WAL append throughput, cold-start recovery) and records
-# the raw `go test -json` event stream in BENCH_cypher.json so the perf
-# trajectory is diffable across PRs.
+# benchmarks (WAL append throughput, cold-start recovery) and the MVCC
+# contention benchmark (ConcurrentReadersDuringWrites: snapshot reads
+# vs an exclusive global lock), and records the raw `go test -json`
+# event stream in BENCH_cypher.json so the perf trajectory is diffable
+# across PRs.
 bench:
-	$(GO) test -run '^$$' -bench 'Cypher|WAL' -benchmem -benchtime 50x . -json | tee BENCH_cypher.json | \
+	$(GO) test -run '^$$' -bench 'Cypher|WAL|ConcurrentReaders' -benchmem -benchtime 50x . -json | tee BENCH_cypher.json | \
 		grep -o '"Output":"Benchmark[^"]*' | sed 's/"Output":"//; s/\\t/\t/g; s/\\n//' || true
 
 # bench-storage runs the binary-vs-JSON storage codec matrix (WAL
@@ -44,7 +52,9 @@ bench-storage:
 # is SIGKILLed at random moments and recovery must reproduce a prefix
 # fold of its mutation stream byte-for-byte (TestCrashProcessKill),
 # plus the kill-at-every-byte-offset torn-tail property
-# (TestTornTailEveryOffset). -count re-randomizes the kill timing.
+# (TestTornTailEveryOffset). The Tx variants re-run both with a
+# transactional writer: recovery must replay exactly the committed
+# groups and discard dangling ones. -count re-randomizes kill timing.
 crash-test:
 	$(GO) test ./internal/storage -run 'TestCrashProcessKill|TestTornTailEveryOffset' -count=3 -v
 

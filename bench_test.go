@@ -725,3 +725,74 @@ func BenchmarkWALRecovery(b *testing.B) {
 		})
 	}
 }
+
+// --- E17: MVCC snapshot reads vs an exclusive global lock ---
+
+// BenchmarkConcurrentReadersDuringWrites measures reader throughput
+// while a background session commits multi-statement transactions.
+// "exclusive" is the pre-MVCC discipline: a global lock serializes every
+// reader behind the writer (the only way to get consistent reads when a
+// write spans several mutations). "snapshot" is the MVCC engine as
+// shipped: each read pins a consistent snapshot and never blocks, so
+// parallel readers scale while the writer churns.
+func BenchmarkConcurrentReadersDuringWrites(b *testing.B) {
+	build := func() *cypher.Engine {
+		s := graph.New()
+		for i := 0; i < 5000; i++ {
+			id, _ := s.MergeNode("Malware", fmt.Sprintf("malware-%d", i), nil)
+			ip, _ := s.MergeNode("IP", fmt.Sprintf("10.0.%d.%d", i/250, i%250), nil)
+			s.AddEdge(id, "CONNECT", ip, nil)
+		}
+		return cypher.NewEngine(s, cypher.Options{UseIndexes: true, MaxRows: 1000, MaxBytes: 16 << 20})
+	}
+	readQ := `match (m {name: "malware-2500"})-[:CONNECT]->(ip) return ip.name`
+
+	run := func(b *testing.B, exclusive bool) {
+		eng := build()
+		var gate sync.Mutex
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if exclusive {
+					gate.Lock()
+				}
+				if tx, err := eng.Begin(); err == nil {
+					tx.Query(fmt.Sprintf(`merge (n:Churn {name: "c%d"}) set n.val = "%d"`, i%256, i), nil)
+					tx.Query(fmt.Sprintf(`merge (n:Churn {name: "d%d"}) set n.val = "%d"`, i%256, i), nil)
+					tx.Commit()
+				}
+				if exclusive {
+					gate.Unlock()
+				}
+			}
+		}()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if exclusive {
+					gate.Lock()
+				}
+				_, err := eng.Query(readQ, nil)
+				if exclusive {
+					gate.Unlock()
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.StopTimer()
+		close(stop)
+		wg.Wait()
+	}
+	b.Run("exclusive", func(b *testing.B) { run(b, true) })
+	b.Run("snapshot", func(b *testing.B) { run(b, false) })
+}

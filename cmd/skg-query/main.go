@@ -21,6 +21,9 @@
 //	> match (m {name: $ioc})-[:CONNECT*1..3]-(x) return x.name
 //	> optional match (m:Malware)-[:USE]->(t) with m, collect(t.name) as tools return m.name, tools
 //	> explain match (m:Malware)-[*1..2]-(x) return x.name limit 5
+//	> begin
+//	> set m.reviewed = "true" ... (several statements, then) commit
+//	> rollback
 //	> \params
 //	> /wannacry ransomware
 package main
@@ -87,6 +90,7 @@ func main() {
 			gs.Nodes, gs.Edges, *graphPath)
 	}
 	fmt.Println(`skg-query: enter Cypher (reads and writes, e.g. merge (m:Malware {name: $ioc}) set m.triaged = "true"),`)
+	fmt.Println(`  BEGIN / COMMIT / ROLLBACK for multi-statement transactions,`)
 	fmt.Println(`  \set name value / \unset name / \params to manage $parameters,`)
 	fmt.Println(`  explain <query> for plans, /keyword search, or "quit"`)
 
@@ -102,6 +106,7 @@ func main() {
 	})
 	eng := cypher.NewEngine(store, cypher.DefaultOptions())
 	params := map[string]any{}
+	var tx *cypher.Tx // open multi-statement transaction, if any
 
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Print("> ")
@@ -110,6 +115,12 @@ func main() {
 		switch {
 		case line == "":
 		case line == "quit" || line == "exit":
+			// An open transaction must not outlive the shell: roll it
+			// back so the exit checkpoint can take the writer lock.
+			if tx != nil {
+				tx.Rollback()
+				fmt.Println("(open transaction rolled back)")
+			}
 			return
 		case strings.HasPrefix(line, `\`):
 			runMeta(line, params)
@@ -129,7 +140,7 @@ func main() {
 					fmt.Print(plan)
 				}
 			}
-			runQuery(eng, line, params)
+			tx = runStatement(eng, tx, line, params)
 			if db != nil {
 				if err := db.Err(); err != nil {
 					fmt.Printf("WARNING: writes are not durable right now: %v (a checkpoint will re-base once the directory is writable)\n", err)
@@ -138,12 +149,76 @@ func main() {
 		}
 		fmt.Print("> ")
 	}
+	if tx != nil {
+		tx.Rollback()
+	}
+}
+
+// runStatement routes BEGIN/COMMIT/ROLLBACK and runs everything else —
+// inside the open transaction when there is one (reads then see the
+// transaction's snapshot plus its own uncommitted writes), otherwise as
+// an autocommit statement. Returns the still-open transaction, if any.
+func runStatement(eng *cypher.Engine, tx *cypher.Tx, line string, params map[string]any) *cypher.Tx {
+	op, err := cypher.TxOpOf(line)
+	if err != nil {
+		fmt.Println("error:", err)
+		return tx
+	}
+	switch op {
+	case cypher.TxBegin:
+		if tx != nil {
+			fmt.Println("error: a transaction is already open (COMMIT or ROLLBACK first)")
+			return tx
+		}
+		t, err := eng.Begin()
+		if err != nil {
+			fmt.Println("error:", err)
+			return nil
+		}
+		fmt.Println("transaction open: writes are invisible to other clients until COMMIT")
+		return t
+	case cypher.TxCommit:
+		if tx == nil {
+			fmt.Println("error: no open transaction")
+			return nil
+		}
+		if err := tx.Commit(); err != nil {
+			tx.Rollback()
+			fmt.Println("error:", err)
+		} else {
+			fmt.Println("committed")
+		}
+		return nil
+	case cypher.TxRollback:
+		if tx == nil {
+			fmt.Println("error: no open transaction")
+			return nil
+		}
+		if err := tx.Rollback(); err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Println("rolled back")
+		}
+		return nil
+	}
+	if tx != nil {
+		runQuery(tx, line, params)
+		return tx
+	}
+	runQuery(eng, line, params)
+	return nil
+}
+
+// rowQuerier is the streaming surface runQuery needs — satisfied by
+// both the engine (autocommit) and an open transaction.
+type rowQuerier interface {
+	QueryRows(src string, args map[string]any) (*cypher.Rows, error)
 }
 
 // runQuery streams the statement's rows as the executor produces them,
 // so the first match of a long hunt prints immediately.
-func runQuery(eng *cypher.Engine, line string, params map[string]any) {
-	rows, err := eng.QueryRows(line, params)
+func runQuery(q rowQuerier, line string, params map[string]any) {
+	rows, err := q.QueryRows(line, params)
 	if err != nil {
 		fmt.Println("error:", err)
 		return

@@ -8,7 +8,22 @@ type Query struct {
 	// Params lists the $parameter names the statement references (sorted,
 	// deduplicated). Every listed name must be bound at execution time.
 	Params []string
+	// TxOp marks a transaction-control statement (BEGIN / COMMIT /
+	// ROLLBACK, each with an optional TRANSACTION keyword). Such a
+	// statement has no parts; it is routed by a transaction session
+	// (Engine.Begin / the HTTP tx token), never planned or executed.
+	TxOp TxOp
 }
+
+// TxOp classifies a transaction-control statement.
+type TxOp int
+
+const (
+	TxNone     TxOp = iota // a regular query
+	TxBegin                // BEGIN [TRANSACTION]
+	TxCommit               // COMMIT [TRANSACTION]
+	TxRollback             // ROLLBACK [TRANSACTION]
+)
 
 // QueryPart is one pipeline segment: its reading clauses (MATCH /
 // OPTIONAL MATCH), then its writing clauses (CREATE / MERGE, SET,

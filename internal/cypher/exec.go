@@ -55,15 +55,39 @@ func DefaultOptions() Options {
 // Engine executes parsed queries against a graph store. Engines are
 // cheap: the compiled-plan cache lives on the store (cache.go), so every
 // engine over one store shares it.
+//
+// Every statement executes against a consistent view of the store
+// (tx.go): reads pin an MVCC snapshot for the cursor's lifetime, writes
+// run inside an implicit store transaction committed when the cursor
+// closes (rolled back wholesale on any error — statements are atomic).
+// Engine.Begin opens an explicit multi-statement transaction.
 type Engine struct {
 	store *graph.Store
+	// view is the read surface every match stage and expression reads
+	// through: the bare store on an unscoped engine, a pinned Snap (read
+	// statements) or graph.Tx (write statements, explicit transactions)
+	// on the per-scope engine copies beginScope makes.
+	view graph.View
+	// w is the write surface (tx.go): the bare store on an unscoped
+	// engine, the scope's graph.Tx inside a write scope. Its Latest*
+	// reads see the writer's own uncommitted state — the write path must
+	// act on latest state, not the pinned snapshot (a MERGE must augment
+	// the node as it now is).
+	w     graphWriter
 	opts  Options
 	cache *planCache
+	// pinned marks an engine scoped to an explicit transaction
+	// (Engine.Begin): beginScope passes statements through to the
+	// transaction's view instead of opening per-statement scopes.
+	pinned bool
+	// failTx, set on explicit-transaction engines, aborts the owning
+	// transaction: a failed statement rolls the whole transaction back.
+	failTx func(error)
 }
 
 // NewEngine builds an engine over the store.
 func NewEngine(s *graph.Store, opts Options) *Engine {
-	return &Engine{store: s, opts: opts, cache: cacheFor(s)}
+	return &Engine{store: s, view: s, w: s, opts: opts, cache: cacheFor(s)}
 }
 
 // scanWorkers resolves the partition count a parallel scan may use.
@@ -150,6 +174,9 @@ func (e *Engine) Query(src string, args map[string]any) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		if q.TxOp != TxNone {
+			return nil, errTxControl
+		}
 		if q.Explain {
 			// EXPLAIN never executes, so it needs no bindings.
 			return e.runPlanned(q, params{})
@@ -190,6 +217,9 @@ func (e *Engine) QueryRows(src string, args map[string]any) (*Rows, error) {
 	q, err := Parse(src)
 	if err != nil {
 		return nil, err
+	}
+	if q.TxOp != TxNone {
+		return nil, errTxControl
 	}
 	pl, err := e.planQuery(q)
 	if err != nil {
@@ -238,6 +268,9 @@ func (b binding) clone() binding {
 // streaming plan. Queries with $parameters need bindings — use
 // Query/QueryRows/Prepare instead.
 func (e *Engine) RunQuery(q *Query) (*Result, error) {
+	if q.TxOp != TxNone {
+		return nil, errTxControl
+	}
 	if len(q.Parts) == 0 {
 		return nil, fmt.Errorf("cypher: empty query")
 	}
@@ -267,12 +300,29 @@ func (e *Engine) RunQuery(q *Query) (*Result, error) {
 // differential baseline the property tests and benchmarks compare the
 // streaming executor against.
 func (e *Engine) runLegacy(q *Query, ps params) (*Result, error) {
+	if q.HasWrites() && e.opts.ReadOnly {
+		return nil, errReadOnly
+	}
+	ex, finish, err := e.beginScope(q.HasWrites())
+	if err != nil {
+		return nil, err
+	}
+	res, err := ex.runLegacyScoped(q, ps)
+	// finish commits (or, on error, rolls back) the statement's implicit
+	// transaction / releases its snapshot; a commit failure loses the
+	// result — the mutations did not land.
+	if err := finish(err); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runLegacyScoped is runLegacy's body, running on the per-statement
+// scoped engine.
+func (e *Engine) runLegacyScoped(q *Query, ps params) (*Result, error) {
 	bud := newBudget(e.opts.MaxBytes)
 	var stats *WriteStats
 	if q.HasWrites() {
-		if e.opts.ReadOnly {
-			return nil, errReadOnly
-		}
 		stats = &WriteStats{}
 	}
 	bindings := []binding{{}}
@@ -592,7 +642,7 @@ func (e *Engine) matchEdge(p Pattern, i int, from *graph.Node, b binding,
 		dirs = append(dirs, graph.Out, graph.In)
 	}
 	for _, d := range dirs {
-		for _, ed := range e.store.Edges(from.ID, d) {
+		for _, ed := range e.view.Edges(from.ID, d) {
 			if ep.Type != "" && ed.Type != ep.Type {
 				continue
 			}
@@ -600,7 +650,7 @@ func (e *Engine) matchEdge(p Pattern, i int, from *graph.Node, b binding,
 			if d == graph.In {
 				otherID = ed.From
 			}
-			other := e.store.Node(otherID)
+			other := e.view.Node(otherID)
 			if other == nil {
 				continue
 			}
@@ -652,7 +702,7 @@ func (e *Engine) matchVarEdge(p Pattern, i int, from *graph.Node, b binding,
 	hints map[string]map[string]hintVal, ps params, emit func(binding) bool) bool {
 	np := p.Nodes[i+1]
 	for _, id := range e.bfsTargets(from.ID, p.Edges[i], false) {
-		other := e.store.Node(id)
+		other := e.view.Node(id)
 		if other == nil || !nodeMatches(np, other, ps) {
 			continue
 		}
@@ -695,7 +745,7 @@ func (e *Engine) bfsTargets(start graph.NodeID, ep EdgePattern, reverse bool) []
 	for depth := 1; len(frontier) > 0 && (ep.MaxHops < 0 || depth <= ep.MaxHops); depth++ {
 		var next []graph.NodeID
 		for _, id := range frontier {
-			inc = e.store.IncidentEdges(inc[:0], id, dir, ep.Type)
+			inc = e.view.IncidentEdges(inc[:0], id, dir, ep.Type)
 			for _, he := range inc {
 				if visited[he.Other] {
 					continue
@@ -742,18 +792,18 @@ func (e *Engine) candidates(np NodePattern, hints map[string]map[string]hintVal,
 	if e.opts.UseIndexes {
 		switch {
 		case hasName && np.Label != "":
-			if n := e.store.FindNode(np.Label, name); n != nil {
+			if n := e.view.FindNode(np.Label, name); n != nil {
 				return []*graph.Node{n}
 			}
 			return nil
 		case hasName:
-			return e.store.NodesByName(name)
+			return e.view.NodesByName(name)
 		case np.Label != "":
-			return e.store.NodesByType(np.Label)
+			return e.view.NodesByType(np.Label)
 		}
 	}
 	var out []*graph.Node
-	e.store.ForEachNode(func(n *graph.Node) bool {
+	e.view.ForEachNode(func(n *graph.Node) bool {
 		out = append(out, n)
 		return true
 	})

@@ -119,6 +119,20 @@ var seedQueries = []string{
 	`create (a:A {name:"a"})-[:T*1..2]->(b:B {name:"b"})`,
 	`match (a)-[r:uses {w: "1"}]->(b) return a`,
 	`detach delete n`,
+	// Transaction control: standalone statements routed by sessions, plus
+	// malformed mixes that must fail in the parser, never the executor.
+	`begin`,
+	`BEGIN`,
+	`begin transaction`,
+	`commit`,
+	`COMMIT TRANSACTION`,
+	`rollback`,
+	`rollback transaction`,
+	`  begin  `,
+	`begin match (n) return n`,
+	`commit (n)`,
+	`explain begin`,
+	`beginner`,
 	// Historic parse-error corpus (must keep failing cleanly).
 	``,
 	`return 1`,
@@ -213,6 +227,23 @@ func FuzzEngineQuery(f *testing.F) {
 		q, err := Parse(src)
 		if err != nil {
 			return // parser rejected it; FuzzParse covers the no-panic side
+		}
+		if q.TxOp != TxNone {
+			// Transaction control parses but must be rejected by the plain
+			// entry points and handled (or cleanly refused) by a session.
+			eng := NewEngine(fuzzStore(), Options{UseIndexes: true, MaxRows: 50, MaxBytes: 1 << 20})
+			if _, err := eng.Query(src, fuzzArgs); err == nil {
+				t.Fatalf("tx control %q executed through plain Query", src)
+			}
+			tx, err := eng.Begin()
+			if err != nil {
+				t.Fatalf("Begin: %v", err)
+			}
+			tx.Query(src, fuzzArgs) // COMMIT/ROLLBACK finish it; nested BEGIN errors
+			if !tx.Done() {
+				tx.Rollback()
+			}
+			return
 		}
 		writes := q.HasWrites()
 		for _, legacy := range []bool{false, true} {

@@ -141,9 +141,9 @@ type scanIter struct {
 	// holds, so budget behavior matches the sequential scan exactly.
 	// Only used when the planner marked the stage Parallel (root of the
 	// pipeline, large scan).
-	par     []graph.NodeID
-	usePar  bool
-	parErr  error
+	par    []graph.NodeID
+	usePar bool
+	parErr error
 }
 
 // runParallelScan partitions the ID list across workers, each applying
@@ -163,7 +163,7 @@ func (s *scanIter) runParallelScan(ids []graph.NodeID) ([]graph.NodeID, error) {
 		b := binding{}
 		var out []graph.NodeID
 		for _, id := range part {
-			n := ec.e.store.Node(id)
+			n := ec.e.view.Node(id)
 			if n == nil || !nodeMatches(s.st.Node, n, ec.ps) {
 				continue
 			}
@@ -215,7 +215,7 @@ func (s *scanIter) runParallelScan(ids []graph.NodeID) ([]graph.NodeID, error) {
 }
 
 func (s *scanIter) fetchIDs() []graph.NodeID {
-	st := s.ec.e.store
+	st := s.ec.e.view
 	// Parameter-valued seeks resolve their key at execution time; the
 	// access path itself was chosen at plan time and is shared by every
 	// binding. A non-string value can never equal a node name or
@@ -305,7 +305,7 @@ func (s *scanIter) next() (bool, error) {
 			// Pattern and filters were already applied by the workers;
 			// emission re-fetches by ID like the sequential path.
 			for s.i < len(s.par) {
-				n := ec.e.store.Node(s.par[s.i])
+				n := ec.e.view.Node(s.par[s.i])
 				s.i++
 				if n == nil {
 					continue
@@ -328,7 +328,7 @@ func (s *scanIter) next() (bool, error) {
 				if s.i >= len(s.ids) {
 					break
 				}
-				n = ec.e.store.Node(s.ids[s.i])
+				n = ec.e.view.Node(s.ids[s.i])
 				s.i++
 				if n == nil {
 					continue
@@ -446,7 +446,7 @@ func (x *expandIter) next() (bool, error) {
 			if !ok || v.Kind != KindNode {
 				continue // non-node binding (e.g. optional null): no expansion
 			}
-			x.inc = ec.e.store.IncidentEdges(x.inc[:0], v.Node.ID,
+			x.inc = ec.e.view.IncidentEdges(x.inc[:0], v.Node.ID,
 				expandDir(st.Edge.Dir, st.Reverse), st.Edge.Type)
 			x.ei = 0
 			x.synth = strings.HasPrefix(st.Edge.Var, "$")
@@ -456,7 +456,7 @@ func (x *expandIter) next() (bool, error) {
 		for x.ei < len(x.inc) {
 			he := x.inc[x.ei]
 			x.ei++
-			other := ec.e.store.Node(he.Other)
+			other := ec.e.view.Node(he.Other)
 			if other == nil {
 				continue
 			}
@@ -465,7 +465,7 @@ func (x *expandIter) next() (bool, error) {
 					if prev.Kind != KindEdge || prev.Edge.ID != he.ID {
 						continue
 					}
-				} else if ed := ec.e.store.Edge(he.ID); ed != nil {
+				} else if ed := ec.e.view.Edge(he.ID); ed != nil {
 					ec.b[st.Edge.Var] = EdgeValue(ed)
 					x.setEdge = true
 				} else {
@@ -538,7 +538,7 @@ func (x *varExpandIter) next() (bool, error) {
 			x.set = false
 		}
 		for x.ti < len(x.targets) {
-			n := ec.e.store.Node(x.targets[x.ti])
+			n := ec.e.view.Node(x.targets[x.ti])
 			x.ti++
 			if n == nil || !nodeMatches(st.To, n, ec.ps) {
 				continue
@@ -812,11 +812,11 @@ func (x *biExpandIter) stepCounts(cur map[graph.NodeID]int, edge EdgePattern, to
 	next := map[graph.NodeID]int{}
 	dir := expandDir(edge.Dir, reverse)
 	for id, c := range cur {
-		x.inc = ec.e.store.IncidentEdges(x.inc[:0], id, dir, edge.Type)
+		x.inc = ec.e.view.IncidentEdges(x.inc[:0], id, dir, edge.Type)
 		for _, he := range x.inc {
 			otherID := he.Other
 			if _, seen := next[otherID]; !seen {
-				n := ec.e.store.Node(otherID)
+				n := ec.e.view.Node(otherID)
 				if n == nil || !nodeMatches(to, n, ec.ps) {
 					next[otherID] = -1 // rejected: cached so we match each node once
 					continue
@@ -932,7 +932,7 @@ func (x *biExpandIter) next() (bool, error) {
 		for x.i < len(x.ids) {
 			id := x.ids[x.i]
 			x.i++
-			n := ec.e.store.Node(id)
+			n := ec.e.view.Node(id)
 			if n == nil {
 				continue
 			}

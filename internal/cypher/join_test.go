@@ -413,9 +413,9 @@ func TestHashJoinBuildVarsExcludeSynthetic(t *testing.T) {
 
 func TestChooseJoinDecision(t *testing.T) {
 	cases := []struct {
-		name                                              string
+		name                                                 string
 		inputRows, chainRows, chainWork, nestedWork, outRows float64
-		want                                              joinMode
+		want                                                 joinMode
 	}{
 		// 300×300 cartesian with an equality key: classic hash-join win.
 		{"cartesian-win", 300, 300, 300, 90000, 300, joinHashChain},

@@ -67,6 +67,13 @@ func (p *parser) parseQuery() (*Query, error) {
 	if p.keyword("explain") {
 		q.Explain = true
 	}
+	if op, ok := p.parseTxControl(); ok {
+		if q.Explain {
+			return nil, fmt.Errorf("cypher: cannot EXPLAIN a transaction-control statement")
+		}
+		q.TxOp = op
+		return q, nil
+	}
 	for {
 		part, final, err := p.parsePart(len(q.Parts) == 0)
 		if err != nil {
@@ -80,6 +87,25 @@ func (p *parser) parseQuery() (*Query, error) {
 			return nil, fmt.Errorf("cypher: too many WITH segments")
 		}
 	}
+}
+
+// parseTxControl consumes a BEGIN / COMMIT / ROLLBACK statement head,
+// each with an optional TRANSACTION keyword. The caller's trailing-EOF
+// check rejects anything after it ("BEGIN MATCH ..." is an error, not a
+// transaction plus a query).
+func (p *parser) parseTxControl() (TxOp, bool) {
+	switch {
+	case p.keyword("begin"):
+		p.keyword("transaction")
+		return TxBegin, true
+	case p.keyword("commit"):
+		p.keyword("transaction")
+		return TxCommit, true
+	case p.keyword("rollback"):
+		p.keyword("transaction")
+		return TxRollback, true
+	}
+	return TxNone, false
 }
 
 // parsePart parses one pipeline segment: MATCH/OPTIONAL MATCH reading

@@ -29,6 +29,12 @@ type Rows struct {
 	done    bool
 	started bool // Next was called at least once
 	writes  *WriteStats
+	// finish ends the cursor's execution scope (tx.go) exactly once, at
+	// close: commit the statement's implicit transaction (nil error) or
+	// roll it back (non-nil), or release the pinned read snapshot. The
+	// whole statement is atomic — a write statement's mutations become
+	// visible to other sessions only when its cursor closes cleanly.
+	finish func(error) error
 }
 
 // Writes returns the statement's write counters (nil for read-only
@@ -146,6 +152,13 @@ func (r *Rows) close() {
 	r.done = true
 	r.cur = nil
 	r.src = nil
+	if r.finish != nil {
+		fin := r.finish
+		r.finish = nil
+		if err := fin(r.err); err != nil && r.err == nil {
+			r.err = err // commit failure: the statement did not land
+		}
+	}
 }
 
 // sliceSource streams an already-materialized row set (legacy engine,
@@ -177,7 +190,6 @@ func rowsFromResult(res *Result) *Rows {
 // Result.Truncated is set (a probe distinguishes an exactly-cap stream
 // from a truncated one).
 func materialize(rows *Rows, maxRows int) (*Result, error) {
-	defer rows.Close()
 	res := &Result{Columns: rows.Columns()}
 	for rows.Next() {
 		res.Rows = append(res.Rows, rows.Row())
@@ -188,7 +200,9 @@ func materialize(rows *Rows, maxRows int) (*Result, error) {
 			break
 		}
 	}
-	if err := rows.Err(); err != nil {
+	// Close before checking Err: closing ends the statement's execution
+	// scope, and a commit failure surfaces there.
+	if err := rows.Close(); err != nil {
 		return nil, err
 	}
 	res.Writes = rows.Writes()
@@ -260,13 +274,31 @@ func bindingBytes(b binding) int {
 // DISTINCT included, so the charge bounds enumeration, not just
 // retained memory.
 func (e *Engine) rowsForPlan(pl *Plan, ps params) (*Rows, error) {
+	if pl.HasWrites && e.opts.ReadOnly {
+		return nil, errReadOnly
+	}
+	// Scope the statement (tx.go): reads pin a snapshot, writes open an
+	// implicit store transaction. The returned cursor carries the scope's
+	// finish hook; errors before the cursor exists end the scope here.
+	ex, finish, err := e.beginScope(pl.HasWrites)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := ex.rowsForPlanScoped(pl, ps)
+	if err != nil {
+		return nil, finish(err)
+	}
+	rows.finish = finish
+	return rows, nil
+}
+
+// rowsForPlanScoped is rowsForPlan's body, running on the per-statement
+// scoped engine.
+func (e *Engine) rowsForPlanScoped(pl *Plan, ps params) (*Rows, error) {
 	fin := pl.final()
 	bud := newBudget(e.opts.MaxBytes)
 	var writes *WriteStats
 	if pl.HasWrites {
-		if e.opts.ReadOnly {
-			return nil, errReadOnly
-		}
 		writes = &WriteStats{}
 	}
 	ec := &execCtx{e: e, b: binding{}, ps: ps, bud: bud, writes: writes}

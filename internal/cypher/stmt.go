@@ -29,6 +29,9 @@ func (e *Engine) Prepare(src string) (*Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
+	if q.TxOp != TxNone {
+		return nil, errTxControl
+	}
 	if len(q.Parts) == 0 {
 		return nil, fmt.Errorf("cypher: empty query")
 	}

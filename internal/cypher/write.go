@@ -14,13 +14,17 @@ import (
 // run, which is what keeps a CREATE from feeding its own MATCH
 // (the Halloween problem) and keeps both engines row-for-row identical.
 //
-// Statements are NOT atomic: writes apply row by row, and a statement
-// that errors mid-way (a connected node hit by plain DELETE, a type
-// error in a SET expression) leaves the earlier rows' mutations
-// applied — and, on a durable store, WAL-logged. The error reports the
-// first failure; there is no rollback. A transaction layer is future
-// work (see ROADMAP); until then, validate-before-write or DETACH
-// DELETE defensively.
+// Statements are atomic: every write statement runs inside a store
+// transaction (tx.go) — an implicit one committed when its cursor
+// closes, or the enclosing explicit BEGIN transaction. A statement that
+// errors mid-way (a connected node hit by plain DELETE on row 3, a type
+// error in a SET expression) rolls back wholesale: the earlier rows'
+// mutations are undone and nothing reaches the WAL.
+//
+// Mutations go through e.w, whose Latest* reads see the transaction's
+// own uncommitted writes (the write path must act on latest state — a
+// MERGE must augment the node as it now is, not as the statement's
+// pinned snapshot saw it).
 
 // WriteStats counts what a write query changed. Merged-but-not-created
 // entities (the store's exact-(type, name) merge rule firing) do not
@@ -112,7 +116,7 @@ func (e *Engine) createPattern(p *Pattern, b binding, ps params, stats *WriteSta
 		// is a real (WAL-logged) mutation, counted as props set.
 		augmented := 0
 		if len(attrs) > 0 {
-			for _, ed := range e.store.Edges(from, graph.Out) {
+			for _, ed := range e.w.LatestEdges(from, graph.Out) {
 				if ed.Type != ep.Type || ed.To != to {
 					continue
 				}
@@ -124,7 +128,7 @@ func (e *Engine) createPattern(p *Pattern, b binding, ps params, stats *WriteSta
 				break
 			}
 		}
-		id, created, err := e.store.AddEdge(from, ep.Type, to, attrs)
+		id, created, err := e.w.AddEdge(from, ep.Type, to, attrs)
 		if err != nil {
 			return err
 		}
@@ -137,7 +141,7 @@ func (e *Engine) createPattern(p *Pattern, b binding, ps params, stats *WriteSta
 			if _, bound := b[ep.Var]; bound {
 				return fmt.Errorf("cypher: relationship variable %q already bound in CREATE", ep.Var)
 			}
-			b[ep.Var] = EdgeValue(e.store.Edge(id))
+			b[ep.Var] = EdgeValue(e.w.LatestEdge(id))
 		}
 	}
 	return nil
@@ -155,7 +159,7 @@ func (e *Engine) createNode(np *NodePattern, b binding, ps params, stats *WriteS
 			if np.Label != "" || len(np.Props) > 0 || len(np.ParamProps) > 0 {
 				return 0, fmt.Errorf("cypher: variable %q is already bound; a CREATE/MERGE reuse cannot restate a label or properties", np.Var)
 			}
-			if e.store.Node(v.Node.ID) == nil {
+			if e.w.LatestNode(v.Node.ID) == nil {
 				return 0, fmt.Errorf("cypher: CREATE endpoint %q refers to a deleted node", np.Var)
 			}
 			return v.Node.ID, nil
@@ -182,21 +186,21 @@ func (e *Engine) createNode(np *NodePattern, b binding, ps params, stats *WriteS
 	// something. Diffed before the merge because MergeNode only reports
 	// whether the node itself was created.
 	augmented := 0
-	if existing := e.store.FindNode(np.Label, name); existing != nil {
+	if existing := e.w.LatestFindNode(np.Label, name); existing != nil {
 		for k := range attrs {
 			if _, has := existing.Attrs[k]; !has {
 				augmented++
 			}
 		}
 	}
-	id, created := e.store.MergeNode(np.Label, name, attrs)
+	id, created := e.w.MergeNode(np.Label, name, attrs)
 	if created {
 		stats.NodesCreated++
 	} else {
 		stats.PropsSet += augmented
 	}
 	if np.Var != "" {
-		b[np.Var] = NodeValue(e.store.Node(id))
+		b[np.Var] = NodeValue(e.w.LatestNode(id))
 	}
 	return id, nil
 }
@@ -270,7 +274,7 @@ func (e *Engine) applySet(it *SetItem, b binding, ps params, stats *WriteStats) 
 	// Writing the value already present is a no-op everywhere (the store
 	// neither logs nor bumps its epoch), so the counter agrees with the
 	// WAL: PropsSet counts what actually changed.
-	cur := e.store.Node(v.Node.ID)
+	cur := e.w.LatestNode(v.Node.ID)
 	if cur == nil {
 		return fmt.Errorf("cypher: SET %s.%s: node was deleted", it.Var, it.Prop)
 	}
@@ -278,12 +282,12 @@ func (e *Engine) applySet(it *SetItem, b binding, ps params, stats *WriteStats) 
 		b[it.Var] = NodeValue(cur)
 		return nil
 	}
-	if err := e.store.SetAttr(v.Node.ID, it.Prop, s); err != nil {
+	if err := e.w.SetAttr(v.Node.ID, it.Prop, s); err != nil {
 		return err
 	}
 	stats.PropsSet++
 	// Refresh the binding so downstream projections see the new value.
-	b[it.Var] = NodeValue(e.store.Node(v.Node.ID))
+	b[it.Var] = NodeValue(e.w.LatestNode(v.Node.ID))
 	return nil
 }
 
@@ -300,28 +304,28 @@ func (e *Engine) applyDelete(dc *DeleteClause, b binding, stats *WriteStats) err
 		case KindNull:
 			continue
 		case KindEdge:
-			if e.store.Edge(v.Edge.ID) == nil {
+			if e.w.LatestEdge(v.Edge.ID) == nil {
 				continue
 			}
-			if err := e.store.DeleteEdge(v.Edge.ID); err != nil {
+			if err := e.w.DeleteEdge(v.Edge.ID); err != nil {
 				return err
 			}
 			stats.EdgesDeleted++
 		case KindNode:
-			if e.store.Node(v.Node.ID) == nil {
+			if e.w.LatestNode(v.Node.ID) == nil {
 				continue
 			}
 			// Count distinct incident edges: a self-loop appears in both
 			// the out and in incidence lists but is one edge.
 			seen := map[graph.EdgeID]struct{}{}
-			for _, ed := range e.store.Edges(v.Node.ID, graph.Both) {
+			for _, ed := range e.w.LatestEdges(v.Node.ID, graph.Both) {
 				seen[ed.ID] = struct{}{}
 			}
 			incident := len(seen)
 			if incident > 0 && !dc.Detach {
 				return fmt.Errorf("cypher: cannot DELETE %q: node still has %d relationship(s) — use DETACH DELETE", name, incident)
 			}
-			if err := e.store.DeleteNode(v.Node.ID); err != nil {
+			if err := e.w.DeleteNode(v.Node.ID); err != nil {
 				return err
 			}
 			stats.NodesDeleted++

@@ -104,13 +104,44 @@ type typeAttrKeyT struct {
 }
 
 // Store is an in-memory property graph safe for concurrent use.
+//
+// Reads through the plain accessors observe the latest state, including
+// the uncommitted writes of an open transaction (the single writer).
+// Readers that need isolation take a Snapshot (or run inside a Tx) and
+// read through the View interface: versioned visibility (mvcc.go) gives
+// every snapshot the exact committed state as of its creation, without
+// blocking — or being blocked by — the writer.
 type Store struct {
 	mu sync.RWMutex
+
+	// writerMu serializes mutators: bare mutations act as single-op
+	// transactions and hold it for one call; a Tx acquires it at its
+	// first write and holds it until Commit/Rollback. Lock order is
+	// always writerMu before mu.
+	writerMu sync.Mutex
 
 	syms  *symtab
 	nodes map[NodeID]nodeRec
 	edges map[EdgeID]edgeRec
 	adj   *adjacency
+
+	// MVCC side state (mvcc.go). commitTS is the timestamp of the last
+	// committed write; curProv is the in-flight (provisional) timestamp a
+	// mutator stamps its versions with; curTx is the open transaction, if
+	// any. nodeBegin/edgeBegin record when the *current* record of an
+	// entity became visible (absent = since forever); nodeOld/edgeOld
+	// hold superseded versions with their [begin, end) validity. All five
+	// maps stay empty — and every read stays on the fast path — unless a
+	// snapshot or transaction is active while writes happen; they are
+	// purged as soon as the last snapshot closes.
+	commitTS  uint64
+	curProv   uint64
+	curTx     *Tx
+	nodeBegin map[NodeID]uint64
+	edgeBegin map[EdgeID]uint64
+	nodeOld   map[NodeID][]nodeVer
+	edgeOld   map[EdgeID][]edgeVer
+	snaps     map[uint64]int // active snapshot count per asOf timestamp
 
 	byKey  map[nodeKeyT]NodeID            // exact (type, name) merge index
 	byType map[Sym]map[NodeID]struct{}    // label index; empty sets are pruned
@@ -178,6 +209,11 @@ func New() *Store {
 		edgeKey:       make(map[edgeKeyT]EdgeID),
 		edgeTypeCount: make(map[Sym]int),
 		statsVersion:  1,
+		nodeBegin:     make(map[NodeID]uint64),
+		edgeBegin:     make(map[EdgeID]uint64),
+		nodeOld:       make(map[NodeID][]nodeVer),
+		edgeOld:       make(map[EdgeID][]edgeVer),
+		snaps:         make(map[uint64]int),
 	}
 	s.adj.all = []EdgeID{}
 	s.rebaseStatsLocked()
@@ -214,8 +250,12 @@ func (s *Store) QueryCache(init func() any) any {
 }
 
 // IndexAttr enables an index on the given attribute key. Existing nodes
-// are back-filled.
+// are back-filled. Index creation is not versioned: snapshots taken
+// before the index see it too, which only widens their access paths —
+// visibility filtering still applies per node.
 func (s *Store) IndexAttr(key string) {
+	s.writerMu.Lock()
+	defer s.writerMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ks := s.syms.intern(key)
@@ -285,8 +325,16 @@ func (s *Store) propIdxDel(key Sym, val string, id NodeID) {
 // of an existing node are augmented (new keys added, existing keys kept —
 // first writer wins, preventing early deletion of information).
 func (s *Store) MergeNode(typ, name string, attrs map[string]string) (NodeID, bool) {
+	s.writerMu.Lock()
+	defer s.writerMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.beginBareLocked()
+	defer s.endBareLocked()
+	return s.mergeNodeLocked(typ, name, attrs)
+}
+
+func (s *Store) mergeNodeLocked(typ, name string, attrs map[string]string) (NodeID, bool) {
 	tsym := s.syms.intern(typ)
 	key := nodeKeyT{typ: tsym, name: name}
 	if id, ok := s.byKey[key]; ok {
@@ -313,9 +361,11 @@ func (s *Store) MergeNode(typ, name string, attrs map[string]string) (NodeID, bo
 			}
 		}
 		if merged != nil {
+			s.retireNodeLocked(id, rec, true)
 			nn := *n
 			nn.Attrs = merged
 			s.nodes[id] = nodeRec{typ: rec.typ, n: &nn}
+			s.stampNodeLocked(id)
 			s.noteMutation(Mutation{Op: OpMergeNode, Type: typ, Name: name, Attrs: attrs})
 		}
 		return id, false
@@ -334,7 +384,9 @@ func (s *Store) MergeNode(typ, name string, attrs map[string]string) (NodeID, bo
 			}
 		}
 	}
+	s.retireNodeLocked(id, nodeRec{}, false)
 	s.nodes[id] = nodeRec{typ: tsym, n: n}
+	s.stampNodeLocked(id)
 	s.byKey[key] = id
 	if s.byType[tsym] == nil {
 		s.byType[tsym] = make(map[NodeID]struct{})
@@ -352,8 +404,16 @@ func (s *Store) MergeNode(typ, name string, attrs map[string]string) (NodeID, bo
 // triples: re-adding merges attributes like MergeNode. Returns the edge ID
 // and whether a new edge was created.
 func (s *Store) AddEdge(from NodeID, typ string, to NodeID, attrs map[string]string) (EdgeID, bool, error) {
+	s.writerMu.Lock()
+	defer s.writerMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.beginBareLocked()
+	defer s.endBareLocked()
+	return s.addEdgePublicLocked(from, typ, to, attrs)
+}
+
+func (s *Store) addEdgePublicLocked(from NodeID, typ string, to NodeID, attrs map[string]string) (EdgeID, bool, error) {
 	if _, ok := s.nodes[from]; !ok {
 		return 0, false, fmt.Errorf("graph: AddEdge: unknown source node %d", from)
 	}
@@ -378,9 +438,11 @@ func (s *Store) AddEdge(from NodeID, typ string, to NodeID, attrs map[string]str
 			}
 		}
 		if merged != nil {
+			s.retireEdgeLocked(id, rec, true)
 			ne := *e
 			ne.Attrs = merged
 			s.edges[id] = edgeRec{from: rec.from, to: rec.to, typ: rec.typ, e: &ne}
+			s.stampEdgeLocked(id)
 			s.noteMutation(Mutation{Op: OpAddEdge, From: from, Type: typ, To: to, Attrs: attrs})
 		}
 		return id, false, nil
@@ -394,7 +456,9 @@ func (s *Store) AddEdge(from NodeID, typ string, to NodeID, attrs map[string]str
 			e.Attrs[s.syms.canon(k)] = v
 		}
 	}
+	s.retireEdgeLocked(id, edgeRec{}, false)
 	s.edges[id] = edgeRec{from: from, to: to, typ: tsym, e: e}
+	s.stampEdgeLocked(id)
 	s.edgeKey[ek] = id
 	s.adj.addEdge(id, from, to, tsym)
 	s.edgeTypeCount[tsym]++
@@ -519,8 +583,16 @@ func (s *Store) Neighbors(id NodeID, dir Direction) []*Node {
 
 // SetAttr sets one attribute on a node, updating indexes.
 func (s *Store) SetAttr(id NodeID, key, val string) error {
+	s.writerMu.Lock()
+	defer s.writerMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.beginBareLocked()
+	defer s.endBareLocked()
+	return s.setAttrLocked(id, key, val)
+}
+
+func (s *Store) setAttrLocked(id NodeID, key, val string) error {
 	rec, ok := s.nodes[id]
 	if !ok {
 		return fmt.Errorf("graph: SetAttr: unknown node %d", id)
@@ -540,9 +612,11 @@ func (s *Store) SetAttr(id NodeID, key, val string) error {
 		merged[k] = v
 	}
 	merged[s.syms.str(ks)] = val
+	s.retireNodeLocked(id, rec, true)
 	nn := *n
 	nn.Attrs = merged
 	s.nodes[id] = nodeRec{typ: rec.typ, n: &nn}
+	s.stampNodeLocked(id)
 	if s.indexed[ks] {
 		s.propIdxAdd(ks, val, id)
 		s.typeAttrAdd(rec.typ, ks, val, id)
@@ -553,13 +627,20 @@ func (s *Store) SetAttr(id NodeID, key, val string) error {
 
 // DeleteNode removes a node and all incident edges.
 func (s *Store) DeleteNode(id NodeID) error {
+	s.writerMu.Lock()
+	defer s.writerMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.beginBareLocked()
+	defer s.endBareLocked()
+	return s.deleteNodeLocked(id)
+}
+
+func (s *Store) deleteNodeLocked(id NodeID) error {
 	rec, ok := s.nodes[id]
 	if !ok {
 		return fmt.Errorf("graph: DeleteNode: unknown node %d", id)
 	}
-	n := rec.n
 	var eids []EdgeID
 	s.adj.forEach(id, Both, func(he halfEdge) bool {
 		eids = append(eids, he.id)
@@ -568,7 +649,24 @@ func (s *Store) DeleteNode(id NodeID) error {
 	for _, eid := range eids {
 		s.deleteEdgeLocked(eid) // idempotent: self-loops appear twice
 	}
-	delete(s.byKey, nodeKeyT{typ: rec.typ, name: n.Name})
+	s.retireNodeLocked(id, rec, true)
+	s.uninstallNodeLocked(id, rec)
+	delete(s.nodeBegin, id)
+	s.adj.removeNode(id)
+	s.noteMutation(Mutation{Op: OpDeleteNode, Node: id})
+	s.maybeRebuildAdjLocked()
+	return nil
+}
+
+// uninstallNodeLocked removes node id's current record and every index
+// entry derived from it. Shared by DeleteNode and transaction rollback
+// (which strips the tx's version before reinstalling the pre-image).
+func (s *Store) uninstallNodeLocked(id NodeID, rec nodeRec) {
+	n := rec.n
+	key := nodeKeyT{typ: rec.typ, name: n.Name}
+	if cur, ok := s.byKey[key]; ok && cur == id {
+		delete(s.byKey, key)
+	}
 	if set := s.byType[rec.typ]; set != nil {
 		delete(set, id)
 		if len(set) == 0 {
@@ -588,16 +686,42 @@ func (s *Store) DeleteNode(id NodeID) error {
 		}
 	}
 	delete(s.nodes, id)
-	s.adj.removeNode(id)
-	s.noteMutation(Mutation{Op: OpDeleteNode, Node: id})
-	s.maybeRebuildAdjLocked()
-	return nil
+}
+
+// installNodeLocked is uninstallNodeLocked's inverse: it republishes a
+// node record and rebuilds its index entries. Only rollback uses it.
+func (s *Store) installNodeLocked(id NodeID, rec nodeRec) {
+	n := rec.n
+	s.nodes[id] = rec
+	s.byKey[nodeKeyT{typ: rec.typ, name: n.Name}] = id
+	if s.byType[rec.typ] == nil {
+		s.byType[rec.typ] = make(map[NodeID]struct{})
+	}
+	s.byType[rec.typ][id] = struct{}{}
+	if s.byName[n.Name] == nil {
+		s.byName[n.Name] = make(map[NodeID]struct{})
+	}
+	s.byName[n.Name][id] = struct{}{}
+	for k, v := range n.Attrs {
+		if ks := s.syms.lookup(k); s.indexed[ks] {
+			s.propIdxAdd(ks, v, id)
+			s.typeAttrAdd(rec.typ, ks, v, id)
+		}
+	}
 }
 
 // DeleteEdge removes one edge.
 func (s *Store) DeleteEdge(id EdgeID) error {
+	s.writerMu.Lock()
+	defer s.writerMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.beginBareLocked()
+	defer s.endBareLocked()
+	return s.deleteEdgePublicLocked(id)
+}
+
+func (s *Store) deleteEdgePublicLocked(id EdgeID) error {
 	if _, ok := s.edges[id]; !ok {
 		return fmt.Errorf("graph: DeleteEdge: unknown edge %d", id)
 	}
@@ -612,12 +736,32 @@ func (s *Store) deleteEdgeLocked(id EdgeID) {
 	if !ok {
 		return
 	}
-	delete(s.edgeKey, edgeKeyT{from: rec.from, to: rec.to, typ: rec.typ})
+	s.retireEdgeLocked(id, rec, true)
+	s.uninstallEdgeLocked(id, rec)
+	delete(s.edgeBegin, id)
 	s.adj.removeEdge(id, rec.from, rec.to)
+}
+
+// uninstallEdgeLocked removes edge id's current record and derived index
+// state, except adjacency (callers handle that; rollback rebuilds it
+// wholesale). Shared by deleteEdgeLocked and transaction rollback.
+func (s *Store) uninstallEdgeLocked(id EdgeID, rec edgeRec) {
+	ek := edgeKeyT{from: rec.from, to: rec.to, typ: rec.typ}
+	if cur, ok := s.edgeKey[ek]; ok && cur == id {
+		delete(s.edgeKey, ek)
+	}
 	delete(s.edges, id)
 	if s.edgeTypeCount[rec.typ]--; s.edgeTypeCount[rec.typ] <= 0 {
 		delete(s.edgeTypeCount, rec.typ)
 	}
+}
+
+// installEdgeLocked republishes an edge record and its index entries
+// (again excluding adjacency). Only rollback uses it.
+func (s *Store) installEdgeLocked(id EdgeID, rec edgeRec) {
+	s.edges[id] = rec
+	s.edgeKey[edgeKeyT{from: rec.from, to: rec.to, typ: rec.typ}] = id
+	s.edgeTypeCount[rec.typ]++
 }
 
 // MigrateEdges re-points every edge incident to from so it is incident to
@@ -625,8 +769,16 @@ func (s *Store) deleteEdgeLocked(id EdgeID) {
 // against existing edges of to. Self-loops created by the migration are
 // dropped. Used by the knowledge-fusion stage.
 func (s *Store) MigrateEdges(from, to NodeID) error {
+	s.writerMu.Lock()
+	defer s.writerMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.beginBareLocked()
+	defer s.endBareLocked()
+	return s.migrateEdgesLocked(from, to)
+}
+
+func (s *Store) migrateEdgesLocked(from, to NodeID) error {
 	if _, ok := s.nodes[from]; !ok {
 		return fmt.Errorf("graph: MigrateEdges: unknown node %d", from)
 	}
@@ -693,9 +845,11 @@ func (s *Store) addEdgeLocked(from NodeID, typ Sym, to NodeID, attrs map[string]
 			}
 		}
 		if merged != nil {
+			s.retireEdgeLocked(id, rec, true)
 			ne := *e
 			ne.Attrs = merged
 			s.edges[id] = edgeRec{from: rec.from, to: rec.to, typ: rec.typ, e: &ne}
+			s.stampEdgeLocked(id)
 		}
 		return
 	}
@@ -705,7 +859,9 @@ func (s *Store) addEdgeLocked(from NodeID, typ Sym, to NodeID, attrs map[string]
 	if len(attrs) > 0 {
 		e.Attrs = attrs
 	}
+	s.retireEdgeLocked(id, edgeRec{}, false)
 	s.edges[id] = edgeRec{from: from, to: to, typ: typ, e: e}
+	s.stampEdgeLocked(id)
 	s.edgeKey[ek] = id
 	s.adj.addEdge(id, from, to, typ)
 	s.edgeTypeCount[typ]++

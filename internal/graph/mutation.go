@@ -21,6 +21,16 @@ const (
 	OpDeleteNode   MutationOp = "delete_node"
 	OpDeleteEdge   MutationOp = "delete_edge"
 	OpMigrateEdges MutationOp = "migrate_edges"
+
+	// Transaction markers. They carry no payload and mutate nothing;
+	// the WAL writes them around a committed multi-mutation transaction
+	// so recovery can replay the group atomically (mvcc.go). A
+	// tx_rollback record never appears in logs this code writes —
+	// rolled-back transactions are never logged — but recovery accepts
+	// it (discarding the open group) for forward compatibility.
+	OpTxBegin    MutationOp = "tx_begin"
+	OpTxCommit   MutationOp = "tx_commit"
+	OpTxRollback MutationOp = "tx_rollback"
 )
 
 // Mutation is one logical store mutation, carrying the arguments of the
@@ -64,8 +74,28 @@ func (s *Store) noteMutation(m Mutation) {
 		s.bumpStatsLocked()
 	}
 	if s.onMutation != nil {
+		if tx := s.curTx; tx != nil {
+			// Transactional write: buffer instead of logging — the group
+			// reaches the hook only if the transaction commits. Attrs are
+			// cloned because the hook contract lets the caller reuse the
+			// map after the call returns.
+			tx.walBuf = append(tx.walBuf, cloneMutation(m))
+			return
+		}
 		s.onMutation(m)
 	}
+}
+
+// cloneMutation deep-copies the one reference field, Attrs.
+func cloneMutation(m Mutation) Mutation {
+	if len(m.Attrs) > 0 {
+		attrs := make(map[string]string, len(m.Attrs))
+		for k, v := range m.Attrs {
+			attrs[k] = v
+		}
+		m.Attrs = attrs
+	}
+	return m
 }
 
 // ApplyStream replays the mutation sequence next yields (until it
@@ -140,6 +170,11 @@ func (s *Store) Apply(m Mutation) error {
 		return s.DeleteEdge(m.Edge)
 	case OpMigrateEdges:
 		return s.MigrateEdges(m.From, m.To)
+	case OpTxBegin, OpTxCommit, OpTxRollback:
+		// Markers mutate nothing. Recovery's committed-transaction fold
+		// consumes them before replay; tolerate them here so a caller
+		// replaying a raw record stream doesn't fail on a marker.
+		return nil
 	}
 	return fmt.Errorf("graph: Apply: unknown mutation op %q", m.Op)
 }

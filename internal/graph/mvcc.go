@@ -1,0 +1,973 @@
+package graph
+
+import (
+	"errors"
+	"sort"
+)
+
+// This file layers multi-version concurrency control over the store.
+//
+// The scheme is a side-map overlay, not a rewrite of the core maps: the
+// nodes/edges maps and every index always describe the *latest* state
+// (so bare accessors, the planner's statistics, and persistence are
+// untouched), while five auxiliary maps record just enough history for
+// point-in-time reads:
+//
+//   - nodeBegin/edgeBegin: the timestamp at which an entity's current
+//     record became visible. Absent means "since forever".
+//   - nodeOld/edgeOld: superseded record versions, each tagged with its
+//     [begin, end) validity interval.
+//   - snaps: a refcount of open snapshots per asOf timestamp.
+//
+// Timestamps come from commitTS, which advances once per committed
+// write (bare mutations are single-op transactions). A mutator stamps
+// its writes with the provisional timestamp curProv = commitTS+1; the
+// stamp becomes meaningful — visible to later snapshots — only when the
+// commit publishes commitTS = curProv. A version is visible to a
+// snapshot taken at asOf (reading on behalf of the transaction prov,
+// or 0 for a plain snapshot) iff
+//
+//	(begin <= asOf || begin == prov) && !(end <= asOf || end == prov)
+//
+// i.e. it existed at the snapshot's timestamp, or the snapshot's own
+// transaction created it and hasn't itself deleted/overwritten it.
+// Validity intervals for one entity are disjoint, so at most one
+// version is ever visible.
+//
+// History is recorded only while someone can observe it: a snapshot is
+// open or a transaction is in flight. Otherwise every side map stays
+// empty, writes pay two empty-map probes, and reads take the exact
+// pre-MVCC path. The maps are purged the moment the last snapshot
+// closes. This trades long-snapshot memory (history accumulates while
+// a snapshot stays open) for zero steady-state cost, which fits the
+// workload here: snapshots live for one statement or one transaction.
+
+// nodeVer is one superseded node version with its validity interval.
+type nodeVer struct {
+	rec   nodeRec
+	begin uint64
+	end   uint64
+}
+
+// edgeVer is one superseded edge version with its validity interval.
+type edgeVer struct {
+	rec   edgeRec
+	begin uint64
+	end   uint64
+}
+
+// nodeUndo is a transaction's first-touch pre-image of one node.
+type nodeUndo struct {
+	rec      nodeRec
+	existed  bool
+	begin    uint64
+	hadBegin bool
+	oldLen   int
+}
+
+// edgeUndo is a transaction's first-touch pre-image of one edge.
+type edgeUndo struct {
+	rec      edgeRec
+	existed  bool
+	begin    uint64
+	hadBegin bool
+	oldLen   int
+}
+
+// ErrTxDone is returned by Commit/Rollback on an already-finished Tx.
+var ErrTxDone = errors.New("graph: transaction already committed or rolled back")
+
+// View is the read surface shared by *Store (latest state), *Snap
+// (point-in-time state), and *Tx (the transaction's snapshot plus its
+// own writes). The Cypher executor reads exclusively through it.
+type View interface {
+	Node(id NodeID) *Node
+	Edge(id EdgeID) *Edge
+	FindNode(typ, name string) *Node
+	NodesByName(name string) []*Node
+	NodesByType(typ string) []*Node
+	Edges(id NodeID, dir Direction) []*Edge
+	IncidentEdges(buf []IncidentEdge, id NodeID, dir Direction, typ string) []IncidentEdge
+	AllNodeIDs() []NodeID
+	NodeIDsByType(typ string) []NodeID
+	NodeIDsByName(name string) []NodeID
+	NodeIDsByAttr(key, val string) []NodeID
+	NodeIDsByTypeAttr(typ, key, val string) []NodeID
+	ForEachNode(fn func(*Node) bool)
+}
+
+var (
+	_ View = (*Store)(nil)
+	_ View = (*Snap)(nil)
+	_ View = (*Tx)(nil)
+)
+
+// --- write-side bookkeeping ---
+
+// trackingLocked reports whether history must be recorded: someone
+// holds a snapshot, or a transaction is in flight (whose writes must
+// stay invisible to snapshots opened before it commits).
+func (s *Store) trackingLocked() bool {
+	return s.curTx != nil || len(s.snaps) > 0
+}
+
+// beginBareLocked/endBareLocked bracket one bare mutation as a
+// single-op transaction: stamp with commitTS+1, publish on return.
+// Callers hold writerMu and mu.
+func (s *Store) beginBareLocked() {
+	s.curProv = s.commitTS + 1
+}
+
+func (s *Store) endBareLocked() {
+	s.commitTS = s.curProv
+	s.curProv = 0
+	s.maybePurgeLocked()
+}
+
+// retireNodeLocked records node id's pre-state before a write mutates
+// or deletes it: the open transaction's undo log captures the
+// first-touch image, and the version history keeps the superseded
+// record visible to older snapshots. rec is the current record
+// (zero/ignored when existed is false, i.e. a creation).
+func (s *Store) retireNodeLocked(id NodeID, rec nodeRec, existed bool) {
+	if tx := s.curTx; tx != nil {
+		if _, seen := tx.undoN[id]; !seen {
+			b, hadB := s.nodeBegin[id]
+			tx.undoN[id] = nodeUndo{rec: rec, existed: existed, begin: b, hadBegin: hadB, oldLen: len(s.nodeOld[id])}
+		}
+	}
+	if existed && s.trackingLocked() {
+		s.nodeOld[id] = append(s.nodeOld[id], nodeVer{rec: rec, begin: s.nodeBegin[id], end: s.curProv})
+	}
+}
+
+func (s *Store) stampNodeLocked(id NodeID) {
+	if s.trackingLocked() {
+		s.nodeBegin[id] = s.curProv
+	}
+}
+
+func (s *Store) retireEdgeLocked(id EdgeID, rec edgeRec, existed bool) {
+	if tx := s.curTx; tx != nil {
+		if _, seen := tx.undoE[id]; !seen {
+			b, hadB := s.edgeBegin[id]
+			tx.undoE[id] = edgeUndo{rec: rec, existed: existed, begin: b, hadBegin: hadB, oldLen: len(s.edgeOld[id])}
+		}
+	}
+	if existed && s.trackingLocked() {
+		s.edgeOld[id] = append(s.edgeOld[id], edgeVer{rec: rec, begin: s.edgeBegin[id], end: s.curProv})
+	}
+}
+
+func (s *Store) stampEdgeLocked(id EdgeID) {
+	if s.trackingLocked() {
+		s.edgeBegin[id] = s.curProv
+	}
+}
+
+// maybePurgeLocked drops all version history once nobody can observe
+// it. Cheap when already empty, which is the steady state.
+func (s *Store) maybePurgeLocked() {
+	if s.curTx != nil || len(s.snaps) > 0 {
+		return
+	}
+	if len(s.nodeBegin) > 0 || len(s.edgeBegin) > 0 || len(s.nodeOld) > 0 || len(s.edgeOld) > 0 {
+		clear(s.nodeBegin)
+		clear(s.edgeBegin)
+		clear(s.nodeOld)
+		clear(s.edgeOld)
+	}
+}
+
+// MVCCStats sizes the MVCC bookkeeping overlay. Every field is zero in
+// steady state — no open snapshot or transaction — because history is
+// purged the moment the last observer goes away; tests pin that
+// invariant and operators can watch for snapshot leaks with it.
+type MVCCStats struct {
+	Snapshots    int // open snapshots (refcounts summed across timestamps)
+	NodeVersions int // superseded node versions retained for old snapshots
+	EdgeVersions int // superseded edge versions retained
+	NodeStamps   int // begin-timestamp entries on current node records
+	EdgeStamps   int // begin-timestamp entries on current edge records
+}
+
+// MVCCStats reports the current overlay sizes.
+func (s *Store) MVCCStats() MVCCStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := MVCCStats{NodeStamps: len(s.nodeBegin), EdgeStamps: len(s.edgeBegin)}
+	for _, c := range s.snaps {
+		st.Snapshots += c
+	}
+	for _, vers := range s.nodeOld {
+		st.NodeVersions += len(vers)
+	}
+	for _, vers := range s.edgeOld {
+		st.EdgeVersions += len(vers)
+	}
+	return st
+}
+
+// Quiesce runs fn with the writer lock held: no bare mutation or
+// transaction write can be in flight during fn, and commitTS is stable.
+// The durability layer checkpoints under it so a snapshot can never
+// capture a half-applied transaction.
+func (s *Store) Quiesce(fn func() error) error {
+	s.writerMu.Lock()
+	defer s.writerMu.Unlock()
+	return fn()
+}
+
+// --- snapshots ---
+
+// Snap is a consistent read-only view of the store as of the commit
+// timestamp at which it was taken. Opening one never blocks and is
+// never blocked by writers; it is safe for concurrent use by multiple
+// goroutines. Release it when done so the store can drop history.
+type Snap struct {
+	s        *Store
+	asOf     uint64
+	tx       *Tx // non-nil when this is a transaction's own view
+	released bool
+}
+
+// Snapshot opens a snapshot of the current committed state.
+func (s *Store) Snapshot() *Snap {
+	s.mu.Lock()
+	sn := &Snap{s: s, asOf: s.commitTS}
+	s.snaps[sn.asOf]++
+	s.mu.Unlock()
+	return sn
+}
+
+// Release closes the snapshot. Idempotent.
+func (sn *Snap) Release() {
+	s := sn.s
+	s.mu.Lock()
+	sn.releaseLocked()
+	s.mu.Unlock()
+}
+
+func (sn *Snap) releaseLocked() {
+	if sn.released {
+		return
+	}
+	sn.released = true
+	s := sn.s
+	if c := s.snaps[sn.asOf]; c <= 1 {
+		delete(s.snaps, sn.asOf)
+	} else {
+		s.snaps[sn.asOf] = c - 1
+	}
+	s.maybePurgeLocked()
+}
+
+// prov is the provisional timestamp whose writes this view may see: the
+// owning transaction's, or 0 (matching no version) for plain snapshots.
+func (sn *Snap) prov() uint64 {
+	if sn.tx != nil {
+		return sn.tx.prov
+	}
+	return 0
+}
+
+// visible applies the MVCC visibility rule to one [begin, end)
+// interval; end == 0 means "still current".
+func (sn *Snap) visible(begin, end uint64) bool {
+	prov := sn.prov()
+	if begin > sn.asOf && (prov == 0 || begin != prov) {
+		return false
+	}
+	if end != 0 && (end <= sn.asOf || (prov != 0 && end == prov)) {
+		return false
+	}
+	return true
+}
+
+func (sn *Snap) curNodeVisibleLocked(id NodeID) bool {
+	b, ok := sn.s.nodeBegin[id]
+	return !ok || sn.visible(b, 0)
+}
+
+func (sn *Snap) curEdgeVisibleLocked(id EdgeID) bool {
+	b, ok := sn.s.edgeBegin[id]
+	return !ok || sn.visible(b, 0)
+}
+
+// resolveNodeLocked returns the version of node id visible to the
+// snapshot, or nil.
+func (sn *Snap) resolveNodeLocked(id NodeID) *Node {
+	s := sn.s
+	if rec, ok := s.nodes[id]; ok && sn.curNodeVisibleLocked(id) {
+		return rec.n
+	}
+	if len(s.nodeOld) > 0 {
+		for _, v := range s.nodeOld[id] {
+			if sn.visible(v.begin, v.end) {
+				return v.rec.n
+			}
+		}
+	}
+	return nil
+}
+
+func (sn *Snap) resolveEdgeLocked(id EdgeID) *Edge {
+	s := sn.s
+	if rec, ok := s.edges[id]; ok && sn.curEdgeVisibleLocked(id) {
+		return rec.e
+	}
+	if len(s.edgeOld) > 0 {
+		for _, v := range s.edgeOld[id] {
+			if sn.visible(v.begin, v.end) {
+				return v.rec.e
+			}
+		}
+	}
+	return nil
+}
+
+// fastNodesLocked reports that no node history exists, so current state
+// is exactly the snapshot state.
+func (sn *Snap) fastNodesLocked() bool {
+	return len(sn.s.nodeBegin) == 0 && len(sn.s.nodeOld) == 0
+}
+
+func (sn *Snap) fastEdgesLocked() bool {
+	return len(sn.s.edgeBegin) == 0 && len(sn.s.edgeOld) == 0
+}
+
+// overlayNodesLocked calls fn for every node id whose visible version
+// lives in the history overlay rather than the current maps: ids whose
+// current record is invisible (or gone) but which have a visible old
+// version. These are exactly the ids the index-driven paths miss.
+func (sn *Snap) overlayNodesLocked(fn func(id NodeID, v nodeVer)) {
+	s := sn.s
+	for id, vers := range s.nodeOld {
+		if _, cur := s.nodes[id]; cur && sn.curNodeVisibleLocked(id) {
+			continue // disjoint intervals: no old version can also be visible
+		}
+		for _, v := range vers {
+			if sn.visible(v.begin, v.end) {
+				fn(id, v)
+				break
+			}
+		}
+	}
+}
+
+func (sn *Snap) overlayEdgesLocked(fn func(id EdgeID, v edgeVer)) {
+	s := sn.s
+	for id, vers := range s.edgeOld {
+		if _, cur := s.edges[id]; cur {
+			continue // still present: adjacency walks resolve it
+		}
+		for _, v := range vers {
+			if sn.visible(v.begin, v.end) {
+				fn(id, v)
+				break
+			}
+		}
+	}
+}
+
+// Node returns the node visible to the snapshot (nil if absent).
+func (sn *Snap) Node(id NodeID) *Node {
+	sn.s.mu.RLock()
+	defer sn.s.mu.RUnlock()
+	return sn.resolveNodeLocked(id)
+}
+
+// Edge returns the edge visible to the snapshot (nil if absent).
+func (sn *Snap) Edge(id EdgeID) *Edge {
+	sn.s.mu.RLock()
+	defer sn.s.mu.RUnlock()
+	return sn.resolveEdgeLocked(id)
+}
+
+// FindNode returns the node with the exact (type, name) visible to the
+// snapshot, or nil.
+func (sn *Snap) FindNode(typ, name string) *Node {
+	s := sn.s
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	tsym := s.syms.lookup(typ)
+	if id, ok := s.byKey[nodeKeyT{typ: tsym, name: name}]; ok {
+		if n := sn.resolveNodeLocked(id); n != nil {
+			return n
+		}
+	}
+	if len(s.nodeOld) > 0 {
+		var found *Node
+		sn.overlayNodesLocked(func(_ NodeID, v nodeVer) {
+			if found == nil && v.rec.typ == tsym && v.rec.n.Name == name {
+				found = v.rec.n
+			}
+		})
+		return found
+	}
+	return nil
+}
+
+func sortNodes(out []*Node) []*Node {
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func sortNodeIDs(ids []NodeID) []NodeID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// NodesByName returns all visible nodes named name, sorted by ID.
+func (sn *Snap) NodesByName(name string) []*Node {
+	s := sn.s
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if sn.fastNodesLocked() {
+		return s.collect(s.byName[name])
+	}
+	var out []*Node
+	for id := range s.byName[name] {
+		if sn.curNodeVisibleLocked(id) {
+			out = append(out, s.nodes[id].n)
+		}
+	}
+	sn.overlayNodesLocked(func(_ NodeID, v nodeVer) {
+		if v.rec.n.Name == name {
+			out = append(out, v.rec.n)
+		}
+	})
+	return sortNodes(out)
+}
+
+// NodesByType returns all visible nodes with the given type, sorted by ID.
+func (sn *Snap) NodesByType(typ string) []*Node {
+	s := sn.s
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	tsym := s.syms.lookup(typ)
+	if sn.fastNodesLocked() {
+		return s.collect(s.byType[tsym])
+	}
+	var out []*Node
+	for id := range s.byType[tsym] {
+		if sn.curNodeVisibleLocked(id) {
+			out = append(out, s.nodes[id].n)
+		}
+	}
+	sn.overlayNodesLocked(func(_ NodeID, v nodeVer) {
+		if v.rec.typ == tsym {
+			out = append(out, v.rec.n)
+		}
+	})
+	return sortNodes(out)
+}
+
+// AllNodeIDs returns every visible node ID, sorted.
+func (sn *Snap) AllNodeIDs() []NodeID {
+	sn.s.mu.RLock()
+	defer sn.s.mu.RUnlock()
+	return sn.allNodeIDsLocked()
+}
+
+func (sn *Snap) allNodeIDsLocked() []NodeID {
+	s := sn.s
+	ids := make([]NodeID, 0, len(s.nodes))
+	if sn.fastNodesLocked() {
+		for id := range s.nodes {
+			ids = append(ids, id)
+		}
+		return sortNodeIDs(ids)
+	}
+	for id := range s.nodes {
+		if sn.curNodeVisibleLocked(id) {
+			ids = append(ids, id)
+		}
+	}
+	sn.overlayNodesLocked(func(id NodeID, _ nodeVer) {
+		ids = append(ids, id)
+	})
+	return sortNodeIDs(ids)
+}
+
+// NodeIDsByType returns the visible node IDs with the given type, sorted.
+func (sn *Snap) NodeIDsByType(typ string) []NodeID {
+	s := sn.s
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	tsym := s.syms.lookup(typ)
+	var ids []NodeID
+	for id := range s.byType[tsym] {
+		if sn.fastNodesLocked() || sn.curNodeVisibleLocked(id) {
+			ids = append(ids, id)
+		}
+	}
+	if !sn.fastNodesLocked() {
+		sn.overlayNodesLocked(func(id NodeID, v nodeVer) {
+			if v.rec.typ == tsym {
+				ids = append(ids, id)
+			}
+		})
+	}
+	return sortNodeIDs(ids)
+}
+
+// NodeIDsByName returns the visible node IDs named name, sorted.
+func (sn *Snap) NodeIDsByName(name string) []NodeID {
+	s := sn.s
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var ids []NodeID
+	for id := range s.byName[name] {
+		if sn.fastNodesLocked() || sn.curNodeVisibleLocked(id) {
+			ids = append(ids, id)
+		}
+	}
+	if !sn.fastNodesLocked() {
+		sn.overlayNodesLocked(func(id NodeID, v nodeVer) {
+			if v.rec.n.Name == name {
+				ids = append(ids, id)
+			}
+		})
+	}
+	return sortNodeIDs(ids)
+}
+
+// NodeIDsByAttr returns the visible node IDs with attrs[key] == val when
+// key is indexed; nil (meaning "no index") otherwise, like the Store.
+func (sn *Snap) NodeIDsByAttr(key, val string) []NodeID {
+	s := sn.s
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ks := s.syms.lookup(key)
+	if !s.indexed[ks] {
+		return nil
+	}
+	ids := make([]NodeID, 0, len(s.propIdx[ks][val]))
+	for id := range s.propIdx[ks][val] {
+		if sn.fastNodesLocked() || sn.curNodeVisibleLocked(id) {
+			ids = append(ids, id)
+		}
+	}
+	if !sn.fastNodesLocked() {
+		sn.overlayNodesLocked(func(id NodeID, v nodeVer) {
+			if v.rec.n.Attrs[key] == val {
+				ids = append(ids, id)
+			}
+		})
+	}
+	return sortNodeIDs(ids)
+}
+
+// NodeIDsByTypeAttr returns the visible node IDs with the given type and
+// attrs[key] == val when key is indexed; nil otherwise, like the Store.
+func (sn *Snap) NodeIDsByTypeAttr(typ, key, val string) []NodeID {
+	s := sn.s
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ks := s.syms.lookup(key)
+	if !s.indexed[ks] {
+		return nil
+	}
+	tsym := s.syms.lookup(typ)
+	set := s.typeAttr[typeAttrKeyT{typ: tsym, key: ks, val: val}]
+	ids := make([]NodeID, 0, len(set))
+	for id := range set {
+		if sn.fastNodesLocked() || sn.curNodeVisibleLocked(id) {
+			ids = append(ids, id)
+		}
+	}
+	if !sn.fastNodesLocked() {
+		sn.overlayNodesLocked(func(id NodeID, v nodeVer) {
+			if v.rec.typ == tsym && v.rec.n.Attrs[key] == val {
+				ids = append(ids, id)
+			}
+		})
+	}
+	return sortNodeIDs(ids)
+}
+
+// Edges returns the visible edges incident to id in the given
+// direction, sorted by edge ID.
+func (sn *Snap) Edges(id NodeID, dir Direction) []*Edge {
+	s := sn.s
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	fast := sn.fastEdgesLocked()
+	var out []*Edge
+	sorted := true
+	s.adj.forEach(id, dir, func(he halfEdge) bool {
+		var e *Edge
+		if fast {
+			e = s.edges[he.id].e
+		} else if e = sn.resolveEdgeLocked(he.id); e == nil {
+			return true
+		}
+		if n := len(out); n > 0 && out[n-1].ID > e.ID {
+			sorted = false
+		}
+		out = append(out, e)
+		return true
+	})
+	if !fast && len(s.edgeOld) > 0 {
+		sn.overlayEdgesLocked(func(_ EdgeID, v edgeVer) {
+			if (dir == Out || dir == Both) && v.rec.from == id {
+				out = append(out, v.rec.e)
+				sorted = false
+			}
+			if (dir == In || dir == Both) && v.rec.to == id {
+				out = append(out, v.rec.e)
+				sorted = false
+			}
+		})
+	}
+	if !sorted {
+		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	}
+	return out
+}
+
+// IncidentEdges is the snapshot variant of Store.IncidentEdges: it
+// appends the visible incident edges matching typ. Versions never
+// change an edge's endpoints or type — only attrs — so the adjacency
+// walk's triples are valid for any visible version; an edge is emitted
+// iff some version of it is visible. Deleted-but-visible edges come
+// from the history overlay (appended out of walk order; the tail is
+// sorted when that happens).
+func (sn *Snap) IncidentEdges(buf []IncidentEdge, id NodeID, dir Direction, typ string) []IncidentEdge {
+	s := sn.s
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	any := typ == ""
+	var want Sym
+	if !any {
+		want = s.syms.lookup(typ) // symNone matches no edge
+	}
+	fast := sn.fastEdgesLocked()
+	start := len(buf)
+	s.adj.forEach(id, dir, func(he halfEdge) bool {
+		if !any && he.typ != want {
+			return true
+		}
+		if !fast && sn.resolveEdgeLocked(he.id) == nil {
+			return true
+		}
+		buf = append(buf, IncidentEdge{ID: he.id, Other: he.other, Type: s.syms.str(he.typ)})
+		return true
+	})
+	if !fast && len(s.edgeOld) > 0 {
+		added := false
+		sn.overlayEdgesLocked(func(eid EdgeID, v edgeVer) {
+			if !any && v.rec.typ != want {
+				return
+			}
+			ts := s.syms.str(v.rec.typ)
+			if (dir == Out || dir == Both) && v.rec.from == id {
+				buf = append(buf, IncidentEdge{ID: eid, Other: v.rec.to, Type: ts})
+				added = true
+			}
+			if (dir == In || dir == Both) && v.rec.to == id {
+				buf = append(buf, IncidentEdge{ID: eid, Other: v.rec.from, Type: ts})
+				added = true
+			}
+		})
+		if added {
+			tail := buf[start:]
+			sort.Slice(tail, func(i, j int) bool { return tail[i].ID < tail[j].ID })
+		}
+	}
+	return buf
+}
+
+// ForEachNode calls fn for every visible node in ID order; iteration
+// stops if fn returns false. Like the Store variant, the lock is not
+// held across fn calls.
+func (sn *Snap) ForEachNode(fn func(*Node) bool) {
+	sn.s.mu.RLock()
+	ids := sn.allNodeIDsLocked()
+	sn.s.mu.RUnlock()
+	for _, id := range ids {
+		n := sn.Node(id)
+		if n == nil {
+			continue
+		}
+		if !fn(n) {
+			return
+		}
+	}
+}
+
+// --- transactions ---
+
+// Tx is a store transaction: a stable snapshot for reads (taken at
+// BeginTx) plus buffered-visibility writes. Writes go to the latest
+// state immediately — the store is single-writer, and the transaction
+// holds the writer lock from its first write until Commit or Rollback —
+// but stay invisible to every other snapshot until Commit, and are
+// undone in full (records, indexes, ID allocators, adjacency) by
+// Rollback. Reads through the Tx see the snapshot plus the
+// transaction's own writes. A Tx is intended for use by one goroutine;
+// concurrent transactions from different goroutines serialize on the
+// writer lock at their first write.
+type Tx struct {
+	s       *Store
+	snap    *Snap
+	prov    uint64
+	writing bool
+	done    bool
+
+	// walBuf holds the transaction's mutation records, published to the
+	// durability hook only at Commit (wrapped in tx_begin/tx_commit when
+	// more than one): rolled-back transactions never touch the WAL, and
+	// a crash between the commit records leaves a dangling group that
+	// recovery discards.
+	walBuf []Mutation
+
+	undoN map[NodeID]nodeUndo
+	undoE map[EdgeID]edgeUndo
+
+	preNextNode  NodeID
+	preNextEdge  EdgeID
+	preMergeHits int64
+}
+
+// BeginTx opens a transaction whose reads see the store as of now.
+// Never blocks: the writer lock is acquired lazily at the first write.
+func (s *Store) BeginTx() *Tx {
+	s.mu.Lock()
+	tx := &Tx{s: s}
+	tx.snap = &Snap{s: s, asOf: s.commitTS, tx: tx}
+	s.snaps[tx.snap.asOf]++
+	s.mu.Unlock()
+	return tx
+}
+
+// ensureWriter upgrades the transaction to a writer: take the writer
+// lock, pin the provisional timestamp, and capture allocator state for
+// rollback.
+func (tx *Tx) ensureWriter() {
+	if tx.writing {
+		return
+	}
+	if tx.done {
+		panic("graph: write on finished Tx")
+	}
+	s := tx.s
+	s.writerMu.Lock()
+	s.mu.Lock()
+	tx.writing = true
+	tx.prov = s.commitTS + 1
+	s.curProv = tx.prov
+	s.curTx = tx
+	tx.undoN = make(map[NodeID]nodeUndo)
+	tx.undoE = make(map[EdgeID]edgeUndo)
+	tx.preNextNode, tx.preNextEdge, tx.preMergeHits = s.nextNode, s.nextEdge, s.mergeHits
+	s.mu.Unlock()
+}
+
+// MergeNode is the transactional MergeNode.
+func (tx *Tx) MergeNode(typ, name string, attrs map[string]string) (NodeID, bool) {
+	tx.ensureWriter()
+	tx.s.mu.Lock()
+	defer tx.s.mu.Unlock()
+	return tx.s.mergeNodeLocked(typ, name, attrs)
+}
+
+// AddEdge is the transactional AddEdge.
+func (tx *Tx) AddEdge(from NodeID, typ string, to NodeID, attrs map[string]string) (EdgeID, bool, error) {
+	tx.ensureWriter()
+	tx.s.mu.Lock()
+	defer tx.s.mu.Unlock()
+	return tx.s.addEdgePublicLocked(from, typ, to, attrs)
+}
+
+// SetAttr is the transactional SetAttr.
+func (tx *Tx) SetAttr(id NodeID, key, val string) error {
+	tx.ensureWriter()
+	tx.s.mu.Lock()
+	defer tx.s.mu.Unlock()
+	return tx.s.setAttrLocked(id, key, val)
+}
+
+// DeleteNode is the transactional DeleteNode.
+func (tx *Tx) DeleteNode(id NodeID) error {
+	tx.ensureWriter()
+	tx.s.mu.Lock()
+	defer tx.s.mu.Unlock()
+	return tx.s.deleteNodeLocked(id)
+}
+
+// DeleteEdge is the transactional DeleteEdge.
+func (tx *Tx) DeleteEdge(id EdgeID) error {
+	tx.ensureWriter()
+	tx.s.mu.Lock()
+	defer tx.s.mu.Unlock()
+	return tx.s.deleteEdgePublicLocked(id)
+}
+
+// MigrateEdges is the transactional MigrateEdges.
+func (tx *Tx) MigrateEdges(from, to NodeID) error {
+	tx.ensureWriter()
+	tx.s.mu.Lock()
+	defer tx.s.mu.Unlock()
+	return tx.s.migrateEdgesLocked(from, to)
+}
+
+// Commit publishes the transaction's writes: later snapshots see them,
+// and the durability hook receives the buffered mutation group.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	tx.done = true
+	s := tx.s
+	if !tx.writing {
+		tx.snap.Release()
+		return nil
+	}
+	s.mu.Lock()
+	if s.onMutation != nil && len(tx.walBuf) > 0 {
+		// A single-mutation transaction logs as a bare record; a larger
+		// group is wrapped so recovery can treat it atomically.
+		if len(tx.walBuf) > 1 {
+			s.onMutation(Mutation{Op: OpTxBegin})
+		}
+		for i := range tx.walBuf {
+			s.onMutation(tx.walBuf[i])
+		}
+		if len(tx.walBuf) > 1 {
+			s.onMutation(Mutation{Op: OpTxCommit})
+		}
+	}
+	tx.walBuf = nil
+	s.commitTS = tx.prov
+	s.curTx = nil
+	s.curProv = 0
+	tx.snap.releaseLocked()
+	s.maybeRebuildAdjLocked()
+	s.mu.Unlock()
+	s.writerMu.Unlock()
+	return nil
+}
+
+// Rollback undoes every write of the transaction — records, indexes,
+// ID allocators, adjacency — and discards its WAL buffer.
+func (tx *Tx) Rollback() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	tx.done = true
+	s := tx.s
+	if !tx.writing {
+		tx.snap.Release()
+		return nil
+	}
+	s.mu.Lock()
+	// Phase 1: strip the transaction's version of every touched entity,
+	// so reinstalls can't collide on shared index keys (e.g. a deleted
+	// node's (type, name) reclaimed by a node the tx created).
+	for id := range tx.undoE {
+		if rec, ok := s.edges[id]; ok {
+			s.uninstallEdgeLocked(id, rec)
+		}
+	}
+	for id := range tx.undoN {
+		if rec, ok := s.nodes[id]; ok {
+			s.uninstallNodeLocked(id, rec)
+		}
+	}
+	// Phase 2: reinstall pre-images and restore version bookkeeping.
+	for id, u := range tx.undoN {
+		if u.existed {
+			s.installNodeLocked(id, u.rec)
+		}
+		if u.hadBegin {
+			s.nodeBegin[id] = u.begin
+		} else {
+			delete(s.nodeBegin, id)
+		}
+		if vers := s.nodeOld[id]; len(vers) > u.oldLen {
+			if u.oldLen == 0 {
+				delete(s.nodeOld, id)
+			} else {
+				s.nodeOld[id] = vers[:u.oldLen]
+			}
+		}
+	}
+	for id, u := range tx.undoE {
+		if u.existed {
+			s.installEdgeLocked(id, u.rec)
+		}
+		if u.hadBegin {
+			s.edgeBegin[id] = u.begin
+		} else {
+			delete(s.edgeBegin, id)
+		}
+		if vers := s.edgeOld[id]; len(vers) > u.oldLen {
+			if u.oldLen == 0 {
+				delete(s.edgeOld, id)
+			} else {
+				s.edgeOld[id] = vers[:u.oldLen]
+			}
+		}
+	}
+	s.nextNode, s.nextEdge, s.mergeHits = tx.preNextNode, tx.preNextEdge, tx.preMergeHits
+	s.adj.all = nil // force reconstruction from the restored edge map
+	s.rebuildAdjLocked()
+	s.idxEpoch++
+	if !s.bulk && s.statsMaterialLocked() {
+		s.bumpStatsLocked()
+	}
+	tx.walBuf = nil
+	s.curTx = nil
+	s.curProv = 0
+	tx.snap.releaseLocked()
+	s.mu.Unlock()
+	s.writerMu.Unlock()
+	return nil
+}
+
+// --- Tx as a View: the snapshot plus the transaction's own writes ---
+
+func (tx *Tx) Node(id NodeID) *Node            { return tx.snap.Node(id) }
+func (tx *Tx) Edge(id EdgeID) *Edge            { return tx.snap.Edge(id) }
+func (tx *Tx) FindNode(typ, name string) *Node { return tx.snap.FindNode(typ, name) }
+func (tx *Tx) NodesByName(name string) []*Node { return tx.snap.NodesByName(name) }
+func (tx *Tx) NodesByType(typ string) []*Node  { return tx.snap.NodesByType(typ) }
+func (tx *Tx) Edges(id NodeID, dir Direction) []*Edge {
+	return tx.snap.Edges(id, dir)
+}
+func (tx *Tx) IncidentEdges(buf []IncidentEdge, id NodeID, dir Direction, typ string) []IncidentEdge {
+	return tx.snap.IncidentEdges(buf, id, dir, typ)
+}
+func (tx *Tx) AllNodeIDs() []NodeID               { return tx.snap.AllNodeIDs() }
+func (tx *Tx) NodeIDsByType(typ string) []NodeID  { return tx.snap.NodeIDsByType(typ) }
+func (tx *Tx) NodeIDsByName(name string) []NodeID { return tx.snap.NodeIDsByName(name) }
+func (tx *Tx) NodeIDsByAttr(key, val string) []NodeID {
+	return tx.snap.NodeIDsByAttr(key, val)
+}
+func (tx *Tx) NodeIDsByTypeAttr(typ, key, val string) []NodeID {
+	return tx.snap.NodeIDsByTypeAttr(typ, key, val)
+}
+func (tx *Tx) ForEachNode(fn func(*Node) bool) { tx.snap.ForEachNode(fn) }
+
+// --- latest-state reads ---
+//
+// Writers sometimes need the latest state rather than their snapshot:
+// MergeNode and AddEdge act on latest (single-writer semantics), so the
+// pre-write diffing and post-write binding around them must too. The
+// Latest* family exposes that surface uniformly on *Store and *Tx.
+
+func (s *Store) LatestNode(id NodeID) *Node { return s.Node(id) }
+func (s *Store) LatestEdge(id EdgeID) *Edge { return s.Edge(id) }
+func (s *Store) LatestEdges(id NodeID, dir Direction) []*Edge {
+	return s.Edges(id, dir)
+}
+func (s *Store) LatestFindNode(typ, name string) *Node { return s.FindNode(typ, name) }
+
+func (tx *Tx) LatestNode(id NodeID) *Node { return tx.s.Node(id) }
+func (tx *Tx) LatestEdge(id EdgeID) *Edge { return tx.s.Edge(id) }
+func (tx *Tx) LatestEdges(id NodeID, dir Direction) []*Edge {
+	return tx.s.Edges(id, dir)
+}
+func (tx *Tx) LatestFindNode(typ, name string) *Node { return tx.s.FindNode(typ, name) }

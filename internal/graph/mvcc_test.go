@@ -1,0 +1,357 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func saveBytesOf(t *testing.T, s *Store) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestSnapshotSeesStateAtOpen(t *testing.T) {
+	s := New()
+	s.IndexAttr("sev")
+	a, _ := s.MergeNode("CVE", "a", map[string]string{"sev": "high"})
+	b, _ := s.MergeNode("CVE", "b", nil)
+	e, _, err := s.AddEdge(a, "affects", b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sn := s.Snapshot()
+	defer sn.Release()
+
+	// Mutate after the snapshot: attr change, node delete, new node+edge.
+	if err := s.SetAttr(a, "sev", "low"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteNode(b); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := s.MergeNode("CVE", "c", nil)
+	if _, _, err := s.AddEdge(a, "affects", c, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// The snapshot still sees the original world.
+	if got := sn.Node(a).Attrs["sev"]; got != "high" {
+		t.Errorf("snapshot sees sev=%q, want high", got)
+	}
+	if sn.Node(b) == nil {
+		t.Error("snapshot lost deleted node b")
+	}
+	if sn.Node(c) != nil {
+		t.Error("snapshot sees node c created after open")
+	}
+	if sn.Edge(e) == nil {
+		t.Error("snapshot lost edge deleted via DeleteNode(b)")
+	}
+	if got := len(sn.Edges(a, Out)); got != 1 {
+		t.Errorf("snapshot Edges(a) = %d, want 1", got)
+	}
+	if got := len(sn.AllNodeIDs()); got != 2 {
+		t.Errorf("snapshot AllNodeIDs = %d, want 2", got)
+	}
+	if sn.FindNode("CVE", "b") == nil {
+		t.Error("snapshot FindNode(b) = nil")
+	}
+	if sn.FindNode("CVE", "c") != nil {
+		t.Error("snapshot FindNode(c) != nil")
+	}
+	if got := len(sn.NodeIDsByAttr("sev", "high")); got != 1 {
+		t.Errorf("snapshot NodeIDsByAttr(sev=high) = %d, want 1", got)
+	}
+	if got := len(sn.NodeIDsByAttr("sev", "low")); got != 0 {
+		t.Errorf("snapshot NodeIDsByAttr(sev=low) = %d, want 0", got)
+	}
+	if got := len(sn.NodesByType("CVE")); got != 2 {
+		t.Errorf("snapshot NodesByType = %d, want 2", got)
+	}
+	inc := sn.IncidentEdges(nil, a, Both, "")
+	if len(inc) != 1 || inc[0].Other != b {
+		t.Errorf("snapshot IncidentEdges(a) = %+v, want one edge to b", inc)
+	}
+
+	// The store sees the new world.
+	if got := s.Node(a).Attrs["sev"]; got != "low" {
+		t.Errorf("store sees sev=%q, want low", got)
+	}
+	if s.Node(b) != nil {
+		t.Error("store still has node b")
+	}
+}
+
+func TestSnapshotReleasePurgesHistory(t *testing.T) {
+	s := New()
+	a, _ := s.MergeNode("T", "a", nil)
+	sn := s.Snapshot()
+	if err := s.SetAttr(a, "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.RLock()
+	grew := len(s.nodeOld) > 0
+	s.mu.RUnlock()
+	if !grew {
+		t.Fatal("history not recorded while snapshot open")
+	}
+	sn.Release()
+	sn.Release() // idempotent
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.nodeOld) != 0 || len(s.nodeBegin) != 0 || len(s.edgeOld) != 0 || len(s.edgeBegin) != 0 || len(s.snaps) != 0 {
+		t.Errorf("history not purged after release: nodeOld=%d nodeBegin=%d snaps=%d",
+			len(s.nodeOld), len(s.nodeBegin), len(s.snaps))
+	}
+}
+
+func TestTxIsolationAndCommit(t *testing.T) {
+	s := New()
+	a, _ := s.MergeNode("T", "a", nil)
+
+	before := s.Snapshot()
+	defer before.Release()
+
+	tx := s.BeginTx()
+	bID, _ := tx.MergeNode("T", "b", nil)
+	if err := tx.SetAttr(a, "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tx.AddEdge(a, "rel", bID, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tx sees its own writes.
+	if tx.Node(bID) == nil {
+		t.Error("tx cannot see its own created node")
+	}
+	if got := tx.Node(a).Attrs["k"]; got != "v" {
+		t.Errorf("tx sees k=%q, want v", got)
+	}
+	if got := len(tx.Edges(a, Out)); got != 1 {
+		t.Errorf("tx Edges(a) = %d, want 1", got)
+	}
+
+	// A snapshot opened mid-transaction must not see uncommitted writes.
+	mid := s.Snapshot()
+	if mid.Node(bID) != nil {
+		t.Error("mid-tx snapshot sees uncommitted node")
+	}
+	if got := mid.Node(a).Attrs["k"]; got != "" {
+		t.Errorf("mid-tx snapshot sees uncommitted attr %q", got)
+	}
+	if got := len(mid.NodesByType("T")); got != 1 {
+		t.Errorf("mid-tx snapshot NodesByType = %d, want 1", got)
+	}
+
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != ErrTxDone {
+		t.Errorf("double commit = %v, want ErrTxDone", err)
+	}
+
+	// Pinned snapshots keep their view even after the commit.
+	if mid.Node(bID) != nil {
+		t.Error("mid snapshot sees committed-later node")
+	}
+	if before.Node(bID) != nil {
+		t.Error("before snapshot sees committed-later node")
+	}
+	mid.Release()
+
+	// New snapshots and the store see everything.
+	after := s.Snapshot()
+	defer after.Release()
+	if after.Node(bID) == nil || s.Node(bID) == nil {
+		t.Error("committed node not visible")
+	}
+	if got := after.Node(a).Attrs["k"]; got != "v" {
+		t.Errorf("after snapshot k=%q, want v", got)
+	}
+}
+
+func TestTxRollbackRestoresEverything(t *testing.T) {
+	s := New()
+	s.IndexAttr("sev")
+	a, _ := s.MergeNode("CVE", "a", map[string]string{"sev": "high"})
+	b, _ := s.MergeNode("CVE", "b", nil)
+	if _, _, err := s.AddEdge(a, "affects", b, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := saveBytesOf(t, s)
+	wantStats := s.Stats()
+
+	tx := s.BeginTx()
+	if err := tx.DeleteNode(b); err != nil { // cascades to the edge
+		t.Fatal(err)
+	}
+	// Reclaim b's (type, name) under a new ID, then more churn.
+	b2, _ := tx.MergeNode("CVE", "b", map[string]string{"sev": "low"})
+	if b2 == b {
+		t.Fatalf("expected fresh id for recreated node, got %d", b2)
+	}
+	if err := tx.SetAttr(a, "sev", "none"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tx.AddEdge(b2, "affects", a, nil); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := tx.MergeNode("Malware", "c", nil)
+	if err := tx.DeleteNode(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := saveBytesOf(t, s); !bytes.Equal(got, want) {
+		t.Errorf("store state after rollback differs from pre-tx state:\npre:  %s\npost: %s", want, got)
+	}
+	if got := s.Stats(); got.MergeHits != wantStats.MergeHits {
+		t.Errorf("mergeHits = %d, want %d", got.MergeHits, wantStats.MergeHits)
+	}
+	if n := s.FindNode("CVE", "b"); n == nil || n.ID != b {
+		t.Errorf("FindNode(b) = %+v, want id %d", n, b)
+	}
+	if got := len(s.NodeIDsByAttr("sev", "high")); got != 1 {
+		t.Errorf("NodeIDsByAttr(high) = %d, want 1", got)
+	}
+	if got := len(s.NodeIDsByAttr("sev", "none")); got != 0 {
+		t.Errorf("NodeIDsByAttr(none) = %d, want 0", got)
+	}
+	if got := len(s.Edges(a, Both)); got != 1 {
+		t.Errorf("Edges(a) = %d, want 1", got)
+	}
+	// Allocators restored: the next node reuses the rolled-back ID space.
+	d, _ := s.MergeNode("T", "d", nil)
+	if d != b+1 {
+		t.Errorf("next node id = %d, want %d", d, b+1)
+	}
+}
+
+func TestTxWALBuffering(t *testing.T) {
+	s := New()
+	var log []MutationOp
+	s.SetMutationHook(func(m Mutation) { log = append(log, m.Op) })
+
+	// Multi-mutation tx commits as a wrapped group.
+	tx := s.BeginTx()
+	a, _ := tx.MergeNode("T", "a", nil)
+	bID, _ := tx.MergeNode("T", "b", nil)
+	if _, _, err := tx.AddEdge(a, "rel", bID, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != 0 {
+		t.Fatalf("hook fired before commit: %v", log)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	want := []MutationOp{OpTxBegin, OpMergeNode, OpMergeNode, OpAddEdge, OpTxCommit}
+	if fmt.Sprint(log) != fmt.Sprint(want) {
+		t.Errorf("committed log = %v, want %v", log, want)
+	}
+
+	// Single-mutation tx logs as a bare record.
+	log = nil
+	tx2 := s.BeginTx()
+	if err := tx2.SetAttr(a, "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(log) != fmt.Sprint([]MutationOp{OpSetAttr}) {
+		t.Errorf("single-mutation log = %v, want [set_attr]", log)
+	}
+
+	// Rolled-back tx logs nothing.
+	log = nil
+	tx3 := s.BeginTx()
+	tx3.MergeNode("T", "x", nil)
+	if err := tx3.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != 0 {
+		t.Errorf("rollback logged %v", log)
+	}
+
+	// Read-only tx commits without logging or blocking.
+	log = nil
+	tx4 := s.BeginTx()
+	_ = tx4.Node(a)
+	if err := tx4.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != 0 {
+		t.Errorf("read-only tx logged %v", log)
+	}
+}
+
+// TestConcurrentSnapshotReadsDuringTx drives parallel snapshot readers
+// while a writer transaction churns; every reader must observe one of
+// the committed states (sum invariant), never a torn intermediate.
+func TestConcurrentSnapshotReadsDuringTx(t *testing.T) {
+	s := New()
+	const keys = 8
+	ids := make([]NodeID, keys)
+	for i := range ids {
+		ids[i], _ = s.MergeNode("K", fmt.Sprintf("k%d", i), map[string]string{"v": "0"})
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sn := s.Snapshot()
+				first := sn.Node(ids[0]).Attrs["v"]
+				for _, id := range ids {
+					if got := sn.Node(id).Attrs["v"]; got != first {
+						t.Errorf("torn read: node %d has v=%q, first had %q", id, got, first)
+						sn.Release()
+						return
+					}
+				}
+				sn.Release()
+			}
+		}()
+	}
+	// The writer sets every key to the round number in one tx per round;
+	// odd rounds roll back, so only even values ever become visible.
+	for round := 1; round <= 50; round++ {
+		tx := s.BeginTx()
+		v := fmt.Sprint(round)
+		for _, id := range ids {
+			if err := tx.SetAttr(id, "v", v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if round%2 == 1 {
+			if err := tx.Rollback(); err != nil {
+				t.Fatal(err)
+			}
+		} else if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if got := s.Node(ids[0]).Attrs["v"]; got != "50" {
+		t.Errorf("final v=%q, want 50", got)
+	}
+}

@@ -29,6 +29,9 @@ type Server struct {
 
 	mu      sync.Mutex
 	history []*ViewGraph // view stack for the back button
+
+	txMu sync.Mutex            // guards txs (session.go)
+	txs  map[string]*txSession // open transaction sessions by token
 }
 
 // New builds the server with the default query options.
@@ -157,6 +160,15 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, out)
 }
 
+// cypherRequest is the /api/cypher request body.
+type cypherRequest struct {
+	Query   string         `json:"query"`
+	Params  map[string]any `json:"params"`
+	Explain bool           `json:"explain"` // render the plan instead of executing
+	Stream  bool           `json:"stream"`  // NDJSON row-by-row response
+	Tx      string         `json:"tx"`      // transaction token (session.go)
+}
+
 // handleCypher executes a Cypher statement POSTed as JSON:
 //
 //	{"query": "match (m {name: $ioc})-[r]-(x) return x.name",
@@ -172,17 +184,18 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 // line: a columns header, then {"row": [...]} per result row as it is
 // matched, then a {"done": n} trailer with the write counters when the
 // statement wrote — or {"error": ...} if the stream fails mid-way).
+//
+// Transactions: {"query": "BEGIN"} opens a session and returns
+// {"tx": "<token>"}; subsequent requests carrying that token run inside
+// the transaction (consistent snapshot + own writes, nothing visible to
+// others until COMMIT). COMMIT / ROLLBACK with the token end it; idle
+// sessions expire after a few minutes (session.go).
 func (s *Server) handleCypher(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpErr(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	var req struct {
-		Query   string         `json:"query"`
-		Params  map[string]any `json:"params"`
-		Explain bool           `json:"explain"` // render the plan instead of executing
-		Stream  bool           `json:"stream"`  // NDJSON row-by-row response
-	}
+	var req cypherRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpErr(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
@@ -196,6 +209,29 @@ func (s *Server) handleCypher(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, map[string]string{"plan": plan})
 		return
 	}
+	op, err := cypher.TxOpOf(req.Query)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Tx == "" {
+		switch op {
+		case cypher.TxBegin:
+			token, err := s.beginTxSession()
+			if err != nil {
+				httpErr(w, http.StatusServiceUnavailable, "%v", err)
+				return
+			}
+			writeJSON(w, map[string]string{"tx": token})
+			return
+		case cypher.TxCommit, cypher.TxRollback:
+			httpErr(w, http.StatusBadRequest, "no open transaction — BEGIN first and pass its tx token")
+			return
+		}
+	} else {
+		s.txCypher(w, r, &req, op)
+		return
+	}
 	if req.Stream {
 		s.streamCypher(w, r, req.Query, req.Params)
 		return
@@ -205,8 +241,13 @@ func (s *Server) handleCypher(w http.ResponseWriter, r *http.Request) {
 		httpErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	// Render rows to strings for transport. (An "EXPLAIN match ..."
-	// statement flows through here too, returning plan lines as rows.)
+	writeCypherResult(w, res)
+}
+
+// writeCypherResult renders a materialized result for transport, rows
+// as strings. (An "EXPLAIN match ..." statement flows through here too,
+// returning plan lines as rows.)
+func writeCypherResult(w http.ResponseWriter, res *cypher.Result) {
 	out := struct {
 		Columns   []string           `json:"columns"`
 		Rows      [][]string         `json:"rows"`
@@ -235,6 +276,12 @@ func (s *Server) streamCypher(w http.ResponseWriter, r *http.Request, query stri
 		httpErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	s.streamRows(w, r, rows)
+}
+
+// streamRows drains a cursor as NDJSON (shared by the plain and
+// transaction-session streaming paths).
+func (s *Server) streamRows(w http.ResponseWriter, r *http.Request, rows *cypher.Rows) {
 	defer rows.Close()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)

@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"securitykg/internal/cypher"
 	"securitykg/internal/graph"
@@ -585,5 +586,171 @@ func TestCypherReadOnlyServer(t *testing.T) {
 	_, out = postCypher(t, s, map[string]any{"query": `match (n) return n.name`})
 	if len(out.Rows) != 1 {
 		t.Fatalf("read on read-only server: %+v", out)
+	}
+}
+
+// TestCypherTxSession drives a multi-statement transaction over the
+// API: BEGIN returns a token, statements carrying it see their own
+// uncommitted writes while plain requests do not, COMMIT publishes
+// atomically and invalidates the token.
+func TestCypherTxSession(t *testing.T) {
+	s, store, _ := testServer(t)
+
+	// BEGIN -> {"tx": token}.
+	body, _ := json.Marshal(map[string]any{"query": "BEGIN"})
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("POST", "/api/cypher", bytes.NewReader(body)))
+	if rec.Code != 200 {
+		t.Fatalf("BEGIN status %d: %s", rec.Code, rec.Body.String())
+	}
+	var begin struct{ Tx string }
+	if err := json.Unmarshal(rec.Body.Bytes(), &begin); err != nil || begin.Tx == "" {
+		t.Fatalf("BEGIN response %s (err %v)", rec.Body.String(), err)
+	}
+
+	// A write inside the session...
+	if rec, _ := postCypher(t, s, map[string]any{
+		"tx":    begin.Tx,
+		"query": `merge (m:Malware {name: "intx"}) set m.stage = "draft"`,
+	}); rec.Code != 200 {
+		t.Fatalf("tx write status %d: %s", rec.Code, rec.Body.String())
+	}
+	// ...is visible to the session...
+	if _, res := postCypher(t, s, map[string]any{
+		"tx":    begin.Tx,
+		"query": `match (m:Malware {name: "intx"}) return m.stage`,
+	}); len(res.Rows) != 1 || res.Rows[0][0] != "draft" {
+		t.Fatalf("own write invisible inside tx: %+v", res.Rows)
+	}
+	// ...but not to plain requests, which pin their own committed
+	// snapshot. (Store.FindNode deliberately reads latest state beneath
+	// MVCC, so snapshot isolation is asserted through the query path.)
+	if _, res := postCypher(t, s, map[string]any{
+		"query": `match (m:Malware {name: "intx"}) return m.stage`,
+	}); len(res.Rows) != 0 {
+		t.Fatalf("uncommitted write leaked outside the session: %+v", res.Rows)
+	}
+
+	// COMMIT publishes and ends the session.
+	if rec, _ := postCypher(t, s, map[string]any{"tx": begin.Tx, "query": "COMMIT"}); rec.Code != 200 {
+		t.Fatalf("COMMIT status %d: %s", rec.Code, rec.Body.String())
+	}
+	if n := store.FindNode("Malware", "intx"); n == nil || n.Attrs["stage"] != "draft" {
+		t.Fatalf("committed write missing from the store: %+v", n)
+	}
+	if rec, _ := postCypher(t, s, map[string]any{
+		"tx":    begin.Tx,
+		"query": `match (m) return count(m)`,
+	}); rec.Code != http.StatusBadRequest {
+		t.Fatalf("finished token still accepted: status %d", rec.Code)
+	}
+}
+
+// TestCypherTxSessionErrors covers the refusal paths: unknown tokens,
+// COMMIT with no session, and rollback discarding the session's writes.
+func TestCypherTxSessionErrors(t *testing.T) {
+	s, store, _ := testServer(t)
+
+	if rec, _ := postCypher(t, s, map[string]any{
+		"tx":    "deadbeef",
+		"query": `match (m) return count(m)`,
+	}); rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown token: status %d", rec.Code)
+	}
+	if rec, _ := postCypher(t, s, map[string]any{"query": "COMMIT"}); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bare COMMIT: status %d, want 400", rec.Code)
+	}
+
+	body, _ := json.Marshal(map[string]any{"query": "begin transaction"})
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("POST", "/api/cypher", bytes.NewReader(body)))
+	var begin struct{ Tx string }
+	json.Unmarshal(rec.Body.Bytes(), &begin)
+	if begin.Tx == "" {
+		t.Fatalf("begin transaction: %s", rec.Body.String())
+	}
+	postCypher(t, s, map[string]any{"tx": begin.Tx, "query": `create (m:Malware {name: "ghost"})`})
+	if rec, _ := postCypher(t, s, map[string]any{"tx": begin.Tx, "query": "ROLLBACK"}); rec.Code != 200 {
+		t.Fatalf("ROLLBACK status %d: %s", rec.Code, rec.Body.String())
+	}
+	if store.FindNode("Malware", "ghost") != nil {
+		t.Fatal("rolled-back write reached the store")
+	}
+}
+
+// TestCypherTxSessionStream: NDJSON streaming works inside a session
+// and sees the session's uncommitted writes.
+func TestCypherTxSessionStream(t *testing.T) {
+	s, _, _ := testServer(t)
+	body, _ := json.Marshal(map[string]any{"query": "BEGIN"})
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("POST", "/api/cypher", bytes.NewReader(body)))
+	var begin struct{ Tx string }
+	json.Unmarshal(rec.Body.Bytes(), &begin)
+	if begin.Tx == "" {
+		t.Fatalf("BEGIN: %s", rec.Body.String())
+	}
+	postCypher(t, s, map[string]any{"tx": begin.Tx, "query": `create (m:Malware {name: "streamed"})`})
+
+	body, _ = json.Marshal(map[string]any{
+		"tx":     begin.Tx,
+		"stream": true,
+		"query":  `match (m:Malware {name: "streamed"}) return m.name`,
+	})
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("POST", "/api/cypher", bytes.NewReader(body)))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "streamed") {
+		t.Fatalf("tx stream status %d: %s", rec.Code, rec.Body.String())
+	}
+	// A malformed statement inside the stream path reports 400.
+	body, _ = json.Marshal(map[string]any{"tx": begin.Tx, "stream": true, "query": `match (`})
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("POST", "/api/cypher", bytes.NewReader(body)))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("tx stream parse error: status %d", rec.Code)
+	}
+	postCypher(t, s, map[string]any{"tx": begin.Tx, "query": "ROLLBACK"})
+}
+
+// TestTxSessionCapAndSweep exercises the session limit and the idle
+// reaper directly against the session table.
+func TestTxSessionCapAndSweep(t *testing.T) {
+	s, _, _ := testServer(t)
+	tokens := make([]string, 0, txSessionMax)
+	for i := 0; i < txSessionMax; i++ {
+		tok, err := s.beginTxSession()
+		if err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+		tokens = append(tokens, tok)
+	}
+	if _, err := s.beginTxSession(); err == nil {
+		t.Fatalf("session %d opened past the cap", txSessionMax+1)
+	}
+	// Pretend every session has been idle past the deadline: the sweep
+	// rolls them back and frees the table.
+	s.txMu.Lock()
+	for _, sess := range s.txs {
+		sess.last = time.Now().Add(-2 * txSessionIdle)
+	}
+	s.sweepTxLocked(time.Now())
+	left := len(s.txs)
+	s.txMu.Unlock()
+	if left != 0 {
+		t.Fatalf("%d sessions survived the idle sweep", left)
+	}
+	if sess := s.lookupTx(tokens[0]); sess != nil {
+		t.Fatal("swept token still resolves")
+	}
+	// The cap has room again.
+	tok, err := s.beginTxSession()
+	if err != nil {
+		t.Fatalf("begin after sweep: %v", err)
+	}
+	if sess := s.lookupTx(tok); sess == nil {
+		t.Fatal("fresh token does not resolve")
+	} else {
+		sess.tx.Rollback()
+		s.dropTx(tok)
 	}
 }

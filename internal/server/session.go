@@ -1,0 +1,120 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"securitykg/internal/cypher"
+)
+
+// Transaction sessions: a BEGIN statement on /api/cypher opens an
+// explicit multi-statement transaction and returns an opaque token;
+// subsequent requests carrying {"tx": token} run inside it until COMMIT
+// or ROLLBACK. Sessions idle past txSessionIdle are rolled back and
+// reaped (a client that went away must not hold the store's writer lock
+// forever), and at most txSessionMax may be open at once.
+
+const (
+	txSessionIdle = 5 * time.Minute
+	txSessionMax  = 32
+)
+
+// txSession is one open transaction bound to a token. mu serializes
+// requests on the same token (a cypher.Tx is single-goroutine).
+type txSession struct {
+	mu   sync.Mutex
+	tx   *cypher.Tx
+	last time.Time
+}
+
+// beginTxSession opens a transaction and registers it under a fresh
+// random token.
+func (s *Server) beginTxSession() (string, error) {
+	s.txMu.Lock()
+	defer s.txMu.Unlock()
+	s.sweepTxLocked(time.Now())
+	if len(s.txs) >= txSessionMax {
+		return "", fmt.Errorf("too many open transactions (%d); COMMIT or ROLLBACK one first", len(s.txs))
+	}
+	tx, err := s.eng.Begin()
+	if err != nil {
+		return "", err
+	}
+	var buf [16]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		tx.Rollback()
+		return "", err
+	}
+	token := hex.EncodeToString(buf[:])
+	if s.txs == nil {
+		s.txs = map[string]*txSession{}
+	}
+	s.txs[token] = &txSession{tx: tx, last: time.Now()}
+	return token, nil
+}
+
+// lookupTx resolves a token (sweeping expired sessions on the way).
+func (s *Server) lookupTx(token string) *txSession {
+	s.txMu.Lock()
+	defer s.txMu.Unlock()
+	s.sweepTxLocked(time.Now())
+	return s.txs[token]
+}
+
+// dropTx removes a finished session.
+func (s *Server) dropTx(token string) {
+	s.txMu.Lock()
+	defer s.txMu.Unlock()
+	delete(s.txs, token)
+}
+
+// sweepTxLocked rolls back and reaps sessions idle past txSessionIdle.
+// A session currently executing a request (mu held) is skipped — its
+// last-use time refreshes when the request finishes.
+func (s *Server) sweepTxLocked(now time.Time) {
+	for token, sess := range s.txs {
+		if now.Sub(sess.last) < txSessionIdle {
+			continue
+		}
+		if !sess.mu.TryLock() {
+			continue // in use right now
+		}
+		sess.tx.Rollback() // aborted/finished rollbacks are no-ops or errors we don't care about
+		sess.mu.Unlock()
+		delete(s.txs, token)
+	}
+}
+
+// txCypher executes one request inside an open transaction session.
+func (s *Server) txCypher(w http.ResponseWriter, r *http.Request, req *cypherRequest, op cypher.TxOp) {
+	sess := s.lookupTx(req.Tx)
+	if sess == nil {
+		httpErr(w, http.StatusBadRequest, "unknown or expired transaction %q", req.Tx)
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	defer func() { sess.last = time.Now() }()
+	if req.Stream && op == cypher.TxNone {
+		rows, err := sess.tx.QueryRows(req.Query, req.Params)
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		s.streamRows(w, r, rows)
+		return
+	}
+	res, err := sess.tx.Query(req.Query, req.Params)
+	if sess.tx.Done() {
+		s.dropTx(req.Tx)
+	}
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeCypherResult(w, res)
+}

@@ -75,6 +75,13 @@ const (
 	opDeleteNode
 	opDeleteEdge
 	opMigrateEdges
+	// Transaction markers: opcode only, no fields after it. tx_begin /
+	// tx_commit bracket a committed multi-mutation transaction; recovery
+	// replays a group only once its tx_commit is seen, and a tx_rollback
+	// (never written by this code, but accepted) discards the open group.
+	opTxBegin
+	opTxCommit
+	opTxRollback
 )
 
 func opcodeOf(op graph.MutationOp) (byte, bool) {
@@ -91,6 +98,12 @@ func opcodeOf(op graph.MutationOp) (byte, bool) {
 		return opDeleteEdge, true
 	case graph.OpMigrateEdges:
 		return opMigrateEdges, true
+	case graph.OpTxBegin:
+		return opTxBegin, true
+	case graph.OpTxCommit:
+		return opTxCommit, true
+	case graph.OpTxRollback:
+		return opTxRollback, true
 	}
 	return 0, false
 }
@@ -109,6 +122,12 @@ func mutationOpOf(b byte) (graph.MutationOp, bool) {
 		return graph.OpDeleteEdge, true
 	case opMigrateEdges:
 		return graph.OpMigrateEdges, true
+	case opTxBegin:
+		return graph.OpTxBegin, true
+	case opTxCommit:
+		return graph.OpTxCommit, true
+	case opTxRollback:
+		return graph.OpTxRollback, true
 	}
 	return "", false
 }

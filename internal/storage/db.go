@@ -62,6 +62,7 @@ type RecoveryInfo struct {
 	SnapshotSeq uint64 // checkpoint the snapshot covered (0 = none)
 	Replayed    int    // WAL records applied on top of it
 	TornTail    bool   // a damaged final record was discarded
+	TxDiscarded int    // records of uncommitted transactions discarded
 }
 
 // Options tune a DB.
@@ -155,22 +156,18 @@ func Open(dir string, opts Options) (*DB, error) {
 			}
 		}
 		// Stream the valid prefix straight into the store: the scanner
-		// decodes each record into one reused slot and ApplyStream folds
-		// it in bulk mode (per-mutation adjacency compaction and stats
-		// checks deferred to a single sealing pass) — recovery never
-		// materializes the record list, which together with the bulk
-		// economics is most of the difference between replaying 20k
+		// decodes each record into one reused slot, the transaction fold
+		// releases only committed groups, and ApplyStream folds the
+		// result in bulk mode (per-mutation adjacency compaction and
+		// stats checks deferred to a single sealing pass) — recovery
+		// never materializes the record list, which together with the
+		// bulk economics is most of the difference between replaying 20k
 		// records and loading the same state from a snapshot.
 		sc := newWALScanner(f).reuseAttrs()
+		fold := newTxFold(sc)
 		var rec Record
 		applied, aerr := st.ApplyStream(func() (graph.Mutation, bool) {
-			for sc.next(&rec) {
-				if rec.Seq <= snapSeq {
-					continue
-				}
-				return rec.Mutation(), true
-			}
-			return graph.Mutation{}, false
+			return fold.next(&rec, snapSeq)
 		})
 		fi, serr := f.Stat()
 		f.Close()
@@ -181,14 +178,26 @@ func Open(dir string, opts Options) (*DB, error) {
 			return nil, fmt.Errorf("storage: replay seq %d: %w", rec.Seq, aerr)
 		}
 		db.Recovered.Replayed += applied
-		if sc.lastSeq > lastSeq {
-			lastSeq = sc.lastSeq
+		db.Recovered.TxDiscarded = fold.discarded
+		// A transaction left open by the end of the log (crash between a
+		// commit's group-flush frames) is cut off exactly like a torn
+		// record: the appender resumes from the committed watermark — the
+		// scanner state at the last record boundary outside an open
+		// group. The dictionary is append-only, so truncating the log to
+		// that offset is matched by truncating the dict to its length at
+		// that offset.
+		valid, scSeq, dict := sc.res.valid, sc.lastSeq, sc.res.dict
+		if fold.dangling() {
+			valid, scSeq, dict = fold.validAt, fold.seqAt, dict[:fold.dictAt]
 		}
-		validLen = sc.res.valid
-		fileCodec, dictSeed = sc.res.codec, sc.res.dict
-		if sc.res.torn || fi.Size() > sc.res.valid {
-			db.Recovered.TornTail = sc.res.torn
-			if terr := os.Truncate(walPath, sc.res.valid); terr != nil {
+		if scSeq > lastSeq {
+			lastSeq = scSeq
+		}
+		validLen = valid
+		fileCodec, dictSeed = sc.res.codec, dict
+		if sc.res.torn || fi.Size() > valid {
+			db.Recovered.TornTail = sc.res.torn || fold.dangling()
+			if terr := os.Truncate(walPath, valid); terr != nil {
 				return nil, fmt.Errorf("storage: truncate torn wal: %w", terr)
 			}
 		}
@@ -403,13 +412,20 @@ func (db *DB) Checkpoint() error {
 		return fmt.Errorf("storage: checkpoint: %w", err)
 	}
 	var seq, fails uint64
-	if db.opts.Codec == CodecJSON {
-		err = db.store.SaveWithHeader(f, func(w io.Writer) error {
-			seq, fails = db.wal.state()
-			return json.NewEncoder(w).Encode(snapHeader{Magic: snapMagic, Seq: seq})
-		})
-	} else {
-		err = db.store.SaveBinaryWithHeader(f, func(w io.Writer) error {
+	// Quiesce excludes writers (including an open transaction, which
+	// holds the writer lock from its first write to commit/rollback) for
+	// the duration of the snapshot: the store state and covering seq are
+	// captured at a transaction boundary, never mid-group, so a
+	// checkpoint can never persist half a transaction whose WAL group is
+	// then truncated away.
+	err = db.store.Quiesce(func() error {
+		if db.opts.Codec == CodecJSON {
+			return db.store.SaveWithHeader(f, func(w io.Writer) error {
+				seq, fails = db.wal.state()
+				return json.NewEncoder(w).Encode(snapHeader{Magic: snapMagic, Seq: seq})
+			})
+		}
+		return db.store.SaveBinaryWithHeader(f, func(w io.Writer) error {
 			seq, fails = db.wal.state()
 			hdr := make([]byte, 0, len(snapBinMagic)+binary.MaxVarintLen64)
 			hdr = append(hdr, snapBinMagic...)
@@ -417,7 +433,7 @@ func (db *DB) Checkpoint() error {
 			_, werr := w.Write(hdr)
 			return werr
 		})
-	}
+	})
 	if err != nil {
 		f.Close()
 		os.Remove(tmp)

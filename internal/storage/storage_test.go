@@ -26,10 +26,21 @@ func newMutGen(seed int64) *mutGen { return &mutGen{rng: rand.New(rand.NewSource
 var genTypes = []string{"Malware", "IP", "Tool", "ThreatActor"}
 var genEdgeTypes = []string{"CONNECT", "USE", "DROP"}
 
+// mutStore is the surface step drives: the bare store or an open
+// transaction — the generator's streams work identically through both.
+type mutStore interface {
+	MergeNode(typ, name string, attrs map[string]string) (graph.NodeID, bool)
+	AddEdge(from graph.NodeID, typ string, to graph.NodeID, attrs map[string]string) (graph.EdgeID, bool, error)
+	SetAttr(id graph.NodeID, key, val string) error
+	DeleteNode(id graph.NodeID) error
+	DeleteEdge(id graph.EdgeID) error
+	MigrateEdges(from, to graph.NodeID) error
+}
+
 // step applies one random operation to st. Operations are chosen so the
 // store keeps growing (deletes are rarer than creates) and so every
 // mutation op appears.
-func (g *mutGen) step(st *graph.Store) {
+func (g *mutGen) step(st mutStore) {
 	r := g.rng.Intn(100)
 	switch {
 	case r < 45 || len(g.nodes) < 2:

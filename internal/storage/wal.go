@@ -608,24 +608,128 @@ func scanWAL(r io.Reader) replayResult {
 	return sc.res
 }
 
-// ReplayReader applies every valid record in r with seq > afterSeq to
-// the store, returning how many records were applied and whether a
-// damaged tail was discarded. Exposed for fuzzing and tests; Open wires
-// it into directory recovery.
-func ReplayReader(r io.Reader, st *graph.Store, afterSeq uint64) (applied int, torn bool, err error) {
-	sc := newWALScanner(r).reuseAttrs()
-	var rec Record
-	applied, aerr := st.ApplyStream(func() (graph.Mutation, bool) {
-		for sc.next(&rec) {
-			if rec.Seq <= afterSeq {
+// txFold layers transaction semantics over a walScanner: mutations
+// between a tx_begin and its tx_commit are buffered and released to the
+// consumer only once the commit record is scanned; a tx_rollback, a
+// tx_begin inside an open group (can only come from a foreign or
+// corrupted log), or end-of-log with the group still open discards the
+// buffered records. The fold also tracks the committed watermark — the
+// scanner state at the last record boundary outside an open
+// transaction — so recovery can truncate a dangling group off the log
+// tail exactly like a torn record: validAt/seqAt/dictAt are what the
+// appender must resume from when the log is cut there.
+type txFold struct {
+	sc        *walScanner
+	inTx      bool
+	pending   []graph.Mutation
+	drain     int // next pending index to hand out; -1 when not draining
+	discarded int // records of open/rolled-back groups that were dropped
+
+	validAt int64  // committed watermark: byte offset
+	seqAt   uint64 // committed watermark: last sequence number
+	dictAt  int    // committed watermark: dictionary length
+}
+
+func newTxFold(sc *walScanner) *txFold {
+	tf := &txFold{sc: sc, drain: -1}
+	tf.mark()
+	return tf
+}
+
+// mark advances the committed watermark to the scanner's current state.
+func (tf *txFold) mark() {
+	tf.validAt = tf.sc.res.valid
+	tf.seqAt = tf.sc.lastSeq
+	tf.dictAt = len(tf.sc.res.dict)
+}
+
+// dangling reports whether the log ended inside an open transaction —
+// the caller should truncate to the committed watermark.
+func (tf *txFold) dangling() bool { return tf.inTx }
+
+// next yields the next mutation to replay, skipping records with
+// seq <= afterSeq (already covered by a snapshot). rec is the caller's
+// scratch record slot (shared with the scanner).
+func (tf *txFold) next(rec *Record, afterSeq uint64) (graph.Mutation, bool) {
+	for {
+		if tf.drain >= 0 {
+			if tf.drain < len(tf.pending) {
+				m := tf.pending[tf.drain]
+				tf.drain++
+				return m, true
+			}
+			tf.drain = -1
+			tf.pending = tf.pending[:0]
+		}
+		if !tf.sc.next(rec) {
+			if tf.inTx {
+				tf.discarded += len(tf.pending) + 1 // +1 for the tx_begin
+				tf.pending = tf.pending[:0]
+			}
+			return graph.Mutation{}, false
+		}
+		switch rec.Op {
+		case graph.OpTxBegin:
+			if tf.inTx {
+				tf.discarded += len(tf.pending) + 1
+				tf.pending = tf.pending[:0]
+			}
+			tf.inTx = true
+		case graph.OpTxCommit:
+			if tf.inTx {
+				tf.inTx = false
+				tf.mark()
+				tf.drain = 0 // release the group (possibly empty)
+			} else {
+				tf.mark() // stray commit outside a group: ignore
+			}
+		case graph.OpTxRollback:
+			if tf.inTx {
+				tf.discarded += len(tf.pending) + 2 // begin + rollback
+				tf.pending = tf.pending[:0]
+				tf.inTx = false
+			}
+			tf.mark()
+		default:
+			if tf.inTx {
+				if rec.Seq > afterSeq {
+					// The scanner may reuse the record's attr map for the
+					// next decode; buffered mutations need their own copy.
+					m := rec.Mutation()
+					if len(m.Attrs) > 0 {
+						attrs := make(map[string]string, len(m.Attrs))
+						for k, v := range m.Attrs {
+							attrs[k] = v
+						}
+						m.Attrs = attrs
+					}
+					tf.pending = append(tf.pending, m)
+				}
 				continue
 			}
-			return rec.Mutation(), true
+			tf.mark()
+			if rec.Seq > afterSeq {
+				return rec.Mutation(), true
+			}
 		}
-		return graph.Mutation{}, false
+	}
+}
+
+// ReplayReader applies every valid record in r with seq > afterSeq to
+// the store — transactional groups atomically: only committed groups
+// replay, and a group left open by the end of the log is discarded like
+// a torn record. Returns how many mutations were applied and whether a
+// damaged or dangling tail was discarded. Exposed for fuzzing and
+// tests; Open wires the same fold into directory recovery.
+func ReplayReader(r io.Reader, st *graph.Store, afterSeq uint64) (applied int, torn bool, err error) {
+	sc := newWALScanner(r).reuseAttrs()
+	fold := newTxFold(sc)
+	var rec Record
+	applied, aerr := st.ApplyStream(func() (graph.Mutation, bool) {
+		return fold.next(&rec, afterSeq)
 	})
 	if aerr != nil {
 		return applied, sc.res.torn, fmt.Errorf("storage: replay seq %d: %w", rec.Seq, aerr)
 	}
-	return applied, sc.res.torn, nil
+	return applied, sc.res.torn || fold.dangling(), nil
 }
