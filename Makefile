@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet bench bench-storage cover fuzz crash-test
+.PHONY: build test vet bench bench-storage cover fuzz crash-test replication-test
 
 build:
 	$(GO) build ./...
@@ -17,11 +17,23 @@ build:
 # randomized interleavings against the snapshot-isolation oracle) and
 # the parallel reader stress test under -race with fresh counts, so the
 # MVCC visibility paths get a dedicated concurrency shakedown beyond
-# the cached full-suite run.
+# the cached full-suite run, followed by the leader/follower
+# replication integration pass (replication-test).
 test: vet
 	$(GO) test -race ./...
 	$(GO) test -run 'Allocs' ./internal/graph/ ./internal/storage/
 	$(GO) test -race -count=2 -run 'TestSchedule|TestConcurrentReadersSeeAtomicWrites|TestTx' ./internal/cypher/
+	$(MAKE) replication-test
+
+# replication-test runs the leader/follower integration suite under
+# -race with fresh counts: two-node convergence (Save byte-equality
+# across snapshot catch-up, live tail, transaction groups), follower
+# and leader restarts mid-stream, the snapshot-required/stale path,
+# the read-your-writes e2e over real HTTP servers, and the follower
+# SIGKILL crash harness (TestFollowerCrashKill re-randomizes its kill
+# timing per count).
+replication-test:
+	$(GO) test -race ./internal/replication/ -count=2 -v -run 'TestReplicate|TestFollower|TestLeader|TestSnapshot|TestTwoNode|TestBootstrap|TestFrame'
 
 vet:
 	$(GO) vet ./...
@@ -29,13 +41,15 @@ vet:
 # bench runs the Cypher engine benchmarks (planned vs legacy, index
 # on/off, variable-length paths, MERGE write path, hash join vs nested
 # loop, bidirectional expand, parallel scans) plus the durability
-# benchmarks (WAL append throughput, cold-start recovery) and the MVCC
+# benchmarks (WAL append throughput, cold-start recovery), the MVCC
 # contention benchmark (ConcurrentReadersDuringWrites: snapshot reads
-# vs an exclusive global lock), and records the raw `go test -json`
-# event stream in BENCH_cypher.json so the perf trajectory is diffable
+# vs an exclusive global lock), and the replication benchmarks
+# (follower catch-up records/s over the HTTP stream, steady-state lag
+# behind a write burst), and records the raw `go test -json` event
+# stream in BENCH_cypher.json so the perf trajectory is diffable
 # across PRs.
 bench:
-	$(GO) test -run '^$$' -bench 'Cypher|WAL|ConcurrentReaders' -benchmem -benchtime 50x . -json | tee BENCH_cypher.json | \
+	$(GO) test -run '^$$' -bench 'Cypher|WAL|ConcurrentReaders|Replication' -benchmem -benchtime 50x . -json | tee BENCH_cypher.json | \
 		grep -o '"Output":"Benchmark[^"]*' | sed 's/"Output":"//; s/\\t/\t/g; s/\\n//' || true
 
 # bench-storage runs the binary-vs-JSON storage codec matrix (WAL

@@ -13,11 +13,20 @@
 // server therefore resumes exactly where it stopped instead of
 // re-ingesting from scratch.
 //
+// A durable server is also a replication leader: /replication/snapshot
+// and /replication/wal let any number of read replicas bootstrap and
+// tail its write-ahead log. Start a replica with -replicate-from
+// pointing at the leader; it serves every read endpoint (honoring
+// min_seq read-your-writes tokens) and answers writes with an HTTP 421
+// redirect naming the leader. /healthz and /replication/status report
+// role, applied sequence numbers, and lag.
+//
 // Usage:
 //
 //	skg-server [-addr :8080] [-reports 10] [-graph kg.jsonl]
 //	           [-data-dir ./data] [-fsync interval|always|never]
 //	           [-codec binary|json] [-compact-mb 64]
+//	           [-replicate-from http://leader:8080] [-advertise URL]
 package main
 
 import (
@@ -33,6 +42,7 @@ import (
 
 	"securitykg"
 	"securitykg/internal/cypher"
+	"securitykg/internal/replication"
 	"securitykg/internal/server"
 	"securitykg/internal/storage"
 )
@@ -47,8 +57,13 @@ func main() {
 		codecFlag = flag.String("codec", "binary", "on-disk WAL/snapshot codec: binary | json (recovery reads either; the directory converts at its next checkpoint)")
 		compactMB = flag.Int("compact-mb", 64, "snapshot and truncate the WAL once it exceeds this many MiB (0 disables automatic compaction)")
 		readOnly  = flag.Bool("read-only", false, "reject Cypher write statements on /api/cypher (implied by -graph, which serves a snapshot whose writes would not persist)")
+		replFrom  = flag.String("replicate-from", "", "run as a read-only replica of the leader at this base URL (e.g. http://leader:8080); requires -data-dir")
+		advertise = flag.String("advertise", "", "base URL replicas and redirected clients should use to reach this node (leader side)")
 	)
 	flag.Parse()
+	if *replFrom != "" && *dataDir == "" {
+		log.Fatalf("skg-server: -replicate-from requires -data-dir (the replica's own durable state)")
+	}
 
 	fmt.Println("skg-server: building system...")
 	sys, err := securitykg.New(securitykg.Options{ReportsPerSource: *reports})
@@ -71,6 +86,16 @@ func main() {
 		if *compactMB <= 0 {
 			compactBytes = -1 // flag semantics: 0 disables (Options treats 0 as "default")
 		}
+		if *replFrom != "" {
+			// Replica bootstrap: an empty data dir is filled from a
+			// leader snapshot before Open; a dir with state resumes
+			// from its own WAL and catches up over the tail stream.
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+			if err := replication.Bootstrap(ctx, *dataDir, *replFrom, nil, log.Default()); err != nil {
+				log.Fatalf("skg-server: %v", err)
+			}
+			cancel()
+		}
 		db, err = storage.Open(*dataDir, storage.Options{
 			Sync:         policy,
 			CompactBytes: compactBytes,
@@ -83,7 +108,7 @@ func main() {
 			*dataDir, db.Recovered.SnapshotSeq, db.Recovered.Replayed, db.Recovered.TornTail)
 		// Adopt before ingesting so every ingested mutation is logged.
 		sys.AdoptStore(db.Store())
-		if db.Store().CountNodes() == 0 && *reports > 0 {
+		if *replFrom == "" && db.Store().CountNodes() == 0 && *reports > 0 {
 			ingest(sys)
 			if err := db.Checkpoint(); err != nil {
 				log.Fatalf("skg-server: post-ingest checkpoint: %v", err)
@@ -91,6 +116,12 @@ func main() {
 			fmt.Println("skg-server: initial ingest checkpointed")
 		} else {
 			sys.RebuildIndex()
+		}
+		if *replFrom != "" {
+			// A replica's store is the leader's store: local Cypher
+			// writes would fork it, so the engine is read-only and the
+			// server redirects writers to the leader.
+			*readOnly = true
 		}
 	case *graphIn != "":
 		if err := sys.LoadGraph(*graphIn); err != nil {
@@ -109,9 +140,66 @@ func main() {
 
 	opts := cypher.DefaultOptions()
 	opts.ReadOnly = *readOnly
+	srv := server.NewWith(sys.Store, sys.Index, opts)
 	mux := http.NewServeMux()
-	mux.Handle("/api/", server.NewWith(sys.Store, sys.Index, opts))
+	mux.Handle("/api/", srv)
+	mux.Handle("/healthz", srv)
 	mux.Handle("/s/", sys.Web()) // the synthetic OSCTI web itself
+
+	// Replication wiring: a durable node is a leader (it can serve
+	// snapshots and its WAL tail to replicas, whether or not any ever
+	// connect); -replicate-from turns it into a replica instead.
+	var repl *replication.Replicator
+	switch {
+	case db != nil && *replFrom != "":
+		repl = replication.NewReplicator(db, *replFrom)
+		repl.Log = log.Default()
+		repl.RegisterStatus(mux)
+		srv.SetReplication(server.Replication{
+			Role:      "replica",
+			LeaderURL: *replFrom,
+			Seq:       repl.AppliedSeq,
+			WaitSeq:   repl.WaitApplied,
+			Health: func() map[string]any {
+				st := repl.Status()
+				h := map[string]any{
+					"dir_locked":  true,
+					"data_dir":    *dataDir,
+					"state":       st.State,
+					"applied_seq": st.CommittedSeq,
+					"lag_records": st.LagRecords,
+				}
+				if err := db.Err(); err != nil {
+					h["durability_error"] = err.Error()
+				}
+				return h
+			},
+		})
+		go func() {
+			if err := repl.Run(context.Background()); err != nil {
+				log.Printf("skg-server: replication stopped: %v", err)
+			}
+		}()
+		fmt.Printf("skg-server: replica of %s (data dir %s)\n", *replFrom, *dataDir)
+	case db != nil:
+		leader := &replication.Leader{DB: db, Advertise: *advertise, Log: log.Default()}
+		leader.Register(mux)
+		srv.SetReplication(server.Replication{
+			Role: "primary",
+			Seq:  db.CommittedSeq,
+			Health: func() map[string]any {
+				h := map[string]any{
+					"dir_locked":    true,
+					"data_dir":      *dataDir,
+					"committed_seq": db.CommittedSeq(),
+				}
+				if err := db.Err(); err != nil {
+					h["durability_error"] = err.Error()
+				}
+				return h
+			},
+		})
+	}
 
 	if db != nil {
 		// Watch for durability failures: writes keep succeeding in

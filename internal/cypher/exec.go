@@ -301,7 +301,7 @@ func (e *Engine) RunQuery(q *Query) (*Result, error) {
 // streaming executor against.
 func (e *Engine) runLegacy(q *Query, ps params) (*Result, error) {
 	if q.HasWrites() && e.opts.ReadOnly {
-		return nil, errReadOnly
+		return nil, ErrReadOnly
 	}
 	ex, finish, err := e.beginScope(q.HasWrites())
 	if err != nil {
@@ -353,9 +353,10 @@ func (e *Engine) runLegacyScoped(q *Query, ps params) (*Result, error) {
 	return nil, fmt.Errorf("cypher: query has no RETURN part")
 }
 
-// errReadOnly is the uniform rejection both engines return for write
-// statements on a ReadOnly engine.
-var errReadOnly = fmt.Errorf("cypher: write clauses (CREATE/MERGE/SET/DELETE) are disabled on this read-only engine")
+// ErrReadOnly is the uniform rejection both engines return for write
+// statements on a ReadOnly engine. Exported so callers can recognize it
+// with errors.Is — a replica server turns it into a leader redirect.
+var ErrReadOnly = fmt.Errorf("cypher: write clauses (CREATE/MERGE/SET/DELETE) are disabled on this read-only engine")
 
 // legacyMatchPart enumerates the bindings for one part's reading
 // clauses, processing the same clause runs the planner emits

@@ -275,7 +275,7 @@ func bindingBytes(b binding) int {
 // retained memory.
 func (e *Engine) rowsForPlan(pl *Plan, ps params) (*Rows, error) {
 	if pl.HasWrites && e.opts.ReadOnly {
-		return nil, errReadOnly
+		return nil, ErrReadOnly
 	}
 	// Scope the statement (tx.go): reads pin a snapshot, writes open an
 	// implicit store transaction. The returned cursor carries the scope's

@@ -1,0 +1,137 @@
+package replication
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"testing"
+	"time"
+
+	"securitykg/internal/storage"
+)
+
+// TestFollowerCrashKill is the replication half of the crash-recovery
+// property (the storage package proves the single-node half): a
+// follower process is SIGKILLed at an arbitrary moment — mid snapshot
+// install, mid recovery, or mid tail apply, wherever the random timer
+// lands — and after restart it must converge to the leader's exact
+// state. The follower's durability machinery is the same WAL the
+// leader's is, so recovery truncates any torn tail back to a
+// transaction-group boundary and the resumed stream re-ships the rest.
+//
+// The child process is this test binary re-exec'd in follower mode; the
+// parent hosts the leader, murders the child, then finishes the
+// catch-up in-process and compares Save output byte for byte.
+func TestFollowerCrashKill(t *testing.T) {
+	if dir := os.Getenv("SKG_REPL_CHILD_DIR"); dir != "" {
+		replCrashChild(dir)
+		return
+	}
+	if testing.Short() {
+		t.Skip("process-kill replication test skipped in -short mode")
+	}
+
+	ldir := t.TempDir()
+	ldb := openDB(t, ldir, storage.Options{Sync: storage.SyncNever, CompactBytes: -1})
+	defer ldb.Close()
+	wr := newWriter(time.Now().UnixNano())
+	for i := 0; i < 1500; i++ {
+		wr.step(ldb.Store())
+	}
+	mux := http.NewServeMux()
+	(&Leader{DB: ldb, HeartbeatEvery: 50 * time.Millisecond}).Register(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	fdir := t.TempDir() // reused across rounds: later kills hit a mid-catch-up dir
+	for round := 0; round < 3; round++ {
+		cmd := exec.Command(exe, "-test.run", "^TestFollowerCrashKill$")
+		cmd.Env = append(os.Environ(),
+			"SKG_REPL_CHILD_DIR="+fdir,
+			"SKG_REPL_LEADER_URL="+srv.URL)
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		// Writes keep flowing while the child replicates, so the kill
+		// can land mid tail-apply, not just mid catch-up.
+		killAt := time.After(time.Duration(20+rng.Intn(150)) * time.Millisecond)
+	loop:
+		for {
+			select {
+			case <-killAt:
+				break loop
+			default:
+				wr.step(ldb.Store())
+			}
+		}
+		cmd.Process.Kill()
+		cmd.Wait()
+
+		// Finish the catch-up in-process from whatever state the child
+		// left: possibly nothing (killed mid snapshot install), possibly
+		// a WAL cut at an arbitrary byte.
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if err := Bootstrap(ctx, fdir, srv.URL, nil, nil); err != nil {
+			cancel()
+			t.Fatalf("round %d: bootstrap after kill: %v", round, err)
+		}
+		fdb, err := storage.Open(fdir, storage.Options{Sync: storage.SyncNever, CompactBytes: -1})
+		if err != nil {
+			t.Fatalf("round %d: recovery after kill failed: %v", round, err)
+		}
+		repl := NewReplicator(fdb, srv.URL)
+		repl.Backoff = fastBackoff()
+		rctx, rcancel := context.WithCancel(ctx)
+		done := make(chan error, 1)
+		go func() { done <- repl.Run(rctx) }()
+		if err := repl.WaitApplied(ctx, ldb.CommittedSeq()); err != nil {
+			t.Fatalf("round %d: catch-up after kill: %v (applied %d, want %d)",
+				round, err, repl.AppliedSeq(), ldb.CommittedSeq())
+		}
+		got := saveBytes(t, fdb.Store())
+		want := saveBytes(t, ldb.Store())
+		rcancel()
+		<-done
+		fdb.Close()
+		cancel()
+		if !bytes.Equal(got, want) {
+			t.Fatalf("round %d: follower state differs from leader after crash recovery", round)
+		}
+		t.Logf("round %d: killed follower recovered and converged at seq %d", round, ldb.CommittedSeq())
+	}
+}
+
+// replCrashChild is the follower the parent kills: bootstrap, open,
+// tail as fast as possible until murdered.
+func replCrashChild(dir string) {
+	url := os.Getenv("SKG_REPL_LEADER_URL")
+	if url == "" {
+		fmt.Fprintln(os.Stderr, "repl crash child: no leader URL")
+		os.Exit(2)
+	}
+	ctx := context.Background()
+	if err := Bootstrap(ctx, dir, url, nil, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "repl crash child: bootstrap:", err)
+		os.Exit(2)
+	}
+	db, err := storage.Open(dir, storage.Options{Sync: storage.SyncNever, CompactBytes: -1})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repl crash child: open:", err)
+		os.Exit(2)
+	}
+	repl := NewReplicator(db, url)
+	if err := repl.Run(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "repl crash child: run:", err)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,196 @@
+package replication
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"securitykg/internal/cypher"
+	"securitykg/internal/search"
+	"securitykg/internal/server"
+	"securitykg/internal/storage"
+)
+
+// TestTwoNodeReadYourWrites is the whole deployment in one process:
+// a leader node serving writes and the replication endpoints, a
+// replica node tailing it, and a client that writes to the leader and
+// immediately reads from the replica carrying the seq token from the
+// write response. The token contract says such a read is never stale
+// — no sleeps, no retries, every single iteration must see its write.
+func TestTwoNodeReadYourWrites(t *testing.T) {
+	// Leader node.
+	ldb := openDB(t, t.TempDir(), storage.Options{Sync: storage.SyncNever, CompactBytes: -1})
+	defer ldb.Close()
+	lsrv := server.NewWith(ldb.Store(), search.NewIndex(nil), cypher.DefaultOptions())
+	lsrv.SetReplication(server.Replication{Role: "primary", Seq: ldb.CommittedSeq})
+	lmux := http.NewServeMux()
+	lmux.Handle("/api/", lsrv)
+	lmux.Handle("/healthz", lsrv)
+	(&Leader{DB: ldb, HeartbeatEvery: 20 * time.Millisecond}).Register(lmux)
+	leader := httptest.NewServer(lmux)
+	defer leader.Close()
+
+	// Replica node.
+	fdir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := Bootstrap(ctx, fdir, leader.URL, nil, nil); err != nil {
+		t.Fatalf("bootstrap: %v", err)
+	}
+	fdb := openDB(t, fdir, storage.Options{Sync: storage.SyncNever, CompactBytes: -1})
+	defer fdb.Close()
+	repl := NewReplicator(fdb, leader.URL)
+	repl.Backoff = fastBackoff()
+	done := make(chan error, 1)
+	go func() { done <- repl.Run(ctx) }()
+	defer func() { cancel(); <-done }()
+	ropts := cypher.DefaultOptions()
+	ropts.ReadOnly = true
+	fsrv := server.NewWith(fdb.Store(), search.NewIndex(nil), ropts)
+	fsrv.SetReplication(server.Replication{
+		Role:      "replica",
+		LeaderURL: leader.URL,
+		Seq:       repl.AppliedSeq,
+		WaitSeq:   repl.WaitApplied,
+	})
+	fmux := http.NewServeMux()
+	fmux.Handle("/api/", fsrv)
+	fmux.Handle("/healthz", fsrv)
+	repl.RegisterStatus(fmux)
+	replica := httptest.NewServer(fmux)
+	defer replica.Close()
+
+	post := func(url string, body map[string]any) (*http.Response, map[string]any) {
+		t.Helper()
+		b, _ := json.Marshal(body)
+		resp, err := http.Post(url+"/api/cypher", "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("decode response: %v", err)
+		}
+		return resp, out
+	}
+
+	// Write on the leader, read-your-write on the replica, 25 times in
+	// a row with zero allowance for replication delay.
+	for i := 0; i < 25; i++ {
+		name := fmt.Sprintf("rw-%02d", i)
+		resp, out := post(leader.URL, map[string]any{
+			"query": fmt.Sprintf(`create (m:Malware {name: %q})`, name),
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("write %d: %v %v", i, resp.Status, out)
+		}
+		seq, ok := out["seq"].(float64)
+		if !ok || seq == 0 {
+			t.Fatalf("write %d response carries no seq token: %v", i, out)
+		}
+		resp, out = post(replica.URL, map[string]any{
+			"query":   fmt.Sprintf(`match (m:Malware {name: %q}) return m.name`, name),
+			"min_seq": uint64(seq),
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("read %d: %v %v", i, resp.Status, out)
+		}
+		rows, _ := out["rows"].([]any)
+		if len(rows) != 1 {
+			t.Fatalf("read %d with min_seq=%d did not see the write: %v", i, uint64(seq), out)
+		}
+	}
+
+	// Transactional write: the COMMIT response carries the seq token.
+	_, begin := post(leader.URL, map[string]any{"query": "BEGIN"})
+	token, _ := begin["tx"].(string)
+	if token == "" {
+		t.Fatalf("BEGIN returned no token: %v", begin)
+	}
+	post(leader.URL, map[string]any{"tx": token, "query": `create (m:Malware {name: "tx-a"})`})
+	post(leader.URL, map[string]any{"tx": token, "query": `create (m:Malware {name: "tx-b"})`})
+	_, committed := post(leader.URL, map[string]any{"tx": token, "query": "COMMIT"})
+	cseq, ok := committed["seq"].(float64)
+	if !ok || cseq == 0 {
+		t.Fatalf("COMMIT response carries no seq token: %v", committed)
+	}
+	resp, out := post(replica.URL, map[string]any{
+		"query":   `match (m:Malware {name: "tx-b"}) return m.name`,
+		"min_seq": uint64(cseq),
+	})
+	if rows, _ := out["rows"].([]any); resp.StatusCode != http.StatusOK || len(rows) != 1 {
+		t.Fatalf("replica read after COMMIT: %v %v", resp.Status, out)
+	}
+
+	// Writes and BEGIN on the replica: typed redirect naming the leader.
+	for _, q := range []string{`create (m:Malware {name: "nope"})`, "BEGIN"} {
+		resp, out := post(replica.URL, map[string]any{"query": q})
+		if resp.StatusCode != http.StatusMisdirectedRequest {
+			t.Fatalf("replica %q: status %v, want 421", q, resp.Status)
+		}
+		if out["code"] != "not_leader" || out["leader"] != leader.URL {
+			t.Fatalf("replica %q redirect body: %v", q, out)
+		}
+	}
+
+	// min_seq past anything the leader has committed: bounded wait, 504.
+	start := time.Now()
+	b, _ := json.Marshal(map[string]any{
+		"query":   `match (m:Malware) return m.name`,
+		"min_seq": ldb.CommittedSeq() + 100000,
+	})
+	waitResp, err := http.Post(replica.URL+"/api/cypher?wait_ms=80", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var waitOut map[string]any
+	json.NewDecoder(waitResp.Body).Decode(&waitOut)
+	waitResp.Body.Close()
+	if waitResp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("unreachable min_seq: status %v (%v), want 504", waitResp.Status, waitOut)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("bounded wait took %v", time.Since(start))
+	}
+
+	// Health and status endpoints on both nodes.
+	var health map[string]any
+	for _, tc := range []struct{ url, role string }{{leader.URL, "primary"}, {replica.URL, "replica"}} {
+		r, err := http.Get(tc.url + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		health = map[string]any{}
+		json.NewDecoder(r.Body).Decode(&health)
+		r.Body.Close()
+		if health["role"] != tc.role || health["status"] != "ok" {
+			t.Fatalf("healthz on %s: %v", tc.role, health)
+		}
+	}
+	r, err := http.Get(replica.URL + "/replication/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Status
+	json.NewDecoder(r.Body).Decode(&st)
+	r.Body.Close()
+	if st.Role != "replica" || st.State != "tail" {
+		t.Fatalf("replica status: %+v", st)
+	}
+	r, err = http.Get(leader.URL + "/replication/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = Status{}
+	json.NewDecoder(r.Body).Decode(&st)
+	r.Body.Close()
+	if st.Role != "primary" || st.CommittedSeq != ldb.CommittedSeq() {
+		t.Fatalf("leader status: %+v", st)
+	}
+}

@@ -1,0 +1,408 @@
+package replication
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"securitykg/internal/backoff"
+	"securitykg/internal/graph"
+	"securitykg/internal/storage"
+)
+
+// ErrSnapshotRequired reports that the leader no longer holds WAL
+// records back to the follower's position: a checkpoint truncated past
+// it. Recovery requires a fresh snapshot bootstrap, which means an
+// empty data directory — a running follower cannot swap its store
+// in place, so it parks in the "stale" state (still serving its last
+// applied snapshot of the graph) until restarted.
+var ErrSnapshotRequired = errors.New("replication: leader requires snapshot bootstrap")
+
+// ErrDiverged reports that applying a shipped record did not reproduce
+// the leader's sequence numbering — the replica's state is not the
+// leader's state. This should be impossible while replay determinism
+// holds; treating it as fatal (rather than limping on) is the point.
+var ErrDiverged = errors.New("replication: replica diverged from leader")
+
+// Bootstrap prepares dir for a follower: if it already holds durable
+// state, it is left alone (the follower resumes from its own WAL);
+// otherwise a snapshot is fetched from leaderURL and installed,
+// retrying with jittered backoff until it succeeds or ctx is done.
+// Call before storage.Open — install requires the directory unlocked.
+func Bootstrap(ctx context.Context, dir, leaderURL string, client *http.Client, lg *log.Logger) error {
+	if storage.HasState(dir) {
+		return nil
+	}
+	if client == nil {
+		client = http.DefaultClient
+	}
+	pol := backoff.Default()
+	for {
+		err := fetchSnapshot(ctx, dir, leaderURL, client)
+		if err == nil {
+			if lg != nil {
+				lg.Printf("replication: snapshot bootstrap from %s complete", leaderURL)
+			}
+			return nil
+		}
+		if lg != nil {
+			lg.Printf("replication: snapshot bootstrap: %v (retrying)", err)
+		}
+		if serr := pol.SleepNext(ctx); serr != nil {
+			return fmt.Errorf("replication: bootstrap abandoned: %w (last error: %v)", serr, err)
+		}
+	}
+}
+
+func fetchSnapshot(ctx context.Context, dir, leaderURL string, client *http.Client) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, leaderURL+"/replication/snapshot", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("snapshot fetch: %s: %s", resp.Status, body)
+	}
+	// InstallSnapshot verifies the embedded header before renaming into
+	// place, so a connection cut mid-transfer cannot install garbage.
+	return storage.InstallSnapshot(dir, resp.Body)
+}
+
+// Replicator tails a leader's WAL into a local DB. All reads of the
+// local store see exactly the prefixes the leader committed: records
+// inside a transaction group buffer in memory and reach the store only
+// when the group's commit marker arrives, through a real graph
+// transaction — so concurrent readers get atomic visibility and the
+// follower's own WAL ends up byte-compatible with the leader's.
+type Replicator struct {
+	DB     *storage.DB
+	Leader string // leader base URL
+	Client *http.Client
+	Log    *log.Logger
+
+	// Backoff paces reconnects; nil means backoff.Default().
+	Backoff *backoff.Policy
+
+	applied   atomic.Uint64 // last fully applied (group-boundary) seq
+	waitMu    sync.Mutex
+	waitCh    chan struct{} // closed and replaced when applied advances
+	stateMu   sync.Mutex
+	state     string
+	lastErr   string
+	leaderSeq uint64
+	leaderWAL int64
+	reconnect uint64
+
+	pending []storage.Record // open tx group, begin marker first
+}
+
+// NewReplicator wires a replicator over an already-open follower DB.
+func NewReplicator(db *storage.DB, leaderURL string) *Replicator {
+	r := &Replicator{
+		DB:     db,
+		Leader: leaderURL,
+		Client: http.DefaultClient,
+		waitCh: make(chan struct{}),
+		state:  "connect",
+	}
+	r.applied.Store(db.LastSeq())
+	return r
+}
+
+func (r *Replicator) logf(format string, args ...any) {
+	if r.Log != nil {
+		r.Log.Printf(format, args...)
+	}
+}
+
+// AppliedSeq returns the last fully applied sequence number — the
+// replica-side read-your-writes watermark.
+func (r *Replicator) AppliedSeq() uint64 { return r.applied.Load() }
+
+// WaitApplied blocks until the replica has applied at least seq, or
+// ctx is done.
+func (r *Replicator) WaitApplied(ctx context.Context, seq uint64) error {
+	for {
+		if r.applied.Load() >= seq {
+			return nil
+		}
+		r.waitMu.Lock()
+		ch := r.waitCh
+		r.waitMu.Unlock()
+		if r.applied.Load() >= seq { // re-check: advance may have raced the fetch
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+func (r *Replicator) advanceApplied(seq uint64) {
+	r.applied.Store(seq)
+	r.waitMu.Lock()
+	ch := r.waitCh
+	r.waitCh = make(chan struct{})
+	r.waitMu.Unlock()
+	close(ch)
+}
+
+func (r *Replicator) setState(state string) {
+	r.stateMu.Lock()
+	r.state = state
+	r.stateMu.Unlock()
+}
+
+func (r *Replicator) noteErr(err error) {
+	r.stateMu.Lock()
+	r.lastErr = err.Error()
+	r.stateMu.Unlock()
+}
+
+// Status reports the replica-side replication state.
+func (r *Replicator) Status() Status {
+	r.stateMu.Lock()
+	state, lastErr := r.state, r.lastErr
+	leaderSeq, leaderWAL, reconnects := r.leaderSeq, r.leaderWAL, r.reconnect
+	r.stateMu.Unlock()
+	applied := r.applied.Load()
+	st := Status{
+		Role:         "replica",
+		State:        state,
+		Leader:       r.Leader,
+		LastSeq:      r.DB.LastSeq(),
+		CommittedSeq: applied,
+		WALBytes:     r.DB.WALSize(),
+		LeaderSeq:    leaderSeq,
+		LastError:    lastErr,
+		Reconnects:   reconnects,
+	}
+	if leaderSeq > applied {
+		st.LagRecords = int64(leaderSeq - applied)
+		if leaderSeq > 0 && leaderWAL > 0 {
+			st.LagBytes = st.LagRecords * (leaderWAL / int64(leaderSeq))
+		}
+	}
+	return st
+}
+
+// Run tails the leader until ctx is done, reconnecting with jittered
+// backoff across stream failures. It returns nil on context
+// cancellation, ErrSnapshotRequired when the leader can no longer
+// serve the replica's position (the replica is parked "stale" — a
+// restart re-bootstraps), and ErrDiverged if replay stops reproducing
+// the leader's sequence numbers.
+func (r *Replicator) Run(ctx context.Context) error {
+	pol := r.Backoff
+	if pol == nil {
+		pol = backoff.Default()
+	}
+	if r.Client == nil {
+		r.Client = http.DefaultClient
+	}
+	for {
+		err := r.streamOnce(ctx, pol)
+		switch {
+		case ctx.Err() != nil:
+			r.setState("stopped")
+			return nil
+		case errors.Is(err, ErrSnapshotRequired):
+			r.setState("stale")
+			r.noteErr(err)
+			r.logf("replication: leader %s has truncated past seq %d; replica is STALE and read-only on old data — restart with an empty data dir to re-bootstrap", r.Leader, r.DB.LastSeq())
+			return err
+		case errors.Is(err, ErrDiverged):
+			r.setState("diverged")
+			r.noteErr(err)
+			r.logf("replication: FATAL: %v", err)
+			return err
+		default:
+			r.setState("reconnect")
+			if err != nil {
+				r.noteErr(err)
+				r.logf("replication: stream from %s: %v (reconnecting)", r.Leader, err)
+			}
+			r.stateMu.Lock()
+			r.reconnect++
+			r.stateMu.Unlock()
+			if serr := pol.SleepNext(ctx); serr != nil {
+				r.setState("stopped")
+				return nil
+			}
+		}
+	}
+}
+
+// streamOnce holds one tail connection: dial from the last applied
+// seq + 1, then apply frames until the stream breaks. A clean EOF
+// (leader closed, e.g. restart) returns nil and the caller re-dials.
+func (r *Replicator) streamOnce(ctx context.Context, pol *backoff.Policy) error {
+	// Any partially buffered group from a previous connection is
+	// discarded: the new stream restarts from the last group boundary.
+	r.pending = r.pending[:0]
+	from := r.DB.LastSeq() + 1
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/replication/wal?from=%d", r.Leader, from), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusConflict:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+		return ErrSnapshotRequired
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("tail stream: %s: %s", resp.Status, body)
+	}
+
+	r.setState("tail")
+	fr := newFrameReader(resp.Body)
+	var f frame
+	first := true
+	for {
+		if err := fr.next(&f); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		if first {
+			// The connection produced a valid frame: it is healthy, so
+			// the next failure starts backoff from the base again.
+			pol.Reset()
+			first = false
+		}
+		switch {
+		case f.Rec != nil:
+			if err := r.handleRecord(f.Rec); err != nil {
+				return err
+			}
+		case f.HB != nil:
+			r.stateMu.Lock()
+			r.leaderSeq = f.HB.Committed
+			r.leaderWAL = f.HB.WALBytes
+			r.stateMu.Unlock()
+		default:
+			return fmt.Errorf("replication: empty frame")
+		}
+	}
+}
+
+// handleRecord folds one shipped record. Bare records apply
+// immediately; transaction groups buffer from their begin marker and
+// apply atomically at the commit marker through a real graph
+// transaction — which re-emits the group through this DB's own WAL
+// hook, reproducing the leader's records (markers included) with the
+// same sequence numbers. Every apply is followed by a seq check; a
+// mismatch is divergence and fatal.
+func (r *Replicator) handleRecord(rec *storage.Record) error {
+	expect := r.DB.LastSeq() + uint64(len(r.pending)) + 1
+	if rec.Seq != expect {
+		return fmt.Errorf("%w: leader shipped seq %d, expected %d", ErrDiverged, rec.Seq, expect)
+	}
+	if len(r.pending) > 0 {
+		r.pending = append(r.pending, *rec)
+		switch rec.Op {
+		case graph.OpTxCommit:
+			group := r.pending
+			r.pending = r.pending[:0]
+			return r.applyGroup(group)
+		case graph.OpTxBegin:
+			return fmt.Errorf("%w: nested tx_begin at seq %d", ErrDiverged, rec.Seq)
+		case graph.OpTxRollback:
+			// Rolled-back transactions are never logged, so a leader can
+			// never ship one (mutation.go).
+			return fmt.Errorf("%w: tx_rollback at seq %d", ErrDiverged, rec.Seq)
+		}
+		return nil
+	}
+	switch rec.Op {
+	case graph.OpTxBegin:
+		r.pending = append(r.pending, *rec)
+		return nil
+	case graph.OpTxCommit, graph.OpTxRollback:
+		return fmt.Errorf("%w: stray %s at seq %d", ErrDiverged, rec.Op, rec.Seq)
+	}
+	// Bare record: apply through the store; the mutation hook logs it
+	// to the local WAL, assigning the next seq.
+	if err := r.DB.Store().Apply(rec.Mutation()); err != nil {
+		return fmt.Errorf("%w: apply seq %d (%s): %v", ErrDiverged, rec.Seq, rec.Op, err)
+	}
+	if got := r.DB.LastSeq(); got != rec.Seq {
+		return fmt.Errorf("%w: applied seq %d but local WAL is at %d (no-op replay?)", ErrDiverged, rec.Seq, got)
+	}
+	r.advanceApplied(rec.Seq)
+	return nil
+}
+
+// applyGroup replays one complete shipped transaction group —
+// [tx_begin, mutations..., tx_commit] — through a graph transaction,
+// so readers see it atomically and the commit re-emits the identical
+// group into the local WAL.
+func (r *Replicator) applyGroup(group []storage.Record) error {
+	commitSeq := group[len(group)-1].Seq
+	tx := r.DB.Store().BeginTx()
+	for _, rec := range group[1 : len(group)-1] {
+		if err := applyToTx(tx, rec.Mutation()); err != nil {
+			tx.Rollback()
+			return fmt.Errorf("%w: tx replay at seq %d (%s): %v", ErrDiverged, rec.Seq, rec.Op, err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return fmt.Errorf("%w: tx commit for seq %d: %v", ErrDiverged, commitSeq, err)
+	}
+	if got := r.DB.LastSeq(); got != commitSeq {
+		return fmt.Errorf("%w: tx group through seq %d left local WAL at %d", ErrDiverged, commitSeq, got)
+	}
+	r.advanceApplied(commitSeq)
+	return nil
+}
+
+// applyToTx re-issues one mutation inside a transaction, mirroring
+// Store.Apply's dispatch onto the Tx write surface.
+func applyToTx(tx *graph.Tx, m graph.Mutation) error {
+	switch m.Op {
+	case graph.OpMergeNode:
+		tx.MergeNode(m.Type, m.Name, m.Attrs)
+		return nil
+	case graph.OpAddEdge:
+		_, _, err := tx.AddEdge(m.From, m.Type, m.To, m.Attrs)
+		return err
+	case graph.OpSetAttr:
+		return tx.SetAttr(m.Node, m.Key, m.Val)
+	case graph.OpDeleteNode:
+		return tx.DeleteNode(m.Node)
+	case graph.OpDeleteEdge:
+		return tx.DeleteEdge(m.Edge)
+	case graph.OpMigrateEdges:
+		return tx.MigrateEdges(m.From, m.To)
+	}
+	return fmt.Errorf("unknown mutation op %q", m.Op)
+}
+
+// RegisterStatus mounts /replication/status for a replica.
+func (r *Replicator) RegisterStatus(mux *http.ServeMux) {
+	mux.HandleFunc("/replication/status", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(r.Status())
+	})
+}

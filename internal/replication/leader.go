@@ -1,0 +1,235 @@
+package replication
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	"securitykg/internal/storage"
+)
+
+// Leader serves the replication endpoints on a primary: snapshot
+// transfers for follower bootstrap and the long-lived WAL tail stream.
+// It holds no state of its own beyond configuration — the DB's tail
+// buffer and log file are the sources of truth — so any number of
+// followers can stream concurrently and a leader restart loses
+// nothing but open connections.
+type Leader struct {
+	DB        *storage.DB
+	Advertise string // base URL followers should be told about, e.g. http://host:8080
+
+	// HeartbeatEvery bounds how long an idle stream stays silent.
+	// Zero means a 2s default.
+	HeartbeatEvery time.Duration
+
+	// BatchMax caps records fetched from the tail per iteration.
+	// Zero means 512.
+	BatchMax int
+
+	Log *log.Logger
+}
+
+func (l *Leader) heartbeatEvery() time.Duration {
+	if l.HeartbeatEvery > 0 {
+		return l.HeartbeatEvery
+	}
+	return 2 * time.Second
+}
+
+func (l *Leader) batchMax() int {
+	if l.BatchMax > 0 {
+		return l.BatchMax
+	}
+	return 512
+}
+
+func (l *Leader) logf(format string, args ...any) {
+	if l.Log != nil {
+		l.Log.Printf(format, args...)
+	}
+}
+
+// Register mounts the replication endpoints on mux.
+func (l *Leader) Register(mux *http.ServeMux) {
+	mux.HandleFunc("/replication/snapshot", l.handleSnapshot)
+	mux.HandleFunc("/replication/wal", l.handleWAL)
+	mux.HandleFunc("/replication/status", l.handleStatus)
+}
+
+// Status reports the primary-side replication state.
+func (l *Leader) Status() Status {
+	return Status{
+		Role:         "primary",
+		Leader:       l.Advertise,
+		LastSeq:      l.DB.LastSeq(),
+		CommittedSeq: l.DB.CommittedSeq(),
+		WALBytes:     l.DB.WALSize(),
+	}
+}
+
+func (l *Leader) handleStatus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(l.Status())
+}
+
+// handleSnapshot streams a binary snapshot of the current store. The
+// covering WAL seq rides in the X-Skg-Seq header; the body is the
+// snapshot.skg format verbatim, so the follower installs it untouched.
+func (l *Leader) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	// The covering seq is only known once the store is quiesced, but
+	// headers must precede the body. Send the committed watermark as a
+	// hint header; the authoritative seq is inside the stream header
+	// the follower verifies on install.
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Skg-Seq", strconv.FormatUint(l.DB.CommittedSeq(), 10))
+	seq, err := l.DB.WriteSnapshotTo(w)
+	if err != nil {
+		// Headers are gone; all we can do is cut the connection so the
+		// follower sees a short body and fails header verification.
+		l.logf("replication: snapshot transfer failed: %v", err)
+		if hj, ok := w.(http.Hijacker); ok {
+			if conn, _, err := hj.Hijack(); err == nil {
+				conn.Close()
+			}
+		}
+		return
+	}
+	l.logf("replication: served snapshot through seq %d to %s", seq, r.RemoteAddr)
+}
+
+// handleWAL serves the tail stream: committed records with seq >= from,
+// then heartbeats and more records as commits land, until the client
+// disconnects. A from below what the leader can still serve gets 409
+// with snapshot_required — the one case the follower cannot recover
+// from by retrying.
+func (l *Leader) handleWAL(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad from parameter", http.StatusBadRequest)
+		return
+	}
+	if from == 0 {
+		from = 1
+	}
+
+	// Resolve the first batch before committing to a 200: this is where
+	// "leader can't serve that far back" surfaces as a clean 409.
+	batch, src, err := l.firstBatch(from)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if src == srcSnapshot {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusConflict)
+		json.NewEncoder(w).Encode(map[string]any{
+			"error":             fmt.Sprintf("records from seq %d no longer available", from),
+			"snapshot_required": true,
+		})
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Accel-Buffering", "no")
+	flusher, _ := w.(http.Flusher)
+	fw := &frameWriter{w: w}
+
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	ship := func(recs []Record) bool {
+		for i := range recs {
+			if err := fw.write(&frame{Rec: &recs[i]}); err != nil {
+				return false
+			}
+			from = recs[i].Seq + 1
+		}
+		return true
+	}
+
+	if !ship(batch) {
+		return
+	}
+	flush()
+
+	ctx := r.Context()
+	hb := time.NewTicker(l.heartbeatEvery())
+	defer hb.Stop()
+	for {
+		// Drain everything currently committed before sleeping.
+		recs, ok := l.DB.TailSince(from, l.batchMax())
+		if !ok {
+			// Evicted under a live stream: the follower fell behind the
+			// buffer while connected. Try disk before giving up.
+			var err error
+			recs, ok, err = l.DB.TailFromDisk(from)
+			if err != nil || !ok {
+				l.logf("replication: stream to %s lost seq %d (checkpoint passed it): %v", r.RemoteAddr, from, err)
+				return // follower reconnects and gets the 409 + snapshot
+			}
+		}
+		if len(recs) > 0 {
+			if !ship(recs) {
+				return
+			}
+			flush()
+			continue
+		}
+		notify := l.DB.TailNotify()
+		select {
+		case <-ctx.Done():
+			return
+		case <-notify:
+		case <-hb.C:
+			if err := fw.write(&frame{HB: &heartbeat{
+				Committed: l.DB.CommittedSeq(),
+				WALBytes:  l.DB.WALSize(),
+			}}); err != nil {
+				return
+			}
+			flush()
+		}
+	}
+}
+
+type batchSrc int
+
+const (
+	srcTail batchSrc = iota
+	srcDisk
+	srcSnapshot
+)
+
+// Record aliases storage.Record for the ship helper's signature.
+type Record = storage.Record
+
+// firstBatch resolves where a stream starting at from can be fed from:
+// the in-memory tail, a disk scan, or nowhere (snapshot required). An
+// empty batch with srcTail means from is simply ahead of the committed
+// watermark — a caught-up follower reconnecting.
+func (l *Leader) firstBatch(from uint64) ([]Record, batchSrc, error) {
+	if recs, ok := l.DB.TailSince(from, l.batchMax()); ok {
+		return recs, srcTail, nil
+	}
+	recs, ok, err := l.DB.TailFromDisk(from)
+	if err != nil {
+		return nil, srcDisk, err
+	}
+	if !ok {
+		return nil, srcSnapshot, nil
+	}
+	return recs, srcDisk, nil
+}

@@ -1,0 +1,437 @@
+package replication
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"securitykg/internal/backoff"
+	"securitykg/internal/graph"
+	"securitykg/internal/storage"
+)
+
+// ---- helpers ----
+
+func openDB(t *testing.T, dir string, opts storage.Options) *storage.DB {
+	t.Helper()
+	db, err := storage.Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return db
+}
+
+func saveBytes(t *testing.T, st *graph.Store) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := st.Save(&b); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	return b.Bytes()
+}
+
+// leaderServer mounts a Leader over db on a live HTTP listener.
+func leaderServer(t *testing.T, db *storage.DB) *httptest.Server {
+	t.Helper()
+	l := &Leader{DB: db, HeartbeatEvery: 50 * time.Millisecond}
+	mux := http.NewServeMux()
+	l.Register(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// fastBackoff keeps reconnect-heavy tests quick.
+func fastBackoff() *backoff.Policy {
+	return &backoff.Policy{Base: 5 * time.Millisecond, Max: 50 * time.Millisecond, Factor: 2, Jitter: 0.5}
+}
+
+// startFollower bootstraps dir from the leader, opens it, and starts a
+// replicator tailing in the background.
+func startFollower(t *testing.T, dir, leaderURL string) (*storage.DB, *Replicator, func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	bctx, bcancel := context.WithTimeout(ctx, 30*time.Second)
+	if err := Bootstrap(bctx, dir, leaderURL, nil, nil); err != nil {
+		bcancel()
+		cancel()
+		t.Fatalf("bootstrap: %v", err)
+	}
+	bcancel()
+	db := openDB(t, dir, storage.Options{Sync: storage.SyncNever, CompactBytes: -1})
+	repl := NewReplicator(db, leaderURL)
+	repl.Backoff = fastBackoff()
+	done := make(chan error, 1)
+	go func() { done <- repl.Run(ctx) }()
+	stopped := false
+	stop := func() error {
+		stopped = true
+		cancel()
+		err := <-done
+		db.Close()
+		return err
+	}
+	t.Cleanup(func() {
+		if stopped {
+			return
+		}
+		cancel()
+		<-done
+		db.Close()
+	})
+	return db, repl, stop
+}
+
+// writer drives a deterministic mutation mix — bare records and
+// multi-mutation transaction groups — against a store.
+type writer struct {
+	rng   *rand.Rand
+	nodes []graph.NodeID
+	n     int
+}
+
+func newWriter(seed int64) *writer { return &writer{rng: rand.New(rand.NewSource(seed))} }
+
+var wTypes = []string{"Malware", "IP", "Tool", "ThreatActor"}
+
+func (w *writer) name() string {
+	return string(rune('a'+w.rng.Intn(26))) + string(rune('a'+w.rng.Intn(26))) + string(rune('0'+w.rng.Intn(10)))
+}
+
+func (w *writer) step(st *graph.Store) {
+	w.n++
+	if w.rng.Intn(4) == 0 && len(w.nodes) >= 2 {
+		// Multi-mutation transaction: merges plus an edge, committed as
+		// one WAL group.
+		tx := st.BeginTx()
+		var created []graph.NodeID
+		for i := 0; i < 2+w.rng.Intn(3); i++ {
+			typ := wTypes[w.rng.Intn(len(wTypes))]
+			id, ok := tx.MergeNode(typ, typ+"-"+w.name(), map[string]string{"round": w.name()})
+			if ok {
+				created = append(created, id)
+			}
+		}
+		if len(created) >= 2 {
+			tx.AddEdge(created[0], "USE", created[1], nil)
+		}
+		if err := tx.Commit(); err != nil {
+			panic(err)
+		}
+		w.nodes = append(w.nodes, created...)
+		return
+	}
+	switch r := w.rng.Intn(100); {
+	case r < 50 || len(w.nodes) < 2:
+		typ := wTypes[w.rng.Intn(len(wTypes))]
+		id, ok := st.MergeNode(typ, typ+"-"+w.name(), nil)
+		if ok {
+			w.nodes = append(w.nodes, id)
+		}
+	case r < 80:
+		from := w.nodes[w.rng.Intn(len(w.nodes))]
+		to := w.nodes[w.rng.Intn(len(w.nodes))]
+		st.AddEdge(from, "CONNECT", to, nil)
+	case r < 92:
+		st.SetAttr(w.nodes[w.rng.Intn(len(w.nodes))], "score", w.name())
+	default:
+		if len(w.nodes) > 4 {
+			i := w.rng.Intn(len(w.nodes))
+			st.DeleteNode(w.nodes[i])
+			w.nodes = append(w.nodes[:i], w.nodes[i+1:]...)
+		}
+	}
+}
+
+func waitCaughtUp(t *testing.T, repl *Replicator, seq uint64) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := repl.WaitApplied(ctx, seq); err != nil {
+		t.Fatalf("follower never reached seq %d (applied %d): %v", seq, repl.AppliedSeq(), err)
+	}
+}
+
+// ---- frame codec ----
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	fw := &frameWriter{w: &buf}
+	rec := storage.Record{Seq: 7, Op: graph.OpMergeNode, Type: "Malware", Name: "x", Attrs: map[string]string{"a": "1"}}
+	if err := fw.write(&frame{Rec: &rec}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.write(&frame{HB: &heartbeat{Committed: 9, WALBytes: 1024}}); err != nil {
+		t.Fatal(err)
+	}
+	fr := newFrameReader(bytes.NewReader(buf.Bytes()))
+	var f frame
+	if err := fr.next(&f); err != nil || f.Rec == nil {
+		t.Fatalf("first frame: %v %+v", err, f)
+	}
+	if f.Rec.Seq != 7 || f.Rec.Name != "x" || f.Rec.Attrs["a"] != "1" {
+		t.Fatalf("record did not round-trip: %+v", f.Rec)
+	}
+	if err := fr.next(&f); err != nil || f.HB == nil || f.HB.Committed != 9 {
+		t.Fatalf("heartbeat frame: %v %+v", err, f)
+	}
+	if err := fr.next(&f); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestFrameCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	fw := &frameWriter{w: &buf}
+	rec := storage.Record{Seq: 1, Op: graph.OpMergeNode, Type: "IP", Name: "y"}
+	if err := fw.write(&frame{Rec: &rec}); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[len(b)-1] ^= 0xff // payload corruption: CRC must catch it
+	var f frame
+	if err := newFrameReader(bytes.NewReader(b)).next(&f); !errors.Is(err, errBadFrame) {
+		t.Fatalf("corrupt payload: got %v, want errBadFrame", err)
+	}
+	// Truncation mid-frame reads as a clean end (the follower re-dials).
+	if err := newFrameReader(bytes.NewReader(b[:len(b)-3])).next(&f); err != io.EOF {
+		t.Fatalf("truncated frame: got %v, want io.EOF", err)
+	}
+}
+
+// ---- end-to-end streaming ----
+
+// TestReplicateConverges is the core property: a follower bootstrapped
+// from a snapshot and tailing the WAL stream converges to the leader's
+// exact state — Save output byte-identical, WAL positions equal —
+// through bare records and transaction groups alike, including writes
+// that land while the stream is live.
+func TestReplicateConverges(t *testing.T) {
+	ldir := t.TempDir()
+	ldb := openDB(t, ldir, storage.Options{Sync: storage.SyncNever, CompactBytes: -1})
+	defer ldb.Close()
+	wr := newWriter(42)
+	for i := 0; i < 300; i++ {
+		wr.step(ldb.Store())
+	}
+	srv := leaderServer(t, ldb)
+
+	fdb, repl, _ := startFollower(t, t.TempDir(), srv.URL)
+	waitCaughtUp(t, repl, ldb.CommittedSeq())
+	if got, want := saveBytes(t, fdb.Store()), saveBytes(t, ldb.Store()); !bytes.Equal(got, want) {
+		t.Fatalf("follower state differs from leader after catch-up")
+	}
+
+	// Live tail: more writes while the stream is connected.
+	for i := 0; i < 200; i++ {
+		wr.step(ldb.Store())
+	}
+	waitCaughtUp(t, repl, ldb.CommittedSeq())
+	if got, want := saveBytes(t, fdb.Store()), saveBytes(t, ldb.Store()); !bytes.Equal(got, want) {
+		t.Fatalf("follower state differs from leader after live tail")
+	}
+	if fdb.LastSeq() != ldb.LastSeq() {
+		t.Fatalf("follower WAL at seq %d, leader at %d", fdb.LastSeq(), ldb.LastSeq())
+	}
+	st := repl.Status()
+	if st.Role != "replica" || st.State != "tail" {
+		t.Fatalf("unexpected status: %+v", st)
+	}
+}
+
+// TestFollowerRestartResumes: a follower stopped at an arbitrary point
+// resumes from its own durable state — no snapshot re-transfer — and
+// converges.
+func TestFollowerRestartResumes(t *testing.T) {
+	ldir := t.TempDir()
+	ldb := openDB(t, ldir, storage.Options{Sync: storage.SyncNever, CompactBytes: -1})
+	defer ldb.Close()
+	wr := newWriter(7)
+	for i := 0; i < 150; i++ {
+		wr.step(ldb.Store())
+	}
+	srv := leaderServer(t, ldb)
+
+	fdir := t.TempDir()
+	_, repl, stop := startFollower(t, fdir, srv.URL)
+	waitCaughtUp(t, repl, ldb.CommittedSeq())
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+
+	// Leader advances while the follower is down.
+	for i := 0; i < 150; i++ {
+		wr.step(ldb.Store())
+	}
+
+	// Restart: Bootstrap must be a no-op (state exists), the tail
+	// resumes from the follower's own WAL position.
+	fdb2, repl2, _ := startFollower(t, fdir, srv.URL)
+	waitCaughtUp(t, repl2, ldb.CommittedSeq())
+	if got, want := saveBytes(t, fdb2.Store()), saveBytes(t, ldb.Store()); !bytes.Equal(got, want) {
+		t.Fatalf("restarted follower did not converge")
+	}
+}
+
+// TestSnapshotRequired: when the leader checkpoints past a stopped
+// follower's position, the resumed follower gets the snapshot-required
+// rejection and parks stale; wiping its directory and re-bootstrapping
+// converges.
+func TestSnapshotRequired(t *testing.T) {
+	ldir := t.TempDir()
+	// A tiny in-memory tail forces the disk path, and the checkpoint
+	// truncates the disk too.
+	ldb := openDB(t, ldir, storage.Options{Sync: storage.SyncNever, CompactBytes: -1, TailRecords: 4})
+	defer ldb.Close()
+	wr := newWriter(11)
+	for i := 0; i < 100; i++ {
+		wr.step(ldb.Store())
+	}
+	srv := leaderServer(t, ldb)
+
+	fdir := t.TempDir()
+	_, repl, stop := startFollower(t, fdir, srv.URL)
+	waitCaughtUp(t, repl, ldb.CommittedSeq())
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+
+	for i := 0; i < 100; i++ {
+		wr.step(ldb.Store())
+	}
+	if err := ldb.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	for i := 0; i < 20; i++ {
+		wr.step(ldb.Store()) // a short post-checkpoint tail
+	}
+
+	// Resume: the follower's position predates the re-based WAL.
+	fdb2 := openDB(t, fdir, storage.Options{Sync: storage.SyncNever, CompactBytes: -1})
+	repl2 := NewReplicator(fdb2, srv.URL)
+	repl2.Backoff = fastBackoff()
+	err := repl2.Run(context.Background())
+	if !errors.Is(err, ErrSnapshotRequired) {
+		t.Fatalf("Run = %v, want ErrSnapshotRequired", err)
+	}
+	if st := repl2.Status(); st.State != "stale" {
+		t.Fatalf("state = %q, want stale", st.State)
+	}
+	fdb2.Close()
+
+	// Operator remedy: wipe and re-bootstrap.
+	if err := os.RemoveAll(fdir); err != nil {
+		t.Fatal(err)
+	}
+	fdb3, repl3, _ := startFollower(t, fdir, srv.URL)
+	waitCaughtUp(t, repl3, ldb.CommittedSeq())
+	if got, want := saveBytes(t, fdb3.Store()), saveBytes(t, ldb.Store()); !bytes.Equal(got, want) {
+		t.Fatalf("re-bootstrapped follower did not converge")
+	}
+}
+
+// TestLeaderRestartMidStream: the leader process goes away mid-stream
+// and comes back on the same address (recovering its own state); the
+// follower rides it out through reconnect backoff and converges on the
+// post-restart writes.
+func TestLeaderRestartMidStream(t *testing.T) {
+	ldir := t.TempDir()
+	ldb := openDB(t, ldir, storage.Options{Sync: storage.SyncNever, CompactBytes: -1})
+	wr := newWriter(23)
+	for i := 0; i < 100; i++ {
+		wr.step(ldb.Store())
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	// A plain http.Server whose Close does NOT wait for in-flight
+	// handlers: the long-poll stream handler only exits when its client
+	// goes away, and the follower reconnects fast enough to race an
+	// httptest graceful close.
+	startLeader := func(db *storage.DB, l net.Listener) *http.Server {
+		mux := http.NewServeMux()
+		(&Leader{DB: db, HeartbeatEvery: 50 * time.Millisecond}).Register(mux)
+		hs := &http.Server{Handler: mux}
+		go hs.Serve(l)
+		return hs
+	}
+	srv := startLeader(ldb, ln)
+
+	fdb, repl, _ := startFollower(t, t.TempDir(), "http://"+addr)
+	// Post-bootstrap writes: the follower can only see these over a live
+	// tail stream, so catching up proves the stream is established (and
+	// the restart below therefore severs it).
+	for i := 0; i < 20; i++ {
+		wr.step(ldb.Store())
+	}
+	waitCaughtUp(t, repl, ldb.CommittedSeq())
+
+	// Kill the leader: listener and connections drop at once, the
+	// checkpoint-on-shutdown mirrors skg-server's SIGTERM path, then it
+	// comes back on the same address with recovered state.
+	srv.Close()
+	if err := ldb.Checkpoint(); err != nil {
+		t.Fatalf("shutdown checkpoint: %v", err)
+	}
+	if err := ldb.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	ldb2 := openDB(t, ldir, storage.Options{Sync: storage.SyncNever, CompactBytes: -1})
+	defer ldb2.Close()
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("relisten on %s: %v", addr, err)
+	}
+	srv2 := startLeader(ldb2, ln2)
+	defer srv2.Close()
+
+	for i := 0; i < 100; i++ {
+		wr.step(ldb2.Store())
+	}
+	waitCaughtUp(t, repl, ldb2.CommittedSeq())
+	if got, want := saveBytes(t, fdb.Store()), saveBytes(t, ldb2.Store()); !bytes.Equal(got, want) {
+		t.Fatalf("follower did not converge across leader restart")
+	}
+	if repl.Status().Reconnects == 0 {
+		t.Fatalf("expected at least one reconnect, status %+v", repl.Status())
+	}
+}
+
+// TestBootstrapVerifiesSnapshot: a leader that serves garbage must not
+// poison the follower's data directory.
+func TestBootstrapVerifiesSnapshot(t *testing.T) {
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("not a snapshot"))
+	}))
+	defer bad.Close()
+	dir := t.TempDir()
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	if err := Bootstrap(ctx, dir, bad.URL, nil, nil); err == nil {
+		t.Fatal("bootstrap accepted a garbage snapshot")
+	}
+	if storage.HasState(dir) {
+		t.Fatal("garbage snapshot left state behind")
+	}
+	ents, err := os.ReadDir(dir)
+	if err == nil {
+		for _, e := range ents {
+			if filepath.Ext(e.Name()) != ".tmp" && e.Name() != "" {
+				t.Fatalf("unexpected file %q installed from garbage stream", e.Name())
+			}
+		}
+	}
+}

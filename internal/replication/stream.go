@@ -1,0 +1,153 @@
+// Package replication ships the write-ahead log from a leader to
+// read-only followers over HTTP, turning N processes into N× read
+// throughput for the same graph.
+//
+// The WAL is already everything a replication stream needs — CRC-
+// checked, strictly sequenced, deterministically replayable, with
+// transaction groups recovery applies atomically — so the protocol is
+// thin: a follower bootstraps from a binary snapshot transfer
+// (byte-compatible with the snapshot.skg checkpoint format), then
+// holds a chunked HTTP stream open from its last applied sequence
+// number, applying each record through the same store machinery
+// recovery uses. The leader never ships past the last transaction-
+// group boundary, so a follower can never observe an uncommitted
+// prefix; sequence numbers are verified on every apply, so any
+// divergence tears the stream down loudly instead of proceeding
+// silently.
+//
+// Protocol (all endpoints on the leader):
+//
+//	GET /replication/snapshot
+//	    200: binary snapshot stream (snapshot.skg format); the
+//	    X-Skg-Seq header carries the covering WAL seq.
+//	GET /replication/wal?from=N
+//	    200: unbounded chunked stream of frames (see below), records
+//	    with seq >= N in order, pausing at transaction-group
+//	    boundaries until more commits land; heartbeat frames carry
+//	    the leader's committed seq while idle.
+//	    409: the leader no longer has records back to N (checkpoint
+//	    truncation) — re-bootstrap from a snapshot. Body is a JSON
+//	    {"error": ..., "snapshot_required": true}.
+//	GET /replication/status
+//	    200: JSON Status.
+//
+// Frame wire format mirrors the WAL's own framing: a uint32
+// little-endian payload length, a uint32 CRC-32 (IEEE) of the payload,
+// then the payload — a JSON frame envelope holding either a WAL record
+// or a heartbeat. JSON (not the binary WAL codec) keeps the wire
+// format independent of the on-disk codec and its in-band dictionary
+// state.
+package replication
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"securitykg/internal/storage"
+)
+
+// maxFrameLen bounds one frame so a corrupt length prefix cannot ask
+// the reader to allocate gigabytes; WAL records are far smaller.
+const maxFrameLen = 32 << 20
+
+// frame is the stream envelope: exactly one field is set.
+type frame struct {
+	Rec *storage.Record `json:"rec,omitempty"`
+	HB  *heartbeat      `json:"hb,omitempty"`
+}
+
+// heartbeat keeps an idle stream alive and carries the leader's
+// replication watermarks so followers can report lag without extra
+// round trips.
+type heartbeat struct {
+	Committed uint64 `json:"committed"` // leader committed seq
+	WALBytes  int64  `json:"wal_bytes"` // leader log size
+}
+
+// frameWriter frames JSON payloads onto one stream.
+type frameWriter struct {
+	w   io.Writer
+	hdr [8]byte
+}
+
+func (fw *frameWriter) write(f *frame) error {
+	payload, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("replication: encode frame: %w", err)
+	}
+	binary.LittleEndian.PutUint32(fw.hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(fw.hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := fw.w.Write(fw.hdr[:]); err != nil {
+		return err
+	}
+	_, err = fw.w.Write(payload)
+	return err
+}
+
+// errBadFrame marks stream damage: a length out of bounds or a CRC
+// mismatch. The reader cannot resynchronize past it (framing is how
+// boundaries are known), so the connection is torn down and re-dialed.
+var errBadFrame = errors.New("replication: damaged frame")
+
+// frameReader decodes one stream of frames.
+type frameReader struct {
+	br  *bufio.Reader
+	hdr [8]byte
+	buf []byte
+}
+
+func newFrameReader(r io.Reader) *frameReader {
+	return &frameReader{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// next reads one frame. io.EOF (possibly wrapped) means the stream
+// ended cleanly between frames.
+func (fr *frameReader) next(f *frame) error {
+	if _, err := io.ReadFull(fr.br, fr.hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return io.EOF // stream cut mid-header: treat as end, re-dial
+		}
+		return err
+	}
+	n := binary.LittleEndian.Uint32(fr.hdr[0:4])
+	want := binary.LittleEndian.Uint32(fr.hdr[4:8])
+	if n == 0 || n > maxFrameLen {
+		return errBadFrame
+	}
+	if cap(fr.buf) < int(n) {
+		fr.buf = make([]byte, n)
+	}
+	fr.buf = fr.buf[:n]
+	if _, err := io.ReadFull(fr.br, fr.buf); err != nil {
+		return io.EOF // cut mid-frame
+	}
+	if crc32.ChecksumIEEE(fr.buf) != want {
+		return errBadFrame
+	}
+	*f = frame{}
+	if err := json.Unmarshal(fr.buf, f); err != nil {
+		return fmt.Errorf("replication: decode frame: %w", err)
+	}
+	return nil
+}
+
+// Status is the /replication/status payload, shared by both roles.
+type Status struct {
+	Role         string `json:"role"`                 // "primary" | "replica"
+	State        string `json:"state,omitempty"`      // replica: bootstrap | snapshot | tail | reconnect | stale
+	Leader       string `json:"leader,omitempty"`     // replica: leader base URL; primary: advertise URL
+	LastSeq      uint64 `json:"last_seq"`             // local WAL last seq
+	CommittedSeq uint64 `json:"committed_seq"`        // primary: group-boundary watermark; replica: applied seq
+	WALBytes     int64  `json:"wal_bytes"`            // local log size
+	LeaderSeq    uint64 `json:"leader_seq,omitempty"` // replica: leader committed seq as of the last frame
+	LagRecords   int64  `json:"lag_records"`          // replica: leader_seq - committed_seq (0 on primary)
+	LagBytes     int64  `json:"lag_bytes"`            // replica: estimated bytes behind (avg record size × lag)
+	Snapshot     bool   `json:"snapshot_catchup"`     // replica: currently in snapshot transfer
+	LastError    string `json:"last_error,omitempty"` // replica: most recent stream error
+	Reconnects   uint64 `json:"reconnects,omitempty"` // replica: times the tail stream was re-dialed
+}

@@ -6,12 +6,15 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"securitykg/internal/cypher"
 	"securitykg/internal/graph"
@@ -32,7 +35,44 @@ type Server struct {
 
 	txMu sync.Mutex            // guards txs (session.go)
 	txs  map[string]*txSession // open transaction sessions by token
+
+	repl Replication // replication role wiring (standalone when zero)
 }
+
+// Replication tells the server its place in a replicated deployment.
+// The zero value is a standalone server: reads are always current,
+// writes are governed only by the engine's ReadOnly option, and
+// responses carry no sequence numbers.
+type Replication struct {
+	// Role is "primary", "replica", or "" (standalone). On a replica,
+	// write statements and BEGIN get an HTTP 421 {"code":"not_leader"}
+	// response naming LeaderURL instead of the engine's read-only error.
+	Role      string
+	LeaderURL string
+
+	// Seq returns the committed (primary) or applied (replica) WAL
+	// sequence number. When set, write responses carry {"seq": n} — the
+	// read-your-writes token a client passes back as min_seq.
+	Seq func() uint64
+
+	// WaitSeq blocks until local reads observe at least seq. Set on
+	// replicas (the primary's reads are always current); a min_seq
+	// read waits through it, bounded by MaxWait, before executing.
+	WaitSeq func(ctx context.Context, seq uint64) error
+
+	// MaxWait bounds a min_seq read's wait (default 5s). Clients may
+	// shorten it per-request with wait_ms.
+	MaxWait time.Duration
+
+	// Health contributes extra fields to /healthz (data-dir lock
+	// status, durability errors, applied seq) — whatever the process
+	// wiring knows that the server core does not.
+	Health func() map[string]any
+}
+
+// SetReplication wires the server's replication role. Call before
+// serving; the configuration is read, not copied, by handlers.
+func (s *Server) SetReplication(cfg Replication) { s.repl = cfg }
 
 // New builds the server with the default query options.
 func New(store *graph.Store, index *search.Index) *Server {
@@ -56,7 +96,31 @@ func NewWith(store *graph.Store, index *search.Index, opts cypher.Options) *Serv
 	s.mux.HandleFunc("/api/collapse", s.handleCollapse)
 	s.mux.HandleFunc("/api/random", s.handleRandom)
 	s.mux.HandleFunc("/api/back", s.handleBack)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
+}
+
+// handleHealthz is the liveness/role probe: cheap, dependency-free,
+// and safe to poll. Role and sequence numbers come from the
+// replication wiring; process-level facts (data-dir lock, durability
+// errors) are merged in from Replication.Health.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	out := map[string]any{
+		"status": "ok",
+		"role":   s.repl.Role,
+	}
+	if out["role"] == "" {
+		out["role"] = "standalone"
+	}
+	if s.repl.Seq != nil {
+		out["seq"] = s.repl.Seq()
+	}
+	if s.repl.Health != nil {
+		for k, v := range s.repl.Health() {
+			out[k] = v
+		}
+	}
+	writeJSON(w, out)
 }
 
 // ServeHTTP implements http.Handler.
@@ -137,11 +201,81 @@ func httpErr(w http.ResponseWriter, code int, format string, args ...any) {
 	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// notLeader rejects a write on a replica with a typed redirect: HTTP
+// 421 (Misdirected Request) and the leader's URL, so a client library
+// can transparently re-issue against the leader.
+func (s *Server) notLeader(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusMisdirectedRequest)
+	json.NewEncoder(w).Encode(map[string]string{
+		"error":  "this node is a read-only replica; send writes to the leader",
+		"code":   "not_leader",
+		"leader": s.repl.LeaderURL,
+	})
+}
+
+// isReplica reports whether writes should be redirected to a leader.
+func (s *Server) isReplica() bool { return s.repl.Role == "replica" }
+
+// awaitSeq enforces the read-your-writes token: when minSeq is nonzero
+// and this node's reads can lag (a replica), block until the local
+// store has applied at least minSeq. The wait is bounded — MaxWait by
+// default, shortened per-request with wait_ms — and a timeout answers
+// 504 so the client can retry or fall back to the leader. Returns
+// false when the response has been written.
+func (s *Server) awaitSeq(w http.ResponseWriter, r *http.Request, minSeq uint64) bool {
+	if minSeq == 0 || s.repl.WaitSeq == nil {
+		return true
+	}
+	wait := s.repl.MaxWait
+	if wait <= 0 {
+		wait = 5 * time.Second
+	}
+	if ms := intParam(r, "wait_ms", 0); ms > 0 && time.Duration(ms)*time.Millisecond < wait {
+		wait = time.Duration(ms) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), wait)
+	defer cancel()
+	if err := s.repl.WaitSeq(ctx, minSeq); err != nil {
+		httpErr(w, http.StatusGatewayTimeout,
+			"replica has not caught up to seq %d within %v (applied %d)", minSeq, wait, s.appliedSeq())
+		return false
+	}
+	return true
+}
+
+func (s *Server) appliedSeq() uint64 {
+	if s.repl.Seq == nil {
+		return 0
+	}
+	return s.repl.Seq()
+}
+
+// minSeqParam reads the min_seq read-your-writes token off the query
+// string (all read endpoints accept it).
+func minSeqParam(r *http.Request) uint64 {
+	v := r.URL.Query().Get("min_seq")
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if !s.awaitSeq(w, r, minSeqParam(r)) {
+		return
+	}
 	writeJSON(w, s.store.Stats())
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if !s.awaitSeq(w, r, minSeqParam(r)) {
+		return
+	}
 	q := r.URL.Query().Get("q")
 	if q == "" {
 		httpErr(w, http.StatusBadRequest, "missing q parameter")
@@ -167,6 +301,7 @@ type cypherRequest struct {
 	Explain bool           `json:"explain"` // render the plan instead of executing
 	Stream  bool           `json:"stream"`  // NDJSON row-by-row response
 	Tx      string         `json:"tx"`      // transaction token (session.go)
+	MinSeq  uint64         `json:"min_seq"` // read-your-writes token: wait for this seq on a replica
 }
 
 // handleCypher executes a Cypher statement POSTed as JSON:
@@ -200,6 +335,9 @@ func (s *Server) handleCypher(w http.ResponseWriter, r *http.Request) {
 		httpErr(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
+	if !s.awaitSeq(w, r, req.MinSeq) {
+		return
+	}
 	if req.Explain {
 		plan, err := s.eng.Explain(req.Query)
 		if err != nil {
@@ -217,6 +355,13 @@ func (s *Server) handleCypher(w http.ResponseWriter, r *http.Request) {
 	if req.Tx == "" {
 		switch op {
 		case cypher.TxBegin:
+			if s.isReplica() {
+				// A transaction session exists to write; a replica
+				// cannot accept one, so redirect before a token is
+				// minted and a writer slot consumed.
+				s.notLeader(w)
+				return
+			}
 			token, err := s.beginTxSession()
 			if err != nil {
 				httpErr(w, http.StatusServiceUnavailable, "%v", err)
@@ -238,22 +383,40 @@ func (s *Server) handleCypher(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.eng.Query(req.Query, req.Params)
 	if err != nil {
-		httpErr(w, http.StatusBadRequest, "%v", err)
+		s.cypherErr(w, err)
 		return
 	}
-	writeCypherResult(w, res)
+	s.writeCypherResult(w, res, res.Writes != nil)
+}
+
+// cypherErr maps an engine error onto the transport: a read-only
+// rejection on a replica becomes the not_leader redirect, everything
+// else a 400.
+func (s *Server) cypherErr(w http.ResponseWriter, err error) {
+	if s.isReplica() && errors.Is(err, cypher.ErrReadOnly) {
+		s.notLeader(w)
+		return
+	}
+	httpErr(w, http.StatusBadRequest, "%v", err)
 }
 
 // writeCypherResult renders a materialized result for transport, rows
 // as strings. (An "EXPLAIN match ..." statement flows through here too,
-// returning plan lines as rows.)
-func writeCypherResult(w http.ResponseWriter, res *cypher.Result) {
+// returning plan lines as rows.) When committed is true and the server
+// knows its WAL position, the response carries {"seq": n} — the
+// read-your-writes token a client passes as min_seq on later reads
+// (possibly against a replica) to be guaranteed to see this write.
+func (s *Server) writeCypherResult(w http.ResponseWriter, res *cypher.Result, committed bool) {
 	out := struct {
 		Columns   []string           `json:"columns"`
 		Rows      [][]string         `json:"rows"`
 		Truncated bool               `json:"truncated,omitempty"`
 		Writes    *cypher.WriteStats `json:"writes,omitempty"`
+		Seq       uint64             `json:"seq,omitempty"`
 	}{Columns: res.Columns, Truncated: res.Truncated, Writes: res.Writes}
+	if committed && s.repl.Seq != nil {
+		out.Seq = s.repl.Seq()
+	}
 	for _, row := range res.Rows {
 		cells := make([]string, len(row))
 		for i, v := range row {
@@ -273,15 +436,18 @@ func writeCypherResult(w http.ResponseWriter, res *cypher.Result) {
 func (s *Server) streamCypher(w http.ResponseWriter, r *http.Request, query string, params map[string]any) {
 	rows, err := s.eng.QueryRows(query, params)
 	if err != nil {
-		httpErr(w, http.StatusBadRequest, "%v", err)
+		s.cypherErr(w, err)
 		return
 	}
-	s.streamRows(w, r, rows)
+	s.streamRows(w, r, rows, true)
 }
 
 // streamRows drains a cursor as NDJSON (shared by the plain and
-// transaction-session streaming paths).
-func (s *Server) streamRows(w http.ResponseWriter, r *http.Request, rows *cypher.Rows) {
+// transaction-session streaming paths). seqOnWrites attaches the
+// read-your-writes token to the done-trailer of a writing statement;
+// the transaction path passes false because in-tx writes only become
+// visible (and WAL-logged) at COMMIT.
+func (s *Server) streamRows(w http.ResponseWriter, r *http.Request, rows *cypher.Rows, seqOnWrites bool) {
 	defer rows.Close()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
@@ -320,11 +486,17 @@ func (s *Server) streamRows(w http.ResponseWriter, r *http.Request, rows *cypher
 	trailer := map[string]any{"done": n}
 	if ws := rows.Writes(); ws != nil {
 		trailer["writes"] = ws
+		if seqOnWrites && s.repl.Seq != nil {
+			trailer["seq"] = s.repl.Seq()
+		}
 	}
 	enc.Encode(trailer)
 }
 
 func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
+	if !s.awaitSeq(w, r, minSeqParam(r)) {
+		return
+	}
 	id, err := nodeIDParam(r, "id")
 	if err != nil {
 		httpErr(w, http.StatusBadRequest, "%v", err)
@@ -346,6 +518,9 @@ func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
+	if !s.awaitSeq(w, r, minSeqParam(r)) {
+		return
+	}
 	id, err := nodeIDParam(r, "id")
 	if err != nil {
 		httpErr(w, http.StatusBadRequest, "%v", err)
@@ -365,6 +540,9 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCollapse(w http.ResponseWriter, r *http.Request) {
+	if !s.awaitSeq(w, r, minSeqParam(r)) {
+		return
+	}
 	id, err := nodeIDParam(r, "id")
 	if err != nil {
 		httpErr(w, http.StatusBadRequest, "%v", err)
@@ -385,6 +563,9 @@ func (s *Server) handleCollapse(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRandom(w http.ResponseWriter, r *http.Request) {
+	if !s.awaitSeq(w, r, minSeqParam(r)) {
+		return
+	}
 	n := intParam(r, "n", 20)
 	seed := int64(intParam(r, "seed", 1))
 	sg := s.store.RandomSubgraph(seed, n)

@@ -105,7 +105,7 @@ func (s *Server) txCypher(w http.ResponseWriter, r *http.Request, req *cypherReq
 			httpErr(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		s.streamRows(w, r, rows)
+		s.streamRows(w, r, rows, false)
 		return
 	}
 	res, err := sess.tx.Query(req.Query, req.Params)
@@ -116,5 +116,8 @@ func (s *Server) txCypher(w http.ResponseWriter, r *http.Request, req *cypherReq
 		httpErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeCypherResult(w, res)
+	// COMMIT is the moment the transaction's writes reach the WAL, so
+	// its response (not the in-tx write statements') carries the
+	// read-your-writes token.
+	s.writeCypherResult(w, res, op == cypher.TxCommit)
 }

@@ -27,12 +27,12 @@ func TestWALAppendAllocs(t *testing.T) {
 	mut := graph.Mutation{Op: graph.OpSetAttr, Node: 7, Key: "score", Val: "9"}
 	// Warm: register the dictionary entries and grow the scratch buffers.
 	for i := 0; i < 4; i++ {
-		if err := w.Append(mut); err != nil {
+		if _, err := w.Append(mut); err != nil {
 			t.Fatal(err)
 		}
 	}
 	allocs := testing.AllocsPerRun(200, func() {
-		if err := w.Append(mut); err != nil {
+		if _, err := w.Append(mut); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -46,12 +46,12 @@ func TestWALAppendAllocs(t *testing.T) {
 	mutAttrs := graph.Mutation{Op: graph.OpMergeNode, Type: "Malware", Name: "m",
 		Attrs: map[string]string{"seen": "1", "family": "trojan"}}
 	for i := 0; i < 4; i++ {
-		if err := w.Append(mutAttrs); err != nil {
+		if _, err := w.Append(mutAttrs); err != nil {
 			t.Fatal(err)
 		}
 	}
 	allocs = testing.AllocsPerRun(200, func() {
-		if err := w.Append(mutAttrs); err != nil {
+		if _, err := w.Append(mutAttrs); err != nil {
 			t.Fatal(err)
 		}
 	})

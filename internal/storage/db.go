@@ -44,7 +44,8 @@ type DB struct {
 	dir   string
 	store *graph.Store
 	wal   *WAL
-	lock  *os.File // exclusive flock on the data directory
+	tail  *replTail // in-memory record tail for replication (tail.go)
+	lock  *os.File  // exclusive flock on the data directory
 	opts  Options
 
 	mu         sync.Mutex // serializes checkpoints
@@ -79,6 +80,11 @@ type Options struct {
 	// Codec selects the on-disk encoding for new WAL segments and
 	// snapshots (default CodecBinary). Recovery always reads both.
 	Codec Codec
+	// TailRecords / TailBytes cap the in-memory replication tail
+	// (tail.go): how far back a follower stream can be served without
+	// rescanning the log file. Defaults: 8192 records, 8 MiB.
+	TailRecords int
+	TailBytes   int64
 }
 
 const (
@@ -210,6 +216,7 @@ func Open(dir string, opts Options) (*DB, error) {
 		return nil, err
 	}
 	db.wal = wal
+	db.tail = newReplTail(lastSeq, opts.TailRecords, opts.TailBytes)
 	st.SetMutationHook(db.logMutation)
 	owned = true
 	return db, nil
@@ -297,6 +304,18 @@ func binSnapshotSeq(path string) (uint64, bool, error) {
 	return seq, true, nil
 }
 
+// writeBinSnapHeader frames a binary snapshot stream: the magic plus
+// the uvarint covering seq. Checkpoint files and replication snapshot
+// transfers (tail.go) share it, which is what lets a follower write
+// the transfer verbatim as its snapshot.skg.
+func writeBinSnapHeader(w io.Writer, seq uint64) error {
+	hdr := make([]byte, 0, len(snapBinMagic)+binary.MaxVarintLen64)
+	hdr = append(hdr, snapBinMagic...)
+	hdr = binary.AppendUvarint(hdr, seq)
+	_, err := w.Write(hdr)
+	return err
+}
+
 func readBinSnapHeader(br *bufio.Reader, path string) (uint64, error) {
 	magic := make([]byte, len(snapBinMagic))
 	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != snapBinMagic {
@@ -352,13 +371,31 @@ func loadBinSnapshot(path string) (*graph.Store, uint64, error) {
 // failed append schedules immediately — snapshots the full store and
 // re-bases durability past the gap, clearing the sticky error.
 func (db *DB) logMutation(m graph.Mutation) {
-	if db.wal.Append(m) != nil {
+	seq, err := db.wal.Append(m)
+	if err != nil {
 		db.scheduleCheckpoint()
 		return // sticky until the checkpoint lands; Err() reports it
 	}
+	// Feed the replication tail an owned copy (the hook contract lets
+	// the caller reuse the Attrs map after we return).
+	rec := recordFromMutation(cloneMutationAttrs(m))
+	rec.Seq = seq
+	db.tail.add(rec)
 	if db.opts.CompactBytes > 0 && db.wal.Size() > db.opts.CompactBytes {
 		db.scheduleCheckpoint()
 	}
+}
+
+// cloneMutationAttrs deep-copies the mutation's one reference field.
+func cloneMutationAttrs(m graph.Mutation) graph.Mutation {
+	if len(m.Attrs) > 0 {
+		attrs := make(map[string]string, len(m.Attrs))
+		for k, v := range m.Attrs {
+			attrs[k] = v
+		}
+		m.Attrs = attrs
+	}
+	return m
 }
 
 // scheduleCheckpoint runs Checkpoint on its own goroutine (the mutation
@@ -427,11 +464,7 @@ func (db *DB) Checkpoint() error {
 		}
 		return db.store.SaveBinaryWithHeader(f, func(w io.Writer) error {
 			seq, fails = db.wal.state()
-			hdr := make([]byte, 0, len(snapBinMagic)+binary.MaxVarintLen64)
-			hdr = append(hdr, snapBinMagic...)
-			hdr = binary.AppendUvarint(hdr, seq)
-			_, werr := w.Write(hdr)
-			return werr
+			return writeBinSnapHeader(w, seq)
 		})
 	})
 	if err != nil {

@@ -1,0 +1,286 @@
+package storage
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"securitykg/internal/graph"
+)
+
+// This file is the storage side of WAL-shipping replication
+// (internal/replication): an in-memory tail of recently appended
+// records so a leader can serve follower streams without rescanning
+// the log file, a committed watermark that stops streams at transaction
+// group boundaries (a follower must never observe an uncommitted
+// prefix), a disk fallback for followers further behind than the tail
+// buffer reaches, and snapshot export/install for catch-up transfers.
+
+// replTail buffers the most recent WAL records. Records are contiguous
+// by Seq; eviction drops from the front, so a follower that falls
+// further behind than the buffer reaches is redirected to the disk
+// scan (and past that, to a snapshot transfer). committed is the last
+// sequence number at a transaction-group boundary — the highest record
+// a replication stream may ship.
+type replTail struct {
+	mu        sync.Mutex
+	recs      []Record
+	bytes     int64 // approximate retained payload bytes
+	maxRecs   int
+	maxBytes  int64
+	inTx      bool
+	committed uint64
+	notify    chan struct{} // closed and replaced when committed advances
+}
+
+func newReplTail(lastSeq uint64, maxRecs int, maxBytes int64) *replTail {
+	if maxRecs <= 0 {
+		maxRecs = 8192
+	}
+	if maxBytes <= 0 {
+		maxBytes = 8 << 20
+	}
+	return &replTail{
+		committed: lastSeq,
+		maxRecs:   maxRecs,
+		maxBytes:  maxBytes,
+		notify:    make(chan struct{}),
+	}
+}
+
+// recSize approximates a record's retained bytes for eviction.
+func recSize(r *Record) int64 {
+	n := 64 + len(r.Type) + len(r.Name) + len(r.Key) + len(r.Val)
+	for k, v := range r.Attrs {
+		n += len(k) + len(v) + 32
+	}
+	return int64(n)
+}
+
+// add appends one just-logged record. The caller passes an owned copy
+// (attrs cloned): the mutation hook's map must not be retained.
+func (t *replTail) add(rec Record) {
+	t.mu.Lock()
+	t.recs = append(t.recs, rec)
+	t.bytes += recSize(&rec)
+	for (len(t.recs) > t.maxRecs || t.bytes > t.maxBytes) && len(t.recs) > 1 {
+		t.bytes -= recSize(&t.recs[0])
+		t.recs[0] = Record{} // release attr map for GC before sliding
+		t.recs = t.recs[1:]
+	}
+	advanced := false
+	switch rec.Op {
+	case graph.OpTxBegin:
+		t.inTx = true
+	case graph.OpTxCommit, graph.OpTxRollback:
+		t.inTx = false
+		t.committed = rec.Seq
+		advanced = true
+	default:
+		if !t.inTx {
+			t.committed = rec.Seq
+			advanced = true
+		}
+	}
+	var wake chan struct{}
+	if advanced {
+		wake, t.notify = t.notify, make(chan struct{})
+	}
+	t.mu.Unlock()
+	if wake != nil {
+		close(wake)
+	}
+}
+
+// collect returns up to max records with seq in [from, committed].
+// ok is false when the buffer no longer reaches back to from — the
+// caller must fall back to the disk scan or a snapshot. A from past
+// the committed watermark returns (nil, true): nothing to ship yet,
+// wait on Notify.
+func (t *replTail) collect(from uint64, max int) (out []Record, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if from > t.committed {
+		return nil, true
+	}
+	if len(t.recs) == 0 || t.recs[0].Seq > from {
+		return nil, false
+	}
+	i := int(from - t.recs[0].Seq)
+	for ; i < len(t.recs) && len(out) < max; i++ {
+		if t.recs[i].Seq > t.committed {
+			break
+		}
+		out = append(out, t.recs[i])
+	}
+	return out, true
+}
+
+func (t *replTail) committedSeq() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.committed
+}
+
+func (t *replTail) notifyCh() <-chan struct{} {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.notify
+}
+
+// --- DB surface consumed by internal/replication ---
+
+// CommittedSeq returns the sequence number of the last WAL record at a
+// transaction-group boundary: the highest record a replication stream
+// may ship, and the leader-side "read your writes" watermark.
+func (db *DB) CommittedSeq() uint64 { return db.tail.committedSeq() }
+
+// TailNotify returns a channel closed the next time the committed
+// watermark advances. Callers re-fetch the channel after each wake.
+func (db *DB) TailNotify() <-chan struct{} { return db.tail.notifyCh() }
+
+// TailSince returns up to max committed WAL records with seq >= from
+// out of the in-memory tail. ok reports availability: false means the
+// buffer has evicted from (try TailFromDisk); (nil, true) means from is
+// past the committed watermark — nothing to ship yet.
+func (db *DB) TailSince(from uint64, max int) ([]Record, bool) {
+	return db.tail.collect(from, max)
+}
+
+// TailFromDisk scans the WAL file for committed records with
+// seq >= from: the catch-up path for a follower that reaches further
+// back than the in-memory tail, typically after a leader restart. ok
+// is false when the file does not reach back to from (the records were
+// truncated by a checkpoint) — the follower needs a snapshot transfer.
+// Records past the last transaction-group boundary are withheld, like
+// the in-memory tail. The scan tolerates a concurrent truncation: a
+// torn read ends the scan at the damage and ships the shorter batch;
+// the follower's next request re-resolves.
+func (db *DB) TailFromDisk(from uint64) ([]Record, bool, error) {
+	if from == 0 {
+		from = 1
+	}
+	f, err := os.Open(filepath.Join(db.dir, walFile))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("storage: tail scan: %w", err)
+	}
+	defer f.Close()
+	sc := newWALScanner(f)
+	var (
+		rec            Record
+		out            []Record
+		first          uint64
+		shippedThrough int // len(out) at the last group boundary
+		inTx           bool
+	)
+	for sc.next(&rec) {
+		if first == 0 {
+			first = rec.Seq
+		}
+		if rec.Seq >= from {
+			out = append(out, rec)
+		}
+		switch rec.Op {
+		case graph.OpTxBegin:
+			inTx = true
+		case graph.OpTxCommit, graph.OpTxRollback:
+			inTx = false
+			shippedThrough = len(out)
+		default:
+			if !inTx {
+				shippedThrough = len(out)
+			}
+		}
+	}
+	out = out[:shippedThrough]
+	if first == 0 || first > from {
+		// Empty log, or its oldest surviving record is already past
+		// from: the gap is only recoverable via snapshot.
+		return nil, false, nil
+	}
+	return out, true, nil
+}
+
+// WriteSnapshotTo streams a binary snapshot of the current store —
+// byte-compatible with the snapshot.skg file a checkpoint writes — to
+// w, returning the covering WAL sequence number. The store is quiesced
+// for the duration (writers wait; snapshot reads proceed), so the
+// state and its covering seq are captured at a transaction boundary.
+// This is the leader side of a replication catch-up transfer.
+func (db *DB) WriteSnapshotTo(w io.Writer) (uint64, error) {
+	var seq uint64
+	err := db.store.Quiesce(func() error {
+		return db.store.SaveBinaryWithHeader(w, func(hw io.Writer) error {
+			seq, _ = db.wal.state()
+			return writeBinSnapHeader(hw, seq)
+		})
+	})
+	return seq, err
+}
+
+// HasState reports whether dir already holds durable state (a snapshot
+// or a WAL): a replica data directory with state resumes from it
+// instead of re-bootstrapping.
+func HasState(dir string) bool {
+	for _, name := range []string{snapshotBinFile, snapshotFile, walFile} {
+		if fi, err := os.Stat(filepath.Join(dir, name)); err == nil && fi.Size() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// InstallSnapshot writes the snapshot stream r (the WriteSnapshotTo /
+// snapshot.skg format) into dir atomically: temp file, fsync, rename.
+// The directory must not be open as a DB (Open takes the flock). A
+// subsequent Open recovers from the installed snapshot; a crash
+// mid-install leaves only a .tmp file Open ignores and removes.
+func InstallSnapshot(dir string, r io.Reader) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("storage: install snapshot: %w", err)
+	}
+	dst := filepath.Join(dir, snapshotBinFile)
+	tmp := dst + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("storage: install snapshot: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	if _, err := io.Copy(bw, r); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("storage: install snapshot: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("storage: install snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("storage: install snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: install snapshot: %w", err)
+	}
+	// Verify the header before renaming into place: a truncated or
+	// foreign stream must not shadow a good directory.
+	if _, _, err := binSnapshotSeq(tmp); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: install snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, dst); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: install snapshot: %w", err)
+	}
+	syncDir(dir)
+	return nil
+}

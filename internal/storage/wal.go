@@ -243,20 +243,21 @@ func (w *WAL) syncLoop(every time.Duration) {
 	}
 }
 
-// Append encodes the mutation as the next record and writes it. The
-// write is flushed to the OS before returning (so a process crash never
-// loses an acknowledged append); whether it is fsynced depends on the
-// policy. Errors are sticky: once an append fails, the WAL refuses
-// further writes and Err/Close report the failure.
-func (w *WAL) Append(m graph.Mutation) error {
+// Append encodes the mutation as the next record and writes it,
+// returning the sequence number it was assigned. The write is flushed
+// to the OS before returning (so a process crash never loses an
+// acknowledged append); whether it is fsynced depends on the policy.
+// Errors are sticky: once an append fails, the WAL refuses further
+// writes and Err/Close report the failure.
+func (w *WAL) Append(m graph.Mutation) (uint64, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.err != nil {
 		w.fails++
-		return w.err
+		return 0, w.err
 	}
 	if w.closed {
-		return errors.New("storage: append to closed WAL")
+		return 0, errors.New("storage: append to closed WAL")
 	}
 	rec := recordFromMutation(m)
 	rec.Seq = w.lastSeq + 1
@@ -274,7 +275,7 @@ func (w *WAL) Append(m graph.Mutation) error {
 		if err != nil {
 			w.err = fmt.Errorf("storage: encode record: %w", err)
 			w.fails++
-			return w.err
+			return 0, w.err
 		}
 	}
 	if len(payload) > maxRecordLen {
@@ -285,7 +286,7 @@ func (w *WAL) Append(m graph.Mutation) error {
 		// checkpoint re-bases durability.
 		w.err = fmt.Errorf("storage: mutation record is %d bytes, past the %d-byte limit", len(payload), maxRecordLen)
 		w.fails++
-		return w.err
+		return 0, w.err
 	}
 	hdr := w.hdrBuf[:]
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
@@ -293,21 +294,21 @@ func (w *WAL) Append(m graph.Mutation) error {
 	if _, err := w.w.Write(hdr); err != nil {
 		w.err = fmt.Errorf("storage: append: %w", err)
 		w.fails++
-		return w.err
+		return 0, w.err
 	}
 	if _, err := w.w.Write(payload); err != nil {
 		w.err = fmt.Errorf("storage: append: %w", err)
 		w.fails++
-		return w.err
+		return 0, w.err
 	}
 	if err := w.flushLocked(w.policy == SyncAlways); err != nil {
 		w.err = err
 		w.fails++
-		return w.err
+		return 0, w.err
 	}
 	w.lastSeq = rec.Seq
 	w.size += int64(recordHeaderLen + len(payload))
-	return nil
+	return rec.Seq, nil
 }
 
 // flushLocked drains the buffer to the OS and optionally fsyncs.
