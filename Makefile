@@ -11,8 +11,10 @@ build:
 # tests, and the parallel-scan tests force multi-worker partitions so
 # the concurrent scan path is race-checked even on one core). The
 # allocation-regression guards (zero-alloc CSR incidence iteration,
-# zero-alloc binary WAL append) are gated //go:build !race — the race
-# detector inflates AllocsPerRun — so a plain-build pass runs them.
+# zero-alloc binary WAL append, zero-cost disabled ANALYZE
+# instrumentation on the warm expand path) are gated //go:build !race —
+# the race detector inflates AllocsPerRun — so a plain-build pass runs
+# them.
 # The final pass re-runs the transaction schedule harness (scripted +
 # randomized interleavings against the snapshot-isolation oracle) and
 # the parallel reader stress test under -race with fresh counts, so the
@@ -21,7 +23,7 @@ build:
 # replication integration pass (replication-test).
 test: vet
 	$(GO) test -race ./...
-	$(GO) test -run 'Allocs' ./internal/graph/ ./internal/storage/
+	$(GO) test -run 'Allocs' ./internal/graph/ ./internal/storage/ ./internal/cypher/
 	$(GO) test -race -count=2 -run 'TestSchedule|TestConcurrentReadersSeeAtomicWrites|TestTx' ./internal/cypher/
 	$(MAKE) replication-test
 
@@ -45,9 +47,11 @@ vet:
 # contention benchmark (ConcurrentReadersDuringWrites: snapshot reads
 # vs an exclusive global lock), and the replication benchmarks
 # (follower catch-up records/s over the HTTP stream, steady-state lag
-# behind a write burst), and records the raw `go test -json` event
-# stream in BENCH_cypher.json so the perf trajectory is diffable
-# across PRs.
+# behind a write burst), and the EXPLAIN ANALYZE instrumentation
+# overhead arm (analyze-off must stay within noise of the prepared hot
+# path; analyze-on prices per-operator profiling), and records the raw
+# `go test -json` event stream in BENCH_cypher.json so the perf
+# trajectory is diffable across PRs.
 bench:
 	$(GO) test -run '^$$' -bench 'Cypher|WAL|ConcurrentReaders|Replication' -benchmem -benchtime 50x . -json | tee BENCH_cypher.json | \
 		grep -o '"Output":"Benchmark[^"]*' | sed 's/"Output":"//; s/\\t/\t/g; s/\\n//' || true

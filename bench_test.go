@@ -796,3 +796,52 @@ func BenchmarkConcurrentReadersDuringWrites(b *testing.B) {
 	b.Run("exclusive", func(b *testing.B) { run(b, true) })
 	b.Run("snapshot", func(b *testing.B) { run(b, false) })
 }
+
+// --- E20: EXPLAIN ANALYZE instrumentation overhead (PR 9) ---
+
+// BenchmarkCypherAnalyzeOverhead measures what per-operator profiling
+// costs. "analyze-off" is the ordinary prepared hot path (point seek +
+// expand, plan-cache hit every run) — the instrumentation is attached
+// only when a profile sink exists, so this arm must stay within noise
+// of pre-instrumentation numbers. "analyze-on" runs the same statement
+// through QueryAnalyze, paying the decorator and clock reads per pull,
+// plus plan rendering. The spread is the price of `explain analyze`,
+// paid only by queries that ask for it.
+func BenchmarkCypherAnalyzeOverhead(b *testing.B) {
+	s := benchKG()
+	q := `match (m:Malware {name: $name})-[:CONNECT]->(ip) return ip.name`
+	b.Run("analyze-off", func(b *testing.B) {
+		eng := cypher.NewEngine(s, cypher.DefaultOptions())
+		stmt, err := eng.Prepare(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		args := map[string]any{"name": ""}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			args["name"] = fmt.Sprintf("malware-%d", i%10000)
+			res, err := stmt.Query(args)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Rows) != 2 {
+				b.Fatalf("rows = %d, want 2", len(res.Rows))
+			}
+		}
+	})
+	b.Run("analyze-on", func(b *testing.B) {
+		eng := cypher.NewEngine(s, cypher.DefaultOptions())
+		args := map[string]any{"name": ""}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			args["name"] = fmt.Sprintf("malware-%d", i%10000)
+			res, plan, err := eng.QueryAnalyze(q, args)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Rows) != 2 || plan == "" {
+				b.Fatalf("rows = %d, plan %q", len(res.Rows), plan)
+			}
+		}
+	})
+}

@@ -92,7 +92,8 @@ func main() {
 	fmt.Println(`skg-query: enter Cypher (reads and writes, e.g. merge (m:Malware {name: $ioc}) set m.triaged = "true"),`)
 	fmt.Println(`  BEGIN / COMMIT / ROLLBACK for multi-statement transactions,`)
 	fmt.Println(`  \set name value / \unset name / \params to manage $parameters,`)
-	fmt.Println(`  explain <query> for plans, /keyword search, or "quit"`)
+	fmt.Println(`  explain <query> for plans, \analyze <query> (or explain analyze <query>) for`)
+	fmt.Println(`  profiled execution with per-operator rows and timings, /keyword search, or "quit"`)
 
 	// Rebuild the keyword index from report nodes (title only; bodies are
 	// not persisted in the graph).
@@ -122,6 +123,17 @@ func main() {
 				fmt.Println("(open transaction rolled back)")
 			}
 			return
+		case line == `\analyze` || strings.HasPrefix(line, `\analyze `):
+			stmt := strings.TrimSpace(strings.TrimPrefix(line, `\analyze`))
+			if stmt == "" {
+				fmt.Println(`usage: \analyze <statement>`)
+				break
+			}
+			if tx != nil {
+				fmt.Println(`error: \analyze runs as its own statement — COMMIT or ROLLBACK the open transaction first`)
+				break
+			}
+			runAnalyze(eng, stmt, params)
 		case strings.HasPrefix(line, `\`):
 			runMeta(line, params)
 		case strings.HasPrefix(line, "/"):
@@ -248,6 +260,24 @@ func runQuery(q rowQuerier, line string, params map[string]any) {
 	fmt.Printf("(%d rows)\n", n)
 }
 
+// runAnalyze executes the statement fully and prints the profiled plan:
+// per-operator actual rows, input rows, iterator calls, and wall time
+// next to the planner's estimates. The statement's effects (including
+// writes) are real — ANALYZE executes, it does not simulate.
+func runAnalyze(eng *cypher.Engine, stmt string, params map[string]any) {
+	res, plan, err := eng.QueryAnalyze(stmt, params)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Print(plan)
+	if ws := res.Writes; ws != nil {
+		fmt.Printf("(%d rows; %s)\n", len(res.Rows), ws)
+		return
+	}
+	fmt.Printf("(%d rows)\n", len(res.Rows))
+}
+
 // runMeta handles the backslash commands that manage the shell's
 // $parameter bindings. Values parse as number/true/false/null when they
 // look like one; everything else (or anything quoted) is a string.
@@ -280,7 +310,7 @@ func runMeta(line string, params map[string]any) {
 			fmt.Printf("  $%s = %v\n", k, params[k])
 		}
 	default:
-		fmt.Printf("unknown command %s (try \\set, \\unset, \\params)\n", fields[0])
+		fmt.Printf("unknown command %s (try \\set, \\unset, \\params, \\analyze)\n", fields[0])
 	}
 }
 

@@ -27,6 +27,12 @@
 //	           [-data-dir ./data] [-fsync interval|always|never]
 //	           [-codec binary|json] [-compact-mb 64]
 //	           [-replicate-from http://leader:8080] [-advertise URL]
+//	           [-slow-query-ms 200]
+//
+// GET /metrics serves Prometheus text-format counters and gauges for
+// the query engine, storage, MVCC, and replication layers;
+// -slow-query-ms logs statements over a latency threshold (statement
+// text only — bound parameter values never appear in logs).
 package main
 
 import (
@@ -59,6 +65,7 @@ func main() {
 		readOnly  = flag.Bool("read-only", false, "reject Cypher write statements on /api/cypher (implied by -graph, which serves a snapshot whose writes would not persist)")
 		replFrom  = flag.String("replicate-from", "", "run as a read-only replica of the leader at this base URL (e.g. http://leader:8080); requires -data-dir")
 		advertise = flag.String("advertise", "", "base URL replicas and redirected clients should use to reach this node (leader side)")
+		slowMS    = flag.Int("slow-query-ms", 0, "log /api/cypher statements slower than this many milliseconds with kind, duration, rows, and budget bytes (0 disables; parameter values are never logged)")
 	)
 	flag.Parse()
 	if *replFrom != "" && *dataDir == "" {
@@ -141,9 +148,13 @@ func main() {
 	opts := cypher.DefaultOptions()
 	opts.ReadOnly = *readOnly
 	srv := server.NewWith(sys.Store, sys.Index, opts)
+	if *slowMS > 0 {
+		srv.SetSlowQueryLog(time.Duration(*slowMS)*time.Millisecond, log.Default())
+	}
 	mux := http.NewServeMux()
 	mux.Handle("/api/", srv)
 	mux.Handle("/healthz", srv)
+	mux.Handle("/metrics", srv)
 	mux.Handle("/s/", sys.Web()) // the synthetic OSCTI web itself
 
 	// Replication wiring: a durable node is a leader (it can serve
@@ -160,6 +171,7 @@ func main() {
 			LeaderURL: *replFrom,
 			Seq:       repl.AppliedSeq,
 			WaitSeq:   repl.WaitApplied,
+			Lag:       func() int64 { return repl.Status().LagRecords },
 			Health: func() map[string]any {
 				st := repl.Status()
 				h := map[string]any{
@@ -187,6 +199,7 @@ func main() {
 		srv.SetReplication(server.Replication{
 			Role: "primary",
 			Seq:  db.CommittedSeq,
+			Lag:  func() int64 { return 0 },
 			Health: func() map[string]any {
 				h := map[string]any{
 					"dir_locked":    true,

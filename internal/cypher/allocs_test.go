@@ -1,0 +1,68 @@
+//go:build !race
+
+// Allocation regression guards for the executor hot path. AllocsPerRun
+// is meaningless under the race detector, so these run in the plain
+// pass `make test` adds alongside the -race suite.
+
+package cypher
+
+import (
+	"fmt"
+	"testing"
+
+	"securitykg/internal/graph"
+)
+
+// TestAnalyzeDisabledAllocs locks down that EXPLAIN ANALYZE
+// instrumentation costs nothing when it is off: the profiling
+// decorators are attached at pipeline construction only when a profile
+// sink exists, so the ordinary warm prepared path (plan-cache hit,
+// 200-row expand) must stay at its pre-instrumentation allocation
+// count. The ceilings carry a few allocs of headroom for incidental
+// churn, but any unconditional per-pull bookkeeping — one allocation
+// per row pulled — overshoots them by ~200 and fails loudly.
+func TestAnalyzeDisabledAllocs(t *testing.T) {
+	s := graph.New()
+	hub, _ := s.MergeNode("Malware", "hub", nil)
+	for i := 0; i < 200; i++ {
+		ip, _ := s.MergeNode("IP", fmt.Sprintf("10.0.0.%d", i), nil)
+		s.AddEdge(hub, "CONNECT", ip, nil)
+	}
+	eng := NewEngine(s, DefaultOptions())
+	args := map[string]any{"name": "hub"}
+
+	agg, err := eng.Prepare(`match (m:Malware {name: $name})-[:CONNECT]->(ip) return count(*)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agg.Query(args); err != nil { // warm the plan cache
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, err := agg.Query(args); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 240 {
+		t.Errorf("warm expand+aggregate allocates %.0f/op, want <= 240 (baseline 230): disabled instrumentation must add nothing", allocs)
+	}
+
+	proj, err := eng.Prepare(`match (m:Malware {name: $name})-[:CONNECT]->(ip) return ip.name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain := func() {
+		rows, err := proj.QueryRows(args)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rows.Next() {
+		}
+		if err := rows.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drain()
+	if allocs := testing.AllocsPerRun(200, drain); allocs > 235 {
+		t.Errorf("warm expand cursor drain allocates %.0f/op, want <= 235 (baseline 223)", allocs)
+	}
+}

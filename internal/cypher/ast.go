@@ -4,6 +4,7 @@ package cypher
 // WITH-delimited parts, the last of which carries the RETURN projection.
 type Query struct {
 	Explain bool        // EXPLAIN prefix: render the plan instead of running it
+	Analyze bool        // EXPLAIN ANALYZE: execute fully, render the profiled plan
 	Parts   []QueryPart // WITH-chained segments; the final one is the RETURN
 	// Params lists the $parameter names the statement references (sorted,
 	// deduplicated). Every listed name must be bound at execution time.

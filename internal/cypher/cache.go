@@ -59,14 +59,17 @@ func (c *planCache) get(key string, s *graph.Store) *Plan {
 	ent, ok := c.entries[key]
 	if !ok {
 		c.misses++
+		mPlanCacheMisses.Inc()
 		return nil
 	}
 	if ent.statsVersion != s.StatsVersion() {
 		delete(c.entries, key)
 		c.misses++
+		mPlanCacheMisses.Inc()
 		return nil
 	}
 	c.hits++
+	mPlanCacheHits.Inc()
 	return ent.pl
 }
 

@@ -113,6 +113,10 @@ type Result struct {
 	// read-only statements). A write-only statement (no RETURN) yields
 	// zero columns and rows; the counts are its result.
 	Writes *WriteStats
+	// BudgetUsed is the bytes charged against the statement's MaxBytes
+	// budget (0 when the budget is unlimited) — the slow-query log's
+	// measure of how much the statement enumerated.
+	BudgetUsed int64
 }
 
 // params are the bound $parameter values for one execution, stored as
@@ -178,6 +182,15 @@ func (e *Engine) Query(src string, args map[string]any) (*Result, error) {
 			return nil, errTxControl
 		}
 		if q.Explain {
+			if q.Analyze {
+				// EXPLAIN ANALYZE executes (through the streaming pipeline,
+				// which is the plan being profiled), so it needs bindings.
+				ps, err := bindParams(q.Params, args)
+				if err != nil {
+					return nil, err
+				}
+				return e.runPlanned(q, ps)
+			}
 			// EXPLAIN never executes, so it needs no bindings.
 			return e.runPlanned(q, params{})
 		}
@@ -226,6 +239,19 @@ func (e *Engine) QueryRows(src string, args map[string]any) (*Rows, error) {
 		return nil, err
 	}
 	if q.Explain {
+		if q.Analyze {
+			// EXPLAIN ANALYZE executes fully (writes included), then
+			// returns the annotated plan lines as the result rows.
+			ps, err := bindParams(q.Params, args)
+			if err != nil {
+				return nil, err
+			}
+			res, err := e.analyzeResult(pl, ps)
+			if err != nil {
+				return nil, err
+			}
+			return rowsFromResult(res), nil
+		}
 		// EXPLAIN renders the plan without executing: no bindings needed.
 		return rowsFromResult(explainResult(pl)), nil
 	}
@@ -277,14 +303,14 @@ func (e *Engine) RunQuery(q *Query) (*Result, error) {
 	if fin := &q.Parts[len(q.Parts)-1]; len(fin.Items) == 0 && !fin.HasWrites() {
 		return nil, fmt.Errorf("cypher: empty RETURN")
 	}
-	if q.Explain {
+	if q.Explain && !q.Analyze {
 		return e.runPlanned(q, params{})
 	}
 	ps, err := bindParams(q.Params, nil)
 	if err != nil {
 		return nil, err
 	}
-	if e.opts.Legacy {
+	if e.opts.Legacy && !q.Explain {
 		return e.runLegacy(q, ps)
 	}
 	return e.runPlanned(q, ps)

@@ -36,6 +36,11 @@ type execCtx struct {
 	writes     *WriteStats // shared across segments; nil for read-only plans
 	cacheScans bool        // segment has optional sub-pipelines: cache scan ID lists
 	scanIDs    map[*ScanStage][]graph.NodeID
+	// prof, non-nil only under EXPLAIN ANALYZE, makes buildStageChain wrap
+	// every stage iterator in a profiling decorator (analyze.go). The nil
+	// check happens at pipeline construction, so un-analyzed executions
+	// run the exact pre-existing iterator chain.
+	prof *planProf
 }
 
 // fetchScanIDs returns the (cached) candidate ID list for a scan stage;
@@ -91,7 +96,11 @@ func (s *MutationStage) newIter(ec *execCtx, input iter) iter {
 func buildStageChain(ec *execCtx, stages []Stage, input iter) iter {
 	root := input
 	for _, st := range stages {
-		root = st.newIter(ec, root)
+		it := st.newIter(ec, root)
+		if ec.prof != nil {
+			it = ec.prof.wrap(st, it, root)
+		}
+		root = it
 	}
 	return root
 }
@@ -638,7 +647,7 @@ func (h *hashJoinIter) next() (bool, error) {
 		h.buckets = map[string][][]Value{}
 		// The build sub-pipeline runs once in its own binding namespace;
 		// it shares the engine, parameters and byte budget.
-		bec := &execCtx{e: ec.e, b: binding{}, ps: ec.ps, bud: ec.bud}
+		bec := &execCtx{e: ec.e, b: binding{}, ps: ec.ps, bud: ec.bud, prof: ec.prof}
 		chain := buildStageChain(bec, h.st.Build, nil)
 		for {
 			ok, err := chain.next()
@@ -1173,6 +1182,9 @@ func (e *Engine) runPlanned(q *Query, ps params) (*Result, error) {
 		return nil, err
 	}
 	if q.Explain {
+		if q.Analyze {
+			return e.analyzeResult(pl, ps)
+		}
 		return explainResult(pl), nil
 	}
 	rows, err := e.rowsForPlan(pl, ps)

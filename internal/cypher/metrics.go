@@ -1,0 +1,47 @@
+package cypher
+
+import (
+	"time"
+
+	"securitykg/internal/metrics"
+)
+
+// Engine-level metrics on the process-wide registry. Statement
+// observations happen once per cursor, at close — never per row — and
+// the labeled histogram children are resolved once at init, so the
+// warm query path pays two atomic histogram observations and no
+// allocations.
+var (
+	mQuerySeconds = metrics.NewHistogramVec("skg_query_seconds",
+		"Cypher statement wall time from execution start to cursor close, by statement kind.",
+		[]string{"kind"}, metrics.DurationBuckets)
+	mQueryRows = metrics.NewHistogramVec("skg_query_rows",
+		"Rows emitted per Cypher statement, by statement kind.",
+		[]string{"kind"}, metrics.CountBuckets)
+	mBudgetAborts = metrics.NewCounter("skg_query_budget_aborts_total",
+		"Cypher statements aborted by the per-query byte budget.")
+	mPlanCacheHits = metrics.NewCounter("skg_plan_cache_hits_total",
+		"Plan-cache lookups served by a cached plan.")
+	mPlanCacheMisses = metrics.NewCounter("skg_plan_cache_misses_total",
+		"Plan-cache lookups that required a fresh parse/plan (stats-version evictions included).")
+	mAnalyzeRuns = metrics.NewCounter("skg_analyze_runs_total",
+		"EXPLAIN ANALYZE executions (profiled statements).")
+
+	qSecondsRead  = mQuerySeconds.With("read")
+	qSecondsWrite = mQuerySeconds.With("write")
+	qRowsRead     = mQueryRows.With("read")
+	qRowsWrite    = mQueryRows.With("write")
+)
+
+// observeStatement records one finished statement cursor.
+func observeStatement(kind byte, elapsed time.Duration, rows int64, err error) {
+	sec, rh := qSecondsRead, qRowsRead
+	if kind == 'w' {
+		sec, rh = qSecondsWrite, qRowsWrite
+	}
+	sec.Observe(elapsed.Seconds())
+	rh.Observe(float64(rows))
+	if _, ok := err.(*BudgetError); ok {
+		mBudgetAborts.Inc()
+	}
+}

@@ -66,6 +66,11 @@ func (p *parser) parseQuery() (*Query, error) {
 	q := &Query{}
 	if p.keyword("explain") {
 		q.Explain = true
+		// EXPLAIN ANALYZE executes the statement and annotates the plan
+		// with observed per-stage cardinalities and timings.
+		if p.keyword("analyze") {
+			q.Analyze = true
+		}
 	}
 	if op, ok := p.parseTxControl(); ok {
 		if q.Explain {

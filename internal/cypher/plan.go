@@ -163,6 +163,10 @@ type ExpandStage struct {
 	Reverse bool // chain traversed right-to-left: edge direction flips
 	Filters []Expr
 	Est     float64
+	// SrcLabel is the source label the planner's degree-histogram lookup
+	// assumed ("" = all nodes) — kept on the stage so ANALYZE can key
+	// cardinality-drift observations to the histogram that produced Est.
+	SrcLabel string
 }
 
 func (s *ExpandStage) estRows() float64 { return s.Est }
@@ -177,12 +181,13 @@ func (s *ExpandStage) describe() string {
 // distinct endpoint whose shortest distance lies in [MinHops, MaxHops]
 // (reachability semantics, not path enumeration).
 type VarExpandStage struct {
-	From    string
-	Edge    EdgePattern // VarLength() is true
-	To      NodePattern
-	Reverse bool
-	Filters []Expr
-	Est     float64
+	From     string
+	Edge     EdgePattern // VarLength() is true
+	To       NodePattern
+	Reverse  bool
+	Filters  []Expr
+	Est      float64
+	SrcLabel string // planner-assumed source label (see ExpandStage)
 }
 
 func (s *VarExpandStage) estRows() float64 { return s.Est }
@@ -252,10 +257,11 @@ type BiHop struct {
 // multiset of rows is identical to the equivalent Expand chain — only
 // the enumeration strategy changes.
 type BiExpandStage struct {
-	From    string
-	Hops    []BiHop
-	Filters []Expr
-	Est     float64
+	From     string
+	Hops     []BiHop
+	Filters  []Expr
+	Est      float64
+	SrcLabel string // planner-assumed source label (see ExpandStage)
 }
 
 func (s *BiExpandStage) toPattern() NodePattern { return s.Hops[len(s.Hops)-1].To }
@@ -371,14 +377,27 @@ func (p *Plan) final() *PlanSegment { return p.Segments[len(p.Segments)-1] }
 // String renders the plan for EXPLAIN: numbered pipeline stages with
 // their pushed-down filters (optional sub-pipelines indented), WITH
 // boundaries between segments, then the row-level operators in order.
-func (p *Plan) String() string {
+func (p *Plan) String() string { return p.render(nil) }
+
+// render is String plus optional ANALYZE annotations: with a non-nil
+// profile, every stage line gains observed cardinality (act), rows-in,
+// invocation count and inclusive wall time (plus a drift! marker when
+// act diverges from est past the feedback threshold), the projection
+// lines gain [in/out/time], and the Sort line gains [in/time]. The
+// un-profiled rendering is byte-identical to the pre-ANALYZE EXPLAIN
+// output — the golden plan suite pins that.
+func (p *Plan) render(prof *planProf) string {
 	var b strings.Builder
-	b.WriteString("plan (streaming, greedy-ordered):\n")
+	if prof != nil {
+		b.WriteString("plan (streaming, greedy-ordered, analyzed):\n")
+	} else {
+		b.WriteString("plan (streaming, greedy-ordered):\n")
+	}
 	n := 0
 	for si, seg := range p.Segments {
 		for _, st := range seg.Stages {
 			n++
-			fmt.Fprintf(&b, "  %2d. %-60s est≈%s\n", n, st.describe(), fmtEst(st.estRows()))
+			fmt.Fprintf(&b, "  %2d. %-60s est≈%s%s\n", n, st.describe(), fmtEst(st.estRows()), prof.stageSuffix(st))
 			for _, f := range st.filters() {
 				fmt.Fprintf(&b, "      where %s\n", exprString(f))
 			}
@@ -390,7 +409,7 @@ func (p *Plan) String() string {
 				inner = is.Build
 			}
 			for ii, ist := range inner {
-				fmt.Fprintf(&b, "      %2d.%d %-55s est≈%s\n", n, ii+1, ist.describe(), fmtEst(ist.estRows()))
+				fmt.Fprintf(&b, "      %2d.%d %-55s est≈%s%s\n", n, ii+1, ist.describe(), fmtEst(ist.estRows()), prof.stageSuffix(ist))
 				for _, f := range ist.filters() {
 					fmt.Fprintf(&b, "           where %s\n", exprString(f))
 				}
@@ -414,7 +433,7 @@ func (p *Plan) String() string {
 		if colsText == "" {
 			colsText = "(write counts only)"
 		}
-		fmt.Fprintf(&b, "   => %s %s\n", op, colsText)
+		fmt.Fprintf(&b, "   => %s %s%s\n", op, colsText, prof.opSuffix(seg))
 		if seg.Distinct && !seg.HasAggregate {
 			b.WriteString("   => Distinct\n")
 		}
@@ -431,7 +450,7 @@ func (p *Plan) String() string {
 					}
 					keys = append(keys, t)
 				}
-				fmt.Fprintf(&b, "   => Sort %s\n", strings.Join(keys, ", "))
+				fmt.Fprintf(&b, "   => Sort %s%s\n", strings.Join(keys, ", "), prof.sortSuffix(seg))
 			}
 			if seg.Skip > 0 {
 				fmt.Fprintf(&b, "   => Skip %d\n", seg.Skip)

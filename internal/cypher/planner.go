@@ -311,7 +311,7 @@ func (e *Engine) planChain(stages *[]Stage, p Pattern, start int, bound map[stri
 				cur = est
 				continue
 			}
-			cur = e.emitExpand(stages, p.Nodes[hi].Var, p.Edges[hi], p.Nodes[hi+1], false, bound, cur*right)
+			cur = e.emitExpand(stages, p.Nodes[hi], p.Edges[hi], p.Nodes[hi+1], false, bound, eq, cur*right)
 			hi++
 		} else {
 			if hops, est, ok := e.tryBiExpand(stages, p, lo, true, bound, eq, cur); ok {
@@ -319,7 +319,7 @@ func (e *Engine) planChain(stages *[]Stage, p Pattern, start int, bound map[stri
 				cur = est
 				continue
 			}
-			cur = e.emitExpand(stages, p.Nodes[lo].Var, p.Edges[lo-1], p.Nodes[lo-1], true, bound, cur*left)
+			cur = e.emitExpand(stages, p.Nodes[lo], p.Edges[lo-1], p.Nodes[lo-1], true, bound, eq, cur*left)
 			lo--
 		}
 	}
@@ -392,25 +392,31 @@ func (e *Engine) tryBiExpand(stages *[]Stage, p Pattern, idx int, leftward bool,
 	if est < 1 {
 		est = 1
 	}
-	*stages = append(*stages, &BiExpandStage{From: p.Nodes[idx].Var, Hops: hops, Est: est})
+	*stages = append(*stages, &BiExpandStage{
+		From: p.Nodes[idx].Var, Hops: hops, Est: est,
+		SrcLabel: nodeLabelFor(p.Nodes[idx], eq),
+	})
 	bound[to.Var] = true
 	return len(hops), est, true
 }
 
-func (e *Engine) emitExpand(stages *[]Stage, from string, ep EdgePattern, to NodePattern,
-	reverse bool, bound map[string]bool, est float64) float64 {
+func (e *Engine) emitExpand(stages *[]Stage, src NodePattern, ep EdgePattern, to NodePattern,
+	reverse bool, bound map[string]bool, eq map[string]map[string]hintVal, est float64) float64 {
 	if est < 1 {
 		est = 1 // keep running products from collapsing to zero
 	}
+	// The planner-assumed source label travels with the stage so ANALYZE
+	// drift observations key back to the histogram that priced this hop.
+	srcLabel := nodeLabelFor(src, eq)
 	// Whether Edge.Var/To.Var are already bound is re-derived from the
 	// runtime binding by the executor, which handles both cases.
 	if ep.VarLength() {
 		*stages = append(*stages, &VarExpandStage{
-			From: from, Edge: ep, To: to, Reverse: reverse, Est: est,
+			From: src.Var, Edge: ep, To: to, Reverse: reverse, Est: est, SrcLabel: srcLabel,
 		})
 	} else {
 		*stages = append(*stages, &ExpandStage{
-			From: from, Edge: ep, To: to, Reverse: reverse, Est: est,
+			From: src.Var, Edge: ep, To: to, Reverse: reverse, Est: est, SrcLabel: srcLabel,
 		})
 		bound[ep.Var] = true
 	}

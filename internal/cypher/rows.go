@@ -2,6 +2,7 @@ package cypher
 
 import (
 	"fmt"
+	"time"
 )
 
 // Rows is an incremental cursor over a query's result stream, in the
@@ -35,6 +36,24 @@ type Rows struct {
 	// whole statement is atomic — a write statement's mutations become
 	// visible to other sessions only when its cursor closes cleanly.
 	finish func(error) error
+	// Statement observability (metrics.go): kind is 'r'/'w' for cursors
+	// produced by plan execution (0 for adapted results, which were
+	// observed by their own execution), began anchors the latency
+	// histogram, nrows counts emitted rows, bud exposes budget use.
+	kind  byte
+	began time.Time
+	nrows int64
+	bud   *byteBudget
+}
+
+// BudgetUsed returns the bytes charged against the statement's byte
+// budget so far (0 when the budget is unlimited). Slow-query logs
+// report it as a proxy for how much the statement enumerated.
+func (r *Rows) BudgetUsed() int64 {
+	if r.bud == nil {
+		return 0
+	}
+	return r.bud.used
 }
 
 // Writes returns the statement's write counters (nil for read-only
@@ -78,6 +97,7 @@ func (r *Rows) Next() bool {
 		r.close()
 		return false
 	}
+	r.nrows++
 	r.cur = row
 	return true
 }
@@ -149,6 +169,9 @@ func (r *Rows) Close() error {
 }
 
 func (r *Rows) close() {
+	if !r.done && r.kind != 0 {
+		observeStatement(r.kind, time.Since(r.began), r.nrows, r.err)
+	}
 	r.done = true
 	r.cur = nil
 	r.src = nil
@@ -206,6 +229,7 @@ func materialize(rows *Rows, maxRows int) (*Result, error) {
 		return nil, err
 	}
 	res.Writes = rows.Writes()
+	res.BudgetUsed = rows.BudgetUsed()
 	return res, nil
 }
 
@@ -274,6 +298,13 @@ func bindingBytes(b binding) int {
 // DISTINCT included, so the charge bounds enumeration, not just
 // retained memory.
 func (e *Engine) rowsForPlan(pl *Plan, ps params) (*Rows, error) {
+	return e.rowsForPlanProf(pl, ps, nil)
+}
+
+// rowsForPlanProf is rowsForPlan with an optional ANALYZE profile: when
+// prof is non-nil, every stage iterator and row source is wrapped in a
+// profiling decorator (analyze.go).
+func (e *Engine) rowsForPlanProf(pl *Plan, ps params, prof *planProf) (*Rows, error) {
 	if pl.HasWrites && e.opts.ReadOnly {
 		return nil, ErrReadOnly
 	}
@@ -284,7 +315,7 @@ func (e *Engine) rowsForPlan(pl *Plan, ps params) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows, err := ex.rowsForPlanScoped(pl, ps)
+	rows, err := ex.rowsForPlanScoped(pl, ps, prof)
 	if err != nil {
 		return nil, finish(err)
 	}
@@ -294,14 +325,15 @@ func (e *Engine) rowsForPlan(pl *Plan, ps params) (*Rows, error) {
 
 // rowsForPlanScoped is rowsForPlan's body, running on the per-statement
 // scoped engine.
-func (e *Engine) rowsForPlanScoped(pl *Plan, ps params) (*Rows, error) {
+func (e *Engine) rowsForPlanScoped(pl *Plan, ps params, prof *planProf) (*Rows, error) {
 	fin := pl.final()
 	bud := newBudget(e.opts.MaxBytes)
 	var writes *WriteStats
 	if pl.HasWrites {
 		writes = &WriteStats{}
 	}
-	ec := &execCtx{e: e, b: binding{}, ps: ps, bud: bud, writes: writes}
+	began := time.Now()
+	ec := &execCtx{e: e, b: binding{}, ps: ps, bud: bud, writes: writes, prof: prof}
 	var root iter
 	for si, seg := range pl.Segments {
 		for _, st := range seg.Stages {
@@ -314,12 +346,16 @@ func (e *Engine) rowsForPlanScoped(pl *Plan, ps params) (*Rows, error) {
 		}
 		root = buildStageChain(ec, seg.Stages, root)
 		if si < len(pl.Segments)-1 {
-			nec := &execCtx{e: e, b: binding{}, ps: ps, bud: bud, writes: writes}
+			nec := &execCtx{e: e, b: binding{}, ps: ps, bud: bud, writes: writes, prof: prof}
 			w := &withIter{srcEC: ec, dstEC: nec, seg: seg, src: root}
 			if seg.Distinct && !seg.HasAggregate {
 				w.seen = map[string]bool{}
 			}
-			root = w
+			if prof != nil {
+				root = prof.wrapOp(seg, w, root)
+			} else {
+				root = w
+			}
 			ec = nec
 		}
 	}
@@ -361,8 +397,17 @@ func (e *Engine) rowsForPlanScoped(pl *Plan, ps params) (*Rows, error) {
 		}
 		src = st
 	}
+	if prof != nil {
+		src = &profSource{src: src, sp: prof.opFor(fin, root)}
+	}
 	r := newRows(fin.cols, src)
 	r.writes = writes
+	r.began = began
+	r.bud = bud
+	r.kind = 'r'
+	if pl.HasWrites {
+		r.kind = 'w'
+	}
 	return r, nil
 }
 
@@ -497,6 +542,9 @@ func (s *sortedSource) pull() ([]Value, error) {
 		if fin.Limit == 0 {
 			return nil, nil
 		}
+		prof := s.ec.prof
+		var fed int64
+		var sortTime time.Duration
 		if k := fin.Skip + fin.Limit; fin.Limit > 0 {
 			window := 2*k + 1024
 			for {
@@ -508,8 +556,11 @@ func (s *sortedSource) pull() ([]Value, error) {
 					break
 				}
 				s.buf = append(s.buf, row)
+				fed++
 				if len(s.buf) >= window {
+					t := time.Now()
 					sortRows(fin.OrderBy, s.buf, fin.op.keyCols)
+					sortTime += time.Since(t)
 					s.buf = s.buf[:k]
 				}
 			}
@@ -523,9 +574,15 @@ func (s *sortedSource) pull() ([]Value, error) {
 					break
 				}
 				s.buf = append(s.buf, row)
+				fed++
 			}
 		}
+		t := time.Now()
 		sortRows(fin.OrderBy, s.buf, fin.op.keyCols)
+		sortTime += time.Since(t)
+		if prof != nil {
+			prof.noteSort(fin, fed, sortTime)
+		}
 		if len(fin.op.hidden) > 0 {
 			visible := len(fin.cols)
 			for i, r := range s.buf {

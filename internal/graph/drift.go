@@ -1,0 +1,122 @@
+package graph
+
+import (
+	"sort"
+
+	"securitykg/internal/metrics"
+)
+
+// Cardinality-drift feedback: the stats layer's half of EXPLAIN
+// ANALYZE. When an analyzed execution observes a stage's actual
+// cardinality diverging from the planner's estimate, the engine reports
+// it here keyed by (source label, edge type, direction) — exactly the
+// key the degree-histogram lookup that produced the estimate used. The
+// store counts observations per key; once a key accumulates
+// driftRefreshAfter of them, the matching cached histogram is retired
+// and the stats version bumps, so every cached plan re-plans against a
+// freshly computed histogram. That heals the window where the store's
+// shape moved enough to mislead the cost model but stayed under the
+// statsDrift materiality threshold that would have bumped the version
+// on its own (drift detection is per-key and observation-driven, where
+// materiality is global and count-driven).
+
+// DriftKey identifies the degree histogram an estimate came from.
+type DriftKey struct {
+	Label    string // source label ("" = all nodes)
+	EdgeType string // "" = all edge types
+	Dir      Direction
+}
+
+// DriftStat is one key's accumulated drift observations.
+type DriftStat struct {
+	Key        DriftKey
+	Count      int64   // observations recorded for this key
+	Refreshes  int64   // histogram retirements this key triggered
+	LastEst    float64 // estimate of the most recent observation
+	LastActual float64 // observed cardinality of the most recent observation
+}
+
+type driftEntry struct {
+	count      int64
+	refreshes  int64
+	sinceFresh int64 // observations since the last refresh
+	lastEst    float64
+	lastActual float64
+}
+
+// driftRefreshAfter is how many drift observations of one key trigger a
+// histogram refresh. Greater than one so a single anomalous query (a
+// hub-heavy parameter binding, say) cannot thrash the plan cache.
+const driftRefreshAfter = 3
+
+var (
+	mDriftObserved = metrics.NewCounter("skg_cardinality_drift_total",
+		"Estimate-vs-actual cardinality drift observations reported by EXPLAIN ANALYZE.")
+	mDriftRefreshes = metrics.NewCounter("skg_cardinality_drift_refreshes_total",
+		"Degree-histogram refreshes (with stats-version bumps) triggered by accumulated drift.")
+)
+
+// RecordEstimateDrift records one estimate-vs-actual divergence for the
+// histogram identified by key. Every driftRefreshAfter observations of
+// a key, the cached histogram behind it is retired and the stats
+// version bumps — invalidating cached plans so they re-cost against
+// fresh fan-out data.
+func (s *Store) RecordEstimateDrift(key DriftKey, est, actual float64) {
+	mDriftObserved.Inc()
+	s.driftMu.Lock()
+	if s.drift == nil {
+		s.drift = make(map[DriftKey]*driftEntry)
+	}
+	d := s.drift[key]
+	if d == nil {
+		d = &driftEntry{}
+		s.drift[key] = d
+	}
+	d.count++
+	d.sinceFresh++
+	d.lastEst, d.lastActual = est, actual
+	refresh := d.sinceFresh >= driftRefreshAfter
+	if refresh {
+		d.sinceFresh = 0
+		d.refreshes++
+	}
+	s.driftMu.Unlock()
+	if !refresh {
+		return
+	}
+	mDriftRefreshes.Inc()
+	// Retire the cached histogram for this key, then advance the stats
+	// version: DegreeHistogram recomputes lazily at the new version, and
+	// the bump invalidates cached plans priced with the stale value.
+	s.histMu.Lock()
+	delete(s.histCache, degreeKey{label: key.Label, edgeType: key.EdgeType, dir: key.Dir})
+	s.histMu.Unlock()
+	s.mu.Lock()
+	s.bumpStatsLocked()
+	s.mu.Unlock()
+}
+
+// DriftStats returns the accumulated drift observations, sorted by key
+// for deterministic output.
+func (s *Store) DriftStats() []DriftStat {
+	s.driftMu.Lock()
+	out := make([]DriftStat, 0, len(s.drift))
+	for k, d := range s.drift {
+		out = append(out, DriftStat{
+			Key: k, Count: d.count, Refreshes: d.refreshes,
+			LastEst: d.lastEst, LastActual: d.lastActual,
+		})
+	}
+	s.driftMu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Key, out[j].Key
+		if a.Label != b.Label {
+			return a.Label < b.Label
+		}
+		if a.EdgeType != b.EdgeType {
+			return a.EdgeType < b.EdgeType
+		}
+		return a.Dir < b.Dir
+	})
+	return out
+}

@@ -171,6 +171,12 @@ type Store struct {
 	statsBase    statsSnapshot
 	histMu       sync.Mutex
 	histCache    map[degreeKey]cachedHistogram
+	// Cardinality-drift feedback (drift.go): per-(label, edge type,
+	// direction) counters of estimate-vs-actual divergence reported by
+	// EXPLAIN ANALYZE. Enough observations retire the matching degree
+	// histogram and bump statsVersion so cached plans re-cost.
+	driftMu sync.Mutex
+	drift   map[DriftKey]*driftEntry
 	// onMutation observes every effective mutation under the write lock
 	// (SetMutationHook); the durability layer tees writes into its WAL here.
 	onMutation func(Mutation)

@@ -1,0 +1,18 @@
+package graph
+
+import "securitykg/internal/metrics"
+
+// Process-wide MVCC event counters (the matching point-in-time gauges —
+// open snapshots, retained history sizes — come from MVCCStats, which
+// servers export per instance). Each is a single atomic add on paths
+// that already take the store mutex, so the overhead is noise.
+var (
+	mSnapshotsOpened = metrics.NewCounter("skg_mvcc_snapshots_opened_total",
+		"MVCC snapshots opened (read statements pin one each).")
+	mTxBegin = metrics.NewCounter("skg_tx_begin_total",
+		"Transactions opened (explicit BEGIN and per-statement implicit transactions).")
+	mTxCommit = metrics.NewCounter("skg_tx_commit_total",
+		"Transactions committed.")
+	mTxRollback = metrics.NewCounter("skg_tx_rollback_total",
+		"Transactions rolled back.")
+)

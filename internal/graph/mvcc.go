@@ -233,6 +233,7 @@ type Snap struct {
 
 // Snapshot opens a snapshot of the current committed state.
 func (s *Store) Snapshot() *Snap {
+	mSnapshotsOpened.Inc()
 	s.mu.Lock()
 	sn := &Snap{s: s, asOf: s.commitTS}
 	s.snaps[sn.asOf]++
@@ -734,6 +735,7 @@ type Tx struct {
 // BeginTx opens a transaction whose reads see the store as of now.
 // Never blocks: the writer lock is acquired lazily at the first write.
 func (s *Store) BeginTx() *Tx {
+	mTxBegin.Inc()
 	s.mu.Lock()
 	tx := &Tx{s: s}
 	tx.snap = &Snap{s: s, asOf: s.commitTS, tx: tx}
@@ -820,6 +822,7 @@ func (tx *Tx) Commit() error {
 		return ErrTxDone
 	}
 	tx.done = true
+	mTxCommit.Inc()
 	s := tx.s
 	if !tx.writing {
 		tx.snap.Release()
@@ -857,6 +860,7 @@ func (tx *Tx) Rollback() error {
 		return ErrTxDone
 	}
 	tx.done = true
+	mTxRollback.Inc()
 	s := tx.s
 	if !tx.writing {
 		tx.snap.Release()

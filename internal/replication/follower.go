@@ -238,6 +238,7 @@ func (r *Replicator) Run(ctx context.Context) error {
 			r.stateMu.Lock()
 			r.reconnect++
 			r.stateMu.Unlock()
+			mReconnects.Inc()
 			if serr := pol.SleepNext(ctx); serr != nil {
 				r.setState("stopped")
 				return nil
@@ -350,6 +351,7 @@ func (r *Replicator) handleRecord(rec *storage.Record) error {
 	if got := r.DB.LastSeq(); got != rec.Seq {
 		return fmt.Errorf("%w: applied seq %d but local WAL is at %d (no-op replay?)", ErrDiverged, rec.Seq, got)
 	}
+	mRecordsApplied.Inc()
 	r.advanceApplied(rec.Seq)
 	return nil
 }
@@ -373,6 +375,7 @@ func (r *Replicator) applyGroup(group []storage.Record) error {
 	if got := r.DB.LastSeq(); got != commitSeq {
 		return fmt.Errorf("%w: tx group through seq %d left local WAL at %d", ErrDiverged, commitSeq, got)
 	}
+	mRecordsApplied.Add(int64(len(group)))
 	r.advanceApplied(commitSeq)
 	return nil
 }

@@ -155,6 +155,7 @@ func (l *Leader) handleWAL(w http.ResponseWriter, r *http.Request) {
 			if err := fw.write(&frame{Rec: &recs[i]}); err != nil {
 				return false
 			}
+			mFramesShipped.Inc()
 			from = recs[i].Seq + 1
 		}
 		return true

@@ -10,15 +10,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"securitykg/internal/cypher"
 	"securitykg/internal/graph"
 	"securitykg/internal/layout"
+	"securitykg/internal/metrics"
 	"securitykg/internal/search"
 )
 
@@ -37,6 +40,11 @@ type Server struct {
 	txs  map[string]*txSession // open transaction sessions by token
 
 	repl Replication // replication role wiring (standalone when zero)
+
+	started time.Time         // for /healthz uptime and the uptime gauge
+	reg     *metrics.Registry // per-instance gauges; /metrics renders std + this
+	slowNs  atomic.Int64      // slow-query threshold in ns, 0 = disabled
+	slowLog *log.Logger       // destination for slow-query lines (observe.go)
 }
 
 // Replication tells the server its place in a replicated deployment.
@@ -68,11 +76,30 @@ type Replication struct {
 	// status, durability errors, applied seq) — whatever the process
 	// wiring knows that the server core does not.
 	Health func() map[string]any
+
+	// Lag returns this node's replication lag in records (0 on a
+	// primary). When set, /metrics exports it as
+	// skg_replication_lag_records.
+	Lag func() int64
 }
 
 // SetReplication wires the server's replication role. Call before
-// serving; the configuration is read, not copied, by handlers.
-func (s *Server) SetReplication(cfg Replication) { s.repl = cfg }
+// serving; the configuration is read, not copied, by handlers. When the
+// role carries Seq/Lag callbacks, the matching per-instance gauges are
+// registered so /metrics covers replication position and lag.
+func (s *Server) SetReplication(cfg Replication) {
+	s.repl = cfg
+	if cfg.Seq != nil {
+		s.reg.GaugeFunc("skg_replication_seq",
+			"Committed (primary) or applied (replica) WAL sequence number.",
+			func() float64 { return float64(cfg.Seq()) })
+	}
+	if cfg.Lag != nil {
+		s.reg.GaugeFunc("skg_replication_lag_records",
+			"Records this replica trails the leader by (0 on a primary).",
+			func() float64 { return float64(cfg.Lag()) })
+	}
+}
 
 // New builds the server with the default query options.
 func New(store *graph.Store, index *search.Index) *Server {
@@ -83,11 +110,14 @@ func New(store *graph.Store, index *search.Index) *Server {
 // index toggles), so deployments can tune the Cypher safety valve.
 func NewWith(store *graph.Store, index *search.Index, opts cypher.Options) *Server {
 	s := &Server{
-		store: store,
-		index: index,
-		eng:   cypher.NewEngine(store, opts),
-		mux:   http.NewServeMux(),
+		store:   store,
+		index:   index,
+		eng:     cypher.NewEngine(store, opts),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+		reg:     metrics.NewRegistry(),
 	}
+	s.registerInstanceGauges()
 	s.mux.HandleFunc("/api/stats", s.handleStats)
 	s.mux.HandleFunc("/api/search", s.handleSearch)
 	s.mux.HandleFunc("/api/cypher", s.handleCypher)
@@ -97,6 +127,7 @@ func NewWith(store *graph.Store, index *search.Index, opts cypher.Options) *Serv
 	s.mux.HandleFunc("/api/random", s.handleRandom)
 	s.mux.HandleFunc("/api/back", s.handleBack)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
 }
 
@@ -112,6 +143,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if out["role"] == "" {
 		out["role"] = "standalone"
 	}
+	s.healthInfo(out)
 	if s.repl.Seq != nil {
 		out["seq"] = s.repl.Seq()
 	}
@@ -381,11 +413,13 @@ func (s *Server) handleCypher(w http.ResponseWriter, r *http.Request) {
 		s.streamCypher(w, r, req.Query, req.Params)
 		return
 	}
+	began := time.Now()
 	res, err := s.eng.Query(req.Query, req.Params)
 	if err != nil {
 		s.cypherErr(w, err)
 		return
 	}
+	s.noteSlow(req.Query, statementKind(res.Writes != nil), began, len(res.Rows), res.BudgetUsed)
 	s.writeCypherResult(w, res, res.Writes != nil)
 }
 
@@ -434,26 +468,29 @@ func (s *Server) writeCypherResult(w http.ResponseWriter, res *cypher.Result, co
 // write or a canceled request context closes the cursor, which stops
 // all remaining pattern matching.
 func (s *Server) streamCypher(w http.ResponseWriter, r *http.Request, query string, params map[string]any) {
+	began := time.Now()
 	rows, err := s.eng.QueryRows(query, params)
 	if err != nil {
 		s.cypherErr(w, err)
 		return
 	}
-	s.streamRows(w, r, rows, true)
+	n := s.streamRows(w, r, rows, true)
+	s.noteSlow(query, statementKind(rows.Writes() != nil), began, n, rows.BudgetUsed())
 }
 
 // streamRows drains a cursor as NDJSON (shared by the plain and
-// transaction-session streaming paths). seqOnWrites attaches the
+// transaction-session streaming paths), returning the number of rows
+// written (for the slow-query log). seqOnWrites attaches the
 // read-your-writes token to the done-trailer of a writing statement;
 // the transaction path passes false because in-tx writes only become
 // visible (and WAL-logged) at COMMIT.
-func (s *Server) streamRows(w http.ResponseWriter, r *http.Request, rows *cypher.Rows, seqOnWrites bool) {
+func (s *Server) streamRows(w http.ResponseWriter, r *http.Request, rows *cypher.Rows, seqOnWrites bool) int {
 	defer rows.Close()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	if err := enc.Encode(map[string]any{"columns": rows.Columns()}); err != nil {
-		return
+		return 0
 	}
 	if flusher != nil {
 		flusher.Flush()
@@ -463,7 +500,7 @@ func (s *Server) streamRows(w http.ResponseWriter, r *http.Request, rows *cypher
 	for rows.Next() {
 		select {
 		case <-done:
-			return
+			return n
 		default:
 		}
 		vals := rows.Row()
@@ -472,7 +509,7 @@ func (s *Server) streamRows(w http.ResponseWriter, r *http.Request, rows *cypher
 			cells[i] = v.String()
 		}
 		if err := enc.Encode(map[string]any{"row": cells}); err != nil {
-			return
+			return n
 		}
 		if flusher != nil {
 			flusher.Flush()
@@ -481,7 +518,7 @@ func (s *Server) streamRows(w http.ResponseWriter, r *http.Request, rows *cypher
 	}
 	if err := rows.Err(); err != nil {
 		enc.Encode(map[string]any{"error": err.Error()})
-		return
+		return n
 	}
 	trailer := map[string]any{"done": n}
 	if ws := rows.Writes(); ws != nil {
@@ -491,6 +528,7 @@ func (s *Server) streamRows(w http.ResponseWriter, r *http.Request, rows *cypher
 		}
 	}
 	enc.Encode(trailer)
+	return n
 }
 
 func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {

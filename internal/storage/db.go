@@ -437,6 +437,7 @@ func (db *DB) Store() *graph.Store { return db.store }
 // converts to the configured codec: the snapshot is written fresh in it
 // and the truncated WAL restarts in it.
 func (db *DB) Checkpoint() error {
+	began := time.Now()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	name, other := snapshotBinFile, snapshotFile
@@ -501,6 +502,8 @@ func (db *DB) Checkpoint() error {
 	// A landed checkpoint supersedes any earlier background-compaction
 	// failure.
 	db.compactErr.Store(errBox{nil})
+	mCheckpoints.Inc()
+	mCheckpointSeconds.Observe(time.Since(began).Seconds())
 	return nil
 }
 

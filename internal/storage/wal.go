@@ -308,6 +308,8 @@ func (w *WAL) Append(m graph.Mutation) (uint64, error) {
 	}
 	w.lastSeq = rec.Seq
 	w.size += int64(recordHeaderLen + len(payload))
+	mWALAppends.Inc()
+	mWALBytes.Add(int64(recordHeaderLen + len(payload)))
 	return rec.Seq, nil
 }
 
@@ -320,6 +322,7 @@ func (w *WAL) flushLocked(sync bool) error {
 		if err := w.f.Sync(); err != nil {
 			return fmt.Errorf("storage: fsync wal: %w", err)
 		}
+		mWALFsyncs.Inc()
 		w.dirty = false
 	} else {
 		w.dirty = true
