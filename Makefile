@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet bench bench-storage cover fuzz crash-test replication-test
+.PHONY: build test vet bench bench-storage cover fuzz crash-test replication-test soak-test
 
 build:
 	$(GO) build ./...
@@ -20,12 +20,16 @@ build:
 # the parallel reader stress test under -race with fresh counts, so the
 # MVCC visibility paths get a dedicated concurrency shakedown beyond
 # the cached full-suite run, followed by the leader/follower
-# replication integration pass (replication-test).
+# replication integration pass (replication-test) and a short-profile
+# live-ingest soak (soak-test with -short: fewer writers/batches, same
+# assertions — divergence, lost writes, 429 discipline, metrics under
+# scrape).
 test: vet
 	$(GO) test -race ./...
 	$(GO) test -run 'Allocs' ./internal/graph/ ./internal/storage/ ./internal/cypher/
 	$(GO) test -race -count=2 -run 'TestSchedule|TestConcurrentReadersSeeAtomicWrites|TestTx' ./internal/cypher/
 	$(MAKE) replication-test
+	$(MAKE) soak-test SOAKFLAGS=-short
 
 # replication-test runs the leader/follower integration suite under
 # -race with fresh counts: two-node convergence (Save byte-equality
@@ -36,6 +40,20 @@ test: vet
 # timing per count).
 replication-test:
 	$(GO) test -race ./internal/replication/ -count=2 -v -run 'TestReplicate|TestFollower|TestLeader|TestSnapshot|TestTwoNode|TestBootstrap|TestFrame'
+
+# soak-test drives live ingest under load over real HTTP servers: N
+# writer clients batch-ingesting via UNWIND (plus a hog writer whose
+# oversized batches force genuine backpressure overlap) against a
+# leader with a tailing follower, while reader clients stream reads
+# from both nodes (read-your-writes via min_seq on the replica) and
+# scrapers hit /metrics on both throughout — all under -race. Passes
+# only with byte-identical leader/follower stores, zero lost writes,
+# at least one exercised-and-retried 429, drained lag and a zeroed
+# in-flight gauge. `make test` runs the -short profile; run this
+# target directly for the full one.
+SOAKFLAGS ?=
+soak-test:
+	$(GO) test -race ./internal/replication/ ./internal/server/ -count=1 -v $(SOAKFLAGS) -run 'TestSoak|TestIngestBackpressure|TestSweep'
 
 vet:
 	$(GO) vet ./...

@@ -27,7 +27,7 @@
 //	           [-data-dir ./data] [-fsync interval|always|never]
 //	           [-codec binary|json] [-compact-mb 64]
 //	           [-replicate-from http://leader:8080] [-advertise URL]
-//	           [-slow-query-ms 200]
+//	           [-slow-query-ms 200] [-ingest-limit-mb 32]
 //
 // GET /metrics serves Prometheus text-format counters and gauges for
 // the query engine, storage, MVCC, and replication layers;
@@ -66,6 +66,7 @@ func main() {
 		replFrom  = flag.String("replicate-from", "", "run as a read-only replica of the leader at this base URL (e.g. http://leader:8080); requires -data-dir")
 		advertise = flag.String("advertise", "", "base URL replicas and redirected clients should use to reach this node (leader side)")
 		slowMS    = flag.Int("slow-query-ms", 0, "log /api/cypher statements slower than this many milliseconds with kind, duration, rows, and budget bytes (0 disables; parameter values are never logged)")
+		ingestMB  = flag.Int("ingest-limit-mb", 32, "answer write statements with 429 + Retry-After once this many MiB of write request bodies are in flight (backpressure; 0 disables)")
 	)
 	flag.Parse()
 	if *replFrom != "" && *dataDir == "" {
@@ -116,7 +117,12 @@ func main() {
 		// Adopt before ingesting so every ingested mutation is logged.
 		sys.AdoptStore(db.Store())
 		if *replFrom == "" && db.Store().CountNodes() == 0 && *reports > 0 {
+			// Bulk bracket: boot ingest is one load, so adjacency seals
+			// and planner stats settle once at the end instead of the
+			// store re-judging materiality after every mutation.
+			db.Store().BeginBulk()
 			ingest(sys)
+			db.Store().EndBulk()
 			if err := db.Checkpoint(); err != nil {
 				log.Fatalf("skg-server: post-ingest checkpoint: %v", err)
 			}
@@ -140,7 +146,9 @@ func main() {
 		*readOnly = true
 		fmt.Printf("skg-server: loaded graph from %s (read-only)\n", *graphIn)
 	default:
+		sys.Store.BeginBulk()
 		ingest(sys)
+		sys.Store.EndBulk()
 	}
 	gs := sys.Store.Stats()
 	fmt.Printf("skg-server: knowledge graph: %d nodes, %d edges\n", gs.Nodes, gs.Edges)
@@ -148,6 +156,7 @@ func main() {
 	opts := cypher.DefaultOptions()
 	opts.ReadOnly = *readOnly
 	srv := server.NewWith(sys.Store, sys.Index, opts)
+	srv.SetIngestLimit(int64(*ingestMB) << 20)
 	if *slowMS > 0 {
 		srv.SetSlowQueryLog(time.Duration(*slowMS)*time.Millisecond, log.Default())
 	}

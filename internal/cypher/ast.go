@@ -35,6 +35,7 @@ const (
 // SKIP / LIMIT are only accepted on the final part; Where is the
 // post-WITH filter on projected values.
 type QueryPart struct {
+	Unwind   *UnwindClause // UNWIND <expr> AS <var>, before the part's matches
 	Matches  []MatchClause
 	Creates  []CreateClause
 	Sets     []SetItem
@@ -45,6 +46,15 @@ type QueryPart struct {
 	OrderBy  []OrderKey
 	Limit    int // -1 when absent
 	Skip     int // 0 when absent
+}
+
+// UnwindClause is "UNWIND <expr> AS <alias>": the expression (typically a
+// $parameter holding a batch of row maps) is evaluated once per incoming
+// row and each list element is bound to Alias in turn. Null unwinds to
+// zero rows; a non-list value unwinds to itself (one row).
+type UnwindClause struct {
+	Expr  Expr
+	Alias string
 }
 
 // HasWrites reports whether the part carries any writing clause.
@@ -104,13 +114,16 @@ type Pattern struct {
 }
 
 // NodePattern is "(var:Label {prop: value, ...})"; all parts optional.
-// Property values are literals (Props) or $parameters resolved at bind
-// time (ParamProps, keyed by property name, valued by parameter name).
+// Property values are literals (Props), $parameters resolved at bind
+// time (ParamProps, keyed by property name, valued by parameter name),
+// or — inside CREATE / MERGE patterns only — arbitrary expressions over
+// the row's bindings (ExprProps, e.g. "{name: row.name}").
 type NodePattern struct {
 	Var        string
 	Label      string
 	Props      map[string]Value
 	ParamProps map[string]string
+	ExprProps  map[string]Expr
 }
 
 // EdgeDir is the direction of an edge pattern.
@@ -137,6 +150,7 @@ type EdgePattern struct {
 	MaxHops    int  // 1 for plain edges; -1 = unbounded
 	Props      map[string]Value
 	ParamProps map[string]string
+	ExprProps  map[string]Expr
 }
 
 // VarLength reports whether the pattern uses variable-length (BFS
@@ -173,6 +187,10 @@ type PropExpr struct {
 
 // LitExpr is a literal value.
 type LitExpr struct{ Val Value }
+
+// ListExpr is a list literal: [e1, e2, ...]. Primarily the inline form
+// of an UNWIND input; usable anywhere an expression is.
+type ListExpr struct{ Elems []Expr }
 
 // ParamExpr references a $parameter supplied at bind time. The same
 // parsed query (and its cached plan) serves every binding, which is why
@@ -213,3 +231,4 @@ func (CmpExpr) exprNode()   {}
 func (BoolExpr) exprNode()  {}
 func (NotExpr) exprNode()   {}
 func (FuncExpr) exprNode()  {}
+func (ListExpr) exprNode()  {}

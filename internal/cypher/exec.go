@@ -329,7 +329,13 @@ func (e *Engine) runLegacy(q *Query, ps params) (*Result, error) {
 	if q.HasWrites() && e.opts.ReadOnly {
 		return nil, ErrReadOnly
 	}
-	ex, finish, err := e.beginScope(q.HasWrites())
+	batch := false
+	for pi := range q.Parts {
+		if q.Parts[pi].Unwind != nil && q.Parts[pi].HasWrites() {
+			batch = true
+		}
+	}
+	ex, finish, err := e.beginScope(q.HasWrites(), batch)
 	if err != nil {
 		return nil, err
 	}
@@ -355,6 +361,12 @@ func (e *Engine) runLegacyScoped(q *Query, ps params) (*Result, error) {
 	for pi := range q.Parts {
 		part := &q.Parts[pi]
 		var err error
+		if part.Unwind != nil {
+			bindings, err = e.legacyUnwind(part.Unwind, bindings, ps, bud)
+			if err != nil {
+				return nil, err
+			}
+		}
 		bindings, err = e.legacyMatchPart(part, bindings, ps, bud)
 		if err != nil {
 			return nil, err
@@ -383,6 +395,38 @@ func (e *Engine) runLegacyScoped(q *Query, ps params) (*Result, error) {
 // statements on a ReadOnly engine. Exported so callers can recognize it
 // with errors.Is — a replica server turns it into a leader redirect.
 var ErrReadOnly = fmt.Errorf("cypher: write clauses (CREATE/MERGE/SET/DELETE) are disabled on this read-only engine")
+
+// legacyUnwind expands each input binding into one clone per element of
+// the UNWIND expression's list, with the element bound to the alias —
+// the same semantics as the streaming unwindIter (null unwinds to zero
+// rows, a non-list value to one).
+func (e *Engine) legacyUnwind(uc *UnwindClause, in []binding, ps params, bud *byteBudget) ([]binding, error) {
+	var out []binding
+	for _, b := range in {
+		v, err := evalExpr(uc.Expr, b, ps)
+		if err != nil {
+			return nil, err
+		}
+		var elems []Value
+		switch v.Kind {
+		case KindNull:
+			continue
+		case KindList:
+			elems = v.List
+		default:
+			elems = []Value{v}
+		}
+		for _, el := range elems {
+			b2 := b.clone()
+			b2[uc.Alias] = el
+			if err := bud.charge(bindingBytes(b2)); err != nil {
+				return nil, err
+			}
+			out = append(out, b2)
+		}
+	}
+	return out, nil
+}
 
 // legacyMatchPart enumerates the bindings for one part's reading
 // clauses, processing the same clause runs the planner emits
@@ -901,6 +945,16 @@ func evalExpr(e Expr, b binding, ps params) (Value, error) {
 			return val, nil
 		}
 		return NullValue(), fmt.Errorf("cypher: missing parameter $%s", v.Name)
+	case ListExpr:
+		elems := make([]Value, len(v.Elems))
+		for i, ee := range v.Elems {
+			ev, err := evalExpr(ee, b, ps)
+			if err != nil {
+				return NullValue(), err
+			}
+			elems[i] = ev
+		}
+		return Value{Kind: KindList, List: elems}, nil
 	case VarExpr:
 		if val, ok := b[v.Name]; ok {
 			return val, nil
@@ -916,6 +970,13 @@ func evalExpr(e Expr, b binding, ps params) (Value, error) {
 			return nodeProp(val.Node, v.Prop), nil
 		case KindEdge:
 			return edgeProp(val.Edge, v.Prop), nil
+		case KindMap:
+			// UNWIND batch rows: row.name reads the map entry (missing
+			// keys are null, like absent node attributes).
+			if mv, ok := val.Map[v.Prop]; ok {
+				return mv, nil
+			}
+			return NullValue(), nil
 		}
 		return NullValue(), nil
 	case NotExpr:

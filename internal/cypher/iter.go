@@ -91,6 +91,13 @@ func (s *MutationStage) newIter(ec *execCtx, input iter) iter {
 	return &mutationIter{ec: ec, st: s, input: input}
 }
 
+func (s *UnwindStage) newIter(ec *execCtx, input iter) iter {
+	if input == nil {
+		input = &onceIter{}
+	}
+	return &unwindIter{ec: ec, st: s, input: input}
+}
+
 // buildStageChain wires a stage list into a pull pipeline. input is nil
 // for a pipeline rooted at the virtual single input row.
 func buildStageChain(ec *execCtx, stages []Stage, input iter) iter {
@@ -1015,6 +1022,67 @@ func (o *optionalIter) next() (bool, error) {
 			o.padded = true
 			return true, nil
 		}
+	}
+}
+
+// --- unwind ---
+
+// unwindIter evaluates the UNWIND expression once per input row and
+// streams its elements one at a time, binding each to Alias with the
+// same install/undo discipline the expand iterators use. Null unwinds
+// to zero rows; a non-list value unwinds to itself (one row). It never
+// materializes more than the already-evaluated list, so a 10k-row
+// $batch flows element by element into the eager MutationStage.
+type unwindIter struct {
+	ec     *execCtx
+	st     *UnwindStage
+	input  iter
+	active bool
+	list   []Value
+	one    [1]Value // non-list backing: avoids a per-row allocation
+	i      int
+	set    bool
+}
+
+func (u *unwindIter) next() (bool, error) {
+	ec := u.ec
+	for {
+		if !u.active {
+			if u.set {
+				delete(ec.b, u.st.Alias)
+				u.set = false
+			}
+			ok, err := u.input.next()
+			if err != nil || !ok {
+				return false, err
+			}
+			v, err := evalExpr(u.st.Expr, ec.b, ec.ps)
+			if err != nil {
+				return false, err
+			}
+			switch v.Kind {
+			case KindNull:
+				continue
+			case KindList:
+				u.list = v.List
+			default:
+				u.one[0] = v
+				u.list = u.one[:]
+			}
+			u.i = 0
+			u.active = true
+		}
+		if u.set {
+			delete(ec.b, u.st.Alias)
+			u.set = false
+		}
+		if u.i < len(u.list) {
+			ec.b[u.st.Alias] = u.list[u.i]
+			u.i++
+			u.set = true
+			return true, nil
+		}
+		u.active = false
 	}
 }
 

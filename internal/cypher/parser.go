@@ -122,6 +122,20 @@ func (p *parser) parseTxControl() (TxOp, bool) {
 // RETURN is optional on a segment that writes.
 func (p *parser) parsePart(first bool) (QueryPart, bool, error) {
 	part := QueryPart{Limit: -1}
+	if p.keyword("unwind") {
+		e, err := p.parseAtom()
+		if err != nil {
+			return part, false, err
+		}
+		if !p.keyword("as") {
+			return part, false, fmt.Errorf("cypher: UNWIND requires AS <alias>")
+		}
+		t, err := p.expect(tokIdent, "UNWIND alias")
+		if err != nil {
+			return part, false, err
+		}
+		part.Unwind = &UnwindClause{Expr: e, Alias: t.text}
+	}
 	for {
 		optional := false
 		if p.peekKeyword("optional") {
@@ -167,8 +181,8 @@ func (p *parser) parsePart(first bool) (QueryPart, bool, error) {
 		}
 		part.Matches = append(part.Matches, mc)
 	}
-	if first && len(part.Matches) == 0 && len(part.Creates) == 0 {
-		return part, false, fmt.Errorf("cypher: query must start with MATCH, CREATE or MERGE")
+	if first && part.Unwind == nil && len(part.Matches) == 0 && len(part.Creates) == 0 {
+		return part, false, fmt.Errorf("cypher: query must start with MATCH, CREATE, MERGE or UNWIND")
 	}
 	if err := p.parseSet(&part); err != nil {
 		return part, false, err
@@ -385,7 +399,7 @@ func (p *parser) parseTail(part *QueryPart) error {
 // CREATE/MERGE pattern, the only place edge property maps are legal.
 func (p *parser) parsePattern(writeCtx bool) (Pattern, error) {
 	var pat Pattern
-	n, err := p.parseNodePattern()
+	n, err := p.parseNodePattern(writeCtx)
 	if err != nil {
 		return pat, err
 	}
@@ -429,11 +443,11 @@ func (p *parser) parsePattern(writeCtx bool) (Pattern, error) {
 				if !writeCtx {
 					return pat, fmt.Errorf("cypher: relationship property maps are only supported in CREATE/MERGE")
 				}
-				props, paramProps, err := p.parsePropMap()
+				props, paramProps, exprProps, err := p.parsePropMap()
 				if err != nil {
 					return pat, err
 				}
-				ep.Props, ep.ParamProps = props, paramProps
+				ep.Props, ep.ParamProps, ep.ExprProps = props, paramProps, exprProps
 			}
 			if _, err := p.expect(tokRBracket, "]"); err != nil {
 				return pat, err
@@ -453,7 +467,7 @@ func (p *parser) parsePattern(writeCtx bool) (Pattern, error) {
 		default:
 			return pat, fmt.Errorf("cypher: dangling edge pattern near %q", p.cur().text)
 		}
-		nn, err := p.parseNodePattern()
+		nn, err := p.parseNodePattern(writeCtx)
 		if err != nil {
 			return pat, err
 		}
@@ -504,7 +518,7 @@ func (p *parser) parseHopRange(ep *EdgePattern) error {
 	return nil
 }
 
-func (p *parser) parseNodePattern() (NodePattern, error) {
+func (p *parser) parseNodePattern(writeCtx bool) (NodePattern, error) {
 	var np NodePattern
 	if _, err := p.expect(tokLParen, "("); err != nil {
 		return np, err
@@ -521,11 +535,14 @@ func (p *parser) parseNodePattern() (NodePattern, error) {
 		np.Label = t.text
 	}
 	if p.cur().kind == tokLBrace {
-		props, paramProps, err := p.parsePropMap()
+		props, paramProps, exprProps, err := p.parsePropMap()
 		if err != nil {
 			return np, err
 		}
-		np.Props, np.ParamProps = props, paramProps
+		if len(exprProps) > 0 && !writeCtx {
+			return np, fmt.Errorf("cypher: expression property values are only supported in CREATE/MERGE")
+		}
+		np.Props, np.ParamProps, np.ExprProps = props, paramProps, exprProps
 	}
 	if _, err := p.expect(tokRParen, ")"); err != nil {
 		return np, err
@@ -533,34 +550,48 @@ func (p *parser) parseNodePattern() (NodePattern, error) {
 	return np, nil
 }
 
-// parsePropMap parses "{key: literal-or-$param, ...}" (the opening
-// brace is the current token), splitting literal props from
-// $parameter-valued ones.
-func (p *parser) parsePropMap() (map[string]Value, map[string]string, error) {
+// parsePropMap parses "{key: value, ...}" (the opening brace is the
+// current token), splitting literal props from $parameter-valued ones
+// and — for CREATE/MERGE patterns — arbitrary expressions over the
+// row's bindings (e.g. "{name: row.name}"). Callers in reading clauses
+// reject the expression bucket.
+func (p *parser) parsePropMap() (map[string]Value, map[string]string, map[string]Expr, error) {
 	p.i++ // consume '{'
 	props := map[string]Value{}
 	var paramProps map[string]string
+	var exprProps map[string]Expr
 	for {
 		k, err := p.expect(tokIdent, "property name")
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		if _, err := p.expect(tokColon, ":"); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
-		if p.cur().kind == tokParam {
-			t := p.next()
+		switch t := p.cur(); {
+		case t.kind == tokParam:
+			p.i++
 			p.params[t.text] = true
 			if paramProps == nil {
 				paramProps = map[string]string{}
 			}
 			paramProps[k.text] = t.text
-		} else {
+		case t.kind == tokString || t.kind == tokNumber ||
+			(t.kind == tokIdent && isLiteralWord(t.text)):
 			v, err := p.parseLiteral()
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 			props[k.text] = v
+		default:
+			e, err := p.parseAtom()
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			if exprProps == nil {
+				exprProps = map[string]Expr{}
+			}
+			exprProps[k.text] = e
 		}
 		if p.cur().kind == tokComma {
 			p.i++
@@ -569,9 +600,18 @@ func (p *parser) parsePropMap() (map[string]Value, map[string]string, error) {
 		break
 	}
 	if _, err := p.expect(tokRBrace, "}"); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return props, paramProps, nil
+	return props, paramProps, exprProps, nil
+}
+
+// isLiteralWord reports whether an identifier spells a keyword literal.
+func isLiteralWord(s string) bool {
+	switch strings.ToLower(s) {
+	case "true", "false", "null":
+		return true
+	}
+	return false
 }
 
 func (p *parser) parseLiteral() (Value, error) {
@@ -732,6 +772,26 @@ func (p *parser) parseAtom() (Expr, error) {
 			return nil, err
 		}
 		return LitExpr{Val: v}, nil
+	case tokLBracket:
+		p.i++
+		var le ListExpr
+		if p.cur().kind != tokRBracket {
+			for {
+				e, err := p.parseOr()
+				if err != nil {
+					return nil, err
+				}
+				le.Elems = append(le.Elems, e)
+				if p.cur().kind != tokComma {
+					break
+				}
+				p.i++
+			}
+		}
+		if _, err := p.expect(tokRBracket, "]"); err != nil {
+			return nil, err
+		}
+		return le, nil
 	case tokIdent:
 		lower := strings.ToLower(t.text)
 		switch lower {

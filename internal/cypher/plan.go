@@ -303,6 +303,25 @@ func (s *OptionalStage) describe() string {
 	return fmt.Sprintf("Optional [introduces %s]", strings.Join(vars, ", "))
 }
 
+// UnwindStage evaluates its expression once per input row (once total
+// when it roots the pipeline) and emits one row per element of the
+// resulting list with the element bound to Alias. Null unwinds to zero
+// rows; a non-list value unwinds to itself (one row). It is the entry
+// point of the batch-ingest pipeline: "UNWIND $batch AS row CREATE ..."
+// streams each batch row into the eager MutationStage.
+type UnwindStage struct {
+	Expr  Expr
+	Alias string
+	Est   float64
+}
+
+func (s *UnwindStage) estRows() float64 { return s.Est }
+func (s *UnwindStage) filters() []Expr  { return nil }
+
+func (s *UnwindStage) describe() string {
+	return fmt.Sprintf("Unwind %s AS %s", exprString(s.Expr), s.Alias)
+}
+
 // MutationStage applies a part's writing clauses. It is an eager
 // barrier: on first pull it drains and buffers its entire input (the
 // part's reading clauses), applies CREATE/MERGE, SET and DELETE once
@@ -369,6 +388,11 @@ type Plan struct {
 	Segments  []*PlanSegment
 	Params    []string
 	HasWrites bool
+	// Batch marks a batch-mutation plan (an UNWIND feeding writes): its
+	// implicit transaction runs in store bulk mode, so the whole batch
+	// commits as one WAL tx group with a single stats-materiality
+	// judgement and one adjacency seal instead of per-row checks.
+	Batch bool
 }
 
 // final returns the RETURN segment.
@@ -542,6 +566,12 @@ func exprString(e Expr) string {
 			return v.Name + "(*)"
 		}
 		return v.Name + "(" + exprString(v.Arg) + ")"
+	case ListExpr:
+		parts := make([]string, len(v.Elems))
+		for i, ee := range v.Elems {
+			parts[i] = exprString(ee)
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
 	}
 	return "expr"
 }

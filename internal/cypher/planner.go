@@ -56,6 +56,9 @@ func (e *Engine) planQuery(q *Query) (*Plan, error) {
 			return nil, err
 		}
 		pl.Segments = append(pl.Segments, seg)
+		if part.Unwind != nil && part.HasWrites() {
+			pl.Batch = true
+		}
 		// The next segment sees only the projected aliases.
 		bound = map[string]bool{}
 		for _, it := range part.Items {
@@ -65,6 +68,10 @@ func (e *Engine) planQuery(q *Query) (*Plan, error) {
 	e.markParallelScan(pl)
 	return pl, nil
 }
+
+// unwindEstFanout is the planner's assumed element count of an UNWIND
+// list whose length is unknown at plan time (a $parameter batch).
+const unwindEstFanout = 64
 
 // parallelScanMinRows is the estimated (and at runtime, actual) row
 // count below which partitioning a scan is not worth the goroutine
@@ -152,6 +159,19 @@ func (e *Engine) planPart(part *QueryPart, final bool, preBound map[string]bool,
 
 	bound := copyBound(preBound)
 	cur := 1.0
+	if part.Unwind != nil {
+		if bound[part.Unwind.Alias] {
+			return nil, fmt.Errorf("cypher: UNWIND alias %q is already bound", part.Unwind.Alias)
+		}
+		// The list length is unknown at plan time (it is typically a
+		// $parameter); cost it at a nominal batch fan-out so downstream
+		// estimates scale with "many rows" rather than one.
+		cur *= unwindEstFanout
+		seg.Stages = append(seg.Stages, &UnwindStage{
+			Expr: part.Unwind.Expr, Alias: part.Unwind.Alias, Est: cur,
+		})
+		bound[part.Unwind.Alias] = true
+	}
 	for _, run := range requiredRuns(part.Matches) {
 		if run.optional != nil {
 			st, err := e.planOptional(*run.optional, bound, synth, cur)
@@ -1004,6 +1024,10 @@ func exprVars(e Expr, set map[string]bool) {
 		if v.Arg != nil {
 			exprVars(v.Arg, set)
 		}
+	case ListExpr:
+		for _, ee := range v.Elems {
+			exprVars(ee, set)
+		}
 	}
 }
 
@@ -1025,6 +1049,12 @@ func hasAggCall(e Expr) bool {
 		if v.Arg != nil {
 			return hasAggCall(v.Arg)
 		}
+	case ListExpr:
+		for _, ee := range v.Elems {
+			if hasAggCall(ee) {
+				return true
+			}
+		}
 	}
 	return false
 }
@@ -1032,6 +1062,8 @@ func hasAggCall(e Expr) bool {
 // stageBinds records the variables a stage makes available.
 func stageBinds(st Stage, acc map[string]bool) {
 	switch s := st.(type) {
+	case *UnwindStage:
+		acc[s.Alias] = true
 	case *ScanStage:
 		acc[s.Node.Var] = true
 	case *ExpandStage:

@@ -2,6 +2,7 @@ package cypher
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -19,6 +20,7 @@ const (
 	KindNode
 	KindEdge
 	KindList
+	KindMap
 )
 
 // Value is one runtime value produced during query evaluation.
@@ -30,6 +32,7 @@ type Value struct {
 	Node *graph.Node
 	Edge *graph.Edge
 	List []Value
+	Map  map[string]Value
 }
 
 // NullValue returns the null value.
@@ -52,6 +55,9 @@ func EdgeValue(e *graph.Edge) Value { return Value{Kind: KindEdge, Edge: e} }
 
 // ListValue wraps a list of values (the collect() aggregate result).
 func ListValue(vs []Value) Value { return Value{Kind: KindList, List: vs} }
+
+// MapValue wraps a string-keyed map — the shape of one UNWIND batch row.
+func MapValue(m map[string]Value) Value { return Value{Kind: KindMap, Map: m} }
 
 // ToValue converts a plain Go value into a query Value; it is how
 // parameter bindings supplied as map[string]any enter the engine.
@@ -101,6 +107,16 @@ func ToValue(v any) (Value, error) {
 			vs[i] = ev
 		}
 		return ListValue(vs), nil
+	case map[string]any:
+		m := make(map[string]Value, len(x))
+		for k, e := range x {
+			ev, err := ToValue(e)
+			if err != nil {
+				return Value{}, err
+			}
+			m[k] = ev
+		}
+		return MapValue(m), nil
 	}
 	return Value{}, fmt.Errorf("cypher: unsupported parameter type %T", v)
 }
@@ -127,6 +143,12 @@ func (v Value) Go() any {
 			out[i] = e.Go()
 		}
 		return out
+	case KindMap:
+		out := make(map[string]any, len(v.Map))
+		for k, e := range v.Map {
+			out[k] = e.Go()
+		}
+		return out
 	}
 	return nil
 }
@@ -139,6 +161,9 @@ func valueBytes(v Value) int {
 	n := 48 + len(v.Str)
 	for _, e := range v.List {
 		n += valueBytes(e)
+	}
+	for k, e := range v.Map {
+		n += len(k) + valueBytes(e)
 	}
 	return n
 }
@@ -176,8 +201,25 @@ func (v Value) String() string {
 			parts[i] = e.String()
 		}
 		return "[" + strings.Join(parts, ", ") + "]"
+	case KindMap:
+		parts := make([]string, 0, len(v.Map))
+		for _, k := range v.sortedMapKeys() {
+			parts = append(parts, k+": "+v.Map[k].String())
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
 	}
 	return "?"
+}
+
+// sortedMapKeys returns the map's keys in sorted order so every map
+// rendering (String, key) is deterministic.
+func (v Value) sortedMapKeys() []string {
+	keys := make([]string, 0, len(v.Map))
+	for k := range v.Map {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // Truthy reports the boolean interpretation used by WHERE.
@@ -193,6 +235,8 @@ func (v Value) Truthy() bool {
 		return v.Num != 0
 	case KindList:
 		return len(v.List) > 0
+	case KindMap:
+		return len(v.Map) > 0
 	}
 	return true
 }
@@ -223,6 +267,17 @@ func (v Value) Equal(o Value) bool {
 		}
 		for i := range v.List {
 			if !v.List[i].Equal(o.List[i]) {
+				return false
+			}
+		}
+		return true
+	case KindMap:
+		if len(v.Map) != len(o.Map) {
+			return false
+		}
+		for k, e := range v.Map {
+			oe, ok := o.Map[k]
+			if !ok || !e.Equal(oe) {
 				return false
 			}
 		}
@@ -288,6 +343,12 @@ func (v Value) key() string {
 			parts[i] = e.key()
 		}
 		return "L:" + strings.Join(parts, "\x01")
+	case KindMap:
+		parts := make([]string, 0, len(v.Map))
+		for _, k := range v.sortedMapKeys() {
+			parts = append(parts, k+"\x02"+v.Map[k].key())
+		}
+		return "M:" + strings.Join(parts, "\x01")
 	}
 	return "?"
 }
@@ -325,6 +386,10 @@ func (v Value) totalLess(o Value) bool {
 			}
 		}
 		return len(v.List) < len(o.List)
+	case KindMap:
+		// Maps order by their canonical grouping key: deterministic, and
+		// maps are never hot in ORDER BY paths.
+		return v.key() < o.key()
 	}
 	return false
 }

@@ -108,7 +108,7 @@ func (e *Engine) createPattern(p *Pattern, b binding, ps params, stats *WriteSta
 		if ep.Dir == DirLeft {
 			from, to = to, from
 		}
-		attrs, err := resolveAttrs(ep.Props, ep.ParamProps, ps)
+		attrs, err := resolveAttrs(ep.Props, ep.ParamProps, ep.ExprProps, b, ps)
 		if err != nil {
 			return err
 		}
@@ -156,7 +156,7 @@ func (e *Engine) createNode(np *NodePattern, b binding, ps params, stats *WriteS
 			if v.Kind != KindNode {
 				return 0, fmt.Errorf("cypher: CREATE endpoint %q is not a node (null from OPTIONAL MATCH?)", np.Var)
 			}
-			if np.Label != "" || len(np.Props) > 0 || len(np.ParamProps) > 0 {
+			if np.Label != "" || len(np.Props) > 0 || len(np.ParamProps) > 0 || len(np.ExprProps) > 0 {
 				return 0, fmt.Errorf("cypher: variable %q is already bound; a CREATE/MERGE reuse cannot restate a label or properties", np.Var)
 			}
 			if e.w.LatestNode(v.Node.ID) == nil {
@@ -168,7 +168,7 @@ func (e *Engine) createNode(np *NodePattern, b binding, ps params, stats *WriteS
 	if np.Label == "" {
 		return 0, fmt.Errorf("cypher: CREATE/MERGE requires a label on (%s)", displayVar(np.Var))
 	}
-	attrs, err := resolveAttrs(np.Props, np.ParamProps, ps)
+	attrs, err := resolveAttrs(np.Props, np.ParamProps, np.ExprProps, b, ps)
 	if err != nil {
 		return 0, err
 	}
@@ -205,13 +205,17 @@ func (e *Engine) createNode(np *NodePattern, b binding, ps params, stats *WriteS
 	return id, nil
 }
 
-// resolveAttrs renders a pattern's literal and $parameter properties as
-// store attributes.
-func resolveAttrs(props map[string]Value, paramProps map[string]string, ps params) (map[string]string, error) {
-	if len(props) == 0 && len(paramProps) == 0 {
+// resolveAttrs renders a pattern's literal, $parameter and expression
+// properties as store attributes. Expression properties (e.g.
+// "{name: row.name}" inside an UNWIND batch) evaluate against the row's
+// bindings; a null result is an error — merge keys and attributes must
+// be concrete.
+func resolveAttrs(props map[string]Value, paramProps map[string]string,
+	exprProps map[string]Expr, b binding, ps params) (map[string]string, error) {
+	if len(props) == 0 && len(paramProps) == 0 && len(exprProps) == 0 {
 		return nil, nil
 	}
-	attrs := make(map[string]string, len(props)+len(paramProps))
+	attrs := make(map[string]string, len(props)+len(paramProps)+len(exprProps))
 	for k, v := range props {
 		s, err := attrString(k, v)
 		if err != nil {
@@ -223,6 +227,20 @@ func resolveAttrs(props map[string]Value, paramProps map[string]string, ps param
 		v, ok := ps.get(pn)
 		if !ok {
 			return nil, fmt.Errorf("cypher: missing parameter $%s", pn)
+		}
+		s, err := attrString(k, v)
+		if err != nil {
+			return nil, err
+		}
+		attrs[k] = s
+	}
+	for k, ex := range exprProps {
+		v, err := evalExpr(ex, b, ps)
+		if err != nil {
+			return nil, err
+		}
+		if v.Kind == KindNull {
+			return nil, fmt.Errorf("cypher: property %q evaluated to null in CREATE/MERGE", k)
 		}
 		s, err := attrString(k, v)
 		if err != nil {

@@ -258,7 +258,7 @@ func (s *Store) rebuildAdjLocked() {
 // adjacency-changing mutations under the write lock. Bulk replay
 // (ApplyBatch) defers compaction to its single sealing rebuild.
 func (s *Store) maybeRebuildAdjLocked() {
-	if s.bulk {
+	if s.bulk > 0 {
 		return
 	}
 	if s.adj.needsRebuild() {

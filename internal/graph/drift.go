@@ -32,6 +32,7 @@ type DriftStat struct {
 	Key        DriftKey
 	Count      int64   // observations recorded for this key
 	Refreshes  int64   // histogram retirements this key triggered
+	Suppressed int64   // trips suppressed because the histogram was unchanged
 	LastEst    float64 // estimate of the most recent observation
 	LastActual float64 // observed cardinality of the most recent observation
 }
@@ -39,9 +40,35 @@ type DriftStat struct {
 type driftEntry struct {
 	count      int64
 	refreshes  int64
-	sinceFresh int64 // observations since the last refresh
+	suppressed int64
+	sinceFresh int64 // observations since the last refresh (or suppression)
 	lastEst    float64
 	lastActual float64
+	// freshHist remembers the histogram the last refresh recomputed.
+	// A later trip whose recomputation matches it is suppressed: the
+	// store's shape hasn't moved for this key, so retiring the cache
+	// and bumping the stats version would replan every cached query
+	// against identical numbers — pure thrash. Heavy-tailed keys (a
+	// hub node the histogram's mean can never predict) otherwise
+	// re-trip forever, bumping StatsVersion every driftRefreshAfter
+	// observations.
+	freshHist    DegreeHistogram
+	hasFreshHist bool
+}
+
+// sameHistogram reports whether two histograms carry identical counts
+// (the fields costing reads; Label/EdgeType/Dir are equal by key).
+func sameHistogram(a, b DegreeHistogram) bool {
+	if a.Sources != b.Sources || a.NonZero != b.NonZero ||
+		a.Walks != b.Walks || a.Max != b.Max || len(a.Buckets) != len(b.Buckets) {
+		return false
+	}
+	for i := range a.Buckets {
+		if a.Buckets[i] != b.Buckets[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // driftRefreshAfter is how many drift observations of one key trigger a
@@ -54,13 +81,18 @@ var (
 		"Estimate-vs-actual cardinality drift observations reported by EXPLAIN ANALYZE.")
 	mDriftRefreshes = metrics.NewCounter("skg_cardinality_drift_refreshes_total",
 		"Degree-histogram refreshes (with stats-version bumps) triggered by accumulated drift.")
+	mDriftSuppressed = metrics.NewCounter("skg_cardinality_drift_suppressed_total",
+		"Drift trips suppressed because the recomputed histogram was unchanged since the last refresh.")
 )
 
 // RecordEstimateDrift records one estimate-vs-actual divergence for the
 // histogram identified by key. Every driftRefreshAfter observations of
-// a key, the cached histogram behind it is retired and the stats
-// version bumps — invalidating cached plans so they re-cost against
-// fresh fan-out data.
+// a key, the histogram is recomputed; if it actually changed since the
+// last refresh, the cached copy is retired and the stats version bumps
+// — invalidating cached plans so they re-cost against fresh fan-out
+// data. A trip whose recomputation matches the last refresh is
+// suppressed (no bump): persistent skew the histogram's summary cannot
+// express must not thrash the plan cache forever.
 func (s *Store) RecordEstimateDrift(key DriftKey, est, actual float64) {
 	mDriftObserved.Inc()
 	s.driftMu.Lock()
@@ -75,15 +107,29 @@ func (s *Store) RecordEstimateDrift(key DriftKey, est, actual float64) {
 	d.count++
 	d.sinceFresh++
 	d.lastEst, d.lastActual = est, actual
-	refresh := d.sinceFresh >= driftRefreshAfter
-	if refresh {
+	tripped := d.sinceFresh >= driftRefreshAfter
+	if tripped {
 		d.sinceFresh = 0
-		d.refreshes++
 	}
 	s.driftMu.Unlock()
-	if !refresh {
+	if !tripped {
 		return
 	}
+	// Recompute eagerly so the trip can be judged: unchanged fan-out
+	// data means the refresh would replan every cached query against
+	// identical numbers. The computation is the same one a real refresh
+	// pays lazily, so a suppressed trip costs no more than a refresh.
+	h := s.computeDegreeHistogram(key.Label, key.EdgeType, key.Dir)
+	s.driftMu.Lock()
+	if d.hasFreshHist && sameHistogram(h, d.freshHist) {
+		d.suppressed++
+		s.driftMu.Unlock()
+		mDriftSuppressed.Inc()
+		return
+	}
+	d.freshHist, d.hasFreshHist = h, true
+	d.refreshes++
+	s.driftMu.Unlock()
 	mDriftRefreshes.Inc()
 	// Retire the cached histogram for this key, then advance the stats
 	// version: DegreeHistogram recomputes lazily at the new version, and
@@ -103,7 +149,7 @@ func (s *Store) DriftStats() []DriftStat {
 	out := make([]DriftStat, 0, len(s.drift))
 	for k, d := range s.drift {
 		out = append(out, DriftStat{
-			Key: k, Count: d.count, Refreshes: d.refreshes,
+			Key: k, Count: d.count, Refreshes: d.refreshes, Suppressed: d.suppressed,
 			LastEst: d.lastEst, LastActual: d.lastActual,
 		})
 	}

@@ -180,10 +180,13 @@ type Store struct {
 	// onMutation observes every effective mutation under the write lock
 	// (SetMutationHook); the durability layer tees writes into its WAL here.
 	onMutation func(Mutation)
-	// bulk suppresses per-mutation adjacency compaction and stats-drift
-	// checks while ApplyBatch replays a long mutation sequence; the batch
-	// seals with one rebuild + rebase instead.
-	bulk bool
+	// bulk counts open bulk-mode brackets (ApplyStream, ApplyBatch, a
+	// Tx marked SetBulk, or an explicit BeginBulk/EndBulk pair). While
+	// nonzero, per-mutation adjacency compaction and stats-drift checks
+	// are suppressed; closing the outermost bracket seals with one
+	// rebuild + one materiality judgement instead. Brackets nest so a
+	// bulk transaction inside a load bracket still seals exactly once.
+	bulk int
 
 	nextNode NodeID
 	nextEdge EdgeID

@@ -70,7 +70,7 @@ func (s *Store) SetMutationHook(fn func(Mutation)) {
 // write lock.
 func (s *Store) noteMutation(m Mutation) {
 	s.idxEpoch++
-	if !s.bulk && s.statsMaterialLocked() {
+	if s.bulk == 0 && s.statsMaterialLocked() {
 		s.bumpStatsLocked()
 	}
 	if s.onMutation != nil {
@@ -98,6 +98,42 @@ func cloneMutation(m Mutation) Mutation {
 	return m
 }
 
+// beginBulkLocked opens one bulk-mode bracket. Callers hold mu.
+func (s *Store) beginBulkLocked() { s.bulk++ }
+
+// endBulkLocked closes one bulk-mode bracket; closing the outermost
+// seals the deferred work: one adjacency rebuild over everything the
+// bracket inserted, one stats materiality judgement. Callers hold mu.
+func (s *Store) endBulkLocked() {
+	if s.bulk--; s.bulk > 0 {
+		return
+	}
+	if s.adj.pending > 0 {
+		s.rebuildAdjLocked()
+	}
+	if s.statsMaterialLocked() {
+		s.bumpStatsLocked()
+	}
+}
+
+// BeginBulk opens an external bulk-load bracket (server boot ingest,
+// replication catch-up): per-mutation adjacency compaction and stats
+// materiality checks are deferred until the matching EndBulk. Brackets
+// nest; each BeginBulk must be paired with exactly one EndBulk.
+func (s *Store) BeginBulk() {
+	s.mu.Lock()
+	s.beginBulkLocked()
+	s.mu.Unlock()
+}
+
+// EndBulk closes a BeginBulk bracket, sealing (one adjacency rebuild +
+// one stats materiality judgement) when the outermost bracket closes.
+func (s *Store) EndBulk() {
+	s.mu.Lock()
+	s.endBulkLocked()
+	s.mu.Unlock()
+}
+
 // ApplyStream replays the mutation sequence next yields (until it
 // reports false) with bulk economics: the per-mutation adjacency
 // compaction and stats-drift checks Apply pays are deferred, and the
@@ -110,17 +146,11 @@ func cloneMutation(m Mutation) Mutation {
 // how many succeeded.
 func (s *Store) ApplyStream(next func() (Mutation, bool)) (int, error) {
 	s.mu.Lock()
-	s.bulk = true
+	s.beginBulkLocked()
 	s.mu.Unlock()
 	defer func() {
 		s.mu.Lock()
-		s.bulk = false
-		if s.adj.pending > 0 {
-			s.rebuildAdjLocked()
-		}
-		if s.statsMaterialLocked() {
-			s.bumpStatsLocked()
-		}
+		s.endBulkLocked()
 		s.mu.Unlock()
 	}()
 	applied := 0
@@ -136,18 +166,49 @@ func (s *Store) ApplyStream(next func() (Mutation, bool)) (int, error) {
 	}
 }
 
-// ApplyBatch replays a mutation slice through ApplyStream; the
-// returned index names the failing mutation on error.
+// ApplyBatch applies a mutation slice as one bulk transaction: the
+// whole batch reaches the durability hook as a single
+// tx_begin/.../tx_commit group (one group-committed WAL append), pays
+// one stats materiality judgement, and seals adjacency once — the same
+// economics ApplyStream gives recovery, plus atomicity. On error the
+// transaction rolls back (nothing is applied or logged) and the
+// returned index names the failing mutation.
 func (s *Store) ApplyBatch(ms []Mutation) (int, error) {
-	i := 0
-	return s.ApplyStream(func() (Mutation, bool) {
-		if i >= len(ms) {
-			return Mutation{}, false
+	tx := s.BeginTx()
+	tx.SetBulk()
+	for i, m := range ms {
+		if err := tx.Apply(m); err != nil {
+			tx.Rollback()
+			return i, err
 		}
-		m := ms[i]
-		i++
-		return m, true
-	})
+	}
+	if err := tx.Commit(); err != nil {
+		return 0, err
+	}
+	return len(ms), nil
+}
+
+// Apply re-issues one mutation on the Tx write surface, mirroring
+// Store.Apply's dispatch. Transaction markers are rejected: a Tx is
+// itself the group boundary.
+func (tx *Tx) Apply(m Mutation) error {
+	switch m.Op {
+	case OpMergeNode:
+		tx.MergeNode(m.Type, m.Name, m.Attrs)
+		return nil
+	case OpAddEdge:
+		_, _, err := tx.AddEdge(m.From, m.Type, m.To, m.Attrs)
+		return err
+	case OpSetAttr:
+		return tx.SetAttr(m.Node, m.Key, m.Val)
+	case OpDeleteNode:
+		return tx.DeleteNode(m.Node)
+	case OpDeleteEdge:
+		return tx.DeleteEdge(m.Edge)
+	case OpMigrateEdges:
+		return tx.MigrateEdges(m.From, m.To)
+	}
+	return fmt.Errorf("graph: Tx.Apply: unsupported mutation op %q", m.Op)
 }
 
 // Apply replays one mutation through the corresponding public operation.

@@ -715,6 +715,7 @@ type Tx struct {
 	snap    *Snap
 	prov    uint64
 	writing bool
+	bulk    bool
 	done    bool
 
 	// walBuf holds the transaction's mutation records, published to the
@@ -744,6 +745,15 @@ func (s *Store) BeginTx() *Tx {
 	return tx
 }
 
+// SetBulk marks the transaction as a bulk load: its first write opens a
+// store bulk bracket, so per-mutation adjacency compaction and stats
+// materiality checks are deferred until Commit or Rollback seals with
+// one rebuild + one judgement. Call before the first write; a batch
+// ingest of any size then moves StatsVersion at most once.
+func (tx *Tx) SetBulk() {
+	tx.bulk = true
+}
+
 // ensureWriter upgrades the transaction to a writer: take the writer
 // lock, pin the provisional timestamp, and capture allocator state for
 // rollback.
@@ -764,6 +774,9 @@ func (tx *Tx) ensureWriter() {
 	tx.undoN = make(map[NodeID]nodeUndo)
 	tx.undoE = make(map[EdgeID]edgeUndo)
 	tx.preNextNode, tx.preNextEdge, tx.preMergeHits = s.nextNode, s.nextEdge, s.mergeHits
+	if tx.bulk {
+		s.beginBulkLocked()
+	}
 	s.mu.Unlock()
 }
 
@@ -847,6 +860,9 @@ func (tx *Tx) Commit() error {
 	s.curTx = nil
 	s.curProv = 0
 	tx.snap.releaseLocked()
+	if tx.bulk {
+		s.endBulkLocked()
+	}
 	s.maybeRebuildAdjLocked()
 	s.mu.Unlock()
 	s.writerMu.Unlock()
@@ -919,8 +935,11 @@ func (tx *Tx) Rollback() error {
 	s.adj.all = nil // force reconstruction from the restored edge map
 	s.rebuildAdjLocked()
 	s.idxEpoch++
-	if !s.bulk && s.statsMaterialLocked() {
+	if s.bulk == 0 && s.statsMaterialLocked() {
 		s.bumpStatsLocked()
+	}
+	if tx.bulk {
+		s.endBulkLocked()
 	}
 	tx.walBuf = nil
 	s.curTx = nil

@@ -105,7 +105,22 @@ type Replicator struct {
 	reconnect uint64
 
 	pending []storage.Record // open tx group, begin marker first
+
+	// catchingUp is true while the store is held in bulk mode because
+	// this replica is far behind the leader. Touched only by the
+	// streaming goroutine (streamOnce / handleRecord run sequentially),
+	// so it needs no lock.
+	catchingUp bool
 }
+
+// catchUpBulkLag is the record lag past which a replica switches its
+// store into bulk mode for the duration of the catch-up: adjacency
+// rebuilds and planner-stats judgements are deferred until it draws
+// level with the leader, then settled exactly once. Without this, a
+// replica replaying a long WAL tail re-runs the per-mutation
+// materiality check on every record and can bump StatsVersion (and
+// invalidate every cached plan) hundreds of times mid-load.
+const catchUpBulkLag = 256
 
 // NewReplicator wires a replicator over an already-open follower DB.
 func NewReplicator(db *storage.DB, leaderURL string) *Replicator {
@@ -276,6 +291,10 @@ func (r *Replicator) streamOnce(ctx context.Context, pol *backoff.Policy) error 
 	}
 
 	r.setState("tail")
+	// Whatever ends this stream — error, EOF, divergence — the bulk
+	// bracket must close, or the store would defer adjacency sealing and
+	// stats forever.
+	defer r.exitBulk()
 	fr := newFrameReader(resp.Body)
 	var f frame
 	first := true
@@ -302,10 +321,42 @@ func (r *Replicator) streamOnce(ctx context.Context, pol *backoff.Policy) error 
 			r.leaderSeq = f.HB.Committed
 			r.leaderWAL = f.HB.WALBytes
 			r.stateMu.Unlock()
+			r.maybeBulk()
 		default:
 			return fmt.Errorf("replication: empty frame")
 		}
 	}
+}
+
+// maybeBulk enters or leaves store-level bulk mode based on how far
+// behind the last heartbeat says this replica is. Hysteresis: enter
+// only when the lag exceeds catchUpBulkLag, leave only once level with
+// the leader's last-known head — so a steady trickle of writes never
+// flaps the bracket.
+func (r *Replicator) maybeBulk() {
+	r.stateMu.Lock()
+	leaderSeq := r.leaderSeq
+	r.stateMu.Unlock()
+	applied := r.applied.Load()
+	switch {
+	case !r.catchingUp && leaderSeq > applied+catchUpBulkLag:
+		r.DB.Store().BeginBulk()
+		r.catchingUp = true
+		r.logf("replication: %d records behind leader; bulk catch-up (stats and adjacency seal once, when level)", leaderSeq-applied)
+	case r.catchingUp && leaderSeq <= applied:
+		r.exitBulk()
+	}
+}
+
+// exitBulk closes the catch-up bracket if open, sealing adjacency and
+// running the single deferred stats judgement.
+func (r *Replicator) exitBulk() {
+	if !r.catchingUp {
+		return
+	}
+	r.DB.Store().EndBulk()
+	r.catchingUp = false
+	r.logf("replication: caught up with leader at seq %d", r.applied.Load())
 }
 
 // handleRecord folds one shipped record. Bare records apply
@@ -353,6 +404,7 @@ func (r *Replicator) handleRecord(rec *storage.Record) error {
 	}
 	mRecordsApplied.Inc()
 	r.advanceApplied(rec.Seq)
+	r.maybeBulk()
 	return nil
 }
 
@@ -362,9 +414,13 @@ func (r *Replicator) handleRecord(rec *storage.Record) error {
 // group into the local WAL.
 func (r *Replicator) applyGroup(group []storage.Record) error {
 	commitSeq := group[len(group)-1].Seq
+	// SetBulk: a shipped group was one batch on the leader; replaying it
+	// re-judges stats materiality once at commit, like the leader did —
+	// not once per mutation.
 	tx := r.DB.Store().BeginTx()
+	tx.SetBulk()
 	for _, rec := range group[1 : len(group)-1] {
-		if err := applyToTx(tx, rec.Mutation()); err != nil {
+		if err := tx.Apply(rec.Mutation()); err != nil {
 			tx.Rollback()
 			return fmt.Errorf("%w: tx replay at seq %d (%s): %v", ErrDiverged, rec.Seq, rec.Op, err)
 		}
@@ -377,29 +433,8 @@ func (r *Replicator) applyGroup(group []storage.Record) error {
 	}
 	mRecordsApplied.Add(int64(len(group)))
 	r.advanceApplied(commitSeq)
+	r.maybeBulk()
 	return nil
-}
-
-// applyToTx re-issues one mutation inside a transaction, mirroring
-// Store.Apply's dispatch onto the Tx write surface.
-func applyToTx(tx *graph.Tx, m graph.Mutation) error {
-	switch m.Op {
-	case graph.OpMergeNode:
-		tx.MergeNode(m.Type, m.Name, m.Attrs)
-		return nil
-	case graph.OpAddEdge:
-		_, _, err := tx.AddEdge(m.From, m.Type, m.To, m.Attrs)
-		return err
-	case graph.OpSetAttr:
-		return tx.SetAttr(m.Node, m.Key, m.Val)
-	case graph.OpDeleteNode:
-		return tx.DeleteNode(m.Node)
-	case graph.OpDeleteEdge:
-		return tx.DeleteEdge(m.Edge)
-	case graph.OpMigrateEdges:
-		return tx.MigrateEdges(m.From, m.To)
-	}
-	return fmt.Errorf("unknown mutation op %q", m.Op)
 }
 
 // RegisterStatus mounts /replication/status for a replica.

@@ -1,0 +1,177 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestIngestBackpressure: once the in-flight write-byte budget is
+// exceeded, further write statements answer 429 with a Retry-After
+// header; reads pass untouched; a single oversized request is admitted
+// when it is alone (a limit must never deadlock a client whose one
+// batch is bigger than the budget); and capacity frees when requests
+// finish.
+func TestIngestBackpressure(t *testing.T) {
+	s, _, _ := testServer(t)
+	s.SetIngestLimit(64)
+
+	// Fake another write mid-flight so the budget is already consumed.
+	s.writeInflight.Add(60)
+
+	body, _ := json.Marshal(map[string]any{
+		"query": `create (m:Malware {name: "pushed-back-far-enough-to-cross-64-bytes"})`,
+	})
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("POST", "/api/cypher", bytes.NewReader(body)))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("overloaded write: status %d, want 429: %s", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
+	}
+
+	// Reads are never gated.
+	readBody, _ := json.Marshal(map[string]any{"query": `match (m:Malware) return m.name`})
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("POST", "/api/cypher", bytes.NewReader(readBody)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("read under backpressure: status %d: %s", rec.Code, rec.Body.String())
+	}
+
+	// Budget frees: drop the fake in-flight bytes and the same write goes
+	// through even though its body alone exceeds the 64-byte limit —
+	// oversized-when-alone is admitted.
+	s.writeInflight.Add(-60)
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("POST", "/api/cypher", bytes.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("write after drain: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := s.writeInflight.Load(); got != 0 {
+		t.Errorf("writeInflight = %d after completion, want 0", got)
+	}
+
+	// Limit 0 disables the gate entirely.
+	s.SetIngestLimit(0)
+	s.writeInflight.Add(1 << 30)
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("POST", "/api/cypher", bytes.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("write with limit disabled: status %d: %s", rec.Code, rec.Body.String())
+	}
+	s.writeInflight.Add(-(1 << 30))
+}
+
+// TestSweepSkipsExecutingSession is the regression test for the
+// sweep-vs-long-statement race: a transaction session whose statement
+// is STILL EXECUTING past txSessionIdle (a long streaming drain) must
+// never be reaped, however stale its last-use stamp reads — the sweep
+// must TryLock before judging idleness, because sess.last is written
+// under sess.mu and a mid-statement session is about to refresh it.
+func TestSweepSkipsExecutingSession(t *testing.T) {
+	s, _, _ := testServer(t)
+	tok, err := s.beginTxSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := s.lookupTx(tok)
+
+	// Put the session in exactly the state a long-running statement has:
+	// mu held for the statement's duration, last-use stamp older than
+	// the idle deadline (it was set when the PREVIOUS statement ended).
+	sess.mu.Lock()
+	sess.last = time.Now().Add(-2 * txSessionIdle)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.txMu.Lock()
+		s.sweepTxLocked(time.Now())
+		s.txMu.Unlock()
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("sweep blocked on an executing session instead of skipping it")
+	}
+	s.txMu.Lock()
+	_, alive := s.txs[tok]
+	s.txMu.Unlock()
+	if !alive {
+		t.Fatal("sweep reaped a session whose statement was still executing")
+	}
+
+	// Statement finishes: stamp refreshes, lock releases — and a sweep
+	// now sees a FRESH session, not a stale one.
+	sess.last = time.Now()
+	sess.mu.Unlock()
+	s.txMu.Lock()
+	s.sweepTxLocked(time.Now())
+	_, alive = s.txs[tok]
+	s.txMu.Unlock()
+	if !alive {
+		t.Fatal("sweep reaped a fresh session right after its statement finished")
+	}
+
+	// Only a session that is BOTH unlocked and stale is reaped.
+	sess.mu.Lock()
+	sess.last = time.Now().Add(-2 * txSessionIdle)
+	sess.mu.Unlock()
+	s.txMu.Lock()
+	s.sweepTxLocked(time.Now())
+	_, alive = s.txs[tok]
+	s.txMu.Unlock()
+	if alive {
+		t.Fatal("idle unlocked session survived the sweep")
+	}
+}
+
+// TestSweepRaceUnderLoad drives real tx-session statements through the
+// HTTP handler while concurrent goroutines run the sweep; the race
+// detector (make test runs this package under -race) proves sess.last
+// is never judged off-lock.
+func TestSweepRaceUnderLoad(t *testing.T) {
+	s, _, _ := testServer(t)
+	rec, out := postCypher(t, s, map[string]any{"query": "BEGIN"})
+	_ = out
+	var begin struct{ Tx string }
+	json.Unmarshal(rec.Body.Bytes(), &begin)
+	if begin.Tx == "" {
+		t.Fatalf("BEGIN: %s", rec.Body.String())
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.lookupTx("no-such-token") // sweeps on the way
+			}
+		}
+	}()
+
+	for i := 0; i < 100; i++ {
+		stmt := fmt.Sprintf(`create (m:Malware {name: "sweep-race-%d"})`, i)
+		rec, _ := postCypher(t, s, map[string]any{"tx": begin.Tx, "query": stmt})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("statement %d: status %d: %s", i, rec.Code, rec.Body.String())
+		}
+	}
+	rec, _ = postCypher(t, s, map[string]any{"tx": begin.Tx, "query": "ROLLBACK"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ROLLBACK: status %d: %s", rec.Code, rec.Body.String())
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -46,6 +46,9 @@ func (s *Server) registerInstanceGauges() {
 	s.reg.GaugeFunc("skg_plan_cache_entries",
 		"Plans held by this store's shared plan cache.",
 		func() float64 { return float64(s.eng.PlanCacheStats().Entries) })
+	s.reg.GaugeFunc("skg_ingest_inflight_bytes",
+		"Request-body bytes of write statements currently executing.",
+		func() float64 { return float64(s.writeInflight.Load()) })
 	s.reg.GaugeFunc("skg_uptime_seconds",
 		"Seconds since this server was constructed.",
 		func() float64 { return time.Since(s.started).Seconds() })

@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"strconv"
@@ -45,7 +46,24 @@ type Server struct {
 	reg     *metrics.Registry // per-instance gauges; /metrics renders std + this
 	slowNs  atomic.Int64      // slow-query threshold in ns, 0 = disabled
 	slowLog *log.Logger       // destination for slow-query lines (observe.go)
+
+	// Ingest backpressure: writeInflight tracks the request-body bytes
+	// of write statements currently executing; writeLimit bounds them
+	// (0 = unbounded). A write arriving over the bound is shed with 429
+	// + Retry-After instead of queueing without limit on the store's
+	// single writer — overload answers fast and cheap, and the client's
+	// retry loop becomes the queue.
+	writeLimit    atomic.Int64
+	writeInflight atomic.Int64
 }
+
+// defaultIngestLimit bounds in-flight write bytes unless overridden
+// with SetIngestLimit: generous for interactive use, small enough that
+// a misbehaving bulk loader cannot buffer the heap away.
+const defaultIngestLimit = 32 << 20
+
+var mIngestRejected = metrics.NewCounter("skg_ingest_backpressure_total",
+	"Write requests rejected with 429 because in-flight write bytes exceeded the ingest limit.")
 
 // Replication tells the server its place in a replicated deployment.
 // The zero value is a standalone server: reads are always current,
@@ -117,6 +135,7 @@ func NewWith(store *graph.Store, index *search.Index, opts cypher.Options) *Serv
 		started: time.Now(),
 		reg:     metrics.NewRegistry(),
 	}
+	s.writeLimit.Store(defaultIngestLimit)
 	s.registerInstanceGauges()
 	s.mux.HandleFunc("/api/stats", s.handleStats)
 	s.mux.HandleFunc("/api/search", s.handleSearch)
@@ -249,6 +268,54 @@ func (s *Server) notLeader(w http.ResponseWriter) {
 // isReplica reports whether writes should be redirected to a leader.
 func (s *Server) isReplica() bool { return s.repl.Role == "replica" }
 
+// SetIngestLimit bounds the total request-body bytes of write
+// statements executing at once; writes arriving over the bound answer
+// 429 with Retry-After until in-flight work drains. n <= 0 removes the
+// bound. Call before serving.
+func (s *Server) SetIngestLimit(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	s.writeLimit.Store(n)
+}
+
+// looksLikeWrite is the cheap ingest-classification heuristic the
+// backpressure gate runs before parsing: any statement that could
+// mutate (UNWIND batch ingest included) counts against the in-flight
+// write budget for its duration. A false positive costs a read a brief
+// reservation; a false negative is impossible — the grammar requires
+// one of these keywords for every mutating statement.
+func looksLikeWrite(q string) bool {
+	lq := strings.ToLower(q)
+	for _, kw := range []string{"create", "merge", "delete", "set", "unwind"} {
+		if strings.Contains(lq, kw) {
+			return true
+		}
+	}
+	return false
+}
+
+// acquireIngest reserves n in-flight write bytes, or sheds the request
+// with 429 + Retry-After when the reservation would exceed the limit.
+// A single request larger than the whole limit is admitted when it is
+// alone — it could never run otherwise. Returns false when the
+// response has been written.
+func (s *Server) acquireIngest(w http.ResponseWriter, n int64) bool {
+	limit := s.writeLimit.Load()
+	cur := s.writeInflight.Add(n)
+	if limit > 0 && cur > limit && cur != n {
+		s.writeInflight.Add(-n)
+		mIngestRejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		httpErr(w, http.StatusTooManyRequests,
+			"ingest backpressure: %d bytes of writes already in flight (limit %d); retry shortly", cur-n, limit)
+		return false
+	}
+	return true
+}
+
+func (s *Server) releaseIngest(n int64) { s.writeInflight.Add(-n) }
+
 // awaitSeq enforces the read-your-writes token: when minSeq is nonzero
 // and this node's reads can lag (a replica), block until the local
 // store has applied at least minSeq. The wait is bounded — MaxWait by
@@ -362,10 +429,27 @@ func (s *Server) handleCypher(w http.ResponseWriter, r *http.Request) {
 		httpErr(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, "read request body: %v", err)
+		return
+	}
 	var req cypherRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.Unmarshal(body, &req); err != nil {
 		httpErr(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
+	}
+	// Ingest backpressure: write-shaped statements reserve their body
+	// size against the in-flight write budget for the whole request —
+	// batch application and streaming drain included (the deferred
+	// release runs after the handler's streaming paths return). Replicas
+	// skip the gate; their writes are redirected, not executed.
+	if !s.isReplica() && !req.Explain && looksLikeWrite(req.Query) {
+		n := int64(len(body))
+		if !s.acquireIngest(w, n) {
+			return
+		}
+		defer s.releaseIngest(n)
 	}
 	if !s.awaitSeq(w, r, req.MinSeq) {
 		return

@@ -75,13 +75,21 @@ func (s *Server) dropTx(token string) {
 // sweepTxLocked rolls back and reaps sessions idle past txSessionIdle.
 // A session currently executing a request (mu held) is skipped — its
 // last-use time refreshes when the request finishes.
+//
+// The TryLock comes FIRST: sess.last is written by the request path
+// under sess.mu (not txMu), so judging idleness before acquiring
+// sess.mu is a data race — and a session whose statement is still
+// executing (a long streaming drain included) could be reaped off a
+// stale timestamp it was about to refresh. Busy is never idle, however
+// old the last-use time reads.
 func (s *Server) sweepTxLocked(now time.Time) {
 	for token, sess := range s.txs {
-		if now.Sub(sess.last) < txSessionIdle {
-			continue
-		}
 		if !sess.mu.TryLock() {
-			continue // in use right now
+			continue // a statement is executing right now
+		}
+		if now.Sub(sess.last) < txSessionIdle {
+			sess.mu.Unlock()
+			continue
 		}
 		sess.tx.Rollback() // aborted/finished rollbacks are no-ops or errors we don't care about
 		sess.mu.Unlock()
